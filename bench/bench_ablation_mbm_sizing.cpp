@@ -1,0 +1,80 @@
+// Ablation: MBM buffer sizing — write-capture FIFO depth and event ring
+// capacity vs lost events under burst (the ~55k-gate budget of §6 has to
+// be spent somewhere).  Bursts come from whole-object monitoring of the
+// dentry-heavy untar workload with delivery artificially deferred, the
+// worst realistic pressure the monitor sees.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "secapps/object_monitor.h"
+#include "sim/irq.h"
+#include "workloads/apps.h"
+
+namespace {
+
+using namespace hn;
+
+struct Outcome {
+  u64 fifo_drops = 0;
+  u64 ring_drops = 0;
+  u64 detections = 0;
+};
+
+Outcome run(unsigned fifo_depth, u64 ring_entries, bool defer_irq) {
+  hypernel::SystemConfig cfg;
+  cfg.mode = hypernel::Mode::kHypernel;
+  cfg.enable_mbm = true;
+  cfg.mbm_fifo_depth = fifo_depth;
+  cfg.mbm_ring_entries = ring_entries;
+  auto sys = hypernel::System::create(cfg).value();
+  secapps::ObjectIntegrityMonitor monitor(
+      *sys, secapps::Granularity::kWholeObject);
+  if (!monitor.install().ok()) std::abort();
+  if (defer_irq) {
+    // Interrupt delivery deferred (e.g. Hypersec busy): the ring must
+    // absorb the burst alone.
+    sys->machine().gic().set_enabled(sim::kIrqMbm, false);
+  }
+  workloads::AppParams p;
+  p.scale = 0.05;
+  workloads::run_untar(*sys, p);
+  Outcome out;
+  out.fifo_drops = sys->mbm()->stats().fifo_drops;
+  out.ring_drops = sys->mbm()->stats().ring_overflow_drops;
+  out.detections = sys->mbm()->stats().detections;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: MBM FIFO depth and ring capacity (whole-object "
+              "monitored untar, scale 0.05)\n\n");
+  std::printf("-- immediate interrupt delivery (normal operation) --\n");
+  std::printf("%-26s %12s %12s %12s\n", "sizing", "fifo drops", "ring drops",
+              "detections");
+  hn::bench::print_rule(70);
+  for (const unsigned depth : {2u, 8u, 64u}) {
+    const Outcome o = run(depth, 8192, /*defer_irq=*/false);
+    std::printf("fifo %-3u / ring 8192      %12llu %12llu %12llu\n", depth,
+                (unsigned long long)o.fifo_drops,
+                (unsigned long long)o.ring_drops,
+                (unsigned long long)o.detections);
+  }
+  std::printf("\n-- deferred delivery (ring absorbs the whole run) --\n");
+  std::printf("%-26s %12s %12s %12s\n", "sizing", "fifo drops", "ring drops",
+              "queued");
+  hn::bench::print_rule(70);
+  for (const u64 ring : {256ull, 4096ull, 65536ull}) {
+    const Outcome o = run(64, ring, /*defer_irq=*/true);
+    std::printf("fifo 64  / ring %-8llu %12llu %12llu %12llu\n",
+                (unsigned long long)ring, (unsigned long long)o.fifo_drops,
+                (unsigned long long)o.ring_drops,
+                (unsigned long long)o.detections);
+  }
+  std::printf(
+      "\nwith synchronous delivery even a shallow FIFO suffices (the CPU "
+      "stalls on the IRQ\nbefore the next write); the ring only needs depth "
+      "when Hypersec defers draining.\n");
+  return 0;
+}

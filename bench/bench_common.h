@@ -1,0 +1,48 @@
+// Shared helpers for the benchmark harnesses: system construction per
+// evaluation configuration and paper-reference tables.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hypernel/system.h"
+
+namespace hn::bench {
+
+/// Build a system in the §7.1 performance setup: Hypersec without the MBM
+/// ("only Hypersec is working in the case of Hypernel").
+inline std::unique_ptr<hypernel::System> make_perf_system(hypernel::Mode mode) {
+  hypernel::SystemConfig cfg;
+  cfg.mode = mode;
+  cfg.enable_mbm = false;
+  auto sys = hypernel::System::create(cfg);
+  if (!sys.ok()) {
+    std::fprintf(stderr, "system creation failed: %s\n",
+                 sys.status().message().c_str());
+    std::abort();
+  }
+  return std::move(sys).value();
+}
+
+/// Build a system in the §7.2 monitoring setup: Hypernel with the MBM.
+inline std::unique_ptr<hypernel::System> make_monitor_system() {
+  hypernel::SystemConfig cfg;
+  cfg.mode = hypernel::Mode::kHypernel;
+  cfg.enable_mbm = true;
+  auto sys = hypernel::System::create(cfg);
+  if (!sys.ok()) {
+    std::fprintf(stderr, "system creation failed: %s\n",
+                 sys.status().message().c_str());
+    std::abort();
+  }
+  return std::move(sys).value();
+}
+
+inline void print_rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace hn::bench

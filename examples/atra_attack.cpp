@@ -1,0 +1,117 @@
+// The address-translation redirection attack (ATRA [15], §2/§5.3) against
+// two systems:
+//
+//   A. a bare external bus monitor (KI-Mon/Vigilare-style): the attacker
+//      relocates the monitored object and patches the kernel page table;
+//      the monitor keeps watching the stale physical page — bypassed;
+//   B. Hypernel: the page-table edit and the translation-root swap both
+//      die at Hypersec, and the object remains monitored.
+//
+//   $ ./examples/example_atra_attack
+#include <cstdio>
+
+#include "hypernel/system.h"
+#include "kernel/objects.h"
+#include "kernel/vfs.h"
+#include "secapps/baseline_monitor.h"
+#include "secapps/object_monitor.h"
+#include "sim/sysregs.h"
+
+using namespace hn;
+
+namespace {
+
+bool attack_baseline() {
+  std::printf("--- A. bare external monitor (no Hypersec) ---\n");
+  hypernel::SystemConfig cfg;
+  cfg.mode = hypernel::Mode::kNative;
+  cfg.enable_mbm = true;  // the hardware monitor alone
+  auto sys = hypernel::System::create(cfg).value();
+  kernel::Kernel& k = sys->kernel();
+
+  k.sys_creat("/etc-shadow");
+  const VirtAddr victim_va =
+      k.vfs().cached_dentry(k.vfs().root_ino(), "etc-shadow");
+  const PhysAddr victim_pa = kernel::virt_to_phys(victim_va);
+
+  secapps::BaselineExternalMonitor monitor(sys->machine(), *sys->mbm());
+  monitor.watch_phys(victim_pa, 128);
+  k.kpt().protect_linear(page_align_down(victim_pa),
+                         sim::PageAttrs{.write = true,
+                                        .attr = sim::MemAttr::kNonCacheable});
+  std::printf("monitor watches PA %#llx (dentry of /etc-shadow)\n",
+              (unsigned long long)victim_pa);
+
+  // ATRA: copy the object, then redirect the kernel mapping to the copy.
+  Result<PhysAddr> evil = k.buddy().alloc_page();
+  u8 buf[kPageSize];
+  sys->machine().phys().read_block(page_align_down(victim_pa), buf, kPageSize);
+  sys->machine().phys().write_block(evil.value(), buf, kPageSize);
+  const Status redirect = k.kpt().map_page(
+      k.kpt().kernel_root(), page_align_down(victim_va), evil.value(),
+      sim::PageAttrs{.write = true});
+  std::printf("page-table redirect: %s\n",
+              redirect.ok() ? "SUCCEEDED (nothing checked it)" : "blocked");
+
+  // Tamper through the same kernel VA: lands on the unwatched copy.
+  sys->machine().write64(victim_va + kernel::DentryLayout::kOp * kWordSize,
+                         0xBADBAD);
+  monitor.poll();
+  const bool seen =
+      monitor.saw_write_to(victim_pa + kernel::DentryLayout::kOp * kWordSize);
+  std::printf("monitor saw the tampering: %s\n", seen ? "yes" : "NO — bypassed");
+  return !seen;
+}
+
+bool attack_hypernel() {
+  std::printf("\n--- B. Hypernel ---\n");
+  hypernel::SystemConfig cfg;
+  cfg.mode = hypernel::Mode::kHypernel;
+  auto sys = hypernel::System::create(cfg).value();
+  kernel::Kernel& k = sys->kernel();
+  secapps::ObjectIntegrityMonitor monitor(
+      *sys, secapps::Granularity::kSensitiveFields);
+  monitor.install();
+
+  k.sys_creat("/etc-shadow");
+  const VirtAddr victim_va =
+      k.vfs().cached_dentry(k.vfs().root_ino(), "etc-shadow");
+
+  // Step 1 of ATRA: the page-table edit is a hypercall now, and Hypersec
+  // seals the kernel linear map.
+  Result<PhysAddr> evil = k.buddy().alloc_page();
+  const Status redirect = k.kpt().map_page(
+      k.kpt().kernel_root(), page_align_down(victim_va), evil.value(),
+      sim::PageAttrs{.write = true});
+  std::printf("page-table redirect: %s\n",
+              redirect.ok() ? "SUCCEEDED" : "denied by Hypersec");
+
+  // Fallback: install a whole forged translation root.  HCR_EL2.TVM traps
+  // the TTBR write and Hypersec rejects the unregistered root.
+  const bool ttbr =
+      sys->machine().write_sysreg_el1(sim::SysReg::TTBR1_EL1, evil.value());
+  std::printf("forged TTBR1 install: %s\n",
+              ttbr ? "SUCCEEDED" : "denied by Hypersec (TVM trap)");
+
+  // The object is still where the monitor thinks it is; tampering fires.
+  sys->machine().write64(victim_va + kernel::DentryLayout::kOp * kWordSize,
+                         0xBADBAD);
+  const bool detected = !monitor.alerts().empty();
+  std::printf("tampering detected: %s\n", detected ? "yes" : "no");
+  std::printf("hypersec denials: %llu PT, %llu trap\n",
+              (unsigned long long)
+                  sys->hypersec()->verifier().stats().denied_total(),
+              (unsigned long long)sys->hypersec()->stats().trap_denials);
+  return !redirect.ok() && !ttbr && detected;
+}
+
+}  // namespace
+
+int main() {
+  const bool baseline_bypassed = attack_baseline();
+  const bool hypernel_held = attack_hypernel();
+  std::printf("\nsummary: bare external monitor %s; Hypernel %s\n",
+              baseline_bypassed ? "BYPASSED by ATRA" : "held (unexpected)",
+              hypernel_held ? "blocked the attack" : "failed (unexpected)");
+  return (baseline_bypassed && hypernel_held) ? 0 : 1;
+}

@@ -1,0 +1,91 @@
+// The protection granularity gap, measured three ways (§1, §5.3, §7.2):
+//
+//   1. KVM stage-2 write-protection of a page holding 32 slab objects:
+//      every write to ANY of them traps, even with one object monitored;
+//   2. Hypernel whole-object monitoring (the paper's page-granularity
+//      estimate): all words of the monitored objects raise events;
+//   3. Hypernel word-granularity monitoring: only sensitive words do.
+//
+//   $ ./examples/example_granularity_gap
+#include <cstdio>
+
+#include "hypernel/system.h"
+#include "kernel/objects.h"
+#include "kernel/vfs.h"
+#include "secapps/object_monitor.h"
+
+using namespace hn;
+
+namespace {
+
+/// The benign workload: path lookups churning dentry refcounts.
+void churn(kernel::Kernel& k, int files, int passes) {
+  k.sys_mkdir("/pool");
+  for (int i = 0; i < files; ++i) {
+    char path[64];
+    std::snprintf(path, sizeof(path), "/pool/f%d", i);
+    k.sys_creat(path);
+  }
+  for (int p = 0; p < passes; ++p) {
+    for (int i = 0; i < files; ++i) {
+      char path[64];
+      std::snprintf(path, sizeof(path), "/pool/f%d", i);
+      k.sys_stat(path);
+    }
+  }
+}
+
+u64 kvm_page_protection() {
+  hypernel::SystemConfig cfg;
+  cfg.mode = hypernel::Mode::kKvmGuest;
+  auto sys = hypernel::System::create(cfg).value();
+  kernel::Kernel& k = sys->kernel();
+
+  // One interesting dentry... but stage-2 protection covers its whole slab
+  // page — and 31 uninvolved neighbours with it.
+  k.sys_creat("/kvm-victim");
+  const VirtAddr dva = k.vfs().cached_dentry(k.vfs().root_ino(), "kvm-victim");
+  sys->kvm()->set_wp_handler([](PhysAddr, u64) {});
+  sys->kvm()->protect_page(kernel::virt_to_phys(dva));
+
+  churn(k, 30, 8);
+  return sys->kvm()->stats().wp_traps;
+}
+
+u64 hypernel_monitor(secapps::Granularity granularity) {
+  hypernel::SystemConfig cfg;
+  cfg.mode = hypernel::Mode::kHypernel;
+  auto sys = hypernel::System::create(cfg).value();
+  secapps::ObjectIntegrityMonitor monitor(*sys, granularity,
+                                          /*watch_cred=*/false,
+                                          /*watch_dentry=*/true);
+  monitor.install();
+  kernel::Kernel& k = sys->kernel();
+  k.sys_creat("/kvm-victim");  // parity with the KVM run
+  churn(k, 30, 8);
+  return sys->mbm()->stats().detections;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("benign workload: 31 files created, 240 cached lookups\n\n");
+  const u64 kvm_traps = kvm_page_protection();
+  const u64 whole = hypernel_monitor(secapps::Granularity::kWholeObject);
+  const u64 word = hypernel_monitor(secapps::Granularity::kSensitiveFields);
+
+  std::printf("%-54s %10s\n", "scheme", "traps");
+  std::printf("%-54s %10llu\n",
+              "KVM stage-2 page protection (1 object watched)",
+              (unsigned long long)kvm_traps);
+  std::printf("%-54s %10llu\n",
+              "Hypernel whole-object monitoring (all dentries)",
+              (unsigned long long)whole);
+  std::printf("%-54s %10llu\n",
+              "Hypernel word-granularity (sensitive fields only)",
+              (unsigned long long)word);
+  std::printf("\nword granularity: %.1f%% of the whole-object traps "
+              "(Table 2 reports 3.6-9.2%% per benchmark)\n",
+              whole ? 100.0 * word / whole : 0.0);
+  return (word < whole && kvm_traps > 0) ? 0 : 1;
+}

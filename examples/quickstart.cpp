@@ -1,0 +1,77 @@
+// Quickstart: boot a Hypernel-protected system, install a rootkit
+// detector, and watch it catch a direct cred overwrite that classic
+// page-granularity systems would bury under refcount noise.
+//
+//   $ ./examples/example_quickstart
+#include <cstdio>
+
+#include "hypernel/system.h"
+#include "kernel/objects.h"
+#include "secapps/rootkit_detector.h"
+
+int main() {
+  using namespace hn;
+
+  // 1. Build the full stack: simulated AArch64 machine, simkernel,
+  //    Hypersec at EL2, and the memory bus monitor.
+  hypernel::SystemConfig cfg;
+  cfg.mode = hypernel::Mode::kHypernel;
+  auto sys_r = hypernel::System::create(cfg);
+  if (!sys_r.ok()) {
+    std::fprintf(stderr, "boot failed: %s\n", sys_r.status().message().c_str());
+    return 1;
+  }
+  auto sys = std::move(sys_r).value();
+  std::printf("booted: %s mode, %llu MiB DRAM, secure space @%llu MiB\n",
+              hypernel::mode_name(sys->mode()),
+              (unsigned long long)(sys->machine().phys().size() >> 20),
+              (unsigned long long)(sys->machine().secure_base() >> 20));
+
+  // 2. Install the rootkit detector: it hooks cred/dentry lifetimes and
+  //    registers their sensitive words with the MBM (word granularity).
+  secapps::RootkitDetector detector(*sys);
+  if (!detector.install().ok()) {
+    std::fprintf(stderr, "detector install failed\n");
+    return 1;
+  }
+  std::printf("rootkit detector installed (SID %llu)\n",
+              (unsigned long long)detector.sid());
+
+  // 3. Normal workload: the kernel does real work; the detector stays
+  //    quiet because benign operations never forge sensitive fields.
+  kernel::Kernel& k = sys->kernel();
+  k.sys_mkdir("/home");
+  k.sys_creat("/home/notes.txt");
+  k.sys_stat("/home/notes.txt");
+  k.sys_setuid(1000);  // drop privileges, legitimately
+  std::printf("after normal activity: %llu events verified, %zu alerts\n",
+              (unsigned long long)detector.stats().events_total,
+              detector.alerts().size());
+
+  // 4. The attack: a compromised driver writes euid=0 straight into the
+  //    current cred object (the paper's footnote-2 scenario).
+  const VirtAddr cred = k.procs().current().cred;
+  sys->machine().write64(cred + kernel::CredLayout::kEuid * kWordSize, 0);
+
+  // 5. The MBM snooped the bus write, Hypersec dispatched it, and the
+  //    detector's integrity policy flagged it — synchronously.
+  if (detector.detected_cred_escalation()) {
+    const secapps::Alert& a = detector.alerts().back();
+    std::printf("ALERT: %s (word %llu: %llx -> %llx)\n", a.reason.c_str(),
+                (unsigned long long)a.word_offset,
+                (unsigned long long)a.old_value,
+                (unsigned long long)a.new_value);
+  } else {
+    std::printf("BUG: escalation went undetected\n");
+    return 1;
+  }
+
+  std::printf("\npipeline stats: %llu bus writes snooped, %llu detections, "
+              "%llu IRQs, %llu dispatched to apps\n",
+              (unsigned long long)sys->mbm()->stats().snooped_word_writes,
+              (unsigned long long)sys->mbm()->stats().detections,
+              (unsigned long long)sys->mbm()->stats().irqs_raised,
+              (unsigned long long)sys->hypersec()->stats().events_dispatched);
+  std::printf("simulated time: %.1f us\n", sys->machine().elapsed_us());
+  return 0;
+}

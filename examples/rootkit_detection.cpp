@@ -1,0 +1,104 @@
+// Rootkit-detection scenario: a file-hiding rootkit and a privilege
+// escalator attack the kernel; the word-granularity monitor catches both
+// while staying quiet through heavy benign filesystem traffic — and the
+// run shows how much interrupt noise a whole-object (page-granularity
+// equivalent) monitor would have generated instead (§7.2's point).
+//
+//   $ ./examples/example_rootkit_detection
+#include <cstdio>
+
+#include "hypernel/system.h"
+#include "kernel/objects.h"
+#include "kernel/vfs.h"
+#include "secapps/object_monitor.h"
+
+namespace {
+
+using namespace hn;
+
+struct RunOutcome {
+  u64 events = 0;
+  u64 alerts = 0;
+  double us = 0;
+};
+
+RunOutcome run_scenario(secapps::Granularity granularity) {
+  hypernel::SystemConfig cfg;
+  cfg.mode = hypernel::Mode::kHypernel;
+  auto sys = hypernel::System::create(cfg).value();
+  secapps::ObjectIntegrityMonitor monitor(*sys, granularity);
+  if (!monitor.install().ok()) std::abort();
+  kernel::Kernel& k = sys->kernel();
+  const auto t0 = sys->snapshot();
+
+  // --- Benign phase: a busy little server -------------------------------
+  k.sys_mkdir("/srv");
+  for (int i = 0; i < 64; ++i) {
+    char path[64];
+    std::snprintf(path, sizeof(path), "/srv/log.%d", i);
+    Result<u64> ino = k.sys_creat(path);
+    u64 row[16] = {static_cast<u64>(i)};
+    k.sys_write(ino.value(), 0, row, sizeof(row));
+    k.sys_stat(path);
+  }
+  for (int pass = 0; pass < 4; ++pass) {
+    for (int i = 0; i < 64; ++i) {
+      char path[64];
+      std::snprintf(path, sizeof(path), "/srv/log.%d", i);
+      k.sys_stat(path);  // dcache hits: lockref/LRU churn
+    }
+  }
+
+  // --- Attack 1: hide /srv/log.7 by hooking its dentry -------------------
+  const VirtAddr dva = k.vfs().cached_dentry(
+      k.vfs().lookup("/srv").value(), "log.7");
+  sys->machine().write64(dva + kernel::DentryLayout::kOp * kWordSize,
+                         0x4007'0000);  // rootkit vtable
+
+  // --- Attack 2: escalate the web worker to root --------------------------
+  k.sys_setuid(33);  // www-data
+  const VirtAddr cred = k.procs().current().cred;
+  sys->machine().write64(cred + kernel::CredLayout::kUid * kWordSize, 0);
+  sys->machine().write64(
+      cred + kernel::CredLayout::kCapEffective * kWordSize, ~u64{0});
+
+  RunOutcome out;
+  out.events = monitor.stats().events_total;
+  out.alerts = monitor.alerts().size();
+  out.us = sys->us_since(t0);
+  if (granularity == secapps::Granularity::kSensitiveFields) {
+    for (const secapps::Alert& a : monitor.alerts()) {
+      std::printf("  ALERT [%s] %s\n",
+                  a.kind == kernel::ObjectKind::kCred ? "cred" : "dentry",
+                  a.reason.c_str());
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("scenario: 64 files created, 256 cached lookups, then a\n");
+  std::printf("file-hiding dentry hook and a cred escalation.\n\n");
+
+  std::printf("word-granularity monitor (Hypernel):\n");
+  const RunOutcome word = run_scenario(secapps::Granularity::kSensitiveFields);
+
+  std::printf("\nwhole-object monitor (page-granularity equivalent):\n");
+  const RunOutcome page = run_scenario(secapps::Granularity::kWholeObject);
+
+  std::printf("\n%-34s %14s %10s %12s\n", "", "events handled", "alerts",
+              "runtime(us)");
+  std::printf("%-34s %14llu %10llu %12.1f\n", "word-granularity (sensitive)",
+              (unsigned long long)word.events, (unsigned long long)word.alerts,
+              word.us);
+  std::printf("%-34s %14llu %10llu %12.1f\n", "whole-object (page-gran est.)",
+              (unsigned long long)page.events, (unsigned long long)page.alerts,
+              page.us);
+  std::printf(
+      "\nboth catch the attacks; word granularity needed %.1f%% of the "
+      "monitoring interrupts (paper reports ~6.2%% across Table 2)\n",
+      100.0 * word.events / page.events);
+  return word.alerts >= 2 ? 0 : 1;
+}

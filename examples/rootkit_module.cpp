@@ -1,0 +1,101 @@
+// Loadable-module attack surface (§1's "buggy device drivers"):
+//
+//   1. a benign driver loads; its text seals RX through Hypersec;
+//   2. a rootkit with arbitrary kernel write tries to patch the sealed
+//      driver in place — the write faults (text is read-only at EL1);
+//   3. it tries to remap the driver text writable via the page-table
+//      interface — denied (no writable alias of sealed text);
+//   4. it tries to "unseal" the kernel image as if it were a module —
+//      denied outright;
+//   5. it loads as a module of its own (the classic LKM rootkit) and
+//      hooks a victim dentry's ops vtable at its text — the module loads
+//      (kernel extensibility is preserved!) but the hooking write is a
+//      monitored sensitive-word write, and the detector fires.
+//
+//   $ ./examples/example_rootkit_module
+#include <cstdio>
+
+#include "common/hvc_abi.h"
+#include "hypernel/system.h"
+#include "kernel/layout.h"
+#include "kernel/modules.h"
+#include "kernel/objects.h"
+#include "kernel/vfs.h"
+#include "secapps/rootkit_detector.h"
+
+using namespace hn;
+
+int main() {
+  hypernel::SystemConfig cfg;
+  cfg.mode = hypernel::Mode::kHypernel;
+  auto sys = hypernel::System::create(cfg).value();
+  kernel::Kernel& k = sys->kernel();
+  secapps::RootkitDetector detector(*sys);
+  if (!detector.install().ok()) return 1;
+
+  // 1. A benign driver.
+  kernel::ModuleImage driver;
+  driver.name = "e1000";
+  for (u64 i = 0; i < 32; ++i) driver.text_words.push_back(0xD21E'0000 + i);
+  driver.data_words = {0, 0, 0, 0};
+  auto mod = k.sys_insmod(driver);
+  if (!mod.ok()) return 1;
+  std::printf("driver '%s' loaded: text @%#llx (%llu page[s], sealed RX)\n",
+              mod.value().name.c_str(),
+              (unsigned long long)mod.value().text_va,
+              (unsigned long long)mod.value().text_pages);
+  std::printf("hook 3 dispatches to %#llx\n",
+              (unsigned long long)k.sys_module_call("e1000", 3).value());
+
+  // 2. Patch the sealed driver in place.
+  const bool patched =
+      sys->machine().write64(mod.value().text_va + 3 * 8, 0xEE71).ok;
+  std::printf("\n[attack] in-place patch of driver text: %s\n",
+              patched ? "SUCCEEDED (bad!)" : "faulted (text is RO)");
+
+  // 3. Remap the driver text writable through the PT interface.
+  Result<PhysAddr> root = k.kpt().alloc_user_root();
+  const bool aliased =
+      root.ok() && k.kpt()
+                       .map_page(root.value(), 0x400000,
+                                 kernel::virt_to_phys(mod.value().text_va),
+                                 sim::PageAttrs{.write = true, .user = true})
+                       .ok();
+  std::printf("[attack] writable alias of driver text: %s\n",
+              aliased ? "SUCCEEDED (bad!)" : "denied by Hypersec");
+
+  // 4. "Unseal" the kernel image.
+  const u64 unseal =
+      sys->machine().hvc(hvc::kModuleUnseal, {kernel::kTextBase, 4});
+  std::printf("[attack] unseal kernel text as module: %s\n",
+              unseal == hvc::kOk ? "SUCCEEDED (bad!)" : "denied by Hypersec");
+
+  // 5. The LKM rootkit: loads legitimately, then hooks a dentry.
+  if (!k.sys_creat("/etc-passwd").ok()) return 1;
+  const VirtAddr victim =
+      k.vfs().cached_dentry(k.vfs().root_ino(), "etc-passwd");
+  kernel::ModuleImage rk;
+  rk.name = "diag_helper";  // of course it has an innocuous name
+  for (u64 i = 0; i < 8; ++i) rk.text_words.push_back(0x400C'0000 + i);
+  auto rkmod = k.sys_insmod(rk);
+  if (!rkmod.ok()) return 1;
+  std::printf("\nrootkit module '%s' loaded (extensibility preserved)\n",
+              rkmod.value().name.c_str());
+  const size_t alerts_before = detector.alerts().size();
+  sys->machine().write64(victim + kernel::DentryLayout::kOp * 8,
+                         rkmod.value().text_va);  // d_op -> rootkit text
+  std::printf("[attack] dentry ops hooked at module text: %s\n",
+              detector.alerts().size() > alerts_before
+                  ? "DETECTED by the word-granularity monitor"
+                  : "missed (bad!)");
+  for (size_t i = alerts_before; i < detector.alerts().size(); ++i) {
+    std::printf("  ALERT: %s\n", detector.alerts()[i].reason.c_str());
+  }
+
+  const bool ok = !patched && !aliased && unseal != hvc::kOk &&
+                  detector.detected_dentry_tampering();
+  std::printf("\nsummary: %s\n",
+              ok ? "all module-surface attacks contained"
+                 : "containment FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,30 @@
+// Small bit-manipulation helpers used by page-table descriptors and the
+// MBM bitmap logic.
+#pragma once
+
+#include <bit>
+
+#include "common/types.h"
+
+namespace hn {
+
+/// Extract bits [lo, hi] (inclusive) of v.
+constexpr u64 bits(u64 v, unsigned hi, unsigned lo) {
+  return (v >> lo) & ((u64{1} << (hi - lo + 1)) - 1);
+}
+
+/// Set bits [lo, hi] (inclusive) of v to field.
+constexpr u64 set_bits(u64 v, unsigned hi, unsigned lo, u64 field) {
+  const u64 mask = ((u64{1} << (hi - lo + 1)) - 1) << lo;
+  return (v & ~mask) | ((field << lo) & mask);
+}
+
+constexpr bool bit(u64 v, unsigned n) { return (v >> n) & 1; }
+constexpr u64 with_bit(u64 v, unsigned n, bool on) {
+  return on ? (v | (u64{1} << n)) : (v & ~(u64{1} << n));
+}
+
+constexpr bool is_pow2(u64 v) { return v != 0 && (v & (v - 1)) == 0; }
+constexpr u64 log2_floor(u64 v) { return 63 - std::countl_zero(v); }
+
+}  // namespace hn

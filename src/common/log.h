@@ -1,0 +1,38 @@
+// Minimal leveled logger.  Deliberately not thread-aware: the simulation is
+// single-threaded by design (determinism requirement, DESIGN.md §3.5).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace hn {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log threshold; messages below it are suppressed.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, const char* tag, const std::string& msg);
+}
+
+template <typename... Args>
+void log_at(LogLevel level, const char* tag, const char* fmt, Args&&... args) {
+  if (level < log_level()) return;
+  if constexpr (sizeof...(Args) == 0) {
+    detail::log_line(level, tag, fmt);
+  } else {
+    char buf[512];
+    std::snprintf(buf, sizeof(buf), fmt, std::forward<Args>(args)...);
+    detail::log_line(level, tag, buf);
+  }
+}
+
+#define HN_LOG_TRACE(tag, ...) ::hn::log_at(::hn::LogLevel::kTrace, tag, __VA_ARGS__)
+#define HN_LOG_DEBUG(tag, ...) ::hn::log_at(::hn::LogLevel::kDebug, tag, __VA_ARGS__)
+#define HN_LOG_INFO(tag, ...) ::hn::log_at(::hn::LogLevel::kInfo, tag, __VA_ARGS__)
+#define HN_LOG_WARN(tag, ...) ::hn::log_at(::hn::LogLevel::kWarn, tag, __VA_ARGS__)
+#define HN_LOG_ERROR(tag, ...) ::hn::log_at(::hn::LogLevel::kError, tag, __VA_ARGS__)
+
+}  // namespace hn

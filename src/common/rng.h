@@ -1,0 +1,40 @@
+// Deterministic pseudo-random number generation.  All stochastic behaviour
+// in workloads draws from an explicitly seeded SplitMix64 so identical runs
+// reproduce identical tables (DESIGN.md §3.5).
+#pragma once
+
+#include "common/types.h"
+
+namespace hn {
+
+/// SplitMix64: tiny, fast, and statistically adequate for workload shaping.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(u64 seed) : state_(seed) {}
+
+  u64 next() {
+    u64 z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound); bound must be nonzero.
+  u64 next_below(u64 bound) { return next() % bound; }
+
+  /// Uniform in [lo, hi] inclusive.
+  u64 next_in(u64 lo, u64 hi) { return lo + next_below(hi - lo + 1); }
+
+  /// Bernoulli trial with probability numer/denom.
+  bool chance(u64 numer, u64 denom) { return next_below(denom) < numer; }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  u64 state_;
+};
+
+}  // namespace hn

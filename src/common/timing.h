@@ -1,0 +1,88 @@
+// Central timing model for the simulated machine.
+//
+// Every cycle constant used anywhere in the simulation lives here
+// (DESIGN.md §3.4).  The defaults model the Cortex-A57 big core of the
+// Juno r1 platform at 1.15 GHz, calibrated so that the *Native*
+// configuration lands near the paper's Table 1 values; the KVM-guest and
+// Hypernel deltas then emerge from mechanism (stage-2 walk nesting, traps,
+// hypercalls) rather than per-benchmark tuning.
+#pragma once
+
+#include "common/types.h"
+
+namespace hn {
+
+struct TimingModel {
+  /// Core clock of the Cortex-A57 big cluster on Juno r1 (§6).
+  double cpu_ghz = 1.15;
+
+  // --- Memory hierarchy -------------------------------------------------
+  /// L1 data cache hit latency.
+  Cycles l1_hit = 2;
+  /// L1 miss serviced from DRAM (line fill).
+  Cycles l1_miss_fill = 140;
+  /// Extra cost of evicting a dirty line (write-back to DRAM is
+  /// posted; small stall for the victim buffer).
+  Cycles dirty_writeback = 12;
+  /// A device / non-cacheable word access that must reach the bus.
+  Cycles noncacheable_access = 170;
+  /// Full-line write allocation (streaming store): the line is claimed
+  /// without fetching its old contents from DRAM.
+  Cycles write_stream_alloc = 6;
+  /// Cost of one translation-table descriptor fetch.  The A57's hardware
+  /// walker has walk caches and hits the 2 MiB L2 for descriptor lines, so
+  /// we model a flat L2-resident fetch rather than routing walks through
+  /// the (small) L1 model.
+  Cycles pt_fetch = 8;
+
+  // --- Architectural events ---------------------------------------------
+  /// SVC (syscall) entry to EL1, and the matching ERET.
+  Cycles svc_entry = 70;
+  Cycles svc_exit = 70;
+  /// HVC round trip EL1 -> EL2 -> EL1 including minimal EL2 prologue
+  /// (Hypersec hypercall path, §5.2.1).
+  Cycles hvc_roundtrip = 460;
+  /// A trapped system-register write (HCR_EL2.TVM) round trip (§5.2.2).
+  Cycles sysreg_trap = 350;
+  /// Asynchronous interrupt delivery to the EL2 vector (MBM IRQ, §5.3).
+  Cycles irq_delivery = 320;
+  /// TLB invalidate instruction (TLBI VAE1 analogue).
+  Cycles tlbi = 15;
+  /// Extra cost of a guest TLBI: VMID-tagged DVM broadcast completion
+  /// under stage-2 translation is substantially slower than native.
+  Cycles tlbi_guest_extra = 250;
+  /// Kernel-internal task switch (register save/restore, runqueue ops);
+  /// the TTBR0 write it performs is charged separately so that the TVM
+  /// trap cost appears only under Hypernel.
+  Cycles context_switch = 900;
+
+  // --- KVM baseline (nested paging) ---------------------------------------
+  /// Full VM exit to the host hypervisor and the matching re-entry
+  /// (KVM/ARM 3.10-era world switch, no VHE).
+  Cycles vm_exit = 800;
+  Cycles vm_entry = 700;
+  /// Hypervisor-side work to service one stage-2 translation fault
+  /// (allocate/maps the backing page), excluding the exit/entry cost.
+  Cycles stage2_fault_service = 2000;
+  /// Hypervisor-side work to emulate one write to a stage-2
+  /// write-protected page (page-granularity monitoring).
+  Cycles stage2_wp_emulate = 700;
+
+  // --- MBM (hardware monitor, Fig. 5) -------------------------------------
+  /// MBM internal cycles to process one snooped write (bitmap translate +
+  /// decision); the MBM runs concurrently with the CPU, so this bounds
+  /// FIFO drain rate rather than charging the CPU.
+  Cycles mbm_event_process = 12;
+  /// MBM bitmap fetch from main memory on a bitmap-cache miss.
+  Cycles mbm_bitmap_fetch = 140;
+
+  // --- Conversions ---------------------------------------------------------
+  [[nodiscard]] double cycles_to_us(Cycles c) const {
+    return static_cast<double>(c) / (cpu_ghz * 1000.0);
+  }
+  [[nodiscard]] Cycles us_to_cycles(double us) const {
+    return static_cast<Cycles>(us * cpu_ghz * 1000.0);
+  }
+};
+
+}  // namespace hn

@@ -1,0 +1,58 @@
+// Fundamental type aliases and address-space constants shared by every
+// Hypernel module.  The simulated machine is a 64-bit AArch64-like target
+// with 4 KiB translation granules and a 48-bit virtual address space.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hn {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Physical address within the simulated machine's memory map.
+using PhysAddr = u64;
+/// Virtual address as seen by EL0/EL1 (stage-1 input) or EL2.
+using VirtAddr = u64;
+/// Intermediate physical address (stage-1 output / stage-2 input).
+using IpaAddr = u64;
+/// Simulated CPU cycles.
+using Cycles = u64;
+
+inline constexpr u64 kPageShift = 12;
+inline constexpr u64 kPageSize = u64{1} << kPageShift;  // 4 KiB granule
+inline constexpr u64 kPageMask = kPageSize - 1;
+inline constexpr u64 kSectionShift = 21;
+inline constexpr u64 kSectionSize = u64{1} << kSectionShift;  // 2 MiB section
+inline constexpr u64 kSectionMask = kSectionSize - 1;
+inline constexpr u64 kWordSize = 8;  // MBM monitoring granule: one 64-bit word
+inline constexpr u64 kCacheLineSize = 64;
+
+/// Virtual address bits resolved by the 4-level walk (48-bit VA space).
+inline constexpr unsigned kVaBits = 48;
+/// Entries per translation table (4 KiB / 8-byte descriptors).
+inline constexpr u64 kPtEntries = 512;
+
+/// Kernel virtual addresses live in the upper half (TTBR1 region); user
+/// addresses in the lower half (TTBR0 region), mirroring AArch64 Linux.
+inline constexpr VirtAddr kKernelVaBase = 0xFFFF'0000'0000'0000ull;
+
+constexpr u64 page_align_down(u64 a) { return a & ~kPageMask; }
+constexpr u64 page_align_up(u64 a) { return (a + kPageMask) & ~kPageMask; }
+constexpr bool is_page_aligned(u64 a) { return (a & kPageMask) == 0; }
+constexpr u64 word_align_down(u64 a) { return a & ~(kWordSize - 1); }
+constexpr bool is_word_aligned(u64 a) { return (a & (kWordSize - 1)) == 0; }
+
+/// True if [a, a+len) overlaps [b, b+blen).  Callers guarantee no wraparound.
+constexpr bool ranges_overlap(u64 a, u64 alen, u64 b, u64 blen) {
+  return a < b + blen && b < a + alen;
+}
+
+}  // namespace hn

@@ -1,0 +1,100 @@
+#include "hypernel/system.h"
+
+#include "mbm/bitmap_math.h"
+
+namespace hn::hypernel {
+
+System::~System() = default;
+
+Result<std::unique_ptr<System>> System::create(const SystemConfig& config) {
+  std::unique_ptr<System> sys(new System(config));
+  if (Status s = sys->build(); !s.ok()) return s;
+  return sys;
+}
+
+Status System::build() {
+  machine_ = std::make_unique<sim::Machine>(config_.machine);
+
+  // The MBM is standard under Hypernel; a Native system may also carry it
+  // (without Hypersec) to reproduce the bare external-monitor baseline and
+  // its ATRA weakness (§2, [15]).
+  const bool want_mbm =
+      config_.enable_mbm && config_.mode != Mode::kKvmGuest;
+
+  kernel::KernelConfig kcfg = config_.kernel;
+  if (kcfg.linear_limit == 0) {
+    // A pure native kernel keeps all of DRAM; KVM reserves the top for the
+    // host (stage-2 tables); Hypernel — and any system carrying the MBM —
+    // reserves it as the secure space (§5.2).
+    kcfg.linear_limit = (config_.mode == Mode::kNative && !want_mbm)
+                            ? machine_->phys().size()
+                            : machine_->secure_base();
+  }
+  kernel_ = std::make_unique<kernel::Kernel>(*machine_, kcfg);
+
+  if (config_.mode == Mode::kKvmGuest) {
+    kvm_ = std::make_unique<kvm::KvmHypervisor>(*machine_, *kernel_,
+                                                config_.kvm);
+    if (Status s = kvm_->init(); !s.ok()) return s;
+  }
+
+  if (Status s = kernel_->boot(); !s.ok()) return s;
+
+  if (want_mbm) {
+    // Secure-space layout: [bitmap][event ring][Hypersec stack/data].
+    mbm::MbmConfig mcfg;
+    mcfg.watch_base = 0;
+    mcfg.watch_size = machine_->secure_base();
+    mcfg.bitmap_base = machine_->secure_base();
+    mcfg.ring_base = page_align_up(mcfg.bitmap_base +
+                                   mbm::bitmap_bytes_for(mcfg.watch_size));
+    mcfg.ring_entries = config_.mbm_ring_entries;
+    mcfg.fifo_depth = config_.mbm_fifo_depth;
+    mcfg.bitmap_cache_entries = config_.mbm_bitmap_cache_entries;
+    mcfg.bitmap_cache_enabled = config_.mbm_bitmap_cache_enabled;
+    const u64 ring_end =
+        mcfg.ring_base + mcfg.ring_entries * mbm::kRingEntryBytes;
+    if (ring_end > machine_->phys().size()) {
+      return Status::Invalid("secure space too small for MBM structures");
+    }
+    mbm_ = std::make_unique<mbm::MemoryBusMonitor>(*machine_, mcfg);
+  }
+
+  if (config_.mode == Mode::kHypernel) {
+    hypersec_ = std::make_unique<hypersec::Hypersec>(
+        *machine_, *kernel_, mbm_.get(), config_.hypersec);
+    if (Status s = hypersec_->init(); !s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+Status System::register_security_app(hypersec::SecurityApp& app) {
+  if (hypersec_ == nullptr) {
+    return Status::Precondition(
+        "security applications require the Hypernel configuration");
+  }
+  hypersec_->register_app(app);
+  return Status::Ok();
+}
+
+System::Snapshot System::snapshot() const {
+  Snapshot s;
+  s.cycles = machine_->account().cycles();
+  s.counters = machine_->account().counters();
+  return s;
+}
+
+double System::us_since(const Snapshot& s) const {
+  return machine_->timing().cycles_to_us(machine_->account().cycles() -
+                                         s.cycles);
+}
+
+Cycles System::cycles_since(const Snapshot& s) const {
+  return machine_->account().cycles() - s.cycles;
+}
+
+sim::Counters System::counters_since(const Snapshot& s) const {
+  return machine_->account().counters().delta(s.counters);
+}
+
+}  // namespace hn::hypernel

@@ -1,0 +1,128 @@
+// Hypersec: the software half of Hypernel (§5.1-§5.2, §6.1).
+//
+// Runs at EL2 and provides security applications with an isolated
+// execution environment *without nested paging*: instead of a stage-2
+// table it (a) verifies every kernel page-table update delivered by
+// hypercall, keeping table pages read-only at EL1 and the secure space
+// unmapped, and (b) traps privileged virtual-memory register writes
+// (HCR_EL2.TVM) so the kernel cannot swap in a rogue translation regime.
+// With the MBM attached it also implements the word-granularity kernel
+// monitoring workflow of Fig. 4.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "hypersec/mbm_driver.h"
+#include "hypersec/pt_verifier.h"
+#include "hypersec/security_app.h"
+#include "kernel/kernel.h"
+#include "mbm/monitor.h"
+#include "sim/iommu.h"
+#include "sim/machine.h"
+
+namespace hn::hypersec {
+
+struct HypersecStats {
+  u64 pt_write_calls = 0;
+  u64 pt_write_denials = 0;
+  u64 pt_allocs = 0;
+  u64 pt_frees = 0;
+  u64 root_registrations = 0;
+  u64 ttbr_traps = 0;
+  u64 trap_denials = 0;
+  u64 mon_registers = 0;
+  u64 mon_unregisters = 0;
+  u64 mbm_irq_calls = 0;
+  u64 events_dispatched = 0;
+};
+
+struct HypersecConfig {
+  /// EL2 cycles of verification work per hypercall / trap.
+  Cycles verify_cost = 80;
+  /// Remap monitored pages non-cacheable so every write reaches the bus
+  /// (§5.3).  Disable ONLY for the cacheability ablation: with normal
+  /// cacheable mappings the MBM sees write-backs at best.
+  bool mbm_noncacheable_remap = true;
+};
+
+class Hypersec {
+ public:
+  /// `mbm` may be null: the isolation half works without the monitor
+  /// (the configuration of §7.1's performance experiments).
+  Hypersec(sim::Machine& machine, kernel::Kernel& kernel,
+           mbm::MemoryBusMonitor* mbm, const HypersecConfig& config = {});
+  /// Detach the EL2 vectors that capture `this`.
+  ~Hypersec();
+
+  Hypersec(const Hypersec&) = delete;
+  Hypersec& operator=(const Hypersec&) = delete;
+
+  /// §6.1 boot: EL2 control registers, exception vectors, TVM; inventory
+  /// and lock the kernel's existing page tables; switch the kernel to
+  /// hypercall PT writes.  Requires the 4 KiB-page kernel (§6.2): returns
+  /// an error on a section-mapped kernel, where per-page RO enforcement
+  /// would hit the protection-granularity gap.
+  Status init();
+
+  void register_app(SecurityApp& app);
+  /// Ask the app to register its regions through the kernel hook path.
+  [[nodiscard]] bool has_app(u64 sid) const { return apps_.contains(sid); }
+
+  /// §8: program the IOMMU so that no device stream can reach the secure
+  /// space — each listed stream gets exactly one window covering normal
+  /// DRAM.  Call after init().
+  Status enable_dma_protection(sim::Iommu& iommu,
+                               std::span<const u32> streams);
+
+  /// Full audit of the protection invariants (used by the property tests
+  /// after attack storms).  Returns human-readable violations; empty means
+  /// every invariant holds:
+  ///   1. every registered PT page is mapped read-only at EL1,
+  ///   2. no mapping reachable from any registered root touches the
+  ///      secure space,
+  ///   3. W^X holds over every reachable leaf,
+  ///   4. TTBR1_EL1 still names the sealed kernel root.
+  [[nodiscard]] std::vector<std::string> audit() const;
+
+  PtVerifier& verifier() { return verifier_; }
+  MbmDriver* mbm_driver() { return driver_.get(); }
+  [[nodiscard]] const HypersecStats& stats() const { return stats_; }
+  [[nodiscard]] bool initialized() const { return initialized_; }
+
+  /// Approximate source size of the EL2 component, reported for parity
+  /// with the paper's "~1.5 KLoC" TCB argument (§8).
+  static constexpr unsigned kApproxSloc = 1500;
+
+ private:
+  u64 handle_hvc(u64 func, std::span<const u64> args);
+  sim::TrapVerdict handle_sysreg_trap(sim::SysReg reg, u64 value);
+  /// Flip the EL1 linear-map write permission of the page frame at `pa`
+  /// by editing the kernel's leaf descriptor directly at EL2.
+  bool set_linear_writable(PhysAddr pa, bool writable);
+
+  u64 do_pt_write(std::span<const u64> args);
+  u64 do_pt_alloc(std::span<const u64> args);
+  u64 do_pt_free(std::span<const u64> args);
+  u64 do_mon_register(std::span<const u64> args);
+  u64 do_mon_unregister(std::span<const u64> args);
+  u64 do_module_seal(std::span<const u64> args, bool seal);
+  u64 do_mbm_irq();
+
+  sim::Machine& machine_;
+  kernel::Kernel& kernel_;
+  mbm::MemoryBusMonitor* mbm_;
+  HypersecConfig config_;
+  PtVerifier verifier_;
+  std::unique_ptr<MbmDriver> driver_;
+  std::map<u64, SecurityApp*> apps_;
+  HypersecStats stats_;
+  bool initialized_ = false;
+};
+
+}  // namespace hn::hypersec

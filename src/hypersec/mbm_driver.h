@@ -1,0 +1,73 @@
+// Hypersec's driver for the Memory Bus Monitor (§5.3, Fig. 4).
+//
+// Registration path (green, steps 1-2): translate the kernel VA of the
+// monitored region to PA at EL2, set the word-granularity bitmap bits via
+// non-cacheable writes (so the MBM's bitmap cache observes the update),
+// and flip the containing kernel page to non-cacheable so every write to
+// it reaches the bus.
+//
+// Event path (red, steps 7-8): drain the event ring buffer from the MBM
+// interrupt and dispatch each (address, value) record to the owning
+// security application.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "hypersec/security_app.h"
+#include "kernel/kernel.h"
+#include "mbm/monitor.h"
+#include "sim/machine.h"
+
+namespace hn::hypersec {
+
+class MbmDriver {
+ public:
+  MbmDriver(sim::Machine& machine, kernel::Kernel& kernel,
+            mbm::MemoryBusMonitor& mbm, bool noncacheable_remap = true)
+      : machine_(machine), kernel_(kernel), mbm_(mbm),
+        noncacheable_remap_(noncacheable_remap) {}
+
+  /// §5.3 steps 1-2.  `va`/`size` must be word aligned; the region must be
+  /// in the kernel linear map.
+  Status register_region(u64 sid, VirtAddr va, u64 size);
+  Status unregister_region(u64 sid, VirtAddr va, u64 size);
+
+  /// §5.3 steps 7-8: drain the ring, dispatching each event.  Returns the
+  /// number of events delivered.
+  u64 drain(const std::function<void(const mbm::MonitorEvent&,
+                                     const RegionInfo&)>& dispatch);
+
+  [[nodiscard]] u64 regions() const { return regions_.size(); }
+  [[nodiscard]] u64 events_delivered() const { return events_delivered_; }
+  [[nodiscard]] u64 unattributed_events() const { return unattributed_; }
+  /// Pages currently forced non-cacheable for monitoring.
+  [[nodiscard]] u64 noncacheable_pages() const { return nc_refs_.size(); }
+
+  /// EL2 software walk of the kernel stage-1 tree (exposed for Hypersec's
+  /// own page-protection edits and for tests).
+  struct El2Walk {
+    bool ok = false;
+    PhysAddr pa = 0;       // translated address
+    PhysAddr desc_pa = 0;  // location of the leaf descriptor
+    u64 desc = 0;
+  };
+  El2Walk el2_walk(VirtAddr va);
+
+ private:
+  void set_bits(PhysAddr pa, u64 size, bool on);
+  Status set_page_cacheable(VirtAddr page_va, bool cacheable);
+
+  sim::Machine& machine_;
+  kernel::Kernel& kernel_;
+  mbm::MemoryBusMonitor& mbm_;
+  bool noncacheable_remap_;
+  std::map<PhysAddr, RegionInfo> regions_;  // keyed by pa_base
+  std::map<PhysAddr, u32> nc_refs_;         // page PA -> monitoring regions on it
+  u64 events_delivered_ = 0;
+  u64 unattributed_ = 0;
+};
+
+}  // namespace hn::hypersec

@@ -1,0 +1,86 @@
+#include "hypersec/pt_verifier.h"
+
+namespace hn::hypersec {
+
+Verdict PtVerifier::check_pt_write(PhysAddr table_pa, unsigned index,
+                                   u64 desc) {
+  ++stats_.checked;
+  (void)index;
+
+  // Writes may only target registered translation-table pages: a request
+  // naming any other page would turn Hypersec into a write oracle.
+  const int level = pt_level(table_pa);
+  if (level < 0) {
+    ++stats_.denied_not_pt_page;
+    return Verdict::kDeny;
+  }
+
+  // The kernel linear map is sealed at boot; runtime edits of its tables
+  // are how an ATRA-style relocation would be staged.
+  if (is_kernel_tree(table_pa)) {
+    ++stats_.denied_kernel_tree;
+    return Verdict::kDeny;
+  }
+
+  if (!sim::desc_valid(desc)) return Verdict::kAllow;  // unmap: always fine
+
+  const PhysAddr out = sim::desc_out_addr(desc);
+
+  // §5.2.1: the secure space stays unmappable — as a leaf (direct access)
+  // and as a table (the walker would treat secure memory as descriptors).
+  if (machine_.in_secure_space(out, kPageSize)) {
+    ++stats_.denied_secure_map;
+    return Verdict::kDeny;
+  }
+
+  const bool bit1 = bit(desc, sim::kDescTable);
+  if (level <= 2 && bit1) {
+    // Table descriptor: must reference a registered table page of the
+    // next level, or the kernel could splice attacker-crafted descriptor
+    // pages into the walk.
+    if (pt_level(out) != level + 1) {
+      ++stats_.denied_bad_table;
+      return Verdict::kDeny;
+    }
+    return Verdict::kAllow;
+  }
+
+  // Leaf descriptor: 4 KiB page at level 3, or 2 MiB block at level 2.
+  if (level == 3 && !bit1) {
+    ++stats_.denied_bad_encoding;  // reserved encoding; walker would fault
+    return Verdict::kDeny;
+  }
+  if (level < 2) {
+    ++stats_.denied_bad_encoding;  // 1 GiB+ blocks unsupported in this model
+    return Verdict::kDeny;
+  }
+  const u64 span = sim::level_span(static_cast<unsigned>(level));
+
+  const sim::PageAttrs attrs = sim::decode_attrs(desc);
+
+  // W^X over the kernel space (§5.2.1).
+  if (attrs.write && attrs.exec) {
+    ++stats_.denied_wx;
+    return Verdict::kDeny;
+  }
+
+  if (attrs.write) {
+    // No writable alias of any table page or of sealed module text...
+    for (PhysAddr p = out; p < out + span; p += kPageSize) {
+      if (is_pt_page(p) || is_module_text(p)) {
+        ++stats_.denied_pt_writable;
+        return Verdict::kDeny;
+      }
+    }
+    // ...nor of kernel text or rodata.
+    if (ranges_overlap(out, span, text_base_, text_size_) ||
+        ranges_overlap(out, span, rodata_base_, rodata_size_)) {
+      ++stats_.denied_text_writable;
+      return Verdict::kDeny;
+    }
+  }
+
+  return Verdict::kAllow;
+}
+
+}  // namespace hn::hypersec

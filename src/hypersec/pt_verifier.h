@@ -1,0 +1,110 @@
+// Hypersec's page-table write verifier (§5.2.1).
+//
+// Maintains an inventory of translation-table pages (with their walk
+// level) and enforces, on every requested descriptor write:
+//   * writes only target registered table pages,
+//   * table descriptors only point at registered next-level table pages,
+//   * the secure space is never mapped (neither as data nor as a table),
+//   * W^X over kernel mappings,
+//   * page-table pages and kernel text/rodata are never mapped writable,
+//   * unmap (zero descriptor) is always allowed.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "common/types.h"
+#include "sim/machine.h"
+#include "sim/pagetable.h"
+
+namespace hn::hypersec {
+
+enum class Verdict : u8 { kAllow, kDeny };
+
+struct VerifierStats {
+  u64 checked = 0;
+  u64 denied_not_pt_page = 0;    // target page is not a registered table
+  u64 denied_kernel_tree = 0;    // runtime edit of the immutable kernel tree
+  u64 denied_secure_map = 0;     // descriptor output in the secure space
+  u64 denied_bad_table = 0;      // table desc to a non-table / wrong level
+  u64 denied_bad_encoding = 0;   // block/page encoding at an illegal level
+  u64 denied_wx = 0;             // writable+executable mapping
+  u64 denied_pt_writable = 0;    // writable alias of a table page
+  u64 denied_text_writable = 0;  // writable alias of text/rodata
+
+  [[nodiscard]] u64 denied_total() const {
+    return denied_not_pt_page + denied_kernel_tree + denied_secure_map +
+           denied_bad_table + denied_bad_encoding + denied_wx +
+           denied_pt_writable + denied_text_writable;
+  }
+};
+
+class PtVerifier {
+ public:
+  PtVerifier(sim::Machine& machine, PhysAddr text_base, u64 text_size,
+             PhysAddr rodata_base, u64 rodata_size)
+      : machine_(machine), text_base_(text_base), text_size_(text_size),
+        rodata_base_(rodata_base), rodata_size_(rodata_size) {}
+
+  // --- Inventory -------------------------------------------------------------
+  void add_pt_page(PhysAddr pa, unsigned level) {
+    pt_pages_[page_align_down(pa)] = level;
+  }
+  void remove_pt_page(PhysAddr pa) { pt_pages_.erase(page_align_down(pa)); }
+  [[nodiscard]] bool is_pt_page(PhysAddr pa) const {
+    return pt_pages_.contains(page_align_down(pa));
+  }
+  [[nodiscard]] int pt_level(PhysAddr pa) const {
+    auto it = pt_pages_.find(page_align_down(pa));
+    return it == pt_pages_.end() ? -1 : static_cast<int>(it->second);
+  }
+  /// The kernel-half (TTBR1) tree is immutable at runtime: the linear map
+  /// never changes after boot, so any kernel-requested edit of its tables
+  /// is an attack (e.g. relocating a monitored object's mapping — the
+  /// ATRA pattern [15]).  Only Hypersec itself edits these at EL2.
+  void mark_kernel_tree(PhysAddr pa) {
+    kernel_tree_.insert(page_align_down(pa));
+  }
+  [[nodiscard]] bool is_kernel_tree(PhysAddr pa) const {
+    return kernel_tree_.contains(page_align_down(pa));
+  }
+
+  /// Sealed module text pages: executable, therefore never writable again
+  /// through any alias while sealed.
+  void add_module_text(PhysAddr pa) { module_text_.insert(page_align_down(pa)); }
+  void remove_module_text(PhysAddr pa) {
+    module_text_.erase(page_align_down(pa));
+  }
+  [[nodiscard]] bool is_module_text(PhysAddr pa) const {
+    return module_text_.contains(page_align_down(pa));
+  }
+
+  void add_user_root(PhysAddr pa) { user_roots_.insert(pa); }
+  void remove_user_root(PhysAddr pa) { user_roots_.erase(pa); }
+  [[nodiscard]] bool is_user_root(PhysAddr pa) const {
+    return user_roots_.contains(pa);
+  }
+  void set_kernel_root(PhysAddr pa) { kernel_root_ = pa; }
+  [[nodiscard]] PhysAddr kernel_root() const { return kernel_root_; }
+
+  /// Check a requested write of `desc` into the table page at `table_pa`.
+  Verdict check_pt_write(PhysAddr table_pa, unsigned index, u64 desc);
+
+  [[nodiscard]] const VerifierStats& stats() const { return stats_; }
+  [[nodiscard]] u64 pt_page_count() const { return pt_pages_.size(); }
+
+ private:
+  sim::Machine& machine_;
+  PhysAddr text_base_;
+  u64 text_size_;
+  PhysAddr rodata_base_;
+  u64 rodata_size_;
+  PhysAddr kernel_root_ = 0;
+  std::map<PhysAddr, unsigned> pt_pages_;  // table page -> walk level
+  std::set<PhysAddr> kernel_tree_;         // immutable TTBR1 tables
+  std::set<PhysAddr> module_text_;         // sealed RX module pages
+  std::set<PhysAddr> user_roots_;
+  VerifierStats stats_;
+};
+
+}  // namespace hn::hypersec

@@ -1,0 +1,36 @@
+// The security-application interface (§5.1: "security solutions" hosted in
+// the secure space).  Apps run at EL2 under Hypersec's isolation; they
+// register kernel regions for word-granularity monitoring and receive the
+// (address, value) write events the MBM captures.
+#pragma once
+
+#include "common/types.h"
+#include "mbm/event_ring.h"
+
+namespace hn::hypersec {
+
+/// A monitored region as Hypersec tracks it: the kernel VA the app
+/// registered, its resolved PA, and the owning app (SID).
+struct RegionInfo {
+  u64 sid = 0;
+  VirtAddr va_base = 0;
+  PhysAddr pa_base = 0;
+  u64 size = 0;
+};
+
+class SecurityApp {
+ public:
+  virtual ~SecurityApp() = default;
+
+  /// Stable security-application ID (§5.3: the SID hypercall argument).
+  [[nodiscard]] virtual u64 sid() const = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// One monitored write event: called from Hypersec's MBM interrupt
+  /// handler (§5.3 step 8) with the matched region.  The app performs its
+  /// integrity verification here (charging EL2 cycles as it works).
+  virtual void on_write_event(const mbm::MonitorEvent& event,
+                              const RegionInfo& region) = 0;
+};
+
+}  // namespace hn::hypersec

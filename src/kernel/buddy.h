@@ -1,0 +1,67 @@
+// Binary buddy allocator for physical page frames.
+//
+// Manages the normal-DRAM pool between the kernel image and the secure
+// space.  Purely host-side bookkeeping (free lists are metadata a real
+// kernel would keep in struct page); the *frames it hands out* are real
+// simulated memory.  Allocation cost is charged by callers as part of the
+// operation that needs the page.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace hn::kernel {
+
+class BuddyAllocator {
+ public:
+  static constexpr unsigned kMaxOrder = 10;  // up to 4 MiB blocks
+
+  /// Manages page frames in [base, base + size); both page aligned.
+  BuddyAllocator(PhysAddr base, u64 size);
+
+  /// Allocate 2^order contiguous pages.  Returns the frame PA.
+  Result<PhysAddr> alloc_pages(unsigned order);
+  Result<PhysAddr> alloc_page() { return alloc_pages(0); }
+
+  /// Free a block previously returned by alloc_pages with the same order.
+  void free_pages(PhysAddr pa, unsigned order);
+  void free_page(PhysAddr pa) { free_pages(pa, 0); }
+
+  /// Observer of frees (the KVM host-pressure model watches page recycling
+  /// to decide which stage-2 mappings go stale; see DESIGN.md).
+  void set_free_hook(std::function<void(PhysAddr, unsigned)> hook) {
+    free_hook_ = std::move(hook);
+  }
+
+  [[nodiscard]] u64 free_pages_count() const { return free_pages_; }
+  [[nodiscard]] u64 total_pages() const { return total_pages_; }
+  [[nodiscard]] PhysAddr base() const { return base_; }
+  [[nodiscard]] u64 size() const { return total_pages_ * kPageSize; }
+  [[nodiscard]] bool owns(PhysAddr pa) const {
+    return pa >= base_ && pa < base_ + size();
+  }
+
+ private:
+  [[nodiscard]] u64 frame_index(PhysAddr pa) const {
+    return (pa - base_) >> kPageShift;
+  }
+  [[nodiscard]] PhysAddr frame_addr(u64 index) const {
+    return base_ + (index << kPageShift);
+  }
+  /// Remove a specific free block from its order list; true if found.
+  bool take_free_block(u64 index, unsigned order);
+
+  PhysAddr base_;
+  u64 total_pages_;
+  u64 free_pages_ = 0;
+  std::array<std::vector<u64>, kMaxOrder + 1> free_lists_;  // frame indices
+  std::vector<u8> block_order_;  // allocation order per frame (head only)
+  std::vector<bool> allocated_;  // per-frame allocated bit (heads)
+  std::function<void(PhysAddr, unsigned)> free_hook_;
+};
+
+}  // namespace hn::kernel

@@ -1,0 +1,63 @@
+// Pipes and loopback sockets.
+//
+// Both copy payloads through kernel buffer pages in simulated memory, so
+// IPC latency includes real (charged) copies; sockets additionally model
+// protocol-stack work and sk_buff header writes.  Blocking semantics are
+// driven by the caller (the benchmark orchestrates reader/writer task
+// switches, which is where Hypernel's TTBR0 trap cost appears).
+#pragma once
+
+#include <map>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "kernel/buddy.h"
+#include "kernel/costs.h"
+#include "sim/machine.h"
+
+namespace hn::kernel {
+
+class IpcManager {
+ public:
+  IpcManager(sim::Machine& machine, BuddyAllocator& buddy,
+             const KernelCosts& costs)
+      : machine_(machine), buddy_(buddy), costs_(costs) {}
+  ~IpcManager();
+
+  IpcManager(const IpcManager&) = delete;
+  IpcManager& operator=(const IpcManager&) = delete;
+
+  Result<u32> create_pipe();
+  void destroy_pipe(u32 id);
+  /// Copy `len` bytes (word multiple) into / out of the pipe buffer.
+  Status pipe_write(u32 id, const void* data, u64 len);
+  Result<u64> pipe_read(u32 id, void* out, u64 len);
+  [[nodiscard]] u64 pipe_fill(u32 id) const;
+
+  Result<u32> create_socket_pair();
+  void destroy_socket_pair(u32 id);
+  Status socket_send(u32 id, unsigned end, const void* data, u64 len);
+  Result<u64> socket_recv(u32 id, unsigned end, void* out, u64 len);
+
+ private:
+  struct Channel {
+    PhysAddr buf = 0;  // one page
+    u64 fill = 0;
+  };
+  struct SocketPair {
+    Channel dir[2];     // payload rings, one per direction
+    PhysAddr skb = 0;   // shared sk_buff metadata page
+  };
+
+  Status channel_write(Channel& ch, const void* data, u64 len);
+  Result<u64> channel_read(Channel& ch, void* out, u64 len);
+
+  sim::Machine& machine_;
+  BuddyAllocator& buddy_;
+  const KernelCosts& costs_;
+  std::map<u32, Channel> pipes_;
+  std::map<u32, SocketPair> sockets_;
+  u32 next_id_ = 1;
+};
+
+}  // namespace hn::kernel

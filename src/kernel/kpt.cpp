@@ -1,0 +1,247 @@
+#include "kernel/kpt.h"
+
+#include <array>
+#include <cassert>
+
+#include "common/log.h"
+#include "kernel/layout.h"
+
+namespace hn::kernel {
+
+using sim::PageAttrs;
+
+PageTableManager::PageTableManager(sim::Machine& machine, BuddyAllocator& buddy)
+    : machine_(machine), buddy_(buddy), direct_writer_(machine),
+      writer_(&direct_writer_) {}
+
+u64 PageTableManager::read_desc(PhysAddr table_pa, u64 index) {
+  const sim::Access64 r = machine_.read64(phys_to_virt(table_pa + index * 8));
+  assert(r.ok && "page-table pages must stay readable through the linear map");
+  return r.value;
+}
+
+Result<PhysAddr> PageTableManager::alloc_table_page_boot(unsigned level) {
+  Result<PhysAddr> pa = buddy_.alloc_page();
+  if (!pa.ok()) return pa;
+  machine_.phys().zero_range(pa.value(), kPageSize);
+  pt_pages_[pa.value()] = level;
+  return pa;
+}
+
+Result<PhysAddr> PageTableManager::alloc_table_page(unsigned level) {
+  Result<PhysAddr> pa = buddy_.alloc_page();
+  if (!pa.ok()) return pa;
+  // Zero through the linear map (charged, streaming stores), then hand the
+  // page over to the write policy: under Hypernel this is the kPtAlloc
+  // hypercall after which the page is read-only at EL1.
+  static const std::array<u8, kPageSize> kZeros{};
+  machine_.write_block_bulk(phys_to_virt(pa.value()), kZeros.data(), kPageSize);
+  pt_pages_[pa.value()] = level;
+  writer_->on_pt_page_alloc(pa.value(), level);
+  return pa;
+}
+
+Result<PhysAddr> PageTableManager::build_kernel_linear_map(PhysAddr limit,
+                                                           bool use_sections) {
+  assert(kernel_root_ == 0 && "kernel tables already built");
+  Result<PhysAddr> root = alloc_table_page_boot(0);
+  if (!root.ok()) return root;
+  kernel_root_ = root.value();
+
+  auto boot_map_page = [&](VirtAddr va, PhysAddr pa,
+                           const PageAttrs& attrs) -> Status {
+    PhysAddr table = kernel_root_;
+    for (unsigned level = 0; level <= 2; ++level) {
+      const u64 idx = sim::va_index(va, level);
+      const u64 desc = machine_.phys().read64(table + idx * 8);
+      if (!sim::desc_valid(desc)) {
+        Result<PhysAddr> next = alloc_table_page_boot(level + 1);
+        if (!next.ok()) return next.status();
+        machine_.phys().write64(table + idx * 8,
+                                sim::make_table_desc(next.value()));
+        table = next.value();
+      } else {
+        assert(sim::desc_is_table(desc, level));
+        table = sim::desc_out_addr(desc);
+      }
+    }
+    machine_.phys().write64(table + sim::va_index(va, 3) * 8,
+                            sim::make_page_desc(pa, attrs));
+    return Status::Ok();
+  };
+
+  auto boot_map_section = [&](VirtAddr va, PhysAddr pa,
+                              const PageAttrs& attrs) -> Status {
+    PhysAddr table = kernel_root_;
+    for (unsigned level = 0; level <= 1; ++level) {
+      const u64 idx = sim::va_index(va, level);
+      const u64 desc = machine_.phys().read64(table + idx * 8);
+      if (!sim::desc_valid(desc)) {
+        Result<PhysAddr> next = alloc_table_page_boot(level + 1);
+        if (!next.ok()) return next.status();
+        machine_.phys().write64(table + idx * 8,
+                                sim::make_table_desc(next.value()));
+        table = next.value();
+      } else {
+        table = sim::desc_out_addr(desc);
+      }
+    }
+    machine_.phys().write64(table + sim::va_index(va, 2) * 8,
+                            sim::make_block_desc(pa, attrs));
+    return Status::Ok();
+  };
+
+  const PageAttrs text{.write = false, .exec = true, .user = false};
+  const PageAttrs ro{.write = false, .exec = false, .user = false};
+  const PageAttrs rw{.write = true, .exec = false, .user = false};
+
+  if (use_sections) {
+    // Stock-kernel style: the whole image section is one 2 MiB RWX block —
+    // the protection-granularity hazard §6.2 eliminates — and the rest of
+    // the linear region is 2 MiB RW blocks.
+    const PageAttrs rwx{.write = true, .exec = true, .user = false};
+    for (PhysAddr pa = 0; pa < limit; pa += kSectionSize) {
+      const PageAttrs& a = pa < kImageEnd ? rwx : rw;
+      if (Status s = boot_map_section(phys_to_virt(pa), pa, a); !s.ok()) return s;
+    }
+  } else {
+    // Patched-kernel style (§6.2): everything in 4 KiB pages with W^X.
+    for (PhysAddr pa = 0; pa < limit; pa += kPageSize) {
+      const PageAttrs* a = &rw;
+      if (pa < kTextSize) {
+        a = &text;
+      } else if (pa < kRodataBase + kRodataSize) {
+        a = &ro;
+      }
+      if (Status s = boot_map_page(phys_to_virt(pa), pa, *a); !s.ok()) return s;
+    }
+  }
+  return kernel_root_;
+}
+
+Result<PhysAddr> PageTableManager::alloc_user_root() {
+  Result<PhysAddr> root = alloc_table_page(0);
+  if (!root.ok()) return root;
+  writer_->on_root_alloc(root.value());
+  return root;
+}
+
+void PageTableManager::free_user_root(PhysAddr root) {
+  writer_->on_root_free(root);
+  writer_->on_pt_page_free(root);
+  pt_pages_.erase(root);
+  buddy_.free_page(root);
+}
+
+Status PageTableManager::map_page(PhysAddr root, VirtAddr va, PhysAddr pa,
+                                  const PageAttrs& attrs) {
+  PhysAddr table = root;
+  for (unsigned level = 0; level <= 2; ++level) {
+    const u64 idx = sim::va_index(va, level);
+    const u64 desc = read_desc(table, idx);
+    if (!sim::desc_valid(desc)) {
+      Result<PhysAddr> next = alloc_table_page(level + 1);
+      if (!next.ok()) return next.status();
+      if (!writer_->write_desc(table, static_cast<unsigned>(idx),
+                               sim::make_table_desc(next.value()))) {
+        return Status::Denied("pt: table descriptor write rejected");
+      }
+      table = next.value();
+    } else if (sim::desc_is_table(desc, level)) {
+      table = sim::desc_out_addr(desc);
+    } else {
+      return Status::Precondition("pt: block mapping in the way");
+    }
+  }
+  if (!writer_->write_desc(table,
+                           static_cast<unsigned>(sim::va_index(va, 3)),
+                           sim::make_page_desc(pa, attrs))) {
+    return Status::Denied("pt: leaf descriptor write rejected");
+  }
+  machine_.tlb().flush_va(va);
+  machine_.charge_tlbi();
+  return Status::Ok();
+}
+
+PageTableManager::SwWalk PageTableManager::walk(PhysAddr root, VirtAddr va) {
+  SwWalk out;
+  PhysAddr table = root;
+  for (unsigned level = 0; level <= 3; ++level) {
+    const u64 idx = sim::va_index(va, level);
+    const u64 desc = read_desc(table, idx);
+    if (!sim::desc_valid(desc)) return out;
+    if (sim::desc_is_table(desc, level)) {
+      table = sim::desc_out_addr(desc);
+      continue;
+    }
+    out.ok = true;
+    out.desc = desc;
+    out.level = level;
+    out.desc_pa = table + idx * 8;
+    return out;
+  }
+  return out;
+}
+
+Status PageTableManager::unmap_page(PhysAddr root, VirtAddr va,
+                                    PhysAddr* old_pa) {
+  const SwWalk w = walk(root, va);
+  if (!w.ok || w.level != 3) return Status::NotFound("pt: no 4 KiB mapping");
+  if (old_pa != nullptr) *old_pa = sim::desc_out_addr(w.desc);
+  const PhysAddr table = w.desc_pa & ~kPageMask;
+  const auto idx = static_cast<unsigned>((w.desc_pa & kPageMask) / 8);
+  if (!writer_->write_desc(table, idx, 0)) {
+    return Status::Denied("pt: unmap rejected");
+  }
+  machine_.tlb().flush_va(va);
+  machine_.charge_tlbi();
+  return Status::Ok();
+}
+
+Status PageTableManager::set_page_attrs(PhysAddr root, VirtAddr va,
+                                        const PageAttrs& attrs) {
+  const SwWalk w = walk(root, va);
+  if (!w.ok) return Status::NotFound("pt: unmapped va");
+  const u64 desc = sim::desc_with_attrs(w.desc, attrs);
+  const PhysAddr table = w.desc_pa & ~kPageMask;
+  const auto idx = static_cast<unsigned>((w.desc_pa & kPageMask) / 8);
+  if (!writer_->write_desc(table, idx, desc)) {
+    return Status::Denied("pt: attrs change rejected");
+  }
+  machine_.tlb().flush_va(va);
+  machine_.charge_tlbi();
+  return Status::Ok();
+}
+
+Status PageTableManager::protect_linear(PhysAddr pa, const PageAttrs& attrs) {
+  return set_page_attrs(kernel_root_, phys_to_virt(pa), attrs);
+}
+
+void PageTableManager::free_user_tree(PhysAddr root, bool free_leaf_frames) {
+  // Depth-first teardown.  A real kernel scans only the present VMA
+  // ranges; we model that with one flat scan charge per table page rather
+  // than 512 individual charged loads, then act on the valid descriptors.
+  auto recurse = [&](auto&& self, PhysAddr table, unsigned level) -> void {
+    machine_.advance(64);
+    for (u64 idx = 0; idx < kPtEntries; ++idx) {
+      const u64 desc = machine_.phys().read64(table + idx * 8);
+      if (!sim::desc_valid(desc)) continue;
+      if (sim::desc_is_table(desc, level)) {
+        const PhysAddr next = sim::desc_out_addr(desc);
+        self(self, next, level + 1);
+        writer_->on_pt_page_free(next);
+        pt_pages_.erase(next);
+        buddy_.free_page(next);
+      } else if (level == 3 && free_leaf_frames) {
+        const PhysAddr frame = sim::desc_out_addr(desc);
+        if (buddy_.owns(frame)) buddy_.free_page(frame);
+      }
+    }
+  };
+  recurse(recurse, root, 0);
+  machine_.tlb().flush_all();
+  machine_.charge_tlbi();
+  free_user_root(root);
+}
+
+}  // namespace hn::kernel

@@ -1,0 +1,38 @@
+// Kernel virtual-memory layout (AArch64-Linux-like).
+//
+// The kernel owns the upper VA half via TTBR1: a linear map of all normal
+// physical memory at kKernelVaBase + PA.  User processes own the lower
+// half via per-process TTBR0 trees.  The secure space (top of DRAM) is
+// deliberately *absent* from the linear map under Hypernel (§5.2).
+#pragma once
+
+#include "common/types.h"
+
+namespace hn::kernel {
+
+/// Physical layout of the kernel image at the bottom of DRAM.
+inline constexpr PhysAddr kImageBase = 0x0;
+inline constexpr u64 kTextSize = 512 * 1024;   // kernel code (RX)
+inline constexpr u64 kRodataSize = 256 * 1024; // constants (RO)
+inline constexpr u64 kDataSize = 256 * 1024;   // static data (RW)
+inline constexpr PhysAddr kTextBase = kImageBase;
+inline constexpr PhysAddr kRodataBase = kTextBase + kTextSize;
+inline constexpr PhysAddr kDataBase = kRodataBase + kRodataSize;
+inline constexpr PhysAddr kImageEnd = kDataBase + kDataSize;  // 1 MiB
+
+/// Dynamic allocations (buddy pool) start at 2 MiB to keep the image
+/// section-aligned for the 2 MiB-block mapping mode (§6.2).
+inline constexpr PhysAddr kBuddyPoolBase = 2 * 1024 * 1024;
+
+/// Linear-map address of a physical address.
+constexpr VirtAddr phys_to_virt(PhysAddr pa) { return kKernelVaBase + pa; }
+constexpr PhysAddr virt_to_phys(VirtAddr va) { return va - kKernelVaBase; }
+constexpr bool is_linear_va(VirtAddr va) { return va >= kKernelVaBase; }
+
+/// Canonical user-space layout for the synthetic process image.
+inline constexpr VirtAddr kUserTextBase = 0x0000'0000'0040'0000ull;
+inline constexpr VirtAddr kUserHeapBase = 0x0000'0000'1000'0000ull;
+inline constexpr VirtAddr kUserMmapBase = 0x0000'0000'4000'0000ull;
+inline constexpr VirtAddr kUserStackTop = 0x0000'0000'7FFF'F000ull;
+
+}  // namespace hn::kernel

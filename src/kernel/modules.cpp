@@ -1,0 +1,139 @@
+#include "kernel/modules.h"
+
+#include <cassert>
+
+#include "kernel/layout.h"
+
+namespace hn::kernel {
+
+Status ModuleLoader::set_region_attrs(VirtAddr va, u64 pages,
+                                      const sim::PageAttrs& attrs) {
+  for (u64 p = 0; p < pages; ++p) {
+    if (Status s = kpt_.protect_linear(virt_to_phys(va) + p * kPageSize, attrs);
+        !s.ok()) {
+      return s;
+    }
+  }
+  return Status::Ok();
+}
+
+Result<LoadedModule> ModuleLoader::load(const ModuleImage& image) {
+  if (modules_.contains(image.name)) {
+    return Status::AlreadyExists("module already loaded: " + image.name);
+  }
+  if (image.text_words.empty()) {
+    return Status::Invalid("module has no text");
+  }
+  machine_.advance(costs_.page_alloc);
+
+  LoadedModule mod;
+  mod.name = image.name;
+  mod.text_pages = page_align_up(image.text_words.size() * kWordSize) / kPageSize;
+  mod.data_pages =
+      image.data_words.empty()
+          ? 0
+          : page_align_up(image.data_words.size() * kWordSize) / kPageSize;
+
+  std::vector<PhysAddr>& frames = frames_[image.name];
+  // Module regions need contiguity through the linear map: allocate one
+  // naturally-aligned buddy block per region.
+  auto alloc_region = [&](u64 pages) -> Result<VirtAddr> {
+    unsigned order = 0;
+    while ((u64{1} << order) < pages) ++order;
+    Result<PhysAddr> block = buddy_.alloc_pages(order);
+    if (!block.ok()) return block.status();
+    frames.push_back(block.value());
+    return phys_to_virt(block.value());
+  };
+
+  Result<VirtAddr> text = alloc_region(mod.text_pages);
+  if (!text.ok()) return text.status();
+  mod.text_va = text.value();
+  if (mod.data_pages > 0) {
+    Result<VirtAddr> data = alloc_region(mod.data_pages);
+    if (!data.ok()) return data.status();
+    mod.data_va = data.value();
+  }
+
+  // Stage the image while the region is ordinary writable kernel data.
+  for (size_t i = 0; i < image.text_words.size(); ++i) {
+    if (!machine_.write64(mod.text_va + i * kWordSize, image.text_words[i]).ok) {
+      return Status::Internal("module text staging failed");
+    }
+  }
+  for (size_t i = 0; i < image.data_words.size(); ++i) {
+    if (!machine_.write64(mod.data_va + i * kWordSize, image.data_words[i]).ok) {
+      return Status::Internal("module data staging failed");
+    }
+  }
+
+  // Seal the text: the W -> X transition (write dropped, exec granted).
+  // Under Hypernel this is the kModuleSeal hypercall; the sealer was
+  // installed by the kernel at boot.
+  if (!seal_) {
+    if (Status s = set_region_attrs(
+            mod.text_va, mod.text_pages,
+            sim::PageAttrs{.write = false, .exec = true});
+        !s.ok()) {
+      return s;
+    }
+  } else if (Status s = seal_(virt_to_phys(mod.text_va), mod.text_pages, true);
+             !s.ok()) {
+    return s;
+  }
+
+  machine_.advance(costs_.page_alloc);  // symbol/relocation bookkeeping
+  modules_[image.name] = mod;
+  return mod;
+}
+
+Status ModuleLoader::unload(const std::string& name) {
+  auto it = modules_.find(name);
+  if (it == modules_.end()) return Status::NotFound("no such module");
+  const LoadedModule& mod = it->second;
+
+  // Unseal text back to plain data before the frames return to the pool.
+  if (!seal_) {
+    if (Status s = set_region_attrs(
+            mod.text_va, mod.text_pages,
+            sim::PageAttrs{.write = true, .exec = false});
+        !s.ok()) {
+      return s;
+    }
+  } else if (Status s =
+                 seal_(virt_to_phys(mod.text_va), mod.text_pages, false);
+             !s.ok()) {
+    return s;
+  }
+
+  for (const PhysAddr block : frames_[name]) {
+    unsigned order = 0;
+    const u64 pages =
+        block == virt_to_phys(mod.text_va) ? mod.text_pages : mod.data_pages;
+    while ((u64{1} << order) < pages) ++order;
+    buddy_.free_pages(block, order);
+  }
+  frames_.erase(name);
+  modules_.erase(it);
+  machine_.advance(costs_.page_free);
+  return Status::Ok();
+}
+
+const LoadedModule* ModuleLoader::find(const std::string& name) const {
+  auto it = modules_.find(name);
+  return it == modules_.end() ? nullptr : &it->second;
+}
+
+Result<u64> ModuleLoader::call_hook(const std::string& name, u64 index) {
+  const LoadedModule* mod = find(name);
+  if (mod == nullptr) return Status::NotFound("no such module");
+  if (index * kWordSize >= mod->text_pages * kPageSize) {
+    return Status::OutOfRange("hook index outside module text");
+  }
+  machine_.advance(40);  // indirect-call dispatch
+  const sim::Access64 r = machine_.read64(mod->text_va + index * kWordSize);
+  if (!r.ok) return Status::Internal("module text unreadable");
+  return r.value;
+}
+
+}  // namespace hn::kernel

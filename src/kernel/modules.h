@@ -1,0 +1,88 @@
+// Loadable kernel modules — the paper's motivating attack surface ("buggy
+// device drivers", §1) made concrete.
+//
+// Loading a module is the one legitimate runtime operation that needs a
+// writable-then-executable memory transition, which makes it the acid
+// test for Hypersec's W^X policy (§5.2.1): the loader must stage the
+// module text in writable pages, then flip them executable+read-only
+// through the page-table write path.  A rootkit that instead tries to
+// make live module text writable (to patch it) is denied.
+//
+// Module "code" in this model is a descriptor table: an array of
+// (hook-point, handler-cookie) words the kernel consults, enough to model
+// both benign drivers and rootkit modules hooking kernel operations.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "kernel/buddy.h"
+#include "kernel/costs.h"
+#include "kernel/kpt.h"
+#include "sim/machine.h"
+
+namespace hn::kernel {
+
+struct ModuleImage {
+  std::string name;
+  /// The module's "text": handler cookies, one per exported hook.
+  std::vector<u64> text_words;
+  /// Static data words (stay writable).
+  std::vector<u64> data_words;
+};
+
+struct LoadedModule {
+  std::string name;
+  VirtAddr text_va = 0;   // RX after load completes
+  u64 text_pages = 0;
+  VirtAddr data_va = 0;   // RW
+  u64 data_pages = 0;
+};
+
+class ModuleLoader {
+ public:
+  /// How text seals RX / unseals RW: Hypersec hypercall under Hypernel,
+  /// direct descriptor edits otherwise.
+  using SealFn = std::function<Status(PhysAddr base, u64 pages, bool seal)>;
+
+  ModuleLoader(sim::Machine& machine, BuddyAllocator& buddy,
+               PageTableManager& kpt, const KernelCosts& costs)
+      : machine_(machine), buddy_(buddy), kpt_(kpt), costs_(costs) {}
+
+  void set_sealer(SealFn fn) { seal_ = std::move(fn); }
+
+  /// insmod: allocate module memory, copy the image in while writable,
+  /// then seal the text RX (write -> exec transition through the active
+  /// PtWriter — hypercalls under Hypernel).
+  Result<LoadedModule> load(const ModuleImage& image);
+
+  /// rmmod: unmap and free.  The text pages are returned to RW data
+  /// before the frames go back to the pool.
+  Status unload(const std::string& name);
+
+  [[nodiscard]] const LoadedModule* find(const std::string& name) const;
+  [[nodiscard]] u64 loaded_count() const { return modules_.size(); }
+
+  /// Invoke hook `index` of a loaded module: a charged read of the
+  /// handler cookie plus the dispatch cost — how the kernel would call
+  /// through a driver's ops table.
+  Result<u64> call_hook(const std::string& name, u64 index);
+
+ private:
+  /// Linear-map attribute change over a whole region.
+  Status set_region_attrs(VirtAddr va, u64 pages, const sim::PageAttrs& attrs);
+
+  sim::Machine& machine_;
+  BuddyAllocator& buddy_;
+  PageTableManager& kpt_;
+  const KernelCosts& costs_;
+  SealFn seal_;
+  std::map<std::string, LoadedModule> modules_;
+  std::map<std::string, std::vector<PhysAddr>> frames_;  // per module
+};
+
+}  // namespace hn::kernel

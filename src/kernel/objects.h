@@ -1,0 +1,83 @@
+// Layouts of the monitored kernel objects (§7.2): cred and dentry.
+//
+// Objects live in simulated memory (slab pages); every field access is a
+// charged, bus-visible machine access.  Field classification drives the
+// two security-solution variants of Table 2: the *sensitive* subset is
+// what the word-granularity monitor watches; the page-granularity estimate
+// watches every word of the object.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "common/types.h"
+
+namespace hn::kernel {
+
+/// Word offsets within a cred object (struct cred analogue, footnote 2:
+/// "modifying the cred structure allows the attacker to elevate any
+/// process to have root permission").
+struct CredLayout {
+  static constexpr u64 kUsage = 0;  // refcount: hot, not sensitive
+  static constexpr u64 kUid = 1;
+  static constexpr u64 kGid = 2;
+  static constexpr u64 kSuid = 3;
+  static constexpr u64 kSgid = 4;
+  static constexpr u64 kEuid = 5;
+  static constexpr u64 kEgid = 6;
+  static constexpr u64 kFsuid = 7;
+  static constexpr u64 kFsgid = 8;
+  static constexpr u64 kSecurebits = 9;
+  static constexpr u64 kCapInheritable = 10;
+  static constexpr u64 kCapPermitted = 11;
+  static constexpr u64 kCapEffective = 12;
+  static constexpr u64 kRcuHead0 = 13;  // reclamation plumbing: not sensitive
+  static constexpr u64 kRcuHead1 = 14;
+  static constexpr u64 kPad = 15;
+  static constexpr u64 kWords = 16;  // 128 bytes
+
+  /// Words the word-granularity security solution watches.
+  static constexpr std::array<u64, 12> kSensitiveWords = {
+      kUid, kGid, kSuid, kSgid, kEuid, kEgid,
+      kFsuid, kFsgid, kSecurebits, kCapInheritable, kCapPermitted, kCapEffective};
+};
+
+/// Word offsets within a dentry object (footnote 2: "seizing control of a
+/// dentry enables the attacker to access its inode and manipulate it").
+struct DentryLayout {
+  static constexpr u64 kLockref = 0;  // refcount+lock: hottest word, not sensitive
+  static constexpr u64 kParent = 1;   // sensitive: reparenting hides files
+  static constexpr u64 kNameHash = 2;
+  static constexpr u64 kName0 = 3;  // sensitive: inline name (16 chars)
+  static constexpr u64 kName1 = 4;
+  static constexpr u64 kInode = 5;  // sensitive: points at the inode
+  static constexpr u64 kHashNext = 6;
+  static constexpr u64 kHashPrev = 7;
+  static constexpr u64 kLruNext = 8;
+  static constexpr u64 kLruPrev = 9;
+  static constexpr u64 kTime = 10;
+  static constexpr u64 kFsdata = 11;
+  static constexpr u64 kFlags = 12;  // sensitive: DCACHE_* control bits
+  static constexpr u64 kOp = 13;     // sensitive: ops vtable, rootkit target
+  static constexpr u64 kSb = 14;
+  static constexpr u64 kPad = 15;
+  static constexpr u64 kWords = 16;  // 128 bytes
+
+  static constexpr std::array<u64, 6> kSensitiveWords = {
+      kParent, kName0, kName1, kInode, kFlags, kOp};
+};
+
+enum class ObjectKind : u8 { kCred, kDentry };
+
+constexpr u64 object_words(ObjectKind kind) {
+  return kind == ObjectKind::kCred ? CredLayout::kWords : DentryLayout::kWords;
+}
+
+constexpr std::span<const u64> sensitive_words(ObjectKind kind) {
+  if (kind == ObjectKind::kCred) {
+    return std::span<const u64>(CredLayout::kSensitiveWords);
+  }
+  return std::span<const u64>(DentryLayout::kSensitiveWords);
+}
+
+}  // namespace hn::kernel

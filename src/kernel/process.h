@@ -1,0 +1,158 @@
+// Process management: tasks, per-process address spaces (real TTBR0 trees),
+// fork with copy-on-write, execve, demand paging, signals, and the cred
+// lifecycle.
+//
+// Evaluation-relevant behaviour:
+//  * fork/exit drive the page-table write traffic that makes Table 1's
+//    fork rows the worst case under Hypernel (one hypercall per descriptor
+//    write) and under KVM (stage-2 fault churn);
+//  * an address-space switch is one TTBR0_EL1 write — a TVM trap under
+//    Hypernel, which is where the pipe/socket latency deltas come from;
+//  * cred objects are monitored slab objects: refcount churn on fork/exit
+//    (non-sensitive) vs uid/cap updates on exec/setuid (sensitive).
+#pragma once
+
+#include <array>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "kernel/buddy.h"
+#include "kernel/costs.h"
+#include "kernel/kpt.h"
+#include "kernel/layout.h"
+#include "kernel/slab.h"
+#include "sim/machine.h"
+
+namespace hn::kernel {
+
+/// Segment sizes of the synthetic process image (pages mapped eagerly at
+/// process creation; LMbench's lat_proc forks a process of this size).
+struct ProcImage {
+  unsigned text_pages = 28;
+  unsigned data_pages = 20;
+  unsigned stack_pages = 10;
+};
+
+struct Vma {
+  VirtAddr start = 0;
+  VirtAddr end = 0;
+  bool writable = false;
+  bool executable = false;
+  u64 file_ino = 0;   // nonzero: file-backed (page-cache frames)
+  u64 file_pgoff = 0;
+};
+
+struct Task {
+  u32 pid = 0;
+  u16 asid = 0;
+  PhysAddr ttbr0 = 0;
+  PhysAddr kstack = 0;  // 4-page kernel stack (order-2 buddy block)
+  std::vector<Vma> vmas;
+  VirtAddr cred = 0;  // cred slab object (simulated memory)
+  std::array<u64, 32> sighandlers{};
+  VirtAddr signal_sp = 0;  // user stack pointer for signal frames
+  VirtAddr mmap_next = kUserMmapBase;
+  bool alive = true;
+};
+
+class ProcessManager {
+ public:
+  ProcessManager(sim::Machine& machine, BuddyAllocator& buddy,
+                 PageTableManager& kpt, SlabCache& cred_slab,
+                 const KernelCosts& costs);
+
+  /// Kernel working-set toucher (installed by Kernel::boot).
+  void set_ws_toucher(std::function<void(u64)> fn) {
+    ws_touch_ = std::move(fn);
+  }
+
+  /// Create and switch to PID 1 with the given image, running as root.
+  Result<Task*> boot_init_process(const ProcImage& image);
+
+  Result<Task*> fork(Task& parent);
+  Status execve(Task& task, const ProcImage& image);
+  /// Tear down the task's address space and drop its cred reference.
+  Status exit_task(Task& task);
+  /// Address-space switch: runqueue cost + one TTBR0_EL1 write.
+  void switch_to(Task& task);
+
+  Task& current() { return *current_; }
+  Task* find(u32 pid);
+  [[nodiscard]] u64 live_tasks() const;
+  /// All live tasks (Hypersec's boot inventory of user roots).
+  [[nodiscard]] std::vector<Task*> all_tasks() const;
+
+  // --- User memory ----------------------------------------------------------
+  /// Write/read with demand paging and COW handling, as the hardware +
+  /// kernel fault path would resolve them.
+  Status user_write64(VirtAddr va, u64 value);
+  Result<u64> user_read64(VirtAddr va);
+  /// Fault in the page containing `va` (for write access when `write`).
+  Status touch_page(VirtAddr va, bool write);
+
+  Result<VirtAddr> mmap(Task& task, u64 len, bool writable);
+  /// Map `len` bytes of file `ino` (shared, page-cache backed).
+  Result<VirtAddr> mmap_file(Task& task, u64 ino, u64 len, bool writable);
+  Status munmap(Task& task, VirtAddr va, u64 len);
+
+  /// Page-cache lookup used to service file-backed faults (installed by
+  /// Kernel::boot; keeps this module independent of the VFS).
+  void set_file_page_provider(
+      std::function<Result<PhysAddr>(u64 ino, u64 pgoff)> fn) {
+    file_pages_ = std::move(fn);
+  }
+
+  // --- Signals ---------------------------------------------------------------
+  Status sigaction(Task& task, unsigned sig, u64 handler);
+  /// Deliver `sig` to the task now: frame push, handler body, sigreturn.
+  Status deliver_signal(Task& task, unsigned sig);
+
+  // --- Cred ------------------------------------------------------------------
+  void cred_get(VirtAddr cred);
+  void cred_put(VirtAddr cred);
+  /// commit_creds-style identity change: sensitive-field writes.
+  Status setuid(Task& task, u64 uid);
+  Result<u64> cred_uid(const Task& task);
+
+  [[nodiscard]] u64 frame_refs(PhysAddr frame) const;
+
+ private:
+  Result<VirtAddr> make_cred(u64 uid, u64 gid);
+  void write_cred_word(VirtAddr cred, u64 word, u64 value);
+  Result<Task*> make_task();
+  void touch_ws(u64 n) {
+    if (ws_touch_) ws_touch_(n);
+  }
+  /// Eager maps every segment page (boot); lazy maps only the entry pages
+  /// and lets the rest demand-fault (execve, like a real ELF loader).
+  Status map_segments(Task& task, const ProcImage& image, bool eager);
+  Status map_fresh_page(Task& task, VirtAddr page_va, bool writable,
+                        bool executable);
+  Status teardown_mm(Task& task);
+  Vma* vma_of(Task& task, VirtAddr va);
+  Status handle_translation_fault(Task& task, VirtAddr va, bool write);
+  Status handle_cow_fault(Task& task, VirtAddr va);
+  void frame_ref(PhysAddr frame);
+  void frame_unref(PhysAddr frame);
+  [[nodiscard]] static u64 ttbr0_value(const Task& task) {
+    return task.ttbr0 | (u64{task.asid} << 48);
+  }
+
+  sim::Machine& machine_;
+  BuddyAllocator& buddy_;
+  PageTableManager& kpt_;
+  SlabCache& cred_slab_;
+  const KernelCosts& costs_;
+  std::map<u32, std::unique_ptr<Task>> tasks_;
+  std::map<PhysAddr, u32> frame_refs_;  // shared COW frame refcounts
+  Task* current_ = nullptr;
+  u32 next_pid_ = 1;
+  u64 switch_serial_ = 0;
+  std::function<void(u64)> ws_touch_;
+  std::function<Result<PhysAddr>(u64, u64)> file_pages_;
+};
+
+}  // namespace hn::kernel

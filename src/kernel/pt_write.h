@@ -1,0 +1,78 @@
+// How the kernel writes its own stage-1 page tables — *the* Hypernel
+// instrumentation point (§5.2.1 / §6.2).
+//
+//  * DirectPtWriter: vanilla kernel behaviour; descriptors are stored with
+//    ordinary EL1 writes through the linear map (Native and KVM-guest).
+//  * HypercallPtWriter: the instrumented kernel; every descriptor write is
+//    a hypercall that Hypersec verifies and performs (Hypernel).  Under
+//    this policy PT pages are read-only at EL1, so a compromised kernel
+//    cannot bypass the hypercall path (tested in the security suite).
+#pragma once
+
+#include "common/hvc_abi.h"
+#include "common/types.h"
+#include "kernel/layout.h"
+#include "sim/machine.h"
+
+namespace hn::kernel {
+
+class PtWriter {
+ public:
+  virtual ~PtWriter() = default;
+
+  /// Store `desc` into entry `index` of the table page at `table_pa`.
+  /// Returns false if the write was rejected (Hypersec denial).
+  virtual bool write_desc(PhysAddr table_pa, unsigned index, u64 desc) = 0;
+
+  /// A zeroed page is about to become a translation-table page at walk
+  /// level `level` (0 = root).
+  virtual void on_pt_page_alloc(PhysAddr pa, unsigned level) {
+    (void)pa;
+    (void)level;
+  }
+  /// A translation-table page is being retired to the free pool.
+  virtual void on_pt_page_free(PhysAddr pa) { (void)pa; }
+  /// A new user page-table root came into existence / is being retired.
+  virtual void on_root_alloc(PhysAddr root_pa) { (void)root_pa; }
+  virtual void on_root_free(PhysAddr root_pa) { (void)root_pa; }
+};
+
+/// Vanilla path: plain EL1 stores through the linear map.
+class DirectPtWriter final : public PtWriter {
+ public:
+  explicit DirectPtWriter(sim::Machine& machine) : machine_(machine) {}
+
+  bool write_desc(PhysAddr table_pa, unsigned index, u64 desc) override {
+    return machine_.write64(phys_to_virt(table_pa + index * 8), desc).ok;
+  }
+
+ private:
+  sim::Machine& machine_;
+};
+
+/// Instrumented path: one HVC per descriptor write, a la TZ-RKP (§5.2.1).
+class HypercallPtWriter final : public PtWriter {
+ public:
+  explicit HypercallPtWriter(sim::Machine& machine) : machine_(machine) {}
+
+  bool write_desc(PhysAddr table_pa, unsigned index, u64 desc) override {
+    return machine_.hvc(hvc::kPtWrite, {table_pa, index, desc}) == hvc::kOk;
+  }
+  void on_pt_page_alloc(PhysAddr pa, unsigned level) override {
+    machine_.hvc(hvc::kPtAlloc, {pa, level});
+  }
+  void on_pt_page_free(PhysAddr pa) override {
+    machine_.hvc(hvc::kPtFree, {pa});
+  }
+  void on_root_alloc(PhysAddr root_pa) override {
+    machine_.hvc(hvc::kPtRegisterRoot, {root_pa});
+  }
+  void on_root_free(PhysAddr root_pa) override {
+    machine_.hvc(hvc::kPtUnregisterRoot, {root_pa});
+  }
+
+ private:
+  sim::Machine& machine_;
+};
+
+}  // namespace hn::kernel

@@ -1,0 +1,91 @@
+// Slab caches for the monitored kernel objects (cred, dentry).
+//
+// Each cache owns dedicated page frames carved into fixed-size objects —
+// the property Hypersec relies on when it flips a monitored object's page
+// to non-cacheable: only same-kind objects share the page.  Object
+// alloc/free hooks are the kernel instrumentation points through which a
+// security application learns object lifetimes (§5.3 step 1).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "kernel/buddy.h"
+#include "kernel/costs.h"
+#include "kernel/layout.h"
+#include "kernel/objects.h"
+#include "sim/machine.h"
+
+namespace hn::kernel {
+
+class SlabCache {
+ public:
+  using ObjectHook = std::function<void(VirtAddr va)>;
+
+  SlabCache(sim::Machine& machine, BuddyAllocator& buddy,
+            const KernelCosts& costs, ObjectKind kind)
+      : machine_(machine), buddy_(buddy), costs_(costs), kind_(kind),
+        obj_bytes_(object_words(kind) * kWordSize) {}
+
+  void set_hooks(ObjectHook on_alloc, ObjectHook on_free) {
+    on_alloc_ = std::move(on_alloc);
+    on_free_ = std::move(on_free);
+  }
+
+  /// Allocate a zeroed object; returns its linear-map VA.  The alloc hook
+  /// fires after zeroing, before the caller initialises fields — so field
+  /// initialisation is already monitored, as in the paper's experiment.
+  Result<VirtAddr> alloc() {
+    machine_.advance(costs_.slab_alloc);
+    if (freelist_.empty()) {
+      if (Status s = grow(); !s.ok()) return s;
+    }
+    const VirtAddr va = freelist_.back();
+    freelist_.pop_back();
+    ++live_;
+    for (u64 off = 0; off < obj_bytes_; off += kWordSize) {
+      machine_.write64(va + off, 0);
+    }
+    if (on_alloc_) on_alloc_(va);
+    return va;
+  }
+
+  void free(VirtAddr va) {
+    machine_.advance(costs_.slab_free);
+    if (on_free_) on_free_(va);
+    freelist_.push_back(va);
+    --live_;
+  }
+
+  [[nodiscard]] ObjectKind kind() const { return kind_; }
+  [[nodiscard]] u64 object_bytes() const { return obj_bytes_; }
+  [[nodiscard]] u64 live_objects() const { return live_; }
+  [[nodiscard]] const std::vector<PhysAddr>& pages() const { return pages_; }
+
+ private:
+  Status grow() {
+    machine_.advance(costs_.page_alloc);
+    Result<PhysAddr> page = buddy_.alloc_page();
+    if (!page.ok()) return page.status();
+    pages_.push_back(page.value());
+    for (u64 off = 0; off + obj_bytes_ <= kPageSize; off += obj_bytes_) {
+      freelist_.push_back(phys_to_virt(page.value() + off));
+    }
+    return Status::Ok();
+  }
+
+  sim::Machine& machine_;
+  BuddyAllocator& buddy_;
+  const KernelCosts& costs_;
+  ObjectKind kind_;
+  u64 obj_bytes_;
+  std::vector<VirtAddr> freelist_;
+  std::vector<PhysAddr> pages_;
+  u64 live_ = 0;
+  ObjectHook on_alloc_;
+  ObjectHook on_free_;
+};
+
+}  // namespace hn::kernel

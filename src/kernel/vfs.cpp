@@ -1,0 +1,389 @@
+#include "kernel/vfs.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/rng.h"
+#include "kernel/layout.h"
+#include "kernel/objects.h"
+
+namespace hn::kernel {
+
+namespace {
+
+/// FNV-1a over the component name (the d_name_hash word's value).
+u64 name_hash(std::string_view name) {
+  u64 h = 0xCBF29CE484222325ull;
+  for (const char c : name) h = (h ^ static_cast<u8>(c)) * 0x100000001B3ull;
+  return h;
+}
+
+/// Pack up to 16 name characters into two words (inline short name).
+void pack_name(std::string_view name, u64& w0, u64& w1) {
+  char buf[16] = {};
+  std::memcpy(buf, name.data(), std::min<size_t>(name.size(), sizeof(buf)));
+  std::memcpy(&w0, buf, 8);
+  std::memcpy(&w1, buf + 8, 8);
+}
+
+std::vector<std::string> split_path(std::string_view path) {
+  std::vector<std::string> parts;
+  size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') ++i;
+    size_t j = i;
+    while (j < path.size() && path[j] != '/') ++j;
+    if (j > i) parts.emplace_back(path.substr(i, j - i));
+    i = j;
+  }
+  return parts;
+}
+
+}  // namespace
+
+Vfs::Vfs(sim::Machine& machine, BuddyAllocator& buddy, SlabCache& dentry_slab,
+         const KernelCosts& costs)
+    : machine_(machine), buddy_(buddy), dentry_slab_(dentry_slab),
+      costs_(costs) {
+  Inode root;
+  root.ino = kRootIno;
+  root.is_dir = true;
+  inodes_[kRootIno] = root;
+}
+
+Inode& Vfs::must_inode(u64 ino) {
+  auto it = inodes_.find(ino);
+  assert(it != inodes_.end());
+  return it->second;
+}
+
+const Inode* Vfs::inode(u64 ino) const {
+  auto it = inodes_.find(ino);
+  return it == inodes_.end() ? nullptr : &it->second;
+}
+
+void Vfs::write_dentry_word(VirtAddr dva, u64 word, u64 value) {
+  [[maybe_unused]] const sim::Access64 r =
+      machine_.write64(dva + word * kWordSize, value);
+  assert(r.ok && "dentry slab pages must stay writable");
+}
+
+VirtAddr Vfs::instantiate_dentry(u64 parent, const std::string& name, u64 ino) {
+  Result<VirtAddr> obj = dentry_slab_.alloc();
+  assert(obj.ok() && "dentry slab exhausted");
+  const VirtAddr dva = obj.value();
+  using D = DentryLayout;
+  u64 n0 = 0;
+  u64 n1 = 0;
+  pack_name(name, n0, n1);
+  // d_alloc: the dentry identity is established...
+  write_dentry_word(dva, D::kLockref, 1);
+  write_dentry_word(dva, D::kParent, parent);
+  write_dentry_word(dva, D::kNameHash, name_hash(name));
+  write_dentry_word(dva, D::kName0, n0);
+  write_dentry_word(dva, D::kName1, n1);
+  write_dentry_word(dva, D::kOp, kDentryOpsVtable);
+  write_dentry_word(dva, D::kSb, 0x5B);
+  write_dentry_word(dva, D::kLruNext, dva ^ 0x3333);
+  write_dentry_word(dva, D::kLruPrev, dva ^ 0x4444);
+  // ...the monitoring hook sits here (post-d_alloc)...
+  if (dentry_alloc_hook_) dentry_alloc_hook_(dva);
+  // ...then d_instantiate links the inode and hashes the entry: these
+  // writes land on already-monitored words.
+  write_dentry_word(dva, D::kInode, ino);
+  write_dentry_word(dva, D::kFlags, must_inode(ino).is_dir ? 0x10 : 0x4);
+  write_dentry_word(dva, D::kHashNext, dva ^ 0x1111);
+  write_dentry_word(dva, D::kHashPrev, dva ^ 0x2222);
+  dcache_[DKey{parent, name}] = dva;
+  dcache_lru_.push_back(DKey{parent, name});
+  return dva;
+}
+
+void Vfs::dput_touch(VirtAddr dva) {
+  using D = DentryLayout;
+  // dget/dput pair: the lockref word is cmpxchg-cycled twice, the access
+  // timestamp refreshes, and every other lookup rotates the dentry through
+  // the LRU list — the hot non-sensitive churn that makes page-granularity
+  // monitoring trap so often (Table 2).
+  const sim::Access64 c = machine_.read64(dva + D::kLockref * kWordSize);
+  assert(c.ok);
+  write_dentry_word(dva, D::kLockref, c.value + 1);
+  write_dentry_word(dva, D::kLockref, c.value);
+  write_dentry_word(dva, D::kTime, ++lookup_serial_);
+  if (lookup_serial_ % 2 == 0) {
+    write_dentry_word(dva, D::kLruNext, dva ^ (lookup_serial_ << 8));
+    write_dentry_word(dva, D::kLruPrev, dva ^ (lookup_serial_ << 9));
+  }
+}
+
+Result<u64> Vfs::step(u64 parent, const std::string& name) {
+  machine_.advance(costs_.dcache_lookup);
+  const DKey key{parent, name};
+  if (auto it = dcache_.find(key); it != dcache_.end()) {
+    dput_touch(it->second);
+    const sim::Access64 ino = machine_.read64(
+        it->second + DentryLayout::kInode * kWordSize);
+    assert(ino.ok);
+    return ino.value;
+  }
+  auto child = children_.find(key);
+  if (child == children_.end()) {
+    return Status::NotFound("vfs: no such entry: " + name);
+  }
+  instantiate_dentry(parent, name, child->second);
+  return child->second;
+}
+
+Result<std::pair<u64, std::string>> Vfs::resolve_parent(std::string_view path) {
+  std::vector<std::string> parts = split_path(path);
+  if (parts.empty()) return Status::Invalid("vfs: empty path");
+  u64 cur = kRootIno;
+  for (size_t i = 0; i + 1 < parts.size(); ++i) {
+    Result<u64> next = step(cur, parts[i]);
+    if (!next.ok()) return next.status();
+    if (!must_inode(next.value()).is_dir) {
+      return Status::Invalid("vfs: path component is not a directory");
+    }
+    cur = next.value();
+  }
+  return std::pair<u64, std::string>{cur, parts.back()};
+}
+
+Result<u64> Vfs::alloc_ino(bool is_dir) {
+  Inode node;
+  node.ino = next_ino_++;
+  node.is_dir = is_dir;
+  inodes_[node.ino] = node;
+  return node.ino;
+}
+
+Result<u64> Vfs::create_file(std::string_view path) {
+  Result<std::pair<u64, std::string>> rp = resolve_parent(path);
+  if (!rp.ok()) return rp.status();
+  const auto& [parent, name] = rp.value();
+  const DKey key{parent, name};
+  if (children_.contains(key)) {
+    return Status::AlreadyExists("vfs: exists: " + name);
+  }
+  Result<u64> ino = alloc_ino(/*is_dir=*/false);
+  if (!ino.ok()) return ino;
+  children_[key] = ino.value();
+  instantiate_dentry(parent, name, ino.value());
+  return ino;
+}
+
+Result<u64> Vfs::mkdir(std::string_view path) {
+  Result<std::pair<u64, std::string>> rp = resolve_parent(path);
+  if (!rp.ok()) return rp.status();
+  const auto& [parent, name] = rp.value();
+  const DKey key{parent, name};
+  if (children_.contains(key)) {
+    return Status::AlreadyExists("vfs: exists: " + name);
+  }
+  Result<u64> ino = alloc_ino(/*is_dir=*/true);
+  if (!ino.ok()) return ino;
+  children_[key] = ino.value();
+  instantiate_dentry(parent, name, ino.value());
+  return ino;
+}
+
+void Vfs::drop_dentry(u64 parent, const std::string& name,
+                      bool zap_inode_word) {
+  const DKey key{parent, name};
+  auto it = dcache_.find(key);
+  if (it == dcache_.end()) return;
+  using D = DentryLayout;
+  if (zap_inode_word) {
+    // d_delete: detach the inode and mark the dentry negative — sensitive-
+    // word writes a file-hiding rootkit would imitate.
+    write_dentry_word(it->second, D::kInode, 0);
+    write_dentry_word(it->second, D::kFlags, 0x0);
+  }
+  write_dentry_word(it->second, D::kHashNext, 0);
+  write_dentry_word(it->second, D::kHashPrev, 0);
+  if (dentry_free_hook_) dentry_free_hook_(it->second);
+  dentry_slab_.free(it->second);
+  dcache_.erase(it);
+  std::erase(dcache_lru_, key);
+}
+
+Status Vfs::unlink(std::string_view path) {
+  Result<std::pair<u64, std::string>> rp = resolve_parent(path);
+  if (!rp.ok()) return rp.status();
+  const auto& [parent, name] = rp.value();
+  const DKey key{parent, name};
+  auto child = children_.find(key);
+  if (child == children_.end()) return Status::NotFound("vfs: no such entry");
+  Inode& node = must_inode(child->second);
+  drop_dentry(parent, name, /*zap_inode_word=*/true);
+  if (--node.nlink == 0) {
+    for (auto& [idx, frame] : node.pages) buddy_.free_page(frame);
+    machine_.advance(costs_.page_free * node.pages.size());
+    inodes_.erase(node.ino);
+  }
+  children_.erase(child);
+  return Status::Ok();
+}
+
+Status Vfs::rename(std::string_view from, std::string_view to) {
+  Result<std::pair<u64, std::string>> rf = resolve_parent(from);
+  if (!rf.ok()) return rf.status();
+  Result<std::pair<u64, std::string>> rt = resolve_parent(to);
+  if (!rt.ok()) return rt.status();
+  const auto& [fp, fn] = rf.value();
+  const auto& [tp, tn] = rt.value();
+  auto child = children_.find(DKey{fp, fn});
+  if (child == children_.end()) return Status::NotFound("vfs: no such entry");
+  const u64 ino = child->second;
+
+  // Rewrite the cached dentry in place (d_move): parent and name words are
+  // sensitive — exactly what a file-hiding rootkit would forge.
+  if (auto it = dcache_.find(DKey{fp, fn}); it != dcache_.end()) {
+    using D = DentryLayout;
+    const VirtAddr dva = it->second;
+    u64 n0 = 0;
+    u64 n1 = 0;
+    pack_name(tn, n0, n1);
+    write_dentry_word(dva, D::kParent, tp);
+    write_dentry_word(dva, D::kNameHash, name_hash(tn));
+    write_dentry_word(dva, D::kName0, n0);
+    write_dentry_word(dva, D::kName1, n1);
+    write_dentry_word(dva, D::kHashNext, dva ^ 0x7777);
+    dcache_.erase(it);
+    std::erase(dcache_lru_, DKey{fp, fn});
+    dcache_[DKey{tp, tn}] = dva;
+    dcache_lru_.push_back(DKey{tp, tn});
+  }
+  children_.erase(child);
+  children_[DKey{tp, tn}] = ino;
+  return Status::Ok();
+}
+
+Result<u64> Vfs::lookup(std::string_view path) {
+  std::vector<std::string> parts = split_path(path);
+  u64 cur = kRootIno;
+  for (const std::string& part : parts) {
+    Result<u64> next = step(cur, part);
+    if (!next.ok()) return next.status();
+    cur = next.value();
+  }
+  return cur;
+}
+
+Result<StatInfo> Vfs::stat(std::string_view path) {
+  machine_.advance(costs_.stat_base);
+  Result<u64> ino = lookup(path);
+  if (!ino.ok()) return ino.status();
+  const Inode& node = must_inode(ino.value());
+  StatInfo info;
+  info.ino = node.ino;
+  info.size = node.size;
+  info.is_dir = node.is_dir;
+  info.uid = node.uid;
+  info.gid = node.gid;
+  return info;
+}
+
+Result<PhysAddr> Vfs::page_for(u64 ino, u64 pgoff) {
+  auto it = inodes_.find(ino);
+  if (it == inodes_.end()) return Status::NotFound("vfs: bad inode");
+  return ensure_page(it->second, pgoff);
+}
+
+PhysAddr Vfs::ensure_page(Inode& node, u64 page_index) {
+  auto it = node.pages.find(page_index);
+  if (it != node.pages.end()) return it->second;
+  machine_.advance(costs_.page_cache_op + costs_.page_alloc);
+  Result<PhysAddr> frame = buddy_.alloc_page();
+  assert(frame.ok() && "page cache allocation failed");
+  machine_.phys().zero_range(frame.value(), kPageSize);
+  node.pages[page_index] = frame.value();
+  return frame.value();
+}
+
+Status Vfs::write_file(u64 ino, u64 offset, const void* data, u64 len) {
+  auto it = inodes_.find(ino);
+  if (it == inodes_.end()) return Status::NotFound("vfs: bad inode");
+  Inode& node = it->second;
+  const auto* p = static_cast<const u8*>(data);
+  u64 done = 0;
+  while (done < len) {
+    const u64 page_index = (offset + done) >> kPageShift;
+    const u64 in_page = (offset + done) & kPageMask;
+    const u64 chunk = std::min(len - done, kPageSize - in_page);
+    const PhysAddr frame = ensure_page(node, page_index);
+    machine_.advance(costs_.page_cache_op);
+    // Page-cache stores go through the linear map (charged/bus-modelled).
+    machine_.write_block_bulk(phys_to_virt(frame + in_page), p + done, chunk);
+    done += chunk;
+  }
+  node.size = std::max(node.size, offset + len);
+  node.mtime++;
+  return Status::Ok();
+}
+
+Status Vfs::read_file(u64 ino, u64 offset, void* out, u64 len) {
+  auto it = inodes_.find(ino);
+  if (it == inodes_.end()) return Status::NotFound("vfs: bad inode");
+  Inode& node = it->second;
+  auto* p = static_cast<u8*>(out);
+  u64 done = 0;
+  while (done < len) {
+    const u64 page_index = (offset + done) >> kPageShift;
+    const u64 in_page = (offset + done) & kPageMask;
+    const u64 chunk = std::min(len - done, kPageSize - in_page);
+    machine_.advance(costs_.page_cache_op);
+    auto page = node.pages.find(page_index);
+    if (page == node.pages.end()) {
+      std::memset(p + done, 0, chunk);  // hole
+    } else {
+      machine_.read_block_bulk(phys_to_virt(page->second + in_page), p + done,
+                               chunk);
+    }
+    done += chunk;
+  }
+  return Status::Ok();
+}
+
+Status Vfs::append_pattern(u64 ino, u64 len, u64 seed) {
+  auto it = inodes_.find(ino);
+  if (it == inodes_.end()) return Status::NotFound("vfs: bad inode");
+  SplitMix64 rng(seed);
+  std::vector<u8> buf(std::min<u64>(len, kPageSize));
+  u64 done = 0;
+  const u64 start = it->second.size;
+  while (done < len) {
+    const u64 chunk = std::min<u64>(len - done, buf.size());
+    for (u64 i = 0; i < chunk; i += 8) {
+      const u64 v = rng.next();
+      std::memcpy(&buf[i], &v, std::min<u64>(8, chunk - i));
+    }
+    if (Status s = write_file(ino, start + done, buf.data(), chunk); !s.ok()) {
+      return s;
+    }
+    done += chunk;
+  }
+  return Status::Ok();
+}
+
+void Vfs::evict_inode_pages(u64 ino) {
+  auto it = inodes_.find(ino);
+  if (it == inodes_.end()) return;
+  machine_.advance(costs_.page_free * it->second.pages.size());
+  for (auto& [idx, frame] : it->second.pages) buddy_.free_page(frame);
+  it->second.pages.clear();
+}
+
+void Vfs::prune_dcache(u64 n) {
+  for (u64 i = 0; i < n && !dcache_lru_.empty(); ++i) {
+    const DKey key = dcache_lru_.front();
+    drop_dentry(key.parent, key.name, /*zap_inode_word=*/false);
+  }
+}
+
+VirtAddr Vfs::cached_dentry(u64 parent_ino, const std::string& name) const {
+  auto it = dcache_.find(DKey{parent_ino, name});
+  return it == dcache_.end() ? 0 : it->second;
+}
+
+}  // namespace hn::kernel

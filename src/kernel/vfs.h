@@ -1,0 +1,138 @@
+// Minimal virtual filesystem: inodes, a dentry cache, and a page cache.
+//
+// Faithful in the dimension that matters to the evaluation: every dentry
+// is a slab object in simulated memory whose fields are written through
+// charged machine accesses, so path lookups, file creation, rename and
+// unlink generate exactly the kernel-object write traffic the MBM counts
+// in Table 2 (refcount/LRU churn on non-sensitive words; name/inode/ops
+// updates on sensitive words).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "kernel/buddy.h"
+#include "kernel/costs.h"
+#include "kernel/slab.h"
+#include "sim/machine.h"
+
+namespace hn::kernel {
+
+struct Inode {
+  u64 ino = 0;
+  bool is_dir = false;
+  u64 size = 0;
+  u64 nlink = 1;
+  u64 uid = 0;
+  u64 gid = 0;
+  u64 mtime = 0;
+  std::map<u64, PhysAddr> pages;  // page cache: page index -> frame
+};
+
+struct StatInfo {
+  u64 ino = 0;
+  u64 size = 0;
+  bool is_dir = false;
+  u64 uid = 0;
+  u64 gid = 0;
+};
+
+/// Sentinel value stored in the d_op word of every healthy dentry; the
+/// dentry-integrity security application verifies it (a rootkit that hooks
+/// dentry operations overwrites this pointer).
+inline constexpr u64 kDentryOpsVtable = 0xDE47'0050'0000'0001ull;
+
+class Vfs {
+ public:
+  using DentryHook = std::function<void(VirtAddr dva)>;
+
+  Vfs(sim::Machine& machine, BuddyAllocator& buddy, SlabCache& dentry_slab,
+      const KernelCosts& costs);
+
+  /// Dentry-lifetime hooks for security applications.  The alloc hook
+  /// fires at the d_alloc point — after the identity fields (name, parent,
+  /// d_op) are initialised but before d_instantiate links the inode — so
+  /// the instantiation writes are already monitored, matching where the
+  /// paper's kernel patch places its hook (§5.3 step 1).  The free hook
+  /// fires after d_delete's teardown writes, before the slab free.
+  void set_dentry_hooks(DentryHook on_alloc, DentryHook on_free) {
+    dentry_alloc_hook_ = std::move(on_alloc);
+    dentry_free_hook_ = std::move(on_free);
+  }
+
+  /// Write-back model: drop the inode's page-cache frames (memory pressure
+  /// / streaming writeback).  Charged per released page.
+  void evict_inode_pages(u64 ino);
+
+  // --- Namespace operations -------------------------------------------------
+  Result<u64> create_file(std::string_view path);
+  Result<u64> mkdir(std::string_view path);
+  Status unlink(std::string_view path);
+  Status rename(std::string_view from, std::string_view to);
+  Result<u64> lookup(std::string_view path);  // resolves to an inode number
+  Result<StatInfo> stat(std::string_view path);
+
+  // --- Data operations (page cache) ------------------------------------------
+  Status write_file(u64 ino, u64 offset, const void* data, u64 len);
+  /// Page-cache frame for page `pgoff` of `ino`, allocating (zeroed) if
+  /// absent — the backing store for file mmap.
+  Result<PhysAddr> page_for(u64 ino, u64 pgoff);
+  Status read_file(u64 ino, u64 offset, void* out, u64 len);
+  /// Convenience: append `len` bytes of a deterministic pattern.
+  Status append_pattern(u64 ino, u64 len, u64 seed);
+
+  // --- Dentry cache management ------------------------------------------------
+  /// Evict up to `n` least-recently-created cached dentries (memory
+  /// pressure churn; frees slab objects => unregister hooks fire).
+  void prune_dcache(u64 n);
+  [[nodiscard]] u64 dcache_size() const { return dcache_.size(); }
+  /// Dentry VA for a cached path component, 0 when not cached (tests).
+  [[nodiscard]] VirtAddr cached_dentry(u64 parent_ino,
+                                       const std::string& name) const;
+
+  [[nodiscard]] const Inode* inode(u64 ino) const;
+  [[nodiscard]] u64 root_ino() const { return kRootIno; }
+  [[nodiscard]] u64 inode_count() const { return inodes_.size(); }
+
+ private:
+  static constexpr u64 kRootIno = 1;
+
+  struct DKey {
+    u64 parent;
+    std::string name;
+    auto operator<=>(const DKey&) const = default;
+  };
+
+  Inode& must_inode(u64 ino);
+  /// Resolve all but the last component; returns parent ino and leaf name.
+  Result<std::pair<u64, std::string>> resolve_parent(std::string_view path);
+  /// One component step: dcache hit (refcount churn) or miss (dentry
+  /// instantiation with full field initialisation).
+  Result<u64> step(u64 parent, const std::string& name);
+  VirtAddr instantiate_dentry(u64 parent, const std::string& name, u64 ino);
+  void write_dentry_word(VirtAddr dva, u64 word, u64 value);
+  void dput_touch(VirtAddr dva);
+  void drop_dentry(u64 parent, const std::string& name, bool zap_inode_word);
+  Result<u64> alloc_ino(bool is_dir);
+  PhysAddr ensure_page(Inode& node, u64 page_index);
+
+  sim::Machine& machine_;
+  BuddyAllocator& buddy_;
+  SlabCache& dentry_slab_;
+  const KernelCosts& costs_;
+  std::map<u64, Inode> inodes_;
+  std::map<DKey, u64> children_;       // directory entries (on-"disk" truth)
+  std::map<DKey, VirtAddr> dcache_;    // cached dentry objects
+  std::vector<DKey> dcache_lru_;       // creation-ordered for pruning
+  u64 next_ino_ = 2;
+  u64 lookup_serial_ = 0;  // drives periodic LRU-touch writes
+  DentryHook dentry_alloc_hook_;
+  DentryHook dentry_free_hook_;
+};
+
+}  // namespace hn::kernel

@@ -1,0 +1,110 @@
+// KVM-style nested-paging hypervisor — the paper's baseline (§7.1
+// "KVM-guest", and the page-granularity monitoring scheme §7.2 estimates).
+//
+// The guest kernel runs with stage-2 translation enabled: every stage-1
+// walk nests through the stage-2 tree (the sim::Mmu models the full
+// walk blow-up), guest RAM is mapped lazily on stage-2 faults (VM exits),
+// physical IRQs exit to EL2 before being reinjected, and kernel pages can
+// be write-protected at stage-2 page granularity for monitoring — each
+// write then traps and is emulated by the hypervisor.
+//
+// Host memory-pressure model (documented substitution, DESIGN.md): with
+// probability `recycle_invalidate_permille`/1000, a frame the guest frees
+// loses its stage-2 mapping (host-side reclaim / page aging), so reuse
+// re-faults.  This reproduces the sustained fork/mmap overhead measured on
+// real KVM, which a laziness-only model would lose at steady state.
+#pragma once
+
+#include <functional>
+#include <set>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "kernel/kernel.h"
+#include "sim/machine.h"
+
+namespace hn::kvm {
+
+struct KvmConfig {
+  /// Map all guest RAM up-front instead of faulting lazily (ablation).
+  bool eager_map = false;
+  /// THP-style backing: a cold stage-2 translation fault maps the whole
+  /// 2 MiB-aligned group of pages around the faulting IPA (512 pages), as
+  /// transparent huge pages do for guest RAM.  Host-pressure recycling
+  /// still invalidates single pages (THP splits under reclaim).
+  bool thp_backing = true;
+  /// Probability (per mille) that a guest-freed frame's stage-2 mapping is
+  /// invalidated by the host before reuse.
+  u32 recycle_invalidate_permille = 750;
+  /// Host reclaim scans at its own pace: invalidations are token-bucket
+  /// rate-limited to one per this many guest cycles (burst capacity
+  /// `recycle_burst`), so churn-heavy guest phases don't see reclaim
+  /// scale linearly with their free rate.
+  Cycles recycle_min_interval = 25'000;
+  u32 recycle_burst = 40;
+  u64 rng_seed = 0x5EED'0001;
+};
+
+struct KvmStats {
+  u64 s2_faults_serviced = 0;
+  u64 pages_mapped = 0;
+  u64 recycle_invalidations = 0;
+  u64 wp_traps = 0;      // page-granularity monitor hits
+  u64 irq_exits = 0;
+};
+
+class KvmHypervisor {
+ public:
+  /// A write to a protected page, reported before emulation.
+  using WpHandler = std::function<void(PhysAddr pa, u64 value)>;
+
+  KvmHypervisor(sim::Machine& machine, kernel::Kernel& kernel,
+                const KvmConfig& config = {});
+  /// Detach every callback that captures `this` (buddy free hook, VM-exit
+  /// handlers) so the kernel/machine can safely outlive the hypervisor.
+  ~KvmHypervisor();
+
+  KvmHypervisor(const KvmHypervisor&) = delete;
+  KvmHypervisor& operator=(const KvmHypervisor&) = delete;
+
+  /// Enable stage-2 translation and install the VM-exit handlers.  Call
+  /// before Kernel::boot() (the guest boots inside the VM).
+  Status init();
+
+  // --- Page-granularity write-protection monitoring (§7.2 baseline) -------
+  Status protect_page(PhysAddr pa);
+  Status unprotect_page(PhysAddr pa);
+  void set_wp_handler(WpHandler handler) { wp_handler_ = std::move(handler); }
+  [[nodiscard]] bool is_protected(PhysAddr pa) const {
+    return protected_pages_.contains(page_align_down(pa));
+  }
+
+  [[nodiscard]] const KvmStats& stats() const { return stats_; }
+  [[nodiscard]] PhysAddr stage2_root() const { return s2_root_; }
+  [[nodiscard]] u64 guest_ram_size() const { return guest_ram_size_; }
+
+ private:
+  sim::S2FaultAction on_s2_fault(const sim::Fault& fault, bool is_write,
+                                 u64 value);
+  /// Install or update the identity stage-2 mapping for `ipa`'s page.
+  Status s2_map(IpaAddr ipa, bool write_ok);
+  Status s2_unmap(IpaAddr ipa);
+  PhysAddr alloc_s2_table();
+
+  sim::Machine& machine_;
+  kernel::Kernel& kernel_;
+  KvmConfig config_;
+  SplitMix64 rng_;
+  PhysAddr s2_root_ = 0;
+  PhysAddr s2_pool_next_ = 0;  // bump allocator over host-reserved memory
+  u64 guest_ram_size_ = 0;
+  std::set<PhysAddr> protected_pages_;
+  std::set<IpaAddr> ever_mapped_;  // pages that have been THP-populated
+  double recycle_tokens_ = 0;
+  Cycles recycle_last_refill_ = 0;
+  WpHandler wp_handler_;
+  KvmStats stats_;
+};
+
+}  // namespace hn::kvm

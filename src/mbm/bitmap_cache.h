@@ -1,0 +1,84 @@
+// The MBM's internal bitmap cache (Fig. 5): avoids a main-memory fetch of
+// the bitmap word for every snooped write.  Read-allocate policy; entries
+// are *updated in place* when the snooper observes a memory write to the
+// bitmap region (§6.3), so Hypersec's non-cacheable bitmap writes keep the
+// cache coherent without an explicit invalidate port.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace hn::mbm {
+
+class BitmapCache {
+ public:
+  explicit BitmapCache(unsigned entries, bool enabled = true)
+      : entries_(entries), enabled_(enabled) {}
+
+  struct LookupResult {
+    bool hit = false;
+    u64 value = 0;
+  };
+
+  /// Look up the bitmap word at physical address `word_addr`.
+  LookupResult lookup(PhysAddr word_addr) {
+    if (!enabled_) {
+      ++misses_;
+      return {};
+    }
+    Entry& e = slot(word_addr);
+    if (e.valid && e.addr == word_addr) {
+      ++hits_;
+      return {true, e.value};
+    }
+    ++misses_;
+    return {};
+  }
+
+  /// Read-allocate: install the word fetched from main memory.
+  void fill(PhysAddr word_addr, u64 value) {
+    if (!enabled_) return;
+    Entry& e = slot(word_addr);
+    e.valid = true;
+    e.addr = word_addr;
+    e.value = value;
+  }
+
+  /// Write-update: a bus write to the bitmap region was observed.
+  /// Updates a present entry; does not allocate (read-allocate policy).
+  void observe_write(PhysAddr word_addr, u64 value) {
+    if (!enabled_) return;
+    Entry& e = slot(word_addr);
+    if (e.valid && e.addr == word_addr) e.value = value;
+  }
+
+  void invalidate_all() {
+    for (Entry& e : slots_) e.valid = false;
+  }
+
+  [[nodiscard]] u64 hits() const { return hits_; }
+  [[nodiscard]] u64 misses() const { return misses_; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] unsigned entries() const { return entries_; }
+
+ private:
+  struct Entry {
+    bool valid = false;
+    PhysAddr addr = 0;
+    u64 value = 0;
+  };
+
+  Entry& slot(PhysAddr word_addr) {
+    if (slots_.empty()) slots_.resize(entries_);
+    return slots_[(word_addr / 8) % entries_];  // direct-mapped
+  }
+
+  unsigned entries_;
+  bool enabled_;
+  std::vector<Entry> slots_;
+  u64 hits_ = 0;
+  u64 misses_ = 0;
+};
+
+}  // namespace hn::mbm

@@ -1,0 +1,37 @@
+// Address arithmetic of the MBM bitmap (§5.3): one bit per 8-byte word of
+// the watched physical range, packed into 64-bit bitmap words stored in the
+// secure space.  Pure functions, exhaustively unit-tested.
+#pragma once
+
+#include "common/types.h"
+
+namespace hn::mbm {
+
+/// Index of the monitoring bit for physical address `pa` within a watch
+/// window starting at `watch_base`.  `pa` need not be word aligned; all
+/// bytes of a word share one bit.
+constexpr u64 bit_index_for(PhysAddr pa, PhysAddr watch_base) {
+  return (pa - watch_base) / kWordSize;
+}
+
+/// Physical address of the 64-bit bitmap word holding `bit_index`.
+constexpr PhysAddr bitmap_word_addr(u64 bit_index, PhysAddr bitmap_base) {
+  return bitmap_base + (bit_index / 64) * 8;
+}
+
+/// Bit position of `bit_index` within its bitmap word.
+constexpr unsigned bit_position(u64 bit_index) {
+  return static_cast<unsigned>(bit_index % 64);
+}
+
+/// Bytes of bitmap needed to cover `watch_size` bytes of memory.
+/// 1 bit per word => each bitmap byte covers 64 bytes of watched memory.
+constexpr u64 bitmap_bytes_for(u64 watch_size) {
+  const u64 words = (watch_size + kWordSize - 1) / kWordSize;
+  return (words + 7) / 8;
+}
+
+/// Bytes of watched memory one 64-bit bitmap word covers (64 words).
+inline constexpr u64 kBytesPerBitmapWord = 64 * kWordSize;  // 512
+
+}  // namespace hn::mbm

@@ -1,0 +1,72 @@
+// The MBM output ring buffer (§5.3 step 5): (address, value) records of
+// detected writes, stored in the secure space where the kernel cannot
+// reach them.  The MBM produces entries through its coherent memory port;
+// Hypersec consumes them from the interrupt handler (§5.3 step 7).
+#pragma once
+
+#include "common/types.h"
+#include "sim/machine.h"
+
+namespace hn::mbm {
+
+struct MonitorEvent {
+  PhysAddr paddr = 0;
+  u64 value = 0;
+};
+
+inline constexpr u64 kRingEntryBytes = 16;  // {u64 paddr, u64 value}
+
+class EventRing {
+ public:
+  EventRing(sim::Machine& machine, PhysAddr base, u64 entries)
+      : machine_(machine), base_(base), entries_(entries) {}
+
+  [[nodiscard]] PhysAddr base() const { return base_; }
+  [[nodiscard]] u64 capacity() const { return entries_; }
+  [[nodiscard]] u64 size() const { return head_ - tail_; }
+  [[nodiscard]] bool empty() const { return head_ == tail_; }
+  [[nodiscard]] u64 overflow_drops() const { return drops_; }
+  [[nodiscard]] u64 total_pushed() const { return pushed_; }
+
+  /// Producer side (MBM decision unit).  Returns false on overflow.
+  bool push(const MonitorEvent& ev) {
+    if (size() >= entries_) {
+      ++drops_;
+      return false;
+    }
+    const u64 slot = head_ % entries_;
+    u64 record[2] = {ev.paddr, ev.value};
+    machine_.dma_write_block(base_ + slot * kRingEntryBytes, record,
+                             kRingEntryBytes);
+    ++head_;
+    ++pushed_;
+    return true;
+  }
+
+  /// Consumer side (Hypersec IRQ handler).  Reads through the EL2 linear
+  /// map so the fetch cost lands on the CPU, as in the real system.
+  bool pop(MonitorEvent& out) {
+    if (empty()) return false;
+    const u64 slot = tail_ % entries_;
+    out.paddr = machine_.el2_read64(base_ + slot * kRingEntryBytes);
+    out.value = machine_.el2_read64(base_ + slot * kRingEntryBytes + 8);
+    ++tail_;
+    return true;
+  }
+
+  void reset() {
+    head_ = tail_ = 0;
+    drops_ = pushed_ = 0;
+  }
+
+ private:
+  sim::Machine& machine_;
+  PhysAddr base_;
+  u64 entries_;
+  u64 head_ = 0;  // producer index (device register, not in memory)
+  u64 tail_ = 0;  // consumer index
+  u64 drops_ = 0;
+  u64 pushed_ = 0;
+};
+
+}  // namespace hn::mbm

@@ -1,0 +1,115 @@
+#include "mbm/monitor.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace hn::mbm {
+
+MemoryBusMonitor::MemoryBusMonitor(sim::Machine& machine,
+                                   const MbmConfig& config)
+    : machine_(machine),
+      config_(config),
+      fifo_(config.fifo_depth),
+      bitmap_cache_(config.bitmap_cache_entries, config.bitmap_cache_enabled),
+      ring_(machine, config.ring_base, config.ring_entries) {
+  assert(config_.watch_size > 0);
+  assert(machine_.phys().contains(config_.bitmap_base,
+                                  bitmap_bytes_for(config_.watch_size)));
+  assert(machine_.phys().contains(config_.ring_base,
+                                  config_.ring_entries * kRingEntryBytes));
+  machine_.bus().attach_snooper(this);
+}
+
+MemoryBusMonitor::~MemoryBusMonitor() { machine_.bus().detach_snooper(this); }
+
+void MemoryBusMonitor::on_transaction(const sim::BusTransaction& txn) {
+  if (!enabled_) return;
+  switch (txn.op) {
+    case sim::BusOp::kWriteWord:
+      handle_word_write(txn.paddr, txn.value, txn.timestamp,
+                        /*from_line=*/false);
+      return;
+    case sim::BusOp::kWriteLine: {
+      if (!config_.snoop_line_writebacks) return;
+      ++snooped_line_writes_;
+      for (u64 off = 0; off < kCacheLineSize; off += kWordSize) {
+        u64 v;
+        std::memcpy(&v, txn.line.data() + off, kWordSize);
+        handle_word_write(txn.paddr + off, v, txn.timestamp,
+                          /*from_line=*/true);
+      }
+      return;
+    }
+    case sim::BusOp::kReadWord:
+    case sim::BusOp::kReadLine:
+      return;  // the snooper captures writes only (§6.3)
+  }
+}
+
+void MemoryBusMonitor::handle_word_write(PhysAddr pa, u64 value, Cycles t,
+                                         bool from_line) {
+  const u64 bitmap_len = bitmap_bytes();
+  // A write to the bitmap itself keeps the bitmap cache coherent
+  // (write-update, §6.3) and is not a monitored event.
+  if (ranges_overlap(pa, kWordSize, config_.bitmap_base, bitmap_len)) {
+    bitmap_cache_.observe_write(word_align_down(pa), value);
+    return;
+  }
+  if (!ranges_overlap(pa, 1, config_.watch_base, config_.watch_size)) return;
+  if (!from_line) ++snooped_word_writes_;
+
+  // Bitmap translator: locate the monitoring bit.
+  const u64 bit = bit_index_for(pa, config_.watch_base);
+  const PhysAddr word_addr = bitmap_word_addr(bit, config_.bitmap_base);
+
+  const BitmapCache::LookupResult lr = bitmap_cache_.lookup(word_addr);
+  const Cycles service = machine_.timing().mbm_event_process +
+                         (lr.hit ? 0 : machine_.timing().mbm_bitmap_fetch);
+  if (!fifo_.offer(CapturedWrite{pa, value, t}, t, service)) {
+    return;  // capture lost: the FIFO overflowed under burst
+  }
+
+  u64 word = lr.value;
+  if (!lr.hit) {
+    // Read-allocate fetch of the bitmap word through the MBM's own memory
+    // port (does not charge CPU cycles; the MBM runs concurrently).
+    word = machine_.phys().read64(word_addr);
+    bitmap_cache_.fill(word_addr, word);
+    ++bitmap_fetches_;
+  }
+
+  // Decision unit.
+  if ((word >> bit_position(bit)) & 1) {
+    ++detections_;
+    machine_.trace().record(t, sim::TraceKind::kMbmDetect, pa, value);
+    if (ring_.push(MonitorEvent{pa, value})) {
+      ++irqs_raised_;
+      machine_.raise_irq(config_.irq_line);
+    }
+  }
+}
+
+MbmStats MemoryBusMonitor::stats() const {
+  MbmStats s;
+  s.snooped_word_writes = snooped_word_writes_;
+  s.snooped_line_writes = snooped_line_writes_;
+  s.fifo_drops = fifo_.drops();
+  s.bitmap_cache_hits = bitmap_cache_.hits();
+  s.bitmap_cache_misses = bitmap_cache_.misses();
+  s.bitmap_fetches = bitmap_fetches_;
+  s.detections = detections_;
+  s.ring_overflow_drops = ring_.overflow_drops();
+  s.irqs_raised = irqs_raised_;
+  return s;
+}
+
+void MemoryBusMonitor::reset_stats() {
+  snooped_word_writes_ = 0;
+  snooped_line_writes_ = 0;
+  bitmap_fetches_ = 0;
+  detections_ = 0;
+  irqs_raised_ = 0;
+  fifo_.reset();
+}
+
+}  // namespace hn::mbm

@@ -1,0 +1,100 @@
+// The Memory Bus Monitor (MBM), top level — Figure 5's micro-architecture:
+//
+//   system bus ──► [bus traffic snooper] ──► [FIFO] ──► [bitmap translator]
+//                                                     │        │
+//                                                     ▼        ▼
+//                                             [bitmap cache] [decision unit]
+//                                                                 │
+//                                               ring buffer ◄─────┤
+//                                               IRQ to CPU  ◄─────┘
+//
+// The MBM is a passive bus agent: it observes only traffic that actually
+// reaches the memory bus (hence Hypersec's non-cacheable mapping of
+// monitored pages) and has no visibility into CPU-internal state (the
+// semantic gap that Hypersec closes for it, §2/§5.3).
+#pragma once
+
+#include "common/timing.h"
+#include "common/types.h"
+#include "mbm/bitmap_cache.h"
+#include "mbm/bitmap_math.h"
+#include "mbm/event_ring.h"
+#include "mbm/write_fifo.h"
+#include "sim/bus.h"
+#include "sim/irq.h"
+#include "sim/machine.h"
+
+namespace hn::mbm {
+
+struct MbmConfig {
+  /// Physical window the bitmap covers (normally all of normal DRAM).
+  PhysAddr watch_base = 0;
+  u64 watch_size = 0;
+  /// Bitmap location (secure space); needs bitmap_bytes_for(watch_size).
+  PhysAddr bitmap_base = 0;
+  /// Event ring buffer location (secure space) and capacity.
+  PhysAddr ring_base = 0;
+  u64 ring_entries = 4096;
+  unsigned fifo_depth = 64;
+  unsigned bitmap_cache_entries = 16;
+  bool bitmap_cache_enabled = true;
+  /// Conservative mode: also scan dirty-line write-backs word by word.
+  /// Off by default, as in the paper (monitored pages are non-cacheable,
+  /// so all relevant writes arrive as word transactions).
+  bool snoop_line_writebacks = false;
+  unsigned irq_line = sim::kIrqMbm;
+};
+
+struct MbmStats {
+  u64 snooped_word_writes = 0;   // word writes inside the watch window
+  u64 snooped_line_writes = 0;   // line write-backs scanned (if enabled)
+  u64 fifo_drops = 0;
+  u64 bitmap_cache_hits = 0;
+  u64 bitmap_cache_misses = 0;
+  u64 bitmap_fetches = 0;        // main-memory bitmap reads
+  u64 detections = 0;            // writes whose bitmap bit was set
+  u64 ring_overflow_drops = 0;
+  u64 irqs_raised = 0;
+};
+
+class MemoryBusMonitor final : public sim::BusSnooper {
+ public:
+  MemoryBusMonitor(sim::Machine& machine, const MbmConfig& config);
+  ~MemoryBusMonitor() override;
+
+  MemoryBusMonitor(const MemoryBusMonitor&) = delete;
+  MemoryBusMonitor& operator=(const MemoryBusMonitor&) = delete;
+
+  void on_transaction(const sim::BusTransaction& txn) override;
+
+  void set_enabled(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  [[nodiscard]] MbmStats stats() const;
+  void reset_stats();
+
+  EventRing& ring() { return ring_; }
+  BitmapCache& bitmap_cache() { return bitmap_cache_; }
+  WriteFifo& fifo() { return fifo_; }
+  [[nodiscard]] const MbmConfig& config() const { return config_; }
+  [[nodiscard]] u64 bitmap_bytes() const {
+    return bitmap_bytes_for(config_.watch_size);
+  }
+
+ private:
+  void handle_word_write(PhysAddr pa, u64 value, Cycles t, bool from_line);
+
+  sim::Machine& machine_;
+  MbmConfig config_;
+  WriteFifo fifo_;
+  BitmapCache bitmap_cache_;
+  EventRing ring_;
+  bool enabled_ = true;
+  u64 snooped_word_writes_ = 0;
+  u64 snooped_line_writes_ = 0;
+  u64 bitmap_fetches_ = 0;
+  u64 detections_ = 0;
+  u64 irqs_raised_ = 0;
+};
+
+}  // namespace hn::mbm

@@ -1,0 +1,64 @@
+// The FIFO between the bus traffic snooper and the bitmap translator
+// (Fig. 5).  The MBM runs concurrently with the CPU, so this models
+// *occupancy over time*: entries drain at the translator's processing rate;
+// when a burst outpaces the drain, captures are dropped and counted — the
+// sizing trade-off bench_ablation_mbm_sizing sweeps.
+#pragma once
+
+#include <deque>
+
+#include "common/types.h"
+
+namespace hn::mbm {
+
+struct CapturedWrite {
+  PhysAddr paddr = 0;
+  u64 value = 0;
+  Cycles captured_at = 0;
+};
+
+class WriteFifo {
+ public:
+  explicit WriteFifo(unsigned depth) : depth_(depth) {}
+
+  /// Offer a capture at bus time `now`; `service_time` is how long the
+  /// translator will spend on it.  Returns false (and counts a drop) when
+  /// the FIFO is full at `now`.
+  bool offer(const CapturedWrite& /*capture*/, Cycles now, Cycles service_time) {
+    drain(now);
+    if (queue_.size() >= depth_) {
+      ++drops_;
+      return false;
+    }
+    const Cycles start = queue_.empty() ? now : queue_.back();
+    queue_.push_back(std::max(start, now) + service_time);
+    ++accepted_;
+    return true;
+  }
+
+  /// Remove entries whose processing completed by `now`.
+  void drain(Cycles now) {
+    while (!queue_.empty() && queue_.front() <= now) queue_.pop_front();
+  }
+
+  [[nodiscard]] unsigned occupancy() const {
+    return static_cast<unsigned>(queue_.size());
+  }
+  [[nodiscard]] unsigned depth() const { return depth_; }
+  [[nodiscard]] u64 drops() const { return drops_; }
+  [[nodiscard]] u64 accepted() const { return accepted_; }
+
+  void reset() {
+    queue_.clear();
+    drops_ = 0;
+    accepted_ = 0;
+  }
+
+ private:
+  unsigned depth_;
+  std::deque<Cycles> queue_;  // completion time of each queued capture
+  u64 drops_ = 0;
+  u64 accepted_ = 0;
+};
+
+}  // namespace hn::mbm

@@ -1,0 +1,76 @@
+// A bare external bus monitor WITHOUT Hypersec — the related-work baseline
+// (§2 "hardware-based", KI-Mon-style) that Hypernel improves on.
+//
+// It programs the MBM bitmap directly (firmware-style, through the
+// physical port) for physical regions it was told about once, and polls
+// the event ring.  Because it has no view of CPU-internal state, it:
+//   * cannot learn about dynamically (re)allocated objects, and
+//   * is blind to address-translation redirection (ATRA [15]): if the
+//     kernel relocates an object and patches its mapping, the monitor
+//     keeps watching the stale physical page.
+// examples/atra_attack.cpp demonstrates both failure modes.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "mbm/bitmap_math.h"
+#include "mbm/monitor.h"
+#include "sim/machine.h"
+
+namespace hn::secapps {
+
+class BaselineExternalMonitor {
+ public:
+  BaselineExternalMonitor(sim::Machine& machine, mbm::MemoryBusMonitor& mbm)
+      : machine_(machine), mbm_(mbm) {}
+
+  /// Watch a fixed physical range (configured out-of-band, e.g. from a
+  /// boot-time symbol table — all the context an external monitor has).
+  void watch_phys(PhysAddr pa, u64 size) {
+    const mbm::MbmConfig& cfg = mbm_.config();
+    for (PhysAddr w = word_align_down(pa); w < pa + size; w += kWordSize) {
+      const u64 bit = mbm::bit_index_for(w, cfg.watch_base);
+      const PhysAddr wa = mbm::bitmap_word_addr(bit, cfg.bitmap_base);
+      const u64 v = machine_.phys().read64(wa);
+      machine_.phys().write64(wa, v | (u64{1} << mbm::bit_position(bit)));
+      // Keep the MBM's bitmap cache coherent the way firmware would: it
+      // has no cache-control port, so invalidate wholesale.
+      mbm_.bitmap_cache().invalidate_all();
+    }
+    watched_.push_back({pa, size});
+  }
+
+  /// Drain the ring; returns the number of events collected this poll.
+  u64 poll() {
+    u64 n = 0;
+    mbm::MonitorEvent ev;
+    while (mbm_.ring().pop(ev)) {
+      events_.push_back(ev);
+      ++n;
+    }
+    return n;
+  }
+
+  [[nodiscard]] const std::vector<mbm::MonitorEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] bool saw_write_to(PhysAddr pa) const {
+    for (const mbm::MonitorEvent& ev : events_) {
+      if (word_align_down(ev.paddr) == word_align_down(pa)) return true;
+    }
+    return false;
+  }
+
+ private:
+  struct Watched {
+    PhysAddr pa;
+    u64 size;
+  };
+  sim::Machine& machine_;
+  mbm::MemoryBusMonitor& mbm_;
+  std::vector<Watched> watched_;
+  std::vector<mbm::MonitorEvent> events_;
+};
+
+}  // namespace hn::secapps

@@ -1,0 +1,164 @@
+#include "secapps/object_monitor.h"
+
+#include <cassert>
+
+#include "common/hvc_abi.h"
+#include "common/log.h"
+#include "kernel/layout.h"
+#include "kernel/vfs.h"
+
+namespace hn::secapps {
+
+using kernel::CredLayout;
+using kernel::DentryLayout;
+using kernel::ObjectKind;
+
+ObjectIntegrityMonitor::ObjectIntegrityMonitor(hypernel::System& system,
+                                               Granularity granularity,
+                                               bool watch_cred,
+                                               bool watch_dentry, u64 sid)
+    : system_(system), granularity_(granularity), watch_cred_(watch_cred),
+      watch_dentry_(watch_dentry), sid_(sid) {}
+
+std::vector<ObjectIntegrityMonitor::Range>
+ObjectIntegrityMonitor::ranges_for(ObjectKind kind) const {
+  if (granularity_ == Granularity::kWholeObject) {
+    return {Range{0, kernel::object_words(kind)}};
+  }
+  // Coalesce the sensitive word list into contiguous runs: each run is one
+  // kMonRegister hypercall and one bitmap update burst.
+  std::vector<Range> out;
+  for (const u64 w : kernel::sensitive_words(kind)) {
+    if (!out.empty() && out.back().word + out.back().words == w) {
+      ++out.back().words;
+    } else {
+      out.push_back(Range{w, 1});
+    }
+  }
+  return out;
+}
+
+Status ObjectIntegrityMonitor::install() {
+  assert(!installed_);
+  if (Status s = system_.register_security_app(*this); !s.ok()) return s;
+  kernel::Kernel& k = system_.kernel();
+  if (watch_cred_) {
+    k.set_object_hooks(
+        ObjectKind::kCred,
+        [this](VirtAddr va) { hook_alloc(ObjectKind::kCred, va); },
+        [this](VirtAddr va) { hook_free(ObjectKind::kCred, va); });
+    // Objects alive before installation (the init task's cred).
+    for (const kernel::Task* task : k.procs().all_tasks()) {
+      hook_alloc(ObjectKind::kCred, task->cred);
+    }
+  }
+  if (watch_dentry_) {
+    k.set_object_hooks(
+        ObjectKind::kDentry,
+        [this](VirtAddr va) { hook_alloc(ObjectKind::kDentry, va); },
+        [this](VirtAddr va) { hook_free(ObjectKind::kDentry, va); });
+  }
+  installed_ = true;
+  return Status::Ok();
+}
+
+void ObjectIntegrityMonitor::hook_alloc(ObjectKind kind, VirtAddr va) {
+  // Kernel-context hook (§5.3 step 1): one hypercall per monitored range.
+  const PhysAddr base_pa = kernel::virt_to_phys(va);
+  object_kind_[base_pa] = kind;
+  ++stats_.objects_registered;
+  for (const Range& r : ranges_for(kind)) {
+    const u64 rc = system_.machine().hvc(
+        hvc::kMonRegister, {sid_, va + r.word * kWordSize, r.words * kWordSize});
+    if (rc != hvc::kOk) {
+      HN_LOG_WARN("secapp", "region registration failed (va=%llx)",
+                  static_cast<unsigned long long>(va));
+    }
+    for (u64 w = 0; w < r.words; ++w) {
+      // Baseline the verification state from the object's current
+      // contents (cred objects arrive zeroed; dentries already carry
+      // their d_alloc identity at hook time).
+      shadow_[base_pa + (r.word + w) * kWordSize] =
+          system_.machine().el2_read64(base_pa + (r.word + w) * kWordSize);
+    }
+  }
+}
+
+void ObjectIntegrityMonitor::hook_free(ObjectKind kind, VirtAddr va) {
+  const PhysAddr base_pa = kernel::virt_to_phys(va);
+  ++stats_.objects_unregistered;
+  for (const Range& r : ranges_for(kind)) {
+    system_.machine().hvc(
+        hvc::kMonUnregister,
+        {sid_, va + r.word * kWordSize, r.words * kWordSize});
+    for (u64 w = 0; w < r.words; ++w) {
+      shadow_.erase(base_pa + (r.word + w) * kWordSize);
+    }
+  }
+  object_kind_.erase(base_pa);
+}
+
+void ObjectIntegrityMonitor::on_write_event(
+    const mbm::MonitorEvent& event, const hypersec::RegionInfo& region) {
+  (void)region;
+  // EL2 verification work for one event.
+  system_.machine().advance(90);
+  ++stats_.events_total;
+
+  // Slab objects are size-aligned, so the object base is the event address
+  // rounded down to the object size (128 B for both kinds).
+  const PhysAddr base = event.paddr & ~u64{127};
+  auto it = object_kind_.find(base);
+  if (it == object_kind_.end()) return;  // object freed while event in flight
+  const ObjectKind kind = it->second;
+  if (kind == ObjectKind::kCred) {
+    ++stats_.events_cred;
+  } else {
+    ++stats_.events_dentry;
+  }
+
+  const u64 word = (event.paddr - base) / kWordSize;
+  const PhysAddr word_pa = base + word * kWordSize;
+  const u64 old_value = shadow_.count(word_pa) ? shadow_[word_pa] : 0;
+  verify(kind, word, base, old_value, event.value);
+  shadow_[word_pa] = event.value;
+}
+
+void ObjectIntegrityMonitor::verify(ObjectKind kind, u64 word, PhysAddr pa,
+                                    u64 old_value, u64 new_value) {
+  auto alert = [&](const char* reason) {
+    alerts_.push_back(Alert{kind, pa, word, old_value, new_value, reason});
+    HN_LOG_INFO("secapp", "ALERT %s (pa=%llx word=%llu %llx->%llx)", reason,
+                static_cast<unsigned long long>(pa),
+                static_cast<unsigned long long>(word),
+                static_cast<unsigned long long>(old_value),
+                static_cast<unsigned long long>(new_value));
+  };
+
+  if (kind == ObjectKind::kCred) {
+    const bool is_id_word =
+        word >= CredLayout::kUid && word <= CredLayout::kFsgid;
+    if (is_id_word && new_value == 0 && old_value != 0) {
+      alert("cred identity lowered to root");
+    }
+    const bool is_cap_word = word >= CredLayout::kCapInheritable &&
+                             word <= CredLayout::kCapEffective;
+    if (is_cap_word && new_value == ~u64{0} && old_value != 0 &&
+        old_value != ~u64{0}) {
+      alert("capability mask escalated to full");
+    }
+    return;
+  }
+
+  // Dentry policy.
+  if (word == DentryLayout::kOp && new_value != kernel::kDentryOpsVtable &&
+      new_value != 0) {
+    alert("dentry operations vtable hooked");
+  }
+  if (word == DentryLayout::kInode && old_value != 0 && new_value != 0 &&
+      new_value != old_value) {
+    alert("dentry inode pointer hijacked");
+  }
+}
+
+}  // namespace hn::secapps

@@ -1,0 +1,37 @@
+// A ready-made rootkit detector built on the object-integrity monitor:
+// word-granularity watch over cred identity/capability fields and dentry
+// inode/ops words, with convenience queries for the two classic attacks
+// the paper's footnote 2 describes (privilege escalation via cred, and
+// file subversion via dentry).
+#pragma once
+
+#include "secapps/object_monitor.h"
+
+namespace hn::secapps {
+
+class RootkitDetector : public ObjectIntegrityMonitor {
+ public:
+  explicit RootkitDetector(hypernel::System& system, u64 sid = 2)
+      : ObjectIntegrityMonitor(system, Granularity::kSensitiveFields,
+                               /*watch_cred=*/true, /*watch_dentry=*/true,
+                               sid) {}
+
+  [[nodiscard]] const char* name() const override { return "rootkit-detector"; }
+
+  [[nodiscard]] bool detected_cred_escalation() const {
+    return has_alert_containing("cred") || has_alert_containing("capability");
+  }
+  [[nodiscard]] bool detected_dentry_tampering() const {
+    return has_alert_containing("dentry");
+  }
+
+ private:
+  [[nodiscard]] bool has_alert_containing(const char* needle) const {
+    for (const Alert& a : alerts()) {
+      if (a.reason.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace hn::secapps

@@ -1,0 +1,55 @@
+#include "secapps/snapshot_monitor.h"
+
+#include "kernel/layout.h"
+
+namespace hn::secapps {
+
+u64 SnapshotMonitor::hash_region(VirtAddr va, u64 size) {
+  // FNV-1a over the region's words, read through the EL2 linear map.
+  const PhysAddr pa = kernel::virt_to_phys(va);
+  u64 h = 0xCBF29CE484222325ull;
+  for (u64 off = 0; off < size; off += kWordSize) {
+    const u64 w = system_.machine().el2_read64(pa + off);
+    h = (h ^ w) * 0x100000001B3ull;
+  }
+  return h;
+}
+
+Status SnapshotMonitor::watch(VirtAddr va, u64 size, std::string label) {
+  if (!is_word_aligned(va) || size == 0 || size % kWordSize != 0) {
+    return Status::Invalid("snapshot: region must be word aligned");
+  }
+  Region r;
+  r.va = va;
+  r.size = size;
+  r.label = std::move(label);
+  r.hash = hash_region(va, size);
+  regions_.push_back(std::move(r));
+  return Status::Ok();
+}
+
+u64 SnapshotMonitor::scan() {
+  ++scan_index_;
+  u64 modified = 0;
+  for (Region& r : regions_) {
+    const u64 now = hash_region(r.va, r.size);
+    if (now != r.hash) {
+      ++modified;
+      alerts_.push_back(SnapshotAlert{r.label, r.va, scan_index_});
+      r.hash = now;  // report each persistent change once
+    }
+  }
+  return modified;
+}
+
+Status SnapshotMonitor::rebaseline(VirtAddr va) {
+  for (Region& r : regions_) {
+    if (r.va == va) {
+      r.hash = hash_region(r.va, r.size);
+      return Status::Ok();
+    }
+  }
+  return Status::NotFound("snapshot: no such region");
+}
+
+}  // namespace hn::secapps

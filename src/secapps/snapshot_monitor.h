@@ -1,0 +1,62 @@
+// A Vigilare-style snapshot monitor: the *other* hardware-monitor lineage
+// the paper's related work contrasts with event-triggered designs (§2).
+//
+// It keeps baseline hashes of watched regions and detects modifications
+// only when a scan runs — so a transient attack (modify, exploit, revert
+// between scans) evades it, while the event-triggered MBM pipeline
+// catches the write the moment it hits the bus.  The comparison test and
+// the detection-latency bench build on exactly that difference.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "hypernel/system.h"
+
+namespace hn::secapps {
+
+class SnapshotMonitor {
+ public:
+  explicit SnapshotMonitor(hypernel::System& system) : system_(system) {}
+
+  /// Baseline a kernel-VA region (word aligned).  Reads run at EL2 via
+  /// the linear map, charged like any Hypersec access.
+  Status watch(VirtAddr va, u64 size, std::string label);
+
+  /// Rescan every watched region against its baseline.  Returns the number
+  /// of regions found modified this scan (each also appended to alerts()).
+  u64 scan();
+
+  /// Accept the current contents as the new baseline (after a legitimate
+  /// update the monitor was told about).
+  Status rebaseline(VirtAddr va);
+
+  struct SnapshotAlert {
+    std::string label;
+    VirtAddr va = 0;
+    u64 scan_index = 0;
+  };
+  [[nodiscard]] const std::vector<SnapshotAlert>& alerts() const {
+    return alerts_;
+  }
+  [[nodiscard]] u64 scans() const { return scan_index_; }
+  [[nodiscard]] u64 regions() const { return regions_.size(); }
+
+ private:
+  struct Region {
+    VirtAddr va = 0;
+    u64 size = 0;
+    u64 hash = 0;
+    std::string label;
+  };
+
+  u64 hash_region(VirtAddr va, u64 size);
+
+  hypernel::System& system_;
+  std::vector<Region> regions_;
+  std::vector<SnapshotAlert> alerts_;
+  u64 scan_index_ = 0;
+};
+
+}  // namespace hn::secapps

@@ -1,0 +1,64 @@
+// The system memory bus between the CPU's cache hierarchy and DRAM.
+//
+// This is the interposition point of the Memory Bus Monitor (§5.3, Fig. 5):
+// MBM's bus traffic snooper registers here as a BusSnooper.  Only traffic
+// that actually reaches the bus is observable — a write absorbed by a
+// write-back cache produces no WriteWord transaction until (and unless) its
+// dirty line is evicted, at which point only the *final* line contents are
+// visible as one WriteLine.  This is precisely why Hypersec maps monitored
+// regions non-cacheable (§5.3), and the tests exercise both sides of that
+// trade-off.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hn::sim {
+
+enum class BusOp : u8 {
+  kReadWord,    // non-cacheable word read
+  kWriteWord,   // non-cacheable word write: exact address + value visible
+  kReadLine,    // cache line fill
+  kWriteLine,   // dirty line write-back: final line contents visible
+};
+
+struct BusTransaction {
+  BusOp op = BusOp::kReadWord;
+  PhysAddr paddr = 0;  // word address for word ops, line-aligned for line ops
+  u64 value = 0;       // word ops only
+  std::array<u8, kCacheLineSize> line{};  // kWriteLine only
+  Cycles timestamp = 0;                   // CPU cycle count at issue
+};
+
+/// Interface for passive bus observers (the MBM snooper).
+class BusSnooper {
+ public:
+  virtual ~BusSnooper() = default;
+  virtual void on_transaction(const BusTransaction& txn) = 0;
+};
+
+class MemoryBus {
+ public:
+  /// Register a passive observer.  The bus does not own snoopers; callers
+  /// guarantee snooper lifetime exceeds bus use (the Machine composition
+  /// root enforces this by construction order).
+  void attach_snooper(BusSnooper* snooper) { snoopers_.push_back(snooper); }
+  void detach_snooper(BusSnooper* snooper) {
+    std::erase(snoopers_, snooper);
+  }
+
+  void issue(const BusTransaction& txn) {
+    ++txn_count_;
+    for (BusSnooper* s : snoopers_) s->on_transaction(txn);
+  }
+
+  [[nodiscard]] u64 transaction_count() const { return txn_count_; }
+
+ private:
+  std::vector<BusSnooper*> snoopers_;
+  u64 txn_count_ = 0;
+};
+
+}  // namespace hn::sim

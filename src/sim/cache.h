@@ -1,0 +1,85 @@
+// Write-back, write-allocate, physically-indexed data cache (Cortex-A57
+// L1D-like: 32 KiB, 2-way, 64 B lines).
+//
+// The cache holds no data — functional state lives in PhysicalMemory — but
+// it decides *when traffic reaches the bus*: a cacheable write marks a line
+// dirty and emits nothing; the final line contents surface as a single
+// kWriteLine transaction at eviction or explicit flush.  This models the
+// MBM visibility problem that forces Hypersec to map monitored pages
+// non-cacheable (§5.3).
+#pragma once
+
+#include <vector>
+
+#include "common/timing.h"
+#include "common/types.h"
+#include "sim/bus.h"
+#include "sim/cycle_account.h"
+#include "sim/phys_mem.h"
+
+namespace hn::sim {
+
+struct CacheConfig {
+  u64 size_bytes = 32 * 1024;
+  unsigned ways = 2;
+  bool enabled = true;  // disabled => every access behaves as non-cacheable
+};
+
+class Cache {
+ public:
+  Cache(const CacheConfig& config, PhysicalMemory& mem, MemoryBus& bus,
+        CycleAccount& account, const TimingModel& timing);
+
+  /// A cacheable access to the word/line containing `pa`.  Charges hit or
+  /// miss cost, performs fills and dirty evictions via the bus, and marks
+  /// the line dirty on writes.  The functional data update is the caller's
+  /// job (done before/after as appropriate).
+  void access(PhysAddr pa, bool is_write);
+
+  /// Full-line streaming write: the whole line at `pa` is being
+  /// overwritten, so a miss allocates the line dirty *without* a DRAM
+  /// fetch (DC ZVA / write-streaming behaviour).  Used by bulk zeroing
+  /// and large copies.
+  void write_alloc_line(PhysAddr pa);
+
+  /// Write back (if dirty) and invalidate the line containing `pa`.
+  /// Used by Hypersec when it remaps a monitored page non-cacheable, so no
+  /// stale dirty data can later mask a monitored write.
+  void flush_line(PhysAddr pa);
+
+  /// Flush every line intersecting [pa, pa+len).
+  void flush_range(PhysAddr pa, u64 len);
+
+  /// Invalidate everything, writing back dirty lines.
+  void flush_all();
+
+  [[nodiscard]] bool contains_line(PhysAddr pa) const;
+  [[nodiscard]] bool line_dirty(PhysAddr pa) const;
+  [[nodiscard]] const CacheConfig& config() const { return config_; }
+
+ private:
+  struct Line {
+    bool valid = false;
+    bool dirty = false;
+    PhysAddr base = 0;  // line-aligned physical address
+  };
+
+  [[nodiscard]] u64 set_index(PhysAddr pa) const {
+    return (pa / kCacheLineSize) % num_sets_;
+  }
+  Line* find_line(PhysAddr pa);
+  [[nodiscard]] const Line* find_line(PhysAddr pa) const;
+  void evict(Line& line);
+  void writeback(const Line& line);
+
+  CacheConfig config_;
+  PhysicalMemory& mem_;
+  MemoryBus& bus_;
+  CycleAccount& account_;
+  const TimingModel& timing_;
+  u64 num_sets_;
+  std::vector<Line> lines_;       // num_sets_ * ways, set-major
+  std::vector<unsigned> victim_;  // round-robin pointer per set
+};
+
+}  // namespace hn::sim

@@ -1,0 +1,73 @@
+// A DMA-capable bus-master device.
+//
+// Unlike the CPU, a device bypasses the MMU and caches entirely — but its
+// traffic is real bus traffic: every transfer appears on the memory bus
+// word by word, where the MBM snoops it (the §8 observation that the MBM
+// "can watch the bus traffic between the CPU and main memory" and could
+// therefore detect DMA attacks).  Transfers are policed by the IOMMU.
+#pragma once
+
+#include <cstring>
+
+#include "common/types.h"
+#include "sim/bus.h"
+#include "sim/iommu.h"
+#include "sim/machine.h"
+
+namespace hn::sim {
+
+class DmaDevice {
+ public:
+  DmaDevice(Machine& machine, Iommu& iommu, u32 stream_id)
+      : machine_(machine), iommu_(iommu), stream_id_(stream_id) {}
+
+  [[nodiscard]] u32 stream_id() const { return stream_id_; }
+
+  /// DMA write of `len` bytes (word multiple, word aligned).  Returns
+  /// false on an IOMMU fault (transfer aborted, memory untouched).
+  bool write(PhysAddr pa, const void* data, u64 len) {
+    if (!iommu_.check(stream_id_, pa, len, /*is_write=*/true)) {
+      iommu_.count_fault();
+      return false;
+    }
+    const auto* p = static_cast<const u8*>(data);
+    for (u64 off = 0; off < len; off += kWordSize) {
+      u64 v;
+      std::memcpy(&v, p + off, kWordSize);
+      // Coherent write: lands in memory and on the bus (MBM-visible).
+      machine_.cache().flush_line(pa + off);
+      machine_.phys().write64(pa + off, v);
+      BusTransaction txn;
+      txn.op = BusOp::kWriteWord;
+      txn.paddr = pa + off;
+      txn.value = v;
+      txn.timestamp = machine_.account().cycles();
+      machine_.bus().issue(txn);
+      ++words_written_;
+    }
+    return true;
+  }
+
+  bool write64(PhysAddr pa, u64 value) { return write(pa, &value, 8); }
+
+  /// DMA read (no MBM relevance — the snooper captures writes — but still
+  /// IOMMU policed).
+  bool read(PhysAddr pa, void* out, u64 len) {
+    if (!iommu_.check(stream_id_, pa, len, /*is_write=*/false)) {
+      iommu_.count_fault();
+      return false;
+    }
+    machine_.dma_read_block(pa, out, len);
+    return true;
+  }
+
+  [[nodiscard]] u64 words_written() const { return words_written_; }
+
+ private:
+  Machine& machine_;
+  Iommu& iommu_;
+  u32 stream_id_;
+  u64 words_written_ = 0;
+};
+
+}  // namespace hn::sim

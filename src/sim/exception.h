@@ -1,0 +1,137 @@
+// Exception-level model: EL0/EL1/EL2 privilege, synchronous exceptions
+// (HVC hypercalls, trapped system-register writes) and asynchronous IRQs.
+//
+// Handlers are callbacks registered by the software that owns each vector:
+// Hypersec or KVM install EL2 handlers (VBAR_EL2 analogue), the kernel
+// installs EL1 handlers (VBAR_EL1 analogue).
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "common/timing.h"
+#include "common/types.h"
+#include "sim/cycle_account.h"
+#include "sim/sysregs.h"
+#include "sim/trace.h"
+
+namespace hn::sim {
+
+enum class El : u8 { kEl0 = 0, kEl1 = 1, kEl2 = 2 };
+
+/// Verdict of an EL2 handler for a trapped EL1 system-register write.
+enum class TrapVerdict : u8 {
+  kAllow,  // EL2 validated the write; it takes architectural effect
+  kDeny,   // EL2 rejected it; the register is left unchanged
+};
+
+class ExceptionModel {
+ public:
+  using HypercallHandler = std::function<u64(u64 func, std::span<const u64> args)>;
+  using SysregTrapHandler = std::function<TrapVerdict(SysReg reg, u64 value)>;
+  using IrqHandler = std::function<void(unsigned line)>;
+
+  ExceptionModel(SysRegs& regs, CycleAccount& account,
+                 const TimingModel& timing, Trace& trace)
+      : regs_(regs), account_(account), timing_(timing), trace_(trace) {}
+
+  [[nodiscard]] El current_el() const { return el_; }
+
+  // --- EL2 vector installation (Hypersec §6.1 / KVM) ----------------------
+  void set_hypercall_handler(HypercallHandler h) { hvc_handler_ = std::move(h); }
+  void set_sysreg_trap_handler(SysregTrapHandler h) { trap_handler_ = std::move(h); }
+  void set_el2_irq_handler(IrqHandler h) { el2_irq_handler_ = std::move(h); }
+  void set_el1_irq_handler(IrqHandler h) { el1_irq_handler_ = std::move(h); }
+
+  /// HVC from EL1: world-switch to EL2, run the handler, return to EL1.
+  /// Returns the handler's result (0 if no handler is installed).
+  u64 hvc(u64 func, std::span<const u64> args) {
+    account_.charge(timing_.hvc_roundtrip);
+    ++account_.counters().hvc_calls;
+    if (!hvc_handler_) return u64(-1);
+    const El saved = el_;
+    el_ = El::kEl2;
+    const u64 r = hvc_handler_(func, args);
+    el_ = saved;
+    trace_.record(account_.cycles(), TraceKind::kHvc, func, r);
+    return r;
+  }
+
+  /// EL1 write to a system register.  If HCR_EL2.TVM is set and the
+  /// register is in the trapped set, control transfers to EL2 first
+  /// (§5.2.2); the write takes effect only if EL2 allows it.
+  /// Returns false when EL2 denied the write.
+  bool write_sysreg_el1(SysReg reg, u64 value) {
+    if (is_tvm_trapped(reg) && regs_.hcr_bit(kHcrTvm) && trap_handler_) {
+      account_.charge(timing_.sysreg_trap);
+      ++account_.counters().sysreg_traps;
+      const El saved = el_;
+      el_ = El::kEl2;
+      const TrapVerdict v = trap_handler_(reg, value);
+      el_ = saved;
+      trace_.record(account_.cycles(), TraceKind::kSysregTrap,
+                    static_cast<u64>(reg), v == TrapVerdict::kAllow ? 1 : 0);
+      if (v == TrapVerdict::kDeny) return false;
+    }
+    regs_.set(reg, value);
+    return true;
+  }
+
+  /// Asynchronous interrupt delivery.  Routed to EL2 when HCR_EL2.IMO is
+  /// set (Hypersec owns physical IRQs), otherwise to EL1.
+  void deliver_irq(unsigned line) {
+    account_.charge(timing_.irq_delivery);
+    ++account_.counters().irqs_delivered;
+    trace_.record(account_.cycles(), TraceKind::kIrq, line, 0);
+    if (regs_.hcr_bit(kHcrImo) && el2_irq_handler_) {
+      const El saved = el_;
+      el_ = El::kEl2;
+      el2_irq_handler_(line);
+      el_ = saved;
+    } else if (el1_irq_handler_) {
+      const El saved = el_;
+      el_ = El::kEl1;
+      el1_irq_handler_(line);
+      el_ = saved;
+    }
+  }
+
+  /// Directly invoke the EL1 IRQ vector (used by a hypervisor's EL2 IRQ
+  /// handler to forward a physical interrupt into the guest).
+  void invoke_el1_irq(unsigned line) {
+    if (!el1_irq_handler_) return;
+    const El saved = el_;
+    el_ = El::kEl1;
+    el1_irq_handler_(line);
+    el_ = saved;
+  }
+
+  /// Scoped EL override for software that legitimately runs at another
+  /// level (Hypersec boot code at EL2, user code at EL0).
+  class ElScope {
+   public:
+    ElScope(ExceptionModel& model, El el) : model_(model), saved_(model.el_) {
+      model_.el_ = el;
+    }
+    ~ElScope() { model_.el_ = saved_; }
+    ElScope(const ElScope&) = delete;
+    ElScope& operator=(const ElScope&) = delete;
+
+   private:
+    ExceptionModel& model_;
+    El saved_;
+  };
+
+ private:
+  SysRegs& regs_;
+  CycleAccount& account_;
+  const TimingModel& timing_;
+  Trace& trace_;
+  El el_ = El::kEl1;  // machine boots into kernel context in this model
+  HypercallHandler hvc_handler_;
+  SysregTrapHandler trap_handler_;
+  IrqHandler el2_irq_handler_;
+  IrqHandler el1_irq_handler_;
+};
+
+}  // namespace hn::sim

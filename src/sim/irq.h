@@ -1,0 +1,58 @@
+// Interrupt controller (GIC-lite): named lines, enable bits, synchronous
+// delivery through the exception model's routing (HCR_EL2.IMO decides EL2
+// vs EL1).  The MBM's completion interrupt (§5.3 step 6) arrives here.
+#pragma once
+
+#include <array>
+
+#include "common/types.h"
+#include "sim/exception.h"
+
+namespace hn::sim {
+
+inline constexpr unsigned kIrqLines = 16;
+inline constexpr unsigned kIrqTimer = 1;
+inline constexpr unsigned kIrqMbm = 5;
+inline constexpr unsigned kIrqNet = 6;
+
+class InterruptController {
+ public:
+  explicit InterruptController(ExceptionModel& exceptions)
+      : exceptions_(exceptions) {
+    enabled_.fill(true);
+  }
+
+  void set_enabled(unsigned line, bool on) { enabled_.at(line) = on; }
+  [[nodiscard]] bool enabled(unsigned line) const { return enabled_.at(line); }
+
+  /// Assert a line.  Enabled lines deliver synchronously; disabled lines
+  /// latch as pending and deliver on re-enable via `replay_pending`.
+  void raise(unsigned line) {
+    if (!enabled_.at(line)) {
+      pending_.at(line) = true;
+      return;
+    }
+    ++raised_.at(line);
+    exceptions_.deliver_irq(line);
+  }
+
+  void replay_pending() {
+    for (unsigned line = 0; line < kIrqLines; ++line) {
+      if (pending_[line] && enabled_[line]) {
+        pending_[line] = false;
+        ++raised_[line];
+        exceptions_.deliver_irq(line);
+      }
+    }
+  }
+
+  [[nodiscard]] u64 raised_count(unsigned line) const { return raised_.at(line); }
+
+ private:
+  ExceptionModel& exceptions_;
+  std::array<bool, kIrqLines> enabled_{};
+  std::array<bool, kIrqLines> pending_{};
+  std::array<u64, kIrqLines> raised_{};
+};
+
+}  // namespace hn::sim

@@ -1,0 +1,344 @@
+#include "sim/machine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+namespace hn::sim {
+
+Machine::Machine(const MachineConfig& config)
+    : config_(config),
+      phys_(config.dram_size),
+      cache_(config.cache, phys_, bus_, account_, config_.timing),
+      mmu_(phys_, account_, config_.timing, config.tlb_entries),
+      exceptions_(sysregs_, account_, config_.timing, trace_),
+      gic_(exceptions_) {
+  assert(config.secure_size < config.dram_size);
+}
+
+WalkContext Machine::walk_context() const {
+  // TTBR0_EL1 carries the ASID in bits [63:48] (TCR.A1 == 0 convention),
+  // so an address-space switch is a single system-register write — and
+  // thus a single TVM trap under Hypernel (§5.2.2).
+  const u64 ttbr0 = sysregs_.get(SysReg::TTBR0_EL1);
+  WalkContext ctx;
+  ctx.ttbr0 = ttbr0 & 0x0000'FFFF'FFFF'FFFFull;
+  ctx.ttbr1 = sysregs_.get(SysReg::TTBR1_EL1) & 0x0000'FFFF'FFFF'FFFFull;
+  ctx.asid = static_cast<u16>(ttbr0 >> 48);
+  ctx.stage2_enabled = sysregs_.hcr_bit(kHcrVm);
+  ctx.vttbr = sysregs_.get(SysReg::VTTBR_EL2);
+  return ctx;
+}
+
+u64 Machine::perform(PhysAddr pa, const PageAttrs& attrs, bool is_write,
+                     u64 value) {
+  if (is_write) {
+    ++account_.counters().mem_writes;
+  } else {
+    ++account_.counters().mem_reads;
+  }
+
+  const bool cacheable =
+      attrs.attr == MemAttr::kNormalCacheable && cache_.config().enabled;
+  if (cacheable) {
+    cache_.access(pa, is_write);
+    if (is_write) {
+      phys_.write64(pa, value);
+      return value;
+    }
+    return phys_.read64(pa);
+  }
+
+  // Non-cacheable / device: the word access reaches the bus and is
+  // therefore visible to the MBM snooper.
+  account_.charge(config_.timing.noncacheable_access);
+  ++account_.counters().noncacheable_accesses;
+  BusTransaction txn;
+  txn.paddr = word_align_down(pa);
+  txn.timestamp = account_.cycles();
+  if (is_write) {
+    phys_.write64(pa, value);
+    txn.op = BusOp::kWriteWord;
+    txn.value = value;
+    bus_.issue(txn);
+    return value;
+  }
+  const u64 r = phys_.read64(pa);
+  txn.op = BusOp::kReadWord;
+  txn.value = r;
+  bus_.issue(txn);
+  return r;
+}
+
+Access64 Machine::access64(VirtAddr va, bool is_write, u64 value, bool user) {
+  assert(is_word_aligned(va));
+  AccessType at;
+  at.is_write = is_write;
+  at.is_user = user;
+
+  // A stage-2 fault handler may fix the tables and ask for a retry; bound
+  // the loop so a broken handler cannot livelock the simulation.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const WalkContext ctx = walk_context();
+    TranslateOutcome out = mmu_.translate(va, at, ctx);
+    if (out.ok) {
+      Access64 r;
+      r.ok = true;
+      r.value = perform(out.t.pa, out.t.attrs, is_write, value);
+      return r;
+    }
+
+    switch (out.fault.type) {
+      case FaultType::kS2Translation:
+      case FaultType::kS2Permission: {
+        if (!s2_handler_) {
+          Access64 r;
+          r.fault = out.fault;
+          return r;
+        }
+        trace_.record(account_.cycles(), TraceKind::kS2Fault, out.fault.ipa,
+                      is_write ? 1 : 0);
+        account_.charge(config_.timing.vm_exit);
+        ++account_.counters().vm_exits;
+        const S2FaultAction action = s2_handler_(out.fault, is_write, value);
+        account_.charge(config_.timing.vm_entry);
+        if (action == S2FaultAction::kRetry) continue;
+        Access64 r;
+        if (action == S2FaultAction::kEmulated) {
+          r.ok = true;
+          r.value = value;
+        } else {
+          r.fault = out.fault;
+        }
+        return r;
+      }
+      case FaultType::kPermission: {
+        trace_.record(account_.cycles(), TraceKind::kEl1Fault, va, 0);
+        ++account_.counters().el1_permission_faults;
+        if (el1_handler_) el1_handler_(out.fault);
+        Access64 r;
+        r.fault = out.fault;
+        return r;
+      }
+      case FaultType::kTranslation: {
+        // Left to the caller: the kernel's page-fault path decides whether
+        // to populate the mapping and retry.
+        Access64 r;
+        r.fault = out.fault;
+        return r;
+      }
+    }
+  }
+  Access64 r;
+  r.fault = Fault{FaultType::kTranslation, 0, va, 0, is_write};
+  return r;
+}
+
+Access64 Machine::read64(VirtAddr va, bool user) {
+  return access64(va, /*is_write=*/false, 0, user);
+}
+
+Access64 Machine::write64(VirtAddr va, u64 value, bool user) {
+  return access64(va, /*is_write=*/true, value, user);
+}
+
+bool Machine::read_block_v(VirtAddr va, void* out, u64 len, bool user) {
+  assert(is_word_aligned(va) && len % kWordSize == 0);
+  auto* p = static_cast<u8*>(out);
+  for (u64 off = 0; off < len; off += kWordSize) {
+    const Access64 r = read64(va + off, user);
+    if (!r.ok) return false;
+    std::memcpy(p + off, &r.value, kWordSize);
+  }
+  return true;
+}
+
+bool Machine::write_block_v(VirtAddr va, const void* data, u64 len, bool user) {
+  assert(is_word_aligned(va) && len % kWordSize == 0);
+  const auto* p = static_cast<const u8*>(data);
+  for (u64 off = 0; off < len; off += kWordSize) {
+    u64 v;
+    std::memcpy(&v, p + off, kWordSize);
+    if (!write64(va + off, v, user).ok) return false;
+  }
+  return true;
+}
+
+bool Machine::write_block_bulk(VirtAddr va, const void* data, u64 len,
+                               bool user) {
+  assert(is_word_aligned(va) && len % kWordSize == 0);
+  const auto* p = static_cast<const u8*>(data);
+  u64 off = 0;
+  while (off < len) {
+    const VirtAddr page_va = page_align_down(va + off);
+    const u64 chunk = std::min(len - off, page_va + kPageSize - (va + off));
+    AccessType at;
+    at.is_write = true;
+    at.is_user = user;
+    const WalkContext ctx = walk_context();
+    const TranslateOutcome out = mmu_.translate(va + off, at, ctx);
+    if (!out.ok) {
+      // Fall back to the exact path so fault handling (stage-2 fills, COW)
+      // behaves identically to single-word accesses.
+      u64 first;
+      std::memcpy(&first, p + off, kWordSize);
+      if (!write64(va + off, first, user).ok) return false;
+      off += kWordSize;
+      continue;
+    }
+    const PhysAddr pa = out.t.pa;
+    if (out.t.attrs.attr == MemAttr::kNormalCacheable &&
+        cache_.config().enabled) {
+      // Walk whole cache lines by absolute address: lines fully covered by
+      // the span use streaming allocation (no fetch-on-write); ragged
+      // edges behave as ordinary write-allocate accesses.
+      const PhysAddr first_line = pa & ~(kCacheLineSize - 1);
+      for (PhysAddr line = first_line; line < pa + chunk;
+           line += kCacheLineSize) {
+        const bool full_line =
+            line >= pa && line + kCacheLineSize <= pa + chunk;
+        if (full_line) {
+          cache_.write_alloc_line(line);
+        } else {
+          cache_.access(line, /*is_write=*/true);
+        }
+      }
+      const u64 words = chunk / kWordSize;
+      account_.charge(config_.timing.l1_hit * (words - chunk / kCacheLineSize));
+      account_.counters().mem_writes += words;
+      phys_.write_block(pa, p + off, chunk);
+    } else {
+      for (u64 w = 0; w < chunk; w += kWordSize) {
+        u64 v;
+        std::memcpy(&v, p + off + w, kWordSize);
+        if (!write64(va + off + w, v, user).ok) return false;
+      }
+    }
+    off += chunk;
+  }
+  return true;
+}
+
+bool Machine::read_block_bulk(VirtAddr va, void* out_buf, u64 len, bool user) {
+  assert(is_word_aligned(va) && len % kWordSize == 0);
+  auto* p = static_cast<u8*>(out_buf);
+  u64 off = 0;
+  while (off < len) {
+    const VirtAddr page_va = page_align_down(va + off);
+    const u64 chunk = std::min(len - off, page_va + kPageSize - (va + off));
+    AccessType at;
+    at.is_user = user;
+    const WalkContext ctx = walk_context();
+    const TranslateOutcome out = mmu_.translate(va + off, at, ctx);
+    if (!out.ok) {
+      const Access64 r = read64(va + off, user);
+      if (!r.ok) return false;
+      std::memcpy(p + off, &r.value, kWordSize);
+      off += kWordSize;
+      continue;
+    }
+    const PhysAddr pa = out.t.pa;
+    if (out.t.attrs.attr == MemAttr::kNormalCacheable &&
+        cache_.config().enabled) {
+      for (u64 line = 0; line < chunk; line += kCacheLineSize) {
+        cache_.access(pa + line, /*is_write=*/false);
+      }
+      const u64 words = chunk / kWordSize;
+      account_.charge(config_.timing.l1_hit * (words - chunk / kCacheLineSize));
+      account_.counters().mem_reads += words;
+      phys_.read_block(pa, p + off, chunk);
+    } else {
+      for (u64 w = 0; w < chunk; w += kWordSize) {
+        const Access64 r = read64(va + off + w, user);
+        if (!r.ok) return false;
+        std::memcpy(p + off + w, &r.value, kWordSize);
+      }
+    }
+    off += chunk;
+  }
+  return true;
+}
+
+TranslateOutcome Machine::probe(VirtAddr va, const AccessType& access) {
+  return mmu_.translate(va, access, walk_context());
+}
+
+u64 Machine::el2_read64(PhysAddr pa) {
+  ++account_.counters().mem_reads;
+  if (cache_.config().enabled) {
+    cache_.access(pa, /*is_write=*/false);
+  } else {
+    account_.charge(config_.timing.noncacheable_access);
+    ++account_.counters().noncacheable_accesses;
+  }
+  return phys_.read64(pa);
+}
+
+void Machine::el2_write64(PhysAddr pa, u64 value) {
+  ++account_.counters().mem_writes;
+  if (cache_.config().enabled) {
+    cache_.access(pa, /*is_write=*/true);
+  } else {
+    account_.charge(config_.timing.noncacheable_access);
+    ++account_.counters().noncacheable_accesses;
+  }
+  phys_.write64(pa, value);
+}
+
+void Machine::el2_write64_nc(PhysAddr pa, u64 value) {
+  ++account_.counters().mem_writes;
+  account_.charge(config_.timing.noncacheable_access);
+  ++account_.counters().noncacheable_accesses;
+  // The line must not linger dirty in the cache, or the bus write below
+  // could later be shadowed by a stale write-back.
+  cache_.flush_line(pa);
+  phys_.write64(pa, value);
+  BusTransaction txn;
+  txn.op = BusOp::kWriteWord;
+  txn.paddr = word_align_down(pa);
+  txn.value = value;
+  txn.timestamp = account_.cycles();
+  bus_.issue(txn);
+}
+
+void Machine::el2_read_block(PhysAddr pa, void* out, u64 len) {
+  for (u64 off = 0; off < len; off += kCacheLineSize) {
+    if (cache_.config().enabled) {
+      cache_.access(pa + off, /*is_write=*/false);
+    } else {
+      account_.charge(config_.timing.noncacheable_access);
+    }
+  }
+  account_.counters().mem_reads += (len + kWordSize - 1) / kWordSize;
+  phys_.read_block(pa, out, len);
+}
+
+void Machine::el2_write_block(PhysAddr pa, const void* data, u64 len) {
+  for (u64 off = 0; off < len; off += kCacheLineSize) {
+    if (cache_.config().enabled) {
+      cache_.access(pa + off, /*is_write=*/true);
+    } else {
+      account_.charge(config_.timing.noncacheable_access);
+    }
+  }
+  account_.counters().mem_writes += (len + kWordSize - 1) / kWordSize;
+  phys_.write_block(pa, data, len);
+}
+
+void Machine::dma_write_block(PhysAddr pa, const void* data, u64 len) {
+  cache_.flush_range(pa, len);
+  phys_.write_block(pa, data, len);
+}
+
+void Machine::dma_read_block(PhysAddr pa, void* out, u64 len) {
+  cache_.flush_range(pa, len);
+  phys_.read_block(pa, out, len);
+}
+
+u64 Machine::hvc(u64 func, std::initializer_list<u64> args) {
+  const std::vector<u64> v(args);
+  return exceptions_.hvc(func, std::span<const u64>(v));
+}
+
+}  // namespace hn::sim

@@ -1,0 +1,190 @@
+// The simulated machine: composition root wiring DRAM, bus, cache, MMU,
+// system registers, exception model and interrupt controller, and exposing
+// the charged memory-access API every higher layer uses.
+//
+// Software layers (kernel, Hypersec, KVM) run *on behalf of* this machine:
+// their accesses to simulated memory translate through real page tables,
+// hit the TLB/cache models, charge cycles, and emit bus transactions that
+// the MBM can snoop (DESIGN.md §3.1).
+#pragma once
+
+#include <functional>
+#include <initializer_list>
+#include <memory>
+
+#include "common/timing.h"
+#include "common/types.h"
+#include "sim/bus.h"
+#include "sim/cache.h"
+#include "sim/cycle_account.h"
+#include "sim/exception.h"
+#include "sim/irq.h"
+#include "sim/mmu.h"
+#include "sim/phys_mem.h"
+#include "sim/sysregs.h"
+#include "sim/trace.h"
+
+namespace hn::sim {
+
+struct MachineConfig {
+  /// Total simulated DRAM.  Defaults to 128 MiB, the LogicTile SDRAM the
+  /// Juno prototype ran from (§6).
+  u64 dram_size = 128ull * 1024 * 1024;
+  /// Secure-space carve-out at the top of DRAM: Hypersec code/data, the
+  /// MBM bitmap and the event ring buffer live here (§5.3).
+  u64 secure_size = 16ull * 1024 * 1024;
+  TimingModel timing;
+  CacheConfig cache;
+  unsigned tlb_entries = 256;  // A57 L2-TLB reach stand-in
+};
+
+/// What an EL2 stage-2 fault handler did with a fault (KVM module).
+enum class S2FaultAction : u8 {
+  kRetry,      // stage-2 tables fixed; re-translate and re-issue
+  kEmulated,   // the handler performed the access itself (WP emulation)
+  kUnhandled,  // fault stands; access fails
+};
+
+struct Access64 {
+  bool ok = false;
+  Fault fault;
+  u64 value = 0;
+};
+
+class Machine {
+ public:
+  using S2FaultHandler =
+      std::function<S2FaultAction(const Fault& fault, bool is_write, u64 value)>;
+  using El1FaultHandler = std::function<void(const Fault& fault)>;
+
+  explicit Machine(const MachineConfig& config);
+
+  // --- Component access ----------------------------------------------------
+  PhysicalMemory& phys() { return phys_; }
+  MemoryBus& bus() { return bus_; }
+  Cache& cache() { return cache_; }
+  Mmu& mmu() { return mmu_; }
+  Tlb& tlb() { return mmu_.tlb(); }
+  CycleAccount& account() { return account_; }
+  Counters& counters() { return account_.counters(); }
+  SysRegs& sysregs() { return sysregs_; }
+  ExceptionModel& exceptions() { return exceptions_; }
+  Trace& trace() { return trace_; }
+  InterruptController& gic() { return gic_; }
+  [[nodiscard]] const TimingModel& timing() const { return config_.timing; }
+  [[nodiscard]] const MachineConfig& config() const { return config_; }
+
+  /// Secure-space physical extent (top of DRAM).
+  [[nodiscard]] PhysAddr secure_base() const {
+    return config_.dram_size - config_.secure_size;
+  }
+  [[nodiscard]] u64 secure_size() const { return config_.secure_size; }
+  [[nodiscard]] bool in_secure_space(PhysAddr pa, u64 len = 1) const {
+    return ranges_overlap(pa, len, secure_base(), secure_size());
+  }
+
+  /// Translation-regime snapshot from the live system registers.
+  [[nodiscard]] WalkContext walk_context() const;
+
+  // --- EL0/EL1 virtual-address accesses -------------------------------------
+  Access64 read64(VirtAddr va, bool user = false);
+  Access64 write64(VirtAddr va, u64 value, bool user = false);
+
+  /// Word-granular block transfer; `va` must be word aligned and `len` a
+  /// multiple of the word size (kernel buffers are padded accordingly).
+  bool read_block_v(VirtAddr va, void* out, u64 len, bool user = false);
+  bool write_block_v(VirtAddr va, const void* data, u64 len, bool user = false);
+
+  /// Bulk transfer optimised for large cacheable buffers (page-cache data,
+  /// COW copies): one translation per page, one cache access per line,
+  /// per-word hit charges.  Non-cacheable pages fall back to the exact
+  /// per-word bus-visible path, so MBM semantics are preserved.
+  /// `va` word aligned, `len` a multiple of the word size.
+  bool write_block_bulk(VirtAddr va, const void* data, u64 len,
+                        bool user = false);
+  bool read_block_bulk(VirtAddr va, void* out, u64 len, bool user = false);
+
+  /// Translate without performing an access or invoking fault handlers;
+  /// still charges walk costs (it is a real probe).
+  TranslateOutcome probe(VirtAddr va, const AccessType& access);
+
+  // --- EL2 physical accesses (Hypersec's VA==PA linear map, §6.1) ----------
+  u64 el2_read64(PhysAddr pa);
+  void el2_write64(PhysAddr pa, u64 value);
+  /// Non-cacheable EL2 word write: reaches the bus, so the MBM observes it.
+  /// Hypersec programs the MBM bitmap this way so the bitmap cache sees
+  /// the update (§6.3: "updated when a memory write event to the bitmap is
+  /// detected").
+  void el2_write64_nc(PhysAddr pa, u64 value);
+  void el2_read_block(PhysAddr pa, void* out, u64 len);
+  void el2_write_block(PhysAddr pa, const void* data, u64 len);
+
+  // --- Coherent device (DMA-style) memory ports -----------------------------
+  /// Used by bus masters other than the CPU (the MBM writing its event ring
+  /// buffer).  Keeps the CPU cache coherent by flushing overlapped lines.
+  void dma_write_block(PhysAddr pa, const void* data, u64 len);
+  void dma_read_block(PhysAddr pa, void* out, u64 len);
+
+  // --- Compute / control -----------------------------------------------------
+  /// Pure CPU work (no memory traffic): charge `c` cycles.
+  void advance(Cycles c) { account_.charge(c); }
+  /// One TLB invalidate, with the guest-mode DVM broadcast surcharge.
+  void charge_tlbi() {
+    account_.charge(config_.timing.tlbi +
+                    (guest_mode_ ? config_.timing.tlbi_guest_extra : 0));
+  }
+  /// Kernel task switch bookkeeping cost (the TTBR0 write is separate).
+  void charge_context_switch() {
+    account_.charge(config_.timing.context_switch);
+    ++account_.counters().context_switches;
+  }
+
+  u64 hvc(u64 func, std::initializer_list<u64> args);
+  bool write_sysreg_el1(SysReg reg, u64 value) {
+    return exceptions_.write_sysreg_el1(reg, value);
+  }
+  [[nodiscard]] u64 sysreg(SysReg reg) const { return sysregs_.get(reg); }
+  /// Direct register set, bypassing traps: boot firmware / EL2 use only.
+  void set_sysreg_raw(SysReg reg, u64 value) { sysregs_.set(reg, value); }
+
+  void set_s2_fault_handler(S2FaultHandler h) { s2_handler_ = std::move(h); }
+  void set_el1_fault_handler(El1FaultHandler h) { el1_handler_ = std::move(h); }
+
+  /// True while the kernel runs as a KVM guest: blocking idle paths take
+  /// WFI traps to the hypervisor (HCR_EL2.TWI behaviour).
+  void set_guest_mode(bool on) { guest_mode_ = on; }
+  [[nodiscard]] bool guest_mode() const { return guest_mode_; }
+  /// One trapped WFI: world switch out and back.
+  void charge_wfi_trap() {
+    account_.charge(config_.timing.vm_exit + config_.timing.vm_entry);
+    ++account_.counters().vm_exits;
+  }
+
+  void raise_irq(unsigned line) { gic_.raise(line); }
+
+  /// Elapsed simulated time in microseconds.
+  [[nodiscard]] double elapsed_us() const {
+    return config_.timing.cycles_to_us(account_.cycles());
+  }
+
+ private:
+  Access64 access64(VirtAddr va, bool is_write, u64 value, bool user);
+  /// Perform the physical access after a successful translation.
+  u64 perform(PhysAddr pa, const PageAttrs& attrs, bool is_write, u64 value);
+
+  MachineConfig config_;
+  Trace trace_;
+  PhysicalMemory phys_;
+  MemoryBus bus_;
+  CycleAccount account_;
+  Cache cache_;
+  Mmu mmu_;
+  SysRegs sysregs_;
+  ExceptionModel exceptions_;
+  InterruptController gic_;
+  S2FaultHandler s2_handler_;
+  El1FaultHandler el1_handler_;
+  bool guest_mode_ = false;
+};
+
+}  // namespace hn::sim

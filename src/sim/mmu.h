@@ -1,0 +1,110 @@
+// Memory management unit: stage-1 (+ optional stage-2) address translation.
+//
+// The walker reads real descriptors out of simulated physical memory,
+// through the data cache, charging cycles per step.  When stage 2 is
+// enabled (the KVM-guest configuration), every stage-1 descriptor fetch is
+// itself stage-2 translated and the final output IPA is translated too —
+// up to 4 + 4*5 = 24 descriptor fetches per TLB miss, the architectural
+// blow-up that motivates the whole paper (§1, §3).
+#pragma once
+
+#include "common/timing.h"
+#include "common/types.h"
+#include "sim/cycle_account.h"
+#include "sim/pagetable.h"
+#include "sim/phys_mem.h"
+#include "sim/tlb.h"
+
+namespace hn::sim {
+
+struct AccessType {
+  bool is_write = false;
+  bool is_exec = false;
+  bool is_user = false;  // EL0 access (vs EL1 kernel access)
+};
+
+enum class FaultType : u8 {
+  kTranslation,    // stage-1 descriptor invalid
+  kPermission,     // stage-1 permission (RO page, user bit, XN)
+  kS2Translation,  // stage-2 descriptor invalid (unmapped IPA)
+  kS2Permission,   // stage-2 permission (write-protected IPA)
+};
+
+struct Fault {
+  FaultType type = FaultType::kTranslation;
+  unsigned level = 0;
+  VirtAddr va = 0;
+  IpaAddr ipa = 0;     // faulting IPA for stage-2 faults
+  bool is_write = false;
+};
+
+struct Translation {
+  PhysAddr pa = 0;
+  PageAttrs attrs;
+  bool s2_write_ok = true;
+};
+
+struct TranslateOutcome {
+  bool ok = false;
+  Translation t;
+  Fault fault;
+
+  static TranslateOutcome success(const Translation& t) {
+    TranslateOutcome o;
+    o.ok = true;
+    o.t = t;
+    return o;
+  }
+  static TranslateOutcome fail(const Fault& f) {
+    TranslateOutcome o;
+    o.fault = f;
+    return o;
+  }
+};
+
+/// Translation regime inputs (a snapshot of the relevant system registers).
+struct WalkContext {
+  PhysAddr ttbr0 = 0;  // user-half stage-1 root
+  PhysAddr ttbr1 = 0;  // kernel-half stage-1 root
+  u16 asid = 0;
+  bool stage2_enabled = false;
+  PhysAddr vttbr = 0;  // stage-2 root
+};
+
+class Mmu {
+ public:
+  Mmu(PhysicalMemory& mem, CycleAccount& account, const TimingModel& timing,
+      unsigned tlb_entries = 256);
+
+  /// Translate `va` for the given access, consulting the TLB first.
+  /// On success the mapping is cached in the TLB.  On a stage-2 write-
+  /// permission fault the (read-valid) mapping is still cached so that
+  /// subsequent writes fault without re-walking, like real hardware.
+  TranslateOutcome translate(VirtAddr va, const AccessType& access,
+                             const WalkContext& ctx);
+
+  /// Stage-2-only translation of an IPA (used for the final output and for
+  /// nested descriptor fetches; exposed for tests and the KVM module).
+  TranslateOutcome translate_ipa(IpaAddr ipa, bool is_write,
+                                 const WalkContext& ctx);
+
+  Tlb& tlb() { return tlb_; }
+  [[nodiscard]] const Tlb& tlb() const { return tlb_; }
+
+ private:
+  /// Fetch one descriptor (cacheable access + fixed walk-step overhead).
+  u64 fetch_descriptor(PhysAddr pa, bool stage2);
+
+  TranslateOutcome walk_stage1(VirtAddr va, const AccessType& access,
+                               const WalkContext& ctx);
+
+  /// Stage-1 permission check against decoded attributes.
+  static bool permission_ok(const PageAttrs& attrs, const AccessType& access);
+
+  PhysicalMemory& mem_;
+  CycleAccount& account_;
+  const TimingModel& timing_;
+  Tlb tlb_;
+};
+
+}  // namespace hn::sim

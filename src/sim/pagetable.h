@@ -1,0 +1,149 @@
+// Translation-table descriptor format.
+//
+// A simplified but structurally faithful AArch64 long-descriptor format:
+// 4 KiB granule, 48-bit VA, 4-level walk (levels 0..3), with 2 MiB block
+// descriptors allowed at level 2 (the "section" mapping §6.2 removes).
+// Descriptors live in simulated physical memory and are what the sim::Mmu
+// walker actually reads; Hypersec's W^X and read-only checks operate on
+// these encodings.
+#pragma once
+
+#include "common/bitops.h"
+#include "common/types.h"
+
+namespace hn::sim {
+
+/// Memory attribute (MAIR index analogue).
+enum class MemAttr : u8 {
+  kNormalCacheable = 0,
+  kNonCacheable = 1,  // Hypersec uses this for MBM-monitored pages (§5.3)
+  kDevice = 2,
+};
+
+/// Effective stage-1 page permissions/attributes for a mapping.
+struct PageAttrs {
+  bool write = false;     // writable at its privilege level
+  bool exec = false;      // executable (PXN analogue, inverted)
+  bool user = false;      // accessible from EL0 (AP[1])
+  bool global = true;     // nG analogue, inverted (kernel mappings global)
+  MemAttr attr = MemAttr::kNormalCacheable;
+
+  bool operator==(const PageAttrs&) const = default;
+};
+
+// --- Descriptor bit layout (stage 1) --------------------------------------
+//  bit  0      valid
+//  bit  1      table (levels 0-2) / page (level 3, must be 1)
+//  bits 4:2    memory attribute index
+//  bit  6      AP[1]  user accessible
+//  bit  7      AP[2]  read-only
+//  bit  11     nG     non-global
+//  bits 47:12  output address
+//  bit  53     PXN    privileged execute-never
+inline constexpr unsigned kDescValid = 0;
+inline constexpr unsigned kDescTable = 1;
+inline constexpr unsigned kDescUser = 6;
+inline constexpr unsigned kDescReadOnly = 7;
+inline constexpr unsigned kDescNonGlobal = 11;
+inline constexpr unsigned kDescPxn = 53;
+
+// --- Stage-2 layout: same skeleton, S2AP read/write at bits 6/7 ------------
+inline constexpr unsigned kDescS2Read = 6;
+inline constexpr unsigned kDescS2Write = 7;
+
+constexpr bool desc_valid(u64 d) { return bit(d, kDescValid); }
+
+/// At levels 0-2 bit 1 selects table vs block; at level 3 bit 1 must be set
+/// for a valid page descriptor.
+constexpr bool desc_is_table(u64 d, unsigned level) {
+  return level < 3 && bit(d, kDescTable);
+}
+constexpr bool desc_is_block(u64 d, unsigned level) {
+  return desc_valid(d) && level == 2 && !bit(d, kDescTable);
+}
+
+constexpr PhysAddr desc_out_addr(u64 d) { return bits(d, 47, 12) << 12; }
+
+constexpr u64 make_table_desc(PhysAddr next_table) {
+  return with_bit(with_bit(set_bits(0, 47, 12, next_table >> 12), kDescValid, true),
+                  kDescTable, true);
+}
+
+constexpr u64 encode_attrs(u64 d, const PageAttrs& a) {
+  d = set_bits(d, 4, 2, static_cast<u64>(a.attr));
+  d = with_bit(d, kDescUser, a.user);
+  d = with_bit(d, kDescReadOnly, !a.write);
+  d = with_bit(d, kDescNonGlobal, !a.global);
+  d = with_bit(d, kDescPxn, !a.exec);
+  return d;
+}
+
+constexpr PageAttrs decode_attrs(u64 d) {
+  PageAttrs a;
+  a.attr = static_cast<MemAttr>(bits(d, 4, 2));
+  a.user = bit(d, kDescUser);
+  a.write = !bit(d, kDescReadOnly);
+  a.global = !bit(d, kDescNonGlobal);
+  a.exec = !bit(d, kDescPxn);
+  return a;
+}
+
+/// Level-3 4 KiB page descriptor.
+constexpr u64 make_page_desc(PhysAddr pa, const PageAttrs& a) {
+  u64 d = set_bits(0, 47, 12, pa >> 12);
+  d = with_bit(d, kDescValid, true);
+  d = with_bit(d, kDescTable, true);  // level-3 "page" encoding
+  return encode_attrs(d, a);
+}
+
+/// Level-2 2 MiB block descriptor (the section mapping the stock kernel
+/// uses for its linear map, §6.2).
+constexpr u64 make_block_desc(PhysAddr pa, const PageAttrs& a) {
+  u64 d = set_bits(0, 47, 12, pa >> 12);  // pa must be 2 MiB aligned
+  d = with_bit(d, kDescValid, true);      // bit1 clear => block at level 2
+  return encode_attrs(d, a);
+}
+
+/// Rewrite only the attribute bits of an existing page/block descriptor.
+constexpr u64 desc_with_attrs(u64 d, const PageAttrs& a) {
+  return encode_attrs(d, a);
+}
+
+// --- Stage 2 ---------------------------------------------------------------
+struct S2Attrs {
+  bool read = true;
+  bool write = true;
+  bool operator==(const S2Attrs&) const = default;
+};
+
+constexpr u64 make_s2_page_desc(PhysAddr pa, const S2Attrs& a) {
+  u64 d = set_bits(0, 47, 12, pa >> 12);
+  d = with_bit(d, kDescValid, true);
+  d = with_bit(d, kDescTable, true);
+  d = with_bit(d, kDescS2Read, a.read);
+  d = with_bit(d, kDescS2Write, a.write);
+  return d;
+}
+
+constexpr S2Attrs decode_s2_attrs(u64 d) {
+  return S2Attrs{bit(d, kDescS2Read), bit(d, kDescS2Write)};
+}
+
+constexpr u64 s2_desc_with_attrs(u64 d, const S2Attrs& a) {
+  d = with_bit(d, kDescS2Read, a.read);
+  return with_bit(d, kDescS2Write, a.write);
+}
+
+// --- Walk index math --------------------------------------------------------
+/// Index into the level-`level` table for virtual address `va`.
+constexpr u64 va_index(VirtAddr va, unsigned level) {
+  const unsigned shift = kPageShift + 9 * (3 - level);
+  return (va >> shift) & (kPtEntries - 1);
+}
+
+/// VA span covered by one entry at `level` (level 3: 4K, level 2: 2M, ...).
+constexpr u64 level_span(unsigned level) {
+  return u64{1} << (kPageShift + 9 * (3 - level));
+}
+
+}  // namespace hn::sim

@@ -1,0 +1,76 @@
+// Simulated physical memory: a flat byte-addressable RAM.
+//
+// Functional state only.  *Visibility* of accesses (what reaches the memory
+// bus, and hence the MBM) is modelled by sim::Cache and sim::MemoryBus, not
+// here; see DESIGN.md §3.3.
+#pragma once
+
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hn::sim {
+
+class PhysicalMemory {
+ public:
+  explicit PhysicalMemory(u64 size_bytes) : data_(size_bytes, 0) {
+    assert(is_page_aligned(size_bytes));
+  }
+
+  [[nodiscard]] u64 size() const { return data_.size(); }
+  [[nodiscard]] bool contains(PhysAddr pa, u64 len = 1) const {
+    return pa < data_.size() && len <= data_.size() - pa;
+  }
+
+  [[nodiscard]] u64 read64(PhysAddr pa) const {
+    assert(contains(pa, 8));
+    u64 v;
+    std::memcpy(&v, &data_[pa], 8);
+    return v;
+  }
+  void write64(PhysAddr pa, u64 v) {
+    assert(contains(pa, 8));
+    std::memcpy(&data_[pa], &v, 8);
+  }
+
+  [[nodiscard]] u32 read32(PhysAddr pa) const {
+    assert(contains(pa, 4));
+    u32 v;
+    std::memcpy(&v, &data_[pa], 4);
+    return v;
+  }
+  void write32(PhysAddr pa, u32 v) {
+    assert(contains(pa, 4));
+    std::memcpy(&data_[pa], &v, 4);
+  }
+
+  [[nodiscard]] u8 read8(PhysAddr pa) const {
+    assert(contains(pa));
+    return data_[pa];
+  }
+  void write8(PhysAddr pa, u8 v) {
+    assert(contains(pa));
+    data_[pa] = v;
+  }
+
+  void read_block(PhysAddr pa, void* out, u64 len) const {
+    assert(contains(pa, len));
+    std::memcpy(out, &data_[pa], len);
+  }
+  void write_block(PhysAddr pa, const void* in, u64 len) {
+    assert(contains(pa, len));
+    std::memcpy(&data_[pa], in, len);
+  }
+
+  void zero_range(PhysAddr pa, u64 len) {
+    assert(contains(pa, len));
+    std::memset(&data_[pa], 0, len);
+  }
+
+ private:
+  std::vector<u8> data_;
+};
+
+}  // namespace hn::sim

@@ -1,0 +1,97 @@
+// Translation lookaside buffer.
+//
+// Fully associative, round-robin replacement, caching *combined* stage-1
+// (+stage-2) results like a real ARM TLB: an entry carries final PA, the
+// stage-1 attributes, and whether stage 2 permits writes — so a write to a
+// stage-2 write-protected page faults even on a TLB hit, which is exactly
+// how KVM's page-granularity write-protection keeps trapping (Table 2's
+// baseline behaviour).
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "sim/pagetable.h"
+
+namespace hn::sim {
+
+struct TlbEntry {
+  bool valid = false;
+  VirtAddr vpage = 0;  // page-aligned VA
+  u16 asid = 0;        // ignored when global
+  PhysAddr ppage = 0;  // page-aligned PA
+  PageAttrs attrs;
+  bool s2_write_ok = true;  // stage-2 write permission (true when no stage 2)
+};
+
+class Tlb {
+ public:
+  explicit Tlb(unsigned entries = 48) : entries_(entries) {}
+
+  /// Returns the matching entry or nullptr.
+  const TlbEntry* lookup(VirtAddr va, u16 asid) const {
+    const VirtAddr vpage = page_align_down(va);
+    for (const TlbEntry& e : entries_) {
+      if (e.valid && e.vpage == vpage && (e.attrs.global || e.asid == asid)) {
+        return &e;
+      }
+    }
+    return nullptr;
+  }
+
+  void insert(const TlbEntry& entry) {
+    // Replace an existing mapping for the same page first.
+    for (TlbEntry& e : entries_) {
+      if (e.valid && e.vpage == entry.vpage &&
+          (e.attrs.global || e.asid == entry.asid)) {
+        e = entry;
+        e.valid = true;
+        return;
+      }
+    }
+    for (TlbEntry& e : entries_) {
+      if (!e.valid) {
+        e = entry;
+        e.valid = true;
+        return;
+      }
+    }
+    entries_[next_victim_] = entry;
+    entries_[next_victim_].valid = true;
+    next_victim_ = (next_victim_ + 1) % entries_.size();
+  }
+
+  void flush_all() {
+    for (TlbEntry& e : entries_) e.valid = false;
+  }
+
+  /// TLBI VAE1-style: drop any entry translating `va` (any ASID).
+  void flush_va(VirtAddr va) {
+    const VirtAddr vpage = page_align_down(va);
+    for (TlbEntry& e : entries_) {
+      if (e.valid && e.vpage == vpage) e.valid = false;
+    }
+  }
+
+  /// TLBI ASIDE1-style: drop all non-global entries for `asid`.
+  void flush_asid(u16 asid) {
+    for (TlbEntry& e : entries_) {
+      if (e.valid && !e.attrs.global && e.asid == asid) e.valid = false;
+    }
+  }
+
+  [[nodiscard]] unsigned capacity() const {
+    return static_cast<unsigned>(entries_.size());
+  }
+  [[nodiscard]] unsigned occupancy() const {
+    unsigned n = 0;
+    for (const TlbEntry& e : entries_) n += e.valid ? 1 : 0;
+    return n;
+  }
+
+ private:
+  std::vector<TlbEntry> entries_;
+  u64 next_victim_ = 0;
+};
+
+}  // namespace hn::sim

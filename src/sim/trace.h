@@ -1,0 +1,122 @@
+// Event tracing for the simulated machine.
+//
+// A bounded ring of typed events (architectural transitions, monitor
+// activity) that higher layers append to and tools render.  Tracing is
+// off by default and costs nothing when disabled; when enabled it records
+// *simulated* time, so traces are deterministic and diffable — the
+// debugging workflow for "why did this configuration get slower".
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hn::sim {
+
+enum class TraceKind : u8 {
+  kSvc,          // syscall entry
+  kHvc,          // hypercall (a = function id, b = result)
+  kSysregTrap,   // TVM trap (a = register id, b = verdict: 1 allow)
+  kIrq,          // interrupt delivery (a = line)
+  kVmExit,       // world switch to the hypervisor (a = reason tag)
+  kS2Fault,      // stage-2 fault (a = IPA, b = 1 if write)
+  kEl1Fault,     // stage-1 permission/translation fault (a = VA)
+  kMbmDetect,    // MBM detection (a = PA, b = value)
+  kCtxSwitch,    // address-space switch (a = new ASID)
+  kMonRegister,  // monitoring region registered (a = PA, b = size)
+  kCustom,       // tool-defined
+};
+
+struct TraceEvent {
+  Cycles at = 0;
+  TraceKind kind = TraceKind::kCustom;
+  u64 a = 0;
+  u64 b = 0;
+};
+
+class Trace {
+ public:
+  /// Disabled by default; `capacity` bounds memory (oldest dropped).
+  explicit Trace(u64 capacity = 1 << 16) : capacity_(capacity) {}
+
+  void set_enabled(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void record(Cycles at, TraceKind kind, u64 a = 0, u64 b = 0) {
+    if (!enabled_) return;
+    if (events_.size() == capacity_) {
+      events_[head_] = TraceEvent{at, kind, a, b};
+      head_ = (head_ + 1) % capacity_;
+      ++dropped_;
+      return;
+    }
+    events_.push_back(TraceEvent{at, kind, a, b});
+  }
+
+  /// Events in chronological order (accounting for ring wrap).
+  [[nodiscard]] std::vector<TraceEvent> chronological() const {
+    std::vector<TraceEvent> out;
+    out.reserve(events_.size());
+    for (u64 i = 0; i < events_.size(); ++i) {
+      out.push_back(events_[(head_ + i) % events_.size()]);
+    }
+    return out;
+  }
+
+  [[nodiscard]] u64 size() const { return events_.size(); }
+  [[nodiscard]] u64 dropped() const { return dropped_; }
+  void clear() {
+    events_.clear();
+    head_ = 0;
+    dropped_ = 0;
+  }
+
+  /// Count events of one kind.
+  [[nodiscard]] u64 count(TraceKind kind) const {
+    u64 n = 0;
+    for (const TraceEvent& e : events_) n += (e.kind == kind);
+    return n;
+  }
+
+  static const char* kind_name(TraceKind kind) {
+    switch (kind) {
+      case TraceKind::kSvc: return "svc";
+      case TraceKind::kHvc: return "hvc";
+      case TraceKind::kSysregTrap: return "trap";
+      case TraceKind::kIrq: return "irq";
+      case TraceKind::kVmExit: return "vmexit";
+      case TraceKind::kS2Fault: return "s2fault";
+      case TraceKind::kEl1Fault: return "el1fault";
+      case TraceKind::kMbmDetect: return "mbm";
+      case TraceKind::kCtxSwitch: return "ctxsw";
+      case TraceKind::kMonRegister: return "monreg";
+      case TraceKind::kCustom: return "custom";
+    }
+    return "?";
+  }
+
+  /// Render as text, one line per event, with µs timestamps.
+  void dump(std::FILE* out, double cycles_per_us) const {
+    for (const TraceEvent& e : chronological()) {
+      std::fprintf(out, "%12.3fus  %-8s a=%#llx b=%#llx\n",
+                   static_cast<double>(e.at) / cycles_per_us,
+                   kind_name(e.kind), static_cast<unsigned long long>(e.a),
+                   static_cast<unsigned long long>(e.b));
+    }
+    if (dropped_ > 0) {
+      std::fprintf(out, "(%llu earlier events dropped)\n",
+                   static_cast<unsigned long long>(dropped_));
+    }
+  }
+
+ private:
+  u64 capacity_;
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+  u64 head_ = 0;
+  u64 dropped_ = 0;
+};
+
+}  // namespace hn::sim

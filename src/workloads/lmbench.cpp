@@ -1,0 +1,297 @@
+#include "workloads/lmbench.h"
+
+#include <cassert>
+#include <vector>
+
+#include "kernel/layout.h"
+
+namespace hn::workloads {
+
+using kernel::Kernel;
+using kernel::Task;
+
+double LmbenchSuite::per_op_us(Cycles delta) const {
+  return system_.machine().timing().cycles_to_us(delta) / iterations_;
+}
+
+Status LmbenchSuite::setup() {
+  if (ready_) return Status::Ok();
+  Kernel& k = system_.kernel();
+  if (Result<u64> r = k.vfs().mkdir("/bench"); !r.ok()) return r.status();
+  if (Result<u64> r = k.sys_creat("/bench/target"); !r.ok()) return r.status();
+  // Warm the dentry cache the way a measurement loop would.
+  for (int i = 0; i < 4; ++i) {
+    if (Result<kernel::StatInfo> r = k.sys_stat("/bench/target"); !r.ok()) {
+      return r.status();
+    }
+  }
+
+  // Fork the IPC peer once; it stays alive for the pipe/socket benchmarks.
+  Result<u32> peer = k.sys_fork();
+  if (!peer.ok()) return peer.status();
+  peer_pid_ = peer.value();
+
+  Result<u32> p1 = k.sys_pipe();
+  if (!p1.ok()) return p1.status();
+  pipe_ab_ = p1.value();
+  Result<u32> p2 = k.sys_pipe();
+  if (!p2.ok()) return p2.status();
+  pipe_ba_ = p2.value();
+  Result<u32> s = k.sys_socketpair();
+  if (!s.ok()) return s.status();
+  sock_ = s.value();
+  ready_ = true;
+  return Status::Ok();
+}
+
+LmbenchResult LmbenchSuite::syscall_stat() {
+  Kernel& k = system_.kernel();
+  const auto before = system_.snapshot();
+  for (unsigned i = 0; i < iterations_; ++i) {
+    [[maybe_unused]] Result<kernel::StatInfo> r = k.sys_stat("/bench/target");
+    assert(r.ok());
+  }
+  return {"syscall stat", per_op_us(system_.cycles_since(before))};
+}
+
+LmbenchResult LmbenchSuite::signal_install() {
+  Kernel& k = system_.kernel();
+  const auto before = system_.snapshot();
+  for (unsigned i = 0; i < iterations_; ++i) {
+    [[maybe_unused]] Status s = k.sys_sigaction(10, 0x4000'1000 + (i & 1));
+    assert(s.ok());
+  }
+  return {"signal install", per_op_us(system_.cycles_since(before))};
+}
+
+LmbenchResult LmbenchSuite::signal_overhead() {
+  Kernel& k = system_.kernel();
+  [[maybe_unused]] Status inst = k.sys_sigaction(10, 0x4000'1000);
+  assert(inst.ok());
+  const auto before = system_.snapshot();
+  for (unsigned i = 0; i < iterations_; ++i) {
+    [[maybe_unused]] Status s = k.sys_kill_self(10);
+    assert(s.ok());
+  }
+  return {"signal ovh", per_op_us(system_.cycles_since(before))};
+}
+
+LmbenchResult LmbenchSuite::pipe_latency() {
+  Kernel& k = system_.kernel();
+  Task* self = &k.procs().current();
+  Task* peer = k.procs().find(peer_pid_);
+  assert(peer != nullptr);
+  const VirtAddr buf = kernel::kUserHeapBase;  // one token word
+
+  const auto before = system_.snapshot();
+  for (unsigned i = 0; i < iterations_; ++i) {
+    // lat_pipe: token A -> B, then B -> A (one round trip per iteration).
+    [[maybe_unused]] Status w1 = k.sys_pipe_write(pipe_ab_, buf, kWordSize);
+    assert(w1.ok());
+    k.procs().switch_to(*peer);
+    [[maybe_unused]] Result<u64> r1 = k.sys_pipe_read(pipe_ab_, buf, kWordSize);
+    assert(r1.ok());
+    [[maybe_unused]] Status w2 = k.sys_pipe_write(pipe_ba_, buf, kWordSize);
+    assert(w2.ok());
+    k.procs().switch_to(*self);
+    [[maybe_unused]] Result<u64> r2 = k.sys_pipe_read(pipe_ba_, buf, kWordSize);
+    assert(r2.ok());
+  }
+  return {"pipe lat", per_op_us(system_.cycles_since(before))};
+}
+
+LmbenchResult LmbenchSuite::socket_latency() {
+  Kernel& k = system_.kernel();
+  Task* self = &k.procs().current();
+  Task* peer = k.procs().find(peer_pid_);
+  assert(peer != nullptr);
+  const VirtAddr buf = kernel::kUserHeapBase;
+
+  const auto before = system_.snapshot();
+  for (unsigned i = 0; i < iterations_; ++i) {
+    [[maybe_unused]] Status s1 = k.sys_socket_send(sock_, 0, buf, kWordSize);
+    assert(s1.ok());
+    k.procs().switch_to(*peer);
+    [[maybe_unused]] Result<u64> r1 = k.sys_socket_recv(sock_, 1, buf, kWordSize);
+    assert(r1.ok());
+    [[maybe_unused]] Status s2 = k.sys_socket_send(sock_, 1, buf, kWordSize);
+    assert(s2.ok());
+    k.procs().switch_to(*self);
+    [[maybe_unused]] Result<u64> r2 = k.sys_socket_recv(sock_, 0, buf, kWordSize);
+    assert(r2.ok());
+  }
+  return {"socket lat", per_op_us(system_.cycles_since(before))};
+}
+
+LmbenchResult LmbenchSuite::fork_exit() {
+  Kernel& k = system_.kernel();
+  Task* self = &k.procs().current();
+  const auto before = system_.snapshot();
+  for (unsigned i = 0; i < iterations_; ++i) {
+    Result<u32> pid = k.sys_fork();
+    assert(pid.ok());
+    Task* child = k.procs().find(pid.value());
+    k.procs().switch_to(*child);
+    [[maybe_unused]] Status s = k.sys_exit();
+    assert(s.ok());
+    k.procs().switch_to(*self);
+  }
+  return {"fork+exit", per_op_us(system_.cycles_since(before))};
+}
+
+LmbenchResult LmbenchSuite::fork_execv() {
+  Kernel& k = system_.kernel();
+  Task* self = &k.procs().current();
+  const auto before = system_.snapshot();
+  for (unsigned i = 0; i < iterations_; ++i) {
+    Result<u32> pid = k.sys_fork();
+    assert(pid.ok());
+    Task* child = k.procs().find(pid.value());
+    k.procs().switch_to(*child);
+    [[maybe_unused]] Status e = k.sys_execve();
+    assert(e.ok());
+    [[maybe_unused]] Status s = k.sys_exit();
+    assert(s.ok());
+    k.procs().switch_to(*self);
+  }
+  return {"fork+execv", per_op_us(system_.cycles_since(before))};
+}
+
+LmbenchResult LmbenchSuite::page_fault() {
+  // lat_pagefault: faults over a *file* mapping whose page-cache frames
+  // are stable.  A warm-up pass populates the page cache (and, under KVM,
+  // its stage-2 mappings); the measured pass sees only the fault path.
+  Kernel& k = system_.kernel();
+  const u64 pages = iterations_;
+  Result<u64> ino = k.sys_creat("/bench/pf.dat");
+  assert(ino.ok());
+  std::vector<u8> page(kPageSize, 0x42);
+  for (u64 i = 0; i < pages; ++i) {
+    [[maybe_unused]] Status w =
+        k.sys_write(ino.value(), i * kPageSize, page.data(), kPageSize);
+    assert(w.ok());
+  }
+  {
+    Result<VirtAddr> warm = k.sys_mmap_file(ino.value(), pages * kPageSize);
+    assert(warm.ok());
+    for (u64 i = 0; i < pages; ++i) {
+      [[maybe_unused]] Status t =
+          k.procs().touch_page(warm.value() + i * kPageSize, /*write=*/false);
+      assert(t.ok());
+    }
+    [[maybe_unused]] Status um = k.sys_munmap(warm.value(), pages * kPageSize);
+    assert(um.ok());
+  }
+  Result<VirtAddr> region = k.sys_mmap_file(ino.value(), pages * kPageSize);
+  assert(region.ok());
+  const auto before = system_.snapshot();
+  for (u64 i = 0; i < pages; ++i) {
+    [[maybe_unused]] Status s =
+        k.procs().touch_page(region.value() + i * kPageSize, /*write=*/false);
+    assert(s.ok());
+  }
+  const LmbenchResult out{"page fault", per_op_us(system_.cycles_since(before))};
+  [[maybe_unused]] Status um = k.sys_munmap(region.value(), pages * kPageSize);
+  assert(um.ok());
+  [[maybe_unused]] Status ul = k.sys_unlink("/bench/pf.dat");
+  assert(ul.ok());
+  return out;
+}
+
+LmbenchResult LmbenchSuite::mmap() {
+  // lat_mmap: map a file region, touch it, unmap.  The file is created and
+  // pre-warmed outside the window.
+  Kernel& k = system_.kernel();
+  constexpr u64 kMapPages = 16;
+  constexpr u64 kTouchPages = 4;
+  Result<u64> ino = k.sys_creat("/bench/mmap.dat");
+  assert(ino.ok());
+  std::vector<u8> page(kPageSize, 0x24);
+  for (u64 i = 0; i < kMapPages; ++i) {
+    [[maybe_unused]] Status w =
+        k.sys_write(ino.value(), i * kPageSize, page.data(), kPageSize);
+    assert(w.ok());
+  }
+  const auto before = system_.snapshot();
+  for (unsigned i = 0; i < iterations_; ++i) {
+    Result<VirtAddr> va = k.sys_mmap_file(ino.value(), kMapPages * kPageSize);
+    assert(va.ok());
+    for (u64 p = 0; p < kTouchPages; ++p) {
+      [[maybe_unused]] Status t =
+          k.procs().touch_page(va.value() + p * kPageSize, /*write=*/false);
+      assert(t.ok());
+    }
+    [[maybe_unused]] Status um = k.sys_munmap(va.value(), kMapPages * kPageSize);
+    assert(um.ok());
+  }
+  const LmbenchResult out{"mmap", per_op_us(system_.cycles_since(before))};
+  [[maybe_unused]] Status ul = k.sys_unlink("/bench/mmap.dat");
+  assert(ul.ok());
+  return out;
+}
+
+LmbenchResult LmbenchSuite::context_switch(unsigned procs) {
+  Kernel& k = system_.kernel();
+  Task* self = &k.procs().current();
+  std::vector<Task*> ring{self};
+  for (unsigned i = 1; i < procs; ++i) {
+    Result<u32> pid = k.sys_fork();
+    assert(pid.ok());
+    ring.push_back(k.procs().find(pid.value()));
+  }
+  const auto before = system_.snapshot();
+  const unsigned hops = iterations_ * procs;
+  for (unsigned i = 0; i < hops; ++i) {
+    k.procs().switch_to(*ring[(i + 1) % ring.size()]);
+  }
+  const double us =
+      system_.machine().timing().cycles_to_us(system_.cycles_since(before)) /
+      hops;
+  // Tear the ring down.
+  for (unsigned i = 1; i < ring.size(); ++i) {
+    k.procs().switch_to(*ring[i]);
+    [[maybe_unused]] Status s = k.sys_exit();
+    assert(s.ok());
+    k.procs().switch_to(*self);
+  }
+  return {"ctx switch", us};
+}
+
+LmbenchResult LmbenchSuite::memory_bandwidth(u64 kib) {
+  Kernel& k = system_.kernel();
+  Result<PhysAddr> block = k.buddy().alloc_pages(
+      [&] {
+        unsigned order = 0;
+        while ((kPageSize << order) < kib * 1024) ++order;
+        return order;
+      }());
+  assert(block.ok());
+  const VirtAddr base = kernel::phys_to_virt(block.value());
+  std::vector<u8> buf(kib * 1024, 0x77);
+  const auto before = system_.snapshot();
+  for (unsigned i = 0; i < iterations_; ++i) {
+    system_.machine().write_block_bulk(base, buf.data(), buf.size());
+    system_.machine().read_block_bulk(base, buf.data(), buf.size());
+  }
+  const double us =
+      system_.machine().timing().cycles_to_us(system_.cycles_since(before));
+  const double mb = 2.0 * iterations_ * kib / 1024.0;
+  k.buddy().free_pages(block.value(), [&] {
+    unsigned order = 0;
+    while ((kPageSize << order) < kib * 1024) ++order;
+    return order;
+  }());
+  return {"mem bw (MB/s)", mb / (us / 1e6)};
+}
+
+std::vector<LmbenchResult> LmbenchSuite::run_all() {
+  [[maybe_unused]] Status s = setup();
+  assert(s.ok());
+  return {
+      syscall_stat(), signal_install(), signal_overhead(),
+      pipe_latency(), socket_latency(), fork_exit(),
+      fork_execv(),   page_fault(),     mmap(),
+  };
+}
+
+}  // namespace hn::workloads

@@ -1,0 +1,63 @@
+// The LMbench-style kernel-operation microbenchmarks of Table 1.
+//
+// Each benchmark drives the simkernel's syscall surface exactly the way
+// the corresponding lat_* program drives Linux, measures simulated cycles
+// per operation, and reports microseconds at the modelled 1.15 GHz clock.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "hypernel/system.h"
+
+namespace hn::workloads {
+
+struct LmbenchResult {
+  std::string name;
+  double us = 0;  // mean per-operation latency
+};
+
+class LmbenchSuite {
+ public:
+  explicit LmbenchSuite(hypernel::System& system, unsigned iterations = 32)
+      : system_(system), iterations_(iterations) {}
+
+  /// Prepare the fixture (paths, peer process, pipes/sockets).
+  Status setup();
+
+  LmbenchResult syscall_stat();    // lat_syscall stat
+  LmbenchResult signal_install();  // lat_sig install
+  LmbenchResult signal_overhead(); // lat_sig catch
+  LmbenchResult pipe_latency();    // lat_pipe (round trip)
+  LmbenchResult socket_latency();  // lat_unix-style (round trip)
+  LmbenchResult fork_exit();       // lat_proc fork
+  LmbenchResult fork_execv();      // lat_proc exec
+  LmbenchResult page_fault();      // lat_pagefault (anon)
+  LmbenchResult mmap();            // lat_mmap (map+touch+unmap)
+
+  /// All nine, in Table 1 order.
+  std::vector<LmbenchResult> run_all();
+
+  // --- Extensions beyond Table 1 -------------------------------------------
+  /// lat_ctx-style: round-robin context switching across `procs` ready
+  /// processes; reports per-switch latency.  Under Hypernel each switch
+  /// pays exactly one TVM trap, making this the purest view of that cost.
+  LmbenchResult context_switch(unsigned procs = 4);
+  /// bw_mem-style: bulk write+read bandwidth over a `kib` buffer in
+  /// MB/s of simulated time.
+  LmbenchResult memory_bandwidth(u64 kib = 512);
+
+ private:
+  double per_op_us(Cycles delta) const;
+
+  hypernel::System& system_;
+  unsigned iterations_;
+  bool ready_ = false;
+  u32 peer_pid_ = 0;  // pipe/socket partner process
+  u32 pipe_ab_ = 0;
+  u32 pipe_ba_ = 0;
+  u32 sock_ = 0;
+};
+
+}  // namespace hn::workloads

@@ -1,0 +1,166 @@
+// Unit tests for the common utilities: types helpers, status/result
+// plumbing, bit operations, RNG determinism, timing conversions.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bitops.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/timing.h"
+#include "common/types.h"
+
+namespace hn {
+namespace {
+
+TEST(Types, PageAlignment) {
+  EXPECT_EQ(page_align_down(0x1234), 0x1000u);
+  EXPECT_EQ(page_align_down(0x1000), 0x1000u);
+  EXPECT_EQ(page_align_up(0x1001), 0x2000u);
+  EXPECT_EQ(page_align_up(0x1000), 0x1000u);
+  EXPECT_EQ(page_align_up(0), 0u);
+  EXPECT_TRUE(is_page_aligned(0x4000));
+  EXPECT_FALSE(is_page_aligned(0x4008));
+}
+
+TEST(Types, WordAlignment) {
+  EXPECT_EQ(word_align_down(0x17), 0x10u);
+  EXPECT_TRUE(is_word_aligned(0x18));
+  EXPECT_FALSE(is_word_aligned(0x1C));
+}
+
+TEST(Types, RangesOverlap) {
+  EXPECT_TRUE(ranges_overlap(0, 10, 5, 10));
+  EXPECT_TRUE(ranges_overlap(5, 10, 0, 10));
+  EXPECT_FALSE(ranges_overlap(0, 10, 10, 10));  // adjacent, not overlapping
+  EXPECT_FALSE(ranges_overlap(10, 10, 0, 10));
+  EXPECT_TRUE(ranges_overlap(0, 100, 50, 1));
+}
+
+TEST(Types, KernelVaBase) {
+  EXPECT_GT(kKernelVaBase, u64{1} << 47);  // upper half
+  EXPECT_EQ(kPtEntries, kPageSize / 8);
+}
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+}
+
+TEST(Status, ErrorCarriesMessage) {
+  Status s = Status::Denied("nope");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(s.message(), "nope");
+}
+
+TEST(Status, FactoryCodes) {
+  EXPECT_EQ(Status::Invalid("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::OutOfMemory("").code(), StatusCode::kOutOfMemory);
+  EXPECT_EQ(Status::NotFound("").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::Precondition("").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("").code(), StatusCode::kInternal);
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Result, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(Bitops, BitsExtract) {
+  EXPECT_EQ(bits(0xFF00, 15, 8), 0xFFu);
+  EXPECT_EQ(bits(0xDEADBEEF, 31, 28), 0xDu);
+  EXPECT_EQ(bits(~u64{0}, 63, 0), ~u64{0});
+}
+
+TEST(Bitops, SetBits) {
+  EXPECT_EQ(set_bits(0, 15, 8, 0xAB), 0xAB00u);
+  EXPECT_EQ(set_bits(0xFFFF, 7, 0, 0), 0xFF00u);
+  // Field larger than the window is masked.
+  EXPECT_EQ(set_bits(0, 3, 0, 0xFF), 0xFu);
+}
+
+TEST(Bitops, SingleBit) {
+  EXPECT_TRUE(bit(0x8, 3));
+  EXPECT_FALSE(bit(0x8, 2));
+  EXPECT_EQ(with_bit(0, 5, true), 0x20u);
+  EXPECT_EQ(with_bit(0xFF, 0, false), 0xFEu);
+}
+
+TEST(Bitops, Pow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(4096));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_EQ(log2_floor(4096), 12u);
+  EXPECT_EQ(log2_floor(1), 0u);
+}
+
+TEST(Rng, Deterministic) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BoundsRespected) {
+  SplitMix64 rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+    const u64 v = rng.next_in(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated) {
+  SplitMix64 rng(7);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.chance(250, 1000);
+  EXPECT_NEAR(hits, 2500, 200);
+}
+
+TEST(Timing, CycleConversionRoundTrip) {
+  TimingModel t;
+  EXPECT_NEAR(t.cycles_to_us(1150), 1.0, 1e-9);  // 1.15 GHz
+  EXPECT_EQ(t.us_to_cycles(1.0), 1150u);
+  EXPECT_NEAR(t.cycles_to_us(t.us_to_cycles(271.68)), 271.68, 0.01);
+}
+
+TEST(Timing, DefaultsSane) {
+  TimingModel t;
+  EXPECT_GT(t.l1_miss_fill, t.l1_hit);
+  EXPECT_GT(t.noncacheable_access, t.l1_hit);
+  EXPECT_GT(t.hvc_roundtrip, t.sysreg_trap / 2);
+  EXPECT_GT(t.vm_exit + t.vm_entry, t.hvc_roundtrip);
+}
+
+}  // namespace
+}  // namespace hn

@@ -1,0 +1,315 @@
+// Hypersec tests: the PT-write verifier's policy rules, boot-time sealing,
+// TVM trap handling (TTBR/SCTLR), the hypercall interface, and the
+// MBM-driver registration/teardown paths.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/hvc_abi.h"
+#include "hypernel/system.h"
+#include "hypersec/pt_verifier.h"
+#include "kernel/layout.h"
+#include "sim/sysregs.h"
+
+namespace hn::hypersec {
+namespace {
+
+using hypernel::Mode;
+using hypernel::System;
+using hypernel::SystemConfig;
+
+std::unique_ptr<System> make_system(bool mbm = false) {
+  SystemConfig cfg;
+  cfg.mode = Mode::kHypernel;
+  cfg.enable_mbm = mbm;
+  auto r = System::create(cfg);
+  EXPECT_TRUE(r.ok()) << r.status().message();
+  return std::move(r).value();
+}
+
+// ---------------- PtVerifier unit rules ----------------
+
+class VerifierTest : public ::testing::Test {
+ protected:
+  VerifierTest()
+      : machine_(sim::MachineConfig{}),
+        verifier_(machine_, kernel::kTextBase, kernel::kTextSize,
+                  kernel::kRodataBase, kernel::kRodataSize) {
+    verifier_.add_pt_page(kTable3, 3);
+    verifier_.add_pt_page(kTable2, 2);
+    verifier_.add_pt_page(kTable0, 0);
+  }
+  static constexpr PhysAddr kTable3 = 0x100000;
+  static constexpr PhysAddr kTable2 = 0x101000;
+  static constexpr PhysAddr kTable0 = 0x102000;
+
+  sim::Machine machine_;
+  PtVerifier verifier_;
+};
+
+TEST_F(VerifierTest, RejectsWriteToNonPtPage) {
+  EXPECT_EQ(verifier_.check_pt_write(0x555000, 0, 0), Verdict::kDeny);
+  EXPECT_EQ(verifier_.stats().denied_not_pt_page, 1u);
+}
+
+TEST_F(VerifierTest, UnmapAlwaysAllowed) {
+  EXPECT_EQ(verifier_.check_pt_write(kTable3, 5, 0), Verdict::kAllow);
+}
+
+TEST_F(VerifierTest, PlainPageMappingAllowed) {
+  const u64 d = sim::make_page_desc(
+      0x400000, sim::PageAttrs{.write = true, .user = true});
+  EXPECT_EQ(verifier_.check_pt_write(kTable3, 0, d), Verdict::kAllow);
+}
+
+TEST_F(VerifierTest, RejectsSecureSpaceLeaf) {
+  const u64 d = sim::make_page_desc(machine_.secure_base() + kPageSize,
+                                    sim::PageAttrs{});
+  EXPECT_EQ(verifier_.check_pt_write(kTable3, 0, d), Verdict::kDeny);
+  EXPECT_EQ(verifier_.stats().denied_secure_map, 1u);
+}
+
+TEST_F(VerifierTest, RejectsSecureSpaceAsTable) {
+  const u64 d = sim::make_table_desc(machine_.secure_base());
+  EXPECT_EQ(verifier_.check_pt_write(kTable2, 0, d), Verdict::kDeny);
+  EXPECT_EQ(verifier_.stats().denied_secure_map, 1u);
+}
+
+TEST_F(VerifierTest, RejectsWritablePlusExecutable) {
+  const u64 d = sim::make_page_desc(
+      0x400000, sim::PageAttrs{.write = true, .exec = true});
+  EXPECT_EQ(verifier_.check_pt_write(kTable3, 0, d), Verdict::kDeny);
+  EXPECT_EQ(verifier_.stats().denied_wx, 1u);
+}
+
+TEST_F(VerifierTest, RejectsWritableAliasOfPtPage) {
+  const u64 d = sim::make_page_desc(kTable2, sim::PageAttrs{.write = true});
+  EXPECT_EQ(verifier_.check_pt_write(kTable3, 0, d), Verdict::kDeny);
+  EXPECT_EQ(verifier_.stats().denied_pt_writable, 1u);
+  // A read-only alias is fine.
+  const u64 ro = sim::make_page_desc(kTable2, sim::PageAttrs{});
+  EXPECT_EQ(verifier_.check_pt_write(kTable3, 0, ro), Verdict::kAllow);
+}
+
+TEST_F(VerifierTest, RejectsWritableKernelText) {
+  const u64 d = sim::make_page_desc(kernel::kTextBase,
+                                    sim::PageAttrs{.write = true});
+  EXPECT_EQ(verifier_.check_pt_write(kTable3, 0, d), Verdict::kDeny);
+  const u64 rodata = sim::make_page_desc(kernel::kRodataBase,
+                                         sim::PageAttrs{.write = true});
+  EXPECT_EQ(verifier_.check_pt_write(kTable3, 1, rodata), Verdict::kDeny);
+  EXPECT_EQ(verifier_.stats().denied_text_writable, 2u);
+}
+
+TEST_F(VerifierTest, TableDescMustTargetNextLevelTable) {
+  // Table desc to an unregistered page: denied.
+  EXPECT_EQ(verifier_.check_pt_write(kTable2, 0,
+                                     sim::make_table_desc(0x400000)),
+            Verdict::kDeny);
+  // Table desc to a wrong-level table: denied.
+  EXPECT_EQ(verifier_.check_pt_write(kTable2, 0, sim::make_table_desc(kTable0)),
+            Verdict::kDeny);
+  EXPECT_EQ(verifier_.stats().denied_bad_table, 2u);
+  // Correct next level: allowed.
+  EXPECT_EQ(verifier_.check_pt_write(kTable2, 0, sim::make_table_desc(kTable3)),
+            Verdict::kAllow);
+}
+
+TEST_F(VerifierTest, RejectsHugeBlocksAtHighLevels) {
+  const u64 block = sim::make_block_desc(0x40000000, sim::PageAttrs{});
+  EXPECT_EQ(verifier_.check_pt_write(kTable0, 0, block), Verdict::kDeny);
+  EXPECT_EQ(verifier_.stats().denied_bad_encoding, 1u);
+}
+
+TEST_F(VerifierTest, SealedKernelTreeImmutable) {
+  verifier_.mark_kernel_tree(kTable3);
+  const u64 d = sim::make_page_desc(0x400000, sim::PageAttrs{});
+  EXPECT_EQ(verifier_.check_pt_write(kTable3, 0, d), Verdict::kDeny);
+  EXPECT_EQ(verifier_.stats().denied_kernel_tree, 1u);
+}
+
+TEST_F(VerifierTest, WritableBlockCoveringPtPageDenied) {
+  // A 2 MiB writable block whose span contains a PT page is an alias.
+  verifier_.add_pt_page(0x600000 + 5 * kPageSize, 3);
+  const u64 d = sim::make_block_desc(0x600000, sim::PageAttrs{.write = true});
+  EXPECT_EQ(verifier_.check_pt_write(kTable2, 0, d), Verdict::kDeny);
+}
+
+// ---------------- Hypersec end-to-end ----------------
+
+TEST(Hypersec, InitRequiresPageGranularKernel) {
+  SystemConfig cfg;
+  cfg.mode = Mode::kHypernel;
+  cfg.kernel.use_sections = true;  // §6.2's granularity gap
+  auto r = System::create(cfg);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Hypersec, PtPagesReadOnlyAfterInit) {
+  auto sys = make_system();
+  kernel::Kernel& k = sys->kernel();
+  // Every registered PT page rejects direct EL1 stores.
+  int checked = 0;
+  for (const auto& [pa, level] : k.kpt().pt_pages()) {
+    EXPECT_FALSE(sys->machine().write64(kernel::phys_to_virt(pa), 0xBAD).ok);
+    if (++checked == 16) break;  // spot check
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(Hypersec, KernelOperationsStillWorkViaHypercalls) {
+  auto sys = make_system();
+  kernel::Kernel& k = sys->kernel();
+  const u64 hvc_before = sys->machine().counters().hvc_calls;
+  Result<u32> pid = k.sys_fork();
+  ASSERT_TRUE(pid.ok());
+  EXPECT_GT(sys->machine().counters().hvc_calls, hvc_before);
+  kernel::Task* child = k.procs().find(pid.value());
+  k.procs().switch_to(*child);
+  ASSERT_TRUE(k.sys_exit().ok());
+  EXPECT_GT(sys->hypersec()->stats().pt_write_calls, 0u);
+  EXPECT_EQ(sys->hypersec()->stats().pt_write_denials, 0u);
+}
+
+TEST(Hypersec, ForgedPtWriteHypercallDenied) {
+  auto sys = make_system();
+  // Attacker-crafted hypercall: write a descriptor into a non-PT page.
+  EXPECT_EQ(sys->machine().hvc(hvc::kPtWrite, {0x500000, 0, 0x1234}),
+            hvc::kDenied);
+  // And into a sealed kernel-tree table.
+  const PhysAddr kroot = sys->kernel().kpt().kernel_root();
+  EXPECT_EQ(sys->machine().hvc(
+                hvc::kPtWrite,
+                {kroot, 0, sim::make_table_desc(0x400000)}),
+            hvc::kDenied);
+  EXPECT_GE(sys->hypersec()->verifier().stats().denied_total(), 2u);
+}
+
+TEST(Hypersec, MappingSecureSpaceDenied) {
+  auto sys = make_system();
+  kernel::Kernel& k = sys->kernel();
+  // Build a legitimate user tree, then try to splice in a secure mapping.
+  Result<PhysAddr> root = k.kpt().alloc_user_root();
+  ASSERT_TRUE(root.ok());
+  const Status s = k.kpt().map_page(
+      root.value(), 0x400000, sys->machine().secure_base(),
+      sim::PageAttrs{.write = true, .user = true});
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(Hypersec, PtAllocRejectsNonZeroedPage) {
+  auto sys = make_system();
+  Result<PhysAddr> page = sys->kernel().buddy().alloc_page();
+  ASSERT_TRUE(page.ok());
+  sys->machine().phys().write64(page.value() + 64, 0xDEAD);  // pre-seeded
+  EXPECT_EQ(sys->machine().hvc(hvc::kPtAlloc, {page.value(), 3}),
+            hvc::kDenied);
+}
+
+TEST(Hypersec, PtAllocRejectsSecurePage) {
+  auto sys = make_system();
+  EXPECT_EQ(sys->machine().hvc(
+                hvc::kPtAlloc, {sys->machine().secure_base(), 3}),
+            hvc::kDenied);
+}
+
+TEST(Hypersec, TtbrTrapValidatesRoots) {
+  auto sys = make_system();
+  sim::Machine& m = sys->machine();
+  const u64 good_ttbr1 = m.sysreg(sim::SysReg::TTBR1_EL1);
+
+  // Rewriting TTBR1 with the registered kernel root: allowed.
+  EXPECT_TRUE(m.write_sysreg_el1(sim::SysReg::TTBR1_EL1, good_ttbr1));
+  // Pointing it anywhere else: denied (the ATRA-style redirect).
+  EXPECT_FALSE(m.write_sysreg_el1(sim::SysReg::TTBR1_EL1, 0x500000));
+  EXPECT_EQ(m.sysreg(sim::SysReg::TTBR1_EL1), good_ttbr1);
+
+  // TTBR0 must name a registered user root.
+  EXPECT_FALSE(m.write_sysreg_el1(sim::SysReg::TTBR0_EL1, 0x600000));
+  const PhysAddr user_root = sys->kernel().procs().current().ttbr0;
+  EXPECT_TRUE(m.write_sysreg_el1(
+      sim::SysReg::TTBR0_EL1, user_root | (u64{1} << 48)));
+  EXPECT_GT(sys->hypersec()->stats().trap_denials, 0u);
+}
+
+TEST(Hypersec, MmuDisableDenied) {
+  auto sys = make_system();
+  sim::Machine& m = sys->machine();
+  EXPECT_FALSE(m.write_sysreg_el1(sim::SysReg::SCTLR_EL1, 0));  // M bit clear
+  EXPECT_TRUE(m.write_sysreg_el1(sim::SysReg::SCTLR_EL1, 1));
+}
+
+TEST(Hypersec, PtFreeRestoresWritability) {
+  auto sys = make_system();
+  kernel::Kernel& k = sys->kernel();
+  Result<PhysAddr> root = k.kpt().alloc_user_root();
+  ASSERT_TRUE(root.ok());
+  const VirtAddr va = kernel::phys_to_virt(root.value());
+  EXPECT_FALSE(sys->machine().write64(va, 1).ok);  // RO while registered
+  k.kpt().free_user_root(root.value());
+  EXPECT_TRUE(sys->machine().write64(va, 1).ok);  // plain memory again
+}
+
+// ---------------- MBM driver ----------------
+
+class DriverTest : public ::testing::Test {
+ protected:
+  DriverTest() : sys_(make_system(/*mbm=*/true)) {}
+  std::unique_ptr<System> sys_;
+};
+
+TEST_F(DriverTest, RegisterMakesPageNonCacheable) {
+  kernel::Kernel& k = sys_->kernel();
+  Result<PhysAddr> frame = k.buddy().alloc_page();
+  ASSERT_TRUE(frame.ok());
+  const VirtAddr va = kernel::phys_to_virt(frame.value());
+  MbmDriver* driver = sys_->hypersec()->mbm_driver();
+  ASSERT_NE(driver, nullptr);
+
+  ASSERT_TRUE(driver->register_region(1, va, 64).ok());
+  const MbmDriver::El2Walk w = driver->el2_walk(va);
+  ASSERT_TRUE(w.ok);
+  EXPECT_EQ(sim::decode_attrs(w.desc).attr, sim::MemAttr::kNonCacheable);
+  EXPECT_EQ(driver->noncacheable_pages(), 1u);
+
+  ASSERT_TRUE(driver->unregister_region(1, va, 64).ok());
+  const MbmDriver::El2Walk w2 = driver->el2_walk(va);
+  EXPECT_EQ(sim::decode_attrs(w2.desc).attr, sim::MemAttr::kNormalCacheable);
+  EXPECT_EQ(driver->noncacheable_pages(), 0u);
+}
+
+TEST_F(DriverTest, NcRefcountAcrossRegionsOnSamePage) {
+  kernel::Kernel& k = sys_->kernel();
+  Result<PhysAddr> frame = k.buddy().alloc_page();
+  ASSERT_TRUE(frame.ok());
+  const VirtAddr va = kernel::phys_to_virt(frame.value());
+  MbmDriver* driver = sys_->hypersec()->mbm_driver();
+  ASSERT_TRUE(driver->register_region(1, va, 64).ok());
+  ASSERT_TRUE(driver->register_region(1, va + 128, 64).ok());
+  EXPECT_EQ(driver->noncacheable_pages(), 1u);
+  ASSERT_TRUE(driver->unregister_region(1, va, 64).ok());
+  // Still one monitored region on the page: stays non-cacheable.
+  const MbmDriver::El2Walk w = driver->el2_walk(va);
+  EXPECT_EQ(sim::decode_attrs(w.desc).attr, sim::MemAttr::kNonCacheable);
+  ASSERT_TRUE(driver->unregister_region(1, va + 128, 64).ok());
+  EXPECT_EQ(driver->noncacheable_pages(), 0u);
+}
+
+TEST_F(DriverTest, RejectsMisalignedOrUnmappedRegions) {
+  MbmDriver* driver = sys_->hypersec()->mbm_driver();
+  EXPECT_FALSE(driver->register_region(1, kKernelVaBase + 0x1003, 64).ok());
+  EXPECT_FALSE(driver->register_region(1, kKernelVaBase + 0x1000, 63).ok());
+  // VA far outside the linear map.
+  EXPECT_FALSE(
+      driver->register_region(1, kKernelVaBase + (u64{1} << 40), 64).ok());
+}
+
+TEST_F(DriverTest, MonRegisterHypercallRequiresKnownSid) {
+  // No app registered with SID 42: denied (§5.3 passes the SID).
+  EXPECT_EQ(sys_->machine().hvc(
+                hvc::kMonRegister, {42, kKernelVaBase + 0x1000, 64}),
+            hvc::kDenied);
+}
+
+}  // namespace
+}  // namespace hn::hypersec

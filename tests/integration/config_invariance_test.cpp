@@ -1,0 +1,119 @@
+// Functional/timing separation properties: hardware configuration knobs
+// (TLB size, cache size, cache on/off) change *cycles*, never *behaviour*.
+// A fixed workload must end in the same functional state everywhere —
+// same file contents, same alerts, same event decisions — because the
+// machine's timing model is observational, not semantic.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "hypernel/system.h"
+#include "kernel/objects.h"
+#include "kernel/vfs.h"
+#include "secapps/object_monitor.h"
+
+namespace hn {
+namespace {
+
+using hypernel::Mode;
+using hypernel::System;
+using hypernel::SystemConfig;
+
+struct Fingerprint {
+  u64 file_hash = 0;
+  u64 inode_count = 0;
+  u64 monitor_events = 0;
+  u64 alerts = 0;
+  Cycles cycles = 0;
+};
+
+Fingerprint run(const SystemConfig& cfg_in) {
+  SystemConfig cfg = cfg_in;
+  cfg.mode = Mode::kHypernel;
+  cfg.enable_mbm = true;
+  auto sys = System::create(cfg).value();
+  secapps::ObjectIntegrityMonitor monitor(
+      *sys, secapps::Granularity::kSensitiveFields);
+  EXPECT_TRUE(monitor.install().ok());
+  kernel::Kernel& k = sys->kernel();
+
+  // A fixed mixed workload with one attack in the middle.
+  EXPECT_TRUE(k.sys_mkdir("/w").ok());
+  for (int i = 0; i < 24; ++i) {
+    const std::string path = "/w/f" + std::to_string(i);
+    Result<u64> ino = k.sys_creat(path);
+    EXPECT_TRUE(ino.ok());
+    u64 row[8] = {static_cast<u64>(i), 2, 3, 4, 5, 6, 7, 8};
+    EXPECT_TRUE(k.sys_write(ino.value(), 0, row, sizeof(row)).ok());
+    if (i % 5 == 4) {
+      EXPECT_TRUE(k.sys_stat(path).ok());
+    }
+  }
+  const VirtAddr dva = k.vfs().cached_dentry(k.vfs().lookup("/w").value(), "f3");
+  sys->machine().write64(dva + kernel::DentryLayout::kOp * 8, 0xBAD);
+  EXPECT_TRUE(k.sys_rename("/w/f7", "/w/g7").ok());
+  EXPECT_TRUE(k.sys_unlink("/w/f9").ok());
+
+  Fingerprint fp;
+  // FNV over every file's first row.
+  fp.file_hash = 0xCBF29CE484222325ull;
+  for (int i = 0; i < 24; ++i) {
+    std::string path = "/w/f" + std::to_string(i);
+    if (i == 7) path = "/w/g7";
+    Result<u64> ino = k.vfs().lookup(path);
+    if (!ino.ok()) continue;  // f9 unlinked
+    u64 row[8] = {};
+    EXPECT_TRUE(k.sys_read(ino.value(), 0, row, sizeof(row)).ok());
+    for (const u64 w : row) fp.file_hash = (fp.file_hash ^ w) * 0x100000001B3ull;
+  }
+  fp.inode_count = k.vfs().inode_count();
+  fp.monitor_events = monitor.stats().events_total;
+  fp.alerts = monitor.alerts().size();
+  fp.cycles = sys->machine().account().cycles();
+  return fp;
+}
+
+TEST(ConfigInvariance, TimingKnobsNeverChangeBehaviour) {
+  SystemConfig base;
+  const Fingerprint ref = run(base);
+  ASSERT_GT(ref.alerts, 0u);  // the attack was caught in the reference run
+
+  SystemConfig tiny_tlb = base;
+  tiny_tlb.machine.tlb_entries = 8;
+  SystemConfig big_tlb = base;
+  big_tlb.machine.tlb_entries = 2048;
+  SystemConfig small_cache = base;
+  small_cache.machine.cache.size_bytes = 4 * 1024;
+  SystemConfig no_cache = base;
+  no_cache.machine.cache.enabled = false;
+  SystemConfig slow_dram = base;
+  slow_dram.machine.timing.l1_miss_fill = 400;
+
+  const SystemConfig* variants[] = {&tiny_tlb, &big_tlb, &small_cache,
+                                    &no_cache, &slow_dram};
+  const char* names[] = {"tiny TLB", "big TLB", "small cache", "no cache",
+                         "slow DRAM"};
+  bool some_cycles_differ = false;
+  for (size_t v = 0; v < std::size(variants); ++v) {
+    const Fingerprint fp = run(*variants[v]);
+    EXPECT_EQ(fp.file_hash, ref.file_hash) << names[v];
+    EXPECT_EQ(fp.inode_count, ref.inode_count) << names[v];
+    EXPECT_EQ(fp.monitor_events, ref.monitor_events) << names[v];
+    EXPECT_EQ(fp.alerts, ref.alerts) << names[v];
+    some_cycles_differ |= (fp.cycles != ref.cycles);
+  }
+  // ...while the knobs really did change the timing.
+  EXPECT_TRUE(some_cycles_differ);
+}
+
+TEST(ConfigInvariance, RepeatRunsBitIdentical) {
+  const Fingerprint a = run(SystemConfig{});
+  const Fingerprint b = run(SystemConfig{});
+  EXPECT_EQ(a.file_hash, b.file_hash);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.monitor_events, b.monitor_events);
+}
+
+}  // namespace
+}  // namespace hn

@@ -1,0 +1,259 @@
+// Extension tests: the §8 discussion items made concrete (DMA attacks,
+// IOMMU protection, MBM detection of DMA tampering), the Vigilare-style
+// snapshot monitor vs transient attacks, Hypersec's invariant audit under
+// attack storms, and multi-application event routing.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/hvc_abi.h"
+#include "common/rng.h"
+#include "hypernel/system.h"
+#include "kernel/layout.h"
+#include "kernel/objects.h"
+#include "kernel/vfs.h"
+#include "secapps/object_monitor.h"
+#include "secapps/snapshot_monitor.h"
+#include "sim/dma_device.h"
+#include "sim/iommu.h"
+
+namespace hn {
+namespace {
+
+using hypernel::Mode;
+using hypernel::System;
+using hypernel::SystemConfig;
+
+std::unique_ptr<System> hypernel_system(bool mbm = true) {
+  SystemConfig cfg;
+  cfg.mode = Mode::kHypernel;
+  cfg.enable_mbm = mbm;
+  auto r = System::create(cfg);
+  EXPECT_TRUE(r.ok()) << r.status().message();
+  return std::move(r).value();
+}
+
+// ---------------- DMA and IOMMU (§8) ----------------
+
+TEST(Dma, BypassModeAllowsEverything) {
+  auto sys = hypernel_system(false);
+  sim::Iommu iommu;  // power-on default: bypass
+  sim::DmaDevice nic(sys->machine(), iommu, /*stream_id=*/1);
+  // Without protection, the device can scribble over the secure space.
+  EXPECT_TRUE(nic.write64(sys->machine().secure_base() + 64, 0xDEAD));
+  EXPECT_EQ(sys->machine().phys().read64(sys->machine().secure_base() + 64),
+            0xDEADu);
+}
+
+TEST(Dma, HypersecIommuProtectsSecureSpace) {
+  auto sys = hypernel_system(false);
+  sim::Iommu iommu;
+  sim::DmaDevice nic(sys->machine(), iommu, 1);
+  const u32 streams[] = {1};
+  ASSERT_TRUE(sys->hypersec()->enable_dma_protection(iommu, streams).ok());
+
+  // Normal DRAM still works...
+  EXPECT_TRUE(nic.write64(0x4000000, 0x1));
+  // ...the secure space does not, and the fault is counted.
+  const PhysAddr target = sys->machine().secure_base() + 64;
+  EXPECT_FALSE(nic.write64(target, 0xDEAD));
+  EXPECT_NE(sys->machine().phys().read64(target), 0xDEADu);
+  EXPECT_EQ(iommu.faults(), 1u);
+}
+
+TEST(Dma, UnknownStreamBlockedEntirely) {
+  auto sys = hypernel_system(false);
+  sim::Iommu iommu;
+  sim::DmaDevice rogue(sys->machine(), iommu, /*stream_id=*/99);
+  const u32 streams[] = {1};  // only stream 1 was provisioned
+  ASSERT_TRUE(sys->hypersec()->enable_dma_protection(iommu, streams).ok());
+  EXPECT_FALSE(rogue.write64(0x4000000, 1));
+  u64 out = 0;
+  EXPECT_FALSE(rogue.read(0x4000000, &out, 8));
+}
+
+TEST(Dma, MbmSeesDmaWritesToMonitoredObjects) {
+  // §8: "since our MBM can watch the bus traffic ... we expect that
+  // Hypernel can detect such an attack" — a DMA write into a monitored
+  // object IS bus traffic, and the pipeline fires end to end.
+  auto sys = hypernel_system(true);
+  secapps::ObjectIntegrityMonitor monitor(
+      *sys, secapps::Granularity::kSensitiveFields);
+  ASSERT_TRUE(monitor.install().ok());
+  kernel::Kernel& k = sys->kernel();
+  ASSERT_TRUE(k.sys_creat("/dma-victim").ok());
+  const VirtAddr dva = k.vfs().cached_dentry(k.vfs().root_ino(), "dma-victim");
+  const PhysAddr dpa = kernel::virt_to_phys(dva);
+
+  sim::Iommu iommu;  // bypass: a peripheral the attacker owns
+  sim::DmaDevice evil(sys->machine(), iommu, 7);
+  ASSERT_TRUE(
+      evil.write64(dpa + kernel::DentryLayout::kOp * kWordSize, 0xBADD));
+  ASSERT_FALSE(monitor.alerts().empty());
+  EXPECT_NE(monitor.alerts().back().reason.find("vtable"), std::string::npos);
+}
+
+TEST(Dma, DmaProtectionRequiresInit) {
+  SystemConfig cfg;
+  cfg.mode = Mode::kNative;
+  auto sys = System::create(cfg);
+  ASSERT_TRUE(sys.ok());
+  // No Hypersec in native mode; nothing to call — construct one unbooted:
+  // covered instead by the precondition on an uninitialised Hypersec via
+  // the hypernel system (Hypersec is always initialised there), so this
+  // test just pins the IOMMU default.
+  sim::Iommu iommu;
+  EXPECT_FALSE(iommu.enabled());
+}
+
+// ---------------- snapshot vs event-triggered (§2) ----------------
+
+TEST(SnapshotMonitor, DetectsPersistentModification) {
+  auto sys = hypernel_system(false);
+  kernel::Kernel& k = sys->kernel();
+  ASSERT_TRUE(k.sys_creat("/snap").ok());
+  const VirtAddr dva = k.vfs().cached_dentry(k.vfs().root_ino(), "snap");
+
+  secapps::SnapshotMonitor snap(*sys);
+  ASSERT_TRUE(snap.watch(dva, 128, "dentry /snap").ok());
+  EXPECT_EQ(snap.scan(), 0u);  // clean
+
+  ASSERT_TRUE(sys->machine()
+                  .write64(dva + kernel::DentryLayout::kOp * kWordSize, 0xBAD)
+                  .ok);
+  EXPECT_EQ(snap.scan(), 1u);
+  ASSERT_EQ(snap.alerts().size(), 1u);
+  EXPECT_EQ(snap.alerts()[0].label, "dentry /snap");
+  // Persistent change reported once, not on every scan.
+  EXPECT_EQ(snap.scan(), 0u);
+}
+
+TEST(SnapshotMonitor, RebaselineAcceptsLegitimateUpdate) {
+  auto sys = hypernel_system(false);
+  kernel::Kernel& k = sys->kernel();
+  ASSERT_TRUE(k.sys_creat("/rb").ok());
+  const VirtAddr dva = k.vfs().cached_dentry(k.vfs().root_ino(), "rb");
+  secapps::SnapshotMonitor snap(*sys);
+  ASSERT_TRUE(snap.watch(dva, 128, "rb").ok());
+  ASSERT_TRUE(k.sys_rename("/rb", "/rb2").ok());  // legitimate name change
+  ASSERT_TRUE(snap.rebaseline(dva).ok());
+  EXPECT_EQ(snap.scan(), 0u);
+}
+
+TEST(SnapshotMonitor, TransientAttackEvadesSnapshotButNotMbm) {
+  // The classic weakness of polling integrity monitors: modify, use,
+  // restore between scans.  The event-triggered MBM pipeline sees both
+  // writes the instant they occur.
+  auto sys = hypernel_system(true);
+  secapps::ObjectIntegrityMonitor event_monitor(
+      *sys, secapps::Granularity::kSensitiveFields);
+  ASSERT_TRUE(event_monitor.install().ok());
+  kernel::Kernel& k = sys->kernel();
+  ASSERT_TRUE(k.sys_setuid(1000).ok());
+
+  const VirtAddr cred = k.procs().current().cred;
+  secapps::SnapshotMonitor snap(*sys);
+  ASSERT_TRUE(snap.watch(cred, 128, "current cred").ok());
+
+  // Transient escalation: uid -> 0, do evil, uid -> 1000, all between
+  // two scans.
+  const u64 word = kernel::CredLayout::kUid * kWordSize;
+  ASSERT_TRUE(sys->machine().write64(cred + word, 0).ok);
+  ASSERT_TRUE(sys->machine().write64(cred + word, 1000).ok);
+  EXPECT_EQ(snap.scan(), 0u);                 // snapshot: nothing to see
+  EXPECT_FALSE(event_monitor.alerts().empty());  // MBM: caught in the act
+}
+
+// ---------------- invariant audit + attack storm ----------------
+
+TEST(Audit, CleanSystemHasNoViolations) {
+  auto sys = hypernel_system(false);
+  EXPECT_TRUE(sys->hypersec()->audit().empty());
+}
+
+TEST(Audit, HoldsAfterHeavyLegitimateActivity) {
+  auto sys = hypernel_system(false);
+  kernel::Kernel& k = sys->kernel();
+  kernel::Task* init = &k.procs().current();
+  for (int i = 0; i < 8; ++i) {
+    Result<u32> pid = k.sys_fork();
+    ASSERT_TRUE(pid.ok());
+    kernel::Task* child = k.procs().find(pid.value());
+    k.procs().switch_to(*child);
+    if (i % 2 == 0) {
+      ASSERT_TRUE(k.sys_execve().ok());
+    }
+    Result<VirtAddr> va = k.sys_mmap(16 * kPageSize, true);
+    ASSERT_TRUE(va.ok());
+    ASSERT_TRUE(k.procs().touch_page(va.value(), true).ok());
+    ASSERT_TRUE(k.sys_exit().ok());
+    k.procs().switch_to(*init);
+  }
+  EXPECT_TRUE(sys->hypersec()->audit().empty());
+}
+
+TEST(Audit, HoldsUnderForgedHypercallStorm) {
+  // A compromised kernel sprays the hypercall interface with random PT
+  // writes; whatever gets through must preserve every invariant.
+  auto sys = hypernel_system(false);
+  kernel::Kernel& k = sys->kernel();
+  SplitMix64 rng(0xA77AC4);
+  u64 accepted = 0;
+  const PhysAddr user_root = k.procs().current().ttbr0;
+  for (int i = 0; i < 2000; ++i) {
+    // Mix of targets: random pages, the live user root, sealed kernel
+    // tables; random descriptors including W+X, secure-space and
+    // table-splice attempts.
+    PhysAddr table;
+    switch (rng.next_below(3)) {
+      case 0: table = page_align_down(rng.next_below(sys->machine().phys().size())); break;
+      case 1: table = user_root; break;
+      default: table = k.kpt().kernel_root(); break;
+    }
+    const u64 idx = rng.next_below(kPtEntries);
+    u64 desc = rng.next();
+    if (rng.chance(1, 2)) {
+      // Make it look plausible: a valid page descriptor somewhere.
+      desc = sim::make_page_desc(
+          page_align_down(rng.next_below(sys->machine().phys().size())),
+          sim::PageAttrs{.write = rng.chance(1, 2), .exec = rng.chance(1, 2),
+                         .user = true});
+    }
+    if (sys->machine().hvc(hvc::kPtWrite, {table, idx, desc}) == hvc::kOk) {
+      ++accepted;
+    }
+  }
+  const auto violations = sys->hypersec()->audit();
+  EXPECT_TRUE(violations.empty())
+      << violations[0] << " (after " << accepted << " accepted writes)";
+  // The kernel still functions.
+  EXPECT_TRUE(k.sys_creat("/survivor").ok());
+}
+
+// ---------------- multiple security applications ----------------
+
+TEST(MultiApp, EventsRouteBySid) {
+  auto sys = hypernel_system(true);
+  // App 1 watches creds only; app 2 watches dentries only.
+  secapps::ObjectIntegrityMonitor cred_app(
+      *sys, secapps::Granularity::kSensitiveFields, /*watch_cred=*/true,
+      /*watch_dentry=*/false, /*sid=*/1);
+  secapps::ObjectIntegrityMonitor dentry_app(
+      *sys, secapps::Granularity::kSensitiveFields, /*watch_cred=*/false,
+      /*watch_dentry=*/true, /*sid=*/2);
+  ASSERT_TRUE(cred_app.install().ok());
+  ASSERT_TRUE(dentry_app.install().ok());
+
+  kernel::Kernel& k = sys->kernel();
+  ASSERT_TRUE(k.sys_creat("/routed").ok());  // dentry events
+  ASSERT_TRUE(k.sys_setuid(1000).ok());      // cred events
+
+  EXPECT_GT(cred_app.stats().events_cred, 0u);
+  EXPECT_EQ(cred_app.stats().events_dentry, 0u);
+  EXPECT_GT(dentry_app.stats().events_dentry, 0u);
+  EXPECT_EQ(dentry_app.stats().events_cred, 0u);
+  EXPECT_EQ(sys->hypersec()->mbm_driver()->unattributed_events(), 0u);
+}
+
+}  // namespace
+}  // namespace hn

@@ -1,0 +1,281 @@
+// Security-scenario integration tests — DESIGN.md §5's claims (a)-(g):
+// the isolation environment of Fig. 3, the monitoring workflow of Fig. 4,
+// and the ATRA comparison against a bare external monitor.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/hvc_abi.h"
+#include "hypernel/system.h"
+#include "kernel/layout.h"
+#include "kernel/objects.h"
+#include "kernel/vfs.h"
+#include "mbm/bitmap_math.h"
+#include "secapps/baseline_monitor.h"
+#include "secapps/object_monitor.h"
+#include "sim/sysregs.h"
+
+namespace hn {
+namespace {
+
+using hypernel::Mode;
+using hypernel::System;
+using hypernel::SystemConfig;
+
+std::unique_ptr<System> hypernel_system(bool mbm = true) {
+  SystemConfig cfg;
+  cfg.mode = Mode::kHypernel;
+  cfg.enable_mbm = mbm;
+  auto r = System::create(cfg);
+  EXPECT_TRUE(r.ok()) << r.status().message();
+  return std::move(r).value();
+}
+
+// (a) cred privilege-escalation write detected at word granularity —
+// covered in secapps_test; here the full Fig. 4 workflow is traced.
+TEST(MonitorWorkflow, Figure4StepsObservable) {
+  auto sys = hypernel_system();
+  secapps::ObjectIntegrityMonitor monitor(
+      *sys, secapps::Granularity::kSensitiveFields);
+  ASSERT_TRUE(monitor.install().ok());
+  kernel::Kernel& k = sys->kernel();
+
+  const auto hvc_before = sys->machine().counters().hvc_calls;        // (1)
+  const auto irq_before = sys->machine().counters().irqs_delivered;   // (6)
+  const auto mbm_irq_before = sys->hypersec()->stats().mbm_irq_calls; // (7)
+  const auto events_before = monitor.stats().events_total;            // (8)
+
+  // A new cred object comes into existence and its registration flows
+  // through hook -> hypercall -> bitmap (steps 1-2)...
+  Result<u32> pid = k.sys_fork();  // cred refcount bump: usage only
+  ASSERT_TRUE(pid.ok());
+  kernel::Task* child = k.procs().find(pid.value());
+  k.procs().switch_to(*child);
+  ASSERT_TRUE(k.sys_execve().ok());  // fresh cred: registration + init writes
+  EXPECT_GT(sys->machine().counters().hvc_calls, hvc_before);
+  EXPECT_GT(sys->hypersec()->stats().mon_registers, 0u);
+
+  // ...whose sensitive-field initialisation produced write events through
+  // snoop -> bitmap -> decision -> ring -> IRQ -> HVC -> dispatch
+  // (steps 3-8).
+  EXPECT_GT(sys->mbm()->stats().detections, 0u);
+  EXPECT_GT(sys->machine().counters().irqs_delivered, irq_before);
+  EXPECT_GT(sys->hypersec()->stats().mbm_irq_calls, mbm_irq_before);
+  EXPECT_GT(monitor.stats().events_total, events_before);
+  EXPECT_EQ(sys->mbm()->ring().size(), 0u);  // drained
+
+  ASSERT_TRUE(k.sys_exit().ok());
+}
+
+// (c) kernel attempt to map the secure region is rejected.
+TEST(Isolation, SecureSpaceUnmappableByKernel) {
+  auto sys = hypernel_system(false);
+  kernel::Kernel& k = sys->kernel();
+  // Not mapped in the linear map at all:
+  const VirtAddr secure_va = kernel::phys_to_virt(sys->machine().secure_base());
+  EXPECT_FALSE(sys->machine().read64(secure_va).ok);
+  // ...and a forged mapping request is denied end to end:
+  Result<PhysAddr> root = k.kpt().alloc_user_root();
+  ASSERT_TRUE(root.ok());
+  EXPECT_FALSE(k.kpt()
+                   .map_page(root.value(), 0x400000,
+                             sys->machine().secure_base() + kPageSize,
+                             sim::PageAttrs{.write = true, .user = true})
+                   .ok());
+  EXPECT_GT(sys->hypersec()->verifier().stats().denied_secure_map, 0u);
+}
+
+// (d) W^X violations rejected.
+TEST(Isolation, WxViolationRejected) {
+  auto sys = hypernel_system(false);
+  kernel::Kernel& k = sys->kernel();
+  Result<PhysAddr> root = k.kpt().alloc_user_root();
+  ASSERT_TRUE(root.ok());
+  Result<PhysAddr> frame = k.buddy().alloc_page();
+  ASSERT_TRUE(frame.ok());
+  EXPECT_FALSE(k.kpt()
+                   .map_page(root.value(), 0x400000, frame.value(),
+                             sim::PageAttrs{.write = true, .exec = true,
+                                            .user = true})
+                   .ok());
+  EXPECT_GT(sys->hypersec()->verifier().stats().denied_wx, 0u);
+}
+
+// (e) direct PT write (bypassing the hypercall) faults: pages are RO.
+TEST(Isolation, DirectPtWriteFaults) {
+  auto sys = hypernel_system(false);
+  kernel::Kernel& k = sys->kernel();
+  const PhysAddr root = k.procs().current().ttbr0;
+  const VirtAddr root_va = kernel::phys_to_virt(root);
+  const u64 evil_desc =
+      sim::make_page_desc(0x400000, sim::PageAttrs{.write = true});
+  const sim::Access64 w = sys->machine().write64(root_va, evil_desc);
+  EXPECT_FALSE(w.ok);
+  EXPECT_EQ(w.fault.type, sim::FaultType::kPermission);
+  EXPECT_NE(sys->machine().phys().read64(root), evil_desc);
+}
+
+// (f) ATRA: a TTBR redirect defeats the bare external monitor but is
+// trapped by Hypersec.
+TEST(Atra, BaselineExternalMonitorBypassed) {
+  // Native system carrying the raw MBM, no Hypersec: the related-work
+  // external-monitor setup (§2, KI-Mon-style).
+  SystemConfig cfg;
+  cfg.mode = Mode::kNative;
+  cfg.enable_mbm = true;
+  auto sys_r = System::create(cfg);
+  ASSERT_TRUE(sys_r.ok());
+  auto sys = std::move(sys_r).value();
+  kernel::Kernel& k = sys->kernel();
+
+  // The monitor watches the physical frame of a victim object it learned
+  // about at configuration time.
+  ASSERT_TRUE(k.sys_creat("/secret").ok());
+  const VirtAddr victim_va =
+      k.vfs().cached_dentry(k.vfs().root_ino(), "secret");
+  ASSERT_NE(victim_va, 0u);
+  const PhysAddr victim_pa = kernel::virt_to_phys(victim_va);
+
+  secapps::BaselineExternalMonitor monitor(sys->machine(), *sys->mbm());
+  monitor.watch_phys(victim_pa, 128);
+  // The firmware also configured the page non-cacheable at boot.
+  ASSERT_TRUE(k.kpt()
+                  .protect_linear(page_align_down(victim_pa),
+                                  sim::PageAttrs{
+                                      .write = true,
+                                      .attr = sim::MemAttr::kNonCacheable})
+                  .ok());
+
+  // Sanity: a direct write IS seen.
+  ASSERT_TRUE(sys->machine()
+                  .write64(victim_va + kernel::DentryLayout::kOp * 8, 0x111)
+                  .ok);
+  monitor.poll();
+  ASSERT_TRUE(monitor.saw_write_to(victim_pa + kernel::DentryLayout::kOp * 8));
+
+  // ATRA: the attacker *relocates* the object — copies the dentry to an
+  // attacker page and rewires the kernel's linear mapping of the victim VA
+  // to point at the copy.  Under Native nothing stops the PT edit.
+  Result<PhysAddr> evil_frame = k.buddy().alloc_page();
+  ASSERT_TRUE(evil_frame.ok());
+  u8 copy[kPageSize];
+  sys->machine().phys().read_block(page_align_down(victim_pa), copy, kPageSize);
+  sys->machine().phys().write_block(evil_frame.value(), copy, kPageSize);
+  ASSERT_TRUE(k.kpt()
+                  .map_page(k.kpt().kernel_root(),
+                            page_align_down(victim_va), evil_frame.value(),
+                            sim::PageAttrs{.write = true})
+                  .ok());  // the redirect succeeds on the bare system
+
+  // Tampering through the same VA now lands on the unwatched frame:
+  const u64 events_before = monitor.events().size();
+  ASSERT_TRUE(sys->machine()
+                  .write64(victim_va + kernel::DentryLayout::kOp * 8, 0xBAD)
+                  .ok);
+  monitor.poll();
+  EXPECT_EQ(monitor.events().size(), events_before);  // silence: bypassed
+}
+
+TEST(Atra, HypersecBlocksTheRedirect) {
+  auto sys = hypernel_system();
+  kernel::Kernel& k = sys->kernel();
+  secapps::ObjectIntegrityMonitor monitor(
+      *sys, secapps::Granularity::kSensitiveFields);
+  ASSERT_TRUE(monitor.install().ok());
+  ASSERT_TRUE(k.sys_creat("/secret").ok());
+  const VirtAddr victim_va =
+      k.vfs().cached_dentry(k.vfs().root_ino(), "secret");
+
+  // Step 1 of the same attack: rewiring the kernel linear map.  The PT
+  // write hypercall is denied (sealed kernel tree)...
+  Result<PhysAddr> evil_frame = k.buddy().alloc_page();
+  ASSERT_TRUE(evil_frame.ok());
+  EXPECT_FALSE(k.kpt()
+                   .map_page(k.kpt().kernel_root(),
+                             page_align_down(victim_va), evil_frame.value(),
+                             sim::PageAttrs{.write = true})
+                   .ok());
+  // ...and so is installing a whole forged translation root:
+  EXPECT_FALSE(sys->machine().write_sysreg_el1(sim::SysReg::TTBR1_EL1,
+                                               evil_frame.value()));
+  EXPECT_GT(sys->hypersec()->stats().trap_denials, 0u);
+
+  // The monitored object still monitors: tampering is detected.
+  ASSERT_TRUE(sys->machine()
+                  .write64(victim_va + kernel::DentryLayout::kOp * 8, 0xBAD)
+                  .ok);
+  EXPECT_FALSE(monitor.alerts().empty());
+}
+
+// (g) negative control: leave the monitored page cacheable and the MBM
+// misses the event — the §5.3 design decision in reverse.
+TEST(Visibility, CacheableMonitoredPageMissesEvents) {
+  SystemConfig cfg;
+  cfg.mode = Mode::kNative;  // raw MBM without Hypersec's NC remap
+  cfg.enable_mbm = true;
+  auto sys_r = System::create(cfg);
+  ASSERT_TRUE(sys_r.ok());
+  auto sys = std::move(sys_r).value();
+  kernel::Kernel& k = sys->kernel();
+
+  ASSERT_TRUE(k.sys_creat("/cached").ok());
+  const VirtAddr va = k.vfs().cached_dentry(k.vfs().root_ino(), "cached");
+  const PhysAddr pa = kernel::virt_to_phys(va);
+  secapps::BaselineExternalMonitor monitor(sys->machine(), *sys->mbm());
+  monitor.watch_phys(pa, 128);
+  // Page left NORMAL CACHEABLE: the write is absorbed by the cache.
+  ASSERT_TRUE(
+      sys->machine().write64(va + kernel::DentryLayout::kOp * 8, 0x666).ok);
+  monitor.poll();
+  EXPECT_FALSE(monitor.saw_write_to(pa + kernel::DentryLayout::kOp * 8));
+}
+
+// Hypercall interface fuzz-ish robustness: malformed calls are rejected,
+// never crash, never corrupt state.
+TEST(HvcInterface, MalformedCallsRejected) {
+  auto sys = hypernel_system();
+  sim::Machine& m = sys->machine();
+  EXPECT_EQ(m.hvc(999, {}), hvc::kBadArgs);                    // unknown func
+  EXPECT_EQ(m.hvc(hvc::kPtWrite, {}), hvc::kBadArgs);          // no args
+  EXPECT_EQ(m.hvc(hvc::kPtWrite, {1, 2}), hvc::kBadArgs);      // short args
+  EXPECT_EQ(m.hvc(hvc::kPtWrite, {0, 9999, 0}), hvc::kBadArgs);  // bad index
+  EXPECT_EQ(m.hvc(hvc::kPtAlloc, {0x12345, 3}), hvc::kBadArgs);  // unaligned
+  EXPECT_EQ(m.hvc(hvc::kPtAlloc, {0x10000, 7}), hvc::kBadArgs);  // bad level
+  EXPECT_EQ(m.hvc(hvc::kPtFree, {0x400000}), hvc::kDenied);    // not a PT
+  EXPECT_EQ(m.hvc(hvc::kMonRegister, {1, 2}), hvc::kBadArgs);
+  // The system still works afterwards.
+  EXPECT_TRUE(sys->kernel().sys_creat("/still-alive").ok());
+}
+
+// Ring-buffer pressure: a burst of monitored writes with the IRQ masked
+// accumulates in the ring; nothing is lost until the ring capacity, and
+// re-enabling delivery drains everything.
+TEST(RingPressure, MaskedIrqAccumulatesThenDrains) {
+  SystemConfig cfg;
+  cfg.mode = Mode::kHypernel;
+  cfg.enable_mbm = true;
+  cfg.mbm_ring_entries = 4096;
+  auto sys_r = System::create(cfg);
+  ASSERT_TRUE(sys_r.ok());
+  auto sys = std::move(sys_r).value();
+  secapps::ObjectIntegrityMonitor monitor(
+      *sys, secapps::Granularity::kSensitiveFields);
+  ASSERT_TRUE(monitor.install().ok());
+  kernel::Kernel& k = sys->kernel();
+
+  sys->machine().gic().set_enabled(sim::kIrqMbm, false);
+  for (int i = 0; i < 20; ++i) {
+    char path[32];
+    std::snprintf(path, sizeof(path), "/burst%d", i);
+    ASSERT_TRUE(k.sys_creat(path).ok());
+  }
+  EXPECT_GT(sys->mbm()->ring().size(), 0u);
+  const u64 queued = sys->mbm()->ring().size();
+  sys->machine().gic().set_enabled(sim::kIrqMbm, true);
+  sys->machine().gic().replay_pending();
+  EXPECT_EQ(sys->mbm()->ring().size(), 0u);
+  EXPECT_GE(monitor.stats().events_total, queued);
+}
+
+}  // namespace
+}  // namespace hn

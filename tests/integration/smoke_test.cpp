@@ -1,0 +1,69 @@
+// End-to-end smoke tests: every configuration boots, runs the LMbench
+// suite and a small app workload, and the Hypernel monitoring pipeline
+// (Fig. 4 steps 1-8) delivers events.
+#include <gtest/gtest.h>
+
+#include "hypernel/system.h"
+#include "secapps/object_monitor.h"
+#include "workloads/apps.h"
+#include "workloads/lmbench.h"
+
+namespace hn {
+namespace {
+
+hypernel::SystemConfig config_for(hypernel::Mode mode, bool mbm = false) {
+  hypernel::SystemConfig cfg;
+  cfg.mode = mode;
+  cfg.enable_mbm = mbm;
+  return cfg;
+}
+
+TEST(Smoke, NativeBootsAndRunsLmbench) {
+  auto sys = hypernel::System::create(config_for(hypernel::Mode::kNative));
+  ASSERT_TRUE(sys.ok()) << sys.status().message();
+  workloads::LmbenchSuite suite(*sys.value(), 4);
+  const auto results = suite.run_all();
+  ASSERT_EQ(results.size(), 9u);
+  for (const auto& r : results) {
+    EXPECT_GT(r.us, 0.0) << r.name;
+  }
+}
+
+TEST(Smoke, KvmGuestBootsAndRunsLmbench) {
+  auto sys = hypernel::System::create(config_for(hypernel::Mode::kKvmGuest));
+  ASSERT_TRUE(sys.ok()) << sys.status().message();
+  workloads::LmbenchSuite suite(*sys.value(), 4);
+  const auto results = suite.run_all();
+  ASSERT_EQ(results.size(), 9u);
+  EXPECT_GT(sys.value()->kvm()->stats().s2_faults_serviced, 0u);
+}
+
+TEST(Smoke, HypernelBootsAndRunsLmbench) {
+  auto sys =
+      hypernel::System::create(config_for(hypernel::Mode::kHypernel, true));
+  ASSERT_TRUE(sys.ok()) << sys.status().message();
+  workloads::LmbenchSuite suite(*sys.value(), 4);
+  const auto results = suite.run_all();
+  ASSERT_EQ(results.size(), 9u);
+  EXPECT_GT(sys.value()->hypersec()->stats().pt_write_calls, 0u);
+}
+
+TEST(Smoke, MonitoringPipelineDeliversEvents) {
+  auto sys =
+      hypernel::System::create(config_for(hypernel::Mode::kHypernel, true));
+  ASSERT_TRUE(sys.ok()) << sys.status().message();
+  secapps::ObjectIntegrityMonitor monitor(*sys.value(),
+                                          secapps::Granularity::kWholeObject);
+  ASSERT_TRUE(monitor.install().ok());
+
+  workloads::AppParams p;
+  p.scale = 0.1;
+  const auto r = workloads::run_untar(*sys.value(), p);
+  EXPECT_GT(r.us, 0.0);
+  EXPECT_GT(monitor.stats().events_total, 0u);
+  EXPECT_GT(sys.value()->mbm()->stats().detections, 0u);
+  EXPECT_EQ(monitor.alerts().size(), 0u) << monitor.alerts()[0].reason;
+}
+
+}  // namespace
+}  // namespace hn

@@ -1,0 +1,210 @@
+// Buddy allocator property tests and slab cache tests.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "kernel/buddy.h"
+#include "kernel/costs.h"
+#include "kernel/layout.h"
+#include "kernel/objects.h"
+#include "kernel/slab.h"
+#include "sim/machine.h"
+
+namespace hn::kernel {
+namespace {
+
+TEST(Buddy, AllocatesAlignedBlocks) {
+  BuddyAllocator buddy(0x100000, 4 * 1024 * 1024);
+  for (unsigned order = 0; order <= 5; ++order) {
+    Result<PhysAddr> r = buddy.alloc_pages(order);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ((r.value() - buddy.base()) % (kPageSize << order), 0u)
+        << "order " << order;
+  }
+}
+
+TEST(Buddy, ExhaustionReturnsError) {
+  BuddyAllocator buddy(0, 4 * kPageSize);
+  EXPECT_TRUE(buddy.alloc_pages(2).ok());  // takes everything
+  EXPECT_FALSE(buddy.alloc_page().ok());
+  EXPECT_EQ(buddy.free_pages_count(), 0u);
+}
+
+TEST(Buddy, FreeCoalescesBackToFull) {
+  BuddyAllocator buddy(0, 64 * kPageSize);
+  std::vector<PhysAddr> pages;
+  for (int i = 0; i < 64; ++i) {
+    Result<PhysAddr> r = buddy.alloc_page();
+    ASSERT_TRUE(r.ok());
+    pages.push_back(r.value());
+  }
+  EXPECT_EQ(buddy.free_pages_count(), 0u);
+  for (PhysAddr pa : pages) buddy.free_page(pa);
+  EXPECT_EQ(buddy.free_pages_count(), 64u);
+  // Coalescing restores a maximal block.
+  Result<PhysAddr> big = buddy.alloc_pages(6);
+  EXPECT_TRUE(big.ok());
+}
+
+TEST(Buddy, RejectsOversizedOrder) {
+  BuddyAllocator buddy(0, 64 * kPageSize);
+  EXPECT_FALSE(buddy.alloc_pages(BuddyAllocator::kMaxOrder + 1).ok());
+}
+
+TEST(Buddy, PropertyNoDoubleAllocation) {
+  // Random alloc/free storm: no block is ever handed out twice while live,
+  // all blocks stay in-range and aligned, and the free count balances.
+  BuddyAllocator buddy(0x200000, 8 * 1024 * 1024);
+  SplitMix64 rng(77);
+  std::map<PhysAddr, unsigned> live;  // base -> order
+  u64 live_pages = 0;
+  for (int step = 0; step < 5000; ++step) {
+    if (live.empty() || rng.chance(3, 5)) {
+      const unsigned order = static_cast<unsigned>(rng.next_below(4));
+      Result<PhysAddr> r = buddy.alloc_pages(order);
+      if (!r.ok()) continue;
+      const PhysAddr pa = r.value();
+      const u64 len = kPageSize << order;
+      ASSERT_TRUE(buddy.owns(pa));
+      ASSERT_TRUE(buddy.owns(pa + len - 1));
+      ASSERT_EQ((pa - buddy.base()) % len, 0u);
+      for (const auto& [base, o] : live) {
+        ASSERT_FALSE(ranges_overlap(pa, len, base, kPageSize << o))
+            << "overlapping allocation at step " << step;
+      }
+      live[pa] = order;
+      live_pages += u64{1} << order;
+    } else {
+      auto it = live.begin();
+      std::advance(it, rng.next_below(live.size()));
+      buddy.free_pages(it->first, it->second);
+      live_pages -= u64{1} << it->second;
+      live.erase(it);
+    }
+    ASSERT_EQ(buddy.free_pages_count(), buddy.total_pages() - live_pages);
+  }
+}
+
+TEST(Buddy, FreeHookObservesFrees) {
+  BuddyAllocator buddy(0, 64 * kPageSize);
+  std::vector<std::pair<PhysAddr, unsigned>> freed;
+  buddy.set_free_hook([&](PhysAddr pa, unsigned order) {
+    freed.emplace_back(pa, order);
+  });
+  Result<PhysAddr> r = buddy.alloc_pages(1);
+  ASSERT_TRUE(r.ok());
+  buddy.free_pages(r.value(), 1);
+  ASSERT_EQ(freed.size(), 1u);
+  EXPECT_EQ(freed[0], std::make_pair(r.value(), 1u));
+}
+
+class SlabTest : public ::testing::Test {
+ protected:
+  SlabTest()
+      : machine_(sim::MachineConfig{}),
+        buddy_(kBuddyPoolBase, 16 * 1024 * 1024) {
+    // Identity-style linear map is not set up: give the machine a kernel
+    // root so linear-map accesses translate.  Build a flat map over the
+    // buddy range.
+    build_linear_map();
+  }
+
+  void build_linear_map() {
+    const PhysAddr root = 0x10000;
+    machine_.phys().zero_range(root, kPageSize);
+    next_table_ = 0x11000;
+    machine_.set_sysreg_raw(sim::SysReg::TTBR1_EL1, root);
+    for (PhysAddr pa = kBuddyPoolBase; pa < kBuddyPoolBase + 16 * 1024 * 1024;
+         pa += kPageSize) {
+      map_page(root, phys_to_virt(pa), pa);
+    }
+  }
+  void map_page(PhysAddr root, VirtAddr va, PhysAddr pa) {
+    PhysAddr table = root;
+    for (unsigned level = 0; level <= 2; ++level) {
+      const PhysAddr slot = table + sim::va_index(va, level) * 8;
+      u64 d = machine_.phys().read64(slot);
+      if (!sim::desc_valid(d)) {
+        const PhysAddr next = next_table_;
+        next_table_ += kPageSize;
+        machine_.phys().zero_range(next, kPageSize);
+        d = sim::make_table_desc(next);
+        machine_.phys().write64(slot, d);
+      }
+      table = sim::desc_out_addr(d);
+    }
+    machine_.phys().write64(table + sim::va_index(va, 3) * 8,
+                            sim::make_page_desc(pa, sim::PageAttrs{.write = true}));
+  }
+
+  sim::Machine machine_;
+  BuddyAllocator buddy_;
+  KernelCosts costs_;
+  PhysAddr next_table_ = 0;
+};
+
+TEST_F(SlabTest, ObjectsZeroedAndAligned) {
+  SlabCache slab(machine_, buddy_, costs_, ObjectKind::kCred);
+  Result<VirtAddr> a = slab.alloc();
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ((a.value() - kKernelVaBase) % 128, 0u);
+  for (u64 w = 0; w < CredLayout::kWords; ++w) {
+    EXPECT_EQ(machine_.read64(a.value() + w * 8).value, 0u);
+  }
+}
+
+TEST_F(SlabTest, DistinctObjects) {
+  SlabCache slab(machine_, buddy_, costs_, ObjectKind::kDentry);
+  std::set<VirtAddr> seen;
+  for (int i = 0; i < 100; ++i) {
+    Result<VirtAddr> a = slab.alloc();
+    ASSERT_TRUE(a.ok());
+    EXPECT_TRUE(seen.insert(a.value()).second);
+  }
+  EXPECT_EQ(slab.live_objects(), 100u);
+  EXPECT_GE(slab.pages().size(), 100u / (kPageSize / 128));
+}
+
+TEST_F(SlabTest, FreeReusesAndRezeros) {
+  SlabCache slab(machine_, buddy_, costs_, ObjectKind::kCred);
+  Result<VirtAddr> a = slab.alloc();
+  ASSERT_TRUE(a.ok());
+  machine_.write64(a.value(), 0xFF);
+  slab.free(a.value());
+  Result<VirtAddr> b = slab.alloc();
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value(), a.value());  // LIFO reuse
+  EXPECT_EQ(machine_.read64(b.value()).value, 0u);  // re-zeroed
+}
+
+TEST_F(SlabTest, HooksFireInOrder) {
+  SlabCache slab(machine_, buddy_, costs_, ObjectKind::kCred);
+  std::vector<std::string> events;
+  slab.set_hooks(
+      [&](VirtAddr va) {
+        events.push_back("alloc");
+        // At hook time the object is already zeroed.
+        EXPECT_EQ(machine_.read64(va).value, 0u);
+      },
+      [&](VirtAddr) { events.push_back("free"); });
+  Result<VirtAddr> a = slab.alloc();
+  ASSERT_TRUE(a.ok());
+  slab.free(a.value());
+  EXPECT_EQ(events, (std::vector<std::string>{"alloc", "free"}));
+}
+
+TEST_F(SlabTest, DedicatedPagesPerCache) {
+  SlabCache cred(machine_, buddy_, costs_, ObjectKind::kCred);
+  SlabCache dentry(machine_, buddy_, costs_, ObjectKind::kDentry);
+  ASSERT_TRUE(cred.alloc().ok());
+  ASSERT_TRUE(dentry.alloc().ok());
+  for (PhysAddr p1 : cred.pages()) {
+    for (PhysAddr p2 : dentry.pages()) EXPECT_NE(p1, p2);
+  }
+}
+
+}  // namespace
+}  // namespace hn::kernel

@@ -1,0 +1,206 @@
+// Edge-case and failure-injection tests: memory exhaustion, pathological
+// paths, name-length limits, and graceful degradation everywhere a user
+// of the library could push the substrate past its comfortable envelope.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hypernel/system.h"
+#include "kernel/kernel.h"
+#include "kernel/layout.h"
+#include "workloads/lmbench.h"
+
+namespace hn::kernel {
+namespace {
+
+using hypernel::Mode;
+using hypernel::System;
+using hypernel::SystemConfig;
+
+std::unique_ptr<System> make_system(Mode mode = Mode::kNative) {
+  SystemConfig cfg;
+  cfg.mode = mode;
+  cfg.enable_mbm = false;
+  auto r = System::create(cfg);
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+TEST(Edge, ForkBombHitsOomGracefully) {
+  // Small machine: exhaust memory with forks.  The failing fork must
+  // return an error, not corrupt state; everything reclaims on exit.
+  SystemConfig cfg;
+  cfg.mode = Mode::kNative;
+  cfg.enable_mbm = false;
+  cfg.machine.dram_size = 48ull * 1024 * 1024;
+  cfg.machine.secure_size = 8ull * 1024 * 1024;
+  auto sys = System::create(cfg).value();
+  Kernel& k = sys->kernel();
+  Task* init = &k.procs().current();
+
+  std::vector<u32> pids;
+  for (int i = 0; i < 4096; ++i) {
+    Result<u32> pid = k.sys_fork();
+    if (!pid.ok()) break;  // OOM: the expected exit from this loop
+    pids.push_back(pid.value());
+  }
+  EXPECT_GT(pids.size(), 4u);     // some forks fit
+  EXPECT_LT(pids.size(), 4096u);  // but not all: OOM fired
+
+  const u64 live_at_peak = k.procs().live_tasks();
+  for (const u32 pid : pids) {
+    Task* t = k.procs().find(pid);
+    if (t == nullptr) continue;
+    k.procs().switch_to(*t);
+    EXPECT_TRUE(k.sys_exit().ok());
+    k.procs().switch_to(*init);
+  }
+  EXPECT_EQ(k.procs().live_tasks(), 1u);
+  EXPECT_LT(k.procs().live_tasks(), live_at_peak);
+  // And the system still works.
+  Result<u32> again = k.sys_fork();
+  ASSERT_TRUE(again.ok());
+  k.procs().switch_to(*k.procs().find(again.value()));
+  EXPECT_TRUE(k.sys_exit().ok());
+  k.procs().switch_to(*init);
+}
+
+TEST(Edge, PageCacheExhaustionSurfacesAsError) {
+  SystemConfig cfg;
+  cfg.mode = Mode::kNative;
+  cfg.enable_mbm = false;
+  cfg.machine.dram_size = 48ull * 1024 * 1024;
+  cfg.machine.secure_size = 8ull * 1024 * 1024;
+  auto sys = System::create(cfg).value();
+  Kernel& k = sys->kernel();
+  Result<u64> ino = k.sys_creat("/huge");
+  ASSERT_TRUE(ino.ok());
+  std::vector<u8> page(kPageSize, 1);
+  u64 written = 0;
+  // The write path asserts on allocation success internally for data
+  // pages; approach the limit through the buddy instead.
+  while (k.buddy().free_pages_count() > 64) {
+    ASSERT_TRUE(
+        k.sys_write(ino.value(), written, page.data(), kPageSize).ok());
+    written += kPageSize;
+  }
+  // Eviction releases it all.
+  const u64 free_before = k.buddy().free_pages_count();
+  k.vfs().evict_inode_pages(ino.value());
+  EXPECT_EQ(k.buddy().free_pages_count(),
+            free_before + written / kPageSize);
+}
+
+TEST(Edge, DeepPathsResolve) {
+  auto sys = make_system();
+  Kernel& k = sys->kernel();
+  std::string path;
+  for (int d = 0; d < 32; ++d) {
+    path += "/d";
+    path += std::to_string(d);
+    ASSERT_TRUE(k.sys_mkdir(path).ok()) << path;
+  }
+  path += "/leaf";
+  ASSERT_TRUE(k.sys_creat(path).ok());
+  EXPECT_TRUE(k.sys_stat(path).ok());
+  EXPECT_TRUE(k.sys_unlink(path).ok());
+}
+
+TEST(Edge, LongNamesTruncateConsistently) {
+  auto sys = make_system();
+  Kernel& k = sys->kernel();
+  // Inline dentry names hold 16 chars; longer names still round-trip
+  // through the (host-side) directory index.
+  const std::string lng(64, 'x');
+  ASSERT_TRUE(k.sys_creat("/" + lng).ok());
+  EXPECT_TRUE(k.sys_stat("/" + lng).ok());
+  EXPECT_FALSE(k.sys_stat("/" + lng + "y").ok());
+}
+
+TEST(Edge, PathThroughFileFails) {
+  auto sys = make_system();
+  Kernel& k = sys->kernel();
+  ASSERT_TRUE(k.sys_creat("/plainfile").ok());
+  EXPECT_FALSE(k.sys_creat("/plainfile/child").ok());
+  EXPECT_FALSE(k.sys_stat("/plainfile/child").ok());
+}
+
+TEST(Edge, EmptyAndRootPaths) {
+  auto sys = make_system();
+  Kernel& k = sys->kernel();
+  EXPECT_FALSE(k.sys_creat("").ok());
+  EXPECT_FALSE(k.sys_creat("///").ok());
+  Result<StatInfo> root = k.sys_stat("/");
+  // "/" resolves to the root inode itself.
+  ASSERT_TRUE(root.ok());
+  EXPECT_TRUE(root.value().is_dir);
+}
+
+TEST(Edge, MunmapOfUnmappedRangeFails) {
+  auto sys = make_system();
+  Kernel& k = sys->kernel();
+  EXPECT_FALSE(k.sys_munmap(kUserMmapBase + 0x100000, 4 * kPageSize).ok());
+}
+
+TEST(Edge, MmapRegionsDoNotOverlap) {
+  auto sys = make_system();
+  Kernel& k = sys->kernel();
+  Result<VirtAddr> a = k.sys_mmap(8 * kPageSize, true);
+  Result<VirtAddr> b = k.sys_mmap(8 * kPageSize, true);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(ranges_overlap(a.value(), 8 * kPageSize, b.value(),
+                              8 * kPageSize));
+}
+
+TEST(Edge, LatCtxExtensionWorksPerMode) {
+  for (const Mode mode : {Mode::kNative, Mode::kHypernel}) {
+    auto sys = make_system(mode);
+    workloads::LmbenchSuite suite(*sys, 8);
+    ASSERT_TRUE(suite.setup().ok());
+    const auto r = suite.context_switch(4);
+    EXPECT_GT(r.us, 0.5);
+    EXPECT_LT(r.us, 10.0);
+    if (mode == Mode::kHypernel) {
+      // Every switch trapped once.
+      EXPECT_GT(sys->machine().counters().sysreg_traps, 8u * 4u);
+    }
+  }
+}
+
+TEST(Edge, BandwidthExtensionSane) {
+  auto sys = make_system();
+  workloads::LmbenchSuite suite(*sys, 4);
+  ASSERT_TRUE(suite.setup().ok());
+  const auto r = suite.memory_bandwidth(256);
+  EXPECT_GT(r.us, 100.0);    // at least 100 MB/s simulated
+  EXPECT_LT(r.us, 20000.0);  // below 20 GB/s (sanity)
+}
+
+TEST(Edge, CacheDisabledMachineStillCorrect) {
+  SystemConfig cfg;
+  cfg.mode = Mode::kNative;
+  cfg.enable_mbm = false;
+  cfg.machine.cache.enabled = false;  // every access non-cached
+  auto sys = System::create(cfg).value();
+  Kernel& k = sys->kernel();
+  ASSERT_TRUE(k.sys_creat("/nocache").ok());
+  EXPECT_TRUE(k.sys_stat("/nocache").ok());
+  EXPECT_EQ(sys->machine().counters().l1_hits, 0u);
+  EXPECT_GT(sys->machine().counters().noncacheable_accesses, 0u);
+}
+
+TEST(Edge, TinyTlbStillCorrectJustSlow) {
+  SystemConfig small;
+  small.mode = Mode::kNative;
+  small.enable_mbm = false;
+  small.machine.tlb_entries = 8;
+  auto sys = System::create(small).value();
+  workloads::LmbenchSuite suite(*sys, 4);
+  const auto results = suite.run_all();
+  for (const auto& r : results) EXPECT_GT(r.us, 0.0) << r.name;
+  EXPECT_GT(sys->machine().counters().tlb_misses, 1000u);
+}
+
+}  // namespace
+}  // namespace hn::kernel

@@ -1,0 +1,178 @@
+// Loadable-module tests: the insmod/rmmod lifecycle, the W^X seal
+// transition, and the Hypernel-mediated variant where module text becomes
+// tamper-proof (the "buggy driver" motivation of §1 turned around).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/hvc_abi.h"
+#include "hypernel/system.h"
+#include "kernel/layout.h"
+#include "kernel/modules.h"
+
+namespace hn::kernel {
+namespace {
+
+using hypernel::Mode;
+using hypernel::System;
+using hypernel::SystemConfig;
+
+std::unique_ptr<System> make_system(Mode mode) {
+  SystemConfig cfg;
+  cfg.mode = mode;
+  cfg.enable_mbm = false;
+  auto r = System::create(cfg);
+  EXPECT_TRUE(r.ok()) << r.status().message();
+  return std::move(r).value();
+}
+
+ModuleImage test_module(const char* name, size_t hooks = 8) {
+  ModuleImage img;
+  img.name = name;
+  for (size_t i = 0; i < hooks; ++i) {
+    img.text_words.push_back(0xF00D'0000 + i);
+  }
+  img.data_words = {1, 2, 3};
+  return img;
+}
+
+class ModulesTest : public ::testing::TestWithParam<Mode> {
+ protected:
+  ModulesTest() : sys_(make_system(GetParam())) {}
+  std::unique_ptr<System> sys_;
+};
+
+TEST_P(ModulesTest, LoadCallUnload) {
+  Kernel& k = sys_->kernel();
+  Result<LoadedModule> mod = k.sys_insmod(test_module("veth"));
+  ASSERT_TRUE(mod.ok()) << mod.status().message();
+  EXPECT_EQ(k.modules().loaded_count(), 1u);
+
+  // Hooks dispatch to the staged cookies.
+  Result<u64> h0 = k.sys_module_call("veth", 0);
+  ASSERT_TRUE(h0.ok());
+  EXPECT_EQ(h0.value(), 0xF00D'0000u);
+  EXPECT_EQ(k.sys_module_call("veth", 7).value(), 0xF00D'0007u);
+
+  ASSERT_TRUE(k.sys_rmmod("veth").ok());
+  EXPECT_EQ(k.modules().loaded_count(), 0u);
+  EXPECT_FALSE(k.sys_module_call("veth", 0).ok());
+}
+
+TEST_P(ModulesTest, TextSealedReadOnlyExecutable) {
+  Kernel& k = sys_->kernel();
+  Result<LoadedModule> mod = k.sys_insmod(test_module("sealed"));
+  ASSERT_TRUE(mod.ok());
+  // Writes to sealed text fault; reads and exec succeed.
+  EXPECT_FALSE(sys_->machine().write64(mod.value().text_va, 0xBAD).ok);
+  EXPECT_TRUE(sys_->machine().read64(mod.value().text_va).ok);
+  sim::AccessType exec;
+  exec.is_exec = true;
+  EXPECT_TRUE(sys_->machine().probe(mod.value().text_va, exec).ok);
+  // Data stays writable and is not executable.
+  EXPECT_TRUE(sys_->machine().write64(mod.value().data_va, 9).ok);
+  EXPECT_FALSE(sys_->machine().probe(mod.value().data_va, exec).ok);
+}
+
+TEST_P(ModulesTest, UnloadRestoresPlainMemory) {
+  Kernel& k = sys_->kernel();
+  Result<LoadedModule> mod = k.sys_insmod(test_module("tmpmod"));
+  ASSERT_TRUE(mod.ok());
+  const VirtAddr text = mod.value().text_va;
+  const u64 free_before = k.buddy().free_pages_count();
+  ASSERT_TRUE(k.sys_rmmod("tmpmod").ok());
+  EXPECT_GT(k.buddy().free_pages_count(), free_before);
+  // Frames are ordinary RW memory again (reallocatable and writable).
+  EXPECT_TRUE(sys_->machine().write64(text, 0x1).ok);
+}
+
+TEST_P(ModulesTest, DuplicateAndMissingNames) {
+  Kernel& k = sys_->kernel();
+  ASSERT_TRUE(k.sys_insmod(test_module("dup")).ok());
+  EXPECT_FALSE(k.sys_insmod(test_module("dup")).ok());
+  EXPECT_FALSE(k.sys_rmmod("ghost").ok());
+  EXPECT_FALSE(k.sys_module_call("dup", 9999).ok());  // out of range
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, ModulesTest,
+                         ::testing::Values(Mode::kNative, Mode::kKvmGuest,
+                                           Mode::kHypernel),
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
+                             case Mode::kNative: return std::string("Native");
+                             case Mode::kKvmGuest: return std::string("KvmGuest");
+                             case Mode::kHypernel: return std::string("Hypernel");
+                           }
+                           return std::string("Unknown");
+                         });
+
+// ---------------- Hypernel-specific hardening ----------------
+
+TEST(ModulesHypernel, SealGoesThroughHypercall) {
+  auto sys = make_system(Mode::kHypernel);
+  Kernel& k = sys->kernel();
+  const u64 hvc_before = sys->machine().counters().hvc_calls;
+  ASSERT_TRUE(k.sys_insmod(test_module("hvcmod")).ok());
+  EXPECT_GT(sys->machine().counters().hvc_calls, hvc_before);
+  EXPECT_GT(sys->hypersec()->verifier().is_module_text(
+                virt_to_phys(k.modules().find("hvcmod")->text_va)),
+            false);
+}
+
+TEST(ModulesHypernel, ForgedSealOfKernelTextDenied) {
+  auto sys = make_system(Mode::kHypernel);
+  // A rootkit asking Hypersec to make the kernel image "module text"
+  // (e.g. to then unseal it writable) is rejected outright.
+  EXPECT_EQ(sys->machine().hvc(hvc::kModuleSeal, {kTextBase, 4}),
+            hvc::kDenied);
+  // As is unsealing anything that was never sealed.
+  EXPECT_EQ(sys->machine().hvc(hvc::kModuleUnseal, {0x400000, 1}),
+            hvc::kDenied);
+  // And sealing the secure space or a PT page.
+  EXPECT_EQ(sys->machine().hvc(hvc::kModuleSeal,
+                               {sys->machine().secure_base(), 1}),
+            hvc::kDenied);
+  EXPECT_EQ(sys->machine().hvc(hvc::kModuleSeal,
+                               {sys->kernel().kpt().kernel_root(), 1}),
+            hvc::kDenied);
+}
+
+TEST(ModulesHypernel, NoWritableAliasOfSealedText) {
+  auto sys = make_system(Mode::kHypernel);
+  Kernel& k = sys->kernel();
+  Result<LoadedModule> mod = k.sys_insmod(test_module("aliased"));
+  ASSERT_TRUE(mod.ok());
+  // Try to map the module text writable into a user address space.
+  Result<PhysAddr> root = k.kpt().alloc_user_root();
+  ASSERT_TRUE(root.ok());
+  EXPECT_FALSE(k.kpt()
+                   .map_page(root.value(), 0x400000,
+                             virt_to_phys(mod.value().text_va),
+                             sim::PageAttrs{.write = true, .user = true})
+                   .ok());
+  // A read-only alias is allowed.
+  EXPECT_TRUE(k.kpt()
+                  .map_page(root.value(), 0x401000,
+                            virt_to_phys(mod.value().text_va),
+                            sim::PageAttrs{.write = false, .user = true})
+                  .ok());
+}
+
+TEST(ModulesHypernel, AuditHoldsAcrossModuleChurn) {
+  auto sys = make_system(Mode::kHypernel);
+  Kernel& k = sys->kernel();
+  for (int i = 0; i < 6; ++i) {
+    char name[16];
+    std::snprintf(name, sizeof(name), "mod%d", i);
+    ASSERT_TRUE(k.sys_insmod(test_module(name, 64)).ok());
+    if (i % 2 == 1) {
+      char prev[16];
+      std::snprintf(prev, sizeof(prev), "mod%d", i - 1);
+      ASSERT_TRUE(k.sys_rmmod(prev).ok());
+    }
+  }
+  EXPECT_TRUE(sys->hypersec()->audit().empty());
+}
+
+}  // namespace
+}  // namespace hn::kernel

@@ -1,0 +1,244 @@
+// Security-application tests: object monitor registration lifecycles,
+// event attribution, both granularities, and the detection policies
+// (cred escalation, dentry hijack) of footnote 2.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hypernel/system.h"
+#include "kernel/layout.h"
+#include "kernel/objects.h"
+#include "kernel/vfs.h"
+#include "secapps/object_monitor.h"
+#include "secapps/rootkit_detector.h"
+
+namespace hn::secapps {
+namespace {
+
+using hypernel::Mode;
+using hypernel::System;
+using hypernel::SystemConfig;
+using kernel::CredLayout;
+using kernel::DentryLayout;
+
+std::unique_ptr<System> make_system() {
+  SystemConfig cfg;
+  cfg.mode = Mode::kHypernel;
+  cfg.enable_mbm = true;
+  auto r = System::create(cfg);
+  EXPECT_TRUE(r.ok()) << r.status().message();
+  return std::move(r).value();
+}
+
+TEST(ObjectMonitor, RequiresHypernelMode) {
+  SystemConfig cfg;
+  cfg.mode = Mode::kNative;
+  cfg.enable_mbm = false;
+  auto sys = System::create(cfg);
+  ASSERT_TRUE(sys.ok());
+  ObjectIntegrityMonitor monitor(*sys.value(), Granularity::kWholeObject);
+  EXPECT_FALSE(monitor.install().ok());
+}
+
+TEST(ObjectMonitor, RegistersLiveCredsAtInstall) {
+  auto sys = make_system();
+  ObjectIntegrityMonitor monitor(*sys, Granularity::kWholeObject);
+  ASSERT_TRUE(monitor.install().ok());
+  // The init process cred (and the monitor bookkeeping) is registered.
+  EXPECT_GE(monitor.stats().objects_registered, 1u);
+  EXPECT_GT(sys->hypersec()->stats().mon_registers, 0u);
+}
+
+TEST(ObjectMonitor, SensitiveCredWriteRaisesEvent) {
+  auto sys = make_system();
+  ObjectIntegrityMonitor monitor(*sys, Granularity::kSensitiveFields);
+  ASSERT_TRUE(monitor.install().ok());
+  const u64 before = monitor.stats().events_total;
+  ASSERT_TRUE(sys->kernel().sys_setuid(1000).ok());
+  EXPECT_GT(monitor.stats().events_total, before);
+  EXPECT_GT(monitor.stats().events_cred, 0u);
+}
+
+TEST(ObjectMonitor, RefcountChurnInvisibleAtWordGranularity) {
+  auto sys = make_system();
+  ObjectIntegrityMonitor monitor(*sys, Granularity::kSensitiveFields,
+                                 /*watch_cred=*/true, /*watch_dentry=*/false);
+  ASSERT_TRUE(monitor.install().ok());
+  const u64 before = monitor.stats().events_total;
+  // cred_get/cred_put only touch the usage word: not sensitive.
+  kernel::ProcessManager& procs = sys->kernel().procs();
+  for (int i = 0; i < 10; ++i) {
+    procs.cred_get(procs.current().cred);
+    procs.cred_put(procs.current().cred);
+  }
+  EXPECT_EQ(monitor.stats().events_total, before);
+}
+
+TEST(ObjectMonitor, RefcountChurnVisibleAtWholeObject) {
+  auto sys = make_system();
+  ObjectIntegrityMonitor monitor(*sys, Granularity::kWholeObject,
+                                 /*watch_cred=*/true, /*watch_dentry=*/false);
+  ASSERT_TRUE(monitor.install().ok());
+  const u64 before = monitor.stats().events_total;
+  kernel::ProcessManager& procs = sys->kernel().procs();
+  for (int i = 0; i < 10; ++i) {
+    procs.cred_get(procs.current().cred);
+    procs.cred_put(procs.current().cred);
+  }
+  EXPECT_EQ(monitor.stats().events_total - before, 20u);
+}
+
+TEST(ObjectMonitor, DentryInstantiationMonitored) {
+  auto sys = make_system();
+  ObjectIntegrityMonitor monitor(*sys, Granularity::kSensitiveFields,
+                                 /*watch_cred=*/false, /*watch_dentry=*/true);
+  ASSERT_TRUE(monitor.install().ok());
+  const u64 before = monitor.stats().events_dentry;
+  ASSERT_TRUE(sys->kernel().sys_creat("/watched").ok());
+  // d_instantiate writes d_inode + d_flags after the d_alloc hook: exactly
+  // two sensitive events per creation.
+  EXPECT_EQ(monitor.stats().events_dentry - before, 2u);
+  EXPECT_TRUE(monitor.alerts().empty());
+}
+
+TEST(ObjectMonitor, UnregisteredAfterFree) {
+  auto sys = make_system();
+  ObjectIntegrityMonitor monitor(*sys, Granularity::kWholeObject,
+                                 /*watch_cred=*/false, /*watch_dentry=*/true);
+  ASSERT_TRUE(monitor.install().ok());
+  ASSERT_TRUE(sys->kernel().sys_creat("/gone").ok());
+  ASSERT_TRUE(sys->kernel().sys_unlink("/gone").ok());
+  EXPECT_EQ(monitor.stats().objects_registered,
+            monitor.stats().objects_unregistered);
+  // A fresh object reusing the slab slot starts unmonitored until its own
+  // registration — no stale-bitmap leaks (bits cleared on unregister).
+  const u64 events = monitor.stats().events_total;
+  ASSERT_TRUE(sys->kernel().sys_creat("/fresh").ok());
+  EXPECT_GT(monitor.stats().events_total, events);  // its own registration
+}
+
+TEST(ObjectMonitor, LegitimateOperationsRaiseNoAlerts) {
+  auto sys = make_system();
+  ObjectIntegrityMonitor monitor(*sys, Granularity::kSensitiveFields);
+  ASSERT_TRUE(monitor.install().ok());
+  kernel::Kernel& k = sys->kernel();
+  ASSERT_TRUE(k.sys_mkdir("/dir").ok());
+  ASSERT_TRUE(k.sys_creat("/dir/a").ok());
+  ASSERT_TRUE(k.sys_rename("/dir/a", "/dir/b").ok());
+  ASSERT_TRUE(k.sys_unlink("/dir/b").ok());
+  Result<u32> pid = k.sys_fork();
+  ASSERT_TRUE(pid.ok());
+  kernel::Task* child = k.procs().find(pid.value());
+  k.procs().switch_to(*child);
+  ASSERT_TRUE(k.sys_execve().ok());
+  ASSERT_TRUE(k.sys_exit().ok());
+  EXPECT_TRUE(monitor.alerts().empty());
+}
+
+TEST(ObjectMonitor, DetectsDirectCredEscalation) {
+  auto sys = make_system();
+  ObjectIntegrityMonitor monitor(*sys, Granularity::kSensitiveFields);
+  ASSERT_TRUE(monitor.install().ok());
+  kernel::Kernel& k = sys->kernel();
+  // Run as a non-root identity first.
+  ASSERT_TRUE(k.sys_setuid(1000).ok());
+  ASSERT_TRUE(monitor.alerts().empty());
+  // The attack: a compromised kernel path writes uid=0 directly into the
+  // cred object (footnote 2's privilege escalation).
+  const VirtAddr cred = k.procs().current().cred;
+  ASSERT_TRUE(
+      sys->machine().write64(cred + CredLayout::kEuid * kWordSize, 0).ok);
+  ASSERT_FALSE(monitor.alerts().empty());
+  EXPECT_NE(monitor.alerts()[0].reason.find("root"), std::string::npos);
+}
+
+TEST(ObjectMonitor, DetectsCapabilityEscalation) {
+  auto sys = make_system();
+  ObjectIntegrityMonitor monitor(*sys, Granularity::kSensitiveFields);
+  ASSERT_TRUE(monitor.install().ok());
+  kernel::Kernel& k = sys->kernel();
+  ASSERT_TRUE(k.sys_setuid(1000).ok());
+  const VirtAddr cred = k.procs().current().cred;
+  // Give the task a partial capability set, then forge full caps.
+  ASSERT_TRUE(sys->machine()
+                  .write64(cred + CredLayout::kCapEffective * kWordSize, 0x4)
+                  .ok);
+  ASSERT_TRUE(sys->machine()
+                  .write64(cred + CredLayout::kCapEffective * kWordSize,
+                           ~u64{0})
+                  .ok);
+  bool cap_alert = false;
+  for (const Alert& a : monitor.alerts()) {
+    cap_alert |= a.reason.find("capability") != std::string::npos;
+  }
+  EXPECT_TRUE(cap_alert);
+}
+
+TEST(ObjectMonitor, DetectsDentryOpsHook) {
+  auto sys = make_system();
+  ObjectIntegrityMonitor monitor(*sys, Granularity::kSensitiveFields);
+  ASSERT_TRUE(monitor.install().ok());
+  kernel::Kernel& k = sys->kernel();
+  ASSERT_TRUE(k.sys_creat("/hooked").ok());
+  const VirtAddr dva =
+      k.vfs().cached_dentry(k.vfs().root_ino(), "hooked");
+  ASSERT_NE(dva, 0u);
+  // Rootkit hooks the dentry ops vtable.
+  ASSERT_TRUE(sys->machine()
+                  .write64(dva + DentryLayout::kOp * kWordSize, 0xE711)
+                  .ok);
+  bool hook_alert = false;
+  for (const Alert& a : monitor.alerts()) {
+    hook_alert |= a.reason.find("vtable") != std::string::npos;
+  }
+  EXPECT_TRUE(hook_alert);
+}
+
+TEST(ObjectMonitor, DetectsDentryInodeHijack) {
+  auto sys = make_system();
+  ObjectIntegrityMonitor monitor(*sys, Granularity::kSensitiveFields);
+  ASSERT_TRUE(monitor.install().ok());
+  kernel::Kernel& k = sys->kernel();
+  Result<u64> victim = k.sys_creat("/victim");
+  Result<u64> evil = k.sys_creat("/evil");
+  ASSERT_TRUE(victim.ok());
+  ASSERT_TRUE(evil.ok());
+  const VirtAddr dva = k.vfs().cached_dentry(k.vfs().root_ino(), "victim");
+  ASSERT_NE(dva, 0u);
+  // Redirect the victim's dentry at the attacker's inode.
+  ASSERT_TRUE(sys->machine()
+                  .write64(dva + DentryLayout::kInode * kWordSize, evil.value())
+                  .ok);
+  bool hijack = false;
+  for (const Alert& a : monitor.alerts()) {
+    hijack |= a.reason.find("hijack") != std::string::npos;
+  }
+  EXPECT_TRUE(hijack);
+}
+
+TEST(RootkitDetector, ConvenienceQueries) {
+  auto sys = make_system();
+  RootkitDetector detector(*sys);
+  ASSERT_TRUE(detector.install().ok());
+  EXPECT_STREQ(detector.name(), "rootkit-detector");
+  EXPECT_FALSE(detector.detected_cred_escalation());
+  EXPECT_FALSE(detector.detected_dentry_tampering());
+
+  kernel::Kernel& k = sys->kernel();
+  ASSERT_TRUE(k.sys_setuid(1000).ok());
+  const VirtAddr cred = k.procs().current().cred;
+  ASSERT_TRUE(
+      sys->machine().write64(cred + CredLayout::kUid * kWordSize, 0).ok);
+  EXPECT_TRUE(detector.detected_cred_escalation());
+  EXPECT_FALSE(detector.detected_dentry_tampering());
+
+  ASSERT_TRUE(k.sys_creat("/rk").ok());
+  const VirtAddr dva = k.vfs().cached_dentry(k.vfs().root_ino(), "rk");
+  ASSERT_TRUE(sys->machine()
+                  .write64(dva + DentryLayout::kOp * kWordSize, 0xBAD)
+                  .ok);
+  EXPECT_TRUE(detector.detected_dentry_tampering());
+}
+
+}  // namespace
+}  // namespace hn::secapps

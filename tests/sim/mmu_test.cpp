@@ -1,0 +1,315 @@
+// MMU tests: stage-1 walks, permissions, TLB behaviour (ASIDs, flushes),
+// stage-2 nesting (the 24-descriptor-fetch blow-up), and stage-2 faults.
+#include <gtest/gtest.h>
+
+#include "sim/machine.h"
+#include "sim/pagetable.h"
+
+namespace hn::sim {
+namespace {
+
+/// Hand-rolled table builder over a machine's physical memory.
+class TableBuilder {
+ public:
+  explicit TableBuilder(Machine& m, PhysAddr pool_base)
+      : m_(m), next_(pool_base) {}
+
+  PhysAddr alloc_table() {
+    const PhysAddr t = next_;
+    next_ += kPageSize;
+    m_.phys().zero_range(t, kPageSize);
+    return t;
+  }
+
+  /// Map va -> pa in the stage-1 tree rooted at `root` (4 KiB page).
+  void map(PhysAddr root, VirtAddr va, PhysAddr pa, const PageAttrs& attrs) {
+    PhysAddr table = root;
+    for (unsigned level = 0; level <= 2; ++level) {
+      const PhysAddr slot = table + va_index(va, level) * 8;
+      u64 d = m_.phys().read64(slot);
+      if (!desc_valid(d)) {
+        const PhysAddr next = alloc_table();
+        d = make_table_desc(next);
+        m_.phys().write64(slot, d);
+      }
+      table = desc_out_addr(d);
+    }
+    m_.phys().write64(table + va_index(va, 3) * 8, make_page_desc(pa, attrs));
+  }
+
+  /// Identity stage-2 mapping of [0, limit).
+  PhysAddr build_s2_identity(u64 limit, bool write_ok = true) {
+    const PhysAddr root = alloc_table();
+    for (PhysAddr pa = 0; pa < limit; pa += kPageSize) {
+      PhysAddr table = root;
+      for (unsigned level = 0; level <= 2; ++level) {
+        const PhysAddr slot = table + va_index(pa, level) * 8;
+        u64 d = m_.phys().read64(slot);
+        if (!desc_valid(d)) {
+          const PhysAddr next = alloc_table();
+          d = make_table_desc(next);
+          m_.phys().write64(slot, d);
+        }
+        table = desc_out_addr(d);
+      }
+      m_.phys().write64(table + va_index(pa, 3) * 8,
+                        make_s2_page_desc(pa, S2Attrs{true, write_ok}));
+    }
+    return root;
+  }
+
+  Machine& m_;
+  PhysAddr next_;
+};
+
+class MmuTest : public ::testing::Test {
+ protected:
+  MmuTest() : machine_(MachineConfig{}), tb_(machine_, 1 * 1024 * 1024) {
+    root_ = tb_.alloc_table();
+    user_root_ = tb_.alloc_table();
+    ctx_.ttbr1 = root_;
+    ctx_.ttbr0 = user_root_;
+    ctx_.asid = 1;
+  }
+
+  TranslateOutcome translate(VirtAddr va, bool write = false,
+                             bool user = false) {
+    AccessType at;
+    at.is_write = write;
+    at.is_user = user;
+    return machine_.mmu().translate(va, at, ctx_);
+  }
+
+  Machine machine_;
+  TableBuilder tb_;
+  PhysAddr root_ = 0;
+  PhysAddr user_root_ = 0;
+  WalkContext ctx_;
+};
+
+TEST_F(MmuTest, KernelWalkTranslates) {
+  const VirtAddr va = kKernelVaBase + 0x12345000;
+  tb_.map(root_, va, 0x00045000, PageAttrs{.write = true});
+  const TranslateOutcome out = translate(va + 0x678);
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(out.t.pa, 0x00045678u);
+  EXPECT_TRUE(out.t.attrs.write);
+}
+
+TEST_F(MmuTest, UserHalfUsesTtbr0) {
+  tb_.map(user_root_, 0x400000, 0x9000, PageAttrs{.user = true});
+  const TranslateOutcome out = translate(0x400000, false, true);
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(out.t.pa, 0x9000u);
+}
+
+TEST_F(MmuTest, UnmappedFaults) {
+  const TranslateOutcome out = translate(kKernelVaBase + 0xDEAD000);
+  ASSERT_FALSE(out.ok);
+  EXPECT_EQ(out.fault.type, FaultType::kTranslation);
+}
+
+TEST_F(MmuTest, NullRootFaults) {
+  ctx_.ttbr0 = 0;
+  const TranslateOutcome out = translate(0x1000, false, true);
+  ASSERT_FALSE(out.ok);
+  EXPECT_EQ(out.fault.type, FaultType::kTranslation);
+}
+
+TEST_F(MmuTest, WriteToReadOnlyFaults) {
+  const VirtAddr va = kKernelVaBase + 0x1000;
+  tb_.map(root_, va, 0x2000, PageAttrs{.write = false});
+  EXPECT_TRUE(translate(va, false).ok);
+  const TranslateOutcome w = translate(va, true);
+  ASSERT_FALSE(w.ok);
+  EXPECT_EQ(w.fault.type, FaultType::kPermission);
+  EXPECT_TRUE(w.fault.is_write);
+}
+
+TEST_F(MmuTest, UserCannotTouchKernelPage) {
+  const VirtAddr va = 0x500000;
+  tb_.map(user_root_, va, 0x3000, PageAttrs{.write = true, .user = false});
+  const TranslateOutcome out = translate(va, false, true);
+  ASSERT_FALSE(out.ok);
+  EXPECT_EQ(out.fault.type, FaultType::kPermission);
+}
+
+TEST_F(MmuTest, TlbCachesTranslation) {
+  const VirtAddr va = kKernelVaBase + 0x7000;
+  tb_.map(root_, va, 0x7000, PageAttrs{.write = true});
+  translate(va);
+  EXPECT_EQ(machine_.counters().tlb_misses, 1u);
+  translate(va + 8);
+  EXPECT_EQ(machine_.counters().tlb_hits, 1u);
+  EXPECT_EQ(machine_.counters().tlb_misses, 1u);
+}
+
+TEST_F(MmuTest, TlbHonoursAsidsForNonGlobal) {
+  const VirtAddr va = 0x600000;
+  tb_.map(user_root_, va, 0xA000, PageAttrs{.user = true, .global = false});
+  translate(va, false, true);
+  // Same VA under a different ASID must re-walk (and, here, fault: the
+  // other address space has no such mapping... same root in this test, so
+  // it re-walks and succeeds — the point is the TLB miss).
+  ctx_.asid = 2;
+  translate(va, false, true);
+  EXPECT_EQ(machine_.counters().tlb_misses, 2u);
+}
+
+TEST_F(MmuTest, GlobalEntrySharedAcrossAsids) {
+  const VirtAddr va = kKernelVaBase + 0x8000;
+  tb_.map(root_, va, 0x8000, PageAttrs{.global = true});
+  translate(va);
+  ctx_.asid = 7;
+  translate(va);
+  EXPECT_EQ(machine_.counters().tlb_misses, 1u);
+  EXPECT_EQ(machine_.counters().tlb_hits, 1u);
+}
+
+TEST_F(MmuTest, FlushVaDropsEntry) {
+  const VirtAddr va = kKernelVaBase + 0x9000;
+  tb_.map(root_, va, 0x9000, PageAttrs{});
+  translate(va);
+  machine_.tlb().flush_va(va);
+  translate(va);
+  EXPECT_EQ(machine_.counters().tlb_misses, 2u);
+}
+
+TEST_F(MmuTest, StalePermissionNotCachedAfterUpgrade) {
+  // Map RO, fault on write, upgrade to RW, flush, write succeeds.
+  const VirtAddr va = kKernelVaBase + 0xB000;
+  tb_.map(root_, va, 0xB000, PageAttrs{.write = false});
+  EXPECT_FALSE(translate(va, true).ok);
+  tb_.map(root_, va, 0xB000, PageAttrs{.write = true});
+  machine_.tlb().flush_va(va);
+  EXPECT_TRUE(translate(va, true).ok);
+}
+
+TEST_F(MmuTest, BlockMappingTranslates) {
+  // 2 MiB block at level 2.
+  PhysAddr table = root_;
+  const VirtAddr va = kKernelVaBase + 2 * kSectionSize;
+  for (unsigned level = 0; level <= 1; ++level) {
+    const PhysAddr slot = table + va_index(va, level) * 8;
+    u64 d = machine_.phys().read64(slot);
+    if (!desc_valid(d)) {
+      const PhysAddr next = tb_.alloc_table();
+      d = make_table_desc(next);
+      machine_.phys().write64(slot, d);
+    }
+    table = desc_out_addr(d);
+  }
+  machine_.phys().write64(table + va_index(va, 2) * 8,
+                          make_block_desc(0x00400000, PageAttrs{.write = true}));
+  const TranslateOutcome out = translate(va + 0x123456);
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(out.t.pa, 0x00400000u + 0x123456u);
+}
+
+TEST_F(MmuTest, Stage1WalkCostsFourFetches) {
+  const VirtAddr va = kKernelVaBase + 0xC000;
+  tb_.map(root_, va, 0xC000, PageAttrs{});
+  const u64 before = machine_.counters().pt_descriptor_fetches;
+  translate(va);
+  EXPECT_EQ(machine_.counters().pt_descriptor_fetches - before, 4u);
+}
+
+// ---------------- Stage 2 ----------------
+
+class Stage2Test : public MmuTest {
+ protected:
+  Stage2Test() {
+    s2_root_ = tb_.build_s2_identity(8 * 1024 * 1024);
+    ctx_.stage2_enabled = true;
+    ctx_.vttbr = s2_root_;
+  }
+  PhysAddr s2_root_ = 0;
+};
+
+TEST_F(Stage2Test, NestedWalkTranslates) {
+  const VirtAddr va = kKernelVaBase + 0x10000;
+  tb_.map(root_, va, 0x10000, PageAttrs{.write = true});
+  const TranslateOutcome out = translate(va);
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(out.t.pa, 0x10000u);
+  EXPECT_TRUE(out.t.s2_write_ok);
+}
+
+TEST_F(Stage2Test, NestedWalkCostsTwentyFourFetches) {
+  // 4 stage-1 fetches, each stage-2 translated (4 fetches), plus the final
+  // output translation (4 fetches): 4 + 4*4 + 4 = 24.  The architectural
+  // blow-up of §1.
+  const VirtAddr va = kKernelVaBase + 0x11000;
+  tb_.map(root_, va, 0x11000, PageAttrs{});
+  const u64 s1_before = machine_.counters().pt_descriptor_fetches;
+  const u64 s2_before = machine_.counters().s2_descriptor_fetches;
+  translate(va);
+  EXPECT_EQ(machine_.counters().pt_descriptor_fetches - s1_before, 4u);
+  EXPECT_EQ(machine_.counters().s2_descriptor_fetches - s2_before, 20u);
+}
+
+TEST_F(Stage2Test, TlbHitSkipsNestedWalk) {
+  const VirtAddr va = kKernelVaBase + 0x12000;
+  tb_.map(root_, va, 0x12000, PageAttrs{});
+  translate(va);
+  const u64 s2_before = machine_.counters().s2_descriptor_fetches;
+  translate(va + 8);
+  EXPECT_EQ(machine_.counters().s2_descriptor_fetches, s2_before);
+}
+
+TEST_F(Stage2Test, UnmappedIpaRaisesS2TranslationFault) {
+  const VirtAddr va = kKernelVaBase + 0x13000;
+  tb_.map(root_, va, 9 * 1024 * 1024, PageAttrs{});  // beyond s2 identity map
+  const TranslateOutcome out = translate(va);
+  ASSERT_FALSE(out.ok);
+  EXPECT_EQ(out.fault.type, FaultType::kS2Translation);
+  EXPECT_EQ(out.fault.ipa, 9u * 1024 * 1024);
+  EXPECT_EQ(out.fault.va, va);
+}
+
+TEST_F(Stage2Test, WriteProtectedIpaFaultsOnWriteOnly) {
+  // Rebuild stage 2 with one write-protected page.
+  const IpaAddr target = 0x20000;
+  PhysAddr table = s2_root_;
+  for (unsigned level = 0; level <= 2; ++level) {
+    table = desc_out_addr(machine_.phys().read64(table + va_index(target, level) * 8));
+  }
+  machine_.phys().write64(table + va_index(target, 3) * 8,
+                          make_s2_page_desc(target, S2Attrs{true, false}));
+
+  const VirtAddr va = kKernelVaBase + 0x14000;
+  tb_.map(root_, va, target, PageAttrs{.write = true});
+  EXPECT_TRUE(translate(va, false).ok);
+
+  const TranslateOutcome w = translate(va, true);
+  ASSERT_FALSE(w.ok);
+  EXPECT_EQ(w.fault.type, FaultType::kS2Permission);
+}
+
+TEST_F(Stage2Test, WpFaultRepeatsFromTlbWithoutWalk) {
+  const IpaAddr target = 0x30000;
+  PhysAddr table = s2_root_;
+  for (unsigned level = 0; level <= 2; ++level) {
+    table = desc_out_addr(machine_.phys().read64(table + va_index(target, level) * 8));
+  }
+  machine_.phys().write64(table + va_index(target, 3) * 8,
+                          make_s2_page_desc(target, S2Attrs{true, false}));
+  const VirtAddr va = kKernelVaBase + 0x15000;
+  tb_.map(root_, va, target, PageAttrs{.write = true});
+
+  EXPECT_FALSE(translate(va, true).ok);  // first write: walks, caches RO-s2
+  const u64 s2_before = machine_.counters().s2_descriptor_fetches;
+  EXPECT_FALSE(translate(va, true).ok);  // second write: faults from TLB
+  EXPECT_EQ(machine_.counters().s2_descriptor_fetches, s2_before);
+  EXPECT_GE(machine_.counters().s2_permission_faults, 2u);
+}
+
+TEST_F(Stage2Test, TranslateIpaDirect) {
+  const TranslateOutcome out =
+      machine_.mmu().translate_ipa(0x41238, false, ctx_);
+  ASSERT_TRUE(out.ok);
+  EXPECT_EQ(out.t.pa, 0x41238u);
+}
+
+}  // namespace
+}  // namespace hn::sim

@@ -1,0 +1,141 @@
+// Property tests for the translation-table descriptor encodings: every
+// attribute combination must round-trip, and the walk index math must
+// decompose any VA consistently.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/pagetable.h"
+
+namespace hn::sim {
+namespace {
+
+TEST(Descriptors, TableDescRoundTrip) {
+  const u64 d = make_table_desc(0x12345000);
+  EXPECT_TRUE(desc_valid(d));
+  EXPECT_TRUE(desc_is_table(d, 0));
+  EXPECT_TRUE(desc_is_table(d, 2));
+  EXPECT_FALSE(desc_is_table(d, 3));  // at level 3 bit1 means "page"
+  EXPECT_EQ(desc_out_addr(d), 0x12345000u);
+}
+
+TEST(Descriptors, InvalidDesc) {
+  EXPECT_FALSE(desc_valid(0));
+  EXPECT_FALSE(desc_valid(0x12345000));  // valid bit clear
+}
+
+struct AttrsCase {
+  bool write;
+  bool exec;
+  bool user;
+  bool global;
+  MemAttr attr;
+};
+
+class AttrsRoundTrip : public ::testing::TestWithParam<AttrsCase> {};
+
+TEST_P(AttrsRoundTrip, PageDescPreservesAttrs) {
+  const AttrsCase& c = GetParam();
+  PageAttrs a{c.write, c.exec, c.user, c.global, c.attr};
+  const u64 d = make_page_desc(0xABCDE000, a);
+  EXPECT_TRUE(desc_valid(d));
+  EXPECT_FALSE(desc_is_block(d, 3));
+  EXPECT_EQ(desc_out_addr(d), 0xABCDE000u);
+  EXPECT_EQ(decode_attrs(d), a);
+}
+
+TEST_P(AttrsRoundTrip, BlockDescPreservesAttrs) {
+  const AttrsCase& c = GetParam();
+  PageAttrs a{c.write, c.exec, c.user, c.global, c.attr};
+  const u64 d = make_block_desc(0x00200000, a);
+  EXPECT_TRUE(desc_valid(d));
+  EXPECT_TRUE(desc_is_block(d, 2));
+  EXPECT_FALSE(desc_is_table(d, 2));
+  EXPECT_EQ(decode_attrs(d), a);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, AttrsRoundTrip,
+    ::testing::Values(
+        AttrsCase{false, false, false, true, MemAttr::kNormalCacheable},
+        AttrsCase{true, false, false, true, MemAttr::kNormalCacheable},
+        AttrsCase{false, true, false, true, MemAttr::kNormalCacheable},
+        AttrsCase{true, true, true, false, MemAttr::kNormalCacheable},
+        AttrsCase{true, false, true, false, MemAttr::kNonCacheable},
+        AttrsCase{false, false, false, true, MemAttr::kNonCacheable},
+        AttrsCase{true, false, false, true, MemAttr::kDevice},
+        AttrsCase{false, true, true, true, MemAttr::kDevice}));
+
+TEST(Descriptors, AttrsRewritePreservesAddress) {
+  PageAttrs rw{.write = true, .exec = false, .user = false};
+  const u64 d = make_page_desc(0x7700000, rw);
+  PageAttrs ro = rw;
+  ro.write = false;
+  ro.attr = MemAttr::kNonCacheable;
+  const u64 d2 = desc_with_attrs(d, ro);
+  EXPECT_EQ(desc_out_addr(d2), desc_out_addr(d));
+  EXPECT_EQ(decode_attrs(d2), ro);
+  EXPECT_TRUE(desc_valid(d2));
+}
+
+TEST(Descriptors, S2RoundTrip) {
+  for (const bool r : {false, true}) {
+    for (const bool w : {false, true}) {
+      const u64 d = make_s2_page_desc(0x5A000, S2Attrs{r, w});
+      EXPECT_TRUE(desc_valid(d));
+      EXPECT_EQ(desc_out_addr(d), 0x5A000u);
+      EXPECT_EQ(decode_s2_attrs(d), (S2Attrs{r, w}));
+    }
+  }
+}
+
+TEST(Descriptors, S2AttrsRewrite) {
+  const u64 d = make_s2_page_desc(0x9000, S2Attrs{true, true});
+  const u64 d2 = s2_desc_with_attrs(d, S2Attrs{true, false});
+  EXPECT_EQ(desc_out_addr(d2), 0x9000u);
+  EXPECT_EQ(decode_s2_attrs(d2), (S2Attrs{true, false}));
+}
+
+TEST(WalkIndex, DecomposesVa) {
+  // Property: the four indices plus the page offset reconstruct the VA
+  // (within the 48-bit space).
+  SplitMix64 rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    const VirtAddr va = rng.next() & ((u64{1} << kVaBits) - 1);
+    VirtAddr rebuilt = va & kPageMask;
+    for (unsigned level = 0; level <= 3; ++level) {
+      rebuilt |= va_index(va, level) << (kPageShift + 9 * (3 - level));
+    }
+    EXPECT_EQ(rebuilt, va);
+  }
+}
+
+TEST(WalkIndex, IndicesBounded) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const VirtAddr va = rng.next();
+    for (unsigned level = 0; level <= 3; ++level) {
+      EXPECT_LT(va_index(va, level), kPtEntries);
+    }
+  }
+}
+
+TEST(WalkIndex, LevelSpans) {
+  EXPECT_EQ(level_span(3), kPageSize);
+  EXPECT_EQ(level_span(2), kSectionSize);
+  EXPECT_EQ(level_span(1), u64{1} << 30);
+  EXPECT_EQ(level_span(0), u64{1} << 39);
+}
+
+TEST(Descriptors, OutputAddressMasksLowBits) {
+  // Output addresses are page-aligned by construction.
+  SplitMix64 rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const PhysAddr pa = page_align_down(rng.next() & 0xFFFF'FFFF'F000ull);
+    const u64 d = make_page_desc(pa, PageAttrs{});
+    EXPECT_EQ(desc_out_addr(d) & kPageMask, 0u);
+    EXPECT_EQ(desc_out_addr(d), pa);
+  }
+}
+
+}  // namespace
+}  // namespace hn::sim

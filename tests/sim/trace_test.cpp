@@ -1,0 +1,107 @@
+// Trace subsystem tests: recording, ring-wrap, and the wiring through the
+// architectural event points (syscalls, hypercalls, traps, IRQs, context
+// switches, MBM detections).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hypernel/system.h"
+#include "kernel/objects.h"
+#include "secapps/rootkit_detector.h"
+#include "sim/trace.h"
+
+namespace hn::sim {
+namespace {
+
+TEST(Trace, DisabledRecordsNothing) {
+  Trace trace;
+  trace.record(10, TraceKind::kSvc);
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(Trace, RecordsInOrder) {
+  Trace trace;
+  trace.set_enabled(true);
+  trace.record(10, TraceKind::kSvc, 1);
+  trace.record(20, TraceKind::kHvc, 2, 3);
+  const auto events = trace.chronological();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].at, 10u);
+  EXPECT_EQ(events[1].kind, TraceKind::kHvc);
+  EXPECT_EQ(events[1].b, 3u);
+}
+
+TEST(Trace, RingWrapKeepsNewest) {
+  Trace trace(4);
+  trace.set_enabled(true);
+  for (u64 i = 0; i < 10; ++i) trace.record(i, TraceKind::kCustom, i);
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.dropped(), 6u);
+  const auto events = trace.chronological();
+  EXPECT_EQ(events.front().a, 6u);
+  EXPECT_EQ(events.back().a, 9u);
+}
+
+TEST(Trace, CountsByKind) {
+  Trace trace;
+  trace.set_enabled(true);
+  trace.record(1, TraceKind::kIrq);
+  trace.record(2, TraceKind::kIrq);
+  trace.record(3, TraceKind::kHvc);
+  EXPECT_EQ(trace.count(TraceKind::kIrq), 2u);
+  EXPECT_EQ(trace.count(TraceKind::kHvc), 1u);
+  EXPECT_EQ(trace.count(TraceKind::kSvc), 0u);
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(TraceWiring, HypernelAttackLeavesFullStory) {
+  hypernel::SystemConfig cfg;
+  cfg.mode = hypernel::Mode::kHypernel;
+  auto sys = hypernel::System::create(cfg).value();
+  secapps::RootkitDetector detector(*sys);
+  ASSERT_TRUE(detector.install().ok());
+  sys->machine().trace().set_enabled(true);
+
+  kernel::Kernel& k = sys->kernel();
+  kernel::Task* init = &k.procs().current();
+  ASSERT_TRUE(k.sys_setuid(1000).ok());
+  Result<u32> pid = k.sys_fork();
+  ASSERT_TRUE(pid.ok());
+  kernel::Task* child = k.procs().find(pid.value());
+  k.procs().switch_to(*child);
+  ASSERT_TRUE(k.sys_exit().ok());
+  k.procs().switch_to(*init);
+  sys->machine().write64(
+      k.procs().current().cred + kernel::CredLayout::kUid * kWordSize, 0);
+
+  Trace& trace = sys->machine().trace();
+  EXPECT_GT(trace.count(TraceKind::kSvc), 0u);        // syscalls
+  EXPECT_GT(trace.count(TraceKind::kHvc), 0u);        // PT hypercalls
+  EXPECT_GT(trace.count(TraceKind::kSysregTrap), 0u); // TTBR0 switch
+  EXPECT_GT(trace.count(TraceKind::kCtxSwitch), 0u);
+  EXPECT_GT(trace.count(TraceKind::kMbmDetect), 0u);  // the attack write
+  EXPECT_GT(trace.count(TraceKind::kIrq), 0u);        // MBM interrupt
+
+  // Timestamps are monotone.
+  Cycles last = 0;
+  for (const TraceEvent& e : trace.chronological()) {
+    EXPECT_GE(e.at, last);
+    last = e.at;
+  }
+}
+
+TEST(TraceWiring, KvmFaultsTraced) {
+  hypernel::SystemConfig cfg;
+  cfg.mode = hypernel::Mode::kKvmGuest;
+  cfg.enable_mbm = false;
+  auto sys = hypernel::System::create(cfg).value();
+  sys->machine().trace().set_enabled(true);
+  // Touch cold guest RAM: a stage-2 fault event appears.
+  ASSERT_TRUE(
+      sys->machine().write64(kernel::phys_to_virt(100 * 1024 * 1024), 1).ok);
+  EXPECT_GT(sys->machine().trace().count(TraceKind::kS2Fault), 0u);
+}
+
+}  // namespace
+}  // namespace hn::sim

@@ -1,0 +1,158 @@
+// Workload-suite tests: the LMbench operations behave sanely across
+// configurations, the app models are deterministic, and the headline
+// orderings of the paper's evaluation hold structurally.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hypernel/system.h"
+#include "workloads/apps.h"
+#include "workloads/lmbench.h"
+
+namespace hn::workloads {
+namespace {
+
+using hypernel::Mode;
+using hypernel::System;
+using hypernel::SystemConfig;
+
+std::unique_ptr<System> make_system(Mode mode) {
+  SystemConfig cfg;
+  cfg.mode = mode;
+  cfg.enable_mbm = false;
+  auto r = System::create(cfg);
+  EXPECT_TRUE(r.ok()) << r.status().message();
+  return std::move(r).value();
+}
+
+TEST(Lmbench, AllOperationsProduceLatencies) {
+  auto sys = make_system(Mode::kNative);
+  LmbenchSuite suite(*sys, 8);
+  const auto results = suite.run_all();
+  ASSERT_EQ(results.size(), 9u);
+  for (const auto& r : results) {
+    EXPECT_GT(r.us, 0.0) << r.name;
+    EXPECT_LT(r.us, 10000.0) << r.name;
+  }
+  // Structural ordering within the native column of Table 1.
+  EXPECT_LT(results[1].us, results[0].us);  // signal install < stat
+  EXPECT_LT(results[0].us, results[3].us);  // stat < pipe
+  EXPECT_LT(results[3].us, results[4].us);  // pipe < socket
+  EXPECT_LT(results[4].us, results[5].us);  // socket < fork+exit
+  EXPECT_LT(results[5].us, results[6].us);  // fork+exit < fork+execv
+  EXPECT_LT(results[7].us, results[0].us * 2);  // page fault is tiny
+}
+
+TEST(Lmbench, DeterministicAcrossRuns) {
+  double first[9];
+  for (int run = 0; run < 2; ++run) {
+    auto sys = make_system(Mode::kNative);
+    LmbenchSuite suite(*sys, 8);
+    const auto results = suite.run_all();
+    for (size_t i = 0; i < 9; ++i) {
+      if (run == 0) {
+        first[i] = results[i].us;
+      } else {
+        EXPECT_DOUBLE_EQ(results[i].us, first[i]) << results[i].name;
+      }
+    }
+  }
+}
+
+TEST(Lmbench, ForkRowsSlowerUnderBothHypervisors) {
+  double fork_us[3];
+  const Mode modes[3] = {Mode::kNative, Mode::kKvmGuest, Mode::kHypernel};
+  for (int m = 0; m < 3; ++m) {
+    auto sys = make_system(modes[m]);
+    LmbenchSuite suite(*sys, 8);
+    ASSERT_TRUE(suite.setup().ok());
+    fork_us[m] = suite.fork_exit().us;
+  }
+  EXPECT_GT(fork_us[1], fork_us[0] * 1.05);  // KVM clearly slower
+  EXPECT_GT(fork_us[2], fork_us[0] * 1.05);  // Hypernel clearly slower
+  EXPECT_LT(fork_us[2], fork_us[0] * 1.5);   // ...but bounded
+}
+
+TEST(Lmbench, TrivialSyscallsNearNativeUnderHypernel) {
+  double stat_us[2];
+  const Mode modes[2] = {Mode::kNative, Mode::kHypernel};
+  for (int m = 0; m < 2; ++m) {
+    auto sys = make_system(modes[m]);
+    LmbenchSuite suite(*sys, 8);
+    ASSERT_TRUE(suite.setup().ok());
+    stat_us[m] = suite.syscall_stat().us;
+  }
+  // §7.1: "the execution times of kernel operations are basically
+  // comparable" for trap-free paths.
+  EXPECT_NEAR(stat_us[1] / stat_us[0], 1.0, 0.02);
+}
+
+TEST(Apps, AllAppsRunEverywhere) {
+  for (const Mode mode :
+       {Mode::kNative, Mode::kKvmGuest, Mode::kHypernel}) {
+    auto sys = make_system(mode);
+    AppParams p;
+    p.scale = 0.05;
+    const auto results = run_all_apps(*sys, p);
+    ASSERT_EQ(results.size(), 5u);
+    for (const auto& r : results) {
+      EXPECT_GT(r.us, 0.0) << r.name;
+    }
+  }
+}
+
+TEST(Apps, DeterministicForFixedSeed) {
+  Cycles first = 0;
+  for (int run = 0; run < 2; ++run) {
+    auto sys = make_system(Mode::kNative);
+    AppParams p;
+    p.scale = 0.05;
+    p.seed = 1234;
+    const AppResult r = run_untar(*sys, p);
+    if (run == 0) {
+      first = r.cycles;
+    } else {
+      EXPECT_EQ(r.cycles, first);
+    }
+  }
+}
+
+TEST(Apps, SeedChangesApacheArrivals) {
+  Cycles a;
+  Cycles b;
+  {
+    auto sys = make_system(Mode::kNative);
+    AppParams p;
+    p.scale = 0.05;
+    p.seed = 1;
+    a = run_apache(*sys, p).cycles;
+  }
+  {
+    auto sys = make_system(Mode::kNative);
+    AppParams p;
+    p.scale = 0.05;
+    p.seed = 2;
+    b = run_apache(*sys, p).cycles;
+  }
+  EXPECT_NE(a, b);  // different document access patterns
+}
+
+TEST(Apps, ComputeAppsNearNativeUnderHypernel) {
+  double us[2];
+  const Mode modes[2] = {Mode::kNative, Mode::kHypernel};
+  for (int m = 0; m < 2; ++m) {
+    auto sys = make_system(modes[m]);
+    AppParams p;
+    p.scale = 0.2;
+    us[m] = run_whetstone(*sys, p).us;
+  }
+  EXPECT_NEAR(us[1] / us[0], 1.0, 0.01);  // Fig. 6's flat compute bars
+}
+
+TEST(Apps, UnknownNameAsserts) {
+  auto sys = make_system(Mode::kNative);
+  EXPECT_DEATH(run_app_by_name(*sys, "quake3", AppParams{}), "unknown app");
+}
+
+}  // namespace
+}  // namespace hn::workloads

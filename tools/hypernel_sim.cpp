@@ -1,0 +1,280 @@
+// hypernel-sim: command-line driver for the Hypernel simulation.
+//
+//   hypernel-sim lmbench  [--mode=native|kvm|hypernel] [--iters=N]
+//   hypernel-sim app      --name=<whetstone|dhrystone|untar|iozone|apache>
+//                         [--mode=...] [--scale=X] [--seed=N]
+//                         [--monitor=none|word|object]
+//   hypernel-sim attack   --scenario=<cred|dentry|transient|dma>
+//   hypernel-sim audit    (forged-hypercall storm + invariant audit)
+//   hypernel-sim info     (configuration and timing-model dump)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "common/hvc_abi.h"
+#include "common/rng.h"
+#include "hypernel/system.h"
+#include "kernel/objects.h"
+#include "kernel/vfs.h"
+#include "secapps/object_monitor.h"
+#include "secapps/rootkit_detector.h"
+#include "sim/dma_device.h"
+#include "sim/iommu.h"
+#include "workloads/apps.h"
+#include "workloads/lmbench.h"
+
+namespace {
+
+using namespace hn;
+
+struct Options {
+  std::string command;
+  hypernel::Mode mode = hypernel::Mode::kHypernel;
+  unsigned iters = 32;
+  std::string name = "untar";
+  double scale = 0.2;
+  u64 seed = 0x90DA'5EED;
+  std::string monitor = "none";
+  std::string scenario = "cred";
+  bool trace = false;
+};
+
+const char* arg_value(const char* arg, const char* key) {
+  const size_t n = std::strlen(key);
+  if (std::strncmp(arg, key, n) == 0 && arg[n] == '=') return arg + n + 1;
+  return nullptr;
+}
+
+bool parse(int argc, char** argv, Options& opt) {
+  if (argc < 2) return false;
+  opt.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    if (const char* v = arg_value(argv[i], "--mode")) {
+      if (std::strcmp(v, "native") == 0) {
+        opt.mode = hypernel::Mode::kNative;
+      } else if (std::strcmp(v, "kvm") == 0) {
+        opt.mode = hypernel::Mode::kKvmGuest;
+      } else if (std::strcmp(v, "hypernel") == 0) {
+        opt.mode = hypernel::Mode::kHypernel;
+      } else {
+        return false;
+      }
+    } else if (const char* v2 = arg_value(argv[i], "--iters")) {
+      opt.iters = static_cast<unsigned>(std::atoi(v2));
+    } else if (const char* v3 = arg_value(argv[i], "--name")) {
+      opt.name = v3;
+    } else if (const char* v4 = arg_value(argv[i], "--scale")) {
+      opt.scale = std::atof(v4);
+    } else if (const char* v5 = arg_value(argv[i], "--seed")) {
+      opt.seed = std::strtoull(v5, nullptr, 0);
+    } else if (const char* v6 = arg_value(argv[i], "--monitor")) {
+      opt.monitor = v6;
+    } else if (const char* v7 = arg_value(argv[i], "--scenario")) {
+      opt.scenario = v7;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      opt.trace = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+std::unique_ptr<hypernel::System> build(const Options& opt, bool want_mbm) {
+  hypernel::SystemConfig cfg;
+  cfg.mode = opt.mode;
+  cfg.enable_mbm = want_mbm && opt.mode != hypernel::Mode::kKvmGuest;
+  auto r = hypernel::System::create(cfg);
+  if (!r.ok()) {
+    std::fprintf(stderr, "system creation failed: %s\n",
+                 r.status().message().c_str());
+    std::exit(1);
+  }
+  return std::move(r).value();
+}
+
+int cmd_lmbench(const Options& opt) {
+  auto sys = build(opt, false);
+  std::printf("LMbench kernel operations, %s, %u iterations\n",
+              hypernel::mode_name(opt.mode), opt.iters);
+  workloads::LmbenchSuite suite(*sys, opt.iters);
+  for (const auto& r : suite.run_all()) {
+    std::printf("  %-16s %8.2f us\n", r.name.c_str(), r.us);
+  }
+  return 0;
+}
+
+int cmd_app(const Options& opt) {
+  const bool want_monitor = opt.monitor != "none";
+  if (want_monitor && opt.mode != hypernel::Mode::kHypernel) {
+    std::fprintf(stderr, "--monitor requires --mode=hypernel\n");
+    return 1;
+  }
+  auto sys = build(opt, want_monitor);
+  std::unique_ptr<secapps::ObjectIntegrityMonitor> monitor;
+  if (want_monitor) {
+    monitor = std::make_unique<secapps::ObjectIntegrityMonitor>(
+        *sys, opt.monitor == "word"
+                  ? secapps::Granularity::kSensitiveFields
+                  : secapps::Granularity::kWholeObject);
+    if (!monitor->install().ok()) {
+      std::fprintf(stderr, "monitor install failed\n");
+      return 1;
+    }
+  }
+  workloads::AppParams p;
+  p.scale = opt.scale;
+  p.seed = opt.seed;
+  const workloads::AppResult r =
+      workloads::run_app_by_name(*sys, opt.name, p);
+  std::printf("%s on %s: %.0f us simulated (%.2f ms)\n", r.name.c_str(),
+              hypernel::mode_name(opt.mode), r.us, r.us / 1000.0);
+  if (monitor) {
+    std::printf("monitor(%s): %llu events, %zu alerts; MBM detections %llu, "
+                "IRQs %llu\n",
+                opt.monitor.c_str(),
+                (unsigned long long)monitor->stats().events_total,
+                monitor->alerts().size(),
+                (unsigned long long)sys->mbm()->stats().detections,
+                (unsigned long long)sys->mbm()->stats().irqs_raised);
+  }
+  return 0;
+}
+
+int cmd_attack(const Options& opt) {
+  Options hy = opt;
+  hy.mode = hypernel::Mode::kHypernel;
+  auto sys = build(hy, true);
+  secapps::RootkitDetector detector(*sys);
+  if (!detector.install().ok()) return 1;
+  if (opt.trace) sys->machine().trace().set_enabled(true);
+  kernel::Kernel& k = sys->kernel();
+  k.sys_setuid(1000);
+  k.sys_creat("/target");
+  const VirtAddr dva = k.vfs().cached_dentry(k.vfs().root_ino(), "target");
+  const VirtAddr cred = k.procs().current().cred;
+
+  if (opt.scenario == "cred") {
+    sys->machine().write64(cred + kernel::CredLayout::kUid * kWordSize, 0);
+  } else if (opt.scenario == "dentry") {
+    sys->machine().write64(dva + kernel::DentryLayout::kOp * kWordSize,
+                           0xE71100);
+  } else if (opt.scenario == "transient") {
+    sys->machine().write64(cred + kernel::CredLayout::kEuid * kWordSize, 0);
+    sys->machine().write64(cred + kernel::CredLayout::kEuid * kWordSize, 1000);
+  } else if (opt.scenario == "dma") {
+    sim::Iommu iommu;  // attacker-owned device, IOMMU left in bypass
+    sim::DmaDevice evil(sys->machine(), iommu, 13);
+    evil.write64(kernel::virt_to_phys(dva) +
+                     kernel::DentryLayout::kInode * kWordSize,
+                 0x1337);
+  } else {
+    std::fprintf(stderr, "unknown scenario '%s'\n", opt.scenario.c_str());
+    return 1;
+  }
+
+  if (opt.trace) {
+    std::printf("--- architectural trace ---\n");
+    sys->machine().trace().dump(stdout,
+                                sys->machine().timing().cpu_ghz * 1000.0);
+  }
+  std::printf("scenario '%s': %zu alert(s)\n", opt.scenario.c_str(),
+              detector.alerts().size());
+  for (const secapps::Alert& a : detector.alerts()) {
+    std::printf("  [%s] %s (word %llu: %llx -> %llx)\n",
+                a.kind == kernel::ObjectKind::kCred ? "cred" : "dentry",
+                a.reason.c_str(), (unsigned long long)a.word_offset,
+                (unsigned long long)a.old_value,
+                (unsigned long long)a.new_value);
+  }
+  return detector.alerts().empty() ? 1 : 0;
+}
+
+int cmd_audit(const Options& opt) {
+  Options hy = opt;
+  hy.mode = hypernel::Mode::kHypernel;
+  auto sys = build(hy, false);
+  kernel::Kernel& k = sys->kernel();
+  SplitMix64 rng(opt.seed);
+  u64 accepted = 0;
+  u64 denied = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const PhysAddr table =
+        page_align_down(rng.next_below(sys->machine().phys().size()));
+    const u64 desc = rng.next();
+    if (sys->machine().hvc(hvc::kPtWrite,
+                           {table, rng.next_below(kPtEntries), desc}) ==
+        hvc::kOk) {
+      ++accepted;
+    } else {
+      ++denied;
+    }
+  }
+  const auto violations = sys->hypersec()->audit();
+  std::printf("forged hypercall storm: %llu accepted, %llu denied\n",
+              (unsigned long long)accepted, (unsigned long long)denied);
+  std::printf("invariant audit: %zu violation(s)\n", violations.size());
+  for (const std::string& v : violations) std::printf("  %s\n", v.c_str());
+  std::printf("kernel alive: %s\n",
+              k.sys_creat("/post-storm").ok() ? "yes" : "no");
+  return violations.empty() ? 0 : 1;
+}
+
+int cmd_info(const Options& opt) {
+  auto sys = build(opt, opt.mode == hypernel::Mode::kHypernel);
+  const TimingModel& t = sys->machine().timing();
+  std::printf("mode: %s\n", hypernel::mode_name(opt.mode));
+  std::printf("DRAM: %llu MiB, secure space: %llu MiB @ %#llx\n",
+              (unsigned long long)(sys->machine().phys().size() >> 20),
+              (unsigned long long)(sys->machine().secure_size() >> 20),
+              (unsigned long long)sys->machine().secure_base());
+  std::printf("clock: %.2f GHz; L1 hit %llu cy, fill %llu cy, NC %llu cy\n",
+              t.cpu_ghz, (unsigned long long)t.l1_hit,
+              (unsigned long long)t.l1_miss_fill,
+              (unsigned long long)t.noncacheable_access);
+  std::printf("HVC %llu cy, trap %llu cy, VM exit+entry %llu cy\n",
+              (unsigned long long)t.hvc_roundtrip,
+              (unsigned long long)t.sysreg_trap,
+              (unsigned long long)(t.vm_exit + t.vm_entry));
+  std::printf("kernel PT pages: %llu; boot cycles: %llu\n",
+              (unsigned long long)sys->kernel().kpt().pt_page_count(),
+              (unsigned long long)sys->machine().account().cycles());
+  if (sys->hypersec() != nullptr) {
+    std::printf("hypersec: engaged (verifier checked %llu writes so far)\n",
+                (unsigned long long)
+                    sys->hypersec()->verifier().stats().checked);
+  }
+  return 0;
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: hypernel-sim <command> [options]\n"
+      "  lmbench [--mode=native|kvm|hypernel] [--iters=N]\n"
+      "  app     --name=<whetstone|dhrystone|untar|iozone|apache>\n"
+      "          [--mode=...] [--scale=X] [--seed=N] [--monitor=none|word|object]\n"
+      "  attack  --scenario=<cred|dentry|transient|dma> [--trace]\n"
+      "  audit   [--seed=N]\n"
+      "  info    [--mode=...]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, opt)) {
+    usage();
+    return 2;
+  }
+  if (opt.command == "lmbench") return cmd_lmbench(opt);
+  if (opt.command == "app") return cmd_app(opt);
+  if (opt.command == "attack") return cmd_attack(opt);
+  if (opt.command == "audit") return cmd_audit(opt);
+  if (opt.command == "info") return cmd_info(opt);
+  usage();
+  return 2;
+}
