@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_cacheability"
+  "../bench/bench_ablation_cacheability.pdb"
+  "CMakeFiles/bench_ablation_cacheability.dir/bench_ablation_cacheability.cpp.o"
+  "CMakeFiles/bench_ablation_cacheability.dir/bench_ablation_cacheability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cacheability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

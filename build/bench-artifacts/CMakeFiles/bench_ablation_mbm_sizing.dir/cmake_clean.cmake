@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_mbm_sizing"
+  "../bench/bench_ablation_mbm_sizing.pdb"
+  "CMakeFiles/bench_ablation_mbm_sizing.dir/bench_ablation_mbm_sizing.cpp.o"
+  "CMakeFiles/bench_ablation_mbm_sizing.dir/bench_ablation_mbm_sizing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mbm_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

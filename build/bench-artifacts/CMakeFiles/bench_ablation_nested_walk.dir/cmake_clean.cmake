@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_nested_walk"
+  "../bench/bench_ablation_nested_walk.pdb"
+  "CMakeFiles/bench_ablation_nested_walk.dir/bench_ablation_nested_walk.cpp.o"
+  "CMakeFiles/bench_ablation_nested_walk.dir/bench_ablation_nested_walk.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nested_walk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

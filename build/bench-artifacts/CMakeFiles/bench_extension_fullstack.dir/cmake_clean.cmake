@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_extension_fullstack"
+  "../bench/bench_extension_fullstack.pdb"
+  "CMakeFiles/bench_extension_fullstack.dir/bench_extension_fullstack.cpp.o"
+  "CMakeFiles/bench_extension_fullstack.dir/bench_extension_fullstack.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_fullstack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_apps"
+  "../bench/bench_fig6_apps.pdb"
+  "CMakeFiles/bench_fig6_apps.dir/bench_fig6_apps.cpp.o"
+  "CMakeFiles/bench_fig6_apps.dir/bench_fig6_apps.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

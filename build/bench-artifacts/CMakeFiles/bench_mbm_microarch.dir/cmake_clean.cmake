@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_mbm_microarch"
+  "../bench/bench_mbm_microarch.pdb"
+  "CMakeFiles/bench_mbm_microarch.dir/bench_mbm_microarch.cpp.o"
+  "CMakeFiles/bench_mbm_microarch.dir/bench_mbm_microarch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mbm_microarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_granularity"
+  "../bench/bench_table2_granularity.pdb"
+  "CMakeFiles/bench_table2_granularity.dir/bench_table2_granularity.cpp.o"
+  "CMakeFiles/bench_table2_granularity.dir/bench_table2_granularity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

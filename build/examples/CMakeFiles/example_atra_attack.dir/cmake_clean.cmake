@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_atra_attack.dir/atra_attack.cpp.o"
+  "CMakeFiles/example_atra_attack.dir/atra_attack.cpp.o.d"
+  "example_atra_attack"
+  "example_atra_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_atra_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

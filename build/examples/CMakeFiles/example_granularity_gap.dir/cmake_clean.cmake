@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_granularity_gap.dir/granularity_gap.cpp.o"
+  "CMakeFiles/example_granularity_gap.dir/granularity_gap.cpp.o.d"
+  "example_granularity_gap"
+  "example_granularity_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_granularity_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

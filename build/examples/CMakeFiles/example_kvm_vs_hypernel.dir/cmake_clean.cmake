@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_kvm_vs_hypernel.dir/kvm_vs_hypernel.cpp.o"
+  "CMakeFiles/example_kvm_vs_hypernel.dir/kvm_vs_hypernel.cpp.o.d"
+  "example_kvm_vs_hypernel"
+  "example_kvm_vs_hypernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_kvm_vs_hypernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

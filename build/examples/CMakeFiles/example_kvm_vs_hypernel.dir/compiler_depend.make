@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_kvm_vs_hypernel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/rootkit_detection.cpp" "examples/CMakeFiles/example_rootkit_detection.dir/rootkit_detection.cpp.o" "gcc" "examples/CMakeFiles/example_rootkit_detection.dir/rootkit_detection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/hn_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/secapps/CMakeFiles/hn_secapps.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypernel/CMakeFiles/hn_hypernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypersec/CMakeFiles/hn_hypersec.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvm/CMakeFiles/hn_kvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/hn_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/mbm/CMakeFiles/hn_mbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_rootkit_detection.dir/rootkit_detection.cpp.o"
+  "CMakeFiles/example_rootkit_detection.dir/rootkit_detection.cpp.o.d"
+  "example_rootkit_detection"
+  "example_rootkit_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_rootkit_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_rootkit_module.dir/rootkit_module.cpp.o"
+  "CMakeFiles/example_rootkit_module.dir/rootkit_module.cpp.o.d"
+  "example_rootkit_module"
+  "example_rootkit_module.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_rootkit_module.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

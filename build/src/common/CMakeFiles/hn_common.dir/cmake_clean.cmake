@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hn_common.dir/log.cpp.o"
+  "CMakeFiles/hn_common.dir/log.cpp.o.d"
+  "libhn_common.a"
+  "libhn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

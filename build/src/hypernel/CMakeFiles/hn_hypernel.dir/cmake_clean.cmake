@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hn_hypernel.dir/system.cpp.o"
+  "CMakeFiles/hn_hypernel.dir/system.cpp.o.d"
+  "libhn_hypernel.a"
+  "libhn_hypernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hn_hypernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

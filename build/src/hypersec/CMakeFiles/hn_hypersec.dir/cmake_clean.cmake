@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hn_hypersec.dir/hypersec.cpp.o"
+  "CMakeFiles/hn_hypersec.dir/hypersec.cpp.o.d"
+  "CMakeFiles/hn_hypersec.dir/mbm_driver.cpp.o"
+  "CMakeFiles/hn_hypersec.dir/mbm_driver.cpp.o.d"
+  "CMakeFiles/hn_hypersec.dir/pt_verifier.cpp.o"
+  "CMakeFiles/hn_hypersec.dir/pt_verifier.cpp.o.d"
+  "libhn_hypersec.a"
+  "libhn_hypersec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hn_hypersec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/buddy.cpp" "src/kernel/CMakeFiles/hn_kernel.dir/buddy.cpp.o" "gcc" "src/kernel/CMakeFiles/hn_kernel.dir/buddy.cpp.o.d"
+  "/root/repo/src/kernel/ipc.cpp" "src/kernel/CMakeFiles/hn_kernel.dir/ipc.cpp.o" "gcc" "src/kernel/CMakeFiles/hn_kernel.dir/ipc.cpp.o.d"
+  "/root/repo/src/kernel/kernel.cpp" "src/kernel/CMakeFiles/hn_kernel.dir/kernel.cpp.o" "gcc" "src/kernel/CMakeFiles/hn_kernel.dir/kernel.cpp.o.d"
+  "/root/repo/src/kernel/kpt.cpp" "src/kernel/CMakeFiles/hn_kernel.dir/kpt.cpp.o" "gcc" "src/kernel/CMakeFiles/hn_kernel.dir/kpt.cpp.o.d"
+  "/root/repo/src/kernel/modules.cpp" "src/kernel/CMakeFiles/hn_kernel.dir/modules.cpp.o" "gcc" "src/kernel/CMakeFiles/hn_kernel.dir/modules.cpp.o.d"
+  "/root/repo/src/kernel/process.cpp" "src/kernel/CMakeFiles/hn_kernel.dir/process.cpp.o" "gcc" "src/kernel/CMakeFiles/hn_kernel.dir/process.cpp.o.d"
+  "/root/repo/src/kernel/vfs.cpp" "src/kernel/CMakeFiles/hn_kernel.dir/vfs.cpp.o" "gcc" "src/kernel/CMakeFiles/hn_kernel.dir/vfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hn_kernel.dir/buddy.cpp.o"
+  "CMakeFiles/hn_kernel.dir/buddy.cpp.o.d"
+  "CMakeFiles/hn_kernel.dir/ipc.cpp.o"
+  "CMakeFiles/hn_kernel.dir/ipc.cpp.o.d"
+  "CMakeFiles/hn_kernel.dir/kernel.cpp.o"
+  "CMakeFiles/hn_kernel.dir/kernel.cpp.o.d"
+  "CMakeFiles/hn_kernel.dir/kpt.cpp.o"
+  "CMakeFiles/hn_kernel.dir/kpt.cpp.o.d"
+  "CMakeFiles/hn_kernel.dir/modules.cpp.o"
+  "CMakeFiles/hn_kernel.dir/modules.cpp.o.d"
+  "CMakeFiles/hn_kernel.dir/process.cpp.o"
+  "CMakeFiles/hn_kernel.dir/process.cpp.o.d"
+  "CMakeFiles/hn_kernel.dir/vfs.cpp.o"
+  "CMakeFiles/hn_kernel.dir/vfs.cpp.o.d"
+  "libhn_kernel.a"
+  "libhn_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hn_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhn_kernel.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hn_kvm.dir/kvm.cpp.o"
+  "CMakeFiles/hn_kvm.dir/kvm.cpp.o.d"
+  "libhn_kvm.a"
+  "libhn_kvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hn_kvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hn_kvm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hn_mbm.dir/monitor.cpp.o"
+  "CMakeFiles/hn_mbm.dir/monitor.cpp.o.d"
+  "libhn_mbm.a"
+  "libhn_mbm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hn_mbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hn_secapps.dir/object_monitor.cpp.o"
+  "CMakeFiles/hn_secapps.dir/object_monitor.cpp.o.d"
+  "CMakeFiles/hn_secapps.dir/snapshot_monitor.cpp.o"
+  "CMakeFiles/hn_secapps.dir/snapshot_monitor.cpp.o.d"
+  "libhn_secapps.a"
+  "libhn_secapps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hn_secapps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cpp" "src/sim/CMakeFiles/hn_sim.dir/cache.cpp.o" "gcc" "src/sim/CMakeFiles/hn_sim.dir/cache.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/sim/CMakeFiles/hn_sim.dir/machine.cpp.o" "gcc" "src/sim/CMakeFiles/hn_sim.dir/machine.cpp.o.d"
+  "/root/repo/src/sim/mmu.cpp" "src/sim/CMakeFiles/hn_sim.dir/mmu.cpp.o" "gcc" "src/sim/CMakeFiles/hn_sim.dir/mmu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hn_sim.dir/cache.cpp.o"
+  "CMakeFiles/hn_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/hn_sim.dir/machine.cpp.o"
+  "CMakeFiles/hn_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/hn_sim.dir/mmu.cpp.o"
+  "CMakeFiles/hn_sim.dir/mmu.cpp.o.d"
+  "libhn_sim.a"
+  "libhn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

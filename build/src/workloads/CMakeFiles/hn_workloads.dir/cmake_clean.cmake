@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hn_workloads.dir/apps.cpp.o"
+  "CMakeFiles/hn_workloads.dir/apps.cpp.o.d"
+  "CMakeFiles/hn_workloads.dir/lmbench.cpp.o"
+  "CMakeFiles/hn_workloads.dir/lmbench.cpp.o.d"
+  "libhn_workloads.a"
+  "libhn_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hn_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypernel_system_test.dir/hypernel/system_test.cpp.o"
+  "CMakeFiles/hypernel_system_test.dir/hypernel/system_test.cpp.o.d"
+  "hypernel_system_test"
+  "hypernel_system_test.pdb"
+  "hypernel_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypernel_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

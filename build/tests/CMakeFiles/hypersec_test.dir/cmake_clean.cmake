@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypersec_test.dir/hypersec/hypersec_test.cpp.o"
+  "CMakeFiles/hypersec_test.dir/hypersec/hypersec_test.cpp.o.d"
+  "hypersec_test"
+  "hypersec_test.pdb"
+  "hypersec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypersec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_config_invariance_test.dir/integration/config_invariance_test.cpp.o"
+  "CMakeFiles/integration_config_invariance_test.dir/integration/config_invariance_test.cpp.o.d"
+  "integration_config_invariance_test"
+  "integration_config_invariance_test.pdb"
+  "integration_config_invariance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_config_invariance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

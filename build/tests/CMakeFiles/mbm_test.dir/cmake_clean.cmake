@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbm_test.dir/mbm/mbm_test.cpp.o"
+  "CMakeFiles/mbm_test.dir/mbm/mbm_test.cpp.o.d"
+  "mbm_test"
+  "mbm_test.pdb"
+  "mbm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secapps_test.dir/secapps/secapps_test.cpp.o"
+  "CMakeFiles/secapps_test.dir/secapps/secapps_test.cpp.o.d"
+  "secapps_test"
+  "secapps_test.pdb"
+  "secapps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secapps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/device_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/device_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/device_test.cpp.o.d"
+  "/root/repo/tests/sim/machine_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/machine_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/machine_test.cpp.o.d"
+  "/root/repo/tests/sim/mmu_property_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/mmu_property_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/mmu_property_test.cpp.o.d"
+  "/root/repo/tests/sim/mmu_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/mmu_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/mmu_test.cpp.o.d"
+  "/root/repo/tests/sim/pagetable_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/pagetable_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/pagetable_test.cpp.o.d"
+  "/root/repo/tests/sim/phys_bus_cache_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/phys_bus_cache_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/phys_bus_cache_test.cpp.o.d"
+  "/root/repo/tests/sim/trace_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/trace_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/hn_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/secapps/CMakeFiles/hn_secapps.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypernel/CMakeFiles/hn_hypernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypersec/CMakeFiles/hn_hypersec.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvm/CMakeFiles/hn_kvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/hn_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/mbm/CMakeFiles/hn_mbm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

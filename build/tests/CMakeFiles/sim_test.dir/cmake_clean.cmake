@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test.dir/sim/device_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/device_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/machine_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/machine_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/mmu_property_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/mmu_property_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/mmu_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/mmu_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/pagetable_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/pagetable_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/phys_bus_cache_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/phys_bus_cache_test.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/trace_test.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/trace_test.cpp.o.d"
+  "sim_test"
+  "sim_test.pdb"
+  "sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

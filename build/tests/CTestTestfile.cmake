@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/mbm_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/hypersec_test[1]_include.cmake")
+include("/root/repo/build/tests/hypernel_system_test[1]_include.cmake")
+include("/root/repo/build/tests/kvm_test[1]_include.cmake")
+include("/root/repo/build/tests/secapps_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_security_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_config_invariance_test[1]_include.cmake")

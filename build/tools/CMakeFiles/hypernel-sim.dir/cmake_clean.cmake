@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypernel-sim.dir/hypernel_sim.cpp.o"
+  "CMakeFiles/hypernel-sim.dir/hypernel_sim.cpp.o.d"
+  "hypernel-sim"
+  "hypernel-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypernel-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
