@@ -8,14 +8,20 @@
 
 namespace hn {
 
+/// All-ones mask covering an n-bit field; well-defined for n == 64,
+/// where the naive `(1 << n) - 1` would shift by the full word width.
+constexpr u64 field_mask(unsigned n) {
+  return n >= 64 ? ~u64{0} : (u64{1} << n) - 1;
+}
+
 /// Extract bits [lo, hi] (inclusive) of v.
 constexpr u64 bits(u64 v, unsigned hi, unsigned lo) {
-  return (v >> lo) & ((u64{1} << (hi - lo + 1)) - 1);
+  return (v >> lo) & field_mask(hi - lo + 1);
 }
 
 /// Set bits [lo, hi] (inclusive) of v to field.
 constexpr u64 set_bits(u64 v, unsigned hi, unsigned lo, u64 field) {
-  const u64 mask = ((u64{1} << (hi - lo + 1)) - 1) << lo;
+  const u64 mask = field_mask(hi - lo + 1) << lo;
   return (v & ~mask) | ((field << lo) & mask);
 }
 

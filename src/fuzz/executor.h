@@ -1,0 +1,91 @@
+// Executes one op sequence against one system configuration, producing
+// the evidence both oracles consume:
+//
+//   * per-step records (normalized op outcome + cheap functional digest +
+//     cumulative alert/event counts) for the differential oracle;
+//   * a final full FunctionalFingerprint;
+//   * invariant violations found *during* the run: Hypersec::audit()
+//     failures, forged operations that were accepted, direct PT writes
+//     that did not fault, and attack writes that raised no alert in a
+//     monitored configuration (detection completeness).
+//
+// The executor keeps its own shadow of the coarse kernel state (paths
+// created, pids alive, mappings, modules, channels) purely to *interpret*
+// op parameters; all truth lives in the simulated kernel.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "fuzz/ops.h"
+#include "hypernel/fingerprint.h"
+#include "hypernel/system.h"
+#include "secapps/object_monitor.h"
+
+namespace hn::fuzz {
+
+/// One cell of the configuration matrix.  Spec -> SystemConfig is pure, so
+/// a spec names a reproducible system.
+struct FuzzConfigSpec {
+  std::string name;
+  hypernel::Mode mode = hypernel::Mode::kHypernel;
+  /// Attach the ObjectIntegrityMonitor (Hypernel mode only).
+  bool monitor = false;
+  secapps::Granularity granularity = secapps::Granularity::kSensitiveFields;
+  // Hardware knobs (0 / default-preserving values mean "stock").
+  unsigned tlb_entries = 0;
+  bool cache_enabled = true;
+  u64 cache_size_bytes = 0;
+  Cycles l1_miss_fill = 0;
+  /// 2 MiB section linear map (Native/KVM only: Hypersec requires 4 KiB).
+  bool use_sections = false;
+
+  [[nodiscard]] hypernel::SystemConfig system_config() const;
+  [[nodiscard]] bool monitored() const {
+    return monitor && mode == hypernel::Mode::kHypernel;
+  }
+};
+
+struct StepRecord {
+  u64 result = 0;        // normalized op outcome (compared differentially)
+  u64 state_digest = 0;  // cheap functional digest after the op
+  u64 alerts = 0;        // cumulative integrity alerts
+  u64 events = 0;        // cumulative monitor events
+};
+
+struct RunResult {
+  std::string config;
+  bool build_failed = false;   // System::create failed (always a finding)
+  std::string build_error;
+  std::vector<StepRecord> steps;
+  hypernel::FunctionalFingerprint fingerprint;
+  /// Invariant-oracle findings, each prefixed "step N: ".
+  std::vector<std::string> violations;
+  u64 attacks_expected = 0;    // attack writes that policy says must alert
+  /// Rendered sim::Trace of the step selected by ExecutorOptions::trace_step.
+  std::vector<std::string> trace;
+};
+
+struct ExecutorOptions {
+  /// Test-only verifier-bypass hook: CPU attack writes go straight to
+  /// physical memory (cache line flushed first), invisible to the bus
+  /// snooper.  Functionally identical in every configuration; in a
+  /// monitored configuration the detection-completeness oracle must
+  /// catch the silence.  Exists to prove the oracle has teeth.
+  bool inject_bypass = false;
+  /// Run Hypersec::audit() every N steps (and always after the last).
+  unsigned audit_stride = 1;
+  /// When set, enable machine tracing around this step index and return
+  /// its events (via Trace::sequence()/since()) in RunResult::trace.
+  u64 trace_step = ~0ull;
+};
+
+/// Run `ops` under `spec`.  Deterministic: same (spec, ops, options) give
+/// a byte-identical RunResult.
+[[nodiscard]] RunResult run_sequence(const FuzzConfigSpec& spec,
+                                     std::span<const Op> ops,
+                                     const ExecutorOptions& options = {});
+
+}  // namespace hn::fuzz

@@ -1,0 +1,205 @@
+#include "fuzz/fuzzer.h"
+
+#include <algorithm>
+
+#include "fuzz/shrink.h"
+
+namespace hn::fuzz {
+namespace {
+
+/// Bit-exact comparison of two runs of the same configuration: every
+/// step field and the full fingerprint including cycles must match.
+bool identical_runs(const RunResult& a, const RunResult& b) {
+  if (a.build_failed != b.build_failed) return false;
+  if (a.steps.size() != b.steps.size()) return false;
+  for (size_t i = 0; i < a.steps.size(); ++i) {
+    if (a.steps[i].result != b.steps[i].result ||
+        a.steps[i].state_digest != b.steps[i].state_digest ||
+        a.steps[i].alerts != b.steps[i].alerts ||
+        a.steps[i].events != b.steps[i].events) {
+      return false;
+    }
+  }
+  return a.fingerprint.functional_hash() == b.fingerprint.functional_hash() &&
+         a.fingerprint.cycles == b.fingerprint.cycles &&
+         a.fingerprint.alerts == b.fingerprint.alerts &&
+         a.fingerprint.monitor_events == b.fingerprint.monitor_events &&
+         a.violations == b.violations;
+}
+
+OracleReport check_ops(std::span<const Op> ops,
+                       std::span<const FuzzConfigSpec> specs,
+                       const ExecutorOptions& exec,
+                       std::vector<RunResult>* runs_out) {
+  std::vector<RunResult> runs;
+  runs.reserve(specs.size());
+  for (const FuzzConfigSpec& spec : specs) {
+    runs.push_back(run_sequence(spec, ops, exec));
+  }
+  OracleReport report = check_sequence(ops, specs, runs);
+  // Determinism pin: the reference configuration replayed from scratch
+  // must be bit-exact, cycles included.
+  const RunResult rerun = run_sequence(specs[0], ops, exec);
+  if (!identical_runs(runs[0], rerun)) {
+    report.findings.push_back("[" + specs[0].name +
+                              "] re-run was not bit-identical (simulator "
+                              "nondeterminism)");
+  }
+  if (runs_out != nullptr) *runs_out = std::move(runs);
+  return report;
+}
+
+}  // namespace
+
+std::vector<FuzzConfigSpec> build_matrix(bool full) {
+  using hypernel::Mode;
+  std::vector<FuzzConfigSpec> specs;
+  // Reference first: Hypernel with the word-granularity monitor is the
+  // paper's headline configuration and exercises every oracle.
+  specs.push_back({.name = "hypernel-word",
+                   .mode = Mode::kHypernel,
+                   .monitor = true,
+                   .granularity = secapps::Granularity::kSensitiveFields});
+  specs.push_back({.name = "native", .mode = Mode::kNative});
+  specs.push_back({.name = "kvm", .mode = Mode::kKvmGuest});
+  specs.push_back({.name = "hypernel-object",
+                   .mode = Mode::kHypernel,
+                   .monitor = true,
+                   .granularity = secapps::Granularity::kWholeObject});
+  if (!full) return specs;
+
+  // Hardware-knob sweep: functional behaviour must survive every point.
+  specs.push_back({.name = "hypernel-word-tiny-tlb",
+                   .mode = Mode::kHypernel,
+                   .monitor = true,
+                   .tlb_entries = 4});
+  specs.push_back({.name = "hypernel-word-nocache",
+                   .mode = Mode::kHypernel,
+                   .monitor = true,
+                   .cache_enabled = false});
+  specs.push_back({.name = "hypernel-word-small-cache",
+                   .mode = Mode::kHypernel,
+                   .monitor = true,
+                   .cache_size_bytes = 4 * 1024});
+  specs.push_back({.name = "hypernel-word-slow-dram",
+                   .mode = Mode::kHypernel,
+                   .monitor = true,
+                   .l1_miss_fill = 400});
+  specs.push_back({.name = "hypernel-plain", .mode = Mode::kHypernel});
+  specs.push_back({.name = "native-sections",
+                   .mode = Mode::kNative,
+                   .use_sections = true});
+  specs.push_back(
+      {.name = "kvm-sections", .mode = Mode::kKvmGuest, .use_sections = true});
+  specs.push_back(
+      {.name = "native-tiny-tlb", .mode = Mode::kNative, .tlb_entries = 4});
+  return specs;
+}
+
+OracleReport run_sequence_seed(u64 sequence_seed, const GeneratorOptions& gen,
+                               std::span<const FuzzConfigSpec> specs,
+                               const ExecutorOptions& exec,
+                               std::vector<RunResult>* runs) {
+  const std::vector<Op> ops = generate_sequence(sequence_seed, gen);
+  return check_ops(ops, specs, exec, runs);
+}
+
+CampaignResult run_campaign(const FuzzOptions& options, std::ostream* log) {
+  const std::vector<FuzzConfigSpec> specs = build_matrix(options.full_matrix);
+  GeneratorOptions gen{.ops = options.ops,
+                       .attacks = options.attacks,
+                       .forged = options.forged};
+  ExecutorOptions exec{.inject_bypass = options.inject_bypass,
+                       .audit_stride = options.audit_stride};
+
+  CampaignResult result;
+  result.corpus_digest = hypernel::kFnvOffset;
+  for (u64 index = 0; index < options.sequences; ++index) {
+    const u64 seq_seed = sequence_seed(options.seed, index);
+    const std::vector<Op> ops = generate_sequence(seq_seed, gen);
+    std::vector<RunResult> runs;
+    OracleReport report = check_ops(ops, specs, exec, &runs);
+    ++result.sequences_run;
+    for (const RunResult& run : runs) {
+      result.corpus_digest = hypernel::fnv_fold(
+          result.corpus_digest, run.fingerprint.functional_hash());
+      result.corpus_digest =
+          hypernel::fnv_fold(result.corpus_digest, run.fingerprint.cycles);
+    }
+    if (report.ok()) {
+      if (log != nullptr && (index + 1) % 10 == 0) {
+        *log << "  " << (index + 1) << "/" << options.sequences
+             << " sequences clean\n";
+      }
+      continue;
+    }
+
+    ++result.failures;
+    if (result.failure_details.size() >= options.max_failures) continue;
+
+    SequenceFailure failure;
+    failure.index = index;
+    failure.sequence_seed = seq_seed;
+    failure.findings = report.findings;
+    failure.ops = ops;
+    if (options.shrink) {
+      failure.ops = shrink(
+          failure.ops,
+          [&specs, &exec](std::span<const Op> candidate) {
+            return !check_ops(candidate, specs, exec, nullptr).ok();
+          },
+          /*max_probes=*/400, &failure.shrink_stats);
+      // Re-evaluate on the minimal sequence: its findings and failing
+      // step are what the reproducer reports.
+      OracleReport minimal = check_ops(failure.ops, specs, exec, nullptr);
+      if (!minimal.ok()) {
+        failure.findings = minimal.findings;
+        report.first_bad_step = minimal.first_bad_step;
+      }
+    }
+
+    // Dump the failing step's machine trace under the reference config.
+    if (report.first_bad_step != ~0ull &&
+        report.first_bad_step < failure.ops.size()) {
+      failure.trace_step = report.first_bad_step;
+      failure.trace_config = specs[0].name;
+      ExecutorOptions traced = exec;
+      traced.trace_step = report.first_bad_step;
+      failure.trace = run_sequence(specs[0], failure.ops, traced).trace;
+    }
+
+    failure.replay = "hypernel_fuzz --replay=" + std::to_string(seq_seed) +
+                     " --ops=" + std::to_string(options.ops) +
+                     (options.full_matrix ? " --matrix=full" : "") +
+                     (options.inject_bypass ? " --inject-bypass" : "");
+    result.failure_details.push_back(std::move(failure));
+
+    if (log != nullptr) {
+      const SequenceFailure& f = result.failure_details.back();
+      *log << "FAILURE at sequence " << index << " (seed " << options.seed
+           << ", sequence seed " << f.sequence_seed << ")\n";
+      for (const std::string& finding : f.findings) {
+        *log << "  finding: " << finding << "\n";
+      }
+      *log << "  minimal reproducer (" << f.ops.size() << " ops):\n";
+      for (size_t i = 0; i < f.ops.size(); ++i) {
+        *log << "    [" << i << "] " << describe(f.ops[i]) << "\n";
+      }
+      if (!f.trace.empty()) {
+        *log << "  machine trace of step " << f.trace_step << " under "
+             << f.trace_config << ":\n";
+        for (const std::string& line : f.trace) {
+          *log << "    " << line << "\n";
+        }
+      } else if (f.trace_step != ~0ull) {
+        *log << "  machine trace of step " << f.trace_step << " under "
+             << f.trace_config
+             << ": no architectural events (write invisible to the bus)\n";
+      }
+      *log << "  replay: " << f.replay << "\n";
+    }
+  }
+  return result;
+}
+
+}  // namespace hn::fuzz

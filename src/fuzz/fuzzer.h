@@ -1,0 +1,78 @@
+// Campaign driver: ties generator, executor, oracles and shrinker into
+// the deterministic fuzzing loop `hypernel_fuzz` and the regression tests
+// drive.
+//
+// For every sequence index the driver derives a sequence seed, generates
+// ops, runs them under every matrix configuration (reference first, run
+// twice to pin determinism), and evaluates both oracles.  On failure it
+// shrinks to a minimal reproducer, captures the failing step's machine
+// trace, and renders the replay command.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "fuzz/executor.h"
+#include "fuzz/generator.h"
+#include "fuzz/oracles.h"
+#include "fuzz/shrink.h"
+
+namespace hn::fuzz {
+
+/// The configuration matrix.  `quick` covers the three modes plus both
+/// monitoring granularities; `full` adds the hardware-knob sweep (tiny
+/// TLB, disabled cache, small cache, slow DRAM, 2 MiB sections).
+[[nodiscard]] std::vector<FuzzConfigSpec> build_matrix(bool full);
+
+struct FuzzOptions {
+  u64 seed = 1;
+  u64 sequences = 10;
+  u64 ops = 40;
+  bool full_matrix = false;
+  bool attacks = true;
+  bool forged = true;
+  bool shrink = true;
+  bool inject_bypass = false;  // test-only verifier-bypass hook
+  unsigned audit_stride = 1;
+  u64 max_failures = 3;  // stop collecting details after this many
+};
+
+struct SequenceFailure {
+  u64 index = 0;
+  u64 sequence_seed = 0;
+  std::vector<Op> ops;  // minimal reproducer (original if shrinking off)
+  std::vector<std::string> findings;
+  ShrinkStats shrink_stats;
+  u64 trace_step = ~0ull;
+  std::string trace_config;
+  std::vector<std::string> trace;  // failing step's machine trace
+  std::string replay;              // command line reproducing the failure
+};
+
+struct CampaignResult {
+  u64 sequences_run = 0;
+  u64 failures = 0;
+  /// FNV fold of every run's functional hash + cycles, in order: two
+  /// campaigns with equal options must produce equal digests (the
+  /// determinism contract `--seed=N` promises).
+  u64 corpus_digest = 0;
+  std::vector<SequenceFailure> failure_details;
+
+  [[nodiscard]] bool ok() const { return failures == 0; }
+};
+
+/// Run one sequence (by seed) across `specs`; runs[0] is the reference
+/// and is executed twice to assert bit-exact determinism.  Exposed for
+/// the regression corpus and for `--replay`.
+[[nodiscard]] OracleReport run_sequence_seed(u64 sequence_seed,
+                                             const GeneratorOptions& gen,
+                                             std::span<const FuzzConfigSpec> specs,
+                                             const ExecutorOptions& exec,
+                                             std::vector<RunResult>* runs = nullptr);
+
+/// Full campaign.  `log` (optional) receives progress and failure reports.
+[[nodiscard]] CampaignResult run_campaign(const FuzzOptions& options,
+                                          std::ostream* log = nullptr);
+
+}  // namespace hn::fuzz

@@ -1,0 +1,88 @@
+#include "fuzz/generator.h"
+
+#include "common/rng.h"
+
+namespace hn::fuzz {
+namespace {
+
+struct Weighted {
+  OpKind kind;
+  u64 weight;
+};
+
+// The mix leans on the paths the paper's evaluation leans on: VFS churn
+// (dentry/cred slab traffic the MBM counts), fork/exec storms (the
+// page-table write worst case), mmap/munmap (hypercall volume), with a
+// steady trickle of attacks and forged-hypercall probes.
+constexpr Weighted kMix[] = {
+    {OpKind::kCreat, 10},        {OpKind::kMkdir, 3},
+    {OpKind::kUnlink, 5},        {OpKind::kRename, 4},
+    {OpKind::kWriteFile, 8},     {OpKind::kReadFile, 6},
+    {OpKind::kStat, 5},          {OpKind::kPruneDcache, 2},
+    {OpKind::kMmap, 6},          {OpKind::kMunmap, 4},
+    {OpKind::kMmapFile, 3},      {OpKind::kUserMemory, 4},
+    {OpKind::kUserCompute, 3},   {OpKind::kFork, 6},
+    {OpKind::kExecve, 3},        {OpKind::kExit, 3},
+    {OpKind::kSwitchTask, 4},    {OpKind::kSetuid, 3},
+    {OpKind::kSigaction, 2},     {OpKind::kKillSelf, 2},
+    {OpKind::kPipeRoundTrip, 4}, {OpKind::kSocketRoundTrip, 3},
+    {OpKind::kInsmod, 3},        {OpKind::kRmmod, 2},
+    {OpKind::kModuleCall, 2},
+};
+
+constexpr Weighted kAttackMix[] = {
+    {OpKind::kAttackCredWrite, 3},
+    {OpKind::kAttackDentryWrite, 3},
+    {OpKind::kAttackDmaWrite, 1},
+};
+
+constexpr Weighted kForgedMix[] = {
+    {OpKind::kForgedPtWrite, 3},   {OpKind::kForgedPtAlloc, 1},
+    {OpKind::kForgedPtFree, 1},    {OpKind::kForgedMonRegister, 1},
+    {OpKind::kForgedModuleSeal, 1}, {OpKind::kDirectPtWrite, 1},
+    {OpKind::kTtbrHijack, 1},
+};
+
+}  // namespace
+
+u64 sequence_seed(u64 master, u64 index) {
+  // Two SplitMix64 steps decorrelate adjacent indices thoroughly.
+  SplitMix64 rng(master ^ (index * 0x9E3779B97F4A7C15ull));
+  rng.next();
+  return rng.next();
+}
+
+std::vector<Op> generate_sequence(u64 seed, const GeneratorOptions& opt) {
+  SplitMix64 rng(seed);
+
+  std::vector<Weighted> table(std::begin(kMix), std::end(kMix));
+  if (opt.attacks) {
+    table.insert(table.end(), std::begin(kAttackMix), std::end(kAttackMix));
+  }
+  if (opt.forged) {
+    table.insert(table.end(), std::begin(kForgedMix), std::end(kForgedMix));
+  }
+  u64 total = 0;
+  for (const Weighted& w : table) total += w.weight;
+
+  std::vector<Op> ops;
+  ops.reserve(opt.ops);
+  for (u64 i = 0; i < opt.ops; ++i) {
+    u64 pick = rng.next_below(total);
+    OpKind kind = table.front().kind;
+    for (const Weighted& w : table) {
+      if (pick < w.weight) {
+        kind = w.kind;
+        break;
+      }
+      pick -= w.weight;
+    }
+    // Parameters are raw entropy; the executor maps them into the live
+    // state space.  Drawing all three unconditionally keeps the stream
+    // alignment independent of the kind picked.
+    ops.push_back(Op{kind, rng.next(), rng.next(), rng.next()});
+  }
+  return ops;
+}
+
+}  // namespace hn::fuzz

@@ -1,0 +1,32 @@
+// Deterministic op-sequence generation from a SplitMix64 seed.
+//
+// One master seed drives a whole fuzzing campaign; each sequence gets an
+// independent seed derived with `sequence_seed`, so `--seed=N --ops=K`
+// (plus the sequence index) names a reproducible sequence forever — the
+// replay contract printed on every failure.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "fuzz/ops.h"
+
+namespace hn::fuzz {
+
+struct GeneratorOptions {
+  u64 ops = 40;
+  /// Include attack writes (cred/dentry/DMA tampering).
+  bool attacks = true;
+  /// Include Hypernel-only forged-hypercall / hijack probes.
+  bool forged = true;
+};
+
+/// Seed of sequence `index` of the campaign started with `master`.
+[[nodiscard]] u64 sequence_seed(u64 master, u64 index);
+
+/// Generate a sequence; identical (seed, options) give identical output
+/// on every platform (guarded by the SplitMix64 golden-value test).
+[[nodiscard]] std::vector<Op> generate_sequence(u64 seed,
+                                                const GeneratorOptions& opt);
+
+}  // namespace hn::fuzz

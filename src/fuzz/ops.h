@@ -1,0 +1,146 @@
+// The fuzzing operation grammar.
+//
+// An `Op` is a kind plus three raw 64-bit parameters drawn uniformly at
+// generation time.  Parameters are *interpreted* by the executor modulo
+// the live runtime state (file #a of the files that currently exist, task
+// #b of the tasks currently alive, ...), never as absolute handles.  Two
+// consequences the whole harness leans on:
+//
+//   * the same sequence executes meaningfully under every configuration,
+//     because interpretation depends only on functional state, which the
+//     differential oracle pins to be configuration-invariant; and
+//   * every *subsequence* is still a valid sequence, which is what makes
+//     shrinking (dropping ops while a failure persists) sound.
+//
+// Three op classes:
+//   differential — run everywhere; outcome and state effect must match
+//                  across every configuration;
+//   attack       — run everywhere (same functional effect), and in
+//                  monitored configurations must additionally raise an
+//                  integrity alert (detection-completeness oracle);
+//   hypernel-only — forged hypercalls / direct PT writes / TTBR hijacks
+//                  that Hypersec must reject.  Outside Hypernel they are
+//                  no-ops (executing them would corrupt an unprotected
+//                  kernel and trivially diverge the runs).
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+
+namespace hn::fuzz {
+
+enum class OpKind : u8 {
+  // --- Differential: VFS ---------------------------------------------------
+  kCreat,
+  kMkdir,
+  kUnlink,
+  kRename,
+  kWriteFile,
+  kReadFile,
+  kStat,
+  kPruneDcache,
+  // --- Differential: memory ------------------------------------------------
+  kMmap,
+  kMunmap,
+  kMmapFile,
+  kUserMemory,
+  kUserCompute,
+  // --- Differential: processes & credentials -------------------------------
+  kFork,
+  kExecve,
+  kExit,
+  kSwitchTask,
+  kSetuid,
+  kSigaction,
+  kKillSelf,
+  // --- Differential: IPC ---------------------------------------------------
+  kPipeRoundTrip,
+  kSocketRoundTrip,
+  // --- Differential: modules -----------------------------------------------
+  kInsmod,
+  kRmmod,
+  kModuleCall,
+  // --- Attacks --------------------------------------------------------------
+  kAttackCredWrite,
+  kAttackDentryWrite,
+  kAttackDmaWrite,
+  // --- Hypernel-only probes -------------------------------------------------
+  kForgedPtWrite,
+  kForgedPtAlloc,
+  kForgedPtFree,
+  kForgedMonRegister,
+  kForgedModuleSeal,
+  kDirectPtWrite,
+  kTtbrHijack,
+
+  kCount,  // number of kinds (generator weight table bound)
+};
+
+struct Op {
+  OpKind kind = OpKind::kCreat;
+  u64 a = 0;
+  u64 b = 0;
+  u64 c = 0;
+};
+
+[[nodiscard]] constexpr const char* op_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kCreat: return "creat";
+    case OpKind::kMkdir: return "mkdir";
+    case OpKind::kUnlink: return "unlink";
+    case OpKind::kRename: return "rename";
+    case OpKind::kWriteFile: return "write";
+    case OpKind::kReadFile: return "read";
+    case OpKind::kStat: return "stat";
+    case OpKind::kPruneDcache: return "prune-dcache";
+    case OpKind::kMmap: return "mmap";
+    case OpKind::kMunmap: return "munmap";
+    case OpKind::kMmapFile: return "mmap-file";
+    case OpKind::kUserMemory: return "user-memory";
+    case OpKind::kUserCompute: return "user-compute";
+    case OpKind::kFork: return "fork";
+    case OpKind::kExecve: return "execve";
+    case OpKind::kExit: return "exit";
+    case OpKind::kSwitchTask: return "switch-task";
+    case OpKind::kSetuid: return "setuid";
+    case OpKind::kSigaction: return "sigaction";
+    case OpKind::kKillSelf: return "kill-self";
+    case OpKind::kPipeRoundTrip: return "pipe-roundtrip";
+    case OpKind::kSocketRoundTrip: return "socket-roundtrip";
+    case OpKind::kInsmod: return "insmod";
+    case OpKind::kRmmod: return "rmmod";
+    case OpKind::kModuleCall: return "module-call";
+    case OpKind::kAttackCredWrite: return "attack-cred";
+    case OpKind::kAttackDentryWrite: return "attack-dentry";
+    case OpKind::kAttackDmaWrite: return "attack-dma";
+    case OpKind::kForgedPtWrite: return "forged-pt-write";
+    case OpKind::kForgedPtAlloc: return "forged-pt-alloc";
+    case OpKind::kForgedPtFree: return "forged-pt-free";
+    case OpKind::kForgedMonRegister: return "forged-mon-register";
+    case OpKind::kForgedModuleSeal: return "forged-module-seal";
+    case OpKind::kDirectPtWrite: return "direct-pt-write";
+    case OpKind::kTtbrHijack: return "ttbr-hijack";
+    case OpKind::kCount: break;
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr bool is_attack(OpKind kind) {
+  return kind == OpKind::kAttackCredWrite ||
+         kind == OpKind::kAttackDentryWrite ||
+         kind == OpKind::kAttackDmaWrite;
+}
+
+/// Ops that only execute under the Hypernel configuration (and whose
+/// per-step result is therefore only compared within that class).
+[[nodiscard]] constexpr bool is_hypernel_only(OpKind kind) {
+  return kind >= OpKind::kForgedPtWrite && kind < OpKind::kCount;
+}
+
+[[nodiscard]] inline std::string describe(const Op& op) {
+  return std::string(op_name(op.kind)) + "(a=" + std::to_string(op.a) +
+         ", b=" + std::to_string(op.b) + ", c=" + std::to_string(op.c) + ")";
+}
+
+}  // namespace hn::fuzz

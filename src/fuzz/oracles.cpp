@@ -1,0 +1,115 @@
+#include "fuzz/oracles.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace hn::fuzz {
+namespace {
+
+void note_step(OracleReport* report, u64 step) {
+  report->first_bad_step = std::min(report->first_bad_step, step);
+}
+
+/// Extract the "step N: " prefix the executor puts on violations, so
+/// invariant findings also pin the reproducer's trace step.
+u64 violation_step(const std::string& v) {
+  if (!v.starts_with("step ")) return ~0ull;
+  return std::strtoull(v.c_str() + 5, nullptr, 10);
+}
+
+}  // namespace
+
+OracleReport check_sequence(std::span<const Op> ops,
+                            std::span<const FuzzConfigSpec> specs,
+                            std::span<const RunResult> runs) {
+  OracleReport report;
+  auto finding = [&report](std::string msg) {
+    report.findings.push_back(std::move(msg));
+  };
+
+  // --- Oracle 2: per-run invariant violations -------------------------------
+  for (const RunResult& run : runs) {
+    if (run.build_failed) {
+      finding("[" + run.config + "] system build failed: " + run.build_error);
+      continue;
+    }
+    for (const std::string& v : run.violations) {
+      finding("[" + run.config + "] " + v);
+      if (u64 s = violation_step(v); s != ~0ull) note_step(&report, s);
+    }
+  }
+  if (std::ranges::any_of(runs,
+                          [](const RunResult& r) { return r.build_failed; })) {
+    return report;  // differential comparison is meaningless with holes
+  }
+  if (runs.size() < 2) return report;
+
+  // --- Oracle 1: differential comparison against the reference --------------
+  const FuzzConfigSpec& ref_spec = specs[0];
+  const RunResult& ref = runs[0];
+  for (size_t r = 1; r < runs.size(); ++r) {
+    const FuzzConfigSpec& spec = specs[r];
+    const RunResult& run = runs[r];
+    if (run.steps.size() != ref.steps.size()) {
+      finding("[" + run.config + "] step count " +
+              std::to_string(run.steps.size()) + " != reference " +
+              std::to_string(ref.steps.size()));
+      continue;
+    }
+    for (size_t i = 0; i < run.steps.size(); ++i) {
+      const bool gated = is_hypernel_only(ops[i].kind);
+      const bool comparable_result =
+          !gated || (spec.mode == hypernel::Mode::kHypernel &&
+                     ref_spec.mode == hypernel::Mode::kHypernel);
+      if (comparable_result && run.steps[i].result != ref.steps[i].result) {
+        finding("[" + run.config + "] step " + std::to_string(i) + " " +
+                describe(ops[i]) + ": result diverged from reference");
+        note_step(&report, i);
+        break;  // downstream steps inherit the divergence
+      }
+      if (run.steps[i].state_digest != ref.steps[i].state_digest) {
+        finding("[" + run.config + "] step " + std::to_string(i) + " " +
+                describe(ops[i]) + ": functional state diverged");
+        note_step(&report, i);
+        break;
+      }
+    }
+    if (!run.fingerprint.functionally_equal(ref.fingerprint)) {
+      finding("[" + run.config + "] final fingerprint differs:\n" +
+              run.fingerprint.diff(ref.fingerprint));
+    }
+  }
+
+  // --- Oracle 1b: within-class monitor comparisons ---------------------------
+  const RunResult* first_monitored = nullptr;
+  const FuzzConfigSpec* first_monitored_spec = nullptr;
+  for (size_t r = 0; r < runs.size(); ++r) {
+    if (!specs[r].monitored()) continue;
+    if (first_monitored == nullptr) {
+      first_monitored = &runs[r];
+      first_monitored_spec = &specs[r];
+      continue;
+    }
+    // The integrity policy sees the same values everywhere, so alert
+    // streams must agree across every monitored configuration.
+    if (runs[r].fingerprint.alerts != first_monitored->fingerprint.alerts) {
+      finding("[" + runs[r].config + "] alert count " +
+              std::to_string(runs[r].fingerprint.alerts) + " != " +
+              std::to_string(first_monitored->fingerprint.alerts) + " of " +
+              first_monitored->config);
+    }
+    // Event counts depend on the watch set: comparable only at equal
+    // granularity.
+    if (specs[r].granularity == first_monitored_spec->granularity &&
+        runs[r].fingerprint.monitor_events !=
+            first_monitored->fingerprint.monitor_events) {
+      finding("[" + runs[r].config + "] monitor event count " +
+              std::to_string(runs[r].fingerprint.monitor_events) + " != " +
+              std::to_string(first_monitored->fingerprint.monitor_events) +
+              " of " + first_monitored->config);
+    }
+  }
+  return report;
+}
+
+}  // namespace hn::fuzz

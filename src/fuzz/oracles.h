@@ -1,0 +1,42 @@
+// The two oracles of the differential fuzzing harness.
+//
+// Oracle 1 — differential functional equivalence: the same op sequence run
+// under every configuration must produce identical per-step outcomes,
+// identical per-step functional digests, and an identical final
+// FunctionalFingerprint.  Only cycle counts may differ.  Hypernel-only
+// probe results are compared within the Hypernel class only; monitor
+// alert counts must agree across all monitored configurations, and event
+// counts across configurations sharing a monitoring granularity.
+//
+// Oracle 2 — invariants: the per-run violations the executor collected
+// (Hypersec audit findings, accepted forged hypercalls, direct PT stores
+// that did not fault, attack writes that raised no alert).
+//
+// `check_sequence` evaluates both and reports every finding.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fuzz/executor.h"
+#include "fuzz/ops.h"
+
+namespace hn::fuzz {
+
+struct OracleReport {
+  std::vector<std::string> findings;
+  /// Earliest step index implicated by a finding (~0ull when none is
+  /// step-specific) — the step whose trace a reproducer should dump.
+  u64 first_bad_step = ~0ull;
+
+  [[nodiscard]] bool ok() const { return findings.empty(); }
+};
+
+/// Evaluate both oracles over the runs of one sequence.  `specs` and
+/// `runs` are parallel arrays; runs[0] is the reference configuration.
+[[nodiscard]] OracleReport check_sequence(std::span<const Op> ops,
+                                          std::span<const FuzzConfigSpec> specs,
+                                          std::span<const RunResult> runs);
+
+}  // namespace hn::fuzz

@@ -1,0 +1,48 @@
+#include "fuzz/shrink.h"
+
+#include <algorithm>
+
+namespace hn::fuzz {
+
+std::vector<Op> shrink(std::vector<Op> ops, const FailPredicate& fails,
+                       u64 max_probes, ShrinkStats* stats) {
+  const u64 original = ops.size();
+  u64 probes = 0;
+  u64 chunk = ops.size() / 2;
+  if (chunk == 0) chunk = 1;
+
+  while (chunk >= 1 && !ops.empty() && probes < max_probes) {
+    bool removed_any = false;
+    // Walk back to front so surviving indices stay valid after erase.
+    for (size_t start = ops.size() >= chunk ? ops.size() - chunk : 0;;) {
+      if (probes >= max_probes) break;
+      std::vector<Op> candidate;
+      candidate.reserve(ops.size() - std::min<u64>(chunk, ops.size()));
+      candidate.insert(candidate.end(), ops.begin(),
+                       ops.begin() + static_cast<long>(start));
+      const size_t end = std::min(start + chunk, ops.size());
+      candidate.insert(candidate.end(),
+                       ops.begin() + static_cast<long>(end), ops.end());
+      ++probes;
+      if (fails(candidate)) {
+        ops = std::move(candidate);
+        removed_any = true;
+      }
+      if (start == 0) break;
+      start = start >= chunk ? start - chunk : 0;
+    }
+    if (!removed_any) {
+      if (chunk == 1) break;
+      chunk /= 2;
+    } else if (chunk > ops.size() && !ops.empty()) {
+      chunk = ops.size();
+    }
+  }
+  if (stats != nullptr) {
+    stats->probes = probes;
+    stats->ops_removed = original - ops.size();
+  }
+  return ops;
+}
+
+}  // namespace hn::fuzz

@@ -1,0 +1,36 @@
+// Greedy delta-debugging shrinker for failing op sequences.
+//
+// Sound because any subsequence of a generated sequence is itself a valid
+// sequence (op parameters are interpreted modulo live state, never as
+// absolute handles — see ops.h).  The shrinker repeatedly deletes chunks,
+// halving the chunk size, keeping any deletion under which the failure
+// predicate still holds; the result is 1-minimal at chunk size 1 (no
+// single remaining op can be removed).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "fuzz/ops.h"
+
+namespace hn::fuzz {
+
+/// Returns true when the candidate sequence still fails.
+using FailPredicate = std::function<bool(std::span<const Op>)>;
+
+struct ShrinkStats {
+  u64 probes = 0;       // predicate evaluations performed
+  u64 ops_removed = 0;  // original size minus final size
+};
+
+/// Minimise `ops` under `fails` (which must hold for `ops` itself).
+/// `max_probes` bounds the work: each probe replays the whole
+/// configuration matrix, so the default keeps shrinking under a second
+/// for typical sequences.
+[[nodiscard]] std::vector<Op> shrink(std::vector<Op> ops,
+                                     const FailPredicate& fails,
+                                     u64 max_probes = 400,
+                                     ShrinkStats* stats = nullptr);
+
+}  // namespace hn::fuzz

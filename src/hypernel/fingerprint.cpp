@@ -1,0 +1,76 @@
+#include "hypernel/fingerprint.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "kernel/vfs.h"
+
+namespace hn::hypernel {
+
+u64 FunctionalFingerprint::functional_hash() const {
+  u64 h = kFnvOffset;
+  h = fnv_fold(h, file_hash);
+  h = fnv_fold(h, inode_count);
+  h = fnv_fold(h, dcache_size);
+  h = fnv_fold(h, live_tasks);
+  h = fnv_fold(h, loaded_modules);
+  h = fnv_fold(h, current_uid);
+  h = fnv_fold(h, op_digest);
+  return h;
+}
+
+std::string FunctionalFingerprint::diff(const FunctionalFingerprint& o) const {
+  std::string out;
+  auto field = [&](const char* name, u64 mine, u64 theirs) {
+    if (mine == theirs) return;
+    out += std::string(out.empty() ? "" : ", ") + name + " " +
+           std::to_string(mine) + " vs " + std::to_string(theirs);
+  };
+  field("file_hash", file_hash, o.file_hash);
+  field("inode_count", inode_count, o.inode_count);
+  field("dcache_size", dcache_size, o.dcache_size);
+  field("live_tasks", live_tasks, o.live_tasks);
+  field("loaded_modules", loaded_modules, o.loaded_modules);
+  field("current_uid", current_uid, o.current_uid);
+  field("op_digest", op_digest, o.op_digest);
+  return out;
+}
+
+FunctionalFingerprint take_fingerprint(System& sys) {
+  FunctionalFingerprint fp;
+  fp.cycles = sys.machine().account().cycles();
+
+  kernel::Kernel& k = sys.kernel();
+  kernel::Vfs& vfs = k.vfs();
+
+  // Filesystem walk: identity fields for every inode, plus the leading
+  // bytes of regular-file data.  Inode numbers are never reused, so
+  // [1, ino_bound) enumerates every inode that can still exist.
+  u64 h = kFnvOffset;
+  for (u64 ino = 1; ino < vfs.ino_bound(); ++ino) {
+    const kernel::Inode* node = vfs.inode(ino);
+    if (node == nullptr) continue;
+    h = fnv_fold(h, node->ino);
+    h = fnv_fold(h, node->is_dir ? 1 : 0);
+    h = fnv_fold(h, node->size);
+    h = fnv_fold(h, node->nlink);
+    if (!node->is_dir && node->size > 0) {
+      u64 row[8] = {};
+      const u64 len = std::min<u64>(word_align_down(node->size), sizeof(row));
+      if (len > 0 && vfs.read_file(ino, 0, row, len).ok()) {
+        for (u64 w = 0; w < len / kWordSize; ++w) h = fnv_fold(h, row[w]);
+      }
+    }
+  }
+  fp.file_hash = h;
+  fp.inode_count = vfs.inode_count();
+  fp.dcache_size = vfs.dcache_size();
+  fp.live_tasks = k.procs().live_tasks();
+  fp.loaded_modules = k.modules().loaded_count();
+  if (Result<u64> uid = k.procs().cred_uid(k.procs().current()); uid.ok()) {
+    fp.current_uid = uid.value();
+  }
+  return fp;
+}
+
+}  // namespace hn::hypernel

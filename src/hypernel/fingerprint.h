@@ -1,0 +1,59 @@
+// Functional fingerprint extraction: a digest of everything a workload is
+// *supposed* to change, excluding everything that is allowed to vary with
+// the hardware configuration.
+//
+// The Hypernel thesis is that Native / KVM-guest / Hypernel (and every
+// TLB/cache/granularity knob) are functionally indistinguishable — only
+// cycles differ.  The fuzz harness enforces that claim differentially:
+// the same operation sequence must yield byte-identical functional
+// fingerprints under every configuration.  `cycles`, `monitor_events`
+// and `alerts` ride along for reporting and for the *within-class*
+// comparisons (monitored configurations against each other), but they are
+// excluded from `functional_hash()` because they legitimately depend on
+// the configuration class.
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+#include "hypernel/system.h"
+
+namespace hn::hypernel {
+
+struct FunctionalFingerprint {
+  // --- Functional core: must match across every configuration -------------
+  u64 file_hash = 0;       // FNV over every inode's identity + leading data
+  u64 inode_count = 0;
+  u64 dcache_size = 0;
+  u64 live_tasks = 0;
+  u64 loaded_modules = 0;
+  u64 current_uid = 0;
+  u64 op_digest = 0;       // caller-folded digest of per-op outcomes
+
+  // --- Configuration-class observables: reported, never cross-compared ----
+  Cycles cycles = 0;
+  u64 monitor_events = 0;
+  u64 alerts = 0;
+
+  /// Single-word digest of the functional core (order-sensitive FNV fold).
+  [[nodiscard]] u64 functional_hash() const;
+  [[nodiscard]] bool functionally_equal(const FunctionalFingerprint& o) const {
+    return functional_hash() == o.functional_hash();
+  }
+  /// Human-readable field-by-field difference report ("" when equal).
+  [[nodiscard]] std::string diff(const FunctionalFingerprint& o) const;
+};
+
+/// FNV-1a fold step shared by fingerprint consumers (executor op digests).
+constexpr u64 kFnvOffset = 0xCBF29CE484222325ull;
+constexpr u64 kFnvPrime = 0x100000001B3ull;
+constexpr u64 fnv_fold(u64 h, u64 w) { return (h ^ w) * kFnvPrime; }
+
+/// Capture the kernel-functional state of a live system.  Walks the whole
+/// filesystem (inode identity plus the leading bytes of file data), the
+/// dentry cache, process table, module list and the current credential.
+/// The walk performs charged machine accesses, so it advances simulated
+/// time — deterministically.  `cycles` is captured before the walk.
+FunctionalFingerprint take_fingerprint(System& sys);
+
+}  // namespace hn::hypernel

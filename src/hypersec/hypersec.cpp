@@ -139,15 +139,18 @@ Status Hypersec::enable_dma_protection(sim::Iommu& iommu,
   return Status::Ok();
 }
 
-std::vector<std::string> Hypersec::audit() const {
-  std::vector<std::string> violations;
-  auto note = [&](std::string v) { violations.push_back(std::move(v)); };
+std::vector<AuditFinding> Hypersec::audit_report() const {
+  std::vector<AuditFinding> violations;
+  auto note = [&](AuditCode code, std::string detail) {
+    violations.push_back(AuditFinding{code, std::move(detail)});
+  };
 
   // 4. The live translation root is the sealed kernel root.
   const PhysAddr ttbr1 =
       machine_.sysreg(SysReg::TTBR1_EL1) & 0x0000'FFFF'FFFF'FFFFull;
   if (ttbr1 != verifier_.kernel_root()) {
-    note("TTBR1_EL1 does not name the sealed kernel root");
+    note(AuditCode::kTtbrHijacked,
+         "TTBR1_EL1 does not name the sealed kernel root");
   }
 
   // Walk a stage-1 tree, applying the leaf checks.
@@ -170,17 +173,20 @@ std::vector<std::string> Hypersec::audit() const {
       // 2. nothing maps the secure space.
       if (ranges_overlap(out, span, machine_.secure_base(),
                          machine_.secure_size())) {
-        note(std::string(which) + ": mapping reaches the secure space");
+        note(AuditCode::kSecureMapped,
+             std::string(which) + ": mapping reaches the secure space");
       }
       // 3. W^X.
       if (attrs.write && attrs.exec) {
-        note(std::string(which) + ": writable+executable mapping");
+        note(AuditCode::kWxViolation,
+             std::string(which) + ": writable+executable mapping");
       }
       // 1. PT pages are read-only through any alias.
       if (attrs.write) {
         for (PhysAddr p = out; p < out + span; p += kPageSize) {
           if (verifier_.is_pt_page(p)) {
-            note(std::string(which) + ": writable alias of a PT page");
+            note(AuditCode::kPtWritableAlias,
+                 std::string(which) + ": writable alias of a PT page");
             break;
           }
         }
@@ -192,6 +198,14 @@ std::vector<std::string> Hypersec::audit() const {
     if (task->ttbr0 != 0) walk_tree(walk_tree, task->ttbr0, 0, "user tree");
   }
   return violations;
+}
+
+std::vector<std::string> Hypersec::audit() const {
+  std::vector<std::string> out;
+  for (const AuditFinding& f : audit_report()) {
+    out.push_back(std::string("[") + audit_code_name(f.code) + "] " + f.detail);
+  }
+  return out;
 }
 
 u64 Hypersec::handle_hvc(u64 func, std::span<const u64> args) {

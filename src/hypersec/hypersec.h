@@ -42,6 +42,30 @@ struct HypersecStats {
   u64 events_dispatched = 0;
 };
 
+/// Machine-readable classification of an audit violation, so tooling (the
+/// fuzz oracle, CI triage) can bucket failures without parsing prose.
+enum class AuditCode : u8 {
+  kTtbrHijacked,     // TTBR1_EL1 no longer names the sealed kernel root
+  kSecureMapped,     // a reachable mapping touches the secure space
+  kWxViolation,      // writable+executable leaf
+  kPtWritableAlias,  // writable alias of a registered PT page
+};
+
+[[nodiscard]] constexpr const char* audit_code_name(AuditCode code) {
+  switch (code) {
+    case AuditCode::kTtbrHijacked: return "ttbr-hijacked";
+    case AuditCode::kSecureMapped: return "secure-mapped";
+    case AuditCode::kWxViolation: return "wx-violation";
+    case AuditCode::kPtWritableAlias: return "pt-writable-alias";
+  }
+  return "?";
+}
+
+struct AuditFinding {
+  AuditCode code;
+  std::string detail;  // which tree / what was reached
+};
+
 struct HypersecConfig {
   /// EL2 cycles of verification work per hypercall / trap.
   Cycles verify_cost = 80;
@@ -81,13 +105,15 @@ class Hypersec {
                                std::span<const u32> streams);
 
   /// Full audit of the protection invariants (used by the property tests
-  /// after attack storms).  Returns human-readable violations; empty means
-  /// every invariant holds:
+  /// and the fuzz oracle after attack storms).  Returns coded violations;
+  /// empty means every invariant holds:
   ///   1. every registered PT page is mapped read-only at EL1,
   ///   2. no mapping reachable from any registered root touches the
   ///      secure space,
   ///   3. W^X holds over every reachable leaf,
   ///   4. TTBR1_EL1 still names the sealed kernel root.
+  [[nodiscard]] std::vector<AuditFinding> audit_report() const;
+  /// Back-compat prose rendering of audit_report().
   [[nodiscard]] std::vector<std::string> audit() const;
 
   PtVerifier& verifier() { return verifier_; }

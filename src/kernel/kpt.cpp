@@ -198,10 +198,40 @@ Status PageTableManager::unmap_page(PhysAddr root, VirtAddr va,
   return Status::Ok();
 }
 
+Status PageTableManager::split_block(const SwWalk& w) {
+  const PageAttrs attrs = sim::decode_attrs(w.desc);
+  const PhysAddr base = sim::desc_out_addr(w.desc);
+  Result<PhysAddr> table = alloc_table_page(3);
+  if (!table.ok()) return table.status();
+  for (u64 i = 0; i < kPtEntries; ++i) {
+    if (!writer_->write_desc(table.value(), static_cast<unsigned>(i),
+                             sim::make_page_desc(base + i * kPageSize, attrs))) {
+      return Status::Denied("pt: block split leaf write rejected");
+    }
+  }
+  const PhysAddr parent = w.desc_pa & ~kPageMask;
+  const auto idx = static_cast<unsigned>((w.desc_pa & kPageMask) / 8);
+  if (!writer_->write_desc(parent, idx, sim::make_table_desc(table.value()))) {
+    return Status::Denied("pt: block split publish rejected");
+  }
+  // Break-before-make for the whole section.
+  machine_.tlb().flush_all();
+  machine_.charge_tlbi();
+  return Status::Ok();
+}
+
 Status PageTableManager::set_page_attrs(PhysAddr root, VirtAddr va,
                                         const PageAttrs& attrs) {
-  const SwWalk w = walk(root, va);
+  SwWalk w = walk(root, va);
   if (!w.ok) return Status::NotFound("pt: unmapped va");
+  if (w.level == 2) {
+    // A 2 MiB section covers 511 neighbours that must not inherit this
+    // page's new permissions (module seal would silently turn unrelated
+    // slab pages read-only).  Split to 4 KiB pages first.
+    if (Status s = split_block(w); !s.ok()) return s;
+    w = walk(root, va);
+    assert(w.ok && w.level == 3);
+  }
   const u64 desc = sim::desc_with_attrs(w.desc, attrs);
   const PhysAddr table = w.desc_pa & ~kPageMask;
   const auto idx = static_cast<unsigned>((w.desc_pa & kPageMask) / 8);

@@ -75,6 +75,9 @@ class PageTableManager {
  private:
   /// Allocate + zero + register a new table page (runtime, charged).
   Result<PhysAddr> alloc_table_page(unsigned level);
+  /// Split a 2 MiB block descriptor into a level-3 table of 4 KiB pages
+  /// with identical attributes (the stock kernel's pmd split).
+  Status split_block(const SwWalk& w);
   /// Boot-time variant: direct physical stores, no charges, no writer.
   Result<PhysAddr> alloc_table_page_boot(unsigned level);
   u64 read_desc(PhysAddr table_pa, u64 index);

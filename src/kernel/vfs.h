@@ -98,6 +98,10 @@ class Vfs {
   [[nodiscard]] const Inode* inode(u64 ino) const;
   [[nodiscard]] u64 root_ino() const { return kRootIno; }
   [[nodiscard]] u64 inode_count() const { return inodes_.size(); }
+  /// One past the highest inode number ever issued: the iteration bound
+  /// for whole-filesystem walks (fingerprinting), since inode numbers are
+  /// never reused.
+  [[nodiscard]] u64 ino_bound() const { return next_ino_; }
 
  private:
   static constexpr u64 kRootIno = 1;

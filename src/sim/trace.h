@@ -46,6 +46,11 @@ class Trace {
 
   void record(Cycles at, TraceKind kind, u64 a = 0, u64 b = 0) {
     if (!enabled_) return;
+    ++seq_;
+    if (capacity_ == 0) {
+      ++dropped_;
+      return;
+    }
     if (events_.size() == capacity_) {
       events_[head_] = TraceEvent{at, kind, a, b};
       head_ = (head_ + 1) % capacity_;
@@ -71,6 +76,25 @@ class Trace {
     events_.clear();
     head_ = 0;
     dropped_ = 0;
+    seq_ = 0;
+  }
+
+  /// Monotone count of events recorded since construction / clear().  A
+  /// caller can take `sequence()` as a mark before an operation and later
+  /// retrieve exactly that operation's events with `since(mark)` — the
+  /// replay hook the fuzz harness uses to dump the failing step.
+  [[nodiscard]] u64 sequence() const { return seq_; }
+
+  /// Events with global sequence number >= `mark`, oldest first, limited
+  /// to what the ring still holds (earlier events may have been dropped).
+  [[nodiscard]] std::vector<TraceEvent> since(u64 mark) const {
+    const u64 first_retained = seq_ - events_.size();
+    const u64 skip = mark > first_retained ? mark - first_retained : 0;
+    std::vector<TraceEvent> out;
+    if (skip >= events_.size()) return out;
+    const std::vector<TraceEvent> all = chronological();
+    out.assign(all.begin() + static_cast<std::ptrdiff_t>(skip), all.end());
+    return out;
   }
 
   /// Count events of one kind.
@@ -117,6 +141,7 @@ class Trace {
   std::vector<TraceEvent> events_;
   u64 head_ = 0;
   u64 dropped_ = 0;
+  u64 seq_ = 0;
 };
 
 }  // namespace hn::sim

@@ -42,6 +42,34 @@ class ModulesTest : public ::testing::TestWithParam<Mode> {
   std::unique_ptr<System> sys_;
 };
 
+TEST(ModulesSections, SealSplitsSectionInsteadOfLockingNeighbours) {
+  // Regression (found by the fuzzer): with the stock-kernel 2 MiB section
+  // linear map, sealing module text through the block descriptor used to
+  // turn the whole section read-only — including unrelated slab pages —
+  // and the next cred write died on the writability assert.  The seal
+  // must split the section to 4 KiB pages and demote only its own frames.
+  SystemConfig cfg;
+  cfg.mode = Mode::kNative;
+  cfg.enable_mbm = false;
+  cfg.kernel.use_sections = true;
+  auto sys = System::create(cfg).value();
+  Kernel& k = sys->kernel();
+
+  ASSERT_TRUE(k.sys_insmod(test_module("split")).ok());
+  // Kernel object churn that lands in the same linear region must still
+  // work: fork allocates and writes cred/task slab objects.
+  Result<u32> pid = k.sys_fork();
+  ASSERT_TRUE(pid.ok()) << pid.status().message();
+  // The sealed text itself is read-only: module frames reject stores.
+  const LoadedModule* mod = k.modules().find("split");
+  ASSERT_NE(mod, nullptr);
+  const VirtAddr text_va = mod->text_va;
+  EXPECT_FALSE(sys->machine().write64(text_va, 0xBAD).ok);
+  // And unload restores plain data so the frames can be reused.
+  ASSERT_TRUE(k.sys_rmmod("split").ok());
+  EXPECT_TRUE(sys->machine().write64(text_va, 0x600D).ok);
+}
+
 TEST_P(ModulesTest, LoadCallUnload) {
   Kernel& k = sys_->kernel();
   Result<LoadedModule> mod = k.sys_insmod(test_module("veth"));

@@ -3,6 +3,7 @@
 // switches, MBM detections).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "hypernel/system.h"
@@ -40,6 +41,88 @@ TEST(Trace, RingWrapKeepsNewest) {
   const auto events = trace.chronological();
   EXPECT_EQ(events.front().a, 6u);
   EXPECT_EQ(events.back().a, 9u);
+}
+
+TEST(Trace, RingWrapChronologicalIsSorted) {
+  Trace trace(8);
+  trace.set_enabled(true);
+  // Wrap several times; chronological() must stay oldest-to-newest with
+  // contiguous payloads at every fill level.
+  for (u64 i = 0; i < 29; ++i) {
+    trace.record(i * 3, TraceKind::kCustom, i);
+    const auto events = trace.chronological();
+    ASSERT_EQ(events.size(), std::min<u64>(i + 1, 8u));
+    for (size_t j = 0; j < events.size(); ++j) {
+      EXPECT_EQ(events[j].a, i + 1 - events.size() + j);
+      if (j > 0) {
+        EXPECT_GT(events[j].at, events[j - 1].at);
+      }
+    }
+  }
+  EXPECT_EQ(trace.dropped(), 29u - 8u);
+}
+
+TEST(Trace, ClearAfterWrapStartsFresh) {
+  Trace trace(4);
+  trace.set_enabled(true);
+  for (u64 i = 0; i < 11; ++i) trace.record(i, TraceKind::kCustom, i);
+  ASSERT_EQ(trace.dropped(), 7u);
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.dropped(), 0u);
+  EXPECT_EQ(trace.sequence(), 0u);
+  EXPECT_TRUE(trace.chronological().empty());
+  // The ring is reusable after clear: refill past capacity again.
+  for (u64 i = 0; i < 6; ++i) trace.record(100 + i, TraceKind::kIrq, i);
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.dropped(), 2u);
+  const auto events = trace.chronological();
+  EXPECT_EQ(events.front().a, 2u);
+  EXPECT_EQ(events.back().a, 5u);
+}
+
+TEST(Trace, ZeroCapacityDropsEverything) {
+  Trace trace(0);
+  trace.set_enabled(true);
+  trace.record(1, TraceKind::kSvc);
+  trace.record(2, TraceKind::kHvc);
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.dropped(), 2u);
+  EXPECT_EQ(trace.sequence(), 2u);
+  EXPECT_TRUE(trace.chronological().empty());
+  EXPECT_TRUE(trace.since(0).empty());
+}
+
+TEST(Trace, SequenceMarksSelectEvents) {
+  Trace trace(8);
+  trace.set_enabled(true);
+  trace.record(1, TraceKind::kSvc, 100);
+  const u64 mark = trace.sequence();
+  EXPECT_EQ(mark, 1u);
+  trace.record(2, TraceKind::kHvc, 200);
+  trace.record(3, TraceKind::kIrq, 300);
+  const auto since = trace.since(mark);
+  ASSERT_EQ(since.size(), 2u);
+  EXPECT_EQ(since[0].a, 200u);
+  EXPECT_EQ(since[1].a, 300u);
+  // A mark at the current end selects nothing.
+  EXPECT_TRUE(trace.since(trace.sequence()).empty());
+}
+
+TEST(Trace, SinceClampsToRetainedWindow) {
+  Trace trace(4);
+  trace.set_enabled(true);
+  const u64 mark = trace.sequence();  // 0: everything after this
+  for (u64 i = 0; i < 10; ++i) trace.record(i, TraceKind::kCustom, i);
+  // Events 0..5 fell out of the ring; since() returns what survives.
+  const auto since = trace.since(mark);
+  ASSERT_EQ(since.size(), 4u);
+  EXPECT_EQ(since.front().a, 6u);
+  EXPECT_EQ(since.back().a, 9u);
+  // A mark inside the retained window is honoured exactly.
+  const auto tail = trace.since(8);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail.front().a, 8u);
 }
 
 TEST(Trace, CountsByKind) {

@@ -1,0 +1,149 @@
+// hypernel_fuzz — deterministic differential fuzzer for the Hypernel
+// simulation.
+//
+// Generates random operation sequences from a seed, executes each under
+// the whole configuration matrix (Native / KVM-guest / Hypernel, both
+// monitoring granularities, optional hardware-knob sweep), and checks the
+// two oracles after every step: differential functional equivalence and
+// Hypersec/monitor invariants.  Failures are shrunk to a minimal
+// reproducer, the failing step's machine trace is dumped, and a replay
+// command is printed.
+//
+//   hypernel_fuzz --seed=1 --sequences=50            # campaign
+//   hypernel_fuzz --seed=1 --sequences=50 --matrix=full
+//   hypernel_fuzz --replay=<sequence-seed> --ops=40  # one sequence
+//   hypernel_fuzz --inject-bypass ...                # prove the oracle bites
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "fuzz/fuzzer.h"
+
+namespace {
+
+using hn::fuzz::CampaignResult;
+using hn::fuzz::FuzzOptions;
+
+struct Options {
+  FuzzOptions fuzz;
+  std::optional<hn::u64> replay_seed;
+};
+
+std::optional<std::string> arg_value(const char* arg, const char* name) {
+  const size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+    return std::string(arg + n + 1);
+  }
+  return std::nullopt;
+}
+
+void usage() {
+  std::puts(
+      "usage: hypernel_fuzz [options]\n"
+      "  --seed=N          campaign master seed (default 1)\n"
+      "  --sequences=N     number of sequences to run (default 10)\n"
+      "  --ops=K           ops per sequence (default 40)\n"
+      "  --matrix=M        quick (default) or full hardware-knob sweep\n"
+      "  --replay=S        run the single sequence with sequence seed S\n"
+      "                    (as printed in a failure's replay line)\n"
+      "  --audit-stride=N  run Hypersec::audit() every N steps (default 1)\n"
+      "  --no-shrink       report original failing sequences unshrunk\n"
+      "  --no-attacks      generate no attack writes\n"
+      "  --no-forged       generate no forged-hypercall probes\n"
+      "  --inject-bypass   test hook: attack writes dodge the bus snooper\n"
+      "                    (the detection oracle must catch this)");
+}
+
+bool parse(int argc, char** argv, Options* opt) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    std::optional<std::string> v;
+    if ((v = arg_value(arg, "--seed"))) {
+      opt->fuzz.seed = std::strtoull(v->c_str(), nullptr, 0);
+    } else if ((v = arg_value(arg, "--sequences"))) {
+      opt->fuzz.sequences = std::strtoull(v->c_str(), nullptr, 0);
+    } else if ((v = arg_value(arg, "--ops"))) {
+      opt->fuzz.ops = std::strtoull(v->c_str(), nullptr, 0);
+    } else if ((v = arg_value(arg, "--matrix"))) {
+      if (*v == "full") {
+        opt->fuzz.full_matrix = true;
+      } else if (*v != "quick") {
+        std::fprintf(stderr, "unknown matrix '%s'\n", v->c_str());
+        return false;
+      }
+    } else if ((v = arg_value(arg, "--replay"))) {
+      opt->replay_seed = std::strtoull(v->c_str(), nullptr, 0);
+    } else if ((v = arg_value(arg, "--audit-stride"))) {
+      opt->fuzz.audit_stride =
+          static_cast<unsigned>(std::strtoul(v->c_str(), nullptr, 0));
+    } else if (std::strcmp(arg, "--no-shrink") == 0) {
+      opt->fuzz.shrink = false;
+    } else if (std::strcmp(arg, "--no-attacks") == 0) {
+      opt->fuzz.attacks = false;
+    } else if (std::strcmp(arg, "--no-forged") == 0) {
+      opt->fuzz.forged = false;
+    } else if (std::strcmp(arg, "--inject-bypass") == 0) {
+      opt->fuzz.inject_bypass = true;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      usage();
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg);
+      return false;
+    }
+  }
+  return true;
+}
+
+int replay(const Options& opt) {
+  const auto specs = hn::fuzz::build_matrix(opt.fuzz.full_matrix);
+  hn::fuzz::GeneratorOptions gen{.ops = opt.fuzz.ops,
+                                 .attacks = opt.fuzz.attacks,
+                                 .forged = opt.fuzz.forged};
+  hn::fuzz::ExecutorOptions exec{.inject_bypass = opt.fuzz.inject_bypass,
+                                 .audit_stride = opt.fuzz.audit_stride};
+  const auto ops = hn::fuzz::generate_sequence(*opt.replay_seed, gen);
+  std::printf("replaying sequence seed %llu (%zu ops, %zu configurations)\n",
+              static_cast<unsigned long long>(*opt.replay_seed), ops.size(),
+              specs.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    std::printf("  [%zu] %s\n", i, hn::fuzz::describe(ops[i]).c_str());
+  }
+  hn::fuzz::OracleReport report =
+      hn::fuzz::run_sequence_seed(*opt.replay_seed, gen, specs, exec);
+  if (report.ok()) {
+    std::puts("clean: all oracles passed");
+    return 0;
+  }
+  for (const std::string& finding : report.findings) {
+    std::printf("finding: %s\n", finding.c_str());
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, &opt)) {
+    usage();
+    return 2;
+  }
+  if (opt.replay_seed) return replay(opt);
+
+  std::printf("campaign: seed=%llu sequences=%llu ops=%llu matrix=%s%s\n",
+              static_cast<unsigned long long>(opt.fuzz.seed),
+              static_cast<unsigned long long>(opt.fuzz.sequences),
+              static_cast<unsigned long long>(opt.fuzz.ops),
+              opt.fuzz.full_matrix ? "full" : "quick",
+              opt.fuzz.inject_bypass ? " (bypass injected)" : "");
+  CampaignResult result = hn::fuzz::run_campaign(opt.fuzz, &std::cout);
+  std::printf("sequences: %llu  failures: %llu  corpus digest: %016llx\n",
+              static_cast<unsigned long long>(result.sequences_run),
+              static_cast<unsigned long long>(result.failures),
+              static_cast<unsigned long long>(result.corpus_digest));
+  return result.ok() ? 0 : 1;
+}
