@@ -1,12 +1,22 @@
 // Shared helpers for the benchmark harnesses: system construction per
-// evaluation configuration and paper-reference tables.
+// evaluation configuration, paper-reference tables, and the parallel
+// config-matrix driver.
+//
+// Every bench cell (one mode x benchmark x granularity point) builds its
+// own System — a fresh simulated universe — so cells fan out across
+// worker threads with run_cells() and land in a slot array in index
+// order: the printed tables are byte-identical at any --jobs value,
+// only wall-clock changes.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "exec/sharded_runner.h"
 #include "hypernel/system.h"
 
 namespace hn::bench {
@@ -43,6 +53,39 @@ inline std::unique_ptr<hypernel::System> make_monitor_system() {
 inline void print_rule(int width = 78) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
+}
+
+/// Parse --jobs=N from a bench's argv (default: hardware concurrency;
+/// --jobs=1 runs the cells sequentially on the main thread).  Unknown
+/// arguments are a usage error so typos don't silently run the default.
+inline unsigned parse_jobs(int argc, char** argv) {
+  unsigned jobs = 0;  // 0 = hardware concurrency
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      jobs = static_cast<unsigned>(std::strtoul(argv[i] + 7, nullptr, 0));
+    } else {
+      std::fprintf(stderr, "usage: %s [--jobs=N]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return jobs;
+}
+
+/// Run `fn(i)` for every cell i in [0, n) across `jobs` workers (0 =
+/// hardware concurrency), returning results in index order.  Wall time
+/// and per-worker stats go to stderr so table output stays clean.
+template <typename Result, typename Fn>
+std::vector<Result> run_cells(u64 n, unsigned jobs, Fn&& fn) {
+  exec::ShardOptions opt;
+  opt.jobs = jobs;
+  exec::ShardReport report;
+  std::vector<Result> results =
+      exec::run_sharded<Result>(n, std::forward<Fn>(fn), opt, &report);
+  std::fprintf(stderr, "bench exec: %llu cells, jobs=%u, wall=%.1fms\n",
+               static_cast<unsigned long long>(n),
+               jobs == 0 ? exec::ThreadPool::default_parallelism() : jobs,
+               report.wall_ms);
+  return results;
 }
 
 }  // namespace hn::bench

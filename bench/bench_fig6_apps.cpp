@@ -11,22 +11,29 @@
 #include "bench/bench_common.h"
 #include "workloads/apps.h"
 
-int main() {
+int main(int argc, char** argv) {
   using hn::hypernel::Mode;
   const char* kApps[] = {"whetstone", "dhrystone", "untar", "iozone", "apache"};
   constexpr int kAppCount = 5;
+  const unsigned jobs = hn::bench::parse_jobs(argc, argv);
 
-  double us[3][kAppCount];
+  // 3 modes x 5 apps = 15 independent cells; each gets a fresh system
+  // (no cross-benchmark cache/dcache pollution), so the whole matrix
+  // fans out across workers.
   const Mode modes[3] = {Mode::kNative, Mode::kKvmGuest, Mode::kHypernel};
+  const auto cells = hn::bench::run_cells<double>(
+      3 * kAppCount, jobs, [&](hn::u64 cell) {
+        const int m = static_cast<int>(cell) / kAppCount;
+        const int a = static_cast<int>(cell) % kAppCount;
+        auto sys = hn::bench::make_perf_system(modes[m]);
+        hn::workloads::AppParams p;
+        p.scale = 0.35;  // overhead ratios are scale-invariant; keep runs fast
+        return hn::workloads::run_app_by_name(*sys, kApps[a], p).us;
+      });
+  double us[3][kAppCount];
   for (int m = 0; m < 3; ++m) {
     for (int a = 0; a < kAppCount; ++a) {
-      // Fresh system per run: no cross-benchmark cache/dcache pollution.
-      auto sys = hn::bench::make_perf_system(modes[m]);
-      hn::workloads::AppParams p;
-      p.scale = 0.35;  // overhead ratios are scale-invariant; keep runs fast
-      const hn::workloads::AppResult r =
-          hn::workloads::run_app_by_name(*sys, kApps[a], p);
-      us[m][a] = r.us;
+      us[m][a] = cells[static_cast<size_t>(m) * kAppCount + a];
     }
   }
 

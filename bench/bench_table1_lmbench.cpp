@@ -36,17 +36,22 @@ constexpr PaperRow kPaper[] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using hn::hypernel::Mode;
   constexpr unsigned kIterations = 64;
+  const unsigned jobs = hn::bench::parse_jobs(argc, argv);
 
-  std::vector<hn::workloads::LmbenchResult> results[3];
+  // One cell per mode; each builds its own System, so the three columns
+  // fan out across workers and merge in mode order.
   const Mode modes[3] = {Mode::kNative, Mode::kKvmGuest, Mode::kHypernel};
-  for (int m = 0; m < 3; ++m) {
-    auto sys = hn::bench::make_perf_system(modes[m]);
-    hn::workloads::LmbenchSuite suite(*sys, kIterations);
-    results[m] = suite.run_all();
-  }
+  const auto cells =
+      hn::bench::run_cells<std::vector<hn::workloads::LmbenchResult>>(
+          3, jobs, [&](hn::u64 m) {
+            auto sys = hn::bench::make_perf_system(modes[m]);
+            hn::workloads::LmbenchSuite suite(*sys, kIterations);
+            return suite.run_all();
+          });
+  const std::vector<hn::workloads::LmbenchResult>* results = cells.data();
 
   std::printf("Table 1: Execution time of kernel operations (us)\n");
   std::printf("%u iterations per operation; paper values in parentheses\n\n",

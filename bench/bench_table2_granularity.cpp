@@ -43,7 +43,20 @@ hn::u64 run_with_monitor(const char* app, hn::secapps::Granularity granularity) 
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned jobs = hn::bench::parse_jobs(argc, argv);
+  constexpr int kRows = 5;
+
+  // 5 benchmarks x 2 granularities = 10 independent monitored systems.
+  const auto cells = hn::bench::run_cells<hn::u64>(
+      2 * kRows, jobs, [&](hn::u64 cell) {
+        const PaperRow& row = kPaper[cell / 2];
+        return run_with_monitor(
+            row.name, cell % 2 == 0
+                          ? hn::secapps::Granularity::kWholeObject
+                          : hn::secapps::Granularity::kSensitiveFields);
+      });
+
   std::printf("Table 2: number of trap events (MBM interrupts) while\n");
   std::printf("monitoring cred+dentry objects during each benchmark\n\n");
   std::printf("%-12s %16s %22s %8s | %16s %16s\n", "benchmark", "page-gran",
@@ -53,11 +66,10 @@ int main() {
   double ratio_sum = 0;
   hn::u64 total_page = 0;
   hn::u64 total_word = 0;
-  for (const PaperRow& row : kPaper) {
-    const hn::u64 page =
-        run_with_monitor(row.name, hn::secapps::Granularity::kWholeObject);
-    const hn::u64 word =
-        run_with_monitor(row.name, hn::secapps::Granularity::kSensitiveFields);
+  for (int r = 0; r < kRows; ++r) {
+    const PaperRow& row = kPaper[r];
+    const hn::u64 page = cells[static_cast<size_t>(r) * 2];
+    const hn::u64 word = cells[static_cast<size_t>(r) * 2 + 1];
     const double ratio = page == 0 ? 0 : 100.0 * word / page;
     ratio_sum += ratio;
     total_page += page;

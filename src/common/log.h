@@ -1,5 +1,9 @@
-// Minimal leveled logger.  Deliberately not thread-aware: the simulation is
-// single-threaded by design (determinism requirement, DESIGN.md §3.5).
+// Minimal leveled logger.  The simulation itself stays single-threaded
+// by design (determinism requirement, DESIGN.md §3.5), but campaign
+// workers (src/exec) run one simulation per thread and all read the
+// global threshold, so the level is stored atomically; emission goes
+// through one stderr fprintf call per line, which the libc stream lock
+// keeps from interleaving mid-line.
 #pragma once
 
 #include <cstdio>

@@ -1,0 +1,41 @@
+// Host-side monotonic stopwatch for harness throughput stats.
+//
+// Measures *real* wall time on the machine running the tools — never
+// simulated time (that is TimingModel's job, timing.h).  Used by the
+// execution layer's per-worker/per-run stats; results never feed back
+// into simulation state, so timing stays out of the determinism
+// contract.
+#pragma once
+
+#include <chrono>
+
+#include "common/types.h"
+
+namespace hn {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  [[nodiscard]] u64 elapsed_ns() const {
+    return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                Clock::now() - start_)
+                                .count());
+  }
+
+  [[nodiscard]] double elapsed_ms() const {
+    return static_cast<double>(elapsed_ns()) / 1e6;
+  }
+
+  [[nodiscard]] double elapsed_s() const {
+    return static_cast<double>(elapsed_ns()) / 1e9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hn

@@ -1,0 +1,102 @@
+// Bounded MPMC queue: the job channel of the execution layer.
+//
+// Producers block while the queue is full (backpressure bounds the
+// memory a campaign submitter can commit ahead of the workers) and
+// consumers block while it is empty.  `close()` wakes everyone: pushes
+// start failing immediately, pops keep draining what was accepted and
+// then fail — a closed queue therefore guarantees every accepted job is
+// either popped or discarded by `drain()`, never silently lost.
+//
+// Plain mutex + two condition variables.  The payloads here are whole
+// fuzz sequences or bench cells (milliseconds of simulation each), so
+// lock-free cleverness would buy nothing and cost TSan-auditable
+// simplicity.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/types.h"
+
+namespace hn::exec {
+
+template <typename T>
+class BoundedMpmcQueue {
+ public:
+  explicit BoundedMpmcQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedMpmcQueue(const BoundedMpmcQueue&) = delete;
+  BoundedMpmcQueue& operator=(const BoundedMpmcQueue&) = delete;
+
+  /// Blocks until there is room or the queue is closed.  Returns false
+  /// (dropping `item`) once closed.
+  bool push(T item) {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and empty.
+  std::optional<T> pop() {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Stop accepting new items; pending items remain poppable.
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  /// Discard every queued-but-unstarted item (cooperative cancellation).
+  /// Returns how many were dropped.
+  size_t drain() {
+    size_t dropped = 0;
+    {
+      std::lock_guard lock(mu_);
+      dropped = items_.size();
+      items_.clear();
+    }
+    not_full_.notify_all();
+    return dropped;
+  }
+
+  [[nodiscard]] size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace hn::exec

@@ -1,0 +1,159 @@
+// ShardedRunner: deterministic fan-out of an index space [0, N).
+//
+// The determinism contract (DESIGN.md §8): every index is an independent
+// universe — the caller's `fn(index)` builds whatever state it needs
+// (one sim::Machine per job, no shared mutable simulation state) and
+// returns a value that is a pure function of the index.  The runner
+// writes each result into a pre-sized slot array at its own index, so
+// the merged output is byte-identical to the sequential loop
+//
+//   for (u64 i = 0; i < n; ++i) out[i] = fn(i);
+//
+// regardless of worker count, scheduling order, or machine load.
+// Parallelism changes wall-clock only, never results.
+//
+// Cooperative cancellation: with `fail_fast`, the first index whose
+// result satisfies `failed` flips a shared token; indices not yet
+// started are skipped (their slots keep the default-constructed value
+// and are reported in `indices_skipped`).  Because shards are submitted
+// in index order over a FIFO queue, the started set is always a prefix
+// plus the currently-running shards — every index below the lowest
+// failing one is guaranteed to have a valid result.
+//
+// Exceptions: if `fn` throws, the runner records the exception with the
+// lowest index among those observed, cancels the remaining work, and
+// rethrows after the run drains.  No result is partially merged.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <latch>
+#include <mutex>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "common/types.h"
+#include "exec/thread_pool.h"
+
+namespace hn::exec {
+
+struct ShardOptions {
+  /// Worker threads; 0 = ThreadPool::default_parallelism().  With 1 the
+  /// runner degenerates to the plain sequential loop on the calling
+  /// thread — no pool, no queue, today's exact behaviour.
+  unsigned jobs = 1;
+  /// Indices per submitted job.  1 maximizes load balance; larger shards
+  /// amortize queue traffic when fn is very cheap.
+  u64 shard_size = 1;
+  /// Stop scheduling new indices once any result satisfies `failed`.
+  bool fail_fast = false;
+};
+
+struct ShardReport {
+  u64 indices_total = 0;
+  u64 indices_run = 0;
+  u64 indices_skipped = 0;  // skipped by fail-fast/exception cancellation
+  bool cancelled = false;
+  double wall_ms = 0;
+  /// Per-worker counters for this run (empty when jobs == 1).
+  std::vector<WorkerStats> workers;
+};
+
+/// Run `fn(i)` for every i in [0, n), results in index order.  `failed`
+/// maps a result to "this index failed" for fail-fast.  Result must be
+/// default-constructible (skipped slots keep the default value).
+template <typename Result, typename Fn, typename FailFn>
+  requires std::is_invocable_r_v<bool, FailFn&, const Result&>
+std::vector<Result> run_sharded(u64 n, Fn&& fn, FailFn&& failed,
+                                const ShardOptions& opt = {},
+                                ShardReport* report = nullptr) {
+  std::vector<Result> results(n);
+  ShardReport local;
+  local.indices_total = n;
+  Stopwatch watch;
+
+  const unsigned jobs =
+      opt.jobs == 0 ? ThreadPool::default_parallelism() : opt.jobs;
+  if (jobs == 1 || n <= 1) {
+    for (u64 i = 0; i < n; ++i) {
+      results[i] = fn(i);
+      ++local.indices_run;
+      if (opt.fail_fast && failed(results[i])) {
+        local.cancelled = true;
+        local.indices_skipped = n - i - 1;
+        break;
+      }
+    }
+    local.wall_ms = watch.elapsed_ms();
+    if (report != nullptr) *report = local;
+    return results;
+  }
+
+  const u64 shard = opt.shard_size == 0 ? 1 : opt.shard_size;
+  const u64 num_shards = (n + shard - 1) / shard;
+  std::latch done(static_cast<std::ptrdiff_t>(num_shards));
+  std::atomic<bool> cancel{false};
+  std::atomic<u64> run_count{0};
+  std::atomic<u64> skip_count{0};
+
+  std::mutex err_mu;
+  std::exception_ptr first_err;
+  u64 first_err_index = ~0ull;
+
+  {
+    ThreadPool pool(jobs, /*queue_capacity=*/2 * jobs);
+    for (u64 lo = 0; lo < n; lo += shard) {
+      const u64 hi = lo + shard < n ? lo + shard : n;
+      pool.submit([&, lo, hi] {
+        for (u64 i = lo; i < hi; ++i) {
+          if (cancel.load(std::memory_order_acquire)) {
+            skip_count.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          try {
+            results[i] = fn(i);
+          } catch (...) {
+            std::lock_guard lock(err_mu);
+            if (!first_err || i < first_err_index) {
+              first_err = std::current_exception();
+              first_err_index = i;
+            }
+            cancel.store(true, std::memory_order_release);
+            skip_count.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          run_count.fetch_add(1, std::memory_order_relaxed);
+          if (opt.fail_fast && failed(results[i])) {
+            cancel.store(true, std::memory_order_release);
+          }
+        }
+        done.count_down();
+      });
+    }
+    done.wait();
+    pool.close();
+    local.workers = pool.stats();
+  }
+
+  local.indices_run = run_count.load(std::memory_order_relaxed);
+  local.indices_skipped = skip_count.load(std::memory_order_relaxed);
+  local.cancelled = cancel.load(std::memory_order_relaxed);
+  local.wall_ms = watch.elapsed_ms();
+  if (report != nullptr) *report = local;
+  if (first_err) std::rethrow_exception(first_err);
+  return results;
+}
+
+/// Convenience overload: no failure predicate (fail_fast inert).
+template <typename Result, typename Fn>
+std::vector<Result> run_sharded(u64 n, Fn&& fn, const ShardOptions& opt = {},
+                                ShardReport* report = nullptr) {
+  return run_sharded<Result>(
+      n, std::forward<Fn>(fn), [](const Result&) { return false; }, opt,
+      report);
+}
+
+}  // namespace hn::exec

@@ -1,0 +1,87 @@
+#include "exec/thread_pool.h"
+
+#include <chrono>
+
+namespace hn::exec {
+
+unsigned ThreadPool::default_parallelism() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned workers, size_t queue_capacity)
+    : queue_(queue_capacity != 0
+                 ? queue_capacity
+                 : 2 * static_cast<size_t>(
+                           workers == 0 ? default_parallelism() : workers)) {
+  const unsigned n = workers == 0 ? default_parallelism() : workers;
+  slots_.reserve(n);
+  threads_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    slots_.push_back(std::make_unique<WorkerSlot>());
+  }
+  for (unsigned i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { worker_main(slots_[i].get()); });
+  }
+}
+
+ThreadPool::~ThreadPool() { close(); }
+
+bool ThreadPool::submit(std::function<void()> job) {
+  if (cancelled_.load(std::memory_order_relaxed)) return false;
+  return queue_.push(std::move(job));
+}
+
+void ThreadPool::close() {
+  std::lock_guard lock(join_mu_);
+  queue_.close();
+  if (joined_) return;
+  joined_ = true;
+  for (std::thread& t : threads_) t.join();
+}
+
+size_t ThreadPool::cancel() {
+  cancelled_.store(true, std::memory_order_relaxed);
+  queue_.close();
+  const size_t dropped = queue_.drain();
+  close();
+  return dropped;
+}
+
+std::exception_ptr ThreadPool::take_exception() {
+  std::lock_guard lock(err_mu_);
+  std::exception_ptr err = first_error_;
+  first_error_ = nullptr;
+  return err;
+}
+
+std::vector<WorkerStats> ThreadPool::stats() const {
+  std::vector<WorkerStats> out;
+  out.reserve(slots_.size());
+  for (const auto& slot : slots_) {
+    out.push_back({slot->jobs.load(std::memory_order_relaxed),
+                   slot->busy_ns.load(std::memory_order_relaxed)});
+  }
+  return out;
+}
+
+void ThreadPool::worker_main(WorkerSlot* slot) {
+  using Clock = std::chrono::steady_clock;
+  while (std::optional<std::function<void()>> job = queue_.pop()) {
+    const Clock::time_point start = Clock::now();
+    try {
+      (*job)();
+    } catch (...) {
+      std::lock_guard lock(err_mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    const u64 ns = static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start)
+            .count());
+    slot->jobs.fetch_add(1, std::memory_order_relaxed);
+    slot->busy_ns.fetch_add(ns, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace hn::exec

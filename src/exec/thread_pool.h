@@ -1,0 +1,99 @@
+// Fixed-size worker pool over a bounded MPMC job queue.
+//
+// The pool runs opaque `std::function<void()>` jobs; everything the
+// execution layer promises about determinism lives one level up in
+// ShardedRunner (sharded_runner.h), which owns where results land.  The
+// pool's own contract is narrower:
+//
+//   * submit() blocks when the queue is full (bounded producer lead);
+//   * close() stops intake, lets queued jobs drain, and joins;
+//   * cancel() stops intake AND discards queued-but-unstarted jobs —
+//     jobs already running always finish (cooperative cancellation:
+//     long jobs poll their own token, the pool never kills a thread);
+//   * a job that leaks an exception is caught and the first such
+//     exception is kept for take_exception(); the worker survives;
+//   * per-worker stats (jobs run, busy wall-time) are collected with
+//     relaxed atomics so they can be snapshotted while workers run.
+#pragma once
+
+#include <atomic>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+#include "exec/queue.h"
+
+namespace hn::exec {
+
+/// Snapshot of one worker's lifetime counters.
+struct WorkerStats {
+  u64 jobs = 0;     // jobs completed (including ones that threw)
+  u64 busy_ns = 0;  // wall-time spent inside jobs
+};
+
+class ThreadPool {
+ public:
+  /// `workers` threads; 0 means default_parallelism().  `queue_capacity`
+  /// bounds submitted-but-unstarted jobs; 0 means 2x workers.
+  explicit ThreadPool(unsigned workers = 0, size_t queue_capacity = 0);
+  ~ThreadPool();  // close() + join
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a job.  Blocks while the queue is full.  Returns false once
+  /// the pool is closed or cancelled (the job is dropped).
+  bool submit(std::function<void()> job);
+
+  /// Stop intake, run every already-queued job, join the workers.
+  /// Idempotent; implied by the destructor.
+  void close();
+
+  /// Stop intake and discard queued-but-unstarted jobs.  Running jobs
+  /// finish normally.  Returns the number of jobs dropped.  The pool is
+  /// closed afterwards (workers exit once running jobs complete).
+  size_t cancel();
+
+  [[nodiscard]] bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Jobs submitted but not yet picked up by a worker (snapshot).
+  [[nodiscard]] size_t pending() const { return queue_.size(); }
+
+  /// First exception a job leaked, or nullptr.  Stable after close().
+  [[nodiscard]] std::exception_ptr take_exception();
+
+  [[nodiscard]] unsigned workers() const {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+  /// Per-worker counters; safe to call while workers run (snapshot).
+  [[nodiscard]] std::vector<WorkerStats> stats() const;
+
+  /// std::thread::hardware_concurrency(), clamped to at least 1.
+  [[nodiscard]] static unsigned default_parallelism();
+
+ private:
+  struct WorkerSlot {
+    std::atomic<u64> jobs{0};
+    std::atomic<u64> busy_ns{0};
+  };
+
+  void worker_main(WorkerSlot* slot);
+
+  BoundedMpmcQueue<std::function<void()>> queue_;
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> cancelled_{false};
+  bool joined_ = false;
+  std::mutex join_mu_;  // serializes close()/cancel() callers
+
+  std::mutex err_mu_;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace hn::exec

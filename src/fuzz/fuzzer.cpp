@@ -1,7 +1,9 @@
 #include "fuzz/fuzzer.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "exec/sharded_runner.h"
 #include "fuzz/shrink.h"
 
 namespace hn::fuzz {
@@ -104,6 +106,41 @@ OracleReport run_sequence_seed(u64 sequence_seed, const GeneratorOptions& gen,
   return check_ops(ops, specs, exec, runs);
 }
 
+namespace {
+
+/// Everything one worker produces for one sequence index.  The heavy
+/// work (generation + the whole configuration matrix + oracles) happens
+/// in the worker; only digest words and the failure evidence cross back
+/// to the merging thread.
+struct SequenceOutcome {
+  bool evaluated = false;  // false only for shards skipped by fail-fast
+  u64 seq_seed = 0;
+  std::vector<Op> ops;
+  OracleReport report;
+  /// (functional_hash, cycles) of every run, matrix order.
+  std::vector<std::pair<u64, u64>> run_digests;
+};
+
+SequenceOutcome evaluate_sequence(u64 index, const FuzzOptions& options,
+                                  const GeneratorOptions& gen,
+                                  std::span<const FuzzConfigSpec> specs,
+                                  const ExecutorOptions& exec) {
+  SequenceOutcome out;
+  out.seq_seed = sequence_seed(options.seed, index);
+  out.ops = generate_sequence(out.seq_seed, gen);
+  std::vector<RunResult> runs;
+  out.report = check_ops(out.ops, specs, exec, &runs);
+  out.run_digests.reserve(runs.size());
+  for (const RunResult& run : runs) {
+    out.run_digests.emplace_back(run.fingerprint.functional_hash(),
+                                 run.fingerprint.cycles);
+  }
+  out.evaluated = true;
+  return out;
+}
+
+}  // namespace
+
 CampaignResult run_campaign(const FuzzOptions& options, std::ostream* log) {
   const std::vector<FuzzConfigSpec> specs = build_matrix(options.full_matrix);
   GeneratorOptions gen{.ops = options.ops,
@@ -112,20 +149,51 @@ CampaignResult run_campaign(const FuzzOptions& options, std::ostream* log) {
   ExecutorOptions exec{.inject_bypass = options.inject_bypass,
                        .audit_stride = options.audit_stride};
 
+  // Fan the sequences out: each index is an independent universe (its
+  // seed comes from the index alone), so any worker count produces the
+  // same slot array.  jobs == 1 degenerates to the plain sequential
+  // loop inside run_sharded.
+  exec::ShardOptions shard;
+  shard.jobs = options.jobs == 0 ? exec::ThreadPool::default_parallelism()
+                                 : options.jobs;
+  shard.fail_fast = options.fail_fast;
+  exec::ShardReport shard_report;
+  std::vector<SequenceOutcome> outcomes = exec::run_sharded<SequenceOutcome>(
+      options.sequences,
+      [&](u64 index) {
+        return evaluate_sequence(index, options, gen, specs, exec);
+      },
+      [](const SequenceOutcome& o) { return !o.report.ok(); }, shard,
+      &shard_report);
+
   CampaignResult result;
   result.corpus_digest = hypernel::kFnvOffset;
-  for (u64 index = 0; index < options.sequences; ++index) {
-    const u64 seq_seed = sequence_seed(options.seed, index);
-    const std::vector<Op> ops = generate_sequence(seq_seed, gen);
-    std::vector<RunResult> runs;
-    OracleReport report = check_ops(ops, specs, exec, &runs);
+  result.exec.jobs = shard.jobs;
+  result.exec.wall_ms = shard_report.wall_ms;
+  result.exec.sequences_skipped = shard_report.indices_skipped;
+  result.exec.workers = shard_report.workers;
+
+  // Merge in index order on this thread.  Every statement below sees
+  // exactly what the old sequential loop saw, so logs, digests and
+  // failure details are byte-identical at any job count.
+  for (u64 index = 0; index < outcomes.size(); ++index) {
+    // Unevaluated slots form a suffix and only exist under fail-fast
+    // (shards are submitted in index order over a FIFO queue, so every
+    // index below the lowest failure has a result).
+    if (!outcomes[index].evaluated) break;
+    const u64 seq_seed = outcomes[index].seq_seed;
+    const std::vector<Op>& ops = outcomes[index].ops;
+    OracleReport report = outcomes[index].report;
     ++result.sequences_run;
-    for (const RunResult& run : runs) {
-      result.corpus_digest = hypernel::fnv_fold(
-          result.corpus_digest, run.fingerprint.functional_hash());
-      result.corpus_digest =
-          hypernel::fnv_fold(result.corpus_digest, run.fingerprint.cycles);
+    u64 seq_digest = hypernel::kFnvOffset;
+    for (const auto& [hash, cycles] : outcomes[index].run_digests) {
+      result.corpus_digest = hypernel::fnv_fold(result.corpus_digest, hash);
+      result.corpus_digest = hypernel::fnv_fold(result.corpus_digest, cycles);
+      seq_digest = hypernel::fnv_fold(hypernel::fnv_fold(seq_digest, hash),
+                                      cycles);
     }
+    result.sequence_digests.push_back(seq_digest);
+    result.sequence_verdicts.push_back(report.ok() ? 0 : 1);
     if (report.ok()) {
       if (log != nullptr && (index + 1) % 10 == 0) {
         *log << "  " << (index + 1) << "/" << options.sequences
@@ -135,7 +203,10 @@ CampaignResult run_campaign(const FuzzOptions& options, std::ostream* log) {
     }
 
     ++result.failures;
-    if (result.failure_details.size() >= options.max_failures) continue;
+    if (result.failure_details.size() >= options.max_failures) {
+      if (options.fail_fast) break;
+      continue;
+    }
 
     SequenceFailure failure;
     failure.index = index;
@@ -198,6 +269,7 @@ CampaignResult run_campaign(const FuzzOptions& options, std::ostream* log) {
       }
       *log << "  replay: " << f.replay << "\n";
     }
+    if (options.fail_fast) break;
   }
   return result;
 }

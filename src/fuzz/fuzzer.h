@@ -7,12 +7,20 @@
 // twice to pin determinism), and evaluates both oracles.  On failure it
 // shrinks to a minimal reproducer, captures the failing step's machine
 // trace, and renders the replay command.
+//
+// Sequences are independent universes (one sim::Machine per run, seed
+// derived from the index), so evaluation fans out across `jobs` worker
+// threads via exec::run_sharded; results merge on the calling thread in
+// index order, which keeps every output — log lines, digests, failure
+// details, summary counts — byte-identical at any job count.  Shrinking
+// and trace capture always happen on the merging thread.
 #pragma once
 
 #include <ostream>
 #include <string>
 #include <vector>
 
+#include "exec/thread_pool.h"
 #include "fuzz/executor.h"
 #include "fuzz/generator.h"
 #include "fuzz/oracles.h"
@@ -36,6 +44,13 @@ struct FuzzOptions {
   bool inject_bypass = false;  // test-only verifier-bypass hook
   unsigned audit_stride = 1;
   u64 max_failures = 3;  // stop collecting details after this many
+  /// Worker threads evaluating sequences.  1 (the library default) runs
+  /// everything on the calling thread; 0 means hardware concurrency.
+  /// The job count never changes results, only wall-clock.
+  unsigned jobs = 1;
+  /// Stop the campaign at the first failing sequence (cooperative
+  /// cancellation of the remaining shards).
+  bool fail_fast = false;
 };
 
 struct SequenceFailure {
@@ -50,6 +65,16 @@ struct SequenceFailure {
   std::string replay;              // command line reproducing the failure
 };
 
+/// Host-side execution stats of one campaign (wall time, per-worker
+/// throughput).  Reporting only — never part of the determinism
+/// contract, so tools print it to stderr.
+struct CampaignExecStats {
+  unsigned jobs = 1;  // resolved worker count actually used
+  double wall_ms = 0;
+  u64 sequences_skipped = 0;  // skipped by --fail-fast cancellation
+  std::vector<exec::WorkerStats> workers;  // empty when jobs == 1
+};
+
 struct CampaignResult {
   u64 sequences_run = 0;
   u64 failures = 0;
@@ -57,7 +82,13 @@ struct CampaignResult {
   /// campaigns with equal options must produce equal digests (the
   /// determinism contract `--seed=N` promises).
   u64 corpus_digest = 0;
+  /// Per-sequence digests and verdicts (1 = failed), index-ordered.
+  /// Equal options must produce equal vectors at any `jobs` value — the
+  /// cross-thread determinism regression test pins exactly this.
+  std::vector<u64> sequence_digests;
+  std::vector<u8> sequence_verdicts;
   std::vector<SequenceFailure> failure_details;
+  CampaignExecStats exec;
 
   [[nodiscard]] bool ok() const { return failures == 0; }
 };

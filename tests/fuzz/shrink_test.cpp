@@ -1,0 +1,149 @@
+// Direct unit tests for the ddmin shrinker (src/fuzz/shrink.*) against
+// synthetic predicates.  Until now the shrinker was only exercised
+// indirectly through whole-campaign runs; these tests pin its contract
+// in isolation: the result still fails, is 1-minimal (no single op can
+// be dropped), is deterministic, and degenerate inputs (already
+// minimal, everything fails) behave sanely under the probe budget.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "fuzz/shrink.h"
+
+namespace hn::fuzz {
+namespace {
+
+/// A sequence of marker ops: `a` carries the original index so a
+/// predicate can express "fails iff markers X and Y both survive".
+std::vector<Op> marker_ops(u64 n) {
+  std::vector<Op> ops(n);
+  for (u64 i = 0; i < n; ++i) {
+    ops[i].kind = OpKind::kStat;
+    ops[i].a = i;
+  }
+  return ops;
+}
+
+std::set<u64> markers(std::span<const Op> ops) {
+  std::set<u64> out;
+  for (const Op& op : ops) out.insert(op.a);
+  return out;
+}
+
+/// Fails iff every marker in `needed` is present.
+FailPredicate needs_all(std::set<u64> needed) {
+  return [needed = std::move(needed)](std::span<const Op> candidate) {
+    const std::set<u64> present = markers(candidate);
+    return std::all_of(needed.begin(), needed.end(),
+                       [&](u64 m) { return present.count(m) != 0; });
+  };
+}
+
+/// Assert `ops` is 1-minimal under `fails`: dropping any single op
+/// makes the failure disappear.
+void expect_one_minimal(const std::vector<Op>& ops, const FailPredicate& fails) {
+  ASSERT_TRUE(fails(ops));
+  for (size_t skip = 0; skip < ops.size(); ++skip) {
+    std::vector<Op> without;
+    for (size_t i = 0; i < ops.size(); ++i) {
+      if (i != skip) without.push_back(ops[i]);
+    }
+    EXPECT_FALSE(fails(without))
+        << "dropping op " << skip << " should have removed the failure";
+  }
+}
+
+TEST(Shrink, ReducesToTheExactFailureCore) {
+  const FailPredicate fails = needs_all({3, 7, 29});
+  ShrinkStats stats;
+  const std::vector<Op> minimal =
+      shrink(marker_ops(40), fails, /*max_probes=*/1000, &stats);
+  EXPECT_EQ(markers(minimal), (std::set<u64>{3, 7, 29}));
+  EXPECT_EQ(minimal.size(), 3u);
+  EXPECT_EQ(stats.ops_removed, 37u);
+  EXPECT_GT(stats.probes, 0u);
+  expect_one_minimal(minimal, fails);
+}
+
+TEST(Shrink, ResultIsOneMinimalForScatteredCore) {
+  // Markers at both ends and the middle: chunk deletion must not get
+  // stuck keeping unrelated neighbours alive.
+  const FailPredicate fails = needs_all({0, 19, 39});
+  const std::vector<Op> minimal =
+      shrink(marker_ops(40), fails, /*max_probes=*/2000);
+  expect_one_minimal(minimal, fails);
+  EXPECT_EQ(minimal.size(), 3u);
+}
+
+TEST(Shrink, DeterministicAcrossRuns) {
+  const FailPredicate fails = needs_all({5, 6, 21, 34});
+  const std::vector<Op> first = shrink(marker_ops(48), fails);
+  const std::vector<Op> second = shrink(marker_ops(48), fails);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].a, second[i].a);
+    EXPECT_EQ(first[i].kind, second[i].kind);
+  }
+}
+
+TEST(Shrink, AlreadyMinimalSequenceIsUntouched) {
+  const FailPredicate fails = needs_all({0, 1});
+  ShrinkStats stats;
+  const std::vector<Op> minimal =
+      shrink(marker_ops(2), fails, /*max_probes=*/100, &stats);
+  EXPECT_EQ(minimal.size(), 2u);
+  EXPECT_EQ(stats.ops_removed, 0u);
+  EXPECT_GT(stats.probes, 0u);  // it still had to try
+}
+
+TEST(Shrink, SingleOpFailingSequenceStays) {
+  const FailPredicate always = [](std::span<const Op>) { return true; };
+  // A single op where even the empty sequence fails: ddmin deletes it.
+  const std::vector<Op> minimal = shrink(marker_ops(1), always);
+  EXPECT_TRUE(minimal.empty());
+
+  // A single op that is actually required survives.
+  const std::vector<Op> kept = shrink(marker_ops(1), needs_all({0}));
+  EXPECT_EQ(kept.size(), 1u);
+}
+
+TEST(Shrink, AllFailingPredicateShrinksToEmpty) {
+  // When the failure does not depend on the ops at all (e.g. a
+  // config-level bug), the minimal reproducer is the empty sequence.
+  const FailPredicate always = [](std::span<const Op>) { return true; };
+  ShrinkStats stats;
+  const std::vector<Op> minimal =
+      shrink(marker_ops(64), always, /*max_probes=*/1000, &stats);
+  EXPECT_TRUE(minimal.empty());
+  EXPECT_EQ(stats.ops_removed, 64u);
+}
+
+TEST(Shrink, RespectsProbeBudget) {
+  // An adversarial predicate that only lets single-op deletions
+  // through forces ~O(n) probes per pass; a tiny budget must bound the
+  // work and still return a valid failing sequence.
+  const FailPredicate fails = [](std::span<const Op> candidate) {
+    return candidate.size() >= 30;  // any 30 survivors still "fail"
+  };
+  ShrinkStats stats;
+  const std::vector<Op> out =
+      shrink(marker_ops(256), fails, /*max_probes=*/10, &stats);
+  EXPECT_LE(stats.probes, 10u);
+  EXPECT_TRUE(fails(out));  // never returns a passing sequence
+}
+
+TEST(Shrink, StatsAccountRemovedOps) {
+  const FailPredicate fails = needs_all({10});
+  ShrinkStats stats;
+  const std::vector<Op> minimal =
+      shrink(marker_ops(32), fails, /*max_probes=*/1000, &stats);
+  EXPECT_EQ(minimal.size(), 1u);
+  EXPECT_EQ(minimal[0].a, 10u);
+  EXPECT_EQ(stats.ops_removed, 31u);
+}
+
+}  // namespace
+}  // namespace hn::fuzz

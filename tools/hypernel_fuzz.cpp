@@ -9,7 +9,13 @@
 // reproducer, the failing step's machine trace is dumped, and a replay
 // command is printed.
 //
+// Campaigns fan sequences across --jobs worker threads (default: all
+// hardware threads); results merge in index order, so stdout — progress
+// lines, failure reports, the summary — is byte-identical at any job
+// count.  Host-side throughput stats go to stderr.
+//
 //   hypernel_fuzz --seed=1 --sequences=50            # campaign
+//   hypernel_fuzz --seed=1 --sequences=50 --jobs=4   # same output, faster
 //   hypernel_fuzz --seed=1 --sequences=50 --matrix=full
 //   hypernel_fuzz --replay=<sequence-seed> --ops=40  # one sequence
 //   hypernel_fuzz --inject-bypass ...                # prove the oracle bites
@@ -50,6 +56,10 @@ void usage() {
       "  --replay=S        run the single sequence with sequence seed S\n"
       "                    (as printed in a failure's replay line)\n"
       "  --audit-stride=N  run Hypersec::audit() every N steps (default 1)\n"
+      "  --jobs=N          worker threads for sequence evaluation (default:\n"
+      "                    hardware concurrency; 1 = fully sequential).\n"
+      "                    Never changes output, only wall-clock\n"
+      "  --fail-fast       cancel the campaign at the first failing sequence\n"
       "  --no-shrink       report original failing sequences unshrunk\n"
       "  --no-attacks      generate no attack writes\n"
       "  --no-forged       generate no forged-hypercall probes\n"
@@ -79,6 +89,11 @@ bool parse(int argc, char** argv, Options* opt) {
     } else if ((v = arg_value(arg, "--audit-stride"))) {
       opt->fuzz.audit_stride =
           static_cast<unsigned>(std::strtoul(v->c_str(), nullptr, 0));
+    } else if ((v = arg_value(arg, "--jobs"))) {
+      opt->fuzz.jobs =
+          static_cast<unsigned>(std::strtoul(v->c_str(), nullptr, 0));
+    } else if (std::strcmp(arg, "--fail-fast") == 0) {
+      opt->fuzz.fail_fast = true;
     } else if (std::strcmp(arg, "--no-shrink") == 0) {
       opt->fuzz.shrink = false;
     } else if (std::strcmp(arg, "--no-attacks") == 0) {
@@ -128,6 +143,7 @@ int replay(const Options& opt) {
 
 int main(int argc, char** argv) {
   Options opt;
+  opt.fuzz.jobs = 0;  // CLI default: hardware concurrency (library: 1)
   if (!parse(argc, argv, &opt)) {
     usage();
     return 2;
@@ -141,6 +157,23 @@ int main(int argc, char** argv) {
               opt.fuzz.full_matrix ? "full" : "quick",
               opt.fuzz.inject_bypass ? " (bypass injected)" : "");
   CampaignResult result = hn::fuzz::run_campaign(opt.fuzz, &std::cout);
+  // Host-side execution stats go to stderr: stdout stays byte-identical
+  // across --jobs values (the determinism contract the CI pins).
+  const hn::fuzz::CampaignExecStats& exec = result.exec;
+  std::fprintf(stderr, "exec: jobs=%u wall=%.1fms throughput=%.1f seq/s%s\n",
+               exec.jobs, exec.wall_ms,
+               exec.wall_ms > 0
+                   ? 1000.0 * static_cast<double>(result.sequences_run) /
+                         exec.wall_ms
+                   : 0.0,
+               opt.fuzz.fail_fast && exec.sequences_skipped > 0
+                   ? " (fail-fast cancelled)"
+                   : "");
+  for (size_t w = 0; w < exec.workers.size(); ++w) {
+    std::fprintf(stderr, "  worker %zu: %llu jobs, busy %.1fms\n", w,
+                 static_cast<unsigned long long>(exec.workers[w].jobs),
+                 static_cast<double>(exec.workers[w].busy_ns) / 1e6);
+  }
   std::printf("sequences: %llu  failures: %llu  corpus digest: %016llx\n",
               static_cast<unsigned long long>(result.sequences_run),
               static_cast<unsigned long long>(result.failures),
