@@ -762,6 +762,7 @@ hypernel::SystemConfig FuzzConfigSpec::system_config() const {
   cfg.machine.cache.enabled = cache_enabled;
   if (cache_size_bytes != 0) cfg.machine.cache.size_bytes = cache_size_bytes;
   if (l1_miss_fill != 0) cfg.machine.timing.l1_miss_fill = l1_miss_fill;
+  cfg.machine.host_fast_path = host_fast_path;
   cfg.kernel.use_sections = use_sections;
   // enable_mbm stays true in every mode: with the MBM attached, Native
   // derives linear_limit = secure_base exactly like Hypernel (KVM always

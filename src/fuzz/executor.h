@@ -41,6 +41,10 @@ struct FuzzConfigSpec {
   Cycles l1_miss_fill = 0;
   /// 2 MiB section linear map (Native/KVM only: Hypersec requires 4 KiB).
   bool use_sections = false;
+  /// Off = host-side reference mode (no cached walk context, no bulk
+  /// charge-replay).  Results are bit-identical either way; the fast-path
+  /// differential test runs the corpus with this forced off.
+  bool host_fast_path = true;
 
   [[nodiscard]] hypernel::SystemConfig system_config() const;
   [[nodiscard]] bool monitored() const {

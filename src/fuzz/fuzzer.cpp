@@ -142,7 +142,10 @@ SequenceOutcome evaluate_sequence(u64 index, const FuzzOptions& options,
 }  // namespace
 
 CampaignResult run_campaign(const FuzzOptions& options, std::ostream* log) {
-  const std::vector<FuzzConfigSpec> specs = build_matrix(options.full_matrix);
+  std::vector<FuzzConfigSpec> specs = build_matrix(options.full_matrix);
+  for (FuzzConfigSpec& spec : specs) {
+    spec.host_fast_path = options.host_fast_path;
+  }
   GeneratorOptions gen{.ops = options.ops,
                        .attacks = options.attacks,
                        .forged = options.forged};

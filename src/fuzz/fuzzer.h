@@ -51,6 +51,10 @@ struct FuzzOptions {
   /// Stop the campaign at the first failing sequence (cooperative
   /// cancellation of the remaining shards).
   bool fail_fast = false;
+  /// Off = run every configuration in host-side reference mode
+  /// (sim::MachineConfig::host_fast_path).  Never changes results — the
+  /// campaign digest must be identical either way.
+  bool host_fast_path = true;
 };
 
 struct SequenceFailure {

@@ -63,6 +63,10 @@ struct Counters {
 class CycleAccount {
  public:
   void charge(Cycles c) { cycles_ += c; }
+  /// Charge `n` events of `per` cycles at once.  Exactly equal to calling
+  /// charge(per) n times — used by the bulk-transfer loops, which replay
+  /// uniform per-word/per-line charges without a per-event call.
+  void charge_batch(Cycles per, u64 n) { cycles_ += per * n; }
   [[nodiscard]] Cycles cycles() const { return cycles_; }
 
   Counters& counters() { return counters_; }

@@ -1,9 +1,9 @@
 #include "sim/machine.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cstring>
-#include <vector>
 
 namespace hn::sim {
 
@@ -13,11 +13,13 @@ Machine::Machine(const MachineConfig& config)
       cache_(config.cache, phys_, bus_, account_, config_.timing),
       mmu_(phys_, account_, config_.timing, config.tlb_entries),
       exceptions_(sysregs_, account_, config_.timing, trace_),
-      gic_(exceptions_) {
+      gic_(exceptions_),
+      fast_path_(config.host_fast_path) {
   assert(config.secure_size < config.dram_size);
+  mmu_.tlb().set_index_enabled(config.host_fast_path);
 }
 
-WalkContext Machine::walk_context() const {
+WalkContext Machine::build_walk_context() const {
   // TTBR0_EL1 carries the ASID in bits [63:48] (TCR.A1 == 0 convention),
   // so an address-space switch is a single system-register write — and
   // thus a single TVM trap under Hypernel (§5.2.2).
@@ -29,6 +31,16 @@ WalkContext Machine::walk_context() const {
   ctx.stage2_enabled = sysregs_.hcr_bit(kHcrVm);
   ctx.vttbr = sysregs_.get(SysReg::VTTBR_EL2);
   return ctx;
+}
+
+WalkContext Machine::walk_context() const {
+  if (!fast_path_) return build_walk_context();
+  const u64 gen = sysregs_.vm_generation();
+  if (walk_ctx_gen_ != gen) {
+    walk_ctx_ = build_walk_context();
+    walk_ctx_gen_ = gen;
+  }
+  return walk_ctx_;
 }
 
 u64 Machine::perform(PhysAddr pa, const PageAttrs& attrs, bool is_write,
@@ -205,11 +217,47 @@ bool Machine::write_block_bulk(VirtAddr va, const void* data, u64 len,
         }
       }
       const u64 words = chunk / kWordSize;
-      account_.charge(config_.timing.l1_hit * (words - chunk / kCacheLineSize));
+      account_.charge_batch(config_.timing.l1_hit,
+                            words - chunk / kCacheLineSize);
       account_.counters().mem_writes += words;
       phys_.write_block(pa, p + off, chunk);
     } else {
-      for (u64 w = 0; w < chunk; w += kWordSize) {
+      // Non-cacheable / device page.  The reference path issues write64
+      // per word: each one re-reads the walk context, hits the TLB entry
+      // the bulk translate above guaranteed, and reaches the bus.  The
+      // charge-replay fast path performs the identical per-word charges,
+      // counter increments and bus transactions without re-translating.
+      // A bus snooper can react to a write (MBM detection -> IRQ ->
+      // handler code running charged accesses); if that disturbs the TLB
+      // or the translation regime, the guaranteed-hit assumption dies, so
+      // the generation guard drops the rest of the chunk back onto the
+      // exact path.
+      u64 w = 0;
+      if (fast_path_) {
+        const u64 tlb_gen = mmu_.tlb().generation();
+        const u64 vm_gen = sysregs_.vm_generation();
+        for (; w < chunk; w += kWordSize) {
+          ++account_.counters().tlb_hits;
+          u64 v;
+          std::memcpy(&v, p + off + w, kWordSize);
+          ++account_.counters().mem_writes;
+          account_.charge(config_.timing.noncacheable_access);
+          ++account_.counters().noncacheable_accesses;
+          BusTransaction txn;
+          txn.paddr = word_align_down(pa + w);
+          txn.timestamp = account_.cycles();
+          phys_.write64(pa + w, v);
+          txn.op = BusOp::kWriteWord;
+          txn.value = v;
+          bus_.issue(txn);
+          if (mmu_.tlb().generation() != tlb_gen ||
+              sysregs_.vm_generation() != vm_gen) {
+            w += kWordSize;
+            break;
+          }
+        }
+      }
+      for (; w < chunk; w += kWordSize) {
         u64 v;
         std::memcpy(&v, p + off + w, kWordSize);
         if (!write64(va + off + w, v, user).ok) return false;
@@ -245,11 +293,40 @@ bool Machine::read_block_bulk(VirtAddr va, void* out_buf, u64 len, bool user) {
         cache_.access(pa + line, /*is_write=*/false);
       }
       const u64 words = chunk / kWordSize;
-      account_.charge(config_.timing.l1_hit * (words - chunk / kCacheLineSize));
+      account_.charge_batch(config_.timing.l1_hit,
+                            words - chunk / kCacheLineSize);
       account_.counters().mem_reads += words;
       phys_.read_block(pa, p + off, chunk);
     } else {
-      for (u64 w = 0; w < chunk; w += kWordSize) {
+      // Charge-replay of the per-word read64 path (see write_block_bulk).
+      // Read transactions carry no MBM side effects, but the generation
+      // guard is kept anyway: it is two integer compares, and it makes the
+      // replay's correctness independent of what snoopers do.
+      u64 w = 0;
+      if (fast_path_) {
+        const u64 tlb_gen = mmu_.tlb().generation();
+        const u64 vm_gen = sysregs_.vm_generation();
+        for (; w < chunk; w += kWordSize) {
+          ++account_.counters().tlb_hits;
+          ++account_.counters().mem_reads;
+          account_.charge(config_.timing.noncacheable_access);
+          ++account_.counters().noncacheable_accesses;
+          BusTransaction txn;
+          txn.paddr = word_align_down(pa + w);
+          txn.timestamp = account_.cycles();
+          const u64 r = phys_.read64(pa + w);
+          txn.op = BusOp::kReadWord;
+          txn.value = r;
+          bus_.issue(txn);
+          std::memcpy(p + off + w, &r, kWordSize);
+          if (mmu_.tlb().generation() != tlb_gen ||
+              sysregs_.vm_generation() != vm_gen) {
+            w += kWordSize;
+            break;
+          }
+        }
+      }
+      for (; w < chunk; w += kWordSize) {
         const Access64 r = read64(va + off + w, user);
         if (!r.ok) return false;
         std::memcpy(p + off + w, &r.value, kWordSize);
@@ -308,6 +385,7 @@ void Machine::el2_read_block(PhysAddr pa, void* out, u64 len) {
       cache_.access(pa + off, /*is_write=*/false);
     } else {
       account_.charge(config_.timing.noncacheable_access);
+      ++account_.counters().noncacheable_accesses;
     }
   }
   account_.counters().mem_reads += (len + kWordSize - 1) / kWordSize;
@@ -320,6 +398,7 @@ void Machine::el2_write_block(PhysAddr pa, const void* data, u64 len) {
       cache_.access(pa + off, /*is_write=*/true);
     } else {
       account_.charge(config_.timing.noncacheable_access);
+      ++account_.counters().noncacheable_accesses;
     }
   }
   account_.counters().mem_writes += (len + kWordSize - 1) / kWordSize;
@@ -337,8 +416,13 @@ void Machine::dma_read_block(PhysAddr pa, void* out, u64 len) {
 }
 
 u64 Machine::hvc(u64 func, std::initializer_list<u64> args) {
-  const std::vector<u64> v(args);
-  return exceptions_.hvc(func, std::span<const u64>(v));
+  // The hypercall ABI passes at most a few words in registers
+  // (hvc_abi.h); marshal them on the stack instead of allocating a
+  // std::vector per call — hypercalls are a hot path under Hypernel.
+  std::array<u64, 8> regs;
+  assert(args.size() <= regs.size());
+  std::copy(args.begin(), args.end(), regs.begin());
+  return exceptions_.hvc(func, std::span<const u64>(regs.data(), args.size()));
 }
 
 }  // namespace hn::sim

@@ -36,6 +36,11 @@ struct MachineConfig {
   TimingModel timing;
   CacheConfig cache;
   unsigned tlb_entries = 256;  // A57 L2-TLB reach stand-in
+  /// Host-side fast path (DESIGN.md §9): cached WalkContext and bulk
+  /// charge-replay.  Changes host wall-clock only — simulated cycles,
+  /// counters, bus traffic and fingerprints are bit-identical either way
+  /// (the fast-path differential test pins this).  Off = reference mode.
+  bool host_fast_path = true;
 };
 
 /// What an EL2 stage-2 fault handler did with a fault (KVM module).
@@ -83,8 +88,21 @@ class Machine {
     return ranges_overlap(pa, len, secure_base(), secure_size());
   }
 
-  /// Translation-regime snapshot from the live system registers.
+  /// Translation-regime snapshot from the live system registers.  With
+  /// the fast path on, the snapshot is cached and invalidated by the
+  /// SysRegs vm-generation write hook instead of being rebuilt per access.
   [[nodiscard]] WalkContext walk_context() const;
+
+  /// Runtime fast-path/reference-mode switch (benchmarks flip it to
+  /// measure both sides on one machine; tests force reference mode).
+  /// Covers all three layers: cached walk context, TLB lookup index,
+  /// bulk charge-replay.
+  void set_host_fast_path(bool on) {
+    fast_path_ = on;
+    walk_ctx_gen_ = 0;  // drop the cached snapshot
+    mmu_.tlb().set_index_enabled(on);
+  }
+  [[nodiscard]] bool host_fast_path() const { return fast_path_; }
 
   // --- EL0/EL1 virtual-address accesses -------------------------------------
   Access64 read64(VirtAddr va, bool user = false);
@@ -171,6 +189,8 @@ class Machine {
   Access64 access64(VirtAddr va, bool is_write, u64 value, bool user);
   /// Perform the physical access after a successful translation.
   u64 perform(PhysAddr pa, const PageAttrs& attrs, bool is_write, u64 value);
+  /// Rebuild a WalkContext from the live system registers (four reads).
+  [[nodiscard]] WalkContext build_walk_context() const;
 
   MachineConfig config_;
   Trace trace_;
@@ -185,6 +205,11 @@ class Machine {
   S2FaultHandler s2_handler_;
   El1FaultHandler el1_handler_;
   bool guest_mode_ = false;
+  bool fast_path_ = true;
+  // Cached translation-regime snapshot; valid while walk_ctx_gen_ matches
+  // sysregs_.vm_generation() (which starts at 1, so 0 means "unprimed").
+  mutable WalkContext walk_ctx_;
+  mutable u64 walk_ctx_gen_ = 0;
 };
 
 }  // namespace hn::sim

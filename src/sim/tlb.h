@@ -6,8 +6,24 @@
 // stage-2 write-protected page faults even on a TLB hit, which is exactly
 // how KVM's page-granularity write-protection keeps trapping (Table 2's
 // baseline behaviour).
+//
+// Host-side representation: lookups go through a vpage hash index instead
+// of scanning the whole array, so a hit costs O(1) host work regardless of
+// capacity.  The index is an invisible acceleration structure — hit/miss
+// results, replacement order and flush behaviour are bit-identical to the
+// naive full scan (the tlb_property_test pins this against a reference
+// implementation).  Three invariants keep it exact:
+//
+//   * per-vpage chains are sorted by slot index, so "first match in array
+//     order" among same-vpage entries is preserved;
+//   * free slots are taken lowest-index-first (a bitmap find-first-set),
+//     matching the scan's "first invalid entry" choice;
+//   * round-robin eviction is untouched: the victim cursor advances over
+//     slot numbers exactly as before.
 #pragma once
 
+#include <bit>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
@@ -26,57 +42,100 @@ struct TlbEntry {
 
 class Tlb {
  public:
-  explicit Tlb(unsigned entries = 48) : entries_(entries) {}
+  explicit Tlb(unsigned entries = 48)
+      : entries_(entries),
+        chain_next_(entries, kNil),
+        free_((entries + 63) / 64, ~0ull) {
+    // Mask off bits beyond capacity so find-first-free never returns an
+    // out-of-range slot.
+    const unsigned tail = entries % 64;
+    if (tail != 0) free_.back() = (u64{1} << tail) - 1;
+    index_.reserve(entries * 2);
+  }
 
   /// Returns the matching entry or nullptr.
   const TlbEntry* lookup(VirtAddr va, u16 asid) const {
     const VirtAddr vpage = page_align_down(va);
-    for (const TlbEntry& e : entries_) {
-      if (e.valid && e.vpage == vpage && (e.attrs.global || e.asid == asid)) {
-        return &e;
+    if (!index_enabled_) {
+      // Reference mode: the original fully-associative scan.
+      for (const TlbEntry& e : entries_) {
+        if (e.valid && e.vpage == vpage && (e.attrs.global || e.asid == asid)) {
+          return &e;
+        }
       }
+      return nullptr;
+    }
+    const auto it = index_.find(vpage);
+    if (it == index_.end()) return nullptr;
+    for (u32 slot = it->second; slot != kNil; slot = chain_next_[slot]) {
+      const TlbEntry& e = entries_[slot];
+      if (e.attrs.global || e.asid == asid) return &e;
     }
     return nullptr;
   }
 
   void insert(const TlbEntry& entry) {
-    // Replace an existing mapping for the same page first.
-    for (TlbEntry& e : entries_) {
-      if (e.valid && e.vpage == entry.vpage &&
-          (e.attrs.global || e.asid == entry.asid)) {
-        e = entry;
-        e.valid = true;
-        return;
+    ++generation_;
+    // Replace an existing mapping for the same page first.  The index is
+    // maintained even in reference mode (so the mode can flip at runtime);
+    // only the *search* above changes, and both searches visit same-vpage
+    // slots in ascending array order, so the replaced slot is identical.
+    const auto it = index_.find(entry.vpage);
+    if (it != index_.end()) {
+      for (u32 slot = it->second; slot != kNil; slot = chain_next_[slot]) {
+        TlbEntry& e = entries_[slot];
+        if (e.attrs.global || e.asid == entry.asid) {
+          e = entry;
+          e.valid = true;
+          return;
+        }
       }
     }
-    for (TlbEntry& e : entries_) {
-      if (!e.valid) {
-        e = entry;
-        e.valid = true;
-        return;
-      }
+    const u32 slot = first_free_slot();
+    if (slot != kNil) {
+      place(slot, entry);
+      return;
     }
-    entries_[next_victim_] = entry;
-    entries_[next_victim_].valid = true;
+    const u32 victim = static_cast<u32>(next_victim_);
+    unlink(entries_[victim].vpage, victim);
+    place(victim, entry);
     next_victim_ = (next_victim_ + 1) % entries_.size();
   }
 
   void flush_all() {
+    ++generation_;
     for (TlbEntry& e : entries_) e.valid = false;
+    index_.clear();
+    for (u64& w : free_) w = ~0ull;
+    const unsigned tail = entries_.size() % 64;
+    if (tail != 0) free_.back() = (u64{1} << tail) - 1;
   }
 
   /// TLBI VAE1-style: drop any entry translating `va` (any ASID).
   void flush_va(VirtAddr va) {
+    ++generation_;
     const VirtAddr vpage = page_align_down(va);
-    for (TlbEntry& e : entries_) {
-      if (e.valid && e.vpage == vpage) e.valid = false;
+    const auto it = index_.find(vpage);
+    if (it == index_.end()) return;
+    for (u32 slot = it->second; slot != kNil;) {
+      const u32 next = chain_next_[slot];
+      entries_[slot].valid = false;
+      mark_free(slot);
+      slot = next;
     }
+    index_.erase(it);
   }
 
   /// TLBI ASIDE1-style: drop all non-global entries for `asid`.
   void flush_asid(u16 asid) {
-    for (TlbEntry& e : entries_) {
-      if (e.valid && !e.attrs.global && e.asid == asid) e.valid = false;
+    ++generation_;
+    for (u32 slot = 0; slot < entries_.size(); ++slot) {
+      TlbEntry& e = entries_[slot];
+      if (e.valid && !e.attrs.global && e.asid == asid) {
+        e.valid = false;
+        unlink(e.vpage, slot);
+        mark_free(slot);
+      }
     }
   }
 
@@ -89,9 +148,76 @@ class Tlb {
     return n;
   }
 
+  /// Bumped by every mutation (insert / flush).  The machine's bulk
+  /// charge-replay path snapshots this to detect a snooper or interrupt
+  /// handler disturbing translation state mid-transfer.
+  [[nodiscard]] u64 generation() const { return generation_; }
+
+  /// Host fast path switch: off = reference mode, lookups scan the array
+  /// like the original implementation.  Hit/miss results are identical
+  /// either way; only host wall-clock changes.
+  void set_index_enabled(bool on) { index_enabled_ = on; }
+  [[nodiscard]] bool index_enabled() const { return index_enabled_; }
+
  private:
+  static constexpr u32 kNil = ~u32{0};
+
+  /// Lowest-index free slot, or kNil when the TLB is full.
+  [[nodiscard]] u32 first_free_slot() const {
+    for (size_t w = 0; w < free_.size(); ++w) {
+      if (free_[w] != 0) {
+        return static_cast<u32>(w * 64 + std::countr_zero(free_[w]));
+      }
+    }
+    return kNil;
+  }
+
+  void mark_free(u32 slot) { free_[slot / 64] |= u64{1} << (slot % 64); }
+  void mark_used(u32 slot) { free_[slot / 64] &= ~(u64{1} << (slot % 64)); }
+
+  /// Fill `slot` with `entry` and link it into its vpage chain, keeping
+  /// the chain sorted by slot index (array-order equivalence).
+  void place(u32 slot, const TlbEntry& entry) {
+    entries_[slot] = entry;
+    entries_[slot].valid = true;
+    mark_used(slot);
+    u32& head = index_.try_emplace(entry.vpage, kNil).first->second;
+    if (head == kNil || head > slot) {
+      chain_next_[slot] = head;
+      head = slot;
+      return;
+    }
+    u32 prev = head;
+    while (chain_next_[prev] != kNil && chain_next_[prev] < slot) {
+      prev = chain_next_[prev];
+    }
+    chain_next_[slot] = chain_next_[prev];
+    chain_next_[prev] = slot;
+  }
+
+  /// Remove `slot` from the chain of `vpage`.
+  void unlink(VirtAddr vpage, u32 slot) {
+    const auto it = index_.find(vpage);
+    u32& head = it->second;
+    if (head == slot) {
+      head = chain_next_[slot];
+      if (head == kNil) index_.erase(it);
+      return;
+    }
+    u32 prev = head;
+    while (chain_next_[prev] != slot) prev = chain_next_[prev];
+    chain_next_[prev] = chain_next_[slot];
+  }
+
   std::vector<TlbEntry> entries_;
+  /// vpage -> lowest slot holding a valid entry for it; entries with the
+  /// same vpage chain through chain_next_ in ascending slot order.
+  std::unordered_map<VirtAddr, u32> index_;
+  std::vector<u32> chain_next_;
+  std::vector<u64> free_;  // bit set = slot invalid/free
   u64 next_victim_ = 0;
+  u64 generation_ = 0;
+  bool index_enabled_ = true;
 };
 
 }  // namespace hn::sim

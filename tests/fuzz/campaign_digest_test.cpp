@@ -1,0 +1,73 @@
+// Campaign corpus-digest pins.
+//
+// The fuzz campaign's corpus digest folds every run's functional hash and
+// cycle count, so it transitively witnesses the whole simulation's
+// determinism contract: TLB replacement order, walk charges, bus traffic
+// timing, oracle verdicts.  Two pins live here:
+//
+//   * the golden digest for the canonical quick campaign (--seed=1
+//     --sequences=50) — any change to simulated behaviour, intended or
+//     not, shows up as a digest mismatch and must be justified;
+//   * fast-path vs reference-mode equality — the host fast path
+//     (DESIGN.md §9) must reproduce the digest bit-for-bit, which is the
+//     strongest whole-system statement of "wall-clock only".
+#include <gtest/gtest.h>
+
+#include "fuzz/fuzzer.h"
+
+namespace hn::fuzz {
+namespace {
+
+/// The canonical quick campaign: `hypernel_fuzz --seed=1 --sequences=50`.
+FuzzOptions canonical_options() {
+  FuzzOptions opt;
+  opt.seed = 1;
+  opt.sequences = 50;
+  opt.jobs = 0;  // hardware concurrency; job count never changes results
+  return opt;
+}
+
+/// Golden digest of the canonical campaign.  If an intentional simulator
+/// change moves it, re-pin by running:
+///   ./build/tools/hypernel_fuzz --seed=1 --sequences=50
+/// and copying the reported corpus digest — after explaining in the
+/// commit message why the simulated behaviour was allowed to change.
+constexpr u64 kGoldenDigest = 0x8b76ae7ed9b7c385ull;
+
+TEST(CampaignDigest, GoldenQuickCampaign) {
+  const CampaignResult r = run_campaign(canonical_options());
+  EXPECT_EQ(r.failures, 0u);
+  EXPECT_EQ(r.sequences_run, 50u);
+  EXPECT_EQ(r.corpus_digest, kGoldenDigest);
+}
+
+TEST(CampaignDigest, ReferenceModeIsBitIdentical) {
+  FuzzOptions opt = canonical_options();
+  opt.host_fast_path = false;
+  const CampaignResult r = run_campaign(opt);
+  EXPECT_EQ(r.failures, 0u);
+  EXPECT_EQ(r.corpus_digest, kGoldenDigest);
+}
+
+TEST(CampaignDigest, FastVsReferencePerSequence) {
+  // Smaller campaign, but compared digest-by-digest so a divergence names
+  // the exact sequence index instead of only folding into the corpus.
+  FuzzOptions fast;
+  fast.seed = 7;
+  fast.sequences = 8;
+  fast.jobs = 0;
+  FuzzOptions ref = fast;
+  ref.host_fast_path = false;
+  const CampaignResult a = run_campaign(fast);
+  const CampaignResult b = run_campaign(ref);
+  EXPECT_EQ(a.failures, 0u);
+  EXPECT_EQ(b.failures, 0u);
+  ASSERT_EQ(a.sequence_digests.size(), b.sequence_digests.size());
+  for (size_t i = 0; i < a.sequence_digests.size(); ++i) {
+    EXPECT_EQ(a.sequence_digests[i], b.sequence_digests[i]) << "sequence " << i;
+  }
+  EXPECT_EQ(a.corpus_digest, b.corpus_digest);
+}
+
+}  // namespace
+}  // namespace hn::fuzz

@@ -61,6 +61,8 @@ void usage() {
       "                    Never changes output, only wall-clock\n"
       "  --fail-fast       cancel the campaign at the first failing sequence\n"
       "  --no-shrink       report original failing sequences unshrunk\n"
+      "  --reference       force host-side reference mode (no sim fast\n"
+      "                    path); output must stay byte-identical\n"
       "  --no-attacks      generate no attack writes\n"
       "  --no-forged       generate no forged-hypercall probes\n"
       "  --inject-bypass   test hook: attack writes dodge the bus snooper\n"
@@ -92,6 +94,8 @@ bool parse(int argc, char** argv, Options* opt) {
     } else if ((v = arg_value(arg, "--jobs"))) {
       opt->fuzz.jobs =
           static_cast<unsigned>(std::strtoul(v->c_str(), nullptr, 0));
+    } else if (std::strcmp(arg, "--reference") == 0) {
+      opt->fuzz.host_fast_path = false;
     } else if (std::strcmp(arg, "--fail-fast") == 0) {
       opt->fuzz.fail_fast = true;
     } else if (std::strcmp(arg, "--no-shrink") == 0) {
@@ -114,7 +118,8 @@ bool parse(int argc, char** argv, Options* opt) {
 }
 
 int replay(const Options& opt) {
-  const auto specs = hn::fuzz::build_matrix(opt.fuzz.full_matrix);
+  auto specs = hn::fuzz::build_matrix(opt.fuzz.full_matrix);
+  for (auto& spec : specs) spec.host_fast_path = opt.fuzz.host_fast_path;
   hn::fuzz::GeneratorOptions gen{.ops = opt.fuzz.ops,
                                  .attacks = opt.fuzz.attacks,
                                  .forged = opt.fuzz.forged};
