@@ -18,12 +18,13 @@ struct Outcome {
   hn::u64 detections = 0;
 };
 
-Outcome run(bool cache_enabled, unsigned entries) {
+Outcome run(hn::u64 cell, bool cache_enabled, unsigned entries) {
   hn::hypernel::SystemConfig cfg;
   cfg.mode = hn::hypernel::Mode::kHypernel;
   cfg.enable_mbm = true;
   cfg.mbm_bitmap_cache_enabled = cache_enabled;
   cfg.mbm_bitmap_cache_entries = entries;
+  cfg.metrics = hn::bench::metrics_enabled();
   auto sys = hn::hypernel::System::create(cfg).value();
   hn::secapps::ObjectIntegrityMonitor monitor(
       *sys, hn::secapps::Granularity::kWholeObject);
@@ -39,12 +40,14 @@ Outcome run(bool cache_enabled, unsigned entries) {
   out.detections = s.detections;
   const hn::u64 lookups = s.bitmap_cache_hits + s.bitmap_cache_misses;
   out.hit_rate = lookups ? 100.0 * s.bitmap_cache_hits / lookups : 0;
+  hn::bench::record_cell_metrics(cell, *sys);
   return out;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hn::bench::parse_args(argc, argv);
   std::printf("Ablation: MBM bitmap cache (whole-object monitored untar, "
               "scale 0.1)\n\n");
   std::printf("%-22s %16s %10s %12s %12s\n", "configuration",
@@ -62,8 +65,9 @@ int main() {
       {"cache 64 entries", true, 64},
   };
   Outcome base{};
+  hn::u64 cell = 0;
   for (const Case& c : cases) {
-    const Outcome o = run(c.enabled, c.entries);
+    const Outcome o = run(cell++, c.enabled, c.entries);
     if (!c.enabled) base = o;
     std::printf("%-22s %16llu %9.1f%% %12llu %12llu\n", c.name,
                 (unsigned long long)o.fetches, o.hit_rate,
@@ -74,5 +78,5 @@ int main() {
       "would otherwise cost\na DRAM round trip per snooped write — why "
       "§6.3 spends gates on it.\n");
   (void)base;
-  return 0;
+  return hn::bench::write_bench_metrics();
 }

@@ -31,6 +31,7 @@ Outcome run(bool nc_remap) {
   cfg.mode = hypernel::Mode::kHypernel;
   cfg.enable_mbm = true;
   cfg.hypersec.mbm_noncacheable_remap = nc_remap;
+  cfg.metrics = hn::bench::metrics_enabled();
   auto sys_r = hypernel::System::create(cfg);
   if (!sys_r.ok()) std::abort();
   auto sys = std::move(sys_r).value();
@@ -46,12 +47,14 @@ Outcome run(bool nc_remap) {
   out.detections = sys->mbm()->stats().detections;
   out.word_snoops = sys->mbm()->stats().snooped_word_writes;
   out.line_scans = sys->mbm()->stats().snooped_line_writes;
+  hn::bench::record_cell_metrics(nc_remap ? 0 : 1, *sys);
   return out;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hn::bench::parse_args(argc, argv);
   std::printf("Ablation: cacheability of monitored pages (whole-object "
               "monitored untar, scale 0.1)\n\n");
   std::printf("%-34s %12s %12s %14s\n", "configuration", "runtime(us)",
@@ -76,5 +79,5 @@ int main() {
       (unsigned long long)nc.detections,
       (unsigned long long)cacheable.detections,
       nc.detections ? 100.0 * cacheable.detections / nc.detections : 0.0);
-  return 0;
+  return hn::bench::write_bench_metrics();
 }

@@ -28,10 +28,11 @@ struct Outcome {
 
 /// Workload phases with an injected attack after each; `scan_period_us`
 /// == 0 selects the event-triggered MBM monitor.
-Outcome run(double scan_period_us) {
+Outcome run(hn::u64 cell, double scan_period_us) {
   hypernel::SystemConfig cfg;
   cfg.mode = hypernel::Mode::kHypernel;
   cfg.enable_mbm = true;
+  cfg.metrics = hn::bench::metrics_enabled();
   auto sys = hypernel::System::create(cfg).value();
   kernel::Kernel& k = sys->kernel();
   const bool event_mode = scan_period_us == 0;
@@ -127,12 +128,14 @@ Outcome run(double scan_period_us) {
     }
   }
   out.monitor_cost_us = monitor_cost;
+  hn::bench::record_cell_metrics(cell, *sys);
   return out;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hn::bench::parse_args(argc, argv);
   std::printf("Ablation: event-triggered (MBM) vs snapshot integrity "
               "monitoring\n");
   std::printf("4 persistent + 4 transient attacks injected into a running "
@@ -141,12 +144,13 @@ int main() {
               "persistent", "transient", "scan cost(us)");
   hn::bench::print_rule(86);
 
-  const Outcome ev = run(0);
+  const Outcome ev = run(0, 0);
   std::printf("%-26s %16.1f %9d/4 %9d/4 %14s\n", "event-triggered (MBM)",
               ev.mean_latency_us, ev.persistent_detected,
               ev.transient_detected, "—");
+  hn::u64 cell = 1;
   for (const double period : {100.0, 500.0, 2000.0}) {
-    const Outcome sn = run(period);
+    const Outcome sn = run(cell++, period);
     char name[40];
     std::snprintf(name, sizeof(name), "snapshot every %.0fus", period);
     std::printf("%-26s %16.1f %9d/4 %9d/4 %14.1f\n", name, sn.mean_latency_us,
@@ -158,5 +162,5 @@ int main() {
       "polling cost and\ncatches transient tampering; snapshots trade "
       "latency against scan overhead and miss\nanything that reverts "
       "between scans — the KI-Mon/Vigilare axis the MBM design sits on.\n");
-  return 0;
+  return hn::bench::write_bench_metrics();
 }

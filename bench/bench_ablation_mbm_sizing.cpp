@@ -20,12 +20,13 @@ struct Outcome {
   u64 detections = 0;
 };
 
-Outcome run(unsigned fifo_depth, u64 ring_entries, bool defer_irq) {
+Outcome run(u64 cell, unsigned fifo_depth, u64 ring_entries, bool defer_irq) {
   hypernel::SystemConfig cfg;
   cfg.mode = hypernel::Mode::kHypernel;
   cfg.enable_mbm = true;
   cfg.mbm_fifo_depth = fifo_depth;
   cfg.mbm_ring_entries = ring_entries;
+  cfg.metrics = hn::bench::metrics_enabled();
   auto sys = hypernel::System::create(cfg).value();
   secapps::ObjectIntegrityMonitor monitor(
       *sys, secapps::Granularity::kWholeObject);
@@ -42,20 +43,23 @@ Outcome run(unsigned fifo_depth, u64 ring_entries, bool defer_irq) {
   out.fifo_drops = sys->mbm()->stats().fifo_drops;
   out.ring_drops = sys->mbm()->stats().ring_overflow_drops;
   out.detections = sys->mbm()->stats().detections;
+  hn::bench::record_cell_metrics(cell, *sys);
   return out;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hn::bench::parse_args(argc, argv);
   std::printf("Ablation: MBM FIFO depth and ring capacity (whole-object "
               "monitored untar, scale 0.05)\n\n");
   std::printf("-- immediate interrupt delivery (normal operation) --\n");
   std::printf("%-26s %12s %12s %12s\n", "sizing", "fifo drops", "ring drops",
               "detections");
   hn::bench::print_rule(70);
+  hn::u64 cell = 0;
   for (const unsigned depth : {2u, 8u, 64u}) {
-    const Outcome o = run(depth, 8192, /*defer_irq=*/false);
+    const Outcome o = run(cell++, depth, 8192, /*defer_irq=*/false);
     std::printf("fifo %-3u / ring 8192      %12llu %12llu %12llu\n", depth,
                 (unsigned long long)o.fifo_drops,
                 (unsigned long long)o.ring_drops,
@@ -66,7 +70,7 @@ int main() {
               "queued");
   hn::bench::print_rule(70);
   for (const u64 ring : {256ull, 4096ull, 65536ull}) {
-    const Outcome o = run(64, ring, /*defer_irq=*/true);
+    const Outcome o = run(cell++, 64, ring, /*defer_irq=*/true);
     std::printf("fifo 64  / ring %-8llu %12llu %12llu %12llu\n",
                 (unsigned long long)ring, (unsigned long long)o.fifo_drops,
                 (unsigned long long)o.ring_drops,
@@ -76,5 +80,5 @@ int main() {
       "\nwith synchronous delivery even a shallow FIFO suffices (the CPU "
       "stalls on the IRQ\nbefore the next write); the ring only needs depth "
       "when Hypersec defers draining.\n");
-  return 0;
+  return hn::bench::write_bench_metrics();
 }

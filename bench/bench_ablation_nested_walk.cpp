@@ -33,12 +33,14 @@ double chase(hypernel::System& sys, u64 pages, u64 rounds) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hn::bench::parse_args(argc, argv);
   std::printf("Ablation: nested-walk cost vs TLB reach\n\n");
   std::printf("kernel pointer-chase, ns per access (simulated)\n");
   std::printf("%-18s %12s %12s %12s %10s\n", "working set", "TLB", "native",
               "KVM-guest", "penalty");
   hn::bench::print_rule(72);
+  hn::u64 cell = 0;
   for (const unsigned tlb : {64u, 256u, 1024u}) {
     for (const u64 pages : {32ull, 512ull}) {
       double ns[2];
@@ -49,8 +51,10 @@ int main() {
         cfg.enable_mbm = false;
         cfg.machine.tlb_entries = tlb;
         cfg.kvm.recycle_invalidate_permille = 0;  // isolate the walk effect
+        cfg.metrics = hn::bench::metrics_enabled();
         auto sys = hypernel::System::create(cfg).value();
         ns[m] = chase(*sys, pages, 64);
+        hn::bench::record_cell_metrics(cell++, *sys);
       }
       std::printf("%4llu pages        %12u %10.1fns %10.1fns %+9.1f%%\n",
                   (unsigned long long)pages, tlb, ns[0], ns[1],
@@ -82,6 +86,7 @@ int main() {
     cfg.kvm.eager_map = v.eager;
     cfg.kvm.thp_backing = v.thp;
     cfg.kvm.recycle_invalidate_permille = 0;
+    cfg.metrics = hn::bench::metrics_enabled();
     auto sys = hypernel::System::create(cfg).value();
     const auto t0 = sys->snapshot();  // includes the cold-start fills
     workloads::LmbenchSuite suite(*sys, 32);
@@ -91,10 +96,11 @@ int main() {
         "  %-22s steady %7.2f us/op, whole run %8.0f us, s2 faults %llu\n",
         v.name, r.us, sys->us_since(t0),
         (unsigned long long)sys->kvm()->stats().s2_faults_serviced);
+    hn::bench::record_cell_metrics(cell++, *sys);
   }
   std::printf(
       "\nlaziness only costs at cold start; at steady state both pay the "
       "same nested walk\ntax on every TLB miss — nested paging's "
       "irreducible cost (§1).\n");
-  return 0;
+  return hn::bench::write_bench_metrics();
 }

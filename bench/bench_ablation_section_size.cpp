@@ -13,11 +13,12 @@ namespace {
 
 using namespace hn;
 
-void run_native(bool use_sections) {
+void run_native(u64 cell, bool use_sections) {
   hypernel::SystemConfig cfg;
   cfg.mode = hypernel::Mode::kNative;
   cfg.enable_mbm = false;
   cfg.kernel.use_sections = use_sections;
+  cfg.metrics = hn::bench::metrics_enabled();
   auto sys = hypernel::System::create(cfg).value();
   workloads::LmbenchSuite suite(*sys, 32);
   const auto t0 = sys->snapshot();
@@ -31,17 +32,19 @@ void run_native(bool use_sections) {
               (unsigned long long)d.pt_descriptor_fetches,
               (unsigned long long)d.tlb_misses,
               (unsigned long long)sys->kernel().kpt().pt_page_count());
+  hn::bench::record_cell_metrics(cell, *sys);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hn::bench::parse_args(argc, argv);
   std::printf("Ablation: kernel linear-map granule (native, LMbench suite)\n\n");
   std::printf("%-22s %10s %14s %14s %12s\n", "mapping", "sum(us)",
               "walk fetches", "TLB misses", "PT pages");
   hn::bench::print_rule(78);
-  run_native(false);
-  run_native(true);
+  run_native(0, false);
+  run_native(1, true);
 
   // The security side: Hypersec cannot protect a section-mapped kernel.
   hypernel::SystemConfig cfg;
@@ -57,5 +60,6 @@ int main() {
       "\nsections are slightly faster natively, but the image section is "
       "RWX and page tables\nshare 2 MiB blocks with data — the granularity "
       "gap §6.2 patches away with 4 KiB pages.\n");
-  return attempt.ok() ? 1 : 0;
+  if (attempt.ok()) return 1;
+  return hn::bench::write_bench_metrics();
 }

@@ -16,7 +16,7 @@ namespace {
 
 using namespace hn;
 
-double avg_slowdown(hypernel::Mode mode, Cycles hvc, Cycles vm_pair,
+double avg_slowdown(u64 cell, hypernel::Mode mode, Cycles hvc, Cycles vm_pair,
                     const double* native_us) {
   hypernel::SystemConfig cfg;
   cfg.mode = mode;
@@ -25,6 +25,7 @@ double avg_slowdown(hypernel::Mode mode, Cycles hvc, Cycles vm_pair,
   cfg.machine.timing.sysreg_trap = hvc * 3 / 4;  // trap tracks the HVC cost
   cfg.machine.timing.vm_exit = vm_pair * 8 / 15;
   cfg.machine.timing.vm_entry = vm_pair * 7 / 15;
+  cfg.metrics = hn::bench::metrics_enabled();
   auto sys = hypernel::System::create(cfg).value();
   workloads::LmbenchSuite suite(*sys, 32);
   const auto results = suite.run_all();
@@ -32,12 +33,14 @@ double avg_slowdown(hypernel::Mode mode, Cycles hvc, Cycles vm_pair,
   for (size_t i = 0; i < results.size(); ++i) {
     sum += results[i].us / native_us[i] - 1.0;
   }
+  hn::bench::record_cell_metrics(cell, *sys);
   return 100.0 * sum / results.size();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hn::bench::parse_args(argc, argv);
   // Native baseline is independent of both knobs.
   double native_us[9];
   {
@@ -45,6 +48,7 @@ int main() {
     workloads::LmbenchSuite suite(*sys, 32);
     const auto results = suite.run_all();
     for (size_t i = 0; i < 9; ++i) native_us[i] = results[i].us;
+    hn::bench::record_cell_metrics(0, *sys);
   }
 
   // Physical constraint: a VM exit+entry performs strictly more work than
@@ -60,14 +64,15 @@ int main() {
   hn::bench::print_rule(62);
 
   bool holds_near_calibration = true;
+  u64 cell = 1;
   for (const Cycles hvc : hvc_values) {
     std::printf("%6llu cycles        ", (unsigned long long)hvc);
     const double hyper =
-        avg_slowdown(hypernel::Mode::kHypernel, hvc, 0, native_us);
+        avg_slowdown(cell++, hypernel::Mode::kHypernel, hvc, 0, native_us);
     for (const double r : ratios) {
       const auto vm = static_cast<Cycles>(static_cast<double>(hvc) * r);
       const double kvm =
-          avg_slowdown(hypernel::Mode::kKvmGuest, 460, vm, native_us);
+          avg_slowdown(cell++, hypernel::Mode::kKvmGuest, 460, vm, native_us);
       std::printf("  %4.1f/%4.1f", hyper, kvm);
       if (hvc <= 460 && r >= 3.0) holds_near_calibration &= hyper < kvm;
     }
@@ -80,5 +85,6 @@ int main() {
       "on a core whose EL2 entry were ~2x slower (920cy row),\nper-PTE "
       "hypercalls would lose to nested paging — Hypernel's economics rest "
       "on ARM's\ncheap traps, exactly the premise §1 argues from.\n");
-  return holds_near_calibration ? 0 : 1;
+  if (!holds_near_calibration) return 1;
+  return hn::bench::write_bench_metrics();
 }

@@ -12,14 +12,48 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "exec/sharded_runner.h"
 #include "hypernel/system.h"
+#include "obs/export.h"
 
 namespace hn::bench {
+
+/// Command-line arguments every bench driver accepts.
+struct BenchArgs {
+  unsigned jobs = 0;           // 0 = hardware concurrency
+  std::string metrics_out;     // empty = observability off
+};
+
+namespace detail {
+
+inline BenchArgs& args() {
+  static BenchArgs a;
+  return a;
+}
+
+/// Per-cell metrics snapshots, keyed by cell index so the final fold
+/// happens in index order regardless of which worker finished when.
+struct MetricsSink {
+  std::mutex mu;
+  std::map<u64, obs::Snapshot> cells;
+};
+
+inline MetricsSink& metrics_sink() {
+  static MetricsSink s;
+  return s;
+}
+
+}  // namespace detail
+
+[[nodiscard]] inline bool metrics_enabled() {
+  return !detail::args().metrics_out.empty();
+}
 
 /// Build a system in the §7.1 performance setup: Hypersec without the MBM
 /// ("only Hypersec is working in the case of Hypernel").
@@ -27,6 +61,7 @@ inline std::unique_ptr<hypernel::System> make_perf_system(hypernel::Mode mode) {
   hypernel::SystemConfig cfg;
   cfg.mode = mode;
   cfg.enable_mbm = false;
+  cfg.metrics = metrics_enabled();
   auto sys = hypernel::System::create(cfg);
   if (!sys.ok()) {
     std::fprintf(stderr, "system creation failed: %s\n",
@@ -41,6 +76,7 @@ inline std::unique_ptr<hypernel::System> make_monitor_system() {
   hypernel::SystemConfig cfg;
   cfg.mode = hypernel::Mode::kHypernel;
   cfg.enable_mbm = true;
+  cfg.metrics = metrics_enabled();
   auto sys = hypernel::System::create(cfg);
   if (!sys.ok()) {
     std::fprintf(stderr, "system creation failed: %s\n",
@@ -50,25 +86,91 @@ inline std::unique_ptr<hypernel::System> make_monitor_system() {
   return std::move(sys).value();
 }
 
+/// Stash one cell's metrics snapshot.  Safe from any worker thread;
+/// no-op unless --metrics-out was given.
+inline void record_cell_metrics(u64 index, const obs::Snapshot& snap) {
+  if (!metrics_enabled()) return;
+  detail::MetricsSink& sink = detail::metrics_sink();
+  std::lock_guard<std::mutex> lock(sink.mu);
+  sink.cells[index].merge(snap);
+}
+
+/// Convenience overload: snapshot a System's registry before it dies.
+inline void record_cell_metrics(u64 index, hypernel::System& sys) {
+  if (!metrics_enabled()) return;
+  record_cell_metrics(index, sys.metrics_snapshot());
+}
+
+/// Fold every recorded cell (index order) and write --metrics-out.
+/// Returns 0, or 1 on I/O failure — benches `return write_bench_metrics()`
+/// (or combine it with their own exit code) as their last statement.
+inline int write_bench_metrics() {
+  if (!metrics_enabled()) return 0;
+  detail::MetricsSink& sink = detail::metrics_sink();
+  std::lock_guard<std::mutex> lock(sink.mu);
+  obs::Snapshot total;
+  for (const auto& [index, snap] : sink.cells) total.merge(snap);
+  const std::string& path = detail::args().metrics_out;
+  if (!obs::write_metrics_file(total, path)) {
+    std::fprintf(stderr, "metrics: failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "metrics: %zu entries (%zu cells) written to %s\n",
+               total.entries.size(), sink.cells.size(), path.c_str());
+  return 0;
+}
+
 inline void print_rule(int width = 78) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
 }
 
-/// Parse --jobs=N from a bench's argv (default: hardware concurrency;
-/// --jobs=1 runs the cells sequentially on the main thread).  Unknown
-/// arguments are a usage error so typos don't silently run the default.
-inline unsigned parse_jobs(int argc, char** argv) {
-  unsigned jobs = 0;  // 0 = hardware concurrency
+/// Parse the common bench arguments (--jobs=N, --metrics-out=F) from
+/// argv, storing them where make_*_system / record_cell_metrics /
+/// write_bench_metrics can see them.  Unknown arguments are a usage
+/// error so typos don't silently run the default.
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs parsed;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
-      jobs = static_cast<unsigned>(std::strtoul(argv[i] + 7, nullptr, 0));
+      parsed.jobs =
+          static_cast<unsigned>(std::strtoul(argv[i] + 7, nullptr, 0));
+    } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      parsed.metrics_out = argv[i] + 14;
     } else {
-      std::fprintf(stderr, "usage: %s [--jobs=N]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--jobs=N] [--metrics-out=F]\n",
+                   argv[0]);
       std::exit(2);
     }
   }
-  return jobs;
+  detail::args() = parsed;
+  return parsed;
+}
+
+/// Back-compat shim for drivers that only care about the job count.
+inline unsigned parse_jobs(int argc, char** argv) {
+  return parse_args(argc, argv).jobs;
+}
+
+/// For drivers whose framework owns the command line (google-benchmark):
+/// extract --jobs/--metrics-out from argv, compacting it in place, and
+/// leave every other flag for the framework's own parser.
+inline BenchArgs parse_and_strip_args(int* argc, char** argv) {
+  BenchArgs parsed;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      parsed.jobs =
+          static_cast<unsigned>(std::strtoul(argv[i] + 7, nullptr, 0));
+    } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      parsed.metrics_out = argv[i] + 14;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  detail::args() = parsed;
+  return parsed;
 }
 
 /// Run `fn(i)` for every cell i in [0, n) across `jobs` workers (0 =

@@ -21,6 +21,7 @@ std::vector<workloads::LmbenchResult> run(bool monitored) {
   hypernel::SystemConfig cfg;
   cfg.mode = hypernel::Mode::kHypernel;
   cfg.enable_mbm = monitored;
+  cfg.metrics = hn::bench::metrics_enabled();
   auto sys = hypernel::System::create(cfg).value();
   std::unique_ptr<secapps::ObjectIntegrityMonitor> monitor;
   if (monitored) {
@@ -32,12 +33,14 @@ std::vector<workloads::LmbenchResult> run(bool monitored) {
   auto results = suite.run_all();
   results.push_back(suite.context_switch());
   results.push_back(suite.memory_bandwidth());
+  hn::bench::record_cell_metrics(monitored ? 1 : 0, *sys);
   return results;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  hn::bench::parse_args(argc, argv);
   std::printf("Extension: full-stack Hypernel (isolation + armed "
               "word-granularity monitor)\n\n");
   const auto plain = run(false);
@@ -58,5 +61,5 @@ int main() {
       "(stat's lookup\ntouches non-cacheable dentry words; fork bumps the "
       "shared cred) and is free elsewhere\n— the word-granularity bill, "
       "itemised.\n");
-  return 0;
+  return hn::bench::write_bench_metrics();
 }

@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
   using hn::hypernel::Mode;
   const char* kApps[] = {"whetstone", "dhrystone", "untar", "iozone", "apache"};
   constexpr int kAppCount = 5;
-  const unsigned jobs = hn::bench::parse_jobs(argc, argv);
+  const unsigned jobs = hn::bench::parse_args(argc, argv).jobs;
 
   // 3 modes x 5 apps = 15 independent cells; each gets a fresh system
   // (no cross-benchmark cache/dcache pollution), so the whole matrix
@@ -28,7 +28,9 @@ int main(int argc, char** argv) {
         auto sys = hn::bench::make_perf_system(modes[m]);
         hn::workloads::AppParams p;
         p.scale = 0.35;  // overhead ratios are scale-invariant; keep runs fast
-        return hn::workloads::run_app_by_name(*sys, kApps[a], p).us;
+        const double us = hn::workloads::run_app_by_name(*sys, kApps[a], p).us;
+        hn::bench::record_cell_metrics(cell, *sys);
+        return us;
       });
   double us[3][kAppCount];
   for (int m = 0; m < 3; ++m) {
@@ -56,5 +58,5 @@ int main(int argc, char** argv) {
       "average overhead:  KVM-guest %.1f%% (paper: 13.5%%)   Hypernel %.1f%% "
       "(paper: 3.1%%)\n",
       100.0 * sum_kvm / kAppCount, 100.0 * sum_hyper / kAppCount);
-  return 0;
+  return hn::bench::write_bench_metrics();
 }

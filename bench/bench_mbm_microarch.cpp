@@ -5,6 +5,7 @@
 
 #include <memory>
 
+#include "bench/bench_common.h"
 #include "common/rng.h"
 #include "mbm/bitmap_cache.h"
 #include "mbm/bitmap_math.h"
@@ -73,6 +74,7 @@ BENCHMARK(BM_EventRingPushPop);
 /// bitmap-fetch rate (what the bitmap cache saves).
 void BM_SnoopPipeline(benchmark::State& state) {
   sim::Machine machine{sim::MachineConfig{}};
+  if (hn::bench::metrics_enabled()) machine.obs().set_enabled(true);
   mbm::MbmConfig cfg;
   cfg.watch_base = 0;
   cfg.watch_size = machine.secure_base();
@@ -112,9 +114,19 @@ void BM_SnoopPipeline(benchmark::State& state) {
       static_cast<double>(s.bitmap_cache_hits) /
       static_cast<double>(s.bitmap_cache_hits + s.bitmap_cache_misses);
   state.counters["fifo_drops"] = static_cast<double>(s.fifo_drops);
+  hn::bench::record_cell_metrics(density, machine.obs().snapshot());
 }
 BENCHMARK(BM_SnoopPipeline)->Arg(1)->Arg(50)->Arg(500);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: peel off the repo-common --metrics-out/--jobs flags before
+// google-benchmark sees (and rejects) them.
+int main(int argc, char** argv) {
+  hn::bench::parse_and_strip_args(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return hn::bench::write_bench_metrics();
+}

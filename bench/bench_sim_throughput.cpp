@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "common/stopwatch.h"
 #include "fuzz/fuzzer.h"
 #include "sim/machine.h"
@@ -152,6 +153,7 @@ template <typename Setup, typename Body>
 ModeRun run_mode(bool fast_path, Setup&& setup, Body&& body) {
   auto bm = setup(fast_path);
   Machine& m = bm->m();
+  if (hn::bench::metrics_enabled()) m.obs().set_enabled(true);
   Stopwatch sw;
   body(*bm);
   ModeRun r;
@@ -162,6 +164,12 @@ ModeRun run_mode(bool fast_path, Setup&& setup, Body&& body) {
   r.mem_ops = m.counters().mem_reads + m.counters().mem_writes;
   r.noncacheable = m.counters().noncacheable_accesses;
   r.bus_txns = m.bus().transaction_count();
+  if (fast_path && hn::bench::metrics_enabled()) {
+    // One cell per fast-mode run (the mode whose counters the table
+    // reports); the reference run would double every count.
+    static u64 metrics_cell = 0;
+    hn::bench::record_cell_metrics(metrics_cell++, m.obs().snapshot());
+  }
   return r;
 }
 
@@ -313,11 +321,23 @@ LoopResult bench_fuzz_replay(u64 sequences) {
     auto specs = fuzz::build_matrix(/*full=*/false);
     for (auto& spec : specs) spec.host_fast_path = fast_path;
     const fuzz::GeneratorOptions gen;
-    const fuzz::ExecutorOptions exec;
+    fuzz::ExecutorOptions exec;
+    exec.collect_metrics = fast_path && hn::bench::metrics_enabled();
     Stopwatch sw;
     u64 findings = 0;
+    obs::Snapshot metrics;
+    std::vector<fuzz::RunResult> runs;
     for (u64 s = 1; s <= sequences; ++s) {
-      findings += fuzz::run_sequence_seed(s, gen, specs, exec).findings.size();
+      findings += fuzz::run_sequence_seed(
+                      s, gen, specs, exec,
+                      exec.collect_metrics ? &runs : nullptr)
+                      .findings.size();
+      for (const fuzz::RunResult& r : runs) metrics.merge(r.metrics);
+      runs.clear();
+    }
+    if (exec.collect_metrics) {
+      static u64 metrics_cell = 1u << 16;  // clear of the run_mode cells
+      hn::bench::record_cell_metrics(metrics_cell++, metrics);
     }
     if (findings != 0) {
       std::fprintf(stderr, "FATAL: fuzz_replay produced %llu findings\n",
@@ -368,6 +388,9 @@ void write_json(const std::string& path, bool quick,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Peel off the repo-common flags (--metrics-out, --jobs) first; the
+  // remaining flags are this bench's own.
+  hn::bench::parse_and_strip_args(&argc, argv);
   bool quick = false;
   std::string out = "BENCH_sim_throughput.json";
   for (int i = 1; i < argc; ++i) {
@@ -379,7 +402,9 @@ int main(int argc, char** argv) {
       g_repeat = static_cast<unsigned>(std::strtoul(argv[i] + 9, nullptr, 0));
       if (g_repeat == 0) g_repeat = 1;
     } else {
-      std::fprintf(stderr, "usage: %s [--quick] [--repeat=N] [--out=PATH]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--repeat=N] [--out=PATH] "
+                   "[--metrics-out=PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -403,5 +428,5 @@ int main(int argc, char** argv) {
   }
   write_json(out, quick, loops);
   std::printf("\nwrote %s\n", out.c_str());
-  return 0;
+  return hn::bench::write_bench_metrics();
 }

@@ -39,7 +39,7 @@ constexpr PaperRow kPaper[] = {
 int main(int argc, char** argv) {
   using hn::hypernel::Mode;
   constexpr unsigned kIterations = 64;
-  const unsigned jobs = hn::bench::parse_jobs(argc, argv);
+  const unsigned jobs = hn::bench::parse_args(argc, argv).jobs;
 
   // One cell per mode; each builds its own System, so the three columns
   // fan out across workers and merge in mode order.
@@ -49,7 +49,9 @@ int main(int argc, char** argv) {
           3, jobs, [&](hn::u64 m) {
             auto sys = hn::bench::make_perf_system(modes[m]);
             hn::workloads::LmbenchSuite suite(*sys, kIterations);
-            return suite.run_all();
+            auto rows = suite.run_all();
+            hn::bench::record_cell_metrics(m, *sys);
+            return rows;
           });
   const std::vector<hn::workloads::LmbenchResult>* results = cells.data();
 
@@ -81,5 +83,5 @@ int main(int argc, char** argv) {
       "15.5%%)  |  Hypernel %.1f%% (paper %.1f%%; reported 8.8%%)\n",
       100.0 * slowdown_sum[0] / rows, 100.0 * paper_slowdown_sum[0] / rows,
       100.0 * slowdown_sum[1] / rows, 100.0 * paper_slowdown_sum[1] / rows);
-  return 0;
+  return hn::bench::write_bench_metrics();
 }

@@ -29,7 +29,8 @@ constexpr PaperRow kPaper[] = {
     {"apache", 48650, 1754},
 };
 
-hn::u64 run_with_monitor(const char* app, hn::secapps::Granularity granularity) {
+hn::u64 run_with_monitor(hn::u64 cell, const char* app,
+                         hn::secapps::Granularity granularity) {
   auto sys = hn::bench::make_monitor_system();
   hn::secapps::ObjectIntegrityMonitor monitor(*sys, granularity);
   if (!monitor.install().ok()) {
@@ -38,13 +39,14 @@ hn::u64 run_with_monitor(const char* app, hn::secapps::Granularity granularity) 
   }
   hn::workloads::AppParams p;
   hn::workloads::run_app_by_name(*sys, app, p);
+  hn::bench::record_cell_metrics(cell, *sys);
   return sys->mbm()->stats().detections;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const unsigned jobs = hn::bench::parse_jobs(argc, argv);
+  const unsigned jobs = hn::bench::parse_args(argc, argv).jobs;
   constexpr int kRows = 5;
 
   // 5 benchmarks x 2 granularities = 10 independent monitored systems.
@@ -52,8 +54,8 @@ int main(int argc, char** argv) {
       2 * kRows, jobs, [&](hn::u64 cell) {
         const PaperRow& row = kPaper[cell / 2];
         return run_with_monitor(
-            row.name, cell % 2 == 0
-                          ? hn::secapps::Granularity::kWholeObject
+            cell, row.name,
+            cell % 2 == 0 ? hn::secapps::Granularity::kWholeObject
                           : hn::secapps::Granularity::kSensitiveFields);
       });
 
@@ -85,5 +87,5 @@ int main(int argc, char** argv) {
       "overall: word-granularity requires %.1f%% of page-granularity traps "
       "(paper: ~6.2%%; per-benchmark mean %.1f%%)\n",
       100.0 * total_word / total_page, ratio_sum / 5);
-  return 0;
+  return hn::bench::write_bench_metrics();
 }

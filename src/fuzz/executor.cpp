@@ -74,7 +74,9 @@ class Exec {
   RunResult run(std::span<const Op> ops) {
     RunResult out;
     out.config = spec_.name;
-    auto built = hypernel::System::create(spec_.system_config());
+    hypernel::SystemConfig cfg = spec_.system_config();
+    cfg.metrics = opt_.collect_metrics;
+    auto built = hypernel::System::create(cfg);
     if (!built.ok()) {
       out.build_failed = true;
       out.build_error = built.status().message();
@@ -150,6 +152,7 @@ class Exec {
     }
     out.violations = std::move(violations_);
     out.attacks_expected = attacks_expected_;
+    if (opt_.collect_metrics) out.metrics = sys_->metrics_snapshot();
     return out;
   }
 

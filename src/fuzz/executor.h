@@ -22,6 +22,7 @@
 #include "fuzz/ops.h"
 #include "hypernel/fingerprint.h"
 #include "hypernel/system.h"
+#include "obs/metrics.h"
 #include "secapps/object_monitor.h"
 
 namespace hn::fuzz {
@@ -70,6 +71,8 @@ struct RunResult {
   u64 attacks_expected = 0;    // attack writes that policy says must alert
   /// Rendered sim::Trace of the step selected by ExecutorOptions::trace_step.
   std::vector<std::string> trace;
+  /// Metrics snapshot of the run (ExecutorOptions::collect_metrics).
+  obs::Snapshot metrics;
 };
 
 struct ExecutorOptions {
@@ -84,6 +87,9 @@ struct ExecutorOptions {
   /// When set, enable machine tracing around this step index and return
   /// its events (via Trace::sequence()/since()) in RunResult::trace.
   u64 trace_step = ~0ull;
+  /// Enable the observability registry for the run and return its
+  /// snapshot in RunResult::metrics.
+  bool collect_metrics = false;
 };
 
 /// Run `ops` under `spec`.  Deterministic: same (spec, ops, options) give

@@ -119,6 +119,9 @@ struct SequenceOutcome {
   OracleReport report;
   /// (functional_hash, cycles) of every run, matrix order.
   std::vector<std::pair<u64, u64>> run_digests;
+  /// Per-sequence metrics fold (matrix order), merged campaign-wide on
+  /// the merging thread.
+  obs::Snapshot metrics;
 };
 
 SequenceOutcome evaluate_sequence(u64 index, const FuzzOptions& options,
@@ -134,6 +137,7 @@ SequenceOutcome evaluate_sequence(u64 index, const FuzzOptions& options,
   for (const RunResult& run : runs) {
     out.run_digests.emplace_back(run.fingerprint.functional_hash(),
                                  run.fingerprint.cycles);
+    if (exec.collect_metrics) out.metrics.merge(run.metrics);
   }
   out.evaluated = true;
   return out;
@@ -150,7 +154,8 @@ CampaignResult run_campaign(const FuzzOptions& options, std::ostream* log) {
                        .attacks = options.attacks,
                        .forged = options.forged};
   ExecutorOptions exec{.inject_bypass = options.inject_bypass,
-                       .audit_stride = options.audit_stride};
+                       .audit_stride = options.audit_stride,
+                       .collect_metrics = options.collect_metrics};
 
   // Fan the sequences out: each index is an independent universe (its
   // seed comes from the index alone), so any worker count produces the
@@ -197,6 +202,9 @@ CampaignResult run_campaign(const FuzzOptions& options, std::ostream* log) {
     }
     result.sequence_digests.push_back(seq_digest);
     result.sequence_verdicts.push_back(report.ok() ? 0 : 1);
+    if (options.collect_metrics) {
+      result.metrics.merge(outcomes[index].metrics);
+    }
     if (report.ok()) {
       if (log != nullptr && (index + 1) % 10 == 0) {
         *log << "  " << (index + 1) << "/" << options.sequences

@@ -55,6 +55,10 @@ struct FuzzOptions {
   /// (sim::MachineConfig::host_fast_path).  Never changes results — the
   /// campaign digest must be identical either way.
   bool host_fast_path = true;
+  /// Collect per-run observability metrics and fold them (index order)
+  /// into CampaignResult::metrics.  Purely additive: never changes
+  /// digests, verdicts or simulated cycles.
+  bool collect_metrics = false;
 };
 
 struct SequenceFailure {
@@ -93,6 +97,11 @@ struct CampaignResult {
   std::vector<u8> sequence_verdicts;
   std::vector<SequenceFailure> failure_details;
   CampaignExecStats exec;
+  /// Campaign-wide metrics fold (FuzzOptions::collect_metrics): every
+  /// run's snapshot merged in (sequence, matrix) order.  Merge is
+  /// commutative and associative, so the result is identical at any
+  /// `jobs` value — the campaign determinism test pins this too.
+  obs::Snapshot metrics;
 
   [[nodiscard]] bool ok() const { return failures == 0; }
 };

@@ -48,6 +48,9 @@ struct SystemConfig {
   unsigned mbm_fifo_depth = 64;
   unsigned mbm_bitmap_cache_entries = 16;
   bool mbm_bitmap_cache_enabled = true;
+  /// Enable the observability registry (DESIGN.md §10) from the first
+  /// instruction of boot, so --metrics-out captures the whole run.
+  bool metrics = false;
 };
 
 class System {
@@ -82,6 +85,12 @@ class System {
   [[nodiscard]] double us_since(const Snapshot& s) const;
   [[nodiscard]] Cycles cycles_since(const Snapshot& s) const;
   [[nodiscard]] sim::Counters counters_since(const Snapshot& s) const;
+
+  /// Observability snapshot of the machine's metrics registry (empty
+  /// values unless SystemConfig::metrics was set).
+  [[nodiscard]] obs::Snapshot metrics_snapshot() const {
+    return machine_->obs().snapshot();
+  }
 
  private:
   explicit System(const SystemConfig& config) : config_(config) {}

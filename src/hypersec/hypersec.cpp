@@ -17,7 +17,17 @@ Hypersec::Hypersec(sim::Machine& machine, kernel::Kernel& kernel,
                    mbm::MemoryBusMonitor* mbm, const HypersecConfig& config)
     : machine_(machine), kernel_(kernel), mbm_(mbm), config_(config),
       verifier_(machine, kernel::kTextBase, kernel::kTextSize,
-                kernel::kRodataBase, kernel::kRodataSize) {}
+                kernel::kRodataBase, kernel::kRodataSize) {
+  obs::Registry& obs = machine_.obs();
+  obs_hvc_calls_ = obs.counter("hypersec.hvc.calls");
+  obs_verify_cycles_ = obs.counter("hypersec.hvc.verify_cycles");
+  obs_pt_writes_ = obs.counter("hypersec.pt_writes");
+  obs_pt_write_denials_ = obs.counter("hypersec.pt_write_denials");
+  obs_traps_ = obs.counter("hypersec.traps");
+  obs_trap_denials_ = obs.counter("hypersec.trap_denials");
+  span_hvc_ = machine_.spans().intern("hypersec.hvc");
+  span_trap_ = machine_.spans().intern("hypersec.trap");
+}
 
 Hypersec::~Hypersec() {
   machine_.exceptions().set_hypercall_handler(nullptr);
@@ -209,6 +219,9 @@ std::vector<std::string> Hypersec::audit() const {
 }
 
 u64 Hypersec::handle_hvc(u64 func, std::span<const u64> args) {
+  obs::SpanScope span(machine_.spans(), span_hvc_);
+  obs_hvc_calls_.add();
+  obs_verify_cycles_.add(config_.verify_cost);
   machine_.advance(config_.verify_cost);
   switch (func) {
     case hvc::kPtWrite:
@@ -244,12 +257,14 @@ u64 Hypersec::handle_hvc(u64 func, std::span<const u64> args) {
 u64 Hypersec::do_pt_write(std::span<const u64> args) {
   if (args.size() != 3) return hvc::kBadArgs;
   ++stats_.pt_write_calls;
+  obs_pt_writes_.add();
   const PhysAddr table_pa = args[0];
   const auto index = static_cast<unsigned>(args[1]);
   const u64 desc = args[2];
   if (index >= kPtEntries) return hvc::kBadArgs;
   if (verifier_.check_pt_write(table_pa, index, desc) == Verdict::kDeny) {
     ++stats_.pt_write_denials;
+    obs_pt_write_denials_.add();
     HN_LOG_DEBUG("hypersec", "denied PT write: table=%llx idx=%u desc=%llx",
                  static_cast<unsigned long long>(table_pa), index,
                  static_cast<unsigned long long>(desc));
@@ -374,6 +389,9 @@ u64 Hypersec::do_mbm_irq() {
 }
 
 TrapVerdict Hypersec::handle_sysreg_trap(SysReg reg, u64 value) {
+  obs::SpanScope span(machine_.spans(), span_trap_);
+  obs_traps_.add();
+  obs_verify_cycles_.add(config_.verify_cost);
   machine_.advance(config_.verify_cost);
   ++stats_.ttbr_traps;
   switch (reg) {
@@ -382,6 +400,7 @@ TrapVerdict Hypersec::handle_sysreg_trap(SysReg reg, u64 value) {
       const PhysAddr baddr = value & 0x0000'FFFF'FFFF'FFFFull;
       if (baddr != verifier_.kernel_root()) {
         ++stats_.trap_denials;
+        obs_trap_denials_.add();
         return TrapVerdict::kDeny;
       }
       return TrapVerdict::kAllow;
@@ -392,6 +411,7 @@ TrapVerdict Hypersec::handle_sysreg_trap(SysReg reg, u64 value) {
       const PhysAddr baddr = value & 0x0000'FFFF'FFFF'FFFFull;
       if (baddr != 0 && !verifier_.is_user_root(baddr)) {
         ++stats_.trap_denials;
+        obs_trap_denials_.add();
         return TrapVerdict::kDeny;
       }
       return TrapVerdict::kAllow;
@@ -401,6 +421,7 @@ TrapVerdict Hypersec::handle_sysreg_trap(SysReg reg, u64 value) {
       // Hypernel established would evaporate (§5.2.2).
       if (!bit(value, 0)) {
         ++stats_.trap_denials;
+        obs_trap_denials_.add();
         return TrapVerdict::kDeny;
       }
       return TrapVerdict::kAllow;

@@ -149,6 +149,16 @@ class Hypersec {
   std::map<u64, SecurityApp*> apps_;
   HypersecStats stats_;
   bool initialized_ = false;
+  // Observability: counters plus interned span names for the two EL2
+  // entry points (hvc dispatch and sysreg traps).
+  obs::Counter obs_hvc_calls_;
+  obs::Counter obs_verify_cycles_;
+  obs::Counter obs_pt_writes_;
+  obs::Counter obs_pt_write_denials_;
+  obs::Counter obs_traps_;
+  obs::Counter obs_trap_denials_;
+  u32 span_hvc_ = 0;
+  u32 span_trap_ = 0;
 };
 
 }  // namespace hn::hypersec

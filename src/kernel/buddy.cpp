@@ -53,6 +53,7 @@ Result<PhysAddr> BuddyAllocator::alloc_pages(unsigned order) {
   allocated_[index] = true;
   block_order_[index] = static_cast<u8>(order);
   free_pages_ -= u64{1} << order;
+  obs_alloc_pages_.add(u64{1} << order);
   return frame_addr(index);
 }
 
@@ -63,6 +64,7 @@ void BuddyAllocator::free_pages(PhysAddr pa, unsigned order) {
          "free_pages: not an allocated block head of this order");
   allocated_[index] = false;
   free_pages_ += u64{1} << order;
+  obs_free_pages_.add(u64{1} << order);
   if (free_hook_) free_hook_(pa, order);
 
   // Coalesce with the buddy while possible.

@@ -13,6 +13,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/metrics.h"
 
 namespace hn::kernel {
 
@@ -35,6 +36,13 @@ class BuddyAllocator {
   /// to decide which stage-2 mappings go stale; see DESIGN.md).
   void set_free_hook(std::function<void(PhysAddr, unsigned)> hook) {
     free_hook_ = std::move(hook);
+  }
+
+  /// Register alloc/free counters with the machine's metrics registry
+  /// (the allocator itself has no machine reference; the kernel wires it).
+  void attach_obs(obs::Registry& obs) {
+    obs_alloc_pages_ = obs.counter("kernel.alloc.pages");
+    obs_free_pages_ = obs.counter("kernel.alloc.freed_pages");
   }
 
   [[nodiscard]] u64 free_pages_count() const { return free_pages_; }
@@ -62,6 +70,8 @@ class BuddyAllocator {
   std::vector<u8> block_order_;  // allocation order per frame (head only)
   std::vector<bool> allocated_;  // per-frame allocated bit (heads)
   std::function<void(PhysAddr, unsigned)> free_hook_;
+  obs::Counter obs_alloc_pages_;
+  obs::Counter obs_free_pages_;
 };
 
 }  // namespace hn::kernel

@@ -17,9 +17,10 @@ namespace hn::kernel {
 /// the kernel boundary crossing every syscall pays.
 class Kernel::SvcScope {
  public:
-  explicit SvcScope(sim::Machine& machine) : machine_(machine) {
+  explicit SvcScope(Kernel& kernel) : machine_(kernel.machine_) {
     machine_.advance(machine_.timing().svc_entry);
     ++machine_.counters().svc_calls;
+    kernel.obs_syscalls_.add();
     machine_.trace().record(machine_.account().cycles(),
                             sim::TraceKind::kSvc);
   }
@@ -39,6 +40,8 @@ Kernel::Kernel(sim::Machine& machine, const KernelConfig& config)
          linear_limit_ <= machine.phys().size());
   buddy_ = std::make_unique<BuddyAllocator>(kBuddyPoolBase,
                                             linear_limit_ - kBuddyPoolBase);
+  buddy_->attach_obs(machine_.obs());
+  obs_syscalls_ = machine_.obs().counter("kernel.syscalls");
   kpt_ = std::make_unique<PageTableManager>(machine_, *buddy_);
   cred_slab_ = std::make_unique<SlabCache>(machine_, *buddy_, config_.costs,
                                            ObjectKind::kCred);
@@ -151,52 +154,52 @@ void Kernel::on_irq(unsigned line) {
 // --- Filesystem syscalls ------------------------------------------------------
 
 Result<StatInfo> Kernel::sys_stat(std::string_view path) {
-  SvcScope svc(machine_);
+  SvcScope svc(*this);
   touch_kernel_ws(config_.costs.ws_stat);
   return vfs_->stat(path);
 }
 
 Result<u64> Kernel::sys_creat(std::string_view path) {
-  SvcScope svc(machine_);
+  SvcScope svc(*this);
   return vfs_->create_file(path);
 }
 
 Status Kernel::sys_unlink(std::string_view path) {
-  SvcScope svc(machine_);
+  SvcScope svc(*this);
   return vfs_->unlink(path);
 }
 
 Status Kernel::sys_rename(std::string_view from, std::string_view to) {
-  SvcScope svc(machine_);
+  SvcScope svc(*this);
   return vfs_->rename(from, to);
 }
 
 Status Kernel::sys_mkdir(std::string_view path) {
-  SvcScope svc(machine_);
+  SvcScope svc(*this);
   Result<u64> r = vfs_->mkdir(path);
   return r.ok() ? Status::Ok() : r.status();
 }
 
 Status Kernel::sys_write(u64 ino, u64 offset, const void* data, u64 len) {
-  SvcScope svc(machine_);
+  SvcScope svc(*this);
   return vfs_->write_file(ino, offset, data, len);
 }
 
 Status Kernel::sys_read(u64 ino, u64 offset, void* out, u64 len) {
-  SvcScope svc(machine_);
+  SvcScope svc(*this);
   return vfs_->read_file(ino, offset, out, len);
 }
 
 // --- Signals ------------------------------------------------------------------
 
 Status Kernel::sys_sigaction(unsigned sig, u64 handler) {
-  SvcScope svc(machine_);
+  SvcScope svc(*this);
   touch_kernel_ws(config_.costs.ws_sigaction);
   return procs_->sigaction(procs_->current(), sig, handler);
 }
 
 Status Kernel::sys_kill_self(unsigned sig) {
-  SvcScope svc(machine_);
+  SvcScope svc(*this);
   touch_kernel_ws(config_.costs.ws_signal);
   return procs_->deliver_signal(procs_->current(), sig);
 }
@@ -204,12 +207,12 @@ Status Kernel::sys_kill_self(unsigned sig) {
 // --- IPC ----------------------------------------------------------------------
 
 Result<u32> Kernel::sys_pipe() {
-  SvcScope svc(machine_);
+  SvcScope svc(*this);
   return ipc_->create_pipe();
 }
 
 Status Kernel::sys_pipe_write(u32 id, VirtAddr user_buf, u64 len) {
-  SvcScope svc(machine_);
+  SvcScope svc(*this);
   touch_kernel_ws(config_.costs.ws_pipe);
   std::vector<u8> buf(len);
   if (Status s = procs_->touch_page(user_buf, false); !s.ok()) return s;
@@ -218,7 +221,7 @@ Status Kernel::sys_pipe_write(u32 id, VirtAddr user_buf, u64 len) {
 }
 
 Result<u64> Kernel::sys_pipe_read(u32 id, VirtAddr user_buf, u64 len) {
-  SvcScope svc(machine_);
+  SvcScope svc(*this);
   touch_kernel_ws(config_.costs.ws_pipe);
   std::vector<u8> buf(len);
   Result<u64> got = ipc_->pipe_read(id, buf.data(), len);
@@ -229,13 +232,13 @@ Result<u64> Kernel::sys_pipe_read(u32 id, VirtAddr user_buf, u64 len) {
 }
 
 Result<u32> Kernel::sys_socketpair() {
-  SvcScope svc(machine_);
+  SvcScope svc(*this);
   return ipc_->create_socket_pair();
 }
 
 Status Kernel::sys_socket_send(u32 id, unsigned end, VirtAddr user_buf,
                                u64 len) {
-  SvcScope svc(machine_);
+  SvcScope svc(*this);
   touch_kernel_ws(config_.costs.ws_socket);
   std::vector<u8> buf(len);
   if (Status s = procs_->touch_page(user_buf, false); !s.ok()) return s;
@@ -245,7 +248,7 @@ Status Kernel::sys_socket_send(u32 id, unsigned end, VirtAddr user_buf,
 
 Result<u64> Kernel::sys_socket_recv(u32 id, unsigned end, VirtAddr user_buf,
                                     u64 len) {
-  SvcScope svc(machine_);
+  SvcScope svc(*this);
   touch_kernel_ws(config_.costs.ws_socket);
   std::vector<u8> buf(len);
   Result<u64> got = ipc_->socket_recv(id, end, buf.data(), len);
@@ -258,7 +261,7 @@ Result<u64> Kernel::sys_socket_recv(u32 id, unsigned end, VirtAddr user_buf,
 // --- Processes ----------------------------------------------------------------
 
 Result<u32> Kernel::sys_fork() {
-  SvcScope svc(machine_);
+  SvcScope svc(*this);
   touch_kernel_ws(config_.costs.ws_fork);
   Result<Task*> child = procs_->fork(procs_->current());
   if (!child.ok()) return child.status();
@@ -266,53 +269,53 @@ Result<u32> Kernel::sys_fork() {
 }
 
 Status Kernel::sys_execve() {
-  SvcScope svc(machine_);
+  SvcScope svc(*this);
   touch_kernel_ws(config_.costs.ws_exec);
   return procs_->execve(procs_->current(), config_.image);
 }
 
 Status Kernel::sys_exit() {
-  SvcScope svc(machine_);
+  SvcScope svc(*this);
   touch_kernel_ws(config_.costs.ws_exit);
   return procs_->exit_task(procs_->current());
 }
 
 Status Kernel::sys_setuid(u64 uid) {
-  SvcScope svc(machine_);
+  SvcScope svc(*this);
   return procs_->setuid(procs_->current(), uid);
 }
 
 Result<LoadedModule> Kernel::sys_insmod(const ModuleImage& image) {
-  SvcScope svc(machine_);
+  SvcScope svc(*this);
   touch_kernel_ws(config_.costs.ws_exec);
   return modules_->load(image);
 }
 
 Status Kernel::sys_rmmod(const std::string& name) {
-  SvcScope svc(machine_);
+  SvcScope svc(*this);
   touch_kernel_ws(config_.costs.ws_exec / 2);
   return modules_->unload(name);
 }
 
 Result<u64> Kernel::sys_module_call(const std::string& name, u64 hook) {
-  SvcScope svc(machine_);
+  SvcScope svc(*this);
   return modules_->call_hook(name, hook);
 }
 
 Result<VirtAddr> Kernel::sys_mmap(u64 len, bool writable) {
-  SvcScope svc(machine_);
+  SvcScope svc(*this);
   touch_kernel_ws(config_.costs.ws_mmap);
   return procs_->mmap(procs_->current(), len, writable);
 }
 
 Result<VirtAddr> Kernel::sys_mmap_file(u64 ino, u64 len, bool writable) {
-  SvcScope svc(machine_);
+  SvcScope svc(*this);
   touch_kernel_ws(config_.costs.ws_mmap);
   return procs_->mmap_file(procs_->current(), ino, len, writable);
 }
 
 Status Kernel::sys_munmap(VirtAddr va, u64 len) {
-  SvcScope svc(machine_);
+  SvcScope svc(*this);
   touch_kernel_ws(config_.costs.ws_munmap);
   return procs_->munmap(procs_->current(), va, len);
 }

@@ -139,6 +139,7 @@ class Kernel {
   PhysAddr ws_arena_ = 0;       // kernel-structures arena (working set)
   u64 ws_arena_pages_ = 0;
   u64 ws_cursor_ = 0;
+  obs::Counter obs_syscalls_;
 };
 
 }  // namespace hn::kernel

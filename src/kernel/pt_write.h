@@ -40,22 +40,29 @@ class PtWriter {
 /// Vanilla path: plain EL1 stores through the linear map.
 class DirectPtWriter final : public PtWriter {
  public:
-  explicit DirectPtWriter(sim::Machine& machine) : machine_(machine) {}
+  explicit DirectPtWriter(sim::Machine& machine)
+      : machine_(machine),
+        obs_pt_writes_(machine.obs().counter("kernel.pt_writes")) {}
 
   bool write_desc(PhysAddr table_pa, unsigned index, u64 desc) override {
+    obs_pt_writes_.add();
     return machine_.write64(phys_to_virt(table_pa + index * 8), desc).ok;
   }
 
  private:
   sim::Machine& machine_;
+  obs::Counter obs_pt_writes_;
 };
 
 /// Instrumented path: one HVC per descriptor write, a la TZ-RKP (§5.2.1).
 class HypercallPtWriter final : public PtWriter {
  public:
-  explicit HypercallPtWriter(sim::Machine& machine) : machine_(machine) {}
+  explicit HypercallPtWriter(sim::Machine& machine)
+      : machine_(machine),
+        obs_pt_writes_(machine.obs().counter("kernel.pt_writes")) {}
 
   bool write_desc(PhysAddr table_pa, unsigned index, u64 desc) override {
+    obs_pt_writes_.add();
     return machine_.hvc(hvc::kPtWrite, {table_pa, index, desc}) == hvc::kOk;
   }
   void on_pt_page_alloc(PhysAddr pa, unsigned level) override {
@@ -73,6 +80,7 @@ class HypercallPtWriter final : public PtWriter {
 
  private:
   sim::Machine& machine_;
+  obs::Counter obs_pt_writes_;
 };
 
 }  // namespace hn::kernel

@@ -17,6 +17,16 @@ MemoryBusMonitor::MemoryBusMonitor(sim::Machine& machine,
                                   bitmap_bytes_for(config_.watch_size)));
   assert(machine_.phys().contains(config_.ring_base,
                                   config_.ring_entries * kRingEntryBytes));
+  obs::Registry& obs = machine_.obs();
+  obs_word_writes_ = obs.counter("mbm.snoop.word_writes");
+  obs_fifo_drops_ = obs.counter("mbm.fifo.drops");
+  obs_fifo_high_water_ = obs.gauge("mbm.fifo.high_water");
+  obs_cache_hits_ = obs.counter("mbm.bitmap.cache_hits");
+  obs_cache_misses_ = obs.counter("mbm.bitmap.cache_misses");
+  obs_fetches_ = obs.counter("mbm.bitmap.fetches");
+  obs_detections_ = obs.counter("mbm.detections");
+  obs_irqs_ = obs.counter("mbm.irqs");
+  obs_service_cycles_ = obs.histogram("mbm.fifo.service_cycles");
   machine_.bus().attach_snooper(this);
 }
 
@@ -56,18 +66,29 @@ void MemoryBusMonitor::handle_word_write(PhysAddr pa, u64 value, Cycles t,
     return;
   }
   if (!ranges_overlap(pa, 1, config_.watch_base, config_.watch_size)) return;
-  if (!from_line) ++snooped_word_writes_;
+  if (!from_line) {
+    ++snooped_word_writes_;
+    obs_word_writes_.add();
+  }
 
   // Bitmap translator: locate the monitoring bit.
   const u64 bit = bit_index_for(pa, config_.watch_base);
   const PhysAddr word_addr = bitmap_word_addr(bit, config_.bitmap_base);
 
   const BitmapCache::LookupResult lr = bitmap_cache_.lookup(word_addr);
+  if (lr.hit) {
+    obs_cache_hits_.add();
+  } else {
+    obs_cache_misses_.add();
+  }
   const Cycles service = machine_.timing().mbm_event_process +
                          (lr.hit ? 0 : machine_.timing().mbm_bitmap_fetch);
+  obs_service_cycles_.record_cycles(service);
   if (!fifo_.offer(CapturedWrite{pa, value, t}, t, service)) {
+    obs_fifo_drops_.add();
     return;  // capture lost: the FIFO overflowed under burst
   }
+  obs_fifo_high_water_.set_max(fifo_.occupancy());
 
   u64 word = lr.value;
   if (!lr.hit) {
@@ -76,14 +97,17 @@ void MemoryBusMonitor::handle_word_write(PhysAddr pa, u64 value, Cycles t,
     word = machine_.phys().read64(word_addr);
     bitmap_cache_.fill(word_addr, word);
     ++bitmap_fetches_;
+    obs_fetches_.add();
   }
 
   // Decision unit.
   if ((word >> bit_position(bit)) & 1) {
     ++detections_;
+    obs_detections_.add();
     machine_.trace().record(t, sim::TraceKind::kMbmDetect, pa, value);
     if (ring_.push(MonitorEvent{pa, value})) {
       ++irqs_raised_;
+      obs_irqs_.add();
       machine_.raise_irq(config_.irq_line);
     }
   }

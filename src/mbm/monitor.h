@@ -95,6 +95,16 @@ class MemoryBusMonitor final : public sim::BusSnooper {
   u64 bitmap_fetches_ = 0;
   u64 detections_ = 0;
   u64 irqs_raised_ = 0;
+  // Observability handles (inert unless the machine's registry is enabled).
+  obs::Counter obs_word_writes_;
+  obs::Counter obs_fifo_drops_;
+  obs::Gauge obs_fifo_high_water_;
+  obs::Counter obs_cache_hits_;
+  obs::Counter obs_cache_misses_;
+  obs::Counter obs_fetches_;
+  obs::Counter obs_detections_;
+  obs::Counter obs_irqs_;
+  obs::Histogram obs_service_cycles_;
 };
 
 }  // namespace hn::mbm

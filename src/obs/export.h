@@ -1,0 +1,39 @@
+// Observability layer, part 3: snapshot exporters (DESIGN.md §10).
+//
+// Both formats render a path-sorted Snapshot deterministically — equal
+// snapshots produce byte-identical files, so exports can be diffed,
+// golden-tested and compared across --jobs counts.  JSON is the tool/CI
+// interchange format (`--metrics-out=metrics.json`); CSV is the
+// spreadsheet-friendly flat table (`--metrics-out=metrics.csv`).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace hn::obs {
+
+/// Render `snap` as a JSON document: {"metrics": [{"path": ...}, ...]}.
+/// Histograms carry count/weight/min/max plus their non-empty buckets
+/// as inclusive upper bounds ("le").
+[[nodiscard]] std::string to_json(const Snapshot& snap);
+
+/// Render `snap` as CSV: path,kind,value,count,weight,min,max — one row
+/// per metric; histogram rows use the aggregate columns, scalar rows the
+/// value column.
+[[nodiscard]] std::string to_csv(const Snapshot& snap);
+
+void write_json(const Snapshot& snap, std::FILE* out);
+void write_csv(const Snapshot& snap, std::FILE* out);
+
+/// Write `snap` to `path`, picking the format by extension (".csv" is
+/// CSV, everything else JSON).  Returns false on I/O failure.
+bool write_metrics_file(const Snapshot& snap, const std::string& path);
+
+/// The `--metrics-out=FILE` contract shared by every tool and bench.
+inline constexpr const char* kMetricsOutUsage =
+    "  --metrics-out=F   write a metrics snapshot to F on exit\n"
+    "                    (JSON, or CSV when F ends in .csv)";
+
+}  // namespace hn::obs

@@ -1,0 +1,80 @@
+#include "obs/span.h"
+
+#include <cassert>
+
+namespace hn::obs {
+
+u32 SpanTracer::intern(std::string_view name) {
+  const auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  const u32 id = static_cast<u32>(names_.size());
+  NameInfo info;
+  info.name = std::string(name);
+  const std::string base = "span." + info.name;
+  info.count = registry_.counter(base + ".count");
+  info.cycles = registry_.counter(base + ".cycles");
+  info.self_cycles = registry_.counter(base + ".self_cycles");
+  names_.push_back(std::move(info));
+  ids_.emplace(names_.back().name, id);
+  return id;
+}
+
+void SpanTracer::enter(u32 id) {
+  assert(id < names_.size());
+  Frame f;
+  f.id = id;
+  f.begin = *now_;
+  stack_.push_back(f);
+}
+
+void SpanTracer::exit(u32 id) {
+  assert(!stack_.empty() && stack_.back().id == id);
+  (void)id;
+  const Frame f = stack_.back();
+  stack_.pop_back();
+  const Cycles end = *now_;
+  const Cycles total = end - f.begin;
+  const Cycles self = total - f.child;
+  if (!stack_.empty()) stack_.back().child += total;
+
+  NameInfo& info = names_[f.id];
+  info.count.add();
+  info.cycles.add(total);
+  info.self_cycles.add(self);
+
+  SpanEvent e;
+  e.name_id = f.id;
+  e.depth = static_cast<u32>(stack_.size());
+  e.begin = f.begin;
+  e.end = end;
+  e.self = self;
+  if (capacity_ == 0) {
+    ++dropped_;
+    return;
+  }
+  if (events_.size() == capacity_) {
+    events_[head_] = e;
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+    return;
+  }
+  events_.push_back(e);
+}
+
+std::vector<SpanEvent> SpanTracer::chronological() const {
+  std::vector<SpanEvent> out;
+  out.reserve(events_.size());
+  for (u64 i = 0; i < events_.size(); ++i) {
+    out.push_back(events_[(head_ + i) % events_.size()]);
+  }
+  return out;
+}
+
+void SpanTracer::clear() {
+  stack_.clear();
+  events_.clear();
+  head_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace hn::obs

@@ -1,0 +1,128 @@
+// Observability layer, part 2: scoped span tracing with cycle
+// attribution (DESIGN.md §10).
+//
+// A SpanTracer owns a stack of open spans and a bounded ring of completed
+// ones (the sim/trace.h idiom: capacity bounds memory, oldest events are
+// dropped and counted).  Time is *simulated* cycles read from the
+// machine's CycleAccount, so spans are deterministic and diffable, and
+// every span knows both its total duration and its self time (total minus
+// enclosed child spans) — the per-subsystem attribution the metrics
+// registry aggregates:
+//
+//   span.<name>.count        completed spans
+//   span.<name>.cycles       total cycles (children included)
+//   span.<name>.self_cycles  cycles net of child spans
+//
+// Enter/exit go through SpanScope, an RAII guard that is a no-op when
+// HN_OBS is compiled out or the registry is runtime-disabled.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/metrics.h"
+
+namespace hn::obs {
+
+struct SpanEvent {
+  u32 name_id = 0;
+  u32 depth = 0;  // nesting depth at entry (0 = top level)
+  Cycles begin = 0;
+  Cycles end = 0;
+  Cycles self = 0;  // end - begin minus child span time
+};
+
+class SpanTracer {
+ public:
+  /// `ring_capacity` bounds the completed-span ring (oldest dropped).
+  explicit SpanTracer(Registry& registry, u64 ring_capacity = u64{1} << 12)
+      : registry_(registry), capacity_(ring_capacity) {}
+
+  SpanTracer(const SpanTracer&) = delete;
+  SpanTracer& operator=(const SpanTracer&) = delete;
+
+  /// Simulated-cycle clock the spans read; unbound tracers stay inert.
+  void bind_clock(const Cycles* now) { now_ = now; }
+
+  /// Intern `name`, creating its three registry metrics on first use.
+  /// Ids are dense and stable; call once at component construction.
+  u32 intern(std::string_view name);
+  [[nodiscard]] const std::string& name(u32 id) const {
+    return names_[id].name;
+  }
+
+  [[nodiscard]] bool enabled() const {
+    return now_ != nullptr && registry_.enabled();
+  }
+
+  void enter(u32 id);
+  void exit(u32 id);
+
+  [[nodiscard]] unsigned open_depth() const {
+    return static_cast<unsigned>(stack_.size());
+  }
+  [[nodiscard]] u64 size() const { return events_.size(); }
+  [[nodiscard]] u64 dropped() const { return dropped_; }
+  /// Completed spans in completion order (accounting for ring wrap).
+  [[nodiscard]] std::vector<SpanEvent> chronological() const;
+  void clear();
+
+ private:
+  struct NameInfo {
+    std::string name;
+    Counter count;
+    Counter cycles;
+    Counter self_cycles;
+  };
+  struct Frame {
+    u32 id = 0;
+    Cycles begin = 0;
+    Cycles child = 0;  // total cycles of completed direct children
+  };
+
+  Registry& registry_;
+  const Cycles* now_ = nullptr;
+  std::vector<NameInfo> names_;
+  std::map<std::string, u32, std::less<>> ids_;
+  std::vector<Frame> stack_;
+  u64 capacity_;
+  std::vector<SpanEvent> events_;
+  u64 head_ = 0;
+  u64 dropped_ = 0;
+};
+
+/// RAII span guard.  Capture the tracer's enabled() verdict at entry so
+/// a mid-span runtime toggle cannot unbalance the nesting stack.
+class SpanScope {
+ public:
+  SpanScope(SpanTracer& tracer, u32 id) {
+#if HN_OBS
+    if (tracer.enabled()) {
+      tracer_ = &tracer;
+      id_ = id;
+      tracer.enter(id);
+    }
+#else
+    (void)tracer;
+    (void)id;
+#endif
+  }
+  ~SpanScope() {
+#if HN_OBS
+    if (tracer_ != nullptr) tracer_->exit(id_);
+#endif
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+#if HN_OBS
+  SpanTracer* tracer_ = nullptr;
+  u32 id_ = 0;
+#endif
+};
+
+}  // namespace hn::obs

@@ -68,6 +68,9 @@ class CycleAccount {
   /// uniform per-word/per-line charges without a per-event call.
   void charge_batch(Cycles per, u64 n) { cycles_ += per * n; }
   [[nodiscard]] Cycles cycles() const { return cycles_; }
+  /// Stable address of the cycle counter — the simulated-time clock the
+  /// observability span tracer binds to (obs/span.h).
+  [[nodiscard]] const Cycles* cycles_ref() const { return &cycles_; }
 
   Counters& counters() { return counters_; }
   [[nodiscard]] const Counters& counters() const { return counters_; }

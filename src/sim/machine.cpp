@@ -10,13 +10,22 @@ namespace hn::sim {
 Machine::Machine(const MachineConfig& config)
     : config_(config),
       phys_(config.dram_size),
+      spans_(obs_),
       cache_(config.cache, phys_, bus_, account_, config_.timing),
-      mmu_(phys_, account_, config_.timing, config.tlb_entries),
+      mmu_(phys_, account_, config_.timing, obs_, config.tlb_entries),
       exceptions_(sysregs_, account_, config_.timing, trace_),
       gic_(exceptions_),
       fast_path_(config.host_fast_path) {
   assert(config.secure_size < config.dram_size);
   mmu_.tlb().set_index_enabled(config.host_fast_path);
+  spans_.bind_clock(account_.cycles_ref());
+  obs_walk_ctx_rebuilds_ = obs_.counter("sim.machine.walk_ctx_rebuilds");
+  obs_walk_ctx_cached_ = obs_.counter("sim.machine.walk_ctx_cached");
+  obs_bulk_chunks_ = obs_.counter("sim.machine.bulk_chunks");
+  obs_bulk_replay_words_ = obs_.counter("sim.machine.bulk_replay_words");
+  obs_bulk_exact_words_ = obs_.counter("sim.machine.bulk_exact_words");
+  obs_bulk_guard_trips_ = obs_.counter("sim.machine.bulk_guard_trips");
+  obs_s2_fault_exits_ = obs_.counter("sim.machine.s2_fault_exits");
 }
 
 WalkContext Machine::build_walk_context() const {
@@ -34,11 +43,17 @@ WalkContext Machine::build_walk_context() const {
 }
 
 WalkContext Machine::walk_context() const {
-  if (!fast_path_) return build_walk_context();
+  if (!fast_path_) {
+    obs_walk_ctx_rebuilds_.add();
+    return build_walk_context();
+  }
   const u64 gen = sysregs_.vm_generation();
   if (walk_ctx_gen_ != gen) {
     walk_ctx_ = build_walk_context();
     walk_ctx_gen_ = gen;
+    obs_walk_ctx_rebuilds_.add();
+  } else {
+    obs_walk_ctx_cached_.add();
   }
   return walk_ctx_;
 }
@@ -111,6 +126,7 @@ Access64 Machine::access64(VirtAddr va, bool is_write, u64 value, bool user) {
         }
         trace_.record(account_.cycles(), TraceKind::kS2Fault, out.fault.ipa,
                       is_write ? 1 : 0);
+        obs_s2_fault_exits_.add();
         account_.charge(config_.timing.vm_exit);
         ++account_.counters().vm_exits;
         const S2FaultAction action = s2_handler_(out.fault, is_write, value);
@@ -196,9 +212,11 @@ bool Machine::write_block_bulk(VirtAddr va, const void* data, u64 len,
       u64 first;
       std::memcpy(&first, p + off, kWordSize);
       if (!write64(va + off, first, user).ok) return false;
+      obs_bulk_exact_words_.add();
       off += kWordSize;
       continue;
     }
+    obs_bulk_chunks_.add();
     const PhysAddr pa = out.t.pa;
     if (out.t.attrs.attr == MemAttr::kNormalCacheable &&
         cache_.config().enabled) {
@@ -256,7 +274,10 @@ bool Machine::write_block_bulk(VirtAddr va, const void* data, u64 len,
             break;
           }
         }
+        obs_bulk_replay_words_.add(w / kWordSize);
+        if (w < chunk) obs_bulk_guard_trips_.add();
       }
+      if (w < chunk) obs_bulk_exact_words_.add((chunk - w) / kWordSize);
       for (; w < chunk; w += kWordSize) {
         u64 v;
         std::memcpy(&v, p + off + w, kWordSize);
@@ -283,9 +304,11 @@ bool Machine::read_block_bulk(VirtAddr va, void* out_buf, u64 len, bool user) {
       const Access64 r = read64(va + off, user);
       if (!r.ok) return false;
       std::memcpy(p + off, &r.value, kWordSize);
+      obs_bulk_exact_words_.add();
       off += kWordSize;
       continue;
     }
+    obs_bulk_chunks_.add();
     const PhysAddr pa = out.t.pa;
     if (out.t.attrs.attr == MemAttr::kNormalCacheable &&
         cache_.config().enabled) {
@@ -325,7 +348,10 @@ bool Machine::read_block_bulk(VirtAddr va, void* out_buf, u64 len, bool user) {
             break;
           }
         }
+        obs_bulk_replay_words_.add(w / kWordSize);
+        if (w < chunk) obs_bulk_guard_trips_.add();
       }
+      if (w < chunk) obs_bulk_exact_words_.add((chunk - w) / kWordSize);
       for (; w < chunk; w += kWordSize) {
         const Access64 r = read64(va + off + w, user);
         if (!r.ok) return false;

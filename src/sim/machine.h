@@ -14,6 +14,8 @@
 
 #include "common/timing.h"
 #include "common/types.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "sim/bus.h"
 #include "sim/cache.h"
 #include "sim/cycle_account.h"
@@ -76,6 +78,12 @@ class Machine {
   ExceptionModel& exceptions() { return exceptions_; }
   Trace& trace() { return trace_; }
   InterruptController& gic() { return gic_; }
+  /// Observability (DESIGN.md §10): per-machine metrics registry and span
+  /// tracer.  Runtime-disabled by default; tools flip it on for
+  /// --metrics-out.  Registration is valid even when disabled.
+  obs::Registry& obs() { return obs_; }
+  [[nodiscard]] const obs::Registry& obs() const { return obs_; }
+  obs::SpanTracer& spans() { return spans_; }
   [[nodiscard]] const TimingModel& timing() const { return config_.timing; }
   [[nodiscard]] const MachineConfig& config() const { return config_; }
 
@@ -197,6 +205,10 @@ class Machine {
   PhysicalMemory phys_;
   MemoryBus bus_;
   CycleAccount account_;
+  // Declared before the components that register metrics in their
+  // constructors (Mmu); initialization order is declaration order.
+  obs::Registry obs_;
+  obs::SpanTracer spans_;
   Cache cache_;
   Mmu mmu_;
   SysRegs sysregs_;
@@ -206,6 +218,15 @@ class Machine {
   El1FaultHandler el1_handler_;
   bool guest_mode_ = false;
   bool fast_path_ = true;
+  // Observability handles (inert unless obs_ is enabled).  The walk-ctx
+  // pair is mutable because walk_context() is logically const.
+  mutable obs::Counter obs_walk_ctx_rebuilds_;
+  mutable obs::Counter obs_walk_ctx_cached_;
+  obs::Counter obs_bulk_chunks_;
+  obs::Counter obs_bulk_replay_words_;
+  obs::Counter obs_bulk_exact_words_;
+  obs::Counter obs_bulk_guard_trips_;
+  obs::Counter obs_s2_fault_exits_;
   // Cached translation-regime snapshot; valid while walk_ctx_gen_ matches
   // sysregs_.vm_generation() (which starts at 1, so 0 means "unprimed").
   mutable WalkContext walk_ctx_;

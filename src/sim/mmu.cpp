@@ -5,8 +5,17 @@
 namespace hn::sim {
 
 Mmu::Mmu(PhysicalMemory& mem, CycleAccount& account, const TimingModel& timing,
-         unsigned tlb_entries)
-    : mem_(mem), account_(account), timing_(timing), tlb_(tlb_entries) {}
+         obs::Registry& obs, unsigned tlb_entries)
+    : mem_(mem), account_(account), timing_(timing), tlb_(tlb_entries) {
+  obs_tlb_hits_ = obs.counter("sim.tlb.hits");
+  obs_tlb_misses_ = obs.counter("sim.tlb.misses");
+  obs_s1_walks_ = obs.counter("sim.mmu.s1_walks");
+  obs_s2_walks_ = obs.counter("sim.mmu.s2_walks");
+  obs_s1_fetches_ = obs.counter("sim.mmu.s1_fetches");
+  obs_s2_fetches_ = obs.counter("sim.mmu.s2_fetches");
+  obs_walk_level_ = obs.histogram("sim.mmu.walk_leaf_level");
+  obs_walk_cycles_ = obs.histogram("sim.mmu.walk_cycles");
+}
 
 u64 Mmu::fetch_descriptor(PhysAddr pa, bool stage2) {
   // Descriptor fetches hit the walk caches / L2 on the modelled core, so
@@ -15,8 +24,10 @@ u64 Mmu::fetch_descriptor(PhysAddr pa, bool stage2) {
   account_.charge(timing_.pt_fetch);
   if (stage2) {
     ++account_.counters().s2_descriptor_fetches;
+    obs_s2_fetches_.add();
   } else {
     ++account_.counters().pt_descriptor_fetches;
+    obs_s1_fetches_.add();
   }
   return mem_.read64(pa);
 }
@@ -31,6 +42,7 @@ bool Mmu::permission_ok(const PageAttrs& attrs, const AccessType& access) {
 TranslateOutcome Mmu::translate_ipa(IpaAddr ipa, bool is_write,
                                     const WalkContext& ctx) {
   assert(ctx.stage2_enabled);
+  obs_s2_walks_.add();
   PhysAddr table = ctx.vttbr;
   for (unsigned level = 0; level <= 3; ++level) {
     const PhysAddr desc_pa = table + va_index(ipa, level) * 8;
@@ -152,6 +164,7 @@ TranslateOutcome Mmu::walk_stage1(VirtAddr va, const AccessType& access,
     e.attrs = attrs;
     e.s2_write_ok = t.s2_write_ok;
     tlb_.insert(e);
+    obs_walk_level_.record(level);
     return TranslateOutcome::success(t);
   }
   return TranslateOutcome::fail(
@@ -162,6 +175,7 @@ TranslateOutcome Mmu::translate(VirtAddr va, const AccessType& access,
                                 const WalkContext& ctx) {
   if (const TlbEntry* e = tlb_.lookup(va, ctx.asid)) {
     ++account_.counters().tlb_hits;
+    obs_tlb_hits_.add();
     if (!permission_ok(e->attrs, access)) {
       return TranslateOutcome::fail(
           Fault{FaultType::kPermission, 3, va, 0, access.is_write});
@@ -179,7 +193,12 @@ TranslateOutcome Mmu::translate(VirtAddr va, const AccessType& access,
     return TranslateOutcome::success(t);
   }
   ++account_.counters().tlb_misses;
-  return walk_stage1(va, access, ctx);
+  obs_tlb_misses_.add();
+  obs_s1_walks_.add();
+  const Cycles before = account_.cycles();
+  TranslateOutcome out = walk_stage1(va, access, ctx);
+  obs_walk_cycles_.record_cycles(account_.cycles() - before);
+  return out;
 }
 
 }  // namespace hn::sim

@@ -10,6 +10,7 @@
 
 #include "common/timing.h"
 #include "common/types.h"
+#include "obs/metrics.h"
 #include "sim/cycle_account.h"
 #include "sim/pagetable.h"
 #include "sim/phys_mem.h"
@@ -74,7 +75,7 @@ struct WalkContext {
 class Mmu {
  public:
   Mmu(PhysicalMemory& mem, CycleAccount& account, const TimingModel& timing,
-      unsigned tlb_entries = 256);
+      obs::Registry& obs, unsigned tlb_entries = 256);
 
   /// Translate `va` for the given access, consulting the TLB first.
   /// On success the mapping is cached in the TLB.  On a stage-2 write-
@@ -105,6 +106,15 @@ class Mmu {
   CycleAccount& account_;
   const TimingModel& timing_;
   Tlb tlb_;
+  // Observability handles (obs/metrics.h; inert unless enabled).
+  obs::Counter obs_tlb_hits_;
+  obs::Counter obs_tlb_misses_;
+  obs::Counter obs_s1_walks_;
+  obs::Counter obs_s2_walks_;
+  obs::Counter obs_s1_fetches_;
+  obs::Counter obs_s2_fetches_;
+  obs::Histogram obs_walk_level_;
+  obs::Histogram obs_walk_cycles_;
 };
 
 }  // namespace hn::sim

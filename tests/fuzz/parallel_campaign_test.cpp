@@ -61,6 +61,29 @@ TEST(ParallelCampaign, CleanCampaignIdenticalAcrossJobCounts) {
   EXPECT_EQ(worker_jobs, 10u);
 }
 
+#if HN_OBS
+TEST(ParallelCampaign, MetricsSnapshotIdenticalAcrossJobCounts) {
+  // The observability fold is index-ordered and every per-entry merge is
+  // commutative, so the campaign's aggregated metrics snapshot must be
+  // bit-identical at any --jobs value — same entries, same values, same
+  // histogram buckets.  (HN_OBS=OFF compiles the recording away, so the
+  // snapshot is legitimately empty there and the test does not apply.)
+  FuzzOptions options1 = base_options(1);
+  options1.collect_metrics = true;
+  FuzzOptions options4 = base_options(4);
+  options4.collect_metrics = true;
+
+  const CampaignResult j1 = run_campaign(options1);
+  const CampaignResult j4 = run_campaign(options4);
+  expect_identical(j1, j4);
+  ASSERT_FALSE(j1.metrics.entries.empty());
+  EXPECT_EQ(j1.metrics, j4.metrics);
+  // The snapshot actually saw the simulation: every universe translates.
+  EXPECT_GT(j1.metrics.rollup("sim.mmu"), 0u);
+  EXPECT_GT(j1.metrics.value("kernel.syscalls"), 0u);
+}
+#endif  // HN_OBS
+
 TEST(ParallelCampaign, AutoJobsMatchesSequential) {
   // jobs = 0 resolves to hardware concurrency — whatever that is on the
   // host, results must not move.

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Summarise a --metrics-out JSON snapshot for the CI step summary.
+
+Usage: metrics_summary.py METRICS.json [TITLE]
+
+Renders the observability snapshot as markdown: subsystem rollups of the
+counters, the largest individual counters, and every histogram's
+count/weight/range.  Output goes to $GITHUB_STEP_SUMMARY (stdout when
+unset).  Exits non-zero only when the snapshot cannot be read — an empty
+metrics file on a run that asked for metrics is itself a bug worth
+failing on.
+"""
+
+import json
+import os
+import sys
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    title = argv[2] if len(argv) > 2 else "Observability metrics"
+    with open(argv[1]) as f:
+        metrics = json.load(f)["metrics"]
+    if not metrics:
+        print(f"::error::{argv[1]} contains no metrics", file=sys.stderr)
+        return 1
+
+    counters = [m for m in metrics if m["kind"] == "counter"]
+    gauges = [m for m in metrics if m["kind"] == "gauge"]
+    hists = [m for m in metrics if m["kind"] == "histogram"]
+
+    rollups = {}
+    for m in counters:
+        root = m["path"].split(".", 1)[0]
+        rollups[root] = rollups.get(root, 0) + m["value"]
+
+    lines = [f"## {title}", ""]
+    lines += ["| subsystem | counter total |", "|---|---|"]
+    for root in sorted(rollups):
+        lines.append(f"| {root} | {rollups[root]:,} |")
+
+    lines += ["", "<details><summary>Top counters</summary>", "",
+              "| path | value |", "|---|---|"]
+    for m in sorted(counters, key=lambda m: -m["value"])[:15]:
+        lines.append(f"| `{m['path']}` | {m['value']:,} |")
+    lines += ["", "</details>"]
+
+    if gauges:
+        lines += ["", "<details><summary>Gauges (high-water)</summary>", "",
+                  "| path | value |", "|---|---|"]
+        for m in sorted(gauges, key=lambda m: m["path"]):
+            lines.append(f"| `{m['path']}` | {m['value']:,} |")
+        lines += ["", "</details>"]
+
+    if hists:
+        lines += ["", "<details><summary>Histograms</summary>", "",
+                  "| path | samples | weight | min | max |", "|---|---|---|---|---|"]
+        for m in sorted(hists, key=lambda m: m["path"]):
+            lines.append(
+                "| `{}` | {:,} | {:,} | {} | {} |".format(
+                    m["path"], m["count"], m["weight"],
+                    m.get("min", "—"), m.get("max", "—"),
+                )
+            )
+        lines += ["", "</details>"]
+
+    out = "\n".join(lines) + "\n"
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as f:
+            f.write(out)
+    else:
+        print(out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Summarise a bench_sim_throughput run for the CI step summary.
+
+Usage: perf_summary.py RESULTS.json [BASELINE.json]
+
+Writes a markdown table of per-loop rates and speedups to
+$GITHUB_STEP_SUMMARY (stdout when unset).  When a baseline (the committed
+BENCH_sim_throughput.json) is given, compares speedups and emits a
+non-gating `::warning::` for any loop whose fast-path speedup regressed
+more than 25% relative to the baseline.  Always exits 0: CI-runner noise
+must never gate a merge; the warning is the signal to look.
+"""
+
+import json
+import os
+import sys
+
+REGRESSION_THRESHOLD = 0.25
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def fmt_rate(rate):
+    if rate >= 1e6:
+        return f"{rate / 1e6:.1f}M/s"
+    if rate >= 1e3:
+        return f"{rate / 1e3:.1f}k/s"
+    return f"{rate:.0f}/s"
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    results = load(argv[1])
+    baseline = load(argv[2]) if len(argv) > 2 and os.path.exists(argv[2]) else None
+    base_loops = (
+        {l["name"]: l for l in baseline["loops"]} if baseline else {}
+    )
+
+    lines = [
+        "## Sim throughput (quick)",
+        "",
+        "| loop | ref | fast | speedup | baseline | delta |",
+        "|---|---|---|---|---|---|",
+    ]
+    warnings = []
+    for loop in results["loops"]:
+        name = loop["name"]
+        base = base_loops.get(name)
+        base_speedup = base["speedup"] if base else None
+        delta = ""
+        if base_speedup:
+            rel = loop["speedup"] / base_speedup - 1.0
+            delta = f"{100 * rel:+.0f}%"
+            if rel < -REGRESSION_THRESHOLD:
+                warnings.append(
+                    f"{name}: speedup {loop['speedup']:.2f}x vs baseline "
+                    f"{base_speedup:.2f}x ({100 * rel:+.0f}%)"
+                )
+        lines.append(
+            "| {} | {} | {} | {:.2f}x | {} | {} |".format(
+                name,
+                fmt_rate(loop["ref_accesses_per_s"]),
+                fmt_rate(loop["fast_accesses_per_s"]),
+                loop["speedup"],
+                f"{base_speedup:.2f}x" if base_speedup else "—",
+                delta or "—",
+            )
+        )
+    if warnings:
+        lines += ["", "**Speedup regressions >25% vs committed baseline "
+                      "(non-gating; runner noise is common):**"]
+        lines += [f"- {w}" for w in warnings]
+        for w in warnings:
+            print(f"::warning title=sim-throughput regression::{w}")
+    else:
+        lines += ["", "No speedup regression beyond 25% of the committed "
+                      "baseline."]
+
+    out = "\n".join(lines) + "\n"
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as f:
+            f.write(out)
+    else:
+        print(out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

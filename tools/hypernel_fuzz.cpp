@@ -22,11 +22,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <optional>
 #include <string>
 
 #include "fuzz/fuzzer.h"
+#include "obs/export.h"
 
 namespace {
 
@@ -36,6 +38,8 @@ using hn::fuzz::FuzzOptions;
 struct Options {
   FuzzOptions fuzz;
   std::optional<hn::u64> replay_seed;
+  std::string metrics_out;
+  std::string failure_dir;
 };
 
 std::optional<std::string> arg_value(const char* arg, const char* name) {
@@ -59,6 +63,11 @@ void usage() {
       "  --jobs=N          worker threads for sequence evaluation (default:\n"
       "                    hardware concurrency; 1 = fully sequential).\n"
       "                    Never changes output, only wall-clock\n"
+      "  --metrics-out=F   collect observability metrics across the campaign\n"
+      "                    and write the folded snapshot to F (.csv = CSV,\n"
+      "                    anything else = JSON)\n"
+      "  --failure-dir=D   write one reproducer file per failing sequence\n"
+      "                    (shrunk ops, replay command, machine trace) to D\n"
       "  --fail-fast       cancel the campaign at the first failing sequence\n"
       "  --no-shrink       report original failing sequences unshrunk\n"
       "  --reference       force host-side reference mode (no sim fast\n"
@@ -94,6 +103,11 @@ bool parse(int argc, char** argv, Options* opt) {
     } else if ((v = arg_value(arg, "--jobs"))) {
       opt->fuzz.jobs =
           static_cast<unsigned>(std::strtoul(v->c_str(), nullptr, 0));
+    } else if ((v = arg_value(arg, "--metrics-out"))) {
+      opt->metrics_out = *v;
+      opt->fuzz.collect_metrics = true;
+    } else if ((v = arg_value(arg, "--failure-dir"))) {
+      opt->failure_dir = *v;
     } else if (std::strcmp(arg, "--reference") == 0) {
       opt->fuzz.host_fast_path = false;
     } else if (std::strcmp(arg, "--fail-fast") == 0) {
@@ -144,6 +158,55 @@ int replay(const Options& opt) {
   return 1;
 }
 
+/// One self-contained reproducer file per failing sequence: everything a
+/// developer needs to replay a CI failure without the CI logs.
+void write_failure_artifacts(const Options& opt, const CampaignResult& result) {
+  std::error_code ec;
+  std::filesystem::create_directories(opt.failure_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "failure-dir: cannot create %s: %s\n",
+                 opt.failure_dir.c_str(), ec.message().c_str());
+    return;
+  }
+  for (const hn::fuzz::SequenceFailure& f : result.failure_details) {
+    const std::string path = opt.failure_dir + "/failure_seq" +
+                             std::to_string(f.index) + ".txt";
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "failure-dir: cannot write %s\n", path.c_str());
+      continue;
+    }
+    std::fprintf(out,
+                 "campaign seed: %llu\n"
+                 "sequence index: %llu\n"
+                 "sequence seed: %llu\n"
+                 "replay: %s\n\n",
+                 static_cast<unsigned long long>(opt.fuzz.seed),
+                 static_cast<unsigned long long>(f.index),
+                 static_cast<unsigned long long>(f.sequence_seed),
+                 f.replay.c_str());
+    std::fprintf(out, "findings (%zu):\n", f.findings.size());
+    for (const std::string& finding : f.findings) {
+      std::fprintf(out, "  %s\n", finding.c_str());
+    }
+    std::fprintf(out, "\nminimal reproducer (%zu ops):\n", f.ops.size());
+    for (size_t i = 0; i < f.ops.size(); ++i) {
+      std::fprintf(out, "  [%zu] %s\n", i, hn::fuzz::describe(f.ops[i]).c_str());
+    }
+    if (!f.trace.empty()) {
+      std::fprintf(out, "\nmachine trace (%s, step %llu):\n",
+                   f.trace_config.c_str(),
+                   static_cast<unsigned long long>(f.trace_step));
+      for (const std::string& line : f.trace) {
+        std::fprintf(out, "  %s\n", line.c_str());
+      }
+    }
+    std::fclose(out);
+  }
+  std::fprintf(stderr, "failure artifacts: %zu file(s) in %s\n",
+               result.failure_details.size(), opt.failure_dir.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -183,5 +246,18 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(result.sequences_run),
               static_cast<unsigned long long>(result.failures),
               static_cast<unsigned long long>(result.corpus_digest));
+  if (!opt.failure_dir.empty() && !result.failure_details.empty()) {
+    write_failure_artifacts(opt, result);
+  }
+  if (!opt.metrics_out.empty()) {
+    if (hn::obs::write_metrics_file(result.metrics, opt.metrics_out)) {
+      std::fprintf(stderr, "metrics: %zu entries written to %s\n",
+                   result.metrics.entries.size(), opt.metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "metrics: failed to write %s\n",
+                   opt.metrics_out.c_str());
+      return 2;
+    }
+  }
   return result.ok() ? 0 : 1;
 }

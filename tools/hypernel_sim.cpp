@@ -16,6 +16,7 @@
 #include "common/hvc_abi.h"
 #include "common/rng.h"
 #include "hypernel/system.h"
+#include "obs/export.h"
 #include "kernel/objects.h"
 #include "kernel/vfs.h"
 #include "secapps/object_monitor.h"
@@ -39,6 +40,7 @@ struct Options {
   std::string monitor = "none";
   std::string scenario = "cred";
   bool trace = false;
+  std::string metrics_out;
 };
 
 const char* arg_value(const char* arg, const char* key) {
@@ -73,6 +75,8 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.monitor = v6;
     } else if (const char* v7 = arg_value(argv[i], "--scenario")) {
       opt.scenario = v7;
+    } else if (const char* v8 = arg_value(argv[i], "--metrics-out")) {
+      opt.metrics_out = v8;
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       opt.trace = true;
     } else {
@@ -87,6 +91,7 @@ std::unique_ptr<hypernel::System> build(const Options& opt, bool want_mbm) {
   hypernel::SystemConfig cfg;
   cfg.mode = opt.mode;
   cfg.enable_mbm = want_mbm && opt.mode != hypernel::Mode::kKvmGuest;
+  cfg.metrics = !opt.metrics_out.empty();
   auto r = hypernel::System::create(cfg);
   if (!r.ok()) {
     std::fprintf(stderr, "system creation failed: %s\n",
@@ -94,6 +99,21 @@ std::unique_ptr<hypernel::System> build(const Options& opt, bool want_mbm) {
     std::exit(1);
   }
   return std::move(r).value();
+}
+
+/// Write the system's metrics snapshot when --metrics-out was given.
+/// Returns false (and complains) on I/O failure.
+bool dump_metrics(const Options& opt, hypernel::System& sys) {
+  if (opt.metrics_out.empty()) return true;
+  const obs::Snapshot snap = sys.metrics_snapshot();
+  if (!obs::write_metrics_file(snap, opt.metrics_out)) {
+    std::fprintf(stderr, "metrics: failed to write %s\n",
+                 opt.metrics_out.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "metrics: %zu entries written to %s\n",
+               snap.entries.size(), opt.metrics_out.c_str());
+  return true;
 }
 
 int cmd_lmbench(const Options& opt) {
@@ -104,7 +124,7 @@ int cmd_lmbench(const Options& opt) {
   for (const auto& r : suite.run_all()) {
     std::printf("  %-16s %8.2f us\n", r.name.c_str(), r.us);
   }
-  return 0;
+  return dump_metrics(opt, *sys) ? 0 : 2;
 }
 
 int cmd_app(const Options& opt) {
@@ -141,7 +161,7 @@ int cmd_app(const Options& opt) {
                 (unsigned long long)sys->mbm()->stats().detections,
                 (unsigned long long)sys->mbm()->stats().irqs_raised);
   }
-  return 0;
+  return dump_metrics(opt, *sys) ? 0 : 2;
 }
 
 int cmd_attack(const Options& opt) {
@@ -190,6 +210,7 @@ int cmd_attack(const Options& opt) {
                 (unsigned long long)a.old_value,
                 (unsigned long long)a.new_value);
   }
+  if (!dump_metrics(opt, *sys)) return 2;
   return detector.alerts().empty() ? 1 : 0;
 }
 
@@ -220,6 +241,7 @@ int cmd_audit(const Options& opt) {
   for (const std::string& v : violations) std::printf("  %s\n", v.c_str());
   std::printf("kernel alive: %s\n",
               k.sys_creat("/post-storm").ok() ? "yes" : "no");
+  if (!dump_metrics(opt, *sys)) return 2;
   return violations.empty() ? 0 : 1;
 }
 
@@ -247,7 +269,7 @@ int cmd_info(const Options& opt) {
                 (unsigned long long)
                     sys->hypersec()->verifier().stats().checked);
   }
-  return 0;
+  return dump_metrics(opt, *sys) ? 0 : 2;
 }
 
 void usage() {
@@ -259,7 +281,9 @@ void usage() {
       "          [--mode=...] [--scale=X] [--seed=N] [--monitor=none|word|object]\n"
       "  attack  --scenario=<cred|dentry|transient|dma> [--trace]\n"
       "  audit   [--seed=N]\n"
-      "  info    [--mode=...]\n");
+      "  info    [--mode=...]\n"
+      "  any command also accepts --metrics-out=F (JSON, or CSV when F\n"
+      "  ends in .csv): observability metrics of the run\n");
 }
 
 }  // namespace
