@@ -13,6 +13,7 @@
 #include "kernel/vfs.h"
 #include "secapps/object_monitor.h"
 #include "secapps/snapshot_monitor.h"
+#include "sim/trace_report.h"
 #include "workloads/apps.h"
 
 namespace {
@@ -32,8 +33,9 @@ Outcome run(hn::u64 cell, double scan_period_us) {
   hypernel::SystemConfig cfg;
   cfg.mode = hypernel::Mode::kHypernel;
   cfg.enable_mbm = true;
-  cfg.metrics = hn::bench::metrics_enabled();
+  cfg.metrics = hn::bench::metrics_enabled() || hn::bench::trace_enabled();
   auto sys = hypernel::System::create(cfg).value();
+  if (hn::bench::trace_enabled()) sys->machine().trace().set_enabled(true);
   kernel::Kernel& k = sys->kernel();
   const bool event_mode = scan_period_us == 0;
 
@@ -132,10 +134,53 @@ Outcome run(hn::u64 cell, double scan_period_us) {
   return out;
 }
 
+/// Attribution cross-check: re-read the trace --trace-out just wrote (cell
+/// 0, the event-triggered monitor), rebuild every detection chain, and
+/// verify that the per-segment split telescopes exactly to the end-to-end
+/// latency the table above is derived from.
+int cross_check_trace(const std::string& path) {
+  std::vector<u8> blob;
+  sim::TraceData data;
+  if (!sim::read_trace_file(path, blob)) {
+    std::fprintf(stderr, "trace cross-check: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  const Status st = sim::parse_trace(blob, data);
+  if (!st.ok()) {
+    std::fprintf(stderr, "trace cross-check: %s\n", st.message().c_str());
+    return 1;
+  }
+  const sim::AttributionReport report = sim::build_attribution(data);
+  u64 complete = 0;
+  for (const sim::DetectionChain& c : report.chains) {
+    if (!c.complete) continue;
+    ++complete;
+    const Cycles sum = c.bus_snoop + c.fifo_residency + c.bitmap_check +
+                       c.irq_delivery + c.verifier;
+    if (sum != c.end_to_end) {
+      std::fprintf(stderr,
+                   "trace cross-check: segment sum %llu != end-to-end %llu "
+                   "for verdict #%llu\n",
+                   static_cast<unsigned long long>(sum),
+                   static_cast<unsigned long long>(c.end_to_end),
+                   static_cast<unsigned long long>(c.verdict.seq));
+      return 1;
+    }
+  }
+  if (complete == 0) {
+    std::fprintf(stderr, "trace cross-check: no complete detection chain\n");
+    return 1;
+  }
+  std::printf("\ntrace cross-check: %llu detection chain(s); per-segment "
+              "attribution sums match the end-to-end latency exactly\n",
+              static_cast<unsigned long long>(complete));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  hn::bench::parse_args(argc, argv);
+  const hn::bench::BenchArgs bench_args = hn::bench::parse_args(argc, argv);
   std::printf("Ablation: event-triggered (MBM) vs snapshot integrity "
               "monitoring\n");
   std::printf("4 persistent + 4 transient attacks injected into a running "
@@ -162,5 +207,9 @@ int main(int argc, char** argv) {
       "polling cost and\ncatches transient tampering; snapshots trade "
       "latency against scan overhead and miss\nanything that reverts "
       "between scans — the KI-Mon/Vigilare axis the MBM design sits on.\n");
-  return hn::bench::write_bench_metrics();
+  int rc = hn::bench::write_bench_metrics();
+  if (rc == 0 && hn::bench::trace_enabled()) {
+    rc = cross_check_trace(bench_args.trace_out);
+  }
+  return rc;
 }

@@ -21,6 +21,7 @@
 #include "exec/sharded_runner.h"
 #include "hypernel/system.h"
 #include "obs/export.h"
+#include "sim/trace_io.h"
 
 namespace hn::bench {
 
@@ -28,6 +29,7 @@ namespace hn::bench {
 struct BenchArgs {
   unsigned jobs = 0;           // 0 = hardware concurrency
   std::string metrics_out;     // empty = observability off
+  std::string trace_out;       // empty = flight recorder off
 };
 
 namespace detail {
@@ -49,10 +51,26 @@ inline MetricsSink& metrics_sink() {
   return s;
 }
 
+/// Per-cell flight-recorder blobs; the lowest-index cell's trace is what
+/// --trace-out writes, so the exported file is jobs-independent.
+struct TraceSink {
+  std::mutex mu;
+  std::map<u64, std::vector<u8>> cells;
+};
+
+inline TraceSink& trace_sink() {
+  static TraceSink s;
+  return s;
+}
+
 }  // namespace detail
 
 [[nodiscard]] inline bool metrics_enabled() {
   return !detail::args().metrics_out.empty();
+}
+
+[[nodiscard]] inline bool trace_enabled() {
+  return !detail::args().trace_out.empty();
 }
 
 /// Build a system in the §7.1 performance setup: Hypersec without the MBM
@@ -61,13 +79,14 @@ inline std::unique_ptr<hypernel::System> make_perf_system(hypernel::Mode mode) {
   hypernel::SystemConfig cfg;
   cfg.mode = mode;
   cfg.enable_mbm = false;
-  cfg.metrics = metrics_enabled();
+  cfg.metrics = metrics_enabled() || trace_enabled();
   auto sys = hypernel::System::create(cfg);
   if (!sys.ok()) {
     std::fprintf(stderr, "system creation failed: %s\n",
                  sys.status().message().c_str());
     std::abort();
   }
+  if (trace_enabled()) sys.value()->machine().trace().set_enabled(true);
   return std::move(sys).value();
 }
 
@@ -76,13 +95,14 @@ inline std::unique_ptr<hypernel::System> make_monitor_system() {
   hypernel::SystemConfig cfg;
   cfg.mode = hypernel::Mode::kHypernel;
   cfg.enable_mbm = true;
-  cfg.metrics = metrics_enabled();
+  cfg.metrics = metrics_enabled() || trace_enabled();
   auto sys = hypernel::System::create(cfg);
   if (!sys.ok()) {
     std::fprintf(stderr, "system creation failed: %s\n",
                  sys.status().message().c_str());
     std::abort();
   }
+  if (trace_enabled()) sys.value()->machine().trace().set_enabled(true);
   return std::move(sys).value();
 }
 
@@ -96,7 +116,13 @@ inline void record_cell_metrics(u64 index, const obs::Snapshot& snap) {
 }
 
 /// Convenience overload: snapshot a System's registry before it dies.
+/// Also stashes the cell's flight-recorder blob when --trace-out is on.
 inline void record_cell_metrics(u64 index, hypernel::System& sys) {
+  if (trace_enabled()) {
+    detail::TraceSink& sink = detail::trace_sink();
+    std::lock_guard<std::mutex> lock(sink.mu);
+    sink.cells.emplace(index, sim::capture_trace(sys.machine()));
+  }
   if (!metrics_enabled()) return;
   record_cell_metrics(index, sys.metrics_snapshot());
 }
@@ -105,6 +131,22 @@ inline void record_cell_metrics(u64 index, hypernel::System& sys) {
 /// Returns 0, or 1 on I/O failure — benches `return write_bench_metrics()`
 /// (or combine it with their own exit code) as their last statement.
 inline int write_bench_metrics() {
+  if (trace_enabled()) {
+    detail::TraceSink& traces = detail::trace_sink();
+    std::lock_guard<std::mutex> lock(traces.mu);
+    const std::string& path = detail::args().trace_out;
+    if (traces.cells.empty()) {
+      std::fprintf(stderr, "trace: no cell recorded a trace; %s not written\n",
+                   path.c_str());
+    } else if (!sim::write_trace_file(traces.cells.begin()->second, path)) {
+      std::fprintf(stderr, "trace: failed to write %s\n", path.c_str());
+      return 1;
+    } else {
+      std::fprintf(stderr, "trace: cell %llu trace written to %s\n",
+                   static_cast<unsigned long long>(traces.cells.begin()->first),
+                   path.c_str());
+    }
+  }
   if (!metrics_enabled()) return 0;
   detail::MetricsSink& sink = detail::metrics_sink();
   std::lock_guard<std::mutex> lock(sink.mu);
@@ -137,8 +179,11 @@ inline BenchArgs parse_args(int argc, char** argv) {
           static_cast<unsigned>(std::strtoul(argv[i] + 7, nullptr, 0));
     } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
       parsed.metrics_out = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      parsed.trace_out = argv[i] + 12;
     } else {
-      std::fprintf(stderr, "usage: %s [--jobs=N] [--metrics-out=F]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--jobs=N] [--metrics-out=F] [--trace-out=F]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -164,6 +209,8 @@ inline BenchArgs parse_and_strip_args(int* argc, char** argv) {
           static_cast<unsigned>(std::strtoul(argv[i] + 7, nullptr, 0));
     } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
       parsed.metrics_out = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      parsed.trace_out = argv[i] + 12;
     } else {
       argv[out++] = argv[i];
     }

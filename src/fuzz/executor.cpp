@@ -12,6 +12,7 @@
 #include "sim/dma_device.h"
 #include "sim/iommu.h"
 #include "sim/pagetable.h"
+#include "sim/trace_io.h"
 
 namespace hn::fuzz {
 namespace {
@@ -75,7 +76,7 @@ class Exec {
     RunResult out;
     out.config = spec_.name;
     hypernel::SystemConfig cfg = spec_.system_config();
-    cfg.metrics = opt_.collect_metrics;
+    cfg.metrics = opt_.collect_metrics || opt_.capture_trace;
     auto built = hypernel::System::create(cfg);
     if (!built.ok()) {
       out.build_failed = true;
@@ -83,6 +84,9 @@ class Exec {
       return out;
     }
     sys_ = std::move(built).value();
+    // Whole-run flight recorder, on before the monitor installs so region
+    // registration is part of the causal record.
+    if (opt_.capture_trace) m().trace().set_enabled(true);
     if (spec_.monitored()) {
       monitor_ = std::make_unique<secapps::ObjectIntegrityMonitor>(
           *sys_, spec_.granularity);
@@ -119,15 +123,24 @@ class Exec {
       rec.result = execute(ops[i]);
       if (traced) {
         for (const sim::TraceEvent& e : m().trace().since(trace_mark)) {
-          char line[128];
-          std::snprintf(line, sizeof line, "%12llu cyc  %-8s a=%#llx b=%#llx",
-                        static_cast<unsigned long long>(e.at),
-                        sim::Trace::kind_name(e.kind),
-                        static_cast<unsigned long long>(e.a),
-                        static_cast<unsigned long long>(e.b));
+          char line[160];
+          int n = std::snprintf(
+              line, sizeof line, "%12llu cyc  #%-6llu %-8s a=%#llx b=%#llx",
+              static_cast<unsigned long long>(e.at),
+              static_cast<unsigned long long>(e.seq),
+              sim::Trace::kind_name(e.kind),
+              static_cast<unsigned long long>(e.a),
+              static_cast<unsigned long long>(e.b));
+          if (e.cause != sim::kNoCause && n > 0 &&
+              static_cast<size_t>(n) < sizeof line) {
+            std::snprintf(line + n, sizeof line - static_cast<size_t>(n),
+                          "  <-#%llu",
+                          static_cast<unsigned long long>(e.cause));
+          }
           out.trace.emplace_back(line);
         }
-        m().trace().set_enabled(false);
+        // Keep recording when the whole-run recorder is on.
+        if (!opt_.capture_trace) m().trace().set_enabled(false);
       }
       rec.state_digest = state_digest();
       if (monitor_) {
@@ -153,6 +166,7 @@ class Exec {
     out.violations = std::move(violations_);
     out.attacks_expected = attacks_expected_;
     if (opt_.collect_metrics) out.metrics = sys_->metrics_snapshot();
+    if (opt_.capture_trace) out.trace_blob = sim::capture_trace(m());
     return out;
   }
 

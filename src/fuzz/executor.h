@@ -73,6 +73,9 @@ struct RunResult {
   std::vector<std::string> trace;
   /// Metrics snapshot of the run (ExecutorOptions::collect_metrics).
   obs::Snapshot metrics;
+  /// Serialized flight-recorder trace of the whole run
+  /// (ExecutorOptions::capture_trace; format in sim/trace_io.h).
+  std::vector<u8> trace_blob;
 };
 
 struct ExecutorOptions {
@@ -90,6 +93,10 @@ struct ExecutorOptions {
   /// Enable the observability registry for the run and return its
   /// snapshot in RunResult::metrics.
   bool collect_metrics = false;
+  /// Record the causal flight recorder for the whole run and return the
+  /// serialized blob in RunResult::trace_blob.  Implies the registry
+  /// (spans are interleaved on the exported timeline).
+  bool capture_trace = false;
 };
 
 /// Run `ops` under `spec`.  Deterministic: same (spec, ops, options) give

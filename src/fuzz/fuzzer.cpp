@@ -240,14 +240,22 @@ CampaignResult run_campaign(const FuzzOptions& options, std::ostream* log) {
       }
     }
 
-    // Dump the failing step's machine trace under the reference config.
-    if (report.first_bad_step != ~0ull &&
-        report.first_bad_step < failure.ops.size()) {
-      failure.trace_step = report.first_bad_step;
-      failure.trace_config = specs[0].name;
+    // Dump the failing step's machine trace — and, when trace capture is
+    // on, the whole reproducer's causal trace blob — under the reference
+    // config.  One deterministic rerun serves both.
+    const bool want_step_trace = report.first_bad_step != ~0ull &&
+                                 report.first_bad_step < failure.ops.size();
+    if (want_step_trace || options.capture_trace) {
       ExecutorOptions traced = exec;
-      traced.trace_step = report.first_bad_step;
-      failure.trace = run_sequence(specs[0], failure.ops, traced).trace;
+      traced.capture_trace = options.capture_trace;
+      if (want_step_trace) {
+        failure.trace_step = report.first_bad_step;
+        failure.trace_config = specs[0].name;
+        traced.trace_step = report.first_bad_step;
+      }
+      RunResult rerun = run_sequence(specs[0], failure.ops, traced);
+      if (want_step_trace) failure.trace = std::move(rerun.trace);
+      failure.trace_blob = std::move(rerun.trace_blob);
     }
 
     failure.replay = "hypernel_fuzz --replay=" + std::to_string(seq_seed) +
@@ -281,6 +289,21 @@ CampaignResult run_campaign(const FuzzOptions& options, std::ostream* log) {
       *log << "  replay: " << f.replay << "\n";
     }
     if (options.fail_fast) break;
+  }
+  if (options.capture_trace) {
+    if (!result.failure_details.empty() &&
+        !result.failure_details[0].trace_blob.empty()) {
+      result.trace_blob = result.failure_details[0].trace_blob;
+    } else if (result.sequences_run > 0) {
+      // Clean campaign: deterministic rerun of sequence 0 under the
+      // reference configuration on this thread, so the blob is identical
+      // at any `jobs` value.
+      ExecutorOptions traced = exec;
+      traced.capture_trace = true;
+      const std::vector<Op> ops0 =
+          generate_sequence(sequence_seed(options.seed, 0), gen);
+      result.trace_blob = run_sequence(specs[0], ops0, traced).trace_blob;
+    }
   }
   return result;
 }

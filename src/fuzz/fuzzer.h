@@ -59,6 +59,12 @@ struct FuzzOptions {
   /// into CampaignResult::metrics.  Purely additive: never changes
   /// digests, verdicts or simulated cycles.
   bool collect_metrics = false;
+  /// Capture causal flight-recorder traces (sim/trace_io.h): one blob per
+  /// failure (the minimal reproducer, reference configuration) and one
+  /// campaign-representative blob in CampaignResult::trace_blob.  Capture
+  /// happens via deterministic reruns on the merging thread, so blobs are
+  /// byte-identical at any `jobs` value and never perturb digests.
+  bool capture_trace = false;
 };
 
 struct SequenceFailure {
@@ -70,6 +76,9 @@ struct SequenceFailure {
   u64 trace_step = ~0ull;
   std::string trace_config;
   std::vector<std::string> trace;  // failing step's machine trace
+  /// Serialized causal trace of the minimal reproducer under the
+  /// reference configuration (FuzzOptions::capture_trace).
+  std::vector<u8> trace_blob;
   std::string replay;              // command line reproducing the failure
 };
 
@@ -102,6 +111,10 @@ struct CampaignResult {
   /// commutative and associative, so the result is identical at any
   /// `jobs` value — the campaign determinism test pins this too.
   obs::Snapshot metrics;
+  /// Campaign-representative causal trace (FuzzOptions::capture_trace):
+  /// the first failure's reproducer trace, or a rerun of sequence 0 under
+  /// the reference configuration when the campaign is clean.
+  std::vector<u8> trace_blob;
 
   [[nodiscard]] bool ok() const { return failures == 0; }
 };

@@ -382,7 +382,8 @@ u64 Hypersec::do_mbm_irq() {
   const u64 n = driver_->drain(
       [this](const mbm::MonitorEvent& ev, const RegionInfo& region) {
         auto it = apps_.find(region.sid);
-        if (it != apps_.end()) it->second->on_write_event(ev, region);
+        if (it == apps_.end()) return AppVerdict::kBenign;
+        return it->second->on_write_event(ev, region);
       });
   stats_.events_dispatched += n;
   return hvc::kOk;

@@ -130,8 +130,8 @@ Status MbmDriver::unregister_region(u64 sid, VirtAddr va, u64 size) {
   return Status::Ok();
 }
 
-u64 MbmDriver::drain(const std::function<void(const mbm::MonitorEvent&,
-                                              const RegionInfo&)>& dispatch) {
+u64 MbmDriver::drain(const std::function<AppVerdict(const mbm::MonitorEvent&,
+                                                    const RegionInfo&)>& dispatch) {
   u64 delivered = 0;
   mbm::MonitorEvent ev;
   while (mbm_.ring().pop(ev)) {
@@ -143,13 +143,21 @@ u64 MbmDriver::drain(const std::function<void(const mbm::MonitorEvent&,
       const RegionInfo& region = it->second;
       if (ev.paddr >= region.pa_base &&
           ev.paddr < region.pa_base + region.size) {
-        dispatch(ev, region);
+        const AppVerdict verdict = dispatch(ev, region);
         ++delivered;
         ++events_delivered_;
+        // Chain terminator: links back to the kMbmDetect event that
+        // produced this ring entry.  b: 0 = benign, 1 = alert.
+        machine_.trace().record_caused(
+            machine_.account().cycles(), sim::TraceKind::kVerdict,
+            ev.trace_seq, ev.paddr, static_cast<u64>(verdict));
         continue;
       }
     }
     ++unattributed_;  // stale bit or race with unregister: drop, but count
+    machine_.trace().record_caused(machine_.account().cycles(),
+                                   sim::TraceKind::kVerdict, ev.trace_seq,
+                                   ev.paddr, 2 /* unattributed */);
   }
   return delivered;
 }

@@ -36,9 +36,11 @@ class MbmDriver {
   Status unregister_region(u64 sid, VirtAddr va, u64 size);
 
   /// §5.3 steps 7-8: drain the ring, dispatching each event.  Returns the
-  /// number of events delivered.
-  u64 drain(const std::function<void(const mbm::MonitorEvent&,
-                                     const RegionInfo&)>& dispatch);
+  /// number of events delivered.  The dispatch callback reports the
+  /// security app's verdict, which the driver stamps into the kVerdict
+  /// flight-recorder event closing the write→detect→verdict chain.
+  u64 drain(const std::function<AppVerdict(const mbm::MonitorEvent&,
+                                           const RegionInfo&)>& dispatch);
 
   [[nodiscard]] u64 regions() const { return regions_.size(); }
   [[nodiscard]] u64 events_delivered() const { return events_delivered_; }

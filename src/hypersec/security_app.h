@@ -18,6 +18,14 @@ struct RegionInfo {
   u64 size = 0;
 };
 
+/// Outcome of one verification: did the app flag the write as an attack?
+/// Stamped into the kVerdict flight-recorder event so offline tools can
+/// tell alerts from verified-benign writes.
+enum class AppVerdict : u8 {
+  kBenign = 0,  // verification passed; no alert raised
+  kAlert = 1,   // integrity violation: the app raised an alert
+};
+
 class SecurityApp {
  public:
   virtual ~SecurityApp() = default;
@@ -28,9 +36,10 @@ class SecurityApp {
 
   /// One monitored write event: called from Hypersec's MBM interrupt
   /// handler (§5.3 step 8) with the matched region.  The app performs its
-  /// integrity verification here (charging EL2 cycles as it works).
-  virtual void on_write_event(const mbm::MonitorEvent& event,
-                              const RegionInfo& region) = 0;
+  /// integrity verification here (charging EL2 cycles as it works) and
+  /// reports whether the write was an integrity violation.
+  virtual AppVerdict on_write_event(const mbm::MonitorEvent& event,
+                                    const RegionInfo& region) = 0;
 };
 
 }  // namespace hn::hypersec

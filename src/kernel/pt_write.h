@@ -46,6 +46,13 @@ class DirectPtWriter final : public PtWriter {
 
   bool write_desc(PhysAddr table_pa, unsigned index, u64 desc) override {
     obs_pt_writes_.add();
+    // Flight-recorder root of the PT-write chain: the store below (and
+    // any fault or bus transaction it produces) links back to this event.
+    sim::Trace& tr = machine_.trace();
+    const u64 cause = tr.record(machine_.account().cycles(),
+                                sim::TraceKind::kPtWrite,
+                                table_pa + index * 8, desc);
+    sim::Trace::CauseScope scope(tr, cause);
     return machine_.write64(phys_to_virt(table_pa + index * 8), desc).ok;
   }
 
@@ -63,6 +70,13 @@ class HypercallPtWriter final : public PtWriter {
 
   bool write_desc(PhysAddr table_pa, unsigned index, u64 desc) override {
     obs_pt_writes_.add();
+    // Same chain root as the direct writer: the verification hypercall and
+    // the EL2 store it performs are causally downstream of this event.
+    sim::Trace& tr = machine_.trace();
+    const u64 cause = tr.record(machine_.account().cycles(),
+                                sim::TraceKind::kPtWrite,
+                                table_pa + index * 8, desc);
+    sim::Trace::CauseScope scope(tr, cause);
     return machine_.hvc(hvc::kPtWrite, {table_pa, index, desc}) == hvc::kOk;
   }
   void on_pt_page_alloc(PhysAddr pa, unsigned level) override {

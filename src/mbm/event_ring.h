@@ -4,14 +4,22 @@
 // Hypersec consumes them from the interrupt handler (§5.3 step 7).
 #pragma once
 
+#include <algorithm>
+#include <vector>
+
 #include "common/types.h"
 #include "sim/machine.h"
+#include "sim/trace.h"
 
 namespace hn::mbm {
 
 struct MonitorEvent {
   PhysAddr paddr = 0;
   u64 value = 0;
+  /// Flight-recorder provenance: seq of the kMbmDetect event that produced
+  /// this record.  Host-side sideband only — the simulated 16-byte ring
+  /// entry stays {paddr, value}; the real MBM carries no such field.
+  u64 trace_seq = sim::kNoCause;
 };
 
 inline constexpr u64 kRingEntryBytes = 16;  // {u64 paddr, u64 value}
@@ -19,7 +27,10 @@ inline constexpr u64 kRingEntryBytes = 16;  // {u64 paddr, u64 value}
 class EventRing {
  public:
   EventRing(sim::Machine& machine, PhysAddr base, u64 entries)
-      : machine_(machine), base_(base), entries_(entries) {}
+      : machine_(machine),
+        base_(base),
+        entries_(entries),
+        shadow_seq_(entries, sim::kNoCause) {}
 
   [[nodiscard]] PhysAddr base() const { return base_; }
   [[nodiscard]] u64 capacity() const { return entries_; }
@@ -38,6 +49,7 @@ class EventRing {
     u64 record[2] = {ev.paddr, ev.value};
     machine_.dma_write_block(base_ + slot * kRingEntryBytes, record,
                              kRingEntryBytes);
+    shadow_seq_[slot] = ev.trace_seq;
     ++head_;
     ++pushed_;
     return true;
@@ -50,6 +62,7 @@ class EventRing {
     const u64 slot = tail_ % entries_;
     out.paddr = machine_.el2_read64(base_ + slot * kRingEntryBytes);
     out.value = machine_.el2_read64(base_ + slot * kRingEntryBytes + 8);
+    out.trace_seq = shadow_seq_[slot];
     ++tail_;
     return true;
   }
@@ -57,6 +70,7 @@ class EventRing {
   void reset() {
     head_ = tail_ = 0;
     drops_ = pushed_ = 0;
+    std::fill(shadow_seq_.begin(), shadow_seq_.end(), sim::kNoCause);
   }
 
  private:
@@ -67,6 +81,7 @@ class EventRing {
   u64 tail_ = 0;  // consumer index
   u64 drops_ = 0;
   u64 pushed_ = 0;
+  std::vector<u64> shadow_seq_;  // per-slot provenance, parallel to the ring
 };
 
 }  // namespace hn::mbm

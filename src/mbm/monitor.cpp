@@ -37,7 +37,7 @@ void MemoryBusMonitor::on_transaction(const sim::BusTransaction& txn) {
   switch (txn.op) {
     case sim::BusOp::kWriteWord:
       handle_word_write(txn.paddr, txn.value, txn.timestamp,
-                        /*from_line=*/false);
+                        /*from_line=*/false, txn.trace_seq);
       return;
     case sim::BusOp::kWriteLine: {
       if (!config_.snoop_line_writebacks) return;
@@ -46,7 +46,7 @@ void MemoryBusMonitor::on_transaction(const sim::BusTransaction& txn) {
         u64 v;
         std::memcpy(&v, txn.line.data() + off, kWordSize);
         handle_word_write(txn.paddr + off, v, txn.timestamp,
-                          /*from_line=*/true);
+                          /*from_line=*/true, txn.trace_seq);
       }
       return;
     }
@@ -57,7 +57,7 @@ void MemoryBusMonitor::on_transaction(const sim::BusTransaction& txn) {
 }
 
 void MemoryBusMonitor::handle_word_write(PhysAddr pa, u64 value, Cycles t,
-                                         bool from_line) {
+                                         bool from_line, u64 cause_seq) {
   const u64 bitmap_len = bitmap_bytes();
   // A write to the bitmap itself keeps the bitmap cache coherent
   // (write-update, §6.3) and is not a monitored event.
@@ -84,11 +84,18 @@ void MemoryBusMonitor::handle_word_write(PhysAddr pa, u64 value, Cycles t,
   const Cycles service = machine_.timing().mbm_event_process +
                          (lr.hit ? 0 : machine_.timing().mbm_bitmap_fetch);
   obs_service_cycles_.record_cycles(service);
-  if (!fifo_.offer(CapturedWrite{pa, value, t}, t, service)) {
+  const WriteFifo::Offer offer = fifo_.offer(CapturedWrite{pa, value, t}, t, service);
+  if (!offer.accepted) {
     obs_fifo_drops_.add();
     return;  // capture lost: the FIFO overflowed under burst
   }
   obs_fifo_high_water_.set_max(fifo_.occupancy());
+  // Flight recorder: the FIFO enqueue links back to the bus write that the
+  // snooper captured.  a/b carry the modeled (hardware-concurrent) queue
+  // wait and translator service cycles — they do not advance the CPU clock,
+  // so the event shares the bus-write timestamp.
+  const u64 fifo_seq = machine_.trace().record_caused(
+      t, sim::TraceKind::kMbmFifo, cause_seq, offer.wait, offer.service);
 
   u64 word = lr.value;
   if (!lr.hit) {
@@ -104,10 +111,16 @@ void MemoryBusMonitor::handle_word_write(PhysAddr pa, u64 value, Cycles t,
   if ((word >> bit_position(bit)) & 1) {
     ++detections_;
     obs_detections_.add();
-    machine_.trace().record(t, sim::TraceKind::kMbmDetect, pa, value);
-    if (ring_.push(MonitorEvent{pa, value})) {
+    const u64 detect_seq = machine_.trace().record_caused(
+        t, sim::TraceKind::kMbmDetect, fifo_seq, pa, value);
+    MonitorEvent mev{pa, value};
+    mev.trace_seq = detect_seq;
+    if (ring_.push(mev)) {
       ++irqs_raised_;
       obs_irqs_.add();
+      // The IRQ (and everything its handler does on this synchronous path)
+      // is causally downstream of the detection.
+      sim::Trace::CauseScope irq_cause(machine_.trace(), detect_seq);
       machine_.raise_irq(config_.irq_line);
     }
   }

@@ -82,7 +82,8 @@ class MemoryBusMonitor final : public sim::BusSnooper {
   }
 
  private:
-  void handle_word_write(PhysAddr pa, u64 value, Cycles t, bool from_line);
+  void handle_word_write(PhysAddr pa, u64 value, Cycles t, bool from_line,
+                         u64 cause_seq);
 
   sim::Machine& machine_;
   MbmConfig config_;

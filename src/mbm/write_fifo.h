@@ -5,6 +5,7 @@
 // sizing trade-off bench_ablation_mbm_sizing sweeps.
 #pragma once
 
+#include <algorithm>
 #include <deque>
 
 #include "common/types.h"
@@ -21,19 +22,31 @@ class WriteFifo {
  public:
   explicit WriteFifo(unsigned depth) : depth_(depth) {}
 
+  /// Outcome of one offer().  `wait` and `service` describe the modeled
+  /// (hardware-concurrent) FIFO residency: the capture sits queued for
+  /// `wait` cycles behind earlier entries, then the translator spends
+  /// `service` cycles on it.  The flight recorder stamps both into the
+  /// kMbmFifo trace event for the detection-latency attribution report.
+  struct Offer {
+    bool accepted = false;
+    Cycles wait = 0;     // queueing delay behind earlier captures
+    Cycles service = 0;  // translator processing time
+  };
+
   /// Offer a capture at bus time `now`; `service_time` is how long the
-  /// translator will spend on it.  Returns false (and counts a drop) when
-  /// the FIFO is full at `now`.
-  bool offer(const CapturedWrite& /*capture*/, Cycles now, Cycles service_time) {
+  /// translator will spend on it.  Rejects (and counts a drop) when the
+  /// FIFO is full at `now`.
+  Offer offer(const CapturedWrite& /*capture*/, Cycles now,
+              Cycles service_time) {
     drain(now);
     if (queue_.size() >= depth_) {
       ++drops_;
-      return false;
+      return Offer{false, 0, service_time};
     }
-    const Cycles start = queue_.empty() ? now : queue_.back();
-    queue_.push_back(std::max(start, now) + service_time);
+    const Cycles start = queue_.empty() ? now : std::max(queue_.back(), now);
+    queue_.push_back(start + service_time);
     ++accepted_;
-    return true;
+    return Offer{true, start - now, service_time};
   }
 
   /// Remove entries whose processing completed by `now`.

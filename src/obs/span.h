@@ -53,6 +53,11 @@ class SpanTracer {
   [[nodiscard]] const std::string& name(u32 id) const {
     return names_[id].name;
   }
+  /// Number of interned names (ids are [0, name_count)); used by the
+  /// flight-recorder serializer to emit the span name table.
+  [[nodiscard]] u32 name_count() const {
+    return static_cast<u32>(names_.size());
+  }
 
   [[nodiscard]] bool enabled() const {
     return now_ != nullptr && registry_.enabled();

@@ -98,7 +98,7 @@ void ObjectIntegrityMonitor::hook_free(ObjectKind kind, VirtAddr va) {
   object_kind_.erase(base_pa);
 }
 
-void ObjectIntegrityMonitor::on_write_event(
+hypersec::AppVerdict ObjectIntegrityMonitor::on_write_event(
     const mbm::MonitorEvent& event, const hypersec::RegionInfo& region) {
   (void)region;
   // EL2 verification work for one event.
@@ -109,7 +109,9 @@ void ObjectIntegrityMonitor::on_write_event(
   // rounded down to the object size (128 B for both kinds).
   const PhysAddr base = event.paddr & ~u64{127};
   auto it = object_kind_.find(base);
-  if (it == object_kind_.end()) return;  // object freed while event in flight
+  if (it == object_kind_.end()) {
+    return hypersec::AppVerdict::kBenign;  // freed while event in flight
+  }
   const ObjectKind kind = it->second;
   if (kind == ObjectKind::kCred) {
     ++stats_.events_cred;
@@ -120,8 +122,11 @@ void ObjectIntegrityMonitor::on_write_event(
   const u64 word = (event.paddr - base) / kWordSize;
   const PhysAddr word_pa = base + word * kWordSize;
   const u64 old_value = shadow_.count(word_pa) ? shadow_[word_pa] : 0;
+  const size_t alerts_before = alerts_.size();
   verify(kind, word, base, old_value, event.value);
   shadow_[word_pa] = event.value;
+  return alerts_.size() > alerts_before ? hypersec::AppVerdict::kAlert
+                                        : hypersec::AppVerdict::kBenign;
 }
 
 void ObjectIntegrityMonitor::verify(ObjectKind kind, u64 word, PhysAddr pa,

@@ -59,8 +59,9 @@ class ObjectIntegrityMonitor : public hypersec::SecurityApp {
   [[nodiscard]] const char* name() const override {
     return "object-integrity-monitor";
   }
-  void on_write_event(const mbm::MonitorEvent& event,
-                      const hypersec::RegionInfo& region) override;
+  hypersec::AppVerdict on_write_event(
+      const mbm::MonitorEvent& event,
+      const hypersec::RegionInfo& region) override;
 
   [[nodiscard]] const MonitorStats& stats() const { return stats_; }
   [[nodiscard]] const std::vector<Alert>& alerts() const { return alerts_; }

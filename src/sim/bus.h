@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "sim/trace.h"
 
 namespace hn::sim {
 
@@ -30,6 +31,11 @@ struct BusTransaction {
   u64 value = 0;       // word ops only
   std::array<u8, kCacheLineSize> line{};  // kWriteLine only
   Cycles timestamp = 0;                   // CPU cycle count at issue
+  /// Flight-recorder provenance: sequence id of the kBusWrite trace event
+  /// the issuer stamped for this transaction (kNoCause when tracing is
+  /// off or the op records no event).  Snoopers link their own events to
+  /// it so offline tools can walk write → detection chains.
+  u64 trace_seq = kNoCause;
 };
 
 /// Interface for passive bus observers (the MBM snooper).

@@ -82,7 +82,13 @@ class ExceptionModel {
   void deliver_irq(unsigned line) {
     account_.charge(timing_.irq_delivery);
     ++account_.counters().irqs_delivered;
-    trace_.record(account_.cycles(), TraceKind::kIrq, line, 0);
+    // The kIrq event inherits the ambient cause (the MBM sets it to the
+    // detection that raised the line); the handler body then records with
+    // the IRQ itself as ambient cause, so everything the handler does is
+    // causally downstream of the delivery.
+    const u64 irq_seq =
+        trace_.record(account_.cycles(), TraceKind::kIrq, line, 0);
+    Trace::CauseScope cause(trace_, irq_seq);
     if (regs_.hcr_bit(kHcrImo) && el2_irq_handler_) {
       const El saved = el_;
       el_ = El::kEl2;

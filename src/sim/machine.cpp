@@ -88,6 +88,8 @@ u64 Machine::perform(PhysAddr pa, const PageAttrs& attrs, bool is_write,
     phys_.write64(pa, value);
     txn.op = BusOp::kWriteWord;
     txn.value = value;
+    txn.trace_seq =
+        trace_.record(txn.timestamp, TraceKind::kBusWrite, txn.paddr, value);
     bus_.issue(txn);
     return value;
   }
@@ -267,6 +269,10 @@ bool Machine::write_block_bulk(VirtAddr va, const void* data, u64 len,
           phys_.write64(pa + w, v);
           txn.op = BusOp::kWriteWord;
           txn.value = v;
+          // Same provenance stamp as the exact path in perform(): the
+          // fast-path replay must leave a byte-identical trace.
+          txn.trace_seq =
+              trace_.record(txn.timestamp, TraceKind::kBusWrite, txn.paddr, v);
           bus_.issue(txn);
           if (mmu_.tlb().generation() != tlb_gen ||
               sysregs_.vm_generation() != vm_gen) {
@@ -402,6 +408,8 @@ void Machine::el2_write64_nc(PhysAddr pa, u64 value) {
   txn.paddr = word_align_down(pa);
   txn.value = value;
   txn.timestamp = account_.cycles();
+  txn.trace_seq =
+      trace_.record(txn.timestamp, TraceKind::kBusWrite, txn.paddr, value);
   bus_.issue(txn);
 }
 

@@ -1,10 +1,19 @@
-// Event tracing for the simulated machine.
+// Event tracing for the simulated machine: a causal flight recorder.
 //
 // A bounded ring of typed events (architectural transitions, monitor
 // activity) that higher layers append to and tools render.  Tracing is
 // off by default and costs nothing when disabled; when enabled it records
 // *simulated* time, so traces are deterministic and diffable — the
-// debugging workflow for "why did this configuration get slower".
+// debugging workflow for "why did this configuration get slower" that
+// tools/hypernel_trace.cpp implements (report/export/dump/diff).
+//
+// Every recorded event carries a stamped global sequence id and an
+// optional `cause` link naming the sequence id of the event that produced
+// it.  Emitting layers thread provenance through the detection chain
+// (kernel PT/object write → bus transaction → MBM FIFO/bitmap → IRQ →
+// Hypersec verdict) either explicitly (`record_caused`) or ambiently via
+// `CauseScope`, which makes one event the default cause of everything
+// recorded inside its dynamic extent.
 #pragma once
 
 #include <cstdio>
@@ -14,6 +23,9 @@
 #include "common/types.h"
 
 namespace hn::sim {
+
+/// Sentinel cause id: "no causal ancestor recorded".
+inline constexpr u64 kNoCause = ~0ull;
 
 enum class TraceKind : u8 {
   kSvc,          // syscall entry
@@ -26,11 +38,18 @@ enum class TraceKind : u8 {
   kMbmDetect,    // MBM detection (a = PA, b = value)
   kCtxSwitch,    // address-space switch (a = new ASID)
   kMonRegister,  // monitoring region registered (a = PA, b = size)
+  kPtWrite,      // kernel PT descriptor write (a = descriptor PA, b = desc)
+  kBusWrite,     // non-cacheable word write on the bus (a = PA, b = value)
+  kMbmFifo,      // MBM FIFO accept (a = queue wait cy, b = service cy)
+  kVerdict,      // Hypersec dispatch verdict (a = PA, b = 0 benign,
+                 //   1 alert, 2 unattributed)
   kCustom,       // tool-defined
 };
 
 struct TraceEvent {
   Cycles at = 0;
+  u64 seq = 0;          // global sequence id, stamped at record time
+  u64 cause = kNoCause; // seq of the causing event, or kNoCause
   TraceKind kind = TraceKind::kCustom;
   u64 a = 0;
   u64 b = 0;
@@ -44,21 +63,55 @@ class Trace {
   void set_enabled(bool on) { enabled_ = on; }
   [[nodiscard]] bool enabled() const { return enabled_; }
 
-  void record(Cycles at, TraceKind kind, u64 a = 0, u64 b = 0) {
-    if (!enabled_) return;
-    ++seq_;
+  /// Record one event whose cause is the ambient CauseScope (kNoCause
+  /// outside any scope).  Returns the stamped sequence id, or kNoCause
+  /// when tracing is disabled — callers can pass the return value on as
+  /// the cause of downstream events unconditionally.
+  u64 record(Cycles at, TraceKind kind, u64 a = 0, u64 b = 0) {
+    return record_caused(at, kind, current_cause_, a, b);
+  }
+
+  /// Record one event with an explicit cause link.
+  u64 record_caused(Cycles at, TraceKind kind, u64 cause, u64 a = 0,
+                    u64 b = 0) {
+    if (!enabled_) return kNoCause;
+    const u64 seq = seq_++;
+    const TraceEvent e{at, seq, cause, kind, a, b};
     if (capacity_ == 0) {
       ++dropped_;
-      return;
+      return seq;
     }
     if (events_.size() == capacity_) {
-      events_[head_] = TraceEvent{at, kind, a, b};
+      events_[head_] = e;
       head_ = (head_ + 1) % capacity_;
       ++dropped_;
-      return;
+      return seq;
     }
-    events_.push_back(TraceEvent{at, kind, a, b});
+    events_.push_back(e);
+    return seq;
   }
+
+  /// Ambient cause for events recorded without an explicit link.
+  [[nodiscard]] u64 current_cause() const { return current_cause_; }
+
+  /// RAII: makes `cause` the default cause of every event recorded in its
+  /// dynamic extent (nests; restores the previous ambient cause on exit).
+  /// The IRQ/exception layers use this so deeply nested handlers inherit
+  /// provenance without threading ids through every call signature.
+  class CauseScope {
+   public:
+    CauseScope(Trace& trace, u64 cause)
+        : trace_(trace), saved_(trace.current_cause_) {
+      trace_.current_cause_ = cause;
+    }
+    ~CauseScope() { trace_.current_cause_ = saved_; }
+    CauseScope(const CauseScope&) = delete;
+    CauseScope& operator=(const CauseScope&) = delete;
+
+   private:
+    Trace& trace_;
+    u64 saved_;
+  };
 
   /// Events in chronological order (accounting for ring wrap).
   [[nodiscard]] std::vector<TraceEvent> chronological() const {
@@ -85,11 +138,16 @@ class Trace {
   /// replay hook the fuzz harness uses to dump the failing step.
   [[nodiscard]] u64 sequence() const { return seq_; }
 
+  /// Sequence id of the oldest event the ring still holds.  Together with
+  /// `dropped()` this attributes lost history to an exact range: ids
+  /// [0, first_seq()) were recorded but have been evicted (or never
+  /// retained, for a zero-capacity ring).
+  [[nodiscard]] u64 first_seq() const { return seq_ - events_.size(); }
+
   /// Events with global sequence number >= `mark`, oldest first, limited
   /// to what the ring still holds (earlier events may have been dropped).
   [[nodiscard]] std::vector<TraceEvent> since(u64 mark) const {
-    const u64 first_retained = seq_ - events_.size();
-    const u64 skip = mark > first_retained ? mark - first_retained : 0;
+    const u64 skip = mark > first_seq() ? mark - first_seq() : 0;
     std::vector<TraceEvent> out;
     if (skip >= events_.size()) return out;
     const std::vector<TraceEvent> all = chronological();
@@ -116,22 +174,34 @@ class Trace {
       case TraceKind::kMbmDetect: return "mbm";
       case TraceKind::kCtxSwitch: return "ctxsw";
       case TraceKind::kMonRegister: return "monreg";
+      case TraceKind::kPtWrite: return "ptwrite";
+      case TraceKind::kBusWrite: return "buswrite";
+      case TraceKind::kMbmFifo: return "fifo";
+      case TraceKind::kVerdict: return "verdict";
       case TraceKind::kCustom: return "custom";
     }
     return "?";
   }
 
-  /// Render as text, one line per event, with µs timestamps.
+  /// Render as text, one line per event, with µs timestamps, sequence ids
+  /// and cause links.
   void dump(std::FILE* out, double cycles_per_us) const {
     for (const TraceEvent& e : chronological()) {
-      std::fprintf(out, "%12.3fus  %-8s a=%#llx b=%#llx\n",
+      std::fprintf(out, "%12.3fus  #%-6llu %-9s a=%#llx b=%#llx",
                    static_cast<double>(e.at) / cycles_per_us,
-                   kind_name(e.kind), static_cast<unsigned long long>(e.a),
+                   static_cast<unsigned long long>(e.seq), kind_name(e.kind),
+                   static_cast<unsigned long long>(e.a),
                    static_cast<unsigned long long>(e.b));
+      if (e.cause != kNoCause) {
+        std::fprintf(out, "  <-#%llu",
+                     static_cast<unsigned long long>(e.cause));
+      }
+      std::fputc('\n', out);
     }
     if (dropped_ > 0) {
-      std::fprintf(out, "(%llu earlier events dropped)\n",
-                   static_cast<unsigned long long>(dropped_));
+      std::fprintf(out, "(%llu earlier events dropped: seq [0, %llu))\n",
+                   static_cast<unsigned long long>(dropped_),
+                   static_cast<unsigned long long>(first_seq()));
     }
   }
 
@@ -142,6 +212,7 @@ class Trace {
   u64 head_ = 0;
   u64 dropped_ = 0;
   u64 seq_ = 0;
+  u64 current_cause_ = kNoCause;
 };
 
 }  // namespace hn::sim

@@ -1,0 +1,224 @@
+#include "sim/trace_io.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "sim/machine.h"
+
+namespace hn::sim {
+
+namespace {
+
+// Little-endian append helpers.  The format is defined as little-endian
+// regardless of host byte order; memcpy of integral values is correct on
+// every platform this simulator targets (and asserted nowhere else).
+void put_u8(std::vector<u8>& out, u8 v) { out.push_back(v); }
+
+void put_u32(std::vector<u8>& out, u32 v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<u8>& out, u64 v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
+}
+
+void put_f64(std::vector<u8>& out, double v) {
+  u64 bits;
+  std::memcpy(&bits, &v, 8);
+  put_u64(out, bits);
+}
+
+/// Bounds-checked little-endian reader over a blob.
+class Reader {
+ public:
+  explicit Reader(const std::vector<u8>& blob) : blob_(blob) {}
+
+  bool u8_(u8& v) {
+    if (pos_ + 1 > blob_.size()) return false;
+    v = blob_[pos_++];
+    return true;
+  }
+  bool u32_(u32& v) {
+    if (pos_ + 4 > blob_.size()) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<u32>(blob_[pos_++]) << (8 * i);
+    return true;
+  }
+  bool u64_(u64& v) {
+    if (pos_ + 8 > blob_.size()) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<u64>(blob_[pos_++]) << (8 * i);
+    return true;
+  }
+  bool f64_(double& v) {
+    u64 bits;
+    if (!u64_(bits)) return false;
+    std::memcpy(&v, &bits, 8);
+    return true;
+  }
+  bool bytes(void* dst, u64 n) {
+    if (pos_ + n > blob_.size()) return false;
+    std::memcpy(dst, blob_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  [[nodiscard]] u64 remaining() const { return blob_.size() - pos_; }
+
+ private:
+  const std::vector<u8>& blob_;
+  u64 pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<u8> serialize_trace(const Trace& trace,
+                                const obs::SpanTracer* spans,
+                                double cpu_ghz) {
+  const std::vector<TraceEvent> events = trace.chronological();
+  const std::vector<obs::SpanEvent> span_events =
+      spans != nullptr ? spans->chronological()
+                       : std::vector<obs::SpanEvent>{};
+  const u32 name_count = spans != nullptr ? spans->name_count() : 0;
+
+  std::vector<u8> out;
+  out.reserve(64 + events.size() * 41 + span_events.size() * 32);
+  for (const char c : kTraceMagic) out.push_back(static_cast<u8>(c));
+  put_u32(out, kTraceFormatVersion);
+  put_u32(out, 0);  // reserved
+  put_f64(out, cpu_ghz);
+  put_u64(out, trace.sequence());
+  put_u64(out, trace.first_seq());
+  put_u64(out, trace.dropped());
+  put_u64(out, spans != nullptr ? spans->dropped() : 0);
+  put_u64(out, events.size());
+  put_u64(out, name_count);
+  put_u64(out, span_events.size());
+
+  for (const TraceEvent& e : events) {
+    put_u64(out, e.seq);
+    put_u64(out, e.cause);
+    put_u64(out, e.at);
+    put_u64(out, e.a);
+    put_u64(out, e.b);
+    put_u8(out, static_cast<u8>(e.kind));
+  }
+  for (u32 id = 0; id < name_count; ++id) {
+    const std::string& name = spans->name(id);
+    put_u32(out, static_cast<u32>(name.size()));
+    out.insert(out.end(), name.begin(), name.end());
+  }
+  for (const obs::SpanEvent& s : span_events) {
+    put_u32(out, s.name_id);
+    put_u32(out, s.depth);
+    put_u64(out, s.begin);
+    put_u64(out, s.end);
+    put_u64(out, s.self);
+  }
+  return out;
+}
+
+std::vector<u8> capture_trace(Machine& machine) {
+  return serialize_trace(machine.trace(), &machine.spans(),
+                         machine.timing().cpu_ghz);
+}
+
+Status parse_trace(const std::vector<u8>& blob, TraceData& out) {
+  Reader r(blob);
+  char magic[8];
+  if (!r.bytes(magic, 8) || std::memcmp(magic, kTraceMagic, 8) != 0) {
+    return Status::Invalid("trace: bad magic (not a HNTRACE file)");
+  }
+  u32 reserved = 0;
+  if (!r.u32_(out.version) || !r.u32_(reserved)) {
+    return Status::Invalid("trace: truncated header");
+  }
+  if (out.version != kTraceFormatVersion) {
+    return Status::Invalid("trace: unsupported format version " +
+                           std::to_string(out.version));
+  }
+  u64 event_count = 0, name_count = 0, span_count = 0;
+  if (!r.f64_(out.cpu_ghz) || !r.u64_(out.seq_end) || !r.u64_(out.first_seq) ||
+      !r.u64_(out.trace_dropped) || !r.u64_(out.span_dropped) ||
+      !r.u64_(event_count) || !r.u64_(name_count) || !r.u64_(span_count)) {
+    return Status::Invalid("trace: truncated header");
+  }
+  // Each event is 41 bytes; cheap sanity bound before reserving.
+  if (event_count * 41 > r.remaining()) {
+    return Status::Invalid("trace: truncated event table");
+  }
+  out.events.clear();
+  out.events.reserve(event_count);
+  for (u64 i = 0; i < event_count; ++i) {
+    TraceEvent e;
+    u8 kind = 0;
+    if (!r.u64_(e.seq) || !r.u64_(e.cause) || !r.u64_(e.at) || !r.u64_(e.a) ||
+        !r.u64_(e.b) || !r.u8_(kind)) {
+      return Status::Invalid("trace: truncated event table");
+    }
+    if (kind > static_cast<u8>(TraceKind::kCustom)) {
+      return Status::Invalid("trace: unknown event kind " +
+                             std::to_string(kind));
+    }
+    e.kind = static_cast<TraceKind>(kind);
+    out.events.push_back(e);
+  }
+  out.span_names.clear();
+  out.span_names.reserve(name_count);
+  for (u64 i = 0; i < name_count; ++i) {
+    u32 len = 0;
+    if (!r.u32_(len) || len > r.remaining()) {
+      return Status::Invalid("trace: truncated span name table");
+    }
+    std::string name(len, '\0');
+    if (len > 0 && !r.bytes(name.data(), len)) {
+      return Status::Invalid("trace: truncated span name table");
+    }
+    out.span_names.push_back(std::move(name));
+  }
+  if (span_count * 32 > r.remaining()) {
+    return Status::Invalid("trace: truncated span table");
+  }
+  out.spans.clear();
+  out.spans.reserve(span_count);
+  for (u64 i = 0; i < span_count; ++i) {
+    obs::SpanEvent s;
+    if (!r.u32_(s.name_id) || !r.u32_(s.depth) || !r.u64_(s.begin) ||
+        !r.u64_(s.end) || !r.u64_(s.self)) {
+      return Status::Invalid("trace: truncated span table");
+    }
+    if (s.name_id >= out.span_names.size()) {
+      return Status::Invalid("trace: span references unknown name id " +
+                             std::to_string(s.name_id));
+    }
+    out.spans.push_back(s);
+  }
+  if (r.remaining() != 0) {
+    return Status::Invalid("trace: trailing bytes after span table");
+  }
+  return Status::Ok();
+}
+
+bool write_trace_file(const std::vector<u8>& blob, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok =
+      blob.empty() ||
+      std::fwrite(blob.data(), 1, blob.size(), f) == blob.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+bool read_trace_file(const std::string& path, std::vector<u8>& blob) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  blob.clear();
+  u8 buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    blob.insert(blob.end(), buf, buf + n);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace hn::sim

@@ -1,0 +1,71 @@
+// Flight-recorder persistence: the versioned compact binary trace format
+// (DESIGN.md §11) and its parser.
+//
+// A trace file is a self-contained snapshot of one run's causal record:
+// the trace ring (events with sequence ids and cause links), the span
+// ring (named, nested cycle attributions), and enough header metadata
+// (format version, clock rate, drop accounting) for offline tools to
+// reconstruct timelines without the simulator.  Serialization is
+// deterministic — equal machine states produce byte-identical blobs, so
+// trace files can be diffed and golden-tested exactly like metrics
+// snapshots (obs/export.h).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "obs/span.h"
+#include "sim/trace.h"
+
+namespace hn::sim {
+
+class Machine;
+
+/// Binary trace format version.  Bump on any layout change; the parser
+/// rejects versions it does not understand.
+inline constexpr u32 kTraceFormatVersion = 1;
+
+/// 8-byte file magic: "HNTRACE\0".
+inline constexpr char kTraceMagic[8] = {'H', 'N', 'T', 'R', 'A', 'C', 'E', 0};
+
+/// Parsed contents of a trace file — everything offline tools need.
+struct TraceData {
+  u32 version = kTraceFormatVersion;
+  double cpu_ghz = 0.0;       // simulated clock: cycles / (cpu_ghz*1000) = µs
+  u64 seq_end = 0;            // one past the last stamped sequence id
+  u64 first_seq = 0;          // oldest event the ring retained
+  u64 trace_dropped = 0;      // events evicted from the trace ring
+  u64 span_dropped = 0;       // spans evicted from the span ring
+  std::vector<TraceEvent> events;        // chronological
+  std::vector<std::string> span_names;   // indexed by SpanEvent::name_id
+  std::vector<obs::SpanEvent> spans;     // completion order
+};
+
+/// Serialize the trace ring plus (optionally) the span ring into the
+/// binary format.  `spans` may be null when the caller has no tracer.
+[[nodiscard]] std::vector<u8> serialize_trace(const Trace& trace,
+                                              const obs::SpanTracer* spans,
+                                              double cpu_ghz);
+
+/// Convenience: snapshot `machine`'s trace + spans with its clock rate.
+[[nodiscard]] std::vector<u8> capture_trace(Machine& machine);
+
+/// Parse a binary trace blob.  Returns Invalid with a diagnostic on bad
+/// magic, unknown version, or truncation.
+Status parse_trace(const std::vector<u8>& blob, TraceData& out);
+
+/// Write `blob` to `path`.  Returns false on I/O failure.
+bool write_trace_file(const std::vector<u8>& blob, const std::string& path);
+
+/// Read `path` into `blob`.  Returns false on I/O failure.
+bool read_trace_file(const std::string& path, std::vector<u8>& blob);
+
+/// The `--trace-out=FILE` contract shared by every tool and bench
+/// (symmetrical with obs::kMetricsOutUsage).
+inline constexpr const char* kTraceOutUsage =
+    "  --trace-out=F     write the causal flight-recorder trace to F on\n"
+    "                    exit (binary; render with hypernel_trace)";
+
+}  // namespace hn::sim

@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "fuzz/fuzzer.h"
+#include "sim/trace_report.h"
 
 namespace hn::fuzz {
 namespace {
@@ -47,6 +48,35 @@ TEST(CampaignDigest, ReferenceModeIsBitIdentical) {
   const CampaignResult r = run_campaign(opt);
   EXPECT_EQ(r.failures, 0u);
   EXPECT_EQ(r.corpus_digest, kGoldenDigest);
+}
+
+TEST(CampaignDigest, CapturedTraceIsJobsIndependent) {
+  // The flight recorder piggybacks on deterministic reruns, so the
+  // campaign trace blob — and everything rendered from it — must be
+  // byte-identical at any worker count, like the digests it rides with.
+  FuzzOptions one;
+  one.seed = 7;
+  one.sequences = 6;
+  one.jobs = 1;
+  one.capture_trace = true;
+  FuzzOptions four = one;
+  four.jobs = 4;
+  const CampaignResult a = run_campaign(one);
+  const CampaignResult b = run_campaign(four);
+  EXPECT_EQ(a.corpus_digest, b.corpus_digest);
+  ASSERT_FALSE(a.trace_blob.empty());
+  EXPECT_EQ(a.trace_blob, b.trace_blob);
+
+  sim::TraceData da, db;
+  ASSERT_TRUE(sim::parse_trace(a.trace_blob, da).ok());
+  ASSERT_TRUE(sim::parse_trace(b.trace_blob, db).ok());
+  EXPECT_EQ(sim::render_attribution(sim::build_attribution(da), da.cpu_ghz),
+            sim::render_attribution(sim::build_attribution(db), db.cpu_ghz));
+
+  // Capture itself never perturbs results: same campaign without it.
+  FuzzOptions plain = one;
+  plain.capture_trace = false;
+  EXPECT_EQ(run_campaign(plain).corpus_digest, a.corpus_digest);
 }
 
 TEST(CampaignDigest, FastVsReferencePerSequence) {

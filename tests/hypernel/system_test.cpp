@@ -110,8 +110,10 @@ TEST(System, RegisterAppRequiresHypersec) {
    public:
     u64 sid() const override { return 5; }
     const char* name() const override { return "dummy"; }
-    void on_write_event(const mbm::MonitorEvent&,
-                        const hypersec::RegionInfo&) override {}
+    hypersec::AppVerdict on_write_event(
+        const mbm::MonitorEvent&, const hypersec::RegionInfo&) override {
+      return hypersec::AppVerdict::kBenign;
+    }
   } app;
   EXPECT_FALSE(sys.value()->register_security_app(app).ok());
 }

@@ -14,6 +14,8 @@
 #include "secapps/baseline_monitor.h"
 #include "secapps/object_monitor.h"
 #include "sim/sysregs.h"
+#include "sim/trace_io.h"
+#include "sim/trace_report.h"
 
 namespace hn {
 namespace {
@@ -228,6 +230,60 @@ TEST(Visibility, CacheableMonitoredPageMissesEvents) {
       sys->machine().write64(va + kernel::DentryLayout::kOp * 8, 0x666).ok);
   monitor.poll();
   EXPECT_FALSE(monitor.saw_write_to(pa + kernel::DentryLayout::kOp * 8));
+}
+
+// The flight recorder links the whole detection story: a rootkit-style
+// tampering write is walked backward from its Hypersec verdict through
+// IRQ, bitmap match, FIFO accept and the bus transaction, and the
+// per-segment latency split telescopes exactly to end-to-end.
+TEST(CausalChain, RootkitWriteLinksWriteToVerdict) {
+  auto sys = hypernel_system();
+  sys->machine().trace().set_enabled(true);
+  kernel::Kernel& k = sys->kernel();
+  secapps::ObjectIntegrityMonitor monitor(
+      *sys, secapps::Granularity::kSensitiveFields);
+  ASSERT_TRUE(monitor.install().ok());
+  ASSERT_TRUE(k.sys_creat("/victim").ok());
+  const VirtAddr victim_va =
+      k.vfs().cached_dentry(k.vfs().root_ino(), "victim");
+  ASSERT_NE(victim_va, 0u);
+  const PhysAddr tampered_pa =
+      kernel::virt_to_phys(victim_va) + kernel::DentryLayout::kOp * 8;
+
+  // The attack: hook the dentry ops vtable.
+  ASSERT_TRUE(
+      sys->machine().write64(victim_va + kernel::DentryLayout::kOp * 8, 0xBAD)
+          .ok);
+  ASSERT_FALSE(monitor.alerts().empty());
+
+  sim::TraceData data;
+  ASSERT_TRUE(sim::parse_trace(sim::capture_trace(sys->machine()), data).ok());
+  const sim::AttributionReport report = sim::build_attribution(data);
+  ASSERT_GT(report.verdicts_total, 0u);
+  EXPECT_GT(report.verdicts_alert, 0u);
+  EXPECT_EQ(report.broken_chains, 0u);
+
+  // Find the alert chain for the tampered word and check every link.
+  const sim::DetectionChain* alert = nullptr;
+  for (const sim::DetectionChain& c : report.chains) {
+    if (c.complete && c.verdict.b == 1 && c.verdict.a == tampered_pa) {
+      alert = &c;
+    }
+  }
+  ASSERT_NE(alert, nullptr);
+  EXPECT_EQ(alert->bus_write.a, tampered_pa);
+  EXPECT_EQ(alert->bus_write.b, 0xBADu);
+  EXPECT_EQ(alert->detect.a, tampered_pa);
+  EXPECT_TRUE(alert->has_irq);
+  // Cause links actually chain: verdict -> detect -> fifo -> bus write.
+  EXPECT_EQ(alert->verdict.cause, alert->detect.seq);
+  EXPECT_EQ(alert->detect.cause, alert->fifo.seq);
+  EXPECT_EQ(alert->fifo.cause, alert->bus_write.seq);
+  // The segment split telescopes to the end-to-end detection latency.
+  EXPECT_GT(alert->end_to_end, 0u);
+  EXPECT_EQ(alert->bus_snoop + alert->fifo_residency + alert->bitmap_check +
+                alert->irq_delivery + alert->verifier,
+            alert->end_to_end);
 }
 
 // Hypercall interface fuzz-ish robustness: malformed calls are rejected,

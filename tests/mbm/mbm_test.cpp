@@ -78,22 +78,39 @@ TEST(BitmapMath, PropertyAllBytesOfWordShareBit) {
 TEST(WriteFifo, AcceptsUpToDepth) {
   WriteFifo fifo(4);
   for (int i = 0; i < 4; ++i) {
-    EXPECT_TRUE(fifo.offer(CapturedWrite{}, 0, 100));
+    EXPECT_TRUE(fifo.offer(CapturedWrite{}, 0, 100).accepted);
   }
-  EXPECT_FALSE(fifo.offer(CapturedWrite{}, 0, 100));
+  EXPECT_FALSE(fifo.offer(CapturedWrite{}, 0, 100).accepted);
   EXPECT_EQ(fifo.drops(), 1u);
   EXPECT_EQ(fifo.accepted(), 4u);
 }
 
 TEST(WriteFifo, DrainsOverTime) {
   WriteFifo fifo(2);
-  EXPECT_TRUE(fifo.offer(CapturedWrite{}, 0, 100));    // done at 100
-  EXPECT_TRUE(fifo.offer(CapturedWrite{}, 10, 100));   // done at 200
-  EXPECT_FALSE(fifo.offer(CapturedWrite{}, 50, 100));  // full at t=50
-  EXPECT_TRUE(fifo.offer(CapturedWrite{}, 150, 100));  // first drained
+  EXPECT_TRUE(fifo.offer(CapturedWrite{}, 0, 100).accepted);   // done at 100
+  EXPECT_TRUE(fifo.offer(CapturedWrite{}, 10, 100).accepted);  // done at 200
+  EXPECT_FALSE(fifo.offer(CapturedWrite{}, 50, 100).accepted);  // full at t=50
+  EXPECT_TRUE(fifo.offer(CapturedWrite{}, 150, 100).accepted);  // first drained
   EXPECT_EQ(fifo.occupancy(), 2u);
   fifo.drain(1000);
   EXPECT_EQ(fifo.occupancy(), 0u);
+}
+
+TEST(WriteFifo, OfferReportsWaitAndService) {
+  WriteFifo fifo(4);
+  const WriteFifo::Offer first = fifo.offer(CapturedWrite{}, 0, 100);
+  EXPECT_TRUE(first.accepted);
+  EXPECT_EQ(first.wait, 0u);  // empty FIFO: translator starts immediately
+  EXPECT_EQ(first.service, 100u);
+  // Second capture at t=10 queues behind the first (done at 100).
+  const WriteFifo::Offer second = fifo.offer(CapturedWrite{}, 10, 50);
+  EXPECT_TRUE(second.accepted);
+  EXPECT_EQ(second.wait, 90u);
+  EXPECT_EQ(second.service, 50u);
+  // After the backlog drains, waiting drops back to zero.
+  const WriteFifo::Offer third = fifo.offer(CapturedWrite{}, 500, 50);
+  EXPECT_TRUE(third.accepted);
+  EXPECT_EQ(third.wait, 0u);
 }
 
 TEST(WriteFifo, BackToBackServiceQueues) {
@@ -110,7 +127,7 @@ TEST(WriteFifo, BackToBackServiceQueues) {
 TEST(WriteFifo, SlowArrivalNeverDrops) {
   WriteFifo fifo(2);
   for (int i = 0; i < 100; ++i) {
-    EXPECT_TRUE(fifo.offer(CapturedWrite{}, i * 1000, 100));
+    EXPECT_TRUE(fifo.offer(CapturedWrite{}, i * 1000, 100).accepted);
   }
   EXPECT_EQ(fifo.drops(), 0u);
 }

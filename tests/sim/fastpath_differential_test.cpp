@@ -22,6 +22,7 @@
 #include "sim/machine.h"
 #include "sim/pagetable.h"
 #include "sim/sysregs.h"
+#include "sim/trace_io.h"
 
 namespace hn::sim {
 namespace {
@@ -311,6 +312,37 @@ TEST(FastPathDifferential, WalkContextTracksTranslationRegisterRewrites) {
     m.phys().read_block(kPa, out.payload.data(), 8);
     m.phys().read_block(kPa + 64 * kPageSize, out.payload.data() + 8, 8);
   });
+}
+
+TEST(FastPathDifferential, CapturedTraceIsByteIdentical) {
+  // The flight recorder extends the "wall-clock only" contract: the
+  // serialized trace — every kBusWrite the charge-replay loop stamps,
+  // every timestamp — must match the reference walk byte for byte.
+  std::vector<u8> blobs[2];
+  for (int mode = 0; mode < 2; ++mode) {
+    Rig rig(/*fast_path=*/mode == 0);
+    Machine& m = rig.m();
+    m.trace().set_enabled(true);
+    PageAttrs nc{.write = true};
+    nc.attr = MemAttr::kNonCacheable;
+    for (unsigned p = 0; p < 4; ++p) {
+      rig.map(kVa + p * kPageSize, kPa + p * kPageSize, nc);
+    }
+    SplitMix64 rng(11);
+    for (int i = 0; i < 200; ++i) {
+      const VirtAddr va = kVa + rng.next_below(4) * kPageSize +
+                          rng.next_below(kPageSize / 8) * 8;
+      ASSERT_TRUE(m.write64(va, rng.next()).ok);
+    }
+    // Bulk path too: the charge-replay loop stamps the same events.
+    std::vector<u8> buf(2 * kPageSize);
+    for (size_t i = 0; i < buf.size(); ++i) buf[i] = static_cast<u8>(i * 5);
+    ASSERT_TRUE(m.write_block_bulk(kVa, buf.data(), buf.size()));
+    blobs[mode] = serialize_trace(m.trace(), nullptr, m.timing().cpu_ghz);
+    EXPECT_GT(m.trace().count(TraceKind::kBusWrite), 0u);
+  }
+  ASSERT_FALSE(blobs[0].empty());
+  EXPECT_EQ(blobs[0], blobs[1]);
 }
 
 TEST(FastPathDifferential, RuntimeModeFlipConverges) {

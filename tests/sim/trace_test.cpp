@@ -125,6 +125,84 @@ TEST(Trace, SinceClampsToRetainedWindow) {
   EXPECT_EQ(tail.front().a, 8u);
 }
 
+TEST(Trace, StampsSequenceIdsAndReturnsThem) {
+  Trace trace;
+  trace.set_enabled(true);
+  EXPECT_EQ(trace.record(1, TraceKind::kSvc), 0u);
+  EXPECT_EQ(trace.record(2, TraceKind::kHvc), 1u);
+  const auto events = trace.chronological();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_EQ(events[1].seq, 1u);
+  EXPECT_EQ(events[0].cause, kNoCause);
+  // Disabled recording returns the sentinel, not a sequence id.
+  trace.set_enabled(false);
+  EXPECT_EQ(trace.record(3, TraceKind::kIrq), kNoCause);
+}
+
+TEST(Trace, RingWrapLeavesAttributableSequenceGap) {
+  Trace trace(4);
+  trace.set_enabled(true);
+  for (u64 i = 0; i < 10; ++i) trace.record(i, TraceKind::kCustom, i);
+  // Six events were evicted; dropped() + first_seq() name the exact
+  // sequence range lost, and surviving events keep their original ids.
+  EXPECT_EQ(trace.dropped(), 6u);
+  EXPECT_EQ(trace.first_seq(), 6u);
+  EXPECT_EQ(trace.sequence(), 10u);
+  const auto events = trace.chronological();
+  ASSERT_EQ(events.size(), 4u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 6u + i);
+  }
+  // A zero-capacity ring still stamps ids: everything is in the gap.
+  Trace none(0);
+  none.set_enabled(true);
+  none.record(1, TraceKind::kSvc);
+  none.record(2, TraceKind::kSvc);
+  EXPECT_EQ(none.first_seq(), 2u);
+  EXPECT_EQ(none.dropped(), 2u);
+}
+
+TEST(Trace, ExplicitCauseLinks) {
+  Trace trace;
+  trace.set_enabled(true);
+  const u64 root = trace.record(1, TraceKind::kBusWrite, 0x1000, 7);
+  const u64 mid = trace.record_caused(2, TraceKind::kMbmFifo, root);
+  trace.record_caused(3, TraceKind::kMbmDetect, mid, 0x1000, 7);
+  const auto events = trace.chronological();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].cause, kNoCause);
+  EXPECT_EQ(events[1].cause, events[0].seq);
+  EXPECT_EQ(events[2].cause, events[1].seq);
+}
+
+TEST(Trace, CauseScopeNestsAndRestores) {
+  Trace trace;
+  trace.set_enabled(true);
+  EXPECT_EQ(trace.current_cause(), kNoCause);
+  const u64 outer = trace.record(1, TraceKind::kIrq);
+  {
+    Trace::CauseScope scope(trace, outer);
+    EXPECT_EQ(trace.current_cause(), outer);
+    const u64 inner = trace.record(2, TraceKind::kSvc);  // caused by outer
+    {
+      Trace::CauseScope nested(trace, inner);
+      trace.record(3, TraceKind::kHvc);  // caused by inner
+    }
+    EXPECT_EQ(trace.current_cause(), outer);
+    trace.record(4, TraceKind::kCtxSwitch);  // back to outer
+  }
+  EXPECT_EQ(trace.current_cause(), kNoCause);
+  trace.record(5, TraceKind::kCustom);  // no ambient cause again
+  const auto events = trace.chronological();
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events[0].cause, kNoCause);
+  EXPECT_EQ(events[1].cause, events[0].seq);
+  EXPECT_EQ(events[2].cause, events[1].seq);
+  EXPECT_EQ(events[3].cause, events[0].seq);
+  EXPECT_EQ(events[4].cause, kNoCause);
+}
+
 TEST(Trace, CountsByKind) {
   Trace trace;
   trace.set_enabled(true);

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Validate Chrome trace-event JSON exported by `hypernel_trace export`.
+
+Usage: trace_check.py TRACE.json [TRACE.json ...]
+
+Checks that each file parses as JSON, wraps a traceEvents array, that
+every record carries a phase plus pid/tid, and that timestamps are
+monotonically non-decreasing across the exported stream (metadata
+records, ph == "M", carry no timeline position and are skipped).  These
+are the invariants Perfetto / chrome://tracing relies on to load the
+file, so CI runs this over every exported trace.  Exits non-zero on the
+first violated file.
+"""
+
+import json
+import sys
+
+
+def check(path):
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return f"{path}: traceEvents missing or empty"
+
+    last_ts = None
+    counts = {}
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph is None:
+            return f"{path}: record {i} has no ph"
+        counts[ph] = counts.get(ph, 0) + 1
+        if ev.get("pid") != 1 or ev.get("tid") not in (1, 2):
+            return f"{path}: record {i} has bad pid/tid: {ev}"
+        if ph == "M":
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            return f"{path}: record {i} has bad ts: {ev}"
+        if last_ts is not None and ts < last_ts:
+            return f"{path}: ts went backwards at record {i} ({ts} < {last_ts})"
+        last_ts = ts
+
+    if counts.get("i", 0) == 0:
+        return f"{path}: no instant events (empty trace?)"
+    phases = ", ".join(f"{ph}={n}" for ph, n in sorted(counts.items()))
+    print(f"{path}: OK — {len(events)} records ({phases})")
+    return None
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        error = check(path)
+        if error:
+            print(f"::error::{error}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -29,6 +29,7 @@
 
 #include "fuzz/fuzzer.h"
 #include "obs/export.h"
+#include "sim/trace_io.h"
 
 namespace {
 
@@ -39,6 +40,7 @@ struct Options {
   FuzzOptions fuzz;
   std::optional<hn::u64> replay_seed;
   std::string metrics_out;
+  std::string trace_out;
   std::string failure_dir;
 };
 
@@ -66,6 +68,10 @@ void usage() {
       "  --metrics-out=F   collect observability metrics across the campaign\n"
       "                    and write the folded snapshot to F (.csv = CSV,\n"
       "                    anything else = JSON)\n"
+      "  --trace-out=F     write a causal flight-recorder trace to F: the\n"
+      "                    first failure's reproducer, or sequence 0 under\n"
+      "                    the reference config when the campaign is clean\n"
+      "                    (render with hypernel_trace)\n"
       "  --failure-dir=D   write one reproducer file per failing sequence\n"
       "                    (shrunk ops, replay command, machine trace) to D\n"
       "  --fail-fast       cancel the campaign at the first failing sequence\n"
@@ -106,8 +112,12 @@ bool parse(int argc, char** argv, Options* opt) {
     } else if ((v = arg_value(arg, "--metrics-out"))) {
       opt->metrics_out = *v;
       opt->fuzz.collect_metrics = true;
+    } else if ((v = arg_value(arg, "--trace-out"))) {
+      opt->trace_out = *v;
+      opt->fuzz.capture_trace = true;
     } else if ((v = arg_value(arg, "--failure-dir"))) {
       opt->failure_dir = *v;
+      opt->fuzz.capture_trace = true;  // reproducers ship with their trace
     } else if (std::strcmp(arg, "--reference") == 0) {
       opt->fuzz.host_fast_path = false;
     } else if (std::strcmp(arg, "--fail-fast") == 0) {
@@ -139,6 +149,7 @@ int replay(const Options& opt) {
                                  .forged = opt.fuzz.forged};
   hn::fuzz::ExecutorOptions exec{.inject_bypass = opt.fuzz.inject_bypass,
                                  .audit_stride = opt.fuzz.audit_stride};
+  exec.capture_trace = !opt.trace_out.empty();
   const auto ops = hn::fuzz::generate_sequence(*opt.replay_seed, gen);
   std::printf("replaying sequence seed %llu (%zu ops, %zu configurations)\n",
               static_cast<unsigned long long>(*opt.replay_seed), ops.size(),
@@ -146,8 +157,18 @@ int replay(const Options& opt) {
   for (size_t i = 0; i < ops.size(); ++i) {
     std::printf("  [%zu] %s\n", i, hn::fuzz::describe(ops[i]).c_str());
   }
-  hn::fuzz::OracleReport report =
-      hn::fuzz::run_sequence_seed(*opt.replay_seed, gen, specs, exec);
+  std::vector<hn::fuzz::RunResult> runs;
+  hn::fuzz::OracleReport report = hn::fuzz::run_sequence_seed(
+      *opt.replay_seed, gen, specs, exec, &runs);
+  if (!opt.trace_out.empty() && !runs.empty()) {
+    if (hn::sim::write_trace_file(runs[0].trace_blob, opt.trace_out)) {
+      std::fprintf(stderr, "trace: %s trace written to %s\n",
+                   specs[0].name.c_str(), opt.trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "trace: failed to write %s\n",
+                   opt.trace_out.c_str());
+    }
+  }
   if (report.ok()) {
     std::puts("clean: all oracles passed");
     return 0;
@@ -202,6 +223,16 @@ void write_failure_artifacts(const Options& opt, const CampaignResult& result) {
       }
     }
     std::fclose(out);
+    // Each reproducer ships with its causal trace (same basename, .trace):
+    // `hypernel_trace report` shows the detection chains of the failure.
+    if (!f.trace_blob.empty()) {
+      const std::string trace_path = opt.failure_dir + "/failure_seq" +
+                                     std::to_string(f.index) + ".trace";
+      if (!hn::sim::write_trace_file(f.trace_blob, trace_path)) {
+        std::fprintf(stderr, "failure-dir: cannot write %s\n",
+                     trace_path.c_str());
+      }
+    }
   }
   std::fprintf(stderr, "failure artifacts: %zu file(s) in %s\n",
                result.failure_details.size(), opt.failure_dir.c_str());
@@ -256,6 +287,16 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "metrics: failed to write %s\n",
                    opt.metrics_out.c_str());
+      return 2;
+    }
+  }
+  if (!opt.trace_out.empty()) {
+    if (hn::sim::write_trace_file(result.trace_blob, opt.trace_out)) {
+      std::fprintf(stderr, "trace: campaign trace written to %s\n",
+                   opt.trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "trace: failed to write %s\n",
+                   opt.trace_out.c_str());
       return 2;
     }
   }

@@ -23,6 +23,7 @@
 #include "secapps/rootkit_detector.h"
 #include "sim/dma_device.h"
 #include "sim/iommu.h"
+#include "sim/trace_io.h"
 #include "workloads/apps.h"
 #include "workloads/lmbench.h"
 
@@ -41,6 +42,7 @@ struct Options {
   std::string scenario = "cred";
   bool trace = false;
   std::string metrics_out;
+  std::string trace_out;
 };
 
 const char* arg_value(const char* arg, const char* key) {
@@ -77,6 +79,8 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.scenario = v7;
     } else if (const char* v8 = arg_value(argv[i], "--metrics-out")) {
       opt.metrics_out = v8;
+    } else if (const char* v9 = arg_value(argv[i], "--trace-out")) {
+      opt.trace_out = v9;
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       opt.trace = true;
     } else {
@@ -91,12 +95,17 @@ std::unique_ptr<hypernel::System> build(const Options& opt, bool want_mbm) {
   hypernel::SystemConfig cfg;
   cfg.mode = opt.mode;
   cfg.enable_mbm = want_mbm && opt.mode != hypernel::Mode::kKvmGuest;
-  cfg.metrics = !opt.metrics_out.empty();
+  // The flight recorder interleaves obs spans on the exported timeline,
+  // and spans only record when the registry is enabled.
+  cfg.metrics = !opt.metrics_out.empty() || !opt.trace_out.empty();
   auto r = hypernel::System::create(cfg);
   if (!r.ok()) {
     std::fprintf(stderr, "system creation failed: %s\n",
                  r.status().message().c_str());
     std::exit(1);
+  }
+  if (!opt.trace_out.empty()) {
+    r.value()->machine().trace().set_enabled(true);
   }
   return std::move(r).value();
 }
@@ -116,6 +125,28 @@ bool dump_metrics(const Options& opt, hypernel::System& sys) {
   return true;
 }
 
+/// Write the flight-recorder trace when --trace-out was given.
+bool dump_trace(const Options& opt, hypernel::System& sys) {
+  if (opt.trace_out.empty()) return true;
+  const std::vector<u8> blob = sim::capture_trace(sys.machine());
+  if (!sim::write_trace_file(blob, opt.trace_out)) {
+    std::fprintf(stderr, "trace: failed to write %s\n",
+                 opt.trace_out.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "trace: %llu event(s) written to %s\n",
+               (unsigned long long)sys.machine().trace().size(),
+               opt.trace_out.c_str());
+  return true;
+}
+
+/// Both exit artifacts (--metrics-out / --trace-out), in one place.
+bool dump_outputs(const Options& opt, hypernel::System& sys) {
+  const bool metrics_ok = dump_metrics(opt, sys);
+  const bool trace_ok = dump_trace(opt, sys);
+  return metrics_ok && trace_ok;
+}
+
 int cmd_lmbench(const Options& opt) {
   auto sys = build(opt, false);
   std::printf("LMbench kernel operations, %s, %u iterations\n",
@@ -124,7 +155,7 @@ int cmd_lmbench(const Options& opt) {
   for (const auto& r : suite.run_all()) {
     std::printf("  %-16s %8.2f us\n", r.name.c_str(), r.us);
   }
-  return dump_metrics(opt, *sys) ? 0 : 2;
+  return dump_outputs(opt, *sys) ? 0 : 2;
 }
 
 int cmd_app(const Options& opt) {
@@ -161,7 +192,7 @@ int cmd_app(const Options& opt) {
                 (unsigned long long)sys->mbm()->stats().detections,
                 (unsigned long long)sys->mbm()->stats().irqs_raised);
   }
-  return dump_metrics(opt, *sys) ? 0 : 2;
+  return dump_outputs(opt, *sys) ? 0 : 2;
 }
 
 int cmd_attack(const Options& opt) {
@@ -210,7 +241,7 @@ int cmd_attack(const Options& opt) {
                 (unsigned long long)a.old_value,
                 (unsigned long long)a.new_value);
   }
-  if (!dump_metrics(opt, *sys)) return 2;
+  if (!dump_outputs(opt, *sys)) return 2;
   return detector.alerts().empty() ? 1 : 0;
 }
 
@@ -241,7 +272,7 @@ int cmd_audit(const Options& opt) {
   for (const std::string& v : violations) std::printf("  %s\n", v.c_str());
   std::printf("kernel alive: %s\n",
               k.sys_creat("/post-storm").ok() ? "yes" : "no");
-  if (!dump_metrics(opt, *sys)) return 2;
+  if (!dump_outputs(opt, *sys)) return 2;
   return violations.empty() ? 0 : 1;
 }
 
@@ -269,7 +300,7 @@ int cmd_info(const Options& opt) {
                 (unsigned long long)
                     sys->hypersec()->verifier().stats().checked);
   }
-  return dump_metrics(opt, *sys) ? 0 : 2;
+  return dump_outputs(opt, *sys) ? 0 : 2;
 }
 
 void usage() {
