@@ -14,6 +14,9 @@
 //                  (the charge-replay path; bus-visible traffic)
 //   fuzz_replay  — whole differential fuzz sequences across the quick
 //                  configuration matrix (end-to-end campaign cost)
+//   snapshot_fork— ready-to-fuzz systems forked from a per-configuration
+//                  boot snapshot (COW restore, --snapshot-boot) instead
+//                  of re-booted fresh per exec (boot amortization)
 //
 // Both modes run the same simulated workload; the bench asserts their
 // simulated cycles and key counters are bit-identical before reporting,
@@ -358,6 +361,59 @@ LoopResult bench_fuzz_replay(u64 sequences) {
   return r;
 }
 
+/// Boot amortization of the fuzz harness: acquiring a ready-to-fuzz
+/// system by re-booting a fresh one per exec ("ref") versus forking it
+/// from a per-configuration boot snapshot via COW restore ("fast",
+/// hypernel_fuzz --snapshot-boot).  The exec payload is empty so the loop
+/// isolates the system-acquisition mechanism itself — op throughput on
+/// top of either path is fuzz_replay's job.  Fingerprints of every exec
+/// are asserted bit-identical across the two paths; the unit is execs,
+/// so the rate column is execs/sec.
+LoopResult bench_snapshot_fork(u64 execs_per_config) {
+  auto specs = fuzz::build_matrix(/*full=*/false);
+  auto run = [&](bool snapshot_boot, u64* digest) {
+    fuzz::ExecutorOptions exec;
+    exec.snapshot_boot = snapshot_boot;
+    const std::span<const fuzz::Op> no_ops;
+    Stopwatch sw;
+    u64 d = hypernel::kFnvOffset;
+    for (const fuzz::FuzzConfigSpec& spec : specs) {
+      for (u64 e = 0; e < execs_per_config; ++e) {
+        const fuzz::RunResult r = fuzz::run_sequence(spec, no_ops, exec);
+        if (r.build_failed) {
+          std::fprintf(stderr, "FATAL: snapshot_fork build failed: %s\n",
+                       r.build_error.c_str());
+          std::abort();
+        }
+        d = hypernel::fnv_fold(d, r.fingerprint.functional_hash());
+        d = hypernel::fnv_fold(d, r.fingerprint.op_digest);
+      }
+    }
+    *digest = d;
+    return static_cast<double>(sw.elapsed_ns());
+  };
+  LoopResult r;
+  r.name = "snapshot_fork";
+  r.accesses = execs_per_config * specs.size();  // unit: execs
+  for (unsigned rep = 0; rep < g_repeat; ++rep) {
+    u64 ref_digest = 0;
+    u64 fast_digest = 0;
+    const double ref = run(false, &ref_digest);
+    const double fast = run(true, &fast_digest);
+    if (ref_digest != fast_digest) {
+      std::fprintf(stderr,
+                   "FATAL: snapshot_fork diverged from re-boot: "
+                   "digest %llx vs %llx\n",
+                   (unsigned long long)ref_digest,
+                   (unsigned long long)fast_digest);
+      std::abort();
+    }
+    if (rep == 0 || ref < r.ref_ns) r.ref_ns = ref;
+    if (rep == 0 || fast < r.fast_ns) r.fast_ns = fast;
+  }
+  return r;
+}
+
 void write_json(const std::string& path, bool quick,
                 const std::vector<LoopResult>& loops) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -416,6 +472,7 @@ int main(int argc, char** argv) {
   loops.push_back(bench_s2_nested(quick ? 20'000 : 200'000));
   loops.push_back(bench_bulk_copy(quick ? 50 : 500));
   loops.push_back(bench_fuzz_replay(quick ? 2 : 8));
+  loops.push_back(bench_snapshot_fork(quick ? 20 : 100));
 
   std::printf("Host-side simulation throughput (%s)\n",
               quick ? "quick" : "full");

@@ -33,6 +33,11 @@ class SplitMix64 {
     return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
   }
 
+  /// Raw generator state, for checkpoint serialization: restoring the
+  /// state reproduces the exact remaining stream.
+  [[nodiscard]] u64 state() const { return state_; }
+  void restore_state(u64 state) { state_ = state; }
+
  private:
   u64 state_;
 };

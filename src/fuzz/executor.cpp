@@ -12,6 +12,7 @@
 #include "sim/dma_device.h"
 #include "sim/iommu.h"
 #include "sim/pagetable.h"
+#include "sim/snapshot.h"
 #include "sim/trace_io.h"
 
 namespace hn::fuzz {
@@ -67,6 +68,91 @@ struct Mapping {
   u64 len = 0;
 };
 
+// --- Snapshot-boot sessions ---------------------------------------------------
+//
+// ExecutorOptions::snapshot_boot forks every case from a boot-time COW
+// snapshot instead of building and booting a fresh system.  Sessions are
+// thread_local (the sharded campaign runner gives each worker its own
+// systems either way) and keyed by the spec's identity, so a full-matrix
+// campaign keeps one booted system per configuration per worker.
+
+struct BootSession {
+  u64 digest = 0;
+  /// Boot failures replay on every case, exactly like a fresh-boot run.
+  bool build_failed = false;
+  std::string build_error;
+  std::unique_ptr<hypernel::System> sys;
+  std::unique_ptr<secapps::ObjectIntegrityMonitor> monitor;
+  VirtAddr scratch_va = 0;
+  sim::Snapshot boot;                // system state at the fork point
+  std::vector<u8> monitor_state;     // executor-owned monitor, saved apart
+};
+
+u64 session_digest(const FuzzConfigSpec& spec) {
+  u64 h = hypernel::kFnvOffset;
+  for (const char c : spec.name) h = fold(h, static_cast<u8>(c));
+  h = fold(h, static_cast<u64>(spec.mode));
+  h = fold(h, spec.monitor ? 1 : 0);
+  h = fold(h, static_cast<u64>(spec.granularity));
+  h = fold(h, spec.tlb_entries);
+  h = fold(h, spec.cache_enabled ? 1 : 0);
+  h = fold(h, spec.cache_size_bytes);
+  h = fold(h, spec.l1_miss_fill);
+  h = fold(h, spec.use_sections ? 1 : 0);
+  h = fold(h, spec.host_fast_path ? 1 : 0);
+  return h;
+}
+
+/// Find or create this worker's boot session for `spec`.  The fork point is
+/// the same state a fresh-boot run reaches before its first op: booted
+/// system + installed monitor + mapped scratch buffer.
+BootSession& boot_session(const FuzzConfigSpec& spec) {
+  thread_local std::vector<std::unique_ptr<BootSession>> sessions;
+  const u64 digest = session_digest(spec);
+  for (auto& s : sessions) {
+    if (s->digest == digest) return *s;
+  }
+  auto session = std::make_unique<BootSession>();
+  session->digest = digest;
+  auto built = hypernel::System::create(spec.system_config());
+  if (!built.ok()) {
+    session->build_failed = true;
+    session->build_error = built.status().message();
+  } else {
+    session->sys = std::move(built).value();
+    if (spec.monitored()) {
+      session->monitor = std::make_unique<secapps::ObjectIntegrityMonitor>(
+          *session->sys, spec.granularity);
+      if (Status s = session->monitor->install(); !s.ok()) {
+        session->build_failed = true;
+        session->build_error = "monitor install: " + s.message();
+      }
+    }
+    if (!session->build_failed) {
+      auto scratch =
+          session->sys->kernel().sys_mmap(4 * kPageSize, /*writable=*/true);
+      if (!scratch.ok()) {
+        session->build_failed = true;
+        session->build_error = "scratch mmap: " + scratch.status().message();
+      } else {
+        session->scratch_va = scratch.value();
+        session->boot = session->sys->save_state();
+        if (session->monitor) {
+          sim::SnapWriter w;
+          session->monitor->save_state(w);
+          session->monitor_state = w.take();
+        }
+      }
+    }
+    if (session->build_failed) {
+      session->monitor.reset();
+      session->sys.reset();
+    }
+  }
+  sessions.push_back(std::move(session));
+  return *sessions.back();
+}
+
 class Exec {
  public:
   Exec(const FuzzConfigSpec& spec, const ExecutorOptions& opt)
@@ -75,36 +161,7 @@ class Exec {
   RunResult run(std::span<const Op> ops) {
     RunResult out;
     out.config = spec_.name;
-    hypernel::SystemConfig cfg = spec_.system_config();
-    cfg.metrics = opt_.collect_metrics || opt_.capture_trace;
-    auto built = hypernel::System::create(cfg);
-    if (!built.ok()) {
-      out.build_failed = true;
-      out.build_error = built.status().message();
-      return out;
-    }
-    sys_ = std::move(built).value();
-    // Whole-run flight recorder, on before the monitor installs so region
-    // registration is part of the causal record.
-    if (opt_.capture_trace) m().trace().set_enabled(true);
-    if (spec_.monitored()) {
-      monitor_ = std::make_unique<secapps::ObjectIntegrityMonitor>(
-          *sys_, spec_.granularity);
-      if (Status s = monitor_->install(); !s.ok()) {
-        out.build_failed = true;
-        out.build_error = "monitor install: " + s.message();
-        return out;
-      }
-    }
-    // Shared user scratch buffer for IPC payloads; part of every run, so
-    // it is itself configuration-invariant.
-    auto scratch = sys_->kernel().sys_mmap(4 * kPageSize, /*writable=*/true);
-    if (!scratch.ok()) {
-      out.build_failed = true;
-      out.build_error = "scratch mmap: " + scratch.status().message();
-      return out;
-    }
-    scratch_va_ = scratch.value();
+    if (!prepare(out)) return out;
 
     out.steps.reserve(ops.size());
     // Cross-configuration op digest: hypernel-only probes fold as a
@@ -171,6 +228,76 @@ class Exec {
   }
 
  private:
+  /// Acquire a booted system: either a fresh boot, or — with snapshot_boot
+  /// and no per-run host instrumentation — a COW restore of this worker's
+  /// cached boot session.  Returns false with out.build_* set on failure.
+  bool prepare(RunResult& out) {
+    const bool from_snapshot = opt_.snapshot_boot && opt_.trace_step == ~0ull &&
+                               !opt_.collect_metrics && !opt_.capture_trace;
+    if (from_snapshot) {
+      BootSession& session = boot_session(spec_);
+      if (session.build_failed) {
+        out.build_failed = true;
+        out.build_error = session.build_error;
+        return false;
+      }
+      // Every case restores — including the first, right after the boot
+      // that produced the snapshot — so all cases share one start state.
+      if (Status s = session.sys->restore_state(session.boot); !s.ok()) {
+        out.build_failed = true;
+        out.build_error = "snapshot restore: " + s.message();
+        return false;
+      }
+      if (session.monitor) {
+        sim::SnapReader r(session.monitor_state);
+        session.monitor->restore_state(r);
+        if (!r.ok()) {
+          out.build_failed = true;
+          out.build_error = "monitor restore: " + r.status().message();
+          return false;
+        }
+      }
+      sys_ = session.sys.get();
+      monitor_ = session.monitor.get();
+      scratch_va_ = session.scratch_va;
+      return true;
+    }
+
+    hypernel::SystemConfig cfg = spec_.system_config();
+    cfg.metrics = opt_.collect_metrics || opt_.capture_trace;
+    auto built = hypernel::System::create(cfg);
+    if (!built.ok()) {
+      out.build_failed = true;
+      out.build_error = built.status().message();
+      return false;
+    }
+    owned_sys_ = std::move(built).value();
+    sys_ = owned_sys_.get();
+    // Whole-run flight recorder, on before the monitor installs so region
+    // registration is part of the causal record.
+    if (opt_.capture_trace) m().trace().set_enabled(true);
+    if (spec_.monitored()) {
+      owned_monitor_ = std::make_unique<secapps::ObjectIntegrityMonitor>(
+          *sys_, spec_.granularity);
+      if (Status s = owned_monitor_->install(); !s.ok()) {
+        out.build_failed = true;
+        out.build_error = "monitor install: " + s.message();
+        return false;
+      }
+      monitor_ = owned_monitor_.get();
+    }
+    // Shared user scratch buffer for IPC payloads; part of every run, so
+    // it is itself configuration-invariant.
+    auto scratch = sys_->kernel().sys_mmap(4 * kPageSize, /*writable=*/true);
+    if (!scratch.ok()) {
+      out.build_failed = true;
+      out.build_error = "scratch mmap: " + scratch.status().message();
+      return false;
+    }
+    scratch_va_ = scratch.value();
+    return true;
+  }
+
   kernel::Kernel& k() { return sys_->kernel(); }
   sim::Machine& m() { return sys_->machine(); }
 
@@ -743,8 +870,12 @@ class Exec {
 
   const FuzzConfigSpec& spec_;
   const ExecutorOptions& opt_;
-  std::unique_ptr<hypernel::System> sys_;
-  std::unique_ptr<secapps::ObjectIntegrityMonitor> monitor_;
+  // Fresh-boot path: the Exec owns the system; snapshot-boot path: the
+  // thread-local BootSession does, and these stay empty.
+  std::unique_ptr<hypernel::System> owned_sys_;
+  std::unique_ptr<secapps::ObjectIntegrityMonitor> owned_monitor_;
+  hypernel::System* sys_ = nullptr;
+  secapps::ObjectIntegrityMonitor* monitor_ = nullptr;
   sim::Iommu iommu_;  // bypass mode: DMA passes in every configuration
   VirtAddr scratch_va_ = 0;
   size_t step_ = 0;

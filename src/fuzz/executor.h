@@ -97,6 +97,13 @@ struct ExecutorOptions {
   /// serialized blob in RunResult::trace_blob.  Implies the registry
   /// (spans are interleaved on the exported timeline).
   bool capture_trace = false;
+  /// Fork every case from a per-configuration boot snapshot (COW restore)
+  /// instead of building and booting a fresh system.  Results are
+  /// bit-identical either way (the snapshot invariance suite pins this);
+  /// only host wall-clock changes.  Ignored — with a fresh boot — for
+  /// runs that need per-run host-side instrumentation (trace_step,
+  /// collect_metrics, capture_trace).
+  bool snapshot_boot = false;
 };
 
 /// Run `ops` under `spec`.  Deterministic: same (spec, ops, options) give

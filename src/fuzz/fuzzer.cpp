@@ -155,7 +155,8 @@ CampaignResult run_campaign(const FuzzOptions& options, std::ostream* log) {
                        .forged = options.forged};
   ExecutorOptions exec{.inject_bypass = options.inject_bypass,
                        .audit_stride = options.audit_stride,
-                       .collect_metrics = options.collect_metrics};
+                       .collect_metrics = options.collect_metrics,
+                       .snapshot_boot = options.snapshot_boot};
 
   // Fan the sequences out: each index is an independent universe (its
   // seed comes from the index alone), so any worker count produces the

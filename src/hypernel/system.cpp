@@ -98,4 +98,108 @@ sim::Counters System::counters_since(const Snapshot& s) const {
   return machine_->account().counters().delta(s.counters);
 }
 
+// --- Machine snapshot / COW fork ---------------------------------------------
+
+namespace {
+
+inline u64 fold(u64 h, u64 v) {
+  return (h ^ v) * 1099511628211ull;  // FNV-1a step over a 64-bit word
+}
+
+}  // namespace
+
+u64 System::config_digest() const {
+  u64 h = 14695981039346656037ull;
+  h = fold(h, static_cast<u64>(config_.mode));
+  h = fold(h, config_.machine.dram_size);
+  h = fold(h, config_.machine.secure_size);
+  h = fold(h, config_.machine.cache.size_bytes);
+  h = fold(h, config_.machine.cache.ways);
+  h = fold(h, config_.machine.cache.enabled);
+  h = fold(h, config_.machine.tlb_entries);
+  h = fold(h, config_.kernel.use_sections);
+  h = fold(h, config_.kernel.linear_limit);
+  h = fold(h, config_.kernel.timer_period);
+  h = fold(h, config_.enable_mbm);
+  h = fold(h, config_.mbm_ring_entries);
+  h = fold(h, config_.mbm_fifo_depth);
+  h = fold(h, config_.mbm_bitmap_cache_entries);
+  h = fold(h, config_.mbm_bitmap_cache_enabled);
+  h = fold(h, config_.kvm.eager_map);
+  h = fold(h, config_.kvm.thp_backing);
+  h = fold(h, config_.kvm.recycle_invalidate_permille);
+  h = fold(h, config_.kvm.recycle_min_interval);
+  h = fold(h, config_.kvm.recycle_burst);
+  h = fold(h, config_.kvm.rng_seed);
+  h = fold(h, config_.hypersec.verify_cost);
+  h = fold(h, config_.hypersec.mbm_noncacheable_remap);
+  return h;
+}
+
+sim::Snapshot System::save_state() {
+  sim::Snapshot snap;
+  snap.config_digest = config_digest();
+  // The save marker goes in first so it is the last event of the saved
+  // ring; every restore links back to it by this sequence id.
+  snap.save_seq = machine_->trace().record(machine_->account().cycles(),
+                                           sim::TraceKind::kSnapshot, 1, 0);
+  sim::SnapWriter w;
+  w.put_u64(snap.save_seq);
+  machine_->save_state(w);
+  kernel_->save_state(w);
+  w.put_bool(mbm_ != nullptr);
+  if (mbm_) mbm_->save_state(w);
+  w.put_bool(kvm_ != nullptr);
+  if (kvm_) kvm_->save_state(w);
+  w.put_bool(hypersec_ != nullptr);
+  if (hypersec_) hypersec_->save_state(w);
+  snap.state = w.take();
+  snap.pages = machine_->phys().capture();
+  return snap;
+}
+
+Status System::restore_state(const sim::Snapshot& snap) {
+  if (snap.empty()) {
+    return Status::Invalid("snapshot: empty snapshot");
+  }
+  if (snap.config_digest != config_digest()) {
+    return Status::Invalid(
+        "snapshot: configuration digest mismatch (snapshot was taken from a "
+        "differently configured system)");
+  }
+  if (Status s = machine_->phys().adopt(snap.pages); !s.ok()) return s;
+  sim::SnapReader r(snap.state);
+  const u64 save_seq = r.get_u64();
+  machine_->restore_state(r);
+  kernel_->restore_state(r);
+  r.section("system");
+  const bool had_mbm = r.get_bool();
+  if (r.ok() && had_mbm != (mbm_ != nullptr)) {
+    r.fail("MBM presence does not match this configuration");
+  }
+  if (r.ok() && mbm_) mbm_->restore_state(r);
+  r.section("system");
+  const bool had_kvm = r.get_bool();
+  if (r.ok() && had_kvm != (kvm_ != nullptr)) {
+    r.fail("KVM presence does not match this configuration");
+  }
+  if (r.ok() && kvm_) kvm_->restore_state(r);
+  r.section("system");
+  const bool had_hypersec = r.get_bool();
+  if (r.ok() && had_hypersec != (hypersec_ != nullptr)) {
+    r.fail("Hypersec presence does not match this configuration");
+  }
+  if (r.ok() && hypersec_) hypersec_->restore_state(r);
+  if (r.ok() && r.remaining() != 0) {
+    r.section("system");
+    r.fail("trailing bytes after layered state");
+  }
+  if (Status s = r.status(); !s.ok()) return s;
+  // The restored ring ends with the save marker; the restore event links
+  // back to it, so offline tools see fork points as explicit edges.
+  machine_->trace().record_caused(machine_->account().cycles(),
+                                  sim::TraceKind::kSnapshot, save_seq, 2, 0);
+  return Status::Ok();
+}
+
 }  // namespace hn::hypernel

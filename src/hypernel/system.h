@@ -92,6 +92,22 @@ class System {
     return machine_->obs().snapshot();
   }
 
+  // --- Machine snapshot / COW fork (DESIGN.md §12) ---------------------------
+  /// FNV digest of the configuration fields that shape simulated state.
+  /// Host-only knobs (fast path, metrics) are excluded: snapshots restore
+  /// across them.
+  [[nodiscard]] u64 config_digest() const;
+  /// Capture the full machine + software state: a layered state blob plus
+  /// COW-shared DRAM pages (no RAM copy).  Records a kSnapshot(save) trace
+  /// event first, so the marker is part of the saved ring and its sequence
+  /// id (`save_seq`) survives as the restore event's cause link.
+  [[nodiscard]] sim::Snapshot save_state();
+  /// Restore a snapshot into this live, identically-configured system
+  /// (validated by config digest).  Wiring persists; architectural state
+  /// is replaced and host-side caches invalidate through vm_generation.
+  /// Records a kSnapshot(restore) event caused by the snapshot's save.
+  Status restore_state(const sim::Snapshot& snap);
+
  private:
   explicit System(const SystemConfig& config) : config_(config) {}
   Status build();

@@ -125,6 +125,52 @@ class Hypersec {
   /// with the paper's "~1.5 KLoC" TCB argument (§8).
   static constexpr unsigned kApproxSloc = 1500;
 
+  // --- Snapshot support (sim/snapshot.h) ------------------------------------
+  // App registrations are executor wiring (re-established per session);
+  // the verifier inventory, driver regions and stat counters serialize.
+
+  void save_state(sim::SnapWriter& w) const {
+    w.put_bool(initialized_);
+    w.put_u64(stats_.pt_write_calls);
+    w.put_u64(stats_.pt_write_denials);
+    w.put_u64(stats_.pt_allocs);
+    w.put_u64(stats_.pt_frees);
+    w.put_u64(stats_.root_registrations);
+    w.put_u64(stats_.ttbr_traps);
+    w.put_u64(stats_.trap_denials);
+    w.put_u64(stats_.mon_registers);
+    w.put_u64(stats_.mon_unregisters);
+    w.put_u64(stats_.mbm_irq_calls);
+    w.put_u64(stats_.events_dispatched);
+    verifier_.save_state(w);
+    w.put_bool(driver_ != nullptr);
+    if (driver_) driver_->save_state(w);
+  }
+
+  void restore_state(sim::SnapReader& r) {
+    r.section("hypersec");
+    initialized_ = r.get_bool();
+    stats_.pt_write_calls = r.get_u64();
+    stats_.pt_write_denials = r.get_u64();
+    stats_.pt_allocs = r.get_u64();
+    stats_.pt_frees = r.get_u64();
+    stats_.root_registrations = r.get_u64();
+    stats_.ttbr_traps = r.get_u64();
+    stats_.trap_denials = r.get_u64();
+    stats_.mon_registers = r.get_u64();
+    stats_.mon_unregisters = r.get_u64();
+    stats_.mbm_irq_calls = r.get_u64();
+    stats_.events_dispatched = r.get_u64();
+    verifier_.restore_state(r);
+    const bool had_driver = r.get_bool();
+    r.section("hypersec");
+    if (r.ok() && had_driver != (driver_ != nullptr)) {
+      r.fail("MBM driver presence does not match this configuration");
+      return;
+    }
+    if (driver_) driver_->restore_state(r);
+  }
+
  private:
   u64 handle_hvc(u64 func, std::span<const u64> args);
   sim::TrapVerdict handle_sysreg_trap(sim::SysReg reg, u64 value);

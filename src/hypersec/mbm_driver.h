@@ -58,6 +58,49 @@ class MbmDriver {
   };
   El2Walk el2_walk(VirtAddr va);
 
+  // --- Snapshot support (sim/snapshot.h) ------------------------------------
+
+  void save_state(sim::SnapWriter& w) const {
+    w.put_u64(regions_.size());
+    for (const auto& [pa, info] : regions_) {
+      w.put_u64(pa);
+      w.put_u64(info.sid);
+      w.put_u64(info.va_base);
+      w.put_u64(info.pa_base);
+      w.put_u64(info.size);
+    }
+    w.put_u64(nc_refs_.size());
+    for (const auto& [pa, refs] : nc_refs_) {
+      w.put_u64(pa);
+      w.put_u32(refs);
+    }
+    w.put_u64(events_delivered_);
+    w.put_u64(unattributed_);
+  }
+
+  void restore_state(sim::SnapReader& r) {
+    r.section("mbm driver");
+    const u64 nregions = r.get_count("monitored region");
+    regions_.clear();
+    for (u64 i = 0; r.ok() && i < nregions; ++i) {
+      const PhysAddr key = r.get_u64();
+      RegionInfo info;
+      info.sid = r.get_u64();
+      info.va_base = r.get_u64();
+      info.pa_base = r.get_u64();
+      info.size = r.get_u64();
+      regions_.emplace(key, info);
+    }
+    const u64 nrefs = r.get_count("non-cacheable page");
+    nc_refs_.clear();
+    for (u64 i = 0; r.ok() && i < nrefs; ++i) {
+      const PhysAddr pa = r.get_u64();
+      nc_refs_[pa] = r.get_u32();
+    }
+    events_delivered_ = r.get_u64();
+    unattributed_ = r.get_u64();
+  }
+
  private:
   void set_bits(PhysAddr pa, u64 size, bool on);
   Status set_page_cacheable(VirtAddr page_va, bool cacheable);

@@ -93,6 +93,68 @@ class PtVerifier {
   [[nodiscard]] const VerifierStats& stats() const { return stats_; }
   [[nodiscard]] u64 pt_page_count() const { return pt_pages_.size(); }
 
+  // --- Snapshot support (sim/snapshot.h) ------------------------------------
+
+  void save_state(sim::SnapWriter& w) const {
+    w.put_u64(kernel_root_);
+    w.put_u64(pt_pages_.size());
+    for (const auto& [pa, level] : pt_pages_) {
+      w.put_u64(pa);
+      w.put_u32(level);
+    }
+    w.put_u64(kernel_tree_.size());
+    for (const PhysAddr pa : kernel_tree_) w.put_u64(pa);
+    w.put_u64(module_text_.size());
+    for (const PhysAddr pa : module_text_) w.put_u64(pa);
+    w.put_u64(user_roots_.size());
+    for (const PhysAddr pa : user_roots_) w.put_u64(pa);
+    w.put_u64(stats_.checked);
+    w.put_u64(stats_.denied_not_pt_page);
+    w.put_u64(stats_.denied_kernel_tree);
+    w.put_u64(stats_.denied_secure_map);
+    w.put_u64(stats_.denied_bad_table);
+    w.put_u64(stats_.denied_bad_encoding);
+    w.put_u64(stats_.denied_wx);
+    w.put_u64(stats_.denied_pt_writable);
+    w.put_u64(stats_.denied_text_writable);
+  }
+
+  void restore_state(sim::SnapReader& r) {
+    r.section("pt verifier");
+    kernel_root_ = r.get_u64();
+    const u64 npt = r.get_count("table page");
+    pt_pages_.clear();
+    // All saved in ascending key order, so hinted inserts are O(1).
+    for (u64 i = 0; r.ok() && i < npt; ++i) {
+      const PhysAddr pa = r.get_u64();
+      pt_pages_.emplace_hint(pt_pages_.end(), pa, r.get_u32());
+    }
+    const u64 ntree = r.get_count("kernel-tree page");
+    kernel_tree_.clear();
+    for (u64 i = 0; r.ok() && i < ntree; ++i) {
+      kernel_tree_.emplace_hint(kernel_tree_.end(), r.get_u64());
+    }
+    const u64 ntext = r.get_count("module-text page");
+    module_text_.clear();
+    for (u64 i = 0; r.ok() && i < ntext; ++i) {
+      module_text_.emplace_hint(module_text_.end(), r.get_u64());
+    }
+    const u64 nroots = r.get_count("user root");
+    user_roots_.clear();
+    for (u64 i = 0; r.ok() && i < nroots; ++i) {
+      user_roots_.emplace_hint(user_roots_.end(), r.get_u64());
+    }
+    stats_.checked = r.get_u64();
+    stats_.denied_not_pt_page = r.get_u64();
+    stats_.denied_kernel_tree = r.get_u64();
+    stats_.denied_secure_map = r.get_u64();
+    stats_.denied_bad_table = r.get_u64();
+    stats_.denied_bad_encoding = r.get_u64();
+    stats_.denied_wx = r.get_u64();
+    stats_.denied_pt_writable = r.get_u64();
+    stats_.denied_text_writable = r.get_u64();
+  }
+
  private:
   sim::Machine& machine_;
   PhysAddr text_base_;

@@ -14,6 +14,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "obs/metrics.h"
+#include "sim/snapshot.h"
 
 namespace hn::kernel {
 
@@ -51,6 +52,47 @@ class BuddyAllocator {
   [[nodiscard]] u64 size() const { return total_pages_ * kPageSize; }
   [[nodiscard]] bool owns(PhysAddr pa) const {
     return pa >= base_ && pa < base_ + size();
+  }
+
+  // --- Snapshot support (sim/snapshot.h) ------------------------------------
+
+  void save_state(sim::SnapWriter& w) const {
+    w.put_u64(total_pages_);
+    w.put_u64(free_pages_);
+    for (const std::vector<u64>& list : free_lists_) {
+      w.put_u64(list.size());
+      w.put_bytes(list.data(), list.size() * sizeof(u64));
+    }
+    w.put_bytes(block_order_.data(), block_order_.size());
+    // Bit-packed allocated map: the pool is large (one bit per frame) and
+    // restore is on the snapshot-boot fast path.
+    std::vector<u8> bits((allocated_.size() + 7) / 8, 0);
+    for (size_t i = 0; i < allocated_.size(); ++i) {
+      if (allocated_[i]) bits[i >> 3] |= static_cast<u8>(1u << (i & 7));
+    }
+    w.put_bytes(bits.data(), bits.size());
+  }
+
+  void restore_state(sim::SnapReader& r) {
+    r.section("buddy");
+    const u64 pages = r.get_u64();
+    if (r.ok() && pages != total_pages_) {
+      r.fail("pool size " + std::to_string(pages) +
+             " pages does not match this configuration");
+      return;
+    }
+    free_pages_ = r.get_u64();
+    for (std::vector<u64>& list : free_lists_) {
+      const u64 n = r.get_count("free list");
+      list.resize(r.ok() ? n : 0);
+      r.get_bytes(list.data(), list.size() * sizeof(u64));
+    }
+    r.get_bytes(block_order_.data(), block_order_.size());
+    std::vector<u8> bits((allocated_.size() + 7) / 8, 0);
+    r.get_bytes(bits.data(), bits.size());
+    for (u64 i = 0; i < allocated_.size(); ++i) {
+      allocated_[i] = ((bits[i >> 3] >> (i & 7)) & 1) != 0;
+    }
   }
 
  private:

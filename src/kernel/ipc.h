@@ -39,6 +39,53 @@ class IpcManager {
   Status socket_send(u32 id, unsigned end, const void* data, u64 len);
   Result<u64> socket_recv(u32 id, unsigned end, void* out, u64 len);
 
+  // --- Snapshot support (sim/snapshot.h) ------------------------------------
+
+  void save_state(sim::SnapWriter& w) const {
+    w.put_u64(pipes_.size());
+    for (const auto& [id, ch] : pipes_) {
+      w.put_u32(id);
+      w.put_u64(ch.buf);
+      w.put_u64(ch.fill);
+    }
+    w.put_u64(sockets_.size());
+    for (const auto& [id, pair] : sockets_) {
+      w.put_u32(id);
+      for (const Channel& ch : pair.dir) {
+        w.put_u64(ch.buf);
+        w.put_u64(ch.fill);
+      }
+      w.put_u64(pair.skb);
+    }
+    w.put_u32(next_id_);
+  }
+
+  void restore_state(sim::SnapReader& r) {
+    r.section("ipc");
+    const u64 npipes = r.get_count("pipe");
+    pipes_.clear();
+    for (u64 i = 0; r.ok() && i < npipes; ++i) {
+      const u32 id = r.get_u32();
+      Channel ch;
+      ch.buf = r.get_u64();
+      ch.fill = r.get_u64();
+      pipes_.emplace(id, ch);
+    }
+    const u64 nsockets = r.get_count("socket pair");
+    sockets_.clear();
+    for (u64 i = 0; r.ok() && i < nsockets; ++i) {
+      const u32 id = r.get_u32();
+      SocketPair pair;
+      for (Channel& ch : pair.dir) {
+        ch.buf = r.get_u64();
+        ch.fill = r.get_u64();
+      }
+      pair.skb = r.get_u64();
+      sockets_.emplace(id, pair);
+    }
+    next_id_ = r.get_u32();
+  }
+
  private:
   struct Channel {
     PhysAddr buf = 0;  // one page

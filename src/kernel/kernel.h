@@ -116,6 +116,52 @@ class Kernel {
   [[nodiscard]] u64 timer_ticks() const { return timer_ticks_; }
   [[nodiscard]] PhysAddr linear_limit() const { return linear_limit_; }
 
+  // --- Snapshot support (sim/snapshot.h) ------------------------------------
+  // Fixed component order; handler wiring (PtWriter choice, hooks, IRQ
+  // forwarding) is established by boot and persists across restore.
+
+  void save_state(sim::SnapWriter& w) const {
+    w.put_bool(booted_);
+    w.put_u64(linear_limit_);
+    w.put_u64(timer_ticks_);
+    w.put_u64(next_tick_at_);
+    w.put_u64(ws_arena_);
+    w.put_u64(ws_arena_pages_);
+    w.put_u64(ws_cursor_);
+    buddy_->save_state(w);
+    kpt_->save_state(w);
+    cred_slab_->save_state(w);
+    dentry_slab_->save_state(w);
+    vfs_->save_state(w);
+    procs_->save_state(w);
+    ipc_->save_state(w);
+    modules_->save_state(w);
+  }
+
+  void restore_state(sim::SnapReader& r) {
+    r.section("kernel");
+    booted_ = r.get_bool();
+    const PhysAddr limit = r.get_u64();
+    if (r.ok() && limit != linear_limit_) {
+      r.fail("linear limit " + std::to_string(limit) +
+             " does not match this configuration");
+      return;
+    }
+    timer_ticks_ = r.get_u64();
+    next_tick_at_ = r.get_u64();
+    ws_arena_ = r.get_u64();
+    ws_arena_pages_ = r.get_u64();
+    ws_cursor_ = r.get_u64();
+    buddy_->restore_state(r);
+    kpt_->restore_state(r);
+    cred_slab_->restore_state(r);
+    dentry_slab_->restore_state(r);
+    vfs_->restore_state(r);
+    procs_->restore_state(r);
+    ipc_->restore_state(r);
+    modules_->restore_state(r);
+  }
+
  private:
   class SvcScope;
   void on_irq(unsigned line);

@@ -72,6 +72,30 @@ class PageTableManager {
   /// (used by tests and by Hypersec acting at EL2 via its own path).
   Status protect_linear(PhysAddr pa, const sim::PageAttrs& attrs);
 
+  // --- Snapshot support (sim/snapshot.h) ------------------------------------
+  // The descriptor trees themselves live in simulated memory (restored via
+  // the snapshot's pages); only the host-side registry is serialized.
+
+  void save_state(sim::SnapWriter& w) const {
+    w.put_u64(kernel_root_);
+    w.put_u64(pt_pages_.size());
+    for (const auto& [pa, level] : pt_pages_) {
+      w.put_u64(pa);
+      w.put_u32(level);
+    }
+  }
+
+  void restore_state(sim::SnapReader& r) {
+    r.section("kpt");
+    kernel_root_ = r.get_u64();
+    const u64 n = r.get_count("page-table page");
+    pt_pages_.clear();
+    for (u64 i = 0; r.ok() && i < n; ++i) {
+      const PhysAddr pa = r.get_u64();
+      pt_pages_.emplace_hint(pt_pages_.end(), pa, r.get_u32());
+    }
+  }
+
  private:
   /// Allocate + zero + register a new table page (runtime, charged).
   Result<PhysAddr> alloc_table_page(unsigned level);

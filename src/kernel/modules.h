@@ -72,6 +72,52 @@ class ModuleLoader {
   /// through a driver's ops table.
   Result<u64> call_hook(const std::string& name, u64 index);
 
+  // --- Snapshot support (sim/snapshot.h) ------------------------------------
+
+  void save_state(sim::SnapWriter& w) const {
+    w.put_u64(modules_.size());
+    for (const auto& [name, mod] : modules_) {
+      w.put_string(name);
+      w.put_string(mod.name);
+      w.put_u64(mod.text_va);
+      w.put_u64(mod.text_pages);
+      w.put_u64(mod.data_va);
+      w.put_u64(mod.data_pages);
+    }
+    w.put_u64(frames_.size());
+    for (const auto& [name, frames] : frames_) {
+      w.put_string(name);
+      w.put_u64(frames.size());
+      for (const PhysAddr pa : frames) w.put_u64(pa);
+    }
+  }
+
+  void restore_state(sim::SnapReader& r) {
+    r.section("modules");
+    const u64 nmods = r.get_count("module");
+    modules_.clear();
+    for (u64 i = 0; r.ok() && i < nmods; ++i) {
+      std::string key = r.get_string();
+      LoadedModule mod;
+      mod.name = r.get_string();
+      mod.text_va = r.get_u64();
+      mod.text_pages = r.get_u64();
+      mod.data_va = r.get_u64();
+      mod.data_pages = r.get_u64();
+      modules_.emplace(std::move(key), std::move(mod));
+    }
+    const u64 nframes = r.get_count("module frame list");
+    frames_.clear();
+    for (u64 i = 0; r.ok() && i < nframes; ++i) {
+      std::string key = r.get_string();
+      const u64 count = r.get_count("module frame");
+      std::vector<PhysAddr> frames;
+      frames.reserve(r.ok() ? count : 0);
+      for (u64 f = 0; r.ok() && f < count; ++f) frames.push_back(r.get_u64());
+      frames_.emplace(std::move(key), std::move(frames));
+    }
+  }
+
  private:
   /// Linear-map attribute change over a whole region.
   Status set_region_attrs(VirtAddr va, u64 pages, const sim::PageAttrs& attrs);

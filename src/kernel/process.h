@@ -119,6 +119,95 @@ class ProcessManager {
 
   [[nodiscard]] u64 frame_refs(PhysAddr frame) const;
 
+  // --- Snapshot support (sim/snapshot.h) ------------------------------------
+
+  void save_state(sim::SnapWriter& w) const {
+    w.put_u64(tasks_.size());
+    for (const auto& [pid, task] : tasks_) {
+      w.put_u32(pid);
+      w.put_u32(task->pid);
+      w.put_u16(task->asid);
+      w.put_u64(task->ttbr0);
+      w.put_u64(task->kstack);
+      w.put_u64(task->vmas.size());
+      for (const Vma& vma : task->vmas) {
+        w.put_u64(vma.start);
+        w.put_u64(vma.end);
+        w.put_bool(vma.writable);
+        w.put_bool(vma.executable);
+        w.put_u64(vma.file_ino);
+        w.put_u64(vma.file_pgoff);
+      }
+      w.put_u64(task->cred);
+      for (const u64 h : task->sighandlers) w.put_u64(h);
+      w.put_u64(task->signal_sp);
+      w.put_u64(task->mmap_next);
+      w.put_bool(task->alive);
+    }
+    w.put_u64(frame_refs_.size());
+    for (const auto& [frame, refs] : frame_refs_) {
+      w.put_u64(frame);
+      w.put_u32(refs);
+    }
+    w.put_u32(current_ ? current_->pid : 0);
+    w.put_u32(next_pid_);
+    w.put_u64(switch_serial_);
+  }
+
+  void restore_state(sim::SnapReader& r) {
+    r.section("process");
+    const u64 ntasks = r.get_count("task");
+    tasks_.clear();
+    current_ = nullptr;
+    for (u64 i = 0; r.ok() && i < ntasks; ++i) {
+      const u32 key = r.get_u32();
+      auto task = std::make_unique<Task>();
+      task->pid = r.get_u32();
+      task->asid = r.get_u16();
+      task->ttbr0 = r.get_u64();
+      task->kstack = r.get_u64();
+      const u64 nvmas = r.get_count("vma");
+      task->vmas.reserve(r.ok() ? nvmas : 0);
+      for (u64 v = 0; r.ok() && v < nvmas; ++v) {
+        Vma vma;
+        vma.start = r.get_u64();
+        vma.end = r.get_u64();
+        vma.writable = r.get_bool();
+        vma.executable = r.get_bool();
+        vma.file_ino = r.get_u64();
+        vma.file_pgoff = r.get_u64();
+        task->vmas.push_back(vma);
+      }
+      task->cred = r.get_u64();
+      for (u64& h : task->sighandlers) h = r.get_u64();
+      task->signal_sp = r.get_u64();
+      task->mmap_next = r.get_u64();
+      task->alive = r.get_bool();
+      tasks_.emplace_hint(tasks_.end(), key, std::move(task));
+    }
+    const u64 nframes = r.get_count("frame ref");
+    frame_refs_.clear();
+    // Saved in ascending key order (std::map iteration), so the hinted
+    // inserts are amortized O(1) — this map is the big one on the
+    // snapshot-boot restore path.
+    for (u64 i = 0; r.ok() && i < nframes; ++i) {
+      const PhysAddr frame = r.get_u64();
+      frame_refs_.emplace_hint(frame_refs_.end(), frame, r.get_u32());
+    }
+    const u32 current_pid = r.get_u32();
+    next_pid_ = r.get_u32();
+    switch_serial_ = r.get_u64();
+    if (r.ok() && current_pid != 0) {
+      const auto it = tasks_.find(current_pid);
+      if (it == tasks_.end()) {
+        r.fail("current task pid " + std::to_string(current_pid) +
+               " not present in the task table");
+        return;
+      }
+      current_ = it->second.get();
+    }
+  }
+
  private:
   Result<VirtAddr> make_cred(u64 uid, u64 gid);
   void write_cred_word(VirtAddr cred, u64 word, u64 value);

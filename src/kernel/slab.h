@@ -64,6 +64,30 @@ class SlabCache {
   [[nodiscard]] u64 live_objects() const { return live_; }
   [[nodiscard]] const std::vector<PhysAddr>& pages() const { return pages_; }
 
+  // --- Snapshot support (sim/snapshot.h) ------------------------------------
+  // Freelist order matters (LIFO reuse) and is preserved exactly.
+
+  void save_state(sim::SnapWriter& w) const {
+    w.put_u64(freelist_.size());
+    for (const VirtAddr va : freelist_) w.put_u64(va);
+    w.put_u64(pages_.size());
+    for (const PhysAddr pa : pages_) w.put_u64(pa);
+    w.put_u64(live_);
+  }
+
+  void restore_state(sim::SnapReader& r) {
+    r.section("slab");
+    const u64 nfree = r.get_count("freelist");
+    freelist_.clear();
+    freelist_.reserve(r.ok() ? nfree : 0);
+    for (u64 i = 0; r.ok() && i < nfree; ++i) freelist_.push_back(r.get_u64());
+    const u64 npages = r.get_count("slab page");
+    pages_.clear();
+    pages_.reserve(r.ok() ? npages : 0);
+    for (u64 i = 0; r.ok() && i < npages; ++i) pages_.push_back(r.get_u64());
+    live_ = r.get_u64();
+  }
+
  private:
   Status grow() {
     machine_.advance(costs_.page_alloc);

@@ -103,6 +103,92 @@ class Vfs {
   /// never reused.
   [[nodiscard]] u64 ino_bound() const { return next_ino_; }
 
+  // --- Snapshot support (sim/snapshot.h) ------------------------------------
+  // std::map iteration is key-ordered, so serialization is deterministic.
+
+  void save_state(sim::SnapWriter& w) const {
+    w.put_u64(inodes_.size());
+    for (const auto& [ino, node] : inodes_) {
+      w.put_u64(ino);
+      w.put_u64(node.ino);
+      w.put_bool(node.is_dir);
+      w.put_u64(node.size);
+      w.put_u64(node.nlink);
+      w.put_u64(node.uid);
+      w.put_u64(node.gid);
+      w.put_u64(node.mtime);
+      w.put_u64(node.pages.size());
+      for (const auto& [pgoff, frame] : node.pages) {
+        w.put_u64(pgoff);
+        w.put_u64(frame);
+      }
+    }
+    w.put_u64(children_.size());
+    for (const auto& [key, ino] : children_) {
+      w.put_u64(key.parent);
+      w.put_string(key.name);
+      w.put_u64(ino);
+    }
+    w.put_u64(dcache_.size());
+    for (const auto& [key, dva] : dcache_) {
+      w.put_u64(key.parent);
+      w.put_string(key.name);
+      w.put_u64(dva);
+    }
+    w.put_u64(dcache_lru_.size());
+    for (const DKey& key : dcache_lru_) {
+      w.put_u64(key.parent);
+      w.put_string(key.name);
+    }
+    w.put_u64(next_ino_);
+    w.put_u64(lookup_serial_);
+  }
+
+  void restore_state(sim::SnapReader& r) {
+    r.section("vfs");
+    const u64 ninodes = r.get_count("inode");
+    inodes_.clear();
+    for (u64 i = 0; r.ok() && i < ninodes; ++i) {
+      const u64 key = r.get_u64();
+      Inode node;
+      node.ino = r.get_u64();
+      node.is_dir = r.get_bool();
+      node.size = r.get_u64();
+      node.nlink = r.get_u64();
+      node.uid = r.get_u64();
+      node.gid = r.get_u64();
+      node.mtime = r.get_u64();
+      const u64 npages = r.get_count("page cache");
+      // Every map below was saved in ascending key order (std::map
+      // iteration), so hinted inserts are amortized O(1).
+      for (u64 p = 0; r.ok() && p < npages; ++p) {
+        const u64 pgoff = r.get_u64();
+        node.pages.emplace_hint(node.pages.end(), pgoff, r.get_u64());
+      }
+      inodes_.emplace_hint(inodes_.end(), key, std::move(node));
+    }
+    const u64 nchildren = r.get_count("directory entry");
+    children_.clear();
+    for (u64 i = 0; r.ok() && i < nchildren; ++i) {
+      DKey key{r.get_u64(), r.get_string()};
+      children_.emplace_hint(children_.end(), std::move(key), r.get_u64());
+    }
+    const u64 ndcache = r.get_count("dcache entry");
+    dcache_.clear();
+    for (u64 i = 0; r.ok() && i < ndcache; ++i) {
+      DKey key{r.get_u64(), r.get_string()};
+      dcache_.emplace_hint(dcache_.end(), std::move(key), r.get_u64());
+    }
+    const u64 nlru = r.get_count("dcache LRU entry");
+    dcache_lru_.clear();
+    dcache_lru_.reserve(r.ok() ? nlru : 0);
+    for (u64 i = 0; r.ok() && i < nlru; ++i) {
+      dcache_lru_.push_back(DKey{r.get_u64(), r.get_string()});
+    }
+    next_ino_ = r.get_u64();
+    lookup_serial_ = r.get_u64();
+  }
+
  private:
   static constexpr u64 kRootIno = 1;
 

@@ -84,6 +84,55 @@ class KvmHypervisor {
   [[nodiscard]] PhysAddr stage2_root() const { return s2_root_; }
   [[nodiscard]] u64 guest_ram_size() const { return guest_ram_size_; }
 
+  // --- Snapshot support (sim/snapshot.h) ------------------------------------
+  // The stage-2 trees live in simulated memory (restored via pages); the
+  // RNG state keeps the host-pressure stream identical across a restore.
+
+  void save_state(sim::SnapWriter& w) const {
+    w.put_u64(rng_.state());
+    w.put_u64(s2_root_);
+    w.put_u64(s2_pool_next_);
+    w.put_u64(guest_ram_size_);
+    w.put_u64(protected_pages_.size());
+    for (const PhysAddr pa : protected_pages_) w.put_u64(pa);
+    w.put_u64(ever_mapped_.size());
+    for (const IpaAddr ipa : ever_mapped_) w.put_u64(ipa);
+    w.put_f64(recycle_tokens_);
+    w.put_u64(recycle_last_refill_);
+    w.put_u64(stats_.s2_faults_serviced);
+    w.put_u64(stats_.pages_mapped);
+    w.put_u64(stats_.recycle_invalidations);
+    w.put_u64(stats_.wp_traps);
+    w.put_u64(stats_.irq_exits);
+  }
+
+  void restore_state(sim::SnapReader& r) {
+    r.section("kvm");
+    rng_.restore_state(r.get_u64());
+    s2_root_ = r.get_u64();
+    s2_pool_next_ = r.get_u64();
+    guest_ram_size_ = r.get_u64();
+    const u64 nprot = r.get_count("protected page");
+    protected_pages_.clear();
+    // Saved in ascending order (std::set iteration): hinted inserts are
+    // O(1), and ever_mapped_ can hold a THP group per fault.
+    for (u64 i = 0; r.ok() && i < nprot; ++i) {
+      protected_pages_.emplace_hint(protected_pages_.end(), r.get_u64());
+    }
+    const u64 nmapped = r.get_count("mapped page");
+    ever_mapped_.clear();
+    for (u64 i = 0; r.ok() && i < nmapped; ++i) {
+      ever_mapped_.emplace_hint(ever_mapped_.end(), r.get_u64());
+    }
+    recycle_tokens_ = r.get_f64();
+    recycle_last_refill_ = r.get_u64();
+    stats_.s2_faults_serviced = r.get_u64();
+    stats_.pages_mapped = r.get_u64();
+    stats_.recycle_invalidations = r.get_u64();
+    stats_.wp_traps = r.get_u64();
+    stats_.irq_exits = r.get_u64();
+  }
+
  private:
   sim::S2FaultAction on_s2_fault(const sim::Fault& fault, bool is_write,
                                  u64 value);

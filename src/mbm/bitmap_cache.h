@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "sim/snapshot.h"
 
 namespace hn::mbm {
 
@@ -61,6 +62,40 @@ class BitmapCache {
   [[nodiscard]] u64 misses() const { return misses_; }
   [[nodiscard]] bool enabled() const { return enabled_; }
   [[nodiscard]] unsigned entries() const { return entries_; }
+
+  // --- Snapshot support (sim/snapshot.h) ------------------------------------
+  // The lazily-allocated slot array round-trips exactly: an empty vector
+  // stays empty so the first post-restore lookup still allocates it.
+
+  void save_state(sim::SnapWriter& w) const {
+    w.put_u64(slots_.size());
+    for (const Entry& e : slots_) {
+      w.put_bool(e.valid);
+      w.put_u64(e.addr);
+      w.put_u64(e.value);
+    }
+    w.put_u64(hits_);
+    w.put_u64(misses_);
+  }
+
+  void restore_state(sim::SnapReader& r) {
+    r.section("mbm bitmap cache");
+    const u64 n = r.get_count("slot");
+    if (r.ok() && n != 0 && n != entries_) {
+      r.fail("slot count " + std::to_string(n) +
+             " does not match configured entries");
+      return;
+    }
+    slots_.clear();
+    slots_.resize(r.ok() ? n : 0);
+    for (Entry& e : slots_) {
+      e.valid = r.get_bool();
+      e.addr = r.get_u64();
+      e.value = r.get_u64();
+    }
+    hits_ = r.get_u64();
+    misses_ = r.get_u64();
+  }
 
  private:
   struct Entry {

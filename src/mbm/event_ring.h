@@ -73,6 +73,34 @@ class EventRing {
     std::fill(shadow_seq_.begin(), shadow_seq_.end(), sim::kNoCause);
   }
 
+  // --- Snapshot support (sim/snapshot.h) ------------------------------------
+  // Ring *data* lives in simulated secure memory (restored via pages);
+  // the device indices and host-side provenance sideband serialize here.
+
+  void save_state(sim::SnapWriter& w) const {
+    w.put_u64(head_);
+    w.put_u64(tail_);
+    w.put_u64(drops_);
+    w.put_u64(pushed_);
+    w.put_u64(shadow_seq_.size());
+    w.put_bytes(shadow_seq_.data(), shadow_seq_.size() * sizeof(u64));
+  }
+
+  void restore_state(sim::SnapReader& r) {
+    r.section("mbm event ring");
+    head_ = r.get_u64();
+    tail_ = r.get_u64();
+    drops_ = r.get_u64();
+    pushed_ = r.get_u64();
+    const u64 n = r.get_count("shadow slot");
+    if (r.ok() && n != entries_) {
+      r.fail("capacity " + std::to_string(n) +
+             " does not match this configuration");
+      return;
+    }
+    r.get_bytes(shadow_seq_.data(), shadow_seq_.size() * sizeof(u64));
+  }
+
  private:
   sim::Machine& machine_;
   PhysAddr base_;

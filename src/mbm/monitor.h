@@ -81,6 +81,33 @@ class MemoryBusMonitor final : public sim::BusSnooper {
     return bitmap_bytes_for(config_.watch_size);
   }
 
+  // --- Snapshot support (sim/snapshot.h) ------------------------------------
+
+  void save_state(sim::SnapWriter& w) const {
+    w.put_bool(enabled_);
+    w.put_u64(snooped_word_writes_);
+    w.put_u64(snooped_line_writes_);
+    w.put_u64(bitmap_fetches_);
+    w.put_u64(detections_);
+    w.put_u64(irqs_raised_);
+    fifo_.save_state(w);
+    bitmap_cache_.save_state(w);
+    ring_.save_state(w);
+  }
+
+  void restore_state(sim::SnapReader& r) {
+    r.section("mbm");
+    enabled_ = r.get_bool();
+    snooped_word_writes_ = r.get_u64();
+    snooped_line_writes_ = r.get_u64();
+    bitmap_fetches_ = r.get_u64();
+    detections_ = r.get_u64();
+    irqs_raised_ = r.get_u64();
+    fifo_.restore_state(r);
+    bitmap_cache_.restore_state(r);
+    ring_.restore_state(r);
+  }
+
  private:
   void handle_word_write(PhysAddr pa, u64 value, Cycles t, bool from_line,
                          u64 cause_seq);

@@ -9,6 +9,7 @@
 #include <deque>
 
 #include "common/types.h"
+#include "sim/snapshot.h"
 
 namespace hn::mbm {
 
@@ -65,6 +66,29 @@ class WriteFifo {
     queue_.clear();
     drops_ = 0;
     accepted_ = 0;
+  }
+
+  // --- Snapshot support (sim/snapshot.h) ------------------------------------
+
+  void save_state(sim::SnapWriter& w) const {
+    w.put_u64(queue_.size());
+    for (const Cycles done_at : queue_) w.put_u64(done_at);
+    w.put_u64(drops_);
+    w.put_u64(accepted_);
+  }
+
+  void restore_state(sim::SnapReader& r) {
+    r.section("mbm fifo");
+    const u64 n = r.get_count("queue entry");
+    if (r.ok() && n > depth_) {
+      r.fail("occupancy " + std::to_string(n) + " exceeds depth " +
+             std::to_string(depth_));
+      return;
+    }
+    queue_.clear();
+    for (u64 i = 0; r.ok() && i < n; ++i) queue_.push_back(r.get_u64());
+    drops_ = r.get_u64();
+    accepted_ = r.get_u64();
   }
 
  private:

@@ -67,6 +67,74 @@ class ObjectIntegrityMonitor : public hypersec::SecurityApp {
   [[nodiscard]] const std::vector<Alert>& alerts() const { return alerts_; }
   [[nodiscard]] Granularity granularity() const { return granularity_; }
 
+  // --- Snapshot support (sim/snapshot.h) ------------------------------------
+  // The monitor is executor-owned, not part of hypernel::System, so its
+  // state serializes separately (the fuzz snapshot-boot path pairs each
+  // system snapshot with a monitor blob).
+
+  void save_state(sim::SnapWriter& w) const {
+    w.put_bool(installed_);
+    w.put_u64(shadow_.size());
+    for (const auto& [pa, value] : shadow_) {
+      w.put_u64(pa);
+      w.put_u64(value);
+    }
+    w.put_u64(object_kind_.size());
+    for (const auto& [pa, kind] : object_kind_) {
+      w.put_u64(pa);
+      w.put_u8(static_cast<u8>(kind));
+    }
+    w.put_u64(stats_.events_total);
+    w.put_u64(stats_.events_cred);
+    w.put_u64(stats_.events_dentry);
+    w.put_u64(stats_.objects_registered);
+    w.put_u64(stats_.objects_unregistered);
+    w.put_u64(alerts_.size());
+    for (const Alert& a : alerts_) {
+      w.put_u8(static_cast<u8>(a.kind));
+      w.put_u64(a.pa);
+      w.put_u64(a.word_offset);
+      w.put_u64(a.old_value);
+      w.put_u64(a.new_value);
+      w.put_string(a.reason);
+    }
+  }
+
+  void restore_state(sim::SnapReader& r) {
+    r.section("object monitor");
+    installed_ = r.get_bool();
+    const u64 nshadow = r.get_count("shadow word");
+    shadow_.clear();
+    for (u64 i = 0; r.ok() && i < nshadow; ++i) {
+      const PhysAddr pa = r.get_u64();
+      shadow_[pa] = r.get_u64();
+    }
+    const u64 nobjects = r.get_count("object");
+    object_kind_.clear();
+    for (u64 i = 0; r.ok() && i < nobjects; ++i) {
+      const PhysAddr pa = r.get_u64();
+      object_kind_[pa] = static_cast<kernel::ObjectKind>(r.get_u8());
+    }
+    stats_.events_total = r.get_u64();
+    stats_.events_cred = r.get_u64();
+    stats_.events_dentry = r.get_u64();
+    stats_.objects_registered = r.get_u64();
+    stats_.objects_unregistered = r.get_u64();
+    const u64 nalerts = r.get_count("alert");
+    alerts_.clear();
+    alerts_.reserve(r.ok() ? nalerts : 0);
+    for (u64 i = 0; r.ok() && i < nalerts; ++i) {
+      Alert a;
+      a.kind = static_cast<kernel::ObjectKind>(r.get_u8());
+      a.pa = r.get_u64();
+      a.word_offset = r.get_u64();
+      a.old_value = r.get_u64();
+      a.new_value = r.get_u64();
+      a.reason = r.get_string();
+      alerts_.push_back(std::move(a));
+    }
+  }
+
  private:
   struct Range {
     u64 word = 0;   // first word offset

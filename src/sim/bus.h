@@ -62,6 +62,10 @@ class MemoryBus {
 
   [[nodiscard]] u64 transaction_count() const { return txn_count_; }
 
+  /// Snapshot support: the transaction count is the bus's only
+  /// architectural state (snoopers are wiring).
+  void restore_transaction_count(u64 n) { txn_count_ = n; }
+
  private:
   std::vector<BusSnooper*> snoopers_;
   u64 txn_count_ = 0;

@@ -16,6 +16,7 @@
 #include "sim/bus.h"
 #include "sim/cycle_account.h"
 #include "sim/phys_mem.h"
+#include "sim/snapshot.h"
 
 namespace hn::sim {
 
@@ -56,6 +57,43 @@ class Cache {
   [[nodiscard]] bool contains_line(PhysAddr pa) const;
   [[nodiscard]] bool line_dirty(PhysAddr pa) const;
   [[nodiscard]] const CacheConfig& config() const { return config_; }
+
+  // --- Snapshot support (sim/snapshot.h) ------------------------------------
+  // Tag/victim state only: line *data* lives in PhysicalMemory, restored
+  // via the snapshot's page set.
+
+  void save_state(SnapWriter& w) const {
+    w.put_u64(lines_.size());
+    for (const Line& l : lines_) {
+      w.put_bool(l.valid);
+      w.put_bool(l.dirty);
+      w.put_u64(l.base);
+    }
+    w.put_u64(victim_.size());
+    for (const unsigned v : victim_) w.put_u32(v);
+  }
+
+  void restore_state(SnapReader& r) {
+    r.section("cache");
+    const u64 nlines = r.get_u64();
+    if (r.ok() && nlines != lines_.size()) {
+      r.fail("line count " + std::to_string(nlines) +
+             " does not match configured geometry");
+      return;
+    }
+    for (Line& l : lines_) {
+      l.valid = r.get_bool();
+      l.dirty = r.get_bool();
+      l.base = r.get_u64();
+    }
+    const u64 nsets = r.get_u64();
+    if (r.ok() && nsets != victim_.size()) {
+      r.fail("set count " + std::to_string(nsets) +
+             " does not match configured geometry");
+      return;
+    }
+    for (unsigned& v : victim_) v = r.get_u32();
+  }
 
  private:
   struct Line {

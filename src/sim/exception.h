@@ -36,6 +36,9 @@ class ExceptionModel {
       : regs_(regs), account_(account), timing_(timing), trace_(trace) {}
 
   [[nodiscard]] El current_el() const { return el_; }
+  /// Snapshot support: the current EL is the only architectural state this
+  /// model owns (handlers are wiring).  Restore use only.
+  void restore_el(El el) { el_ = el; }
 
   // --- EL2 vector installation (Hypersec §6.1 / KVM) ----------------------
   void set_hypercall_handler(HypercallHandler h) { hvc_handler_ = std::move(h); }

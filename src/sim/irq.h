@@ -7,6 +7,7 @@
 
 #include "common/types.h"
 #include "sim/exception.h"
+#include "sim/snapshot.h"
 
 namespace hn::sim {
 
@@ -47,6 +48,25 @@ class InterruptController {
   }
 
   [[nodiscard]] u64 raised_count(unsigned line) const { return raised_.at(line); }
+
+  // --- Snapshot support (sim/snapshot.h) ------------------------------------
+
+  void save_state(SnapWriter& w) const {
+    for (unsigned line = 0; line < kIrqLines; ++line) {
+      w.put_bool(enabled_[line]);
+      w.put_bool(pending_[line]);
+      w.put_u64(raised_[line]);
+    }
+  }
+
+  void restore_state(SnapReader& r) {
+    r.section("gic");
+    for (unsigned line = 0; line < kIrqLines; ++line) {
+      enabled_[line] = r.get_bool();
+      pending_[line] = r.get_bool();
+      raised_[line] = r.get_u64();
+    }
+  }
 
  private:
   ExceptionModel& exceptions_;

@@ -459,4 +459,137 @@ u64 Machine::hvc(u64 func, std::initializer_list<u64> args) {
   return exceptions_.hvc(func, std::span<const u64>(regs.data(), args.size()));
 }
 
+// --- Snapshot support --------------------------------------------------------
+
+namespace {
+
+void save_counters(SnapWriter& w, const Counters& c) {
+  w.put_u64(c.mem_reads);
+  w.put_u64(c.mem_writes);
+  w.put_u64(c.l1_hits);
+  w.put_u64(c.l1_misses);
+  w.put_u64(c.l1_stream_allocs);
+  w.put_u64(c.dirty_writebacks);
+  w.put_u64(c.noncacheable_accesses);
+  w.put_u64(c.tlb_hits);
+  w.put_u64(c.tlb_misses);
+  w.put_u64(c.pt_descriptor_fetches);
+  w.put_u64(c.s2_descriptor_fetches);
+  w.put_u64(c.svc_calls);
+  w.put_u64(c.hvc_calls);
+  w.put_u64(c.sysreg_traps);
+  w.put_u64(c.irqs_delivered);
+  w.put_u64(c.vm_exits);
+  w.put_u64(c.s2_translation_faults);
+  w.put_u64(c.s2_permission_faults);
+  w.put_u64(c.el1_permission_faults);
+  w.put_u64(c.context_switches);
+}
+
+void restore_counters(SnapReader& r, Counters& c) {
+  c.mem_reads = r.get_u64();
+  c.mem_writes = r.get_u64();
+  c.l1_hits = r.get_u64();
+  c.l1_misses = r.get_u64();
+  c.l1_stream_allocs = r.get_u64();
+  c.dirty_writebacks = r.get_u64();
+  c.noncacheable_accesses = r.get_u64();
+  c.tlb_hits = r.get_u64();
+  c.tlb_misses = r.get_u64();
+  c.pt_descriptor_fetches = r.get_u64();
+  c.s2_descriptor_fetches = r.get_u64();
+  c.svc_calls = r.get_u64();
+  c.hvc_calls = r.get_u64();
+  c.sysreg_traps = r.get_u64();
+  c.irqs_delivered = r.get_u64();
+  c.vm_exits = r.get_u64();
+  c.s2_translation_faults = r.get_u64();
+  c.s2_permission_faults = r.get_u64();
+  c.el1_permission_faults = r.get_u64();
+  c.context_switches = r.get_u64();
+}
+
+}  // namespace
+
+void Machine::save_state(SnapWriter& w) const {
+  // System registers, raw, plus the vm generation so the restored machine
+  // reproduces subsequent generation values bit-exactly.
+  w.put_u32(SysRegs::kRegCount);
+  for (unsigned i = 0; i < SysRegs::kRegCount; ++i) w.put_u64(sysregs_.raw(i));
+  w.put_u64(sysregs_.vm_generation());
+  mmu_.tlb().save_state(w);
+  cache_.save_state(w);
+  w.put_u64(account_.cycles());
+  save_counters(w, account_.counters());
+  w.put_u64(bus_.transaction_count());
+  gic_.save_state(w);
+  w.put_u8(static_cast<u8>(exceptions_.current_el()));
+  w.put_bool(guest_mode_);
+  // Flight-recorder ring: the events it holds, plus drop/sequence
+  // accounting.  The enabled flag is host-side policy and not saved.
+  const std::vector<TraceEvent> events = trace_.chronological();
+  w.put_u64(events.size());
+  for (const TraceEvent& e : events) {
+    w.put_u64(e.at);
+    w.put_u64(e.seq);
+    w.put_u64(e.cause);
+    w.put_u8(static_cast<u8>(e.kind));
+    w.put_u64(e.a);
+    w.put_u64(e.b);
+  }
+  w.put_u64(trace_.dropped());
+  w.put_u64(trace_.sequence());
+}
+
+void Machine::restore_state(SnapReader& r) {
+  r.section("machine");
+  const u32 nregs = r.get_u32();
+  if (r.ok() && nregs != SysRegs::kRegCount) {
+    r.fail("system register count " + std::to_string(nregs) +
+           " does not match this build");
+    return;
+  }
+  for (unsigned i = 0; i < SysRegs::kRegCount; ++i) {
+    sysregs_.restore_raw(i, r.get_u64());
+  }
+  sysregs_.restore_vm_generation(r.get_u64());
+  mmu_.tlb().restore_state(r);
+  cache_.restore_state(r);
+  r.section("machine");
+  const Cycles cycles = r.get_u64();
+  account_.reset();
+  account_.charge(cycles);
+  restore_counters(r, account_.counters());
+  bus_.restore_transaction_count(r.get_u64());
+  gic_.restore_state(r);
+  r.section("machine");
+  exceptions_.restore_el(static_cast<El>(r.get_u8()));
+  guest_mode_ = r.get_bool();
+  const u64 nevents = r.get_count("trace event");
+  std::vector<TraceEvent> events;
+  events.reserve(r.ok() ? nevents : 0);
+  for (u64 i = 0; r.ok() && i < nevents; ++i) {
+    TraceEvent e;
+    e.at = r.get_u64();
+    e.seq = r.get_u64();
+    e.cause = r.get_u64();
+    e.kind = static_cast<TraceKind>(r.get_u8());
+    e.a = r.get_u64();
+    e.b = r.get_u64();
+    events.push_back(e);
+  }
+  const u64 dropped = r.get_u64();
+  const u64 seq = r.get_u64();
+  if (!r.ok()) return;
+  trace_.restore_ring(std::move(events), dropped, seq);
+  // Drop the cached walk context through the existing invalidation
+  // mechanism (DESIGN.md §9): 0 never matches a live vm generation, so the
+  // next walk rebuilds from the restored registers.  Same-boot restores
+  // would otherwise see a matching generation over stale cached state.
+  walk_ctx_gen_ = 0;
+  // Host-side observability is not part of the snapshot: restart it.
+  obs_.reset_values();
+  spans_.clear();
+}
+
 }  // namespace hn::sim

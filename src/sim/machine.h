@@ -23,6 +23,7 @@
 #include "sim/irq.h"
 #include "sim/mmu.h"
 #include "sim/phys_mem.h"
+#include "sim/snapshot.h"
 #include "sim/sysregs.h"
 #include "sim/trace.h"
 
@@ -192,6 +193,17 @@ class Machine {
   [[nodiscard]] double elapsed_us() const {
     return config_.timing.cycles_to_us(account_.cycles());
   }
+
+  // --- Snapshot support (sim/snapshot.h) ------------------------------------
+  /// Append the machine's architectural state (system registers, TLB,
+  /// cache tags, cycle ledger, bus count, GIC, EL, trace ring) to `w`.
+  /// DRAM contents travel separately as COW-shared pages (phys().capture()).
+  void save_state(SnapWriter& w) const;
+  /// Restore architectural state from `r` into this live machine.  Wiring
+  /// (handlers, snoopers) and the host fast-path setting persist; the
+  /// cached walk context is dropped through the vm-generation mechanism
+  /// and host-side observability (metrics, spans) resets.
+  void restore_state(SnapReader& r);
 
  private:
   Access64 access64(VirtAddr va, bool is_write, u64 value, bool user);

@@ -1,76 +1,307 @@
-// Simulated physical memory: a flat byte-addressable RAM.
+// Simulated physical memory: byte-addressable RAM organised as 4 KiB
+// copy-on-write pages.
 //
 // Functional state only.  *Visibility* of accesses (what reaches the memory
 // bus, and hence the MBM) is modelled by sim::Cache and sim::MemoryBus, not
 // here; see DESIGN.md §3.3.
+//
+// Page representation (DESIGN.md §12):
+//
+//   * a page slot holds either a refcounted Page or nullptr — the all-zero
+//     sentinel.  Fresh machines allocate *no* pages at all, so constructing
+//     a 64 MiB machine costs a pointer vector, not a 64 MiB memset;
+//   * `capture()` shares every current page into a PageSet (refcount bump,
+//     no copying) — the machine-snapshot fork path;
+//   * writes materialise zero pages and copy shared ones (refcount > 1)
+//     before mutating, so a captured PageSet is immutable: concurrent
+//     machines forked from one snapshot only ever *read* shared pages,
+//     which keeps the fork path clean under TSan.
+//
+// Refcount discipline is the shared_ptr classic: increments are relaxed,
+// the owner-drop decrement is acq_rel, and the exclusivity check in the
+// write path is an acquire load — a reader that observes refs == 1 is the
+// sole owner and may write in place.
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstring>
 #include <vector>
 
+#include "common/status.h"
 #include "common/types.h"
 
 namespace hn::sim {
 
 class PhysicalMemory {
  public:
-  explicit PhysicalMemory(u64 size_bytes) : data_(size_bytes, 0) {
+  /// One 4 KiB physical page plus its sharing count.
+  struct Page {
+    std::atomic<u32> refs{1};
+    u8 bytes[kPageSize];
+  };
+
+  /// A copy-on-write page snapshot: shares pages with the memory it was
+  /// captured from (nullptr slots are all-zero pages).  Copying a PageSet
+  /// is cheap (refcount bumps); destroying one releases its references.
+  class PageSet {
+   public:
+    PageSet() = default;
+    PageSet(const PageSet& other) : pages_(other.pages_) {
+      for (Page* p : pages_) ref(p);
+    }
+    PageSet& operator=(const PageSet& other) {
+      if (this == &other) return *this;
+      PageSet copy(other);
+      std::swap(pages_, copy.pages_);
+      return *this;
+    }
+    PageSet(PageSet&& other) noexcept : pages_(std::move(other.pages_)) {
+      other.pages_.clear();
+    }
+    PageSet& operator=(PageSet&& other) noexcept {
+      if (this == &other) return *this;
+      release();
+      pages_ = std::move(other.pages_);
+      other.pages_.clear();
+      return *this;
+    }
+    ~PageSet() { release(); }
+
+    [[nodiscard]] bool empty() const { return pages_.empty(); }
+    [[nodiscard]] u64 page_count() const { return pages_.size(); }
+    /// Pages actually backed by storage (non-zero content at capture time).
+    [[nodiscard]] u64 populated_count() const {
+      u64 n = 0;
+      for (const Page* p : pages_) n += (p != nullptr);
+      return n;
+    }
+    /// Raw bytes of page `index`, or nullptr for an all-zero page.
+    [[nodiscard]] const u8* page_data(u64 index) const {
+      assert(index < pages_.size());
+      return pages_[index] != nullptr ? pages_[index]->bytes : nullptr;
+    }
+
+    /// Rebuild-from-file support: reset to `page_count` all-zero pages,
+    /// then populate individual pages with private (refcount 1) copies.
+    void reset(u64 page_count) {
+      release();
+      pages_.assign(page_count, nullptr);
+    }
+    void set_page(u64 index, const u8* bytes) {
+      assert(index < pages_.size());
+      unref(pages_[index]);
+      Page* p = new Page;
+      std::memcpy(p->bytes, bytes, kPageSize);
+      pages_[index] = p;
+    }
+
+   private:
+    friend class PhysicalMemory;
+    void release() {
+      for (Page* p : pages_) unref(p);
+      pages_.clear();
+    }
+
+    std::vector<Page*> pages_;
+  };
+
+  explicit PhysicalMemory(u64 size_bytes)
+      : size_(size_bytes), pages_(size_bytes >> kPageShift, nullptr) {
     assert(is_page_aligned(size_bytes));
   }
+  ~PhysicalMemory() {
+    for (Page* p : pages_) unref(p);
+  }
+  PhysicalMemory(const PhysicalMemory&) = delete;
+  PhysicalMemory& operator=(const PhysicalMemory&) = delete;
 
-  [[nodiscard]] u64 size() const { return data_.size(); }
+  [[nodiscard]] u64 size() const { return size_; }
   [[nodiscard]] bool contains(PhysAddr pa, u64 len = 1) const {
-    return pa < data_.size() && len <= data_.size() - pa;
+    return pa < size_ && len <= size_ - pa;
   }
 
   [[nodiscard]] u64 read64(PhysAddr pa) const {
     assert(contains(pa, 8));
-    u64 v;
-    std::memcpy(&v, &data_[pa], 8);
+    const u64 off = pa & kPageMask;
+    if (off <= kPageSize - 8) [[likely]] {
+      const Page* p = pages_[pa >> kPageShift];
+      if (p == nullptr) return 0;
+      u64 v;
+      std::memcpy(&v, &p->bytes[off], 8);
+      return v;
+    }
+    u64 v = 0;
+    read_block(pa, &v, 8);
     return v;
   }
   void write64(PhysAddr pa, u64 v) {
     assert(contains(pa, 8));
-    std::memcpy(&data_[pa], &v, 8);
+    const u64 off = pa & kPageMask;
+    if (off <= kPageSize - 8) [[likely]] {
+      std::memcpy(&writable_page(pa >> kPageShift)->bytes[off], &v, 8);
+      return;
+    }
+    write_block(pa, &v, 8);
   }
 
   [[nodiscard]] u32 read32(PhysAddr pa) const {
     assert(contains(pa, 4));
-    u32 v;
-    std::memcpy(&v, &data_[pa], 4);
+    const u64 off = pa & kPageMask;
+    if (off <= kPageSize - 4) [[likely]] {
+      const Page* p = pages_[pa >> kPageShift];
+      if (p == nullptr) return 0;
+      u32 v;
+      std::memcpy(&v, &p->bytes[off], 4);
+      return v;
+    }
+    u32 v = 0;
+    read_block(pa, &v, 4);
     return v;
   }
   void write32(PhysAddr pa, u32 v) {
     assert(contains(pa, 4));
-    std::memcpy(&data_[pa], &v, 4);
+    const u64 off = pa & kPageMask;
+    if (off <= kPageSize - 4) [[likely]] {
+      std::memcpy(&writable_page(pa >> kPageShift)->bytes[off], &v, 4);
+      return;
+    }
+    write_block(pa, &v, 4);
   }
 
   [[nodiscard]] u8 read8(PhysAddr pa) const {
     assert(contains(pa));
-    return data_[pa];
+    const Page* p = pages_[pa >> kPageShift];
+    return p != nullptr ? p->bytes[pa & kPageMask] : 0;
   }
   void write8(PhysAddr pa, u8 v) {
     assert(contains(pa));
-    data_[pa] = v;
+    writable_page(pa >> kPageShift)->bytes[pa & kPageMask] = v;
   }
 
   void read_block(PhysAddr pa, void* out, u64 len) const {
     assert(contains(pa, len));
-    std::memcpy(out, &data_[pa], len);
+    u8* dst = static_cast<u8*>(out);
+    while (len > 0) {
+      const u64 off = pa & kPageMask;
+      const u64 n = len < kPageSize - off ? len : kPageSize - off;
+      const Page* p = pages_[pa >> kPageShift];
+      if (p == nullptr) {
+        std::memset(dst, 0, n);
+      } else {
+        std::memcpy(dst, &p->bytes[off], n);
+      }
+      pa += n;
+      dst += n;
+      len -= n;
+    }
   }
   void write_block(PhysAddr pa, const void* in, u64 len) {
     assert(contains(pa, len));
-    std::memcpy(&data_[pa], in, len);
+    const u8* src = static_cast<const u8*>(in);
+    while (len > 0) {
+      const u64 off = pa & kPageMask;
+      const u64 n = len < kPageSize - off ? len : kPageSize - off;
+      std::memcpy(&writable_page(pa >> kPageShift)->bytes[off], src, n);
+      pa += n;
+      src += n;
+      len -= n;
+    }
   }
 
   void zero_range(PhysAddr pa, u64 len) {
     assert(contains(pa, len));
-    std::memset(&data_[pa], 0, len);
+    while (len > 0) {
+      const u64 off = pa & kPageMask;
+      const u64 n = len < kPageSize - off ? len : kPageSize - off;
+      const u64 index = pa >> kPageShift;
+      if (off == 0 && n == kPageSize) {
+        // Whole page: drop back to the zero sentinel, reclaiming sharing.
+        unref(pages_[index]);
+        pages_[index] = nullptr;
+      } else if (pages_[index] != nullptr) {
+        std::memset(&writable_page(index)->bytes[off], 0, n);
+      }
+      pa += n;
+      len -= n;
+    }
+  }
+
+  // --- Snapshot / fork support (sim/snapshot.h) -----------------------------
+
+  /// Share every current page into a PageSet: the copy-on-write fork.
+  /// O(pages) pointer work; no page data is copied.
+  [[nodiscard]] PageSet capture() {
+    PageSet set;
+    set.pages_ = pages_;
+    for (Page* p : set.pages_) ref(p);
+    return set;
+  }
+
+  /// Replace the current contents with `set`'s pages, copy-on-write shared.
+  /// Pages this memory privately materialised since the capture are freed.
+  Status adopt(const PageSet& set) {
+    if (set.pages_.size() != pages_.size()) {
+      return Status::Invalid(
+          "snapshot: physical memory page count mismatch (snapshot " +
+          std::to_string(set.pages_.size()) + ", machine " +
+          std::to_string(pages_.size()) + ")");
+    }
+    for (size_t i = 0; i < pages_.size(); ++i) {
+      Page* next = set.pages_[i];
+      Page* cur = pages_[i];
+      if (next == cur) continue;
+      ref(next);
+      unref(cur);
+      pages_[i] = next;
+    }
+    return Status::Ok();
+  }
+
+  [[nodiscard]] u64 page_count() const { return pages_.size(); }
+  /// Raw bytes of page `index`, or nullptr for an all-zero page.
+  [[nodiscard]] const u8* page_data(u64 index) const {
+    assert(index < pages_.size());
+    return pages_[index] != nullptr ? pages_[index]->bytes : nullptr;
+  }
+  /// Sharing count of page `index` (0 for the zero sentinel) — exposed for
+  /// the COW lifecycle tests.
+  [[nodiscard]] u32 page_refs(u64 index) const {
+    assert(index < pages_.size());
+    const Page* p = pages_[index];
+    return p != nullptr ? p->refs.load(std::memory_order_relaxed) : 0;
   }
 
  private:
-  std::vector<u8> data_;
+  static void ref(Page* p) {
+    if (p != nullptr) p->refs.fetch_add(1, std::memory_order_relaxed);
+  }
+  static void unref(Page* p) {
+    if (p != nullptr && p->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      delete p;
+    }
+  }
+
+  /// The write path: returns a page this memory owns exclusively,
+  /// materialising the zero sentinel or copying a shared page first.
+  Page* writable_page(u64 index) {
+    Page* p = pages_[index];
+    if (p != nullptr && p->refs.load(std::memory_order_acquire) == 1) {
+      return p;
+    }
+    Page* fresh = new Page;
+    if (p == nullptr) {
+      std::memset(fresh->bytes, 0, kPageSize);
+    } else {
+      std::memcpy(fresh->bytes, p->bytes, kPageSize);
+      unref(p);
+    }
+    pages_[index] = fresh;
+    return fresh;
+  }
+
+  u64 size_;
+  std::vector<Page*> pages_;
 };
 
 }  // namespace hn::sim

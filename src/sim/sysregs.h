@@ -81,6 +81,16 @@ class SysRegs {
   /// at 1 so a cache primed with generation 0 always rebuilds first.
   [[nodiscard]] u64 vm_generation() const { return vm_generation_; }
 
+  // --- Snapshot support (sim/snapshot.h) ------------------------------------
+  static constexpr unsigned kRegCount = static_cast<unsigned>(SysReg::kCount);
+  /// Raw register slot, by index (snapshot serialization order).
+  [[nodiscard]] u64 raw(unsigned index) const { return regs_[index]; }
+  /// Restore a slot without the generation bump `set` applies: restore
+  /// reproduces state bit-exactly, including the generation counter, which
+  /// is restored separately below.
+  void restore_raw(unsigned index, u64 value) { regs_[index] = value; }
+  void restore_vm_generation(u64 generation) { vm_generation_ = generation; }
+
  private:
   std::array<u64, static_cast<unsigned>(SysReg::kCount)> regs_{};
   u64 vm_generation_ = 1;

@@ -28,6 +28,7 @@
 
 #include "common/types.h"
 #include "sim/pagetable.h"
+#include "sim/snapshot.h"
 
 namespace hn::sim {
 
@@ -159,6 +160,55 @@ class Tlb {
   void set_index_enabled(bool on) { index_enabled_ = on; }
   [[nodiscard]] bool index_enabled() const { return index_enabled_; }
 
+  // --- Snapshot support (sim/snapshot.h) ------------------------------------
+  // Only the authoritative state (entry array, victim cursor, generation)
+  // is serialized; the lookup index, chains and free bitmap are derived
+  // host-side structures and are rebuilt on restore.
+
+  void save_state(SnapWriter& w) const {
+    w.put_u64(entries_.size());
+    for (const TlbEntry& e : entries_) {
+      w.put_bool(e.valid);
+      w.put_u64(e.vpage);
+      w.put_u16(e.asid);
+      w.put_u64(e.ppage);
+      w.put_bool(e.attrs.write);
+      w.put_bool(e.attrs.exec);
+      w.put_bool(e.attrs.user);
+      w.put_bool(e.attrs.global);
+      w.put_u8(static_cast<u8>(e.attrs.attr));
+      w.put_bool(e.s2_write_ok);
+    }
+    w.put_u64(next_victim_);
+    w.put_u64(generation_);
+  }
+
+  void restore_state(SnapReader& r) {
+    r.section("tlb");
+    const u64 n = r.get_u64();
+    if (r.ok() && n != entries_.size()) {
+      r.fail("entry count " + std::to_string(n) +
+             " does not match configured capacity " +
+             std::to_string(entries_.size()));
+      return;
+    }
+    for (TlbEntry& e : entries_) {
+      e.valid = r.get_bool();
+      e.vpage = r.get_u64();
+      e.asid = r.get_u16();
+      e.ppage = r.get_u64();
+      e.attrs.write = r.get_bool();
+      e.attrs.exec = r.get_bool();
+      e.attrs.user = r.get_bool();
+      e.attrs.global = r.get_bool();
+      e.attrs.attr = static_cast<MemAttr>(r.get_u8());
+      e.s2_write_ok = r.get_bool();
+    }
+    next_victim_ = r.get_u64();
+    generation_ = r.get_u64();
+    if (r.ok()) rebuild_derived();
+  }
+
  private:
   static constexpr u32 kNil = ~u32{0};
 
@@ -193,6 +243,30 @@ class Tlb {
     }
     chain_next_[slot] = chain_next_[prev];
     chain_next_[prev] = slot;
+  }
+
+  /// Rebuild the lookup index, chains and free bitmap from the entry
+  /// array after a restore.  Ascending slot order appends each valid slot
+  /// at its chain's tail, reproducing the sorted-chain invariant place()
+  /// maintains incrementally.
+  void rebuild_derived() {
+    index_.clear();
+    for (u32& next : chain_next_) next = kNil;
+    for (u64& word : free_) word = ~0ull;
+    const unsigned tail = entries_.size() % 64;
+    if (tail != 0) free_.back() = (u64{1} << tail) - 1;
+    for (u32 slot = 0; slot < entries_.size(); ++slot) {
+      if (!entries_[slot].valid) continue;
+      mark_used(slot);
+      u32& head = index_.try_emplace(entries_[slot].vpage, kNil).first->second;
+      if (head == kNil) {
+        head = slot;
+        continue;
+      }
+      u32 prev = head;
+      while (chain_next_[prev] != kNil) prev = chain_next_[prev];
+      chain_next_[prev] = slot;
+    }
   }
 
   /// Remove `slot` from the chain of `vpage`.

@@ -44,6 +44,10 @@ enum class TraceKind : u8 {
   kVerdict,      // Hypersec dispatch verdict (a = PA, b = 0 benign,
                  //   1 alert, 2 unattributed)
   kCustom,       // tool-defined
+  // Appended after kCustom to keep existing serialized traces decodable
+  // without a format-version bump.
+  kSnapshot,     // machine snapshot boundary (a = 1 save, 2 restore; a
+                 //   restore's cause links the save it forked from)
 };
 
 struct TraceEvent {
@@ -155,6 +159,19 @@ class Trace {
     return out;
   }
 
+  /// Snapshot support (sim/snapshot.h): replace the ring's contents with
+  /// `events` (chronological order) and the matching drop/sequence
+  /// accounting.  The enabled flag and ambient cause are host-side policy
+  /// and stay untouched.  The rotated representation (head 0) is
+  /// behaviourally identical to the original ring for every observer.
+  void restore_ring(std::vector<TraceEvent> events, u64 dropped, u64 seq) {
+    events_ = std::move(events);
+    if (events_.size() > capacity_) events_.resize(capacity_);
+    head_ = 0;
+    dropped_ = dropped;
+    seq_ = seq;
+  }
+
   /// Count events of one kind.
   [[nodiscard]] u64 count(TraceKind kind) const {
     u64 n = 0;
@@ -179,6 +196,7 @@ class Trace {
       case TraceKind::kMbmFifo: return "fifo";
       case TraceKind::kVerdict: return "verdict";
       case TraceKind::kCustom: return "custom";
+      case TraceKind::kSnapshot: return "snapshot";
     }
     return "?";
   }

@@ -155,7 +155,7 @@ Status parse_trace(const std::vector<u8>& blob, TraceData& out) {
         !r.u64_(e.b) || !r.u8_(kind)) {
       return Status::Invalid("trace: truncated event table");
     }
-    if (kind > static_cast<u8>(TraceKind::kCustom)) {
+    if (kind > static_cast<u8>(TraceKind::kSnapshot)) {
       return Status::Invalid("trace: unknown event kind " +
                              std::to_string(kind));
     }

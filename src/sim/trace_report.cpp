@@ -352,7 +352,7 @@ std::string render_diff(const TraceData& a, const TraceData& b) {
   auto count_kinds = [](const TraceData& d, u64* counts) {
     for (const TraceEvent& e : d.events) ++counts[static_cast<u8>(e.kind)];
   };
-  constexpr unsigned kKinds = static_cast<u8>(TraceKind::kCustom) + 1;
+  constexpr unsigned kKinds = static_cast<u8>(TraceKind::kSnapshot) + 1;
   u64 ca[kKinds] = {}, cb[kKinds] = {};
   count_kinds(a, ca);
   count_kinds(b, cb);

@@ -1,0 +1,139 @@
+// Snapshot fingerprint-invariance suite.
+//
+// The snapshot-boot executor path (--snapshot-boot) forks every case from
+// a once-booted COW snapshot instead of building a fresh system.  The
+// contract is absolute: results are *byte-identical* either way — same
+// per-step records, same functional fingerprint, same cycle counts, same
+// violations.  This suite enforces that contract over the whole regression
+// corpus, in the host fast path and in reference mode, and extends it to
+// the parallel campaign driver (the TSan job runs this file, so the
+// concurrent per-worker fork path is raced for real under --jobs=4).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzzer.h"
+
+namespace hn::fuzz {
+namespace {
+
+std::vector<u64> load_corpus() {
+  std::ifstream in(std::string(FUZZ_CORPUS_DIR) + "/seeds.txt");
+  EXPECT_TRUE(in.good()) << "corpus missing at " FUZZ_CORPUS_DIR;
+  std::vector<u64> seeds;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    seeds.push_back(std::stoull(line));
+  }
+  return seeds;
+}
+
+/// Byte-level equality of two RunResults, with a field-precise failure
+/// message: "fingerprints equal" is necessary but not sufficient — the
+/// differential oracle also consumes every per-step record.
+void expect_identical_runs(const RunResult& fresh, const RunResult& forked) {
+  ASSERT_EQ(fresh.build_failed, forked.build_failed);
+  EXPECT_EQ(fresh.build_error, forked.build_error);
+  ASSERT_EQ(fresh.steps.size(), forked.steps.size());
+  for (size_t i = 0; i < fresh.steps.size(); ++i) {
+    EXPECT_EQ(fresh.steps[i].result, forked.steps[i].result) << "step " << i;
+    EXPECT_EQ(fresh.steps[i].state_digest, forked.steps[i].state_digest)
+        << "step " << i;
+    EXPECT_EQ(fresh.steps[i].alerts, forked.steps[i].alerts) << "step " << i;
+    EXPECT_EQ(fresh.steps[i].events, forked.steps[i].events) << "step " << i;
+  }
+  EXPECT_TRUE(fresh.fingerprint.functionally_equal(forked.fingerprint))
+      << fresh.fingerprint.diff(forked.fingerprint);
+  EXPECT_EQ(fresh.fingerprint.cycles, forked.fingerprint.cycles);
+  EXPECT_EQ(fresh.fingerprint.monitor_events, forked.fingerprint.monitor_events);
+  EXPECT_EQ(fresh.fingerprint.alerts, forked.fingerprint.alerts);
+  EXPECT_EQ(fresh.violations, forked.violations);
+  EXPECT_EQ(fresh.attacks_expected, forked.attacks_expected);
+}
+
+void run_corpus_invariance(bool host_fast_path) {
+  const GeneratorOptions gen;
+  ExecutorOptions fresh_boot;
+  ExecutorOptions snapshot_boot;
+  snapshot_boot.snapshot_boot = true;
+  std::vector<FuzzConfigSpec> specs = build_matrix(/*full=*/false);
+  for (FuzzConfigSpec& spec : specs) spec.host_fast_path = host_fast_path;
+  for (const u64 seed : load_corpus()) {
+    const std::vector<Op> ops = generate_sequence(seed, gen);
+    for (const FuzzConfigSpec& spec : specs) {
+      SCOPED_TRACE("seed " + std::to_string(seed) + " config " + spec.name);
+      expect_identical_runs(run_sequence(spec, ops, fresh_boot),
+                            run_sequence(spec, ops, snapshot_boot));
+    }
+  }
+}
+
+TEST(SnapshotInvariance, CorpusFastPath) {
+  run_corpus_invariance(/*host_fast_path=*/true);
+}
+
+TEST(SnapshotInvariance, CorpusReferenceMode) {
+  run_corpus_invariance(/*host_fast_path=*/false);
+}
+
+TEST(SnapshotInvariance, RepeatedForksFromOneSessionStayIdentical) {
+  // The per-thread boot session is reused across cases: case N runs on a
+  // machine restored from the same snapshot case 0 used.  Re-running one
+  // sequence many times through the session cache must be a fixed point.
+  const std::vector<Op> ops = generate_sequence(load_corpus().front(),
+                                                GeneratorOptions{});
+  const FuzzConfigSpec spec = build_matrix(/*full=*/false).front();
+  ExecutorOptions snapshot_boot;
+  snapshot_boot.snapshot_boot = true;
+  const RunResult fresh = run_sequence(spec, ops, ExecutorOptions{});
+  for (int round = 0; round < 3; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    expect_identical_runs(fresh, run_sequence(spec, ops, snapshot_boot));
+  }
+}
+
+TEST(SnapshotInvariance, ParallelSnapshotCampaignMatchesFreshBoot) {
+  // Whole-campaign form of the same contract, and the TSan target for the
+  // concurrent fork path: four workers forking every case from their
+  // boot sessions must reproduce the serial fresh-boot corpus digest
+  // bit for bit.
+  FuzzOptions fresh;
+  fresh.seed = 1;
+  fresh.sequences = 12;
+  fresh.jobs = 1;
+  FuzzOptions forked = fresh;
+  forked.jobs = 4;
+  forked.snapshot_boot = true;
+  const CampaignResult a = run_campaign(fresh);
+  const CampaignResult b = run_campaign(forked);
+  EXPECT_EQ(a.failures, 0u);
+  EXPECT_EQ(b.failures, 0u);
+  ASSERT_EQ(a.sequence_digests.size(), b.sequence_digests.size());
+  for (size_t i = 0; i < a.sequence_digests.size(); ++i) {
+    EXPECT_EQ(a.sequence_digests[i], b.sequence_digests[i]) << "sequence " << i;
+  }
+  EXPECT_EQ(a.corpus_digest, b.corpus_digest);
+}
+
+TEST(SnapshotInvariance, InstrumentedRunsFallBackToFreshBoot) {
+  // Runs that need per-run host instrumentation ignore snapshot_boot (a
+  // session machine's registry/recorder belongs to every case, not one).
+  // The fallback must still be bit-identical — it *is* the fresh path.
+  const std::vector<Op> ops = generate_sequence(load_corpus().front(),
+                                                GeneratorOptions{});
+  const FuzzConfigSpec spec = build_matrix(/*full=*/false).front();
+  ExecutorOptions with_trace;
+  with_trace.snapshot_boot = true;
+  with_trace.capture_trace = true;
+  const RunResult traced = run_sequence(spec, ops, with_trace);
+  EXPECT_FALSE(traced.trace_blob.empty());
+  ExecutorOptions plain_trace;
+  plain_trace.capture_trace = true;
+  EXPECT_EQ(traced.trace_blob, run_sequence(spec, ops, plain_trace).trace_blob);
+}
+
+}  // namespace
+}  // namespace hn::fuzz

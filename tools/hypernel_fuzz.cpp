@@ -78,6 +78,9 @@ void usage() {
       "  --no-shrink       report original failing sequences unshrunk\n"
       "  --reference       force host-side reference mode (no sim fast\n"
       "                    path); output must stay byte-identical\n"
+      "  --snapshot-boot   fork every case from a per-configuration boot\n"
+      "                    snapshot (COW restore) instead of re-booting;\n"
+      "                    output must stay byte-identical\n"
       "  --no-attacks      generate no attack writes\n"
       "  --no-forged       generate no forged-hypercall probes\n"
       "  --inject-bypass   test hook: attack writes dodge the bus snooper\n"
@@ -120,6 +123,8 @@ bool parse(int argc, char** argv, Options* opt) {
       opt->fuzz.capture_trace = true;  // reproducers ship with their trace
     } else if (std::strcmp(arg, "--reference") == 0) {
       opt->fuzz.host_fast_path = false;
+    } else if (std::strcmp(arg, "--snapshot-boot") == 0) {
+      opt->fuzz.snapshot_boot = true;
     } else if (std::strcmp(arg, "--fail-fast") == 0) {
       opt->fuzz.fail_fast = true;
     } else if (std::strcmp(arg, "--no-shrink") == 0) {
@@ -150,6 +155,7 @@ int replay(const Options& opt) {
   hn::fuzz::ExecutorOptions exec{.inject_bypass = opt.fuzz.inject_bypass,
                                  .audit_stride = opt.fuzz.audit_stride};
   exec.capture_trace = !opt.trace_out.empty();
+  exec.snapshot_boot = opt.fuzz.snapshot_boot;
   const auto ops = hn::fuzz::generate_sequence(*opt.replay_seed, gen);
   std::printf("replaying sequence seed %llu (%zu ops, %zu configurations)\n",
               static_cast<unsigned long long>(*opt.replay_seed), ops.size(),

@@ -23,6 +23,7 @@
 #include "secapps/rootkit_detector.h"
 #include "sim/dma_device.h"
 #include "sim/iommu.h"
+#include "sim/snapshot.h"
 #include "sim/trace_io.h"
 #include "workloads/apps.h"
 #include "workloads/lmbench.h"
@@ -43,6 +44,8 @@ struct Options {
   bool trace = false;
   std::string metrics_out;
   std::string trace_out;
+  std::string save_state;  // write a machine snapshot at command exit
+  std::string load_state;  // restore a machine snapshot right after boot
 };
 
 const char* arg_value(const char* arg, const char* key) {
@@ -81,6 +84,10 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.metrics_out = v8;
     } else if (const char* v9 = arg_value(argv[i], "--trace-out")) {
       opt.trace_out = v9;
+    } else if (const char* v10 = arg_value(argv[i], "--save-state")) {
+      opt.save_state = v10;
+    } else if (const char* v11 = arg_value(argv[i], "--load-state")) {
+      opt.load_state = v11;
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       opt.trace = true;
     } else {
@@ -107,7 +114,42 @@ std::unique_ptr<hypernel::System> build(const Options& opt, bool want_mbm) {
   if (!opt.trace_out.empty()) {
     r.value()->machine().trace().set_enabled(true);
   }
+  if (!opt.load_state.empty()) {
+    std::vector<u8> blob;
+    if (!sim::read_snapshot_file(opt.load_state, blob)) {
+      std::fprintf(stderr, "load-state: cannot read %s\n",
+                   opt.load_state.c_str());
+      std::exit(1);
+    }
+    sim::Snapshot snap;
+    if (Status s = sim::unpack_snapshot(blob, snap); !s.ok()) {
+      std::fprintf(stderr, "load-state: %s\n", s.message().c_str());
+      std::exit(1);
+    }
+    if (Status s = r.value()->restore_state(snap); !s.ok()) {
+      std::fprintf(stderr, "load-state: %s\n", s.message().c_str());
+      std::exit(1);
+    }
+    std::fprintf(stderr, "load-state: restored %s (%llu populated page(s))\n",
+                 opt.load_state.c_str(),
+                 (unsigned long long)snap.pages.populated_count());
+  }
   return std::move(r).value();
+}
+
+/// Write the machine snapshot when --save-state was given.
+bool dump_state(const Options& opt, hypernel::System& sys) {
+  if (opt.save_state.empty()) return true;
+  const sim::Snapshot snap = sys.save_state();
+  const std::vector<u8> blob = sim::pack_snapshot(snap);
+  if (!sim::write_snapshot_file(blob, opt.save_state)) {
+    std::fprintf(stderr, "save-state: failed to write %s\n",
+                 opt.save_state.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "save-state: %zu byte(s) written to %s\n", blob.size(),
+               opt.save_state.c_str());
+  return true;
 }
 
 /// Write the system's metrics snapshot when --metrics-out was given.
@@ -140,11 +182,13 @@ bool dump_trace(const Options& opt, hypernel::System& sys) {
   return true;
 }
 
-/// Both exit artifacts (--metrics-out / --trace-out), in one place.
+/// All exit artifacts (--metrics-out / --trace-out / --save-state), in one
+/// place.
 bool dump_outputs(const Options& opt, hypernel::System& sys) {
   const bool metrics_ok = dump_metrics(opt, sys);
   const bool trace_ok = dump_trace(opt, sys);
-  return metrics_ok && trace_ok;
+  const bool state_ok = dump_state(opt, sys);
+  return metrics_ok && trace_ok && state_ok;
 }
 
 int cmd_lmbench(const Options& opt) {
@@ -314,7 +358,10 @@ void usage() {
       "  audit   [--seed=N]\n"
       "  info    [--mode=...]\n"
       "  any command also accepts --metrics-out=F (JSON, or CSV when F\n"
-      "  ends in .csv): observability metrics of the run\n");
+      "  ends in .csv): observability metrics of the run, and\n"
+      "  --save-state=F / --load-state=F: write the machine snapshot at\n"
+      "  exit / restore one right after boot (the configuration must match\n"
+      "  the one the snapshot was taken from)\n");
 }
 
 }  // namespace
