@@ -115,6 +115,16 @@ inline void record_cell_metrics(u64 index, const obs::Snapshot& snap) {
   sink.cells[index].merge(snap);
 }
 
+/// Stash one cell's pre-serialized flight-recorder blob — for drivers
+/// whose cells own their trace capture (fuzz-executor based benches get
+/// the blob from RunResult instead of a live System).
+inline void record_cell_trace(u64 index, std::vector<u8> blob) {
+  if (!trace_enabled() || blob.empty()) return;
+  detail::TraceSink& sink = detail::trace_sink();
+  std::lock_guard<std::mutex> lock(sink.mu);
+  sink.cells.emplace(index, std::move(blob));
+}
+
 /// Convenience overload: snapshot a System's registry before it dies.
 /// Also stashes the cell's flight-recorder blob when --trace-out is on.
 inline void record_cell_metrics(u64 index, hypernel::System& sys) {

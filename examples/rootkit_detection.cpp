@@ -68,8 +68,7 @@ RunOutcome run_scenario(secapps::Granularity granularity) {
   out.us = sys->us_since(t0);
   if (granularity == secapps::Granularity::kSensitiveFields) {
     for (const secapps::Alert& a : monitor.alerts()) {
-      std::printf("  ALERT [%s] %s\n",
-                  a.kind == kernel::ObjectKind::kCred ? "cred" : "dentry",
+      std::printf("  ALERT [%s] %s\n", secapps::alert_kind_name(a.kind),
                   a.reason.c_str());
     }
   }

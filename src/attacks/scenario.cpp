@@ -1,0 +1,181 @@
+#include "attacks/scenario.h"
+
+namespace hn::attacks {
+
+using fuzz::Op;
+using fuzz::OpKind;
+using secapps::AlertKind;
+
+namespace {
+
+Op op(OpKind kind, u64 a = 0, u64 b = 0, u64 c = 0) {
+  return Op{kind, a, b, c};
+}
+
+std::vector<AttackScenario> build_library() {
+  std::vector<AttackScenario> lib;
+
+  // --- cred theft (footnote 2: elevate any process to root) ----------------
+  // Drop to uid 1000 first so the uid->0 forgery is an actual transition.
+  lib.push_back(AttackScenario{
+      "cred-theft-setuid",
+      AttackFamily::kCredTheft,
+      "CPU store forges the current task's cred uid word back to root",
+      {op(OpKind::kSetuid, 1), op(OpKind::kAttackCredWrite, 0, 0, 0)},
+      {1},
+      "object-integrity-monitor",
+      AlertKind::kCredIdLowered,
+  });
+  lib.push_back(AttackScenario{
+      "cred-theft-dma",
+      AttackFamily::kCredTheft,
+      "DMA bus master forges the cred uid word, bypassing the MMU",
+      {op(OpKind::kSetuid, 1), op(OpKind::kAttackDmaWrite, 0, 0, 0)},
+      {1},
+      "object-integrity-monitor",
+      AlertKind::kCredIdLowered,
+  });
+
+  // --- dentry hiding (footnote 2: seize a dentry, manipulate its inode) ----
+  lib.push_back(AttackScenario{
+      "dentry-hide-vtable",
+      AttackFamily::kDentryHiding,
+      "d_op vtable of a cached dentry swapped for a rootkit's hook table",
+      {op(OpKind::kCreat, 1), op(OpKind::kAttackDentryWrite, 1, 0, 0)},
+      {1},
+      "object-integrity-monitor",
+      AlertKind::kDentryOpsHooked,
+  });
+  lib.push_back(AttackScenario{
+      "dentry-hide-inode",
+      AttackFamily::kDentryHiding,
+      "d_inode of a live dentry redirected at a doppelganger inode",
+      {op(OpKind::kCreat, 1), op(OpKind::kAttackDentryWrite, 3, 0, 0)},
+      {1},
+      "object-integrity-monitor",
+      AlertKind::kDentryInodeHijacked,
+  });
+
+  // --- syscall-table patching ----------------------------------------------
+  lib.push_back(AttackScenario{
+      "syscall-stub",
+      AttackFamily::kSyscallPatch,
+      "syscall-table slot 0 redirected at an attacker stub",
+      {op(OpKind::kAttackSyscallPatch, 0, 0, 0)},
+      {0},
+      "kernel-cfi",
+      AlertKind::kSyscallPatched,
+  });
+  lib.push_back(AttackScenario{
+      "syscall-crosswire",
+      AttackFamily::kSyscallPatch,
+      "syscall-table slot 5 cross-wired to another legitimate handler",
+      {op(OpKind::kAttackSyscallPatch, 5, 0, 2)},
+      {0},
+      "kernel-cfi",
+      AlertKind::kSyscallPatched,
+  });
+
+  // --- exception-vector patching -------------------------------------------
+  lib.push_back(AttackScenario{
+      "vector-detour",
+      AttackFamily::kVectorPatch,
+      "exception-vector entry 1 detoured past its verified prologue",
+      {op(OpKind::kAttackVectorPatch, 1, 0, 1)},
+      {0},
+      "kernel-cfi",
+      AlertKind::kVectorPatched,
+  });
+
+  // --- module text injection -----------------------------------------------
+  lib.push_back(AttackScenario{
+      "module-text-inject",
+      AttackFamily::kModuleTextInjection,
+      "sealed module text word overwritten with attacker code",
+      {op(OpKind::kInsmod, 2, 7, 0x5EED),
+       op(OpKind::kAttackModuleText, 0, 1, 0)},
+      {1},
+      "kernel-cfi",
+      AlertKind::kModuleTextPatched,
+  });
+
+  // --- page-table remapping (ATRA-style, §8 hardware vector) ---------------
+  lib.push_back(AttackScenario{
+      "pt-remap-secure-window",
+      AttackFamily::kPtRemap,
+      "leaf descriptor planted via DMA: writable window into secure space",
+      {op(OpKind::kAttackPtRemap, 0, 0, 0)},
+      {0},
+      "invariant-checker",
+      AlertKind::kPtPageTampered,
+  });
+  lib.push_back(AttackScenario{
+      "pt-remap-wx",
+      AttackFamily::kPtRemap,
+      "leaf descriptor planted via DMA: writable+executable kernel page",
+      {op(OpKind::kAttackPtRemap, 0, 0, 2)},
+      {0},
+      "invariant-checker",
+      AlertKind::kPtPageTampered,
+  });
+
+  return lib;
+}
+
+}  // namespace
+
+const std::vector<AttackScenario>& scenario_library() {
+  static const std::vector<AttackScenario> lib = build_library();
+  return lib;
+}
+
+const AttackScenario* find_scenario(std::string_view name) {
+  for (const AttackScenario& s : scenario_library()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<std::vector<fuzz::Op>> scenario_pool() {
+  std::vector<std::vector<fuzz::Op>> pool;
+  pool.reserve(scenario_library().size());
+  for (const AttackScenario& s : scenario_library()) pool.push_back(s.ops);
+  return pool;
+}
+
+std::vector<fuzz::Op> benign_workload() {
+  // Kernel life without a rootkit: files, directories, mappings, process
+  // churn, IPC round-trips, module load/call/unload.  Deliberately no
+  // setuid(0) — a legitimate uid->0 transition is indistinguishable from
+  // cred forgery at the bus, and the monitor's policy (correctly, per the
+  // paper's CPU-write caveat) alerts on it.
+  return {
+      op(OpKind::kMkdir),
+      op(OpKind::kCreat, 0, 0, 1),      // inside /d0
+      op(OpKind::kCreat, 1, 0, 2),      // at the root
+      op(OpKind::kWriteFile, 0, 3, 0x11),
+      op(OpKind::kReadFile, 0, 3, 0x11),
+      op(OpKind::kStat, 1),
+      op(OpKind::kRename, 1, 0, 0),
+      op(OpKind::kMmap, 2, 1, 0),
+      op(OpKind::kUserMemory, 64, 2, 0xABCD),
+      op(OpKind::kFork, 0, 0, 0),
+      op(OpKind::kSetuid, 1),           // uid 1000: never back to 0
+      op(OpKind::kSetuid, 2),           // uid 1001
+      op(OpKind::kSigaction, 4, 0, 0),
+      op(OpKind::kPipeRoundTrip, 0, 0, 3),
+      op(OpKind::kSocketRoundTrip, 0, 0, 5),
+      op(OpKind::kInsmod, 1, 3, 0xF00D),
+      op(OpKind::kModuleCall, 0, 0, 1),
+      op(OpKind::kUserCompute, 5, 0, 0),
+      op(OpKind::kSwitchTask, 1, 0, 0),
+      op(OpKind::kStat, 0),
+      op(OpKind::kPruneDcache, 0, 0, 0),
+      op(OpKind::kRmmod, 0, 0, 0),
+      op(OpKind::kMunmap, 0, 0, 0),
+      op(OpKind::kUnlink, 0, 0, 0),
+      op(OpKind::kExit, 0, 0, 0),
+  };
+}
+
+}  // namespace hn::attacks

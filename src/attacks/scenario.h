@@ -1,0 +1,84 @@
+// The structured rootkit-scenario library (§8 threat model): each entry
+// is a small, replayable op program — setup ops that build the kernel
+// state a real rootkit would find, then tamper ops that attack it — with
+// declared ground truth: the attack family, the SecurityApp that must
+// detect it, and the exact alert classification it must raise.
+//
+// Scenarios are the shared vocabulary of three consumers:
+//   * the scorecard harness (attacks/scorecard.h) runs every
+//     (scenario x detector) cell and grades coverage against the ground
+//     truth;
+//   * the per-attack regression tests replay each scenario under its
+//     intended detector;
+//   * the fuzzer splices scenario programs into generated sequences as
+//     structured seeds (GeneratorOptions::scenario_pool).
+//
+// The library is append-only and index-stable: tests pin digests over
+// the scenario order.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fuzz/ops.h"
+#include "secapps/alert.h"
+
+namespace hn::attacks {
+
+/// Rootkit technique families covered by the library (§8, Table 3 of the
+/// evaluation narrative).
+enum class AttackFamily : u8 {
+  kCredTheft,            // cred uid/cap forgery (privilege escalation)
+  kDentryHiding,         // dcache manipulation (file hiding)
+  kSyscallPatch,         // syscall-table entry rewriting
+  kVectorPatch,          // exception-vector rewriting
+  kModuleTextInjection,  // sealed module text patched in place
+  kPtRemap,              // ATRA-style page-table remapping
+  kCount,
+};
+
+[[nodiscard]] constexpr const char* family_name(AttackFamily family) {
+  switch (family) {
+    case AttackFamily::kCredTheft: return "cred-theft";
+    case AttackFamily::kDentryHiding: return "dentry-hiding";
+    case AttackFamily::kSyscallPatch: return "syscall-patch";
+    case AttackFamily::kVectorPatch: return "vector-patch";
+    case AttackFamily::kModuleTextInjection: return "module-text-injection";
+    case AttackFamily::kPtRemap: return "pt-remap";
+    case AttackFamily::kCount: break;
+  }
+  return "?";
+}
+
+struct AttackScenario {
+  std::string name;  // stable slug ("cred-theft-setuid", ...)
+  AttackFamily family = AttackFamily::kCount;
+  std::string description;
+  /// The replayable program: setup ops followed by tamper ops.
+  std::vector<fuzz::Op> ops;
+  /// Indices (into `ops`) of the tamper ops — everything before the first
+  /// one is benign setup and must raise no alert.
+  std::vector<u64> tamper_steps;
+  /// Ground truth: the SecurityApp::name() that must detect the tamper...
+  std::string intended_detector;
+  /// ...and the classification its alert must carry.
+  secapps::AlertKind expected_alert = secapps::AlertKind::kCount;
+};
+
+/// The scenario library, in its stable order.
+[[nodiscard]] const std::vector<AttackScenario>& scenario_library();
+
+/// Library lookup by slug; nullptr when unknown.
+[[nodiscard]] const AttackScenario* find_scenario(std::string_view name);
+
+/// Just the op programs — the fuzzer's structured-seed pool
+/// (fuzz::FuzzOptions::scenario_pool).
+[[nodiscard]] std::vector<std::vector<fuzz::Op>> scenario_pool();
+
+/// A fixed benign workload (VFS + memory + processes + IPC + modules,
+/// no attacks, no uid-0 transitions): the scorecard's false-positive
+/// probe.  Every detector must stay silent across it.
+[[nodiscard]] std::vector<fuzz::Op> benign_workload();
+
+}  // namespace hn::attacks

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <set>
 
@@ -9,6 +10,8 @@
 #include "hypersec/hypersec.h"
 #include "kernel/layout.h"
 #include "kernel/objects.h"
+#include "secapps/cfi_monitor.h"
+#include "secapps/invariant_checker.h"
 #include "sim/dma_device.h"
 #include "sim/iommu.h"
 #include "sim/pagetable.h"
@@ -68,7 +71,7 @@ struct Mapping {
   u64 len = 0;
 };
 
-// --- Snapshot-boot sessions ---------------------------------------------------
+// --- Snapshot-boot sessions ------------------------------------------------
 //
 // ExecutorOptions::snapshot_boot forks every case from a boot-time COW
 // snapshot instead of building and booting a fresh system.  Sessions are
@@ -83,9 +86,13 @@ struct BootSession {
   std::string build_error;
   std::unique_ptr<hypernel::System> sys;
   std::unique_ptr<secapps::ObjectIntegrityMonitor> monitor;
+  std::unique_ptr<secapps::InvariantChecker> invariant;
+  std::unique_ptr<secapps::CfiMonitor> cfi;
   VirtAddr scratch_va = 0;
   sim::Snapshot boot;                // system state at the fork point
   std::vector<u8> monitor_state;     // executor-owned monitor, saved apart
+  std::vector<u8> invariant_state;
+  std::vector<u8> cfi_state;
 };
 
 u64 session_digest(const FuzzConfigSpec& spec) {
@@ -94,6 +101,8 @@ u64 session_digest(const FuzzConfigSpec& spec) {
   h = fold(h, static_cast<u64>(spec.mode));
   h = fold(h, spec.monitor ? 1 : 0);
   h = fold(h, static_cast<u64>(spec.granularity));
+  h = fold(h, spec.invariant_checker ? 1 : 0);
+  h = fold(h, spec.cfi_monitor ? 1 : 0);
   h = fold(h, spec.tlb_entries);
   h = fold(h, spec.cache_enabled ? 1 : 0);
   h = fold(h, spec.cache_size_bytes);
@@ -120,12 +129,31 @@ BootSession& boot_session(const FuzzConfigSpec& spec) {
     session->build_error = built.status().message();
   } else {
     session->sys = std::move(built).value();
+    // Detector install order (monitor -> invariant -> CFI) matches the
+    // fresh-boot path exactly: the snapshot invariance suite pins the two
+    // paths bit-identical.
     if (spec.monitored()) {
       session->monitor = std::make_unique<secapps::ObjectIntegrityMonitor>(
           *session->sys, spec.granularity);
       if (Status s = session->monitor->install(); !s.ok()) {
         session->build_failed = true;
         session->build_error = "monitor install: " + s.message();
+      }
+    }
+    if (!session->build_failed && spec.has_invariant_checker()) {
+      session->invariant =
+          std::make_unique<secapps::InvariantChecker>(*session->sys);
+      if (Status s = session->invariant->install(); !s.ok()) {
+        session->build_failed = true;
+        session->build_error = "invariant checker install: " + s.message();
+      }
+    }
+    if (!session->build_failed && spec.has_cfi_monitor()) {
+      session->cfi = std::make_unique<secapps::CfiMonitor>(
+          *session->sys, /*watch_dentry_ops=*/!spec.monitored());
+      if (Status s = session->cfi->install(); !s.ok()) {
+        session->build_failed = true;
+        session->build_error = "cfi monitor install: " + s.message();
       }
     }
     if (!session->build_failed) {
@@ -137,14 +165,21 @@ BootSession& boot_session(const FuzzConfigSpec& spec) {
       } else {
         session->scratch_va = scratch.value();
         session->boot = session->sys->save_state();
-        if (session->monitor) {
+        auto blob = [](const auto& app) {
           sim::SnapWriter w;
-          session->monitor->save_state(w);
-          session->monitor_state = w.take();
+          app->save_state(w);
+          return w.take();
+        };
+        if (session->monitor) session->monitor_state = blob(session->monitor);
+        if (session->invariant) {
+          session->invariant_state = blob(session->invariant);
         }
+        if (session->cfi) session->cfi_state = blob(session->cfi);
       }
     }
     if (session->build_failed) {
+      session->cfi.reset();
+      session->invariant.reset();
       session->monitor.reset();
       session->sys.reset();
     }
@@ -200,9 +235,9 @@ class Exec {
         if (!opt_.capture_trace) m().trace().set_enabled(false);
       }
       rec.state_digest = state_digest();
-      if (monitor_) {
-        rec.alerts = monitor_->alerts().size();
-        rec.events = monitor_->stats().events_total;
+      if (monitor_ || invariant_ || cfi_) {
+        rec.alerts = total_alerts();
+        rec.events = total_events();
       }
       out.steps.push_back(rec);
       digest = fold(
@@ -216,12 +251,22 @@ class Exec {
 
     out.fingerprint = hypernel::take_fingerprint(*sys_);
     out.fingerprint.op_digest = digest;
-    if (monitor_) {
-      out.fingerprint.alerts = monitor_->alerts().size();
-      out.fingerprint.monitor_events = monitor_->stats().events_total;
+    if (monitor_ || invariant_ || cfi_) {
+      out.fingerprint.alerts = total_alerts();
+      out.fingerprint.monitor_events = total_events();
     }
     out.violations = std::move(violations_);
     out.attacks_expected = attacks_expected_;
+    out.attacks = std::move(attacks_);
+    auto flatten = [&out](const char* detector,
+                          const std::vector<secapps::Alert>& alerts) {
+      for (const secapps::Alert& a : alerts) {
+        out.alert_log.push_back(AlertRecord{detector, a.kind, a.pa, a.at});
+      }
+    };
+    if (monitor_) flatten(monitor_->name(), monitor_->alerts());
+    if (invariant_) flatten(invariant_->name(), invariant_->alerts());
+    if (cfi_) flatten(cfi_->name(), cfi_->alerts());
     if (opt_.collect_metrics) out.metrics = sys_->metrics_snapshot();
     if (opt_.capture_trace) out.trace_blob = sim::capture_trace(m());
     return out;
@@ -248,17 +293,29 @@ class Exec {
         out.build_error = "snapshot restore: " + s.message();
         return false;
       }
-      if (session.monitor) {
-        sim::SnapReader r(session.monitor_state);
-        session.monitor->restore_state(r);
+      auto restore_blob = [&out](auto& app, const std::vector<u8>& blob,
+                                 const char* what) {
+        if (!app) return true;
+        sim::SnapReader r(blob);
+        app->restore_state(r);
         if (!r.ok()) {
           out.build_failed = true;
-          out.build_error = "monitor restore: " + r.status().message();
+          out.build_error =
+              std::string(what) + " restore: " + r.status().message();
           return false;
         }
+        return true;
+      };
+      if (!restore_blob(session.monitor, session.monitor_state, "monitor") ||
+          !restore_blob(session.invariant, session.invariant_state,
+                        "invariant checker") ||
+          !restore_blob(session.cfi, session.cfi_state, "cfi monitor")) {
+        return false;
       }
       sys_ = session.sys.get();
       monitor_ = session.monitor.get();
+      invariant_ = session.invariant.get();
+      cfi_ = session.cfi.get();
       scratch_va_ = session.scratch_va;
       return true;
     }
@@ -286,6 +343,25 @@ class Exec {
       }
       monitor_ = owned_monitor_.get();
     }
+    if (spec_.has_invariant_checker()) {
+      owned_invariant_ = std::make_unique<secapps::InvariantChecker>(*sys_);
+      if (Status s = owned_invariant_->install(); !s.ok()) {
+        out.build_failed = true;
+        out.build_error = "invariant checker install: " + s.message();
+        return false;
+      }
+      invariant_ = owned_invariant_.get();
+    }
+    if (spec_.has_cfi_monitor()) {
+      owned_cfi_ = std::make_unique<secapps::CfiMonitor>(
+          *sys_, /*watch_dentry_ops=*/!spec_.monitored());
+      if (Status s = owned_cfi_->install(); !s.ok()) {
+        out.build_failed = true;
+        out.build_error = "cfi monitor install: " + s.message();
+        return false;
+      }
+      cfi_ = owned_cfi_.get();
+    }
     // Shared user scratch buffer for IPC payloads; part of every run, so
     // it is itself configuration-invariant.
     auto scratch = sys_->kernel().sys_mmap(4 * kPageSize, /*writable=*/true);
@@ -300,6 +376,24 @@ class Exec {
 
   kernel::Kernel& k() { return sys_->kernel(); }
   sim::Machine& m() { return sys_->machine(); }
+
+  /// Alert/event totals across every installed detector.  With only the
+  /// object monitor installed these equal the historic per-monitor counts,
+  /// so pre-existing golden fingerprints are unchanged.
+  u64 total_alerts() const {
+    u64 n = 0;
+    if (monitor_) n += monitor_->alerts().size();
+    if (invariant_) n += invariant_->alerts().size();
+    if (cfi_) n += cfi_->alerts().size();
+    return n;
+  }
+  u64 total_events() const {
+    u64 n = 0;
+    if (monitor_) n += monitor_->stats().events_total;
+    if (invariant_) n += invariant_->stats().events_total;
+    if (cfi_) n += cfi_->stats().events_total;
+    return n;
+  }
 
   void violation(std::string what) {
     violations_.push_back("step " + std::to_string(step_) + ": " +
@@ -343,6 +437,7 @@ class Exec {
   // --- The op interpreter ----------------------------------------------------
 
   u64 execute(const Op& op) {
+    cur_kind_ = op.kind;
     if (is_hypernel_only(op.kind) && spec_.mode != hypernel::Mode::kHypernel) {
       return kHypernelOnly;
     }
@@ -383,6 +478,10 @@ class Exec {
       case OpKind::kForgedModuleSeal: return do_forged_module_seal(op);
       case OpKind::kDirectPtWrite: return do_direct_pt_write(op);
       case OpKind::kTtbrHijack: return do_ttbr_hijack(op);
+      case OpKind::kAttackSyscallPatch: return do_attack_syscall(op);
+      case OpKind::kAttackVectorPatch: return do_attack_vector(op);
+      case OpKind::kAttackModuleText: return do_attack_modtext(op);
+      case OpKind::kAttackPtRemap: return do_attack_pt_remap(op);
       case OpKind::kCount: break;
     }
     return kSkipped;
@@ -623,6 +722,7 @@ class Exec {
     Result<kernel::LoadedModule> r = k().sys_insmod(image);
     if (!r.ok()) return fold_status(hypernel::kFnvOffset, r.status());
     modules_.push_back(image.name);
+    module_text_words_[image.name] = text;
     // Fold sizes, not text_va: frame addresses legitimately differ across
     // configurations (boot page-table consumption shifts the buddy pool).
     return fold(fold(hypernel::kFnvOffset, r.value().text_pages),
@@ -633,7 +733,10 @@ class Exec {
     if (modules_.empty()) return kSkipped;
     const size_t idx = op.a % modules_.size();
     Status s = k().sys_rmmod(modules_[idx]);
-    if (s.ok()) modules_.erase(modules_.begin() + static_cast<long>(idx));
+    if (s.ok()) {
+      module_text_words_.erase(modules_[idx]);
+      modules_.erase(modules_.begin() + static_cast<long>(idx));
+    }
     return fold_status(hypernel::kFnvOffset, s);
   }
 
@@ -702,8 +805,17 @@ class Exec {
     sim::Access64 old = m().read64(va);
     if (!old.ok) return fold(hypernel::kFnvOffset, 0xFA17ull);
     const u64 nv = attack_value(t.kind, t.word, old.value, variant);
-    const bool expect =
-        policy_expects_alert(t.kind, t.word, old.value, nv);
+    // Which installed detector's policy demands an alert for this write:
+    // the object monitor's field policy, or — when the CFI monitor owns
+    // the dentry d_op watch — its baseline policy (any non-null value
+    // other than the sealed vtable).
+    const bool expect_om = monitor_ != nullptr &&
+                           policy_expects_alert(t.kind, t.word, old.value, nv);
+    const bool expect_cfi = cfi_ != nullptr && cfi_->watching_dentry_ops() &&
+                            t.kind == ObjectKind::kDentry &&
+                            t.word == DentryLayout::kOp && nv != old.value &&
+                            nv != 0;
+    const bool expect = expect_om || expect_cfi;
 
     sim::DmaDevice dev(m(), iommu_, /*stream_id=*/13);
     auto write_word = [&](u64 value) -> bool {
@@ -719,12 +831,14 @@ class Exec {
       return m().write64(va, value).ok;
     };
 
-    const u64 alerts_before = monitor_ ? monitor_->alerts().size() : 0;
+    const u64 alerts_before = total_alerts();
+    const Cycles at = m().account().cycles();
     const bool wrote = write_word(nv);
+    attacks_.push_back(AttackRecord{step_, cur_kind_, at, expect && wrote});
 
-    if (monitor_ && wrote && expect) {
+    if (wrote && expect) {
       ++attacks_expected_;
-      if (monitor_->alerts().size() == alerts_before) {
+      if (total_alerts() == alerts_before) {
         violation("attack write (" +
                   std::string(t.kind == ObjectKind::kCred ? "cred" : "dentry") +
                   " word " + std::to_string(t.word) +
@@ -763,6 +877,144 @@ class Exec {
     AttackTarget t;
     if (!pick_attack_target(op, &t)) return kSkipped;
     return attack_write(t, op.c, /*via_dma=*/true);
+  }
+
+  // --- Control-flow / page-table attacks -------------------------------------
+  // All four tamper fixed kernel structures through a DMA bus master (the
+  // §8 hardware-attack vector: coherent, MMU-bypassing, bus-visible), then
+  // restore through the same channel so functional state is untouched and
+  // the runs stay differentially comparable.
+
+  /// One bus-visible tamper write against a kernel physical address,
+  /// followed by a restore.  `expect` = an installed detector must alert;
+  /// detection is judged between tamper and restore.  Folds only the value
+  /// and outcome (never the address: physical placement legitimately
+  /// differs across configurations), and only when `fold_value` (PT-remap
+  /// descriptors embed configuration-relative addresses).
+  u64 dma_tamper(PhysAddr pa, u64 nv, bool expect, bool fold_value,
+                 const char* what) {
+    const u64 old = m().phys().read64(pa);  // uncharged peek
+    sim::DmaDevice dev(m(), iommu_, /*stream_id=*/13);
+    const u64 alerts_before = total_alerts();
+    const Cycles at = m().account().cycles();
+    const bool wrote = dev.write64(pa, nv);
+    attacks_.push_back(AttackRecord{step_, cur_kind_, at, expect && wrote});
+    if (wrote && expect) {
+      ++attacks_expected_;
+      if (total_alerts() == alerts_before) {
+        violation(std::string(what) + " raised no integrity alert");
+      }
+    }
+    if (wrote && nv != old) dev.write64(pa, old);
+    u64 h = fold(hypernel::kFnvOffset, fold_value ? nv : 0);
+    return fold(h, wrote ? 1 : 0);
+  }
+
+  u64 do_attack_syscall(const Op& op) {
+    const u64 slot = op.a % kernel::kSyscallTableEntries;
+    const PhysAddr pa = kernel::kSyscallTableBase + slot * kWordSize;
+    const u64 legit = kernel::syscall_entry_cookie(slot);
+    u64 nv = legit;
+    switch (op.c % 4) {
+      case 0: nv = 0x0BAD'C0DE'0000'0000ull + slot; break;  // attacker stub
+      case 1: nv = legit + 8; break;  // detour past the prologue
+      case 2:  // cross-wire to another legitimate handler
+        nv = kernel::syscall_entry_cookie((slot + 1) %
+                                          kernel::kSyscallTableEntries);
+        break;
+      default: break;  // idempotent rewrite: must stay silent
+    }
+    return dma_tamper(pa, nv, /*expect=*/cfi_ != nullptr && nv != legit,
+                      /*fold_value=*/true, "syscall-table patch");
+  }
+
+  u64 do_attack_vector(const Op& op) {
+    const u64 slot = op.a % kernel::kVectorTableEntries;
+    const PhysAddr pa = kernel::kVectorTableBase + slot * kWordSize;
+    const u64 legit = kernel::vector_entry_cookie(slot);
+    u64 nv = legit;
+    switch (op.c % 4) {
+      case 0: nv = 0x0BAD'1D7E'0000'0000ull + slot; break;
+      case 1: nv = legit + 4; break;
+      case 2:
+        nv = kernel::vector_entry_cookie((slot + 1) %
+                                         kernel::kVectorTableEntries);
+        break;
+      default: break;
+    }
+    return dma_tamper(pa, nv, /*expect=*/cfi_ != nullptr && nv != legit,
+                      /*fold_value=*/true, "exception-vector patch");
+  }
+
+  u64 do_attack_modtext(const Op& op) {
+    if (modules_.empty()) return kSkipped;
+    const std::string& name = *pick(modules_, op.a);
+    const kernel::LoadedModule* mod = k().modules().find(name);
+    const auto words_it = module_text_words_.find(name);
+    if (mod == nullptr || words_it == module_text_words_.end()) {
+      return kSkipped;
+    }
+    // Stay within the image's real text words: their content is the
+    // config-independent insmod fill pattern, so the folded value is too.
+    const u64 word = op.b % words_it->second;
+    const PhysAddr pa =
+        kernel::virt_to_phys(mod->text_va) + word * kWordSize;
+    const u64 old = m().phys().read64(pa);
+    u64 nv = old;
+    switch (op.c % 4) {
+      case 0: nv = 0x0BAD'7E87'0000'0000ull | (op.c & 0xFFFF); break;
+      case 1: nv = old + 1; break;  // minimal in-place patch
+      case 2: nv = ~0ull; break;
+      default: break;  // idempotent rewrite: must stay silent
+    }
+    return dma_tamper(pa, nv, /*expect=*/cfi_ != nullptr && nv != old,
+                      /*fold_value=*/true, "module-text patch");
+  }
+
+  u64 do_attack_pt_remap(const Op& op) {
+    // ATRA-style remapping through the hardware vector: plant a leaf
+    // descriptor directly in a live leaf-level table, dodging the
+    // hypercall verifier entirely.  Only the memory-side invariant
+    // checker can see this.
+    const auto& pages = sys_->hypersec()->verifier().pt_pages();
+    PhysAddr table = 0;
+    u64 slot = 0;
+    for (const auto& [pa, level] : pages) {
+      if (level != 3) continue;
+      for (u64 i = 0; i < kPtEntries; ++i) {
+        if (m().phys().read64(pa + i * kWordSize) == 0) {
+          table = pa;
+          slot = i;
+          break;
+        }
+      }
+      if (table != 0) break;
+    }
+    if (table == 0) return kSkipped;
+    const u64 variant = op.c % 4;
+    u64 desc = 0;
+    switch (variant) {
+      case 0:  // writable window into the secure space
+        desc = sim::make_page_desc(m().secure_base(),
+                                   sim::PageAttrs{.write = true});
+        break;
+      case 1:  // writable alias of the table page itself
+        desc = sim::make_page_desc(table, sim::PageAttrs{.write = true});
+        break;
+      case 2:  // W+X leaf
+        desc = sim::make_page_desc(0x40'0000,
+                                   sim::PageAttrs{.write = true, .exec = true});
+        break;
+      default:  // zero store: structurally inert, still bus-visible
+        break;
+    }
+    // ANY bus write on a protected table page must alert — including the
+    // inert zero store.  The descriptor embeds config-relative addresses,
+    // so fold the variant instead of the raw value.
+    const u64 h = dma_tamper(table + slot * kWordSize, desc,
+                             /*expect=*/invariant_ != nullptr,
+                             /*fold_value=*/false, "PT remap");
+    return fold(h, variant);
   }
 
   // --- Hypernel-only probes --------------------------------------------------
@@ -874,14 +1126,20 @@ class Exec {
   // thread-local BootSession does, and these stay empty.
   std::unique_ptr<hypernel::System> owned_sys_;
   std::unique_ptr<secapps::ObjectIntegrityMonitor> owned_monitor_;
+  std::unique_ptr<secapps::InvariantChecker> owned_invariant_;
+  std::unique_ptr<secapps::CfiMonitor> owned_cfi_;
   hypernel::System* sys_ = nullptr;
   secapps::ObjectIntegrityMonitor* monitor_ = nullptr;
+  secapps::InvariantChecker* invariant_ = nullptr;
+  secapps::CfiMonitor* cfi_ = nullptr;
   sim::Iommu iommu_;  // bypass mode: DMA passes in every configuration
   VirtAddr scratch_va_ = 0;
   size_t step_ = 0;
+  OpKind cur_kind_ = OpKind::kCreat;
   std::vector<std::string> violations_;
   std::set<std::string> audit_seen_;
   u64 attacks_expected_ = 0;
+  std::vector<AttackRecord> attacks_;
 
   // Shadow state for parameter interpretation.
   std::vector<FileEnt> files_;
@@ -890,6 +1148,7 @@ class Exec {
   std::vector<u32> pipes_;
   std::vector<u32> sockets_;
   std::vector<std::string> modules_;
+  std::map<std::string, u64> module_text_words_;  // image text word counts
   u64 file_serial_ = 0;
   u64 dir_serial_ = 0;
   u64 rename_serial_ = 0;

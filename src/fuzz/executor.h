@@ -35,6 +35,12 @@ struct FuzzConfigSpec {
   /// Attach the ObjectIntegrityMonitor (Hypernel mode only).
   bool monitor = false;
   secapps::Granularity granularity = secapps::Granularity::kSensitiveFields;
+  /// Attach the nested-kernel InvariantChecker (Hypernel mode only).
+  bool invariant_checker = false;
+  /// Attach the kernel-CFI monitor (Hypernel mode only).  Its dentry-op
+  /// watch auto-disables when the object monitor is co-installed (one
+  /// owner per monitored word).
+  bool cfi_monitor = false;
   // Hardware knobs (0 / default-preserving values mean "stock").
   unsigned tlb_entries = 0;
   bool cache_enabled = true;
@@ -51,6 +57,16 @@ struct FuzzConfigSpec {
   [[nodiscard]] bool monitored() const {
     return monitor && mode == hypernel::Mode::kHypernel;
   }
+  [[nodiscard]] bool has_invariant_checker() const {
+    return invariant_checker && mode == hypernel::Mode::kHypernel;
+  }
+  [[nodiscard]] bool has_cfi_monitor() const {
+    return cfi_monitor && mode == hypernel::Mode::kHypernel;
+  }
+  /// Any security app installed (alert/event counters are live).
+  [[nodiscard]] bool any_detector() const {
+    return monitored() || has_invariant_checker() || has_cfi_monitor();
+  }
 };
 
 struct StepRecord {
@@ -58,6 +74,23 @@ struct StepRecord {
   u64 state_digest = 0;  // cheap functional digest after the op
   u64 alerts = 0;        // cumulative integrity alerts
   u64 events = 0;        // cumulative monitor events
+};
+
+/// One tamper write as the executor performed it: the raw material for
+/// the scorecard's per-attack detection-latency attribution.
+struct AttackRecord {
+  u64 step = 0;            // op index in the sequence
+  OpKind kind = OpKind::kCreat;
+  Cycles at = 0;           // simulated cycles just before the tamper write
+  bool expected = false;   // an installed detector's policy must alert
+};
+
+/// One detector alert, flattened across every installed security app.
+struct AlertRecord {
+  std::string detector;    // SecurityApp::name()
+  secapps::AlertKind kind = secapps::AlertKind::kCount;
+  PhysAddr pa = 0;
+  Cycles at = 0;
 };
 
 struct RunResult {
@@ -69,6 +102,10 @@ struct RunResult {
   /// Invariant-oracle findings, each prefixed "step N: ".
   std::vector<std::string> violations;
   u64 attacks_expected = 0;    // attack writes that policy says must alert
+  /// Every tamper write performed, in execution order.
+  std::vector<AttackRecord> attacks;
+  /// Every alert raised by any installed detector (scorecard evidence).
+  std::vector<AlertRecord> alert_log;
   /// Rendered sim::Trace of the step selected by ExecutorOptions::trace_step.
   std::vector<std::string> trace;
   /// Metrics snapshot of the run (ExecutorOptions::collect_metrics).

@@ -152,7 +152,9 @@ CampaignResult run_campaign(const FuzzOptions& options, std::ostream* log) {
   }
   GeneratorOptions gen{.ops = options.ops,
                        .attacks = options.attacks,
-                       .forged = options.forged};
+                       .forged = options.forged,
+                       .extended_attacks = options.extended_attacks,
+                       .scenario_pool = options.scenario_pool};
   ExecutorOptions exec{.inject_bypass = options.inject_bypass,
                        .audit_stride = options.audit_stride,
                        .collect_metrics = options.collect_metrics,

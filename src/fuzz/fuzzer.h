@@ -40,6 +40,13 @@ struct FuzzOptions {
   bool full_matrix = false;
   bool attacks = true;
   bool forged = true;
+  /// Mix in the control-flow / page-table attack kinds (GeneratorOptions::
+  /// extended_attacks).  Off by default: historic seeds keep their meaning.
+  bool extended_attacks = false;
+  /// Structured attack scenarios (src/attacks) used as generator seeds:
+  /// when non-empty, each sequence splices one whole program from the pool
+  /// at a seed-chosen offset.
+  std::vector<std::vector<Op>> scenario_pool;
   bool shrink = true;
   bool inject_bypass = false;  // test-only verifier-bypass hook
   unsigned audit_stride = 1;

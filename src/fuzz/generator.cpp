@@ -1,5 +1,7 @@
 #include "fuzz/generator.h"
 
+#include <cstddef>
+
 #include "common/rng.h"
 
 namespace hn::fuzz {
@@ -36,6 +38,15 @@ constexpr Weighted kAttackMix[] = {
     {OpKind::kAttackDmaWrite, 1},
 };
 
+// Only mixed in under GeneratorOptions::extended_attacks, so the default
+// tables — and with them every pinned campaign digest — stay byte-stable.
+constexpr Weighted kExtendedAttackMix[] = {
+    {OpKind::kAttackSyscallPatch, 1},
+    {OpKind::kAttackVectorPatch, 1},
+    {OpKind::kAttackModuleText, 1},
+    {OpKind::kAttackPtRemap, 1},
+};
+
 constexpr Weighted kForgedMix[] = {
     {OpKind::kForgedPtWrite, 3},   {OpKind::kForgedPtAlloc, 1},
     {OpKind::kForgedPtFree, 1},    {OpKind::kForgedMonRegister, 1},
@@ -58,6 +69,10 @@ std::vector<Op> generate_sequence(u64 seed, const GeneratorOptions& opt) {
   std::vector<Weighted> table(std::begin(kMix), std::end(kMix));
   if (opt.attacks) {
     table.insert(table.end(), std::begin(kAttackMix), std::end(kAttackMix));
+    if (opt.extended_attacks) {
+      table.insert(table.end(), std::begin(kExtendedAttackMix),
+                   std::end(kExtendedAttackMix));
+    }
   }
   if (opt.forged) {
     table.insert(table.end(), std::begin(kForgedMix), std::end(kForgedMix));
@@ -81,6 +96,16 @@ std::vector<Op> generate_sequence(u64 seed, const GeneratorOptions& opt) {
     // state space.  Drawing all three unconditionally keeps the stream
     // alignment independent of the kind picked.
     ops.push_back(Op{kind, rng.next(), rng.next(), rng.next()});
+  }
+  // Structured-seed splice: one whole scenario program lands intact at a
+  // seed-chosen offset.  Entropy is drawn only when a pool is supplied, so
+  // pool-less campaigns replay historic sequences byte-for-byte.
+  if (!opt.scenario_pool.empty()) {
+    const std::vector<Op>& prog =
+        opt.scenario_pool[rng.next_below(opt.scenario_pool.size())];
+    const u64 at = rng.next_below(ops.size() + 1);
+    ops.insert(ops.begin() + static_cast<std::ptrdiff_t>(at), prog.begin(),
+               prog.end());
   }
   return ops;
 }

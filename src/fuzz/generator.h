@@ -6,6 +6,7 @@
 // replay contract printed on every failure.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "common/types.h"
@@ -19,6 +20,17 @@ struct GeneratorOptions {
   bool attacks = true;
   /// Include Hypernel-only forged-hypercall / hijack probes.
   bool forged = true;
+  /// Include the control-flow / page-table attack kinds (syscall-table and
+  /// vector patching, module-text injection, PT remapping) in the attack
+  /// mix.  Off by default so every historic (seed, options) pair keeps its
+  /// meaning.
+  bool extended_attacks = false;
+  /// Structured attack seeds: when non-empty, one whole program from the
+  /// pool is spliced into the generated sequence at a seed-chosen offset,
+  /// so campaigns mutate real attack scenarios instead of only random op
+  /// soup.  Empty (the default) draws no extra entropy, keeping historic
+  /// sequences byte-identical.
+  std::span<const std::vector<Op>> scenario_pool = {};
 };
 
 /// Seed of sequence `index` of the campaign started with `master`.

@@ -73,6 +73,14 @@ enum class OpKind : u8 {
   kForgedModuleSeal,
   kDirectPtWrite,
   kTtbrHijack,
+  // --- Control-flow / page-table attacks (scenario library, CFI +
+  // invariant-checker targets).  The table attacks run everywhere (fixed
+  // kernel-image addresses, config-independent values); the PT remap is
+  // Hypernel-gated (target discovery depends on the protected PT set).
+  kAttackSyscallPatch,
+  kAttackVectorPatch,
+  kAttackModuleText,
+  kAttackPtRemap,
 
   kCount,  // number of kinds (generator weight table bound)
 };
@@ -121,6 +129,10 @@ struct Op {
     case OpKind::kForgedModuleSeal: return "forged-module-seal";
     case OpKind::kDirectPtWrite: return "direct-pt-write";
     case OpKind::kTtbrHijack: return "ttbr-hijack";
+    case OpKind::kAttackSyscallPatch: return "attack-syscall";
+    case OpKind::kAttackVectorPatch: return "attack-vector";
+    case OpKind::kAttackModuleText: return "attack-modtext";
+    case OpKind::kAttackPtRemap: return "attack-pt-remap";
     case OpKind::kCount: break;
   }
   return "?";
@@ -129,13 +141,18 @@ struct Op {
 [[nodiscard]] constexpr bool is_attack(OpKind kind) {
   return kind == OpKind::kAttackCredWrite ||
          kind == OpKind::kAttackDentryWrite ||
-         kind == OpKind::kAttackDmaWrite;
+         kind == OpKind::kAttackDmaWrite ||
+         kind == OpKind::kAttackSyscallPatch ||
+         kind == OpKind::kAttackVectorPatch ||
+         kind == OpKind::kAttackModuleText ||
+         kind == OpKind::kAttackPtRemap;
 }
 
 /// Ops that only execute under the Hypernel configuration (and whose
 /// per-step result is therefore only compared within that class).
 [[nodiscard]] constexpr bool is_hypernel_only(OpKind kind) {
-  return kind >= OpKind::kForgedPtWrite && kind < OpKind::kCount;
+  return (kind >= OpKind::kForgedPtWrite && kind <= OpKind::kTtbrHijack) ||
+         kind == OpKind::kAttackPtRemap;
 }
 
 [[nodiscard]] inline std::string describe(const Op& op) {

@@ -80,33 +80,38 @@ OracleReport check_sequence(std::span<const Op> ops,
     }
   }
 
-  // --- Oracle 1b: within-class monitor comparisons ---------------------------
-  const RunResult* first_monitored = nullptr;
-  const FuzzConfigSpec* first_monitored_spec = nullptr;
+  // --- Oracle 1b: within-class detector comparisons --------------------------
+  // Alert and event streams depend on which security apps are installed:
+  // comparable only between configurations running the identical detector
+  // suite (object monitor presence, invariant checker, CFI monitor).  The
+  // object monitor's granularity widens its *watch set* but not its
+  // policy, so alert counts still compare across granularities; event
+  // counts only at equal granularity.  Each run compares against the
+  // earliest run with the same suite.
   for (size_t r = 0; r < runs.size(); ++r) {
-    if (!specs[r].monitored()) continue;
-    if (first_monitored == nullptr) {
-      first_monitored = &runs[r];
-      first_monitored_spec = &specs[r];
-      continue;
-    }
-    // The integrity policy sees the same values everywhere, so alert
-    // streams must agree across every monitored configuration.
-    if (runs[r].fingerprint.alerts != first_monitored->fingerprint.alerts) {
-      finding("[" + runs[r].config + "] alert count " +
-              std::to_string(runs[r].fingerprint.alerts) + " != " +
-              std::to_string(first_monitored->fingerprint.alerts) + " of " +
-              first_monitored->config);
-    }
-    // Event counts depend on the watch set: comparable only at equal
-    // granularity.
-    if (specs[r].granularity == first_monitored_spec->granularity &&
-        runs[r].fingerprint.monitor_events !=
-            first_monitored->fingerprint.monitor_events) {
-      finding("[" + runs[r].config + "] monitor event count " +
-              std::to_string(runs[r].fingerprint.monitor_events) + " != " +
-              std::to_string(first_monitored->fingerprint.monitor_events) +
-              " of " + first_monitored->config);
+    if (!specs[r].any_detector()) continue;
+    for (size_t q = 0; q < r; ++q) {
+      if (specs[q].monitored() != specs[r].monitored() ||
+          specs[q].has_invariant_checker() !=
+              specs[r].has_invariant_checker() ||
+          specs[q].has_cfi_monitor() != specs[r].has_cfi_monitor()) {
+        continue;
+      }
+      if (runs[r].fingerprint.alerts != runs[q].fingerprint.alerts) {
+        finding("[" + runs[r].config + "] alert count " +
+                std::to_string(runs[r].fingerprint.alerts) + " != " +
+                std::to_string(runs[q].fingerprint.alerts) + " of " +
+                runs[q].config);
+      }
+      if (specs[r].granularity == specs[q].granularity &&
+          runs[r].fingerprint.monitor_events !=
+              runs[q].fingerprint.monitor_events) {
+        finding("[" + runs[r].config + "] monitor event count " +
+                std::to_string(runs[r].fingerprint.monitor_events) + " != " +
+                std::to_string(runs[q].fingerprint.monitor_events) + " of " +
+                runs[q].config);
+      }
+      break;
     }
   }
   return report;

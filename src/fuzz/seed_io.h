@@ -1,0 +1,35 @@
+// Structured attack-seed I/O: the replayable text format for op programs.
+//
+// One op per line — `op <name> <a> <b> <c>` with the generator's op names
+// and decimal or 0x-hex parameters; `#` starts a comment.  The format is
+// the bridge between the attack-scenario library (tests/fuzz/corpus/
+// attack_*.ops), the fuzzer's structured-seed pool, and hand-written
+// repro files for `hypernel_fuzz --replay-file`.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "fuzz/ops.h"
+
+namespace hn::fuzz {
+
+/// Op kind by generator name ("creat", "attack-syscall", ...); kCount on
+/// no match.
+[[nodiscard]] OpKind op_kind_by_name(std::string_view name);
+
+/// Render `ops` in the text format (one line per op, trailing newline).
+[[nodiscard]] std::string format_ops(std::span<const Op> ops);
+
+/// Parse the text format.  Malformed lines and unknown op names are
+/// errors naming the line number.
+[[nodiscard]] Result<std::vector<Op>> parse_ops(std::string_view text);
+
+/// Load / save a seed file in the text format.
+[[nodiscard]] Result<std::vector<Op>> load_ops_file(const std::string& path);
+Status save_ops_file(const std::string& path, std::span<const Op> ops);
+
+}  // namespace hn::fuzz

@@ -292,6 +292,7 @@ u64 Hypersec::do_pt_alloc(std::span<const u64> args) {
     verifier_.remove_pt_page(pa);
     return hvc::kDenied;
   }
+  if (pt_observer_ != nullptr) pt_observer_->on_pt_alloc(pa, level);
   return hvc::kOk;
 }
 
@@ -301,6 +302,7 @@ u64 Hypersec::do_pt_free(std::span<const u64> args) {
   if (!verifier_.is_pt_page(pa)) return hvc::kDenied;
   ++stats_.pt_frees;
   verifier_.remove_pt_page(pa);
+  if (pt_observer_ != nullptr) pt_observer_->on_pt_free(pa);
   // Restore the EL1 linear-map write permission.
   return set_linear_writable(pa, true) ? hvc::kOk : hvc::kDenied;
 }

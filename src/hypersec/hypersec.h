@@ -98,6 +98,17 @@ class Hypersec {
   /// Ask the app to register its regions through the kernel hook path.
   [[nodiscard]] bool has_app(u64 sid) const { return apps_.contains(sid); }
 
+  /// Observer of the PT-page lifecycle.  The invariant checker registers
+  /// one so its monitored-page inventory tracks kPtAlloc/kPtFree exactly;
+  /// like app registrations this is executor wiring, not snapshot state.
+  class PtObserver {
+   public:
+    virtual ~PtObserver() = default;
+    virtual void on_pt_alloc(PhysAddr pa, unsigned level) = 0;
+    virtual void on_pt_free(PhysAddr pa) = 0;
+  };
+  void set_pt_observer(PtObserver* observer) { pt_observer_ = observer; }
+
   /// §8: program the IOMMU so that no device stream can reach the secure
   /// space — each listed stream gets exactly one window covering normal
   /// DRAM.  Call after init().
@@ -193,6 +204,7 @@ class Hypersec {
   PtVerifier verifier_;
   std::unique_ptr<MbmDriver> driver_;
   std::map<u64, SecurityApp*> apps_;
+  PtObserver* pt_observer_ = nullptr;
   HypersecStats stats_;
   bool initialized_ = false;
   // Observability: counters plus interned span names for the two EL2

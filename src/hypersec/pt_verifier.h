@@ -92,6 +92,11 @@ class PtVerifier {
 
   [[nodiscard]] const VerifierStats& stats() const { return stats_; }
   [[nodiscard]] u64 pt_page_count() const { return pt_pages_.size(); }
+  /// Full PTP inventory (page PA -> level): the protected set the
+  /// invariant checker mirrors into MBM-monitored regions.
+  [[nodiscard]] const std::map<PhysAddr, unsigned>& pt_pages() const {
+    return pt_pages_;
+  }
 
   // --- Snapshot support (sim/snapshot.h) ------------------------------------
 

@@ -80,6 +80,21 @@ Status Kernel::boot() {
   machine_.set_sysreg_raw(sim::SysReg::TTBR1_EL1, root.value());
   machine_.set_sysreg_raw(sim::SysReg::SCTLR_EL1, 1);  // M bit: MMU on
 
+  // Control-flow anchor tables (CFI-monitor targets): the boot ROM placed
+  // the syscall dispatch table and the exception-vector table before the
+  // first instruction, so their materialization is uncharged direct
+  // stores.  VBAR_EL1 is neither translation-affecting nor TVM-trapped.
+  for (u64 i = 0; i < kSyscallTableEntries; ++i) {
+    machine_.phys().write64(kSyscallTableBase + i * kWordSize,
+                            syscall_entry_cookie(i));
+  }
+  for (u64 i = 0; i < kVectorTableEntries; ++i) {
+    machine_.phys().write64(kVectorTableBase + i * kWordSize,
+                            vector_entry_cookie(i));
+  }
+  machine_.set_sysreg_raw(sim::SysReg::VBAR_EL1,
+                          phys_to_virt(kVectorTableBase));
+
   machine_.exceptions().set_el1_irq_handler(
       [this](unsigned line) { on_irq(line); });
 

@@ -24,6 +24,28 @@ inline constexpr PhysAddr kImageEnd = kDataBase + kDataSize;  // 1 MiB
 /// section-aligned for the 2 MiB-block mapping mode (§6.2).
 inline constexpr PhysAddr kBuddyPoolBase = 2 * 1024 * 1024;
 
+/// Control-flow anchor tables inside the kernel image — the targets the
+/// kernel-CFI monitor registers (Camouflage-style vector/table watch).
+///
+/// The syscall dispatch table lives in rodata; the exception-vector table
+/// occupies the top page of kernel text (VBAR_EL1 points at it).  Both are
+/// populated by the boot ROM before the first instruction, so their
+/// materialization is uncharged.
+inline constexpr PhysAddr kSyscallTableBase = kRodataBase + 0x1000;
+inline constexpr u64 kSyscallTableEntries = 64;
+inline constexpr PhysAddr kVectorTableBase = kTextBase + kTextSize - kPageSize;
+inline constexpr u64 kVectorTableEntries = 16;
+
+/// Well-known handler cookies: addresses inside kernel text that the
+/// legitimate table entries point at.  Any other value in a table slot is
+/// a control-flow hijack.
+constexpr u64 syscall_entry_cookie(u64 nr) {
+  return kKernelVaBase + kTextBase + 0x4000 + nr * 0x40;
+}
+constexpr u64 vector_entry_cookie(u64 slot) {
+  return kKernelVaBase + kTextBase + 0x2000 + slot * 0x80;
+}
+
 /// Linear-map address of a physical address.
 constexpr VirtAddr phys_to_virt(PhysAddr pa) { return kKernelVaBase + pa; }
 constexpr PhysAddr virt_to_phys(VirtAddr va) { return va - kKernelVaBase; }

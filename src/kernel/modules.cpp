@@ -84,6 +84,7 @@ Result<LoadedModule> ModuleLoader::load(const ModuleImage& image) {
 
   machine_.advance(costs_.page_alloc);  // symbol/relocation bookkeeping
   modules_[image.name] = mod;
+  if (on_load_sealed_) on_load_sealed_(mod);
   return mod;
 }
 
@@ -91,6 +92,7 @@ Status ModuleLoader::unload(const std::string& name) {
   auto it = modules_.find(name);
   if (it == modules_.end()) return Status::NotFound("no such module");
   const LoadedModule& mod = it->second;
+  if (on_before_unload_) on_before_unload_(mod);
 
   // Unseal text back to plain data before the frames return to the pool.
   if (!seal_) {

@@ -55,6 +55,17 @@ class ModuleLoader {
 
   void set_sealer(SealFn fn) { seal_ = std::move(fn); }
 
+  /// Lifecycle observers for security apps: `on_load_sealed` fires after a
+  /// module's text is sealed RX (so staging writes are never monitored),
+  /// `on_before_unload` fires before the text unseals and the frames
+  /// return to the pool (so recycled frames are never monitored).
+  using ModuleObserver = std::function<void(const LoadedModule&)>;
+  void set_observers(ModuleObserver on_load_sealed,
+                     ModuleObserver on_before_unload) {
+    on_load_sealed_ = std::move(on_load_sealed);
+    on_before_unload_ = std::move(on_before_unload);
+  }
+
   /// insmod: allocate module memory, copy the image in while writable,
   /// then seal the text RX (write -> exec transition through the active
   /// PtWriter — hypercalls under Hypernel).
@@ -66,6 +77,9 @@ class ModuleLoader {
 
   [[nodiscard]] const LoadedModule* find(const std::string& name) const;
   [[nodiscard]] u64 loaded_count() const { return modules_.size(); }
+  [[nodiscard]] const std::map<std::string, LoadedModule>& all() const {
+    return modules_;
+  }
 
   /// Invoke hook `index` of a loaded module: a charged read of the
   /// handler cookie plus the dispatch cost — how the kernel would call
@@ -127,6 +141,8 @@ class ModuleLoader {
   PageTableManager& kpt_;
   const KernelCosts& costs_;
   SealFn seal_;
+  ModuleObserver on_load_sealed_;
+  ModuleObserver on_before_unload_;
   std::map<std::string, LoadedModule> modules_;
   std::map<std::string, std::vector<PhysAddr>> frames_;  // per module
 };

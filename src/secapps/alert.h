@@ -1,0 +1,103 @@
+// Typed alert classification shared by every security app.
+//
+// Detection verdicts used to be communicated through free-text reason
+// strings ("dentry operations vtable hooked"), which callers then matched
+// by substring — brittle against any wording edit.  Alerts now carry a
+// closed AlertKind enum; the reason text survives purely as a
+// human-readable label and is never matched programmatically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/snapshot.h"
+
+namespace hn::secapps {
+
+/// What a detector concluded about a monitored write.  One value per
+/// policy predicate, across all detectors, so scorecards can aggregate
+/// per-kind without parsing text.
+enum class AlertKind : u8 {
+  // Object-integrity monitor (cred/dentry, §7.2 footnote 2).
+  kCredIdLowered = 0,     // uid..fsgid word forced to 0 (root)
+  kCredCapEscalated = 1,  // capability mask forged to ~0
+  kDentryOpsHooked = 2,   // d_op swapped off the kernel vtable
+  kDentryInodeHijacked = 3,  // d_inode redirected while live
+  // Invariant checker (nested-kernel predicates over page tables).
+  kPtPageTampered = 4,       // bus-visible write reached a live PTP
+  kPtInvariantViolated = 5,  // audit predicate broken (W+X, alias, ...)
+  // Kernel-CFI monitor (Camouflage-style control-flow protection).
+  kVectorPatched = 6,      // exception-vector entry rewritten
+  kSyscallPatched = 7,     // syscall-table entry rewritten
+  kModuleTextPatched = 8,  // sealed module text modified in place
+  kFnPtrHijacked = 9,      // function-pointer slab word hijacked
+  kCount,
+};
+
+constexpr const char* alert_kind_name(AlertKind kind) {
+  switch (kind) {
+    case AlertKind::kCredIdLowered: return "cred-id-lowered";
+    case AlertKind::kCredCapEscalated: return "cred-cap-escalated";
+    case AlertKind::kDentryOpsHooked: return "dentry-ops-hooked";
+    case AlertKind::kDentryInodeHijacked: return "dentry-inode-hijacked";
+    case AlertKind::kPtPageTampered: return "pt-page-tampered";
+    case AlertKind::kPtInvariantViolated: return "pt-invariant-violated";
+    case AlertKind::kVectorPatched: return "vector-patched";
+    case AlertKind::kSyscallPatched: return "syscall-patched";
+    case AlertKind::kModuleTextPatched: return "module-text-patched";
+    case AlertKind::kFnPtrHijacked: return "fn-ptr-hijacked";
+    case AlertKind::kCount: break;
+  }
+  return "unknown";
+}
+
+struct Alert {
+  AlertKind kind = AlertKind::kCount;
+  PhysAddr pa = 0;
+  u64 word_offset = 0;  // word index within the monitored object/table
+  u64 old_value = 0;
+  u64 new_value = 0;
+  Cycles at = 0;  // simulated cycle the detector classified the write
+  std::string reason;
+};
+
+inline void save_alerts(sim::SnapWriter& w, const std::vector<Alert>& alerts) {
+  w.put_u64(alerts.size());
+  for (const Alert& a : alerts) {
+    w.put_u8(static_cast<u8>(a.kind));
+    w.put_u64(a.pa);
+    w.put_u64(a.word_offset);
+    w.put_u64(a.old_value);
+    w.put_u64(a.new_value);
+    w.put_u64(a.at);
+    w.put_string(a.reason);
+  }
+}
+
+inline void restore_alerts(sim::SnapReader& r, std::vector<Alert>& alerts) {
+  const u64 n = r.get_count("alert");
+  alerts.clear();
+  alerts.reserve(r.ok() ? n : 0);
+  for (u64 i = 0; r.ok() && i < n; ++i) {
+    Alert a;
+    a.kind = static_cast<AlertKind>(r.get_u8());
+    a.pa = r.get_u64();
+    a.word_offset = r.get_u64();
+    a.old_value = r.get_u64();
+    a.new_value = r.get_u64();
+    a.at = r.get_u64();
+    a.reason = r.get_string();
+    alerts.push_back(std::move(a));
+  }
+}
+
+/// Typed query: does any alert in `alerts` carry `kind`?
+inline bool has_alert(const std::vector<Alert>& alerts, AlertKind kind) {
+  for (const Alert& a : alerts) {
+    if (a.kind == kind) return true;
+  }
+  return false;
+}
+
+}  // namespace hn::secapps

@@ -1,0 +1,168 @@
+#include "secapps/cfi_monitor.h"
+
+#include <cassert>
+
+#include "common/hvc_abi.h"
+#include "common/log.h"
+#include "kernel/layout.h"
+#include "kernel/objects.h"
+
+namespace hn::secapps {
+
+using kernel::DentryLayout;
+
+CfiMonitor::CfiMonitor(hypernel::System& system, bool watch_dentry_ops,
+                       u64 sid)
+    : system_(system), watch_dentry_ops_(watch_dentry_ops), sid_(sid) {}
+
+Status CfiMonitor::install() {
+  assert(!installed_);
+  if (Status s = system_.register_security_app(*this); !s.ok()) return s;
+  kernel::Kernel& k = system_.kernel();
+
+  // The anchor tables are populated by the boot ROM and immutable for the
+  // kernel's lifetime: baseline once, monitor forever.
+  register_words(kernel::phys_to_virt(kernel::kSyscallTableBase),
+                 kernel::kSyscallTableEntries);
+  register_words(kernel::phys_to_virt(kernel::kVectorTableBase),
+                 kernel::kVectorTableEntries);
+
+  k.modules().set_observers(
+      [this](const kernel::LoadedModule& mod) { hook_module_load(mod); },
+      [this](const kernel::LoadedModule& mod) { hook_module_unload(mod); });
+  for (const auto& [name, mod] : k.modules().all()) {
+    (void)name;
+    hook_module_load(mod);
+  }
+
+  if (watch_dentry_ops_) {
+    k.set_object_hooks(
+        kernel::ObjectKind::kDentry,
+        [this](VirtAddr va) {
+          register_words(va + DentryLayout::kOp * kWordSize, 1);
+        },
+        [this](VirtAddr va) {
+          unregister_words(va + DentryLayout::kOp * kWordSize, 1);
+        });
+  }
+  installed_ = true;
+  return Status::Ok();
+}
+
+void CfiMonitor::register_words(VirtAddr va, u64 words) {
+  const u64 rc =
+      system_.machine().hvc(hvc::kMonRegister, {sid_, va, words * kWordSize});
+  if (rc != hvc::kOk) {
+    HN_LOG_WARN("secapp", "CFI region registration failed (va=%llx rc=%llu)",
+                static_cast<unsigned long long>(va),
+                static_cast<unsigned long long>(rc));
+    return;
+  }
+  const PhysAddr pa = kernel::virt_to_phys(va);
+  for (u64 w = 0; w < words; ++w) {
+    baseline_[pa + w * kWordSize] =
+        system_.machine().el2_read64(pa + w * kWordSize);
+  }
+}
+
+void CfiMonitor::unregister_words(VirtAddr va, u64 words) {
+  system_.machine().hvc(hvc::kMonUnregister, {sid_, va, words * kWordSize});
+  const PhysAddr pa = kernel::virt_to_phys(va);
+  for (u64 w = 0; w < words; ++w) {
+    baseline_.erase(pa + w * kWordSize);
+  }
+}
+
+void CfiMonitor::hook_module_load(const kernel::LoadedModule& mod) {
+  // Fires after the loader seals the text RX, so every staged write has
+  // already happened unmonitored.  One region per page: MBM regions must
+  // not straddle page boundaries.
+  for (u64 p = 0; p < mod.text_pages; ++p) {
+    const VirtAddr va = mod.text_va + p * kPageSize;
+    register_words(va, kPageSize / kWordSize);
+    module_pages_.insert(kernel::virt_to_phys(va));
+  }
+  ++stats_.modules_registered;
+}
+
+void CfiMonitor::hook_module_unload(const kernel::LoadedModule& mod) {
+  // Fires before the text unseals, so the RW teardown writes and the
+  // recycled frames are never monitored.
+  for (u64 p = 0; p < mod.text_pages; ++p) {
+    const VirtAddr va = mod.text_va + p * kPageSize;
+    unregister_words(va, kPageSize / kWordSize);
+    module_pages_.erase(kernel::virt_to_phys(va));
+  }
+  ++stats_.modules_unregistered;
+}
+
+AlertKind CfiMonitor::classify(PhysAddr pa) const {
+  if (pa >= kernel::kSyscallTableBase &&
+      pa < kernel::kSyscallTableBase +
+               kernel::kSyscallTableEntries * kWordSize) {
+    return AlertKind::kSyscallPatched;
+  }
+  if (pa >= kernel::kVectorTableBase &&
+      pa < kernel::kVectorTableBase + kernel::kVectorTableEntries * kWordSize) {
+    return AlertKind::kVectorPatched;
+  }
+  if (module_pages_.contains(page_align_down(pa))) {
+    return AlertKind::kModuleTextPatched;
+  }
+  return AlertKind::kFnPtrHijacked;
+}
+
+hypersec::AppVerdict CfiMonitor::on_write_event(
+    const mbm::MonitorEvent& event, const hypersec::RegionInfo& region) {
+  // EL2 verification work: one baseline lookup + compare.
+  system_.machine().advance(90);
+  ++stats_.events_total;
+
+  auto it = baseline_.find(event.paddr);
+  if (it == baseline_.end()) {
+    return hypersec::AppVerdict::kBenign;  // unregistered while in flight
+  }
+  const AlertKind kind = classify(event.paddr);
+  switch (kind) {
+    case AlertKind::kSyscallPatched: ++stats_.events_syscall; break;
+    case AlertKind::kVectorPatched: ++stats_.events_vector; break;
+    case AlertKind::kModuleTextPatched: ++stats_.events_module; break;
+    default: ++stats_.events_fnptr; break;
+  }
+
+  if (kind == AlertKind::kFnPtrHijacked && it->second == 0) {
+    // Slab objects arrive zeroed, so the first store into a fresh slot is
+    // the kernel sealing its control-flow pointer: adopt it as baseline.
+    it->second = event.value;
+    return hypersec::AppVerdict::kBenign;
+  }
+  if (event.value == it->second) {
+    // The slot still (or again) holds its sealed control-flow target:
+    // idempotent stores and restores are benign.
+    return hypersec::AppVerdict::kBenign;
+  }
+  if (kind == AlertKind::kFnPtrHijacked && event.value == 0) {
+    // Slab pointer cleared at teardown — matches the object-integrity
+    // monitor's policy that a nulled d_op is disabling, not hijacking.
+    return hypersec::AppVerdict::kBenign;
+  }
+
+  const char* reason = "function-pointer slab word hijacked";
+  if (kind == AlertKind::kSyscallPatched) {
+    reason = "syscall-table entry rewritten";
+  } else if (kind == AlertKind::kVectorPatched) {
+    reason = "exception-vector entry rewritten";
+  } else if (kind == AlertKind::kModuleTextPatched) {
+    reason = "sealed module text patched";
+  }
+  const u64 word = (event.paddr - region.pa_base) / kWordSize;
+  alerts_.push_back(Alert{kind, event.paddr, word, it->second, event.value,
+                          system_.machine().account().cycles(), reason});
+  HN_LOG_INFO("secapp", "ALERT %s (pa=%llx %llx->%llx)", reason,
+              static_cast<unsigned long long>(event.paddr),
+              static_cast<unsigned long long>(it->second),
+              static_cast<unsigned long long>(event.value));
+  return hypersec::AppVerdict::kAlert;
+}
+
+}  // namespace hn::secapps

@@ -1,0 +1,97 @@
+#include "secapps/invariant_checker.h"
+
+#include <cassert>
+
+#include "common/hvc_abi.h"
+#include "common/log.h"
+#include "kernel/layout.h"
+
+namespace hn::secapps {
+
+InvariantChecker::InvariantChecker(hypernel::System& system, u64 sid)
+    : system_(system), sid_(sid) {}
+
+Status InvariantChecker::install() {
+  assert(!installed_);
+  if (Status s = system_.register_security_app(*this); !s.ok()) return s;
+  hypersec::Hypersec* hs = system_.hypersec();
+  hs->set_pt_observer(this);
+  // Mirror the current inventory: the kernel tree sealed at init plus any
+  // user trees already allocated.  From here on the observer keeps the
+  // mirror exact across kPtAlloc/kPtFree.
+  for (const auto& [pa, level] : hs->verifier().pt_pages()) {
+    (void)level;
+    register_page(pa);
+  }
+  installed_ = true;
+  return Status::Ok();
+}
+
+void InvariantChecker::register_page(PhysAddr pa) {
+  // Table pages live in the linear map, so registration goes through the
+  // same §5.3 hypercall path as any other monitored kernel region.
+  const u64 rc = system_.machine().hvc(
+      hvc::kMonRegister, {sid_, kernel::phys_to_virt(pa), kPageSize});
+  if (rc != hvc::kOk) {
+    HN_LOG_WARN("secapp", "PT page registration failed (pa=%llx rc=%llu)",
+                static_cast<unsigned long long>(pa),
+                static_cast<unsigned long long>(rc));
+    return;
+  }
+  pages_.insert(pa);
+  ++stats_.pages_registered;
+}
+
+void InvariantChecker::on_pt_alloc(PhysAddr pa, unsigned level) {
+  (void)level;
+  register_page(pa);
+}
+
+void InvariantChecker::on_pt_free(PhysAddr pa) {
+  if (pages_.erase(pa) == 0) return;
+  system_.machine().hvc(hvc::kMonUnregister,
+                        {sid_, kernel::phys_to_virt(pa), kPageSize});
+  ++stats_.pages_unregistered;
+}
+
+hypersec::AppVerdict InvariantChecker::on_write_event(
+    const mbm::MonitorEvent& event, const hypersec::RegionInfo& region) {
+  (void)region;
+  // EL2 verification work: inventory lookup plus the audit walk below.
+  system_.machine().advance(120);
+  ++stats_.events_total;
+
+  const PhysAddr page = page_align_down(event.paddr);
+  if (!pages_.contains(page)) {
+    return hypersec::AppVerdict::kBenign;  // freed while event in flight
+  }
+
+  // Sanctioned descriptor updates are EL2 write-throughs and never reach
+  // the bus; a bus-visible write on a live table page is tampering by
+  // construction.
+  const u64 word = (event.paddr - page) / kWordSize;
+  alerts_.push_back(Alert{AlertKind::kPtPageTampered, event.paddr, word, 0,
+                          event.value, system_.machine().account().cycles(),
+                          "bus write reached a protected page-table page"});
+  HN_LOG_INFO("secapp", "ALERT pt page tampered (pa=%llx word=%llu val=%llx)",
+              static_cast<unsigned long long>(event.paddr),
+              static_cast<unsigned long long>(word),
+              static_cast<unsigned long long>(event.value));
+
+  // Tie the raw write to the nested-kernel predicate it broke: re-audit
+  // and classify each finding not already alerted on.
+  ++stats_.audits_run;
+  for (const hypersec::AuditFinding& f : system_.hypersec()->audit_report()) {
+    if (!reported_.emplace(static_cast<u8>(f.code), f.detail).second) continue;
+    alerts_.push_back(
+        Alert{AlertKind::kPtInvariantViolated, event.paddr, word, 0,
+              event.value, system_.machine().account().cycles(),
+              std::string(hypersec::audit_code_name(f.code)) + ": " +
+                  f.detail});
+    HN_LOG_INFO("secapp", "ALERT invariant violated (%s)",
+                hypersec::audit_code_name(f.code));
+  }
+  return hypersec::AppVerdict::kAlert;
+}
+
+}  // namespace hn::secapps

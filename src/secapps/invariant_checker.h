@@ -1,0 +1,124 @@
+// Nested-kernel invariant checker (page-table integrity security app).
+//
+// Hypernel's core argument (§5.2) is that page tables are the kernel's
+// most security-critical state: every legitimate update flows through
+// Hypersec at EL2, which writes descriptors *through* to memory without a
+// bus transaction.  This app closes the loop from the memory side: it
+// mirrors Hypersec's translation-table inventory into MBM-monitored
+// regions, so any BUS-VISIBLE write reaching a live page-table page —
+// DMA, non-cacheable stores, or writes through a rogue writable alias —
+// is tampering by construction, no value analysis required.
+//
+// On each tamper event it additionally re-runs Hypersec's full audit and
+// raises one classified alert per newly-broken predicate (W^X, secure
+// space reachable, writable PT alias, TTBR hijack), which is what ties a
+// raw bus write to the nested-kernel invariant it violated.
+#pragma once
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "hypernel/system.h"
+#include "hypersec/security_app.h"
+#include "secapps/alert.h"
+
+namespace hn::secapps {
+
+struct InvariantStats {
+  u64 events_total = 0;
+  u64 pages_registered = 0;
+  u64 pages_unregistered = 0;
+  u64 audits_run = 0;
+};
+
+class InvariantChecker : public hypersec::SecurityApp,
+                         public hypersec::Hypersec::PtObserver {
+ public:
+  explicit InvariantChecker(hypernel::System& system, u64 sid = 4);
+
+  /// Register with Hypersec, subscribe to the PT-page lifecycle, and
+  /// mirror the already-built inventory (all of boot's tables) into
+  /// monitored regions.  Requires kHypernel mode with the MBM attached.
+  Status install();
+
+  // --- hypersec::SecurityApp -------------------------------------------------
+  [[nodiscard]] u64 sid() const override { return sid_; }
+  [[nodiscard]] const char* name() const override {
+    return "invariant-checker";
+  }
+  hypersec::AppVerdict on_write_event(
+      const mbm::MonitorEvent& event,
+      const hypersec::RegionInfo& region) override;
+
+  // --- hypersec::Hypersec::PtObserver ----------------------------------------
+  void on_pt_alloc(PhysAddr pa, unsigned level) override;
+  void on_pt_free(PhysAddr pa) override;
+
+  [[nodiscard]] const InvariantStats& stats() const { return stats_; }
+  [[nodiscard]] const std::vector<Alert>& alerts() const { return alerts_; }
+  [[nodiscard]] bool has_alert(AlertKind kind) const {
+    return secapps::has_alert(alerts_, kind);
+  }
+  [[nodiscard]] u64 monitored_pages() const { return pages_.size(); }
+
+  // --- Snapshot support (sim/snapshot.h) ------------------------------------
+  // Executor-owned like the object monitor: serialized as a separate blob
+  // next to the system snapshot.  Wiring (app registration, PT observer)
+  // is re-established by install() and survives restores untouched.
+
+  void save_state(sim::SnapWriter& w) const {
+    w.put_bool(installed_);
+    w.put_u64(pages_.size());
+    for (const PhysAddr pa : pages_) w.put_u64(pa);
+    w.put_u64(reported_.size());
+    for (const auto& [code, detail] : reported_) {
+      w.put_u8(code);
+      w.put_string(detail);
+    }
+    w.put_u64(stats_.events_total);
+    w.put_u64(stats_.pages_registered);
+    w.put_u64(stats_.pages_unregistered);
+    w.put_u64(stats_.audits_run);
+    save_alerts(w, alerts_);
+  }
+
+  void restore_state(sim::SnapReader& r) {
+    r.section("invariant checker");
+    installed_ = r.get_bool();
+    const u64 npages = r.get_count("monitored PT page");
+    pages_.clear();
+    for (u64 i = 0; r.ok() && i < npages; ++i) {
+      pages_.emplace_hint(pages_.end(), r.get_u64());
+    }
+    const u64 nreported = r.get_count("audit finding");
+    reported_.clear();
+    for (u64 i = 0; r.ok() && i < nreported; ++i) {
+      const u8 code = r.get_u8();
+      reported_.emplace(code, r.get_string());
+    }
+    stats_.events_total = r.get_u64();
+    stats_.pages_registered = r.get_u64();
+    stats_.pages_unregistered = r.get_u64();
+    stats_.audits_run = r.get_u64();
+    restore_alerts(r, alerts_);
+  }
+
+ private:
+  void register_page(PhysAddr pa);
+
+  hypernel::System& system_;
+  u64 sid_;
+  std::set<PhysAddr> pages_;  // monitored translation-table pages
+  /// Audit findings already alerted on, so a broken predicate raises one
+  /// alert, not one per subsequent event.
+  std::set<std::pair<u8, std::string>> reported_;
+  InvariantStats stats_;
+  std::vector<Alert> alerts_;
+  bool installed_ = false;
+};
+
+}  // namespace hn::secapps

@@ -131,8 +131,9 @@ hypersec::AppVerdict ObjectIntegrityMonitor::on_write_event(
 
 void ObjectIntegrityMonitor::verify(ObjectKind kind, u64 word, PhysAddr pa,
                                     u64 old_value, u64 new_value) {
-  auto alert = [&](const char* reason) {
-    alerts_.push_back(Alert{kind, pa, word, old_value, new_value, reason});
+  auto alert = [&](AlertKind what, const char* reason) {
+    alerts_.push_back(Alert{what, pa, word, old_value, new_value,
+                            system_.machine().account().cycles(), reason});
     HN_LOG_INFO("secapp", "ALERT %s (pa=%llx word=%llu %llx->%llx)", reason,
                 static_cast<unsigned long long>(pa),
                 static_cast<unsigned long long>(word),
@@ -144,13 +145,13 @@ void ObjectIntegrityMonitor::verify(ObjectKind kind, u64 word, PhysAddr pa,
     const bool is_id_word =
         word >= CredLayout::kUid && word <= CredLayout::kFsgid;
     if (is_id_word && new_value == 0 && old_value != 0) {
-      alert("cred identity lowered to root");
+      alert(AlertKind::kCredIdLowered, "cred identity lowered to root");
     }
     const bool is_cap_word = word >= CredLayout::kCapInheritable &&
                              word <= CredLayout::kCapEffective;
     if (is_cap_word && new_value == ~u64{0} && old_value != 0 &&
         old_value != ~u64{0}) {
-      alert("capability mask escalated to full");
+      alert(AlertKind::kCredCapEscalated, "capability mask escalated to full");
     }
     return;
   }
@@ -158,11 +159,11 @@ void ObjectIntegrityMonitor::verify(ObjectKind kind, u64 word, PhysAddr pa,
   // Dentry policy.
   if (word == DentryLayout::kOp && new_value != kernel::kDentryOpsVtable &&
       new_value != 0) {
-    alert("dentry operations vtable hooked");
+    alert(AlertKind::kDentryOpsHooked, "dentry operations vtable hooked");
   }
   if (word == DentryLayout::kInode && old_value != 0 && new_value != 0 &&
       new_value != old_value) {
-    alert("dentry inode pointer hijacked");
+    alert(AlertKind::kDentryInodeHijacked, "dentry inode pointer hijacked");
   }
 }
 

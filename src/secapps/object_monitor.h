@@ -22,19 +22,11 @@
 #include "hypernel/system.h"
 #include "hypersec/security_app.h"
 #include "kernel/objects.h"
+#include "secapps/alert.h"
 
 namespace hn::secapps {
 
 enum class Granularity : u8 { kSensitiveFields, kWholeObject };
-
-struct Alert {
-  kernel::ObjectKind kind = kernel::ObjectKind::kCred;
-  PhysAddr pa = 0;
-  u64 word_offset = 0;  // word index within the object
-  u64 old_value = 0;
-  u64 new_value = 0;
-  std::string reason;
-};
 
 struct MonitorStats {
   u64 events_total = 0;
@@ -65,6 +57,9 @@ class ObjectIntegrityMonitor : public hypersec::SecurityApp {
 
   [[nodiscard]] const MonitorStats& stats() const { return stats_; }
   [[nodiscard]] const std::vector<Alert>& alerts() const { return alerts_; }
+  [[nodiscard]] bool has_alert(AlertKind kind) const {
+    return secapps::has_alert(alerts_, kind);
+  }
   [[nodiscard]] Granularity granularity() const { return granularity_; }
 
   // --- Snapshot support (sim/snapshot.h) ------------------------------------
@@ -89,15 +84,7 @@ class ObjectIntegrityMonitor : public hypersec::SecurityApp {
     w.put_u64(stats_.events_dentry);
     w.put_u64(stats_.objects_registered);
     w.put_u64(stats_.objects_unregistered);
-    w.put_u64(alerts_.size());
-    for (const Alert& a : alerts_) {
-      w.put_u8(static_cast<u8>(a.kind));
-      w.put_u64(a.pa);
-      w.put_u64(a.word_offset);
-      w.put_u64(a.old_value);
-      w.put_u64(a.new_value);
-      w.put_string(a.reason);
-    }
+    save_alerts(w, alerts_);
   }
 
   void restore_state(sim::SnapReader& r) {
@@ -120,19 +107,7 @@ class ObjectIntegrityMonitor : public hypersec::SecurityApp {
     stats_.events_dentry = r.get_u64();
     stats_.objects_registered = r.get_u64();
     stats_.objects_unregistered = r.get_u64();
-    const u64 nalerts = r.get_count("alert");
-    alerts_.clear();
-    alerts_.reserve(r.ok() ? nalerts : 0);
-    for (u64 i = 0; r.ok() && i < nalerts; ++i) {
-      Alert a;
-      a.kind = static_cast<kernel::ObjectKind>(r.get_u8());
-      a.pa = r.get_u64();
-      a.word_offset = r.get_u64();
-      a.old_value = r.get_u64();
-      a.new_value = r.get_u64();
-      a.reason = r.get_string();
-      alerts_.push_back(std::move(a));
-    }
+    restore_alerts(r, alerts_);
   }
 
  private:

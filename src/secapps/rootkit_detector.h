@@ -19,18 +19,12 @@ class RootkitDetector : public ObjectIntegrityMonitor {
   [[nodiscard]] const char* name() const override { return "rootkit-detector"; }
 
   [[nodiscard]] bool detected_cred_escalation() const {
-    return has_alert_containing("cred") || has_alert_containing("capability");
+    return has_alert(AlertKind::kCredIdLowered) ||
+           has_alert(AlertKind::kCredCapEscalated);
   }
   [[nodiscard]] bool detected_dentry_tampering() const {
-    return has_alert_containing("dentry");
-  }
-
- private:
-  [[nodiscard]] bool has_alert_containing(const char* needle) const {
-    for (const Alert& a : alerts()) {
-      if (a.reason.find(needle) != std::string::npos) return true;
-    }
-    return false;
+    return has_alert(AlertKind::kDentryOpsHooked) ||
+           has_alert(AlertKind::kDentryInodeHijacked);
   }
 };
 

@@ -42,6 +42,11 @@ class DmaDevice {
       txn.paddr = pa + off;
       txn.value = v;
       txn.timestamp = machine_.account().cycles();
+      // Provenance-stamped like CPU stores, so a detection triggered by
+      // device traffic attributes back to this transfer instead of
+      // dangling as an unattributed verdict.
+      txn.trace_seq = machine_.trace().record(
+          txn.timestamp, TraceKind::kBusWrite, txn.paddr, v);
       machine_.bus().issue(txn);
       ++words_written_;
     }

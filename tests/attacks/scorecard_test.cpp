@@ -1,0 +1,91 @@
+// Scorecard harness tests: the acceptance gates (every intended attack
+// hit with a causal attribution chain, zero false positives), the golden
+// report digest pinned at --jobs=1 vs --jobs=4, and byte-identity of
+// snapshot-booted against fresh-booted scorecards.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "attacks/scorecard.h"
+
+namespace hn::attacks {
+namespace {
+
+// Golden FNV digests over the deterministic JSON report.  The scenario
+// library is append-only and the render order fixed, so these move only
+// when the library, a detector policy, or the report schema changes —
+// update them together with the EXPERIMENTS.md scorecard table.
+constexpr u64 kGoldenTracedDigest = 0x99ce7818d3fcbf62ull;
+constexpr u64 kGoldenUntracedDigest = 0xdf5ad6821e5e62cfull;
+
+/// The traced serial scorecard, computed once (two tests consume it).
+const Scorecard& traced_serial_scorecard() {
+  static const Scorecard score = [] {
+    ScorecardOptions opt;
+    opt.jobs = 1;  // trace_attribution defaults on
+    return run_scorecard(opt);
+  }();
+  return score;
+}
+
+TEST(Scorecard, AcceptanceGatesHoldWithAttribution) {
+  const Scorecard& score = traced_serial_scorecard();
+  EXPECT_TRUE(score.all_intended_hit);
+  EXPECT_TRUE(score.zero_false_positives);
+  EXPECT_TRUE(score.all_hits_attributed);
+  EXPECT_TRUE(score.ok(/*require_attribution=*/true));
+  ASSERT_EQ(score.cells.size(),
+            scenario_library().size() * detector_configs().size());
+  ASSERT_EQ(score.benign.size(), detector_configs().size());
+  for (const BenignCell& b : score.benign) {
+    EXPECT_EQ(b.alerts, 0u) << b.config;
+  }
+  for (const DetectorSummary& s : score.summary) {
+    SCOPED_TRACE(s.detector);
+    EXPECT_GT(s.intended_cells, 0u);
+    EXPECT_EQ(s.hits, s.intended_cells);
+    EXPECT_EQ(s.misses, 0u);
+    EXPECT_EQ(s.false_positives, 0u);
+    EXPECT_GT(s.mean_latency, 0u);
+  }
+  EXPECT_FALSE(score.sample_trace.empty());
+  EXPECT_EQ(score.digest, kGoldenTracedDigest) << score.json;
+
+  const std::string table = render_scorecard(score);
+  EXPECT_NE(table.find("HIT"), std::string::npos);
+  EXPECT_EQ(table.find("MISS"), std::string::npos) << table;
+  EXPECT_NE(table.find("CLEAN"), std::string::npos);
+}
+
+TEST(Scorecard, JobCountNeverChangesTheReport) {
+  ScorecardOptions parallel;
+  parallel.jobs = 4;
+  const Scorecard b = run_scorecard(parallel);
+  EXPECT_EQ(traced_serial_scorecard().json, b.json);
+  EXPECT_EQ(b.digest, kGoldenTracedDigest);
+}
+
+TEST(Scorecard, SnapshotBootMatchesFreshBoot) {
+  // Attribution needs per-run trace capture, which always boots fresh —
+  // so the snapshot-boot contract is pinned with attribution off.
+  ScorecardOptions fresh;
+  fresh.jobs = 4;
+  fresh.trace_attribution = false;
+  ScorecardOptions snapshot = fresh;
+  snapshot.snapshot_boot = true;
+  const Scorecard a = run_scorecard(fresh);
+  const Scorecard b = run_scorecard(snapshot);
+  EXPECT_EQ(a.json, b.json);
+  EXPECT_EQ(a.digest, kGoldenUntracedDigest);
+  EXPECT_EQ(b.digest, kGoldenUntracedDigest);
+  // Hits still land without traces; only the attribution gate drops.
+  EXPECT_TRUE(a.all_intended_hit);
+  EXPECT_TRUE(a.zero_false_positives);
+  EXPECT_FALSE(a.all_hits_attributed);
+  EXPECT_TRUE(a.ok(/*require_attribution=*/false));
+  EXPECT_FALSE(a.ok(/*require_attribution=*/true));
+  EXPECT_TRUE(a.sample_trace.empty());
+}
+
+}  // namespace
+}  // namespace hn::attacks

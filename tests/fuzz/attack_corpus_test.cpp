@@ -1,0 +1,145 @@
+// Structured attack seeds (tests/fuzz/corpus/attack_*.ops): every seed
+// file must parse, round-trip through the seed text format, replay clean
+// under the standard fuzz matrix plus the three detector configurations,
+// and keep its pinned differential fingerprint.  The shrinker must be
+// able to minimise a seed while preserving detection, and the campaign
+// driver must splice scenario programs deterministically at any job
+// count.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "attacks/scenario.h"
+#include "attacks/scorecard.h"
+#include "fuzz/fuzzer.h"
+#include "fuzz/seed_io.h"
+#include "fuzz/shrink.h"
+
+namespace hn::fuzz {
+namespace {
+
+struct SeedGolden {
+  const char* file;
+  /// FunctionalFingerprint::functional_hash() of the seed replayed under
+  /// the reference configuration.  Every other configuration must agree
+  /// (the differential oracle), so one pin covers the whole matrix.
+  u64 functional_hash;
+};
+
+// Pinned differential fingerprints, one per corpus seed.  A change here
+// means the seed's functional effect changed — a kernel-semantics or
+// executor change, never a detector change (alerts are excluded from the
+// functional hash).
+constexpr SeedGolden kSeeds[] = {
+    {"attack_cred_theft.ops", 0x268952f2861946bdull},
+    {"attack_dentry_hiding.ops", 0x93522fd316757e8dull},
+    {"attack_table_patch.ops", 0xaa83bd8375f2b3aaull},
+    {"attack_module_text.ops", 0x3a69be36b960ab4cull},
+    {"attack_pt_remap.ops", 0x0acf27a60149eb44ull},
+};
+
+std::vector<Op> load_seed(const std::string& file) {
+  Result<std::vector<Op>> loaded =
+      load_ops_file(std::string(FUZZ_CORPUS_DIR) + "/" + file);
+  EXPECT_TRUE(loaded.ok()) << loaded.status().message();
+  return loaded.ok() ? std::move(loaded).value() : std::vector<Op>{};
+}
+
+TEST(AttackCorpus, EverySeedParsesAndRoundTrips) {
+  for (const SeedGolden& seed : kSeeds) {
+    SCOPED_TRACE(seed.file);
+    const std::vector<Op> ops = load_seed(seed.file);
+    ASSERT_FALSE(ops.empty());
+    bool has_attack = false;
+    for (const Op& op : ops) has_attack |= is_attack(op.kind);
+    EXPECT_TRUE(has_attack) << "attack seed without a tamper op";
+    // Text -> ops -> text -> ops is a fixed point.
+    const std::string text = format_ops(ops);
+    Result<std::vector<Op>> reparsed = parse_ops(text);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status().message();
+    ASSERT_EQ(reparsed.value().size(), ops.size());
+    for (size_t i = 0; i < ops.size(); ++i) {
+      EXPECT_EQ(reparsed.value()[i].kind, ops[i].kind) << "op " << i;
+      EXPECT_EQ(reparsed.value()[i].a, ops[i].a) << "op " << i;
+      EXPECT_EQ(reparsed.value()[i].b, ops[i].b) << "op " << i;
+      EXPECT_EQ(reparsed.value()[i].c, ops[i].c) << "op " << i;
+    }
+    EXPECT_EQ(format_ops(reparsed.value()), text);
+  }
+}
+
+TEST(AttackCorpus, SeedsReplayCleanWithPinnedFingerprints) {
+  // The --replay-file configuration set: the quick matrix plus the three
+  // detector configurations, both oracles armed.
+  std::vector<FuzzConfigSpec> specs = build_matrix(/*full=*/false);
+  for (const FuzzConfigSpec& spec : attacks::detector_configs()) {
+    specs.push_back(spec);
+  }
+  for (const SeedGolden& seed : kSeeds) {
+    SCOPED_TRACE(seed.file);
+    const std::vector<Op> ops = load_seed(seed.file);
+    ASSERT_FALSE(ops.empty());
+    std::vector<RunResult> runs;
+    runs.reserve(specs.size());
+    for (const FuzzConfigSpec& spec : specs) {
+      runs.push_back(run_sequence(spec, ops));
+    }
+    const OracleReport report = check_sequence(ops, specs, runs);
+    for (const std::string& finding : report.findings) ADD_FAILURE() << finding;
+    EXPECT_EQ(runs[0].fingerprint.functional_hash(), seed.functional_hash)
+        << "differential fingerprint moved";
+  }
+}
+
+TEST(AttackCorpus, ShrinkerPreservesDetection) {
+  // cred theft: uid drop + CPU forgery + DMA forgery.  Either forgery
+  // alone suffices for detection, the uid drop is load-bearing (a forged
+  // 0 over uid 0 is idempotent), so the 1-minimal reproducer is 2 ops.
+  const std::vector<Op> ops = load_seed("attack_cred_theft.ops");
+  ASSERT_EQ(ops.size(), 3u);
+  const FuzzConfigSpec spec = attacks::detector_configs().front();
+  ASSERT_EQ(spec.name, "object-integrity-monitor");
+  const FailPredicate detects = [&spec](std::span<const Op> candidate) {
+    return !run_sequence(spec, candidate).alert_log.empty();
+  };
+  ASSERT_TRUE(detects(ops));
+  ShrinkStats stats;
+  const std::vector<Op> minimal = shrink(ops, detects, 400, &stats);
+  EXPECT_TRUE(detects(minimal));
+  EXPECT_EQ(minimal.size(), 2u);
+  EXPECT_EQ(stats.ops_removed, ops.size() - minimal.size());
+}
+
+TEST(AttackCorpus, ScenarioSeededCampaignIsCleanAndJobInvariant) {
+  // The fuzzer's structured-seed mode (hypernel_fuzz --attack-seeds):
+  // each sequence splices one whole scenario program at a seed-chosen
+  // offset, with the extended attack kinds enabled.
+  FuzzOptions serial;
+  serial.seed = 7;
+  serial.sequences = 6;
+  serial.ops = 30;
+  serial.extended_attacks = true;
+  serial.scenario_pool = attacks::scenario_pool();
+  FuzzOptions parallel = serial;
+  parallel.jobs = 4;
+  std::ostringstream sink;
+  const CampaignResult a = run_campaign(serial, &sink);
+  const CampaignResult b = run_campaign(parallel, &sink);
+  EXPECT_EQ(a.failures, 0u);
+  EXPECT_EQ(a.sequences_run, serial.sequences);
+  EXPECT_EQ(a.corpus_digest, b.corpus_digest);
+  ASSERT_EQ(a.sequence_digests.size(), b.sequence_digests.size());
+  for (size_t i = 0; i < a.sequence_digests.size(); ++i) {
+    EXPECT_EQ(a.sequence_digests[i], b.sequence_digests[i]) << "sequence " << i;
+  }
+  // Golden pin of the scenario-seeded campaign (the CLI prints the same
+  // value for --attack-seeds --seed=7 --sequences=6 --ops=30).
+  EXPECT_EQ(a.corpus_digest, 0xc13c535607422a55ull);
+}
+
+}  // namespace
+}  // namespace hn::fuzz

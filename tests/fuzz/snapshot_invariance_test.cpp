@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "attacks/scenario.h"
+#include "attacks/scorecard.h"
 #include "fuzz/fuzzer.h"
 
 namespace hn::fuzz {
@@ -48,10 +50,31 @@ void expect_identical_runs(const RunResult& fresh, const RunResult& forked) {
   EXPECT_TRUE(fresh.fingerprint.functionally_equal(forked.fingerprint))
       << fresh.fingerprint.diff(forked.fingerprint);
   EXPECT_EQ(fresh.fingerprint.cycles, forked.fingerprint.cycles);
-  EXPECT_EQ(fresh.fingerprint.monitor_events, forked.fingerprint.monitor_events);
+  EXPECT_EQ(fresh.fingerprint.monitor_events,
+            forked.fingerprint.monitor_events);
   EXPECT_EQ(fresh.fingerprint.alerts, forked.fingerprint.alerts);
   EXPECT_EQ(fresh.violations, forked.violations);
   EXPECT_EQ(fresh.attacks_expected, forked.attacks_expected);
+  // The scorecard evidence — per-tamper records and the flattened alert
+  // log — must fork bit-identically too: the scorecard's latency and
+  // attribution columns are built from exactly these.
+  ASSERT_EQ(fresh.attacks.size(), forked.attacks.size());
+  for (size_t i = 0; i < fresh.attacks.size(); ++i) {
+    EXPECT_EQ(fresh.attacks[i].step, forked.attacks[i].step) << "attack " << i;
+    EXPECT_EQ(fresh.attacks[i].kind, forked.attacks[i].kind) << "attack " << i;
+    EXPECT_EQ(fresh.attacks[i].at, forked.attacks[i].at) << "attack " << i;
+    EXPECT_EQ(fresh.attacks[i].expected, forked.attacks[i].expected)
+        << "attack " << i;
+  }
+  ASSERT_EQ(fresh.alert_log.size(), forked.alert_log.size());
+  for (size_t i = 0; i < fresh.alert_log.size(); ++i) {
+    EXPECT_EQ(fresh.alert_log[i].detector, forked.alert_log[i].detector)
+        << "alert " << i;
+    EXPECT_EQ(fresh.alert_log[i].kind, forked.alert_log[i].kind)
+        << "alert " << i;
+    EXPECT_EQ(fresh.alert_log[i].pa, forked.alert_log[i].pa) << "alert " << i;
+    EXPECT_EQ(fresh.alert_log[i].at, forked.alert_log[i].at) << "alert " << i;
+  }
 }
 
 void run_corpus_invariance(bool host_fast_path) {
@@ -116,6 +139,26 @@ TEST(SnapshotInvariance, ParallelSnapshotCampaignMatchesFreshBoot) {
     EXPECT_EQ(a.sequence_digests[i], b.sequence_digests[i]) << "sequence " << i;
   }
   EXPECT_EQ(a.corpus_digest, b.corpus_digest);
+}
+
+TEST(SnapshotInvariance, DetectorConfigsForkIdentically) {
+  // The new detector configurations carry extra executor-owned state
+  // (invariant checker's page set, CFI baselines) saved as separate blobs
+  // next to the system snapshot.  Scorecard runs forked from boot
+  // snapshots must be bit-identical to fresh boots — attack scenarios and
+  // the benign probe alike.
+  ExecutorOptions fresh_boot;
+  ExecutorOptions snapshot_boot;
+  snapshot_boot.snapshot_boot = true;
+  std::vector<std::vector<Op>> programs = attacks::scenario_pool();
+  programs.push_back(attacks::benign_workload());
+  for (const FuzzConfigSpec& spec : attacks::detector_configs()) {
+    for (size_t p = 0; p < programs.size(); ++p) {
+      SCOPED_TRACE("config " + spec.name + " program " + std::to_string(p));
+      expect_identical_runs(run_sequence(spec, programs[p], fresh_boot),
+                            run_sequence(spec, programs[p], snapshot_boot));
+    }
+  }
 }
 
 TEST(SnapshotInvariance, InstrumentedRunsFallBackToFreshBoot) {

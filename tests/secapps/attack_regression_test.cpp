@@ -1,0 +1,112 @@
+// Per-attack regression tests over the rootkit-scenario library: every
+// scenario must be detected by its declared detector with its declared
+// alert classification, the setup phase must be silent, and the benign
+// workload must raise zero alerts under every detector configuration.
+// These are the scorecard's acceptance gates pinned one scenario at a
+// time, so a regression names the exact (scenario, detector) pair.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "attacks/scenario.h"
+#include "attacks/scorecard.h"
+#include "fuzz/executor.h"
+
+namespace hn::attacks {
+namespace {
+
+using fuzz::FuzzConfigSpec;
+using fuzz::RunResult;
+
+const FuzzConfigSpec* config_named(const std::string& name) {
+  static const std::vector<FuzzConfigSpec> specs = detector_configs();
+  for (const FuzzConfigSpec& s : specs) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+TEST(AttackLibrary, GroundTruthIsWellFormed) {
+  const std::vector<AttackScenario>& lib = scenario_library();
+  ASSERT_FALSE(lib.empty());
+  std::set<std::string> names;
+  std::set<AttackFamily> families;
+  for (const AttackScenario& s : lib) {
+    SCOPED_TRACE(s.name);
+    EXPECT_TRUE(names.insert(s.name).second) << "duplicate slug";
+    ASSERT_LT(static_cast<unsigned>(s.family),
+              static_cast<unsigned>(AttackFamily::kCount));
+    families.insert(s.family);
+    EXPECT_STRNE(family_name(s.family), "?");
+    EXPECT_FALSE(s.description.empty());
+    ASSERT_FALSE(s.ops.empty());
+    ASSERT_FALSE(s.tamper_steps.empty());
+    for (const u64 step : s.tamper_steps) EXPECT_LT(step, s.ops.size());
+    EXPECT_NE(config_named(s.intended_detector), nullptr)
+        << "unknown detector " << s.intended_detector;
+    EXPECT_NE(s.expected_alert, secapps::AlertKind::kCount);
+    EXPECT_EQ(find_scenario(s.name), &s);
+  }
+  // Every family in the threat model is represented.
+  EXPECT_EQ(families.size(), static_cast<size_t>(AttackFamily::kCount));
+  EXPECT_EQ(find_scenario("no-such-scenario"), nullptr);
+  EXPECT_EQ(scenario_pool().size(), lib.size());
+}
+
+TEST(AttackRegression, EveryScenarioDetectedByIntendedDetector) {
+  for (const AttackScenario& s : scenario_library()) {
+    SCOPED_TRACE(s.name);
+    const FuzzConfigSpec* spec = config_named(s.intended_detector);
+    ASSERT_NE(spec, nullptr);
+    const RunResult rec = fuzz::run_sequence(*spec, s.ops);
+    ASSERT_FALSE(rec.build_failed) << rec.build_error;
+    // The detection-completeness oracle found every expected alert.
+    for (const std::string& v : rec.violations) ADD_FAILURE() << v;
+
+    // The tamper instant: the attack record of the first declared
+    // tamper step.
+    const fuzz::AttackRecord* tamper = nullptr;
+    for (const fuzz::AttackRecord& a : rec.attacks) {
+      if (a.step == s.tamper_steps.front()) {
+        tamper = &a;
+        break;
+      }
+    }
+    ASSERT_NE(tamper, nullptr) << "tamper op never performed its write";
+
+    bool expected_seen = false;
+    for (const fuzz::AlertRecord& a : rec.alert_log) {
+      EXPECT_GE(a.at, tamper->at)
+          << "alert during benign setup: " << secapps::alert_kind_name(a.kind)
+          << " from " << a.detector;
+      if (a.detector == s.intended_detector && a.kind == s.expected_alert &&
+          a.at >= tamper->at) {
+        expected_seen = true;
+      }
+    }
+    EXPECT_TRUE(expected_seen)
+        << "missing " << secapps::alert_kind_name(s.expected_alert) << " from "
+        << s.intended_detector;
+  }
+}
+
+TEST(AttackRegression, BenignWorkloadRaisesNoAlerts) {
+  const std::vector<fuzz::Op> ops = benign_workload();
+  ASSERT_FALSE(ops.empty());
+  for (const FuzzConfigSpec& spec : detector_configs()) {
+    SCOPED_TRACE(spec.name);
+    const RunResult rec = fuzz::run_sequence(spec, ops);
+    ASSERT_FALSE(rec.build_failed) << rec.build_error;
+    for (const fuzz::AlertRecord& a : rec.alert_log) {
+      ADD_FAILURE() << "false positive: " << secapps::alert_kind_name(a.kind)
+                    << " from " << a.detector << " at cycle " << a.at;
+    }
+    EXPECT_EQ(rec.fingerprint.alerts, 0u);
+    for (const std::string& v : rec.violations) ADD_FAILURE() << v;
+  }
+}
+
+}  // namespace
+}  // namespace hn::attacks

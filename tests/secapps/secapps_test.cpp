@@ -9,8 +9,11 @@
 #include "kernel/layout.h"
 #include "kernel/objects.h"
 #include "kernel/vfs.h"
+#include "secapps/cfi_monitor.h"
+#include "secapps/invariant_checker.h"
 #include "secapps/object_monitor.h"
 #include "secapps/rootkit_detector.h"
+#include "sim/dma_device.h"
 
 namespace hn::secapps {
 namespace {
@@ -149,7 +152,9 @@ TEST(ObjectMonitor, DetectsDirectCredEscalation) {
   ASSERT_TRUE(
       sys->machine().write64(cred + CredLayout::kEuid * kWordSize, 0).ok);
   ASSERT_FALSE(monitor.alerts().empty());
-  EXPECT_NE(monitor.alerts()[0].reason.find("root"), std::string::npos);
+  EXPECT_EQ(monitor.alerts()[0].kind, AlertKind::kCredIdLowered);
+  EXPECT_EQ(monitor.alerts()[0].word_offset, CredLayout::kEuid);
+  EXPECT_EQ(monitor.alerts()[0].new_value, 0u);
 }
 
 TEST(ObjectMonitor, DetectsCapabilityEscalation) {
@@ -167,11 +172,8 @@ TEST(ObjectMonitor, DetectsCapabilityEscalation) {
                   .write64(cred + CredLayout::kCapEffective * kWordSize,
                            ~u64{0})
                   .ok);
-  bool cap_alert = false;
-  for (const Alert& a : monitor.alerts()) {
-    cap_alert |= a.reason.find("capability") != std::string::npos;
-  }
-  EXPECT_TRUE(cap_alert);
+  EXPECT_TRUE(has_alert(monitor.alerts(), AlertKind::kCredCapEscalated));
+  EXPECT_FALSE(has_alert(monitor.alerts(), AlertKind::kDentryOpsHooked));
 }
 
 TEST(ObjectMonitor, DetectsDentryOpsHook) {
@@ -187,11 +189,8 @@ TEST(ObjectMonitor, DetectsDentryOpsHook) {
   ASSERT_TRUE(sys->machine()
                   .write64(dva + DentryLayout::kOp * kWordSize, 0xE711)
                   .ok);
-  bool hook_alert = false;
-  for (const Alert& a : monitor.alerts()) {
-    hook_alert |= a.reason.find("vtable") != std::string::npos;
-  }
-  EXPECT_TRUE(hook_alert);
+  EXPECT_TRUE(has_alert(monitor.alerts(), AlertKind::kDentryOpsHooked));
+  EXPECT_FALSE(has_alert(monitor.alerts(), AlertKind::kDentryInodeHijacked));
 }
 
 TEST(ObjectMonitor, DetectsDentryInodeHijack) {
@@ -209,11 +208,169 @@ TEST(ObjectMonitor, DetectsDentryInodeHijack) {
   ASSERT_TRUE(sys->machine()
                   .write64(dva + DentryLayout::kInode * kWordSize, evil.value())
                   .ok);
-  bool hijack = false;
-  for (const Alert& a : monitor.alerts()) {
-    hijack |= a.reason.find("hijack") != std::string::npos;
-  }
-  EXPECT_TRUE(hijack);
+  EXPECT_TRUE(has_alert(monitor.alerts(), AlertKind::kDentryInodeHijacked));
+  EXPECT_FALSE(has_alert(monitor.alerts(), AlertKind::kDentryOpsHooked));
+}
+
+TEST(AlertClassification, KindNamesAreStableSlugs) {
+  EXPECT_STREQ(alert_kind_name(AlertKind::kCredIdLowered), "cred-id-lowered");
+  EXPECT_STREQ(alert_kind_name(AlertKind::kCredCapEscalated),
+               "cred-cap-escalated");
+  EXPECT_STREQ(alert_kind_name(AlertKind::kDentryOpsHooked),
+               "dentry-ops-hooked");
+  EXPECT_STREQ(alert_kind_name(AlertKind::kDentryInodeHijacked),
+               "dentry-inode-hijacked");
+  EXPECT_STREQ(alert_kind_name(AlertKind::kPtPageTampered),
+               "pt-page-tampered");
+  EXPECT_STREQ(alert_kind_name(AlertKind::kPtInvariantViolated),
+               "pt-invariant-violated");
+  EXPECT_STREQ(alert_kind_name(AlertKind::kVectorPatched), "vector-patched");
+  EXPECT_STREQ(alert_kind_name(AlertKind::kSyscallPatched), "syscall-patched");
+  EXPECT_STREQ(alert_kind_name(AlertKind::kModuleTextPatched),
+               "module-text-patched");
+  EXPECT_STREQ(alert_kind_name(AlertKind::kFnPtrHijacked), "fn-ptr-hijacked");
+}
+
+// --- nested-kernel invariant checker ---------------------------------------
+
+TEST(InvariantChecker, RegistersBootTablesAtInstall) {
+  auto sys = make_system();
+  InvariantChecker checker(*sys);
+  ASSERT_TRUE(checker.install().ok());
+  // Boot built the kernel linear map: every table page is inventoried and
+  // now monitored.
+  EXPECT_GT(checker.monitored_pages(), 0u);
+  EXPECT_EQ(checker.stats().pages_registered, checker.monitored_pages());
+}
+
+TEST(InvariantChecker, SanctionedPtWritesAreBusInvisible) {
+  auto sys = make_system();
+  InvariantChecker checker(*sys);
+  ASSERT_TRUE(checker.install().ok());
+  // Legitimate PT updates flow through the kPtWrite hypercall and land as
+  // EL2 writes — never on the bus, so the checker sees nothing.
+  kernel::Kernel& k = sys->kernel();
+  Result<VirtAddr> va = k.sys_mmap(4 * kPageSize, /*writable=*/true);
+  ASSERT_TRUE(va.ok());
+  ASSERT_TRUE(k.run_user_memory(64, 4, 0x5EED).ok());
+  ASSERT_TRUE(k.sys_munmap(va.value(), 4 * kPageSize).ok());
+  EXPECT_EQ(checker.stats().events_total, 0u);
+  EXPECT_TRUE(checker.alerts().empty());
+}
+
+TEST(InvariantChecker, TracksPtPageLifecycle) {
+  auto sys = make_system();
+  InvariantChecker checker(*sys);
+  ASSERT_TRUE(checker.install().ok());
+  const u64 before = checker.monitored_pages();
+  kernel::Kernel& k = sys->kernel();
+  // Fault in fresh user mappings: new leaf tables get allocated and must
+  // enter the monitored set the moment the verifier admits them.
+  Result<VirtAddr> va = k.sys_mmap(16 * kPageSize, /*writable=*/true);
+  ASSERT_TRUE(va.ok());
+  ASSERT_TRUE(k.run_user_memory(256, 16, 0xABCD).ok());
+  EXPECT_GE(checker.monitored_pages(), before);
+  EXPECT_EQ(
+      checker.stats().pages_registered - checker.stats().pages_unregistered,
+            checker.monitored_pages());
+}
+
+TEST(InvariantChecker, DmaWriteOnPtPageAlerts) {
+  auto sys = make_system();
+  InvariantChecker checker(*sys);
+  ASSERT_TRUE(checker.install().ok());
+  const auto& pages = sys->hypersec()->verifier().pt_pages();
+  ASSERT_FALSE(pages.empty());
+  const PhysAddr table = pages.begin()->first;
+  sim::Iommu iommu;  // bypass: the §8 hardware attack vector
+  sim::DmaDevice dev(sys->machine(), iommu, /*stream_id=*/9);
+  ASSERT_TRUE(dev.write64(table, 0xDEAD'0000'0000'0703ull));
+  EXPECT_TRUE(checker.has_alert(AlertKind::kPtPageTampered));
+  EXPECT_GE(checker.stats().audits_run, 1u);
+}
+
+// --- kernel-CFI monitor ------------------------------------------------------
+
+TEST(CfiMonitor, BaselinesAnchorTablesAtInstall) {
+  auto sys = make_system();
+  CfiMonitor cfi(*sys);
+  ASSERT_TRUE(cfi.install().ok());
+  EXPECT_EQ(cfi.baseline_words(), kernel::kSyscallTableEntries +
+                                      kernel::kVectorTableEntries);
+}
+
+TEST(CfiMonitor, DetectsSyscallTablePatch) {
+  auto sys = make_system();
+  CfiMonitor cfi(*sys);
+  ASSERT_TRUE(cfi.install().ok());
+  sim::Iommu iommu;
+  sim::DmaDevice dev(sys->machine(), iommu, /*stream_id=*/9);
+  // Idempotent rewrite of the sealed value: must stay silent.
+  ASSERT_TRUE(dev.write64(kernel::kSyscallTableBase + 3 * kWordSize,
+                          kernel::syscall_entry_cookie(3)));
+  EXPECT_TRUE(cfi.alerts().empty());
+  // The hook: slot 3 redirected at an attacker stub.
+  ASSERT_TRUE(dev.write64(kernel::kSyscallTableBase + 3 * kWordSize, 0xBAD));
+  ASSERT_TRUE(cfi.has_alert(AlertKind::kSyscallPatched));
+  EXPECT_EQ(cfi.alerts()[0].word_offset, 3u);
+  EXPECT_EQ(cfi.alerts()[0].old_value, kernel::syscall_entry_cookie(3));
+}
+
+TEST(CfiMonitor, DetectsVectorPatch) {
+  auto sys = make_system();
+  CfiMonitor cfi(*sys);
+  ASSERT_TRUE(cfi.install().ok());
+  sim::Iommu iommu;
+  sim::DmaDevice dev(sys->machine(), iommu, /*stream_id=*/9);
+  ASSERT_TRUE(dev.write64(kernel::kVectorTableBase + 1 * kWordSize,
+                          kernel::vector_entry_cookie(1) + 4));
+  EXPECT_TRUE(cfi.has_alert(AlertKind::kVectorPatched));
+  EXPECT_FALSE(cfi.has_alert(AlertKind::kSyscallPatched));
+}
+
+TEST(CfiMonitor, ModuleTextSealedAndReleased) {
+  auto sys = make_system();
+  CfiMonitor cfi(*sys);
+  ASSERT_TRUE(cfi.install().ok());
+  kernel::Kernel& k = sys->kernel();
+  kernel::ModuleImage image;
+  image.name = "rk";
+  image.text_words = {0x11, 0x22, 0x33};
+  image.data_words = {0x44};
+  Result<kernel::LoadedModule> mod = k.sys_insmod(image);
+  ASSERT_TRUE(mod.ok());
+  EXPECT_EQ(cfi.stats().modules_registered, 1u);
+
+  sim::Iommu iommu;
+  sim::DmaDevice dev(sys->machine(), iommu, /*stream_id=*/9);
+  ASSERT_TRUE(dev.write64(kernel::virt_to_phys(mod.value().text_va) + kWordSize,
+                          0x0BAD'7E87ull));
+  EXPECT_TRUE(cfi.has_alert(AlertKind::kModuleTextPatched));
+
+  // Unload unregisters the pages: later writes to the recycled frame are
+  // nobody's business.
+  const u64 alerts = cfi.alerts().size();
+  ASSERT_TRUE(k.sys_rmmod("rk").ok());
+  EXPECT_EQ(cfi.stats().modules_unregistered, 1u);
+  EXPECT_EQ(cfi.alerts().size(), alerts);
+}
+
+TEST(CfiMonitor, DentryOpsSealOnFirstWriteThenLock) {
+  auto sys = make_system();
+  CfiMonitor cfi(*sys, /*watch_dentry_ops=*/true);
+  ASSERT_TRUE(cfi.install().ok());
+  kernel::Kernel& k = sys->kernel();
+  // Creation seals the vtable pointer (first write into the zeroed slab
+  // slot): no alert.
+  ASSERT_TRUE(k.sys_creat("/sealed").ok());
+  EXPECT_TRUE(cfi.alerts().empty());
+  const VirtAddr dva = k.vfs().cached_dentry(k.vfs().root_ino(), "sealed");
+  ASSERT_NE(dva, 0u);
+  // The hook: swap it for a rootkit table.
+  ASSERT_TRUE(sys->machine()
+                  .write64(dva + DentryLayout::kOp * kWordSize, 0xE711)
+                  .ok);
+  EXPECT_TRUE(cfi.has_alert(AlertKind::kFnPtrHijacked));
 }
 
 TEST(RootkitDetector, ConvenienceQueries) {

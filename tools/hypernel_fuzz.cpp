@@ -27,7 +27,10 @@
 #include <optional>
 #include <string>
 
+#include "attacks/scenario.h"
+#include "attacks/scorecard.h"
 #include "fuzz/fuzzer.h"
+#include "fuzz/seed_io.h"
 #include "obs/export.h"
 #include "sim/trace_io.h"
 
@@ -39,6 +42,7 @@ using hn::fuzz::FuzzOptions;
 struct Options {
   FuzzOptions fuzz;
   std::optional<hn::u64> replay_seed;
+  std::string replay_file;
   std::string metrics_out;
   std::string trace_out;
   std::string failure_dir;
@@ -61,6 +65,12 @@ void usage() {
       "  --matrix=M        quick (default) or full hardware-knob sweep\n"
       "  --replay=S        run the single sequence with sequence seed S\n"
       "                    (as printed in a failure's replay line)\n"
+      "  --replay-file=F   run the op program in F (`op <name> <a> <b> <c>`\n"
+      "                    per line; the attack-corpus seed format) under\n"
+      "                    the matrix plus the three detector configs\n"
+      "  --attack-seeds    splice attack-library scenarios into generated\n"
+      "                    sequences as structured seeds and mix in the\n"
+      "                    control-flow / page-table attack kinds\n"
       "  --audit-stride=N  run Hypersec::audit() every N steps (default 1)\n"
       "  --jobs=N          worker threads for sequence evaluation (default:\n"
       "                    hardware concurrency; 1 = fully sequential).\n"
@@ -104,8 +114,13 @@ bool parse(int argc, char** argv, Options* opt) {
         std::fprintf(stderr, "unknown matrix '%s'\n", v->c_str());
         return false;
       }
+    } else if ((v = arg_value(arg, "--replay-file"))) {
+      opt->replay_file = *v;
     } else if ((v = arg_value(arg, "--replay"))) {
       opt->replay_seed = std::strtoull(v->c_str(), nullptr, 0);
+    } else if (std::strcmp(arg, "--attack-seeds") == 0) {
+      opt->fuzz.extended_attacks = true;
+      opt->fuzz.scenario_pool = hn::attacks::scenario_pool();
     } else if ((v = arg_value(arg, "--audit-stride"))) {
       opt->fuzz.audit_stride =
           static_cast<unsigned>(std::strtoul(v->c_str(), nullptr, 0));
@@ -185,6 +200,70 @@ int replay(const Options& opt) {
   return 1;
 }
 
+/// Replay an explicit op program (the attack-corpus seed format) under
+/// the standard matrix plus the three detector configurations, with both
+/// oracles armed.  This is the repro path for scorecard and corpus
+/// failures: the seed file pins the exact program, the run prints every
+/// detector's alerts.
+int replay_file(const Options& opt) {
+  hn::Result<std::vector<hn::fuzz::Op>> loaded =
+      hn::fuzz::load_ops_file(opt.replay_file);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().message().c_str());
+    return 2;
+  }
+  const std::vector<hn::fuzz::Op>& ops = loaded.value();
+  std::vector<hn::fuzz::FuzzConfigSpec> specs =
+      hn::fuzz::build_matrix(opt.fuzz.full_matrix);
+  for (hn::fuzz::FuzzConfigSpec& spec : hn::attacks::detector_configs()) {
+    specs.push_back(spec);
+  }
+  for (auto& spec : specs) spec.host_fast_path = opt.fuzz.host_fast_path;
+  hn::fuzz::ExecutorOptions exec{.inject_bypass = opt.fuzz.inject_bypass,
+                                 .audit_stride = opt.fuzz.audit_stride};
+  exec.capture_trace = !opt.trace_out.empty();
+  exec.snapshot_boot = opt.fuzz.snapshot_boot;
+
+  std::printf("replaying %s (%zu ops, %zu configurations)\n",
+              opt.replay_file.c_str(), ops.size(), specs.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    std::printf("  [%zu] %s\n", i, hn::fuzz::describe(ops[i]).c_str());
+  }
+  std::vector<hn::fuzz::RunResult> runs;
+  runs.reserve(specs.size());
+  for (const auto& spec : specs) {
+    runs.push_back(hn::fuzz::run_sequence(spec, ops, exec));
+    const hn::fuzz::RunResult& rec = runs.back();
+    std::printf("  %-24s alerts=%llu events=%llu\n", rec.config.c_str(),
+                static_cast<unsigned long long>(rec.fingerprint.alerts),
+                static_cast<unsigned long long>(
+                    rec.fingerprint.monitor_events));
+    for (const hn::fuzz::AlertRecord& a : rec.alert_log) {
+      std::printf("    alert %s by %s at cycle %llu\n",
+                  hn::secapps::alert_kind_name(a.kind), a.detector.c_str(),
+                  static_cast<unsigned long long>(a.at));
+    }
+  }
+  if (!opt.trace_out.empty() && !runs.empty()) {
+    if (hn::sim::write_trace_file(runs[0].trace_blob, opt.trace_out)) {
+      std::fprintf(stderr, "trace: %s trace written to %s\n",
+                   specs[0].name.c_str(), opt.trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "trace: failed to write %s\n",
+                   opt.trace_out.c_str());
+    }
+  }
+  hn::fuzz::OracleReport report = hn::fuzz::check_sequence(ops, specs, runs);
+  if (report.ok()) {
+    std::puts("clean: all oracles passed");
+    return 0;
+  }
+  for (const std::string& finding : report.findings) {
+    std::printf("finding: %s\n", finding.c_str());
+  }
+  return 1;
+}
+
 /// One self-contained reproducer file per failing sequence: everything a
 /// developer needs to replay a CI failure without the CI logs.
 void write_failure_artifacts(const Options& opt, const CampaignResult& result) {
@@ -218,7 +297,8 @@ void write_failure_artifacts(const Options& opt, const CampaignResult& result) {
     }
     std::fprintf(out, "\nminimal reproducer (%zu ops):\n", f.ops.size());
     for (size_t i = 0; i < f.ops.size(); ++i) {
-      std::fprintf(out, "  [%zu] %s\n", i, hn::fuzz::describe(f.ops[i]).c_str());
+      std::fprintf(out, "  [%zu] %s\n", i,
+                   hn::fuzz::describe(f.ops[i]).c_str());
     }
     if (!f.trace.empty()) {
       std::fprintf(out, "\nmachine trace (%s, step %llu):\n",
@@ -253,6 +333,7 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+  if (!opt.replay_file.empty()) return replay_file(opt);
   if (opt.replay_seed) return replay(opt);
 
   std::printf("campaign: seed=%llu sequences=%llu ops=%llu matrix=%s%s\n",

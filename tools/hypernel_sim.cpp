@@ -280,7 +280,7 @@ int cmd_attack(const Options& opt) {
               detector.alerts().size());
   for (const secapps::Alert& a : detector.alerts()) {
     std::printf("  [%s] %s (word %llu: %llx -> %llx)\n",
-                a.kind == kernel::ObjectKind::kCred ? "cred" : "dentry",
+                secapps::alert_kind_name(a.kind),
                 a.reason.c_str(), (unsigned long long)a.word_offset,
                 (unsigned long long)a.old_value,
                 (unsigned long long)a.new_value);
