@@ -13,7 +13,11 @@
 //   bulk_copy    — read/write_block_bulk over a non-cacheable buffer
 //                  (the charge-replay path; bus-visible traffic)
 //   fuzz_replay  — whole differential fuzz sequences across the quick
-//                  configuration matrix (end-to-end campaign cost)
+//                  configuration matrix (end-to-end replay cost; fast
+//                  mode adds temporally decoupled charging)
+//   campaign     — run_campaign end-to-end (the hypernel_fuzz pipeline):
+//                  fast path + decoupled + snapshot-boot vs fresh-boot
+//                  reference, corpus digests asserted equal
 //   snapshot_fork— ready-to-fuzz systems forked from a per-configuration
 //                  boot snapshot (COW restore, --snapshot-boot) instead
 //                  of re-booted fresh per exec (boot amortization)
@@ -45,16 +49,20 @@ using namespace hn::sim;
 
 struct LoopResult {
   std::string name;
-  u64 accesses = 0;      // simulated accesses (or ops) per mode run
+  /// What one unit of `work` is: "accesses" for the memory-system loops,
+  /// "execs" (sequence x configuration runs) for the end-to-end loops.
+  const char* unit = "accesses";
+  u64 work = 0;          // units of work per mode run
+  u64 sequences = 0;     // fuzz sequences per run (end-to-end loops only)
   double fast_ns = 0;    // host wall-clock, fast path on
   double ref_ns = 0;     // host wall-clock, reference mode
   Cycles sim_cycles = 0; // simulated cycles per run (identical both modes)
 
   [[nodiscard]] double fast_rate() const {
-    return static_cast<double>(accesses) / (fast_ns / 1e9);
+    return static_cast<double>(work) / (fast_ns / 1e9);
   }
   [[nodiscard]] double ref_rate() const {
-    return static_cast<double>(accesses) / (ref_ns / 1e9);
+    return static_cast<double>(work) / (ref_ns / 1e9);
   }
   [[nodiscard]] double speedup() const { return fast_ns > 0 ? ref_ns / fast_ns : 0; }
 };
@@ -211,7 +219,7 @@ template <typename Setup, typename Body>
 LoopResult run_loop(const char* name, u64 accesses, Setup&& setup, Body&& body) {
   LoopResult r;
   r.name = name;
-  r.accesses = accesses;
+  r.work = accesses;
   for (unsigned rep = 0; rep < g_repeat; ++rep) {
     const ModeRun ref = run_mode(false, setup, body);
     const ModeRun fast = run_mode(true, setup, body);
@@ -318,24 +326,37 @@ LoopResult bench_bulk_copy(u64 iters) {
                   body);
 }
 
-/// End-to-end: whole fuzz sequences across the quick matrix, both modes.
+/// End-to-end: whole fuzz sequences across the quick matrix.  Fast mode
+/// is the full v2 pipeline (host fast path + temporally decoupled
+/// charging); reference is the naive recompute path.  Every run's
+/// fingerprint — functional hash AND simulated cycles — folds into a
+/// per-mode ledger digest, and the two modes' digests are asserted
+/// equal: the speedup can never be bought with a behaviour change.
 LoopResult bench_fuzz_replay(u64 sequences) {
-  auto run = [&](bool fast_path) {
+  const u64 matrix = fuzz::build_matrix(/*full=*/false).size();
+  auto run = [&](bool fast_mode, u64* digest) {
     auto specs = fuzz::build_matrix(/*full=*/false);
-    for (auto& spec : specs) spec.host_fast_path = fast_path;
+    for (auto& spec : specs) {
+      spec.host_fast_path = fast_mode;
+      spec.decoupled_quantum =
+          fast_mode ? fuzz::kDefaultDecoupledQuantum : 0;
+    }
     const fuzz::GeneratorOptions gen;
     fuzz::ExecutorOptions exec;
-    exec.collect_metrics = fast_path && hn::bench::metrics_enabled();
+    exec.collect_metrics = fast_mode && hn::bench::metrics_enabled();
     Stopwatch sw;
     u64 findings = 0;
+    u64 d = hypernel::kFnvOffset;
     obs::Snapshot metrics;
     std::vector<fuzz::RunResult> runs;
     for (u64 s = 1; s <= sequences; ++s) {
-      findings += fuzz::run_sequence_seed(
-                      s, gen, specs, exec,
-                      exec.collect_metrics ? &runs : nullptr)
-                      .findings.size();
-      for (const fuzz::RunResult& r : runs) metrics.merge(r.metrics);
+      findings +=
+          fuzz::run_sequence_seed(s, gen, specs, exec, &runs).findings.size();
+      for (const fuzz::RunResult& r : runs) {
+        d = hypernel::fnv_fold(d, r.fingerprint.functional_hash());
+        d = hypernel::fnv_fold(d, r.fingerprint.cycles);
+        if (exec.collect_metrics) metrics.merge(r.metrics);
+      }
       runs.clear();
     }
     if (exec.collect_metrics) {
@@ -347,14 +368,81 @@ LoopResult bench_fuzz_replay(u64 sequences) {
                    (unsigned long long)findings);
       std::abort();
     }
+    *digest = d;
     return static_cast<double>(sw.elapsed_ns());
   };
   LoopResult r;
   r.name = "fuzz_replay";
-  r.accesses = sequences;  // unit: sequences, not word accesses
+  r.unit = "execs";
+  r.sequences = sequences;
+  // Execs per run: each sequence runs the whole quick matrix once plus
+  // the reference-configuration determinism rerun.
+  r.work = sequences * (matrix + 1);
   for (unsigned rep = 0; rep < g_repeat; ++rep) {
-    const double ref = run(false);
-    const double fast = run(true);
+    u64 ref_digest = 0;
+    u64 fast_digest = 0;
+    const double ref = run(false, &ref_digest);
+    const double fast = run(true, &fast_digest);
+    if (ref_digest != fast_digest) {
+      std::fprintf(stderr,
+                   "FATAL: fuzz_replay ledger diverged between fast and "
+                   "reference mode: digest %llx vs %llx\n",
+                   (unsigned long long)fast_digest,
+                   (unsigned long long)ref_digest);
+      std::abort();
+    }
+    if (rep == 0 || ref < r.ref_ns) r.ref_ns = ref;
+    if (rep == 0 || fast < r.fast_ns) r.fast_ns = fast;
+  }
+  return r;
+}
+
+/// Whole-campaign throughput: run_campaign end-to-end — generation,
+/// matrix execution, oracles, per-sequence determinism rerun, digest
+/// fold — the way `hypernel_fuzz` actually runs it.  Fast mode is the
+/// shipping fast configuration (fast path + decoupled charging +
+/// snapshot-boot forking); reference boots every system fresh in
+/// reference mode.  The corpus digest must be identical across the two —
+/// the determinism contract `--seed=N` promises.
+LoopResult bench_campaign(u64 sequences) {
+  const u64 matrix = fuzz::build_matrix(/*full=*/false).size();
+  auto run = [&](bool fast_mode, u64* digest) {
+    fuzz::FuzzOptions opt;
+    opt.seed = 1;
+    opt.sequences = sequences;
+    opt.jobs = 1;  // single worker: measure the pipeline, not the pool
+    opt.host_fast_path = fast_mode;
+    opt.decoupled_quantum = fast_mode ? fuzz::kDefaultDecoupledQuantum : 0;
+    opt.snapshot_boot = fast_mode;
+    Stopwatch sw;
+    const fuzz::CampaignResult result = fuzz::run_campaign(opt);
+    const double wall = static_cast<double>(sw.elapsed_ns());
+    if (!result.ok()) {
+      std::fprintf(stderr, "FATAL: campaign bench found %llu failures\n",
+                   (unsigned long long)result.failures);
+      std::abort();
+    }
+    *digest = result.corpus_digest;
+    return wall;
+  };
+  LoopResult r;
+  r.name = "campaign";
+  r.unit = "execs";
+  r.sequences = sequences;
+  r.work = sequences * (matrix + 1);  // +1: per-sequence determinism rerun
+  for (unsigned rep = 0; rep < g_repeat; ++rep) {
+    u64 ref_digest = 0;
+    u64 fast_digest = 0;
+    const double ref = run(false, &ref_digest);
+    const double fast = run(true, &fast_digest);
+    if (ref_digest != fast_digest) {
+      std::fprintf(stderr,
+                   "FATAL: campaign corpus digest diverged between fast "
+                   "and reference mode: %llx vs %llx\n",
+                   (unsigned long long)fast_digest,
+                   (unsigned long long)ref_digest);
+      std::abort();
+    }
     if (rep == 0 || ref < r.ref_ns) r.ref_ns = ref;
     if (rep == 0 || fast < r.fast_ns) r.fast_ns = fast;
   }
@@ -394,7 +482,8 @@ LoopResult bench_snapshot_fork(u64 execs_per_config) {
   };
   LoopResult r;
   r.name = "snapshot_fork";
-  r.accesses = execs_per_config * specs.size();  // unit: execs
+  r.unit = "execs";
+  r.work = execs_per_config * specs.size();
   for (unsigned rep = 0; rep < g_repeat; ++rep) {
     u64 ref_digest = 0;
     u64 fast_digest = 0;
@@ -425,14 +514,20 @@ void write_json(const std::string& path, bool quick,
   std::fprintf(f, "  \"quick\": %s,\n  \"loops\": [\n", quick ? "true" : "false");
   for (size_t i = 0; i < loops.size(); ++i) {
     const LoopResult& l = loops[i];
+    std::fprintf(f, "    {\"name\": \"%s\", \"unit\": \"%s\", \"work\": %llu, ",
+                 l.name.c_str(), l.unit, (unsigned long long)l.work);
+    if (l.sequences != 0) {
+      // End-to-end loops: the sequence count is the replay workload, the
+      // per-second rate below is execs/sec (sequence x config runs).
+      std::fprintf(f, "\"sequences\": %llu, ",
+                   (unsigned long long)l.sequences);
+    }
     std::fprintf(f,
-                 "    {\"name\": \"%s\", \"accesses\": %llu, "
                  "\"sim_cycles\": %llu, "
                  "\"ref_wall_ns\": %.0f, \"fast_wall_ns\": %.0f, "
-                 "\"ref_accesses_per_s\": %.0f, "
-                 "\"fast_accesses_per_s\": %.0f, "
+                 "\"ref_per_s\": %.0f, "
+                 "\"fast_per_s\": %.0f, "
                  "\"speedup\": %.3f}%s\n",
-                 l.name.c_str(), (unsigned long long)l.accesses,
                  (unsigned long long)l.sim_cycles, l.ref_ns, l.fast_ns,
                  l.ref_rate(), l.fast_rate(), l.speedup(),
                  i + 1 < loops.size() ? "," : "");
@@ -472,16 +567,17 @@ int main(int argc, char** argv) {
   loops.push_back(bench_s2_nested(quick ? 20'000 : 200'000));
   loops.push_back(bench_bulk_copy(quick ? 50 : 500));
   loops.push_back(bench_fuzz_replay(quick ? 2 : 8));
+  loops.push_back(bench_campaign(quick ? 2 : 6));
   loops.push_back(bench_snapshot_fork(quick ? 20 : 100));
 
   std::printf("Host-side simulation throughput (%s)\n",
               quick ? "quick" : "full");
-  std::printf("%-12s %14s %16s %16s %9s\n", "loop", "sim accesses",
-              "ref accesses/s", "fast accesses/s", "speedup");
+  std::printf("%-13s %12s %9s %14s %14s %9s\n", "loop", "work", "unit",
+              "ref work/s", "fast work/s", "speedup");
   for (const LoopResult& l : loops) {
-    std::printf("%-12s %14llu %16.0f %16.0f %8.2fx\n", l.name.c_str(),
-                (unsigned long long)l.accesses, l.ref_rate(), l.fast_rate(),
-                l.speedup());
+    std::printf("%-13s %12llu %9s %14.0f %14.0f %8.2fx\n", l.name.c_str(),
+                (unsigned long long)l.work, l.unit, l.ref_rate(),
+                l.fast_rate(), l.speedup());
   }
   write_json(out, quick, loops);
   std::printf("\nwrote %s\n", out.c_str());

@@ -121,12 +121,16 @@ std::vector<FuzzConfigSpec> detector_configs() {
 
 Scorecard run_scorecard(const ScorecardOptions& options) {
   const std::vector<AttackScenario>& lib = scenario_library();
-  const std::vector<FuzzConfigSpec> specs = detector_configs();
+  std::vector<FuzzConfigSpec> specs = detector_configs();
+  for (FuzzConfigSpec& spec : specs) {
+    spec.decoupled_quantum = options.decoupled_quantum;
+  }
   const std::vector<fuzz::Op> benign_ops = benign_workload();
 
   fuzz::ExecutorOptions exec_opt;
   exec_opt.capture_trace = options.trace_attribution;
   exec_opt.snapshot_boot = options.snapshot_boot;
+  exec_opt.profile = options.profile;
 
   // One flat index space: scenario-major attack cells, then the benign
   // probes.  run_sharded merges in index order, so everything downstream
@@ -149,6 +153,9 @@ Scorecard run_scorecard(const ScorecardOptions& options) {
       shard);
 
   Scorecard score;
+  if (options.profile) {
+    for (const RunResult& run : runs) score.profile.merge(run.profile);
+  }
   for (u64 i = 0; i < attack_cells; ++i) {
     score.cells.push_back(grade_cell(lib[i / specs.size()],
                                      specs[i % specs.size()], runs[i],

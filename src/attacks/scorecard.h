@@ -31,6 +31,14 @@ struct ScorecardOptions {
   /// Capture the causal flight recorder per cell and require every
   /// detection to be attributable to a bus write through the cause chain.
   bool trace_attribution = true;
+  /// Non-zero = temporally decoupled execution for every cell
+  /// (sim::MachineConfig::decoupled_quantum).  Host wiring only: the
+  /// scorecard JSON must be byte-identical at any quantum — the
+  /// scorecard tests pin this.
+  Cycles decoupled_quantum = 0;
+  /// Enable the host self-time profiler per cell and merge the reports
+  /// into Scorecard::profile.  Reporting only, never part of the digest.
+  bool profile = false;
 };
 
 /// One (scenario x detector-config) cell, graded.
@@ -84,6 +92,9 @@ struct Scorecard {
   /// artifact upload / offline rendering.  Empty with trace_attribution
   /// off.  Not part of the digest contract.
   std::vector<u8> sample_trace;
+  /// Merged per-cell self-time reports (ScorecardOptions::profile).
+  /// Host wall clock — never part of the digest contract.
+  obs::ProfileReport profile;
 
   [[nodiscard]] bool ok(bool require_attribution) const {
     return all_intended_hit && zero_false_positives &&

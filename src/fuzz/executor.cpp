@@ -109,6 +109,7 @@ u64 session_digest(const FuzzConfigSpec& spec) {
   h = fold(h, spec.l1_miss_fill);
   h = fold(h, spec.use_sections ? 1 : 0);
   h = fold(h, spec.host_fast_path ? 1 : 0);
+  h = fold(h, spec.decoupled_quantum);
   return h;
 }
 
@@ -212,7 +213,11 @@ class Exec {
         trace_mark = m().trace().sequence();
       }
       StepRecord rec;
-      rec.result = execute(ops[i]);
+      {
+        obs::SelfProfiler::Scope prof(m().profiler(),
+                                      obs::ProfileBucket::kStep);
+        rec.result = execute(ops[i]);
+      }
       if (traced) {
         for (const sim::TraceEvent& e : m().trace().since(trace_mark)) {
           char line[160];
@@ -249,7 +254,11 @@ class Exec {
       }
     }
 
-    out.fingerprint = hypernel::take_fingerprint(*sys_);
+    {
+      obs::SelfProfiler::Scope prof(m().profiler(),
+                                    obs::ProfileBucket::kDigest);
+      out.fingerprint = hypernel::take_fingerprint(*sys_);
+    }
     out.fingerprint.op_digest = digest;
     if (monitor_ || invariant_ || cfi_) {
       out.fingerprint.alerts = total_alerts();
@@ -269,6 +278,12 @@ class Exec {
     if (cfi_) flatten(cfi_->name(), cfi_->alerts());
     if (opt_.collect_metrics) out.metrics = sys_->metrics_snapshot();
     if (opt_.capture_trace) out.trace_blob = sim::capture_trace(m());
+    if (opt_.profile) {
+      out.profile = m().profiler().report();
+      constexpr auto kBoot = static_cast<unsigned>(obs::ProfileBucket::kBoot);
+      out.profile.self_ns[kBoot] += boot_ns_;
+      if (boot_ns_ != 0) out.profile.scopes[kBoot] += 1;
+    }
     return out;
   }
 
@@ -286,6 +301,14 @@ class Exec {
         out.build_error = session.build_error;
         return false;
       }
+      if (opt_.profile) {
+        // The session machine persists across runs on this worker; arm and
+        // zero its profiler so each RunResult carries only its own time.
+        session.sys->machine().profiler().set_enabled(true);
+        session.sys->machine().profiler().reset();
+      }
+      obs::SelfProfiler::Scope prof(session.sys->machine().profiler(),
+                                    obs::ProfileBucket::kSnapshot);
       // Every case restores — including the first, right after the boot
       // that produced the snapshot — so all cases share one start state.
       if (Status s = session.sys->restore_state(session.boot); !s.ok()) {
@@ -322,6 +345,7 @@ class Exec {
 
     hypernel::SystemConfig cfg = spec_.system_config();
     cfg.metrics = opt_.collect_metrics || opt_.capture_trace;
+    const u64 boot_start = obs::profile_now_ns();
     auto built = hypernel::System::create(cfg);
     if (!built.ok()) {
       out.build_failed = true;
@@ -330,6 +354,21 @@ class Exec {
     }
     owned_sys_ = std::move(built).value();
     sys_ = owned_sys_.get();
+    // Instrumented runs bind the span tracer to the raw cycle counter
+    // (CycleAccount::cycles_ref()), which bypasses the decoupled fold —
+    // run them on the exact path.  Observable results are identical
+    // either way, so this only narrows where the optimization applies.
+    if (opt_.trace_step != ~0ull || opt_.collect_metrics ||
+        opt_.capture_trace) {
+      m().set_decoupled_quantum(0);
+    }
+    if (opt_.profile) {
+      // System::create predates the machine's profiler; charge the whole
+      // build + boot stretch to kBoot by hand.
+      m().profiler().set_enabled(true);
+      m().profiler().reset();
+      boot_ns_ = obs::profile_now_ns() - boot_start;
+    }
     // Whole-run flight recorder, on before the monitor installs so region
     // registration is part of the causal record.
     if (opt_.capture_trace) m().trace().set_enabled(true);
@@ -401,6 +440,7 @@ class Exec {
   }
 
   void audit() {
+    obs::SelfProfiler::Scope prof(m().profiler(), obs::ProfileBucket::kAudit);
     for (const hypersec::AuditFinding& f : sys_->hypersec()->audit_report()) {
       std::string msg = std::string("audit [") + audit_code_name(f.code) +
                         "] " + f.detail;
@@ -1134,6 +1174,7 @@ class Exec {
   secapps::CfiMonitor* cfi_ = nullptr;
   sim::Iommu iommu_;  // bypass mode: DMA passes in every configuration
   VirtAddr scratch_va_ = 0;
+  u64 boot_ns_ = 0;  // System::create wall time (profile's kBoot share)
   size_t step_ = 0;
   OpKind cur_kind_ = OpKind::kCreat;
   std::vector<std::string> violations_;
@@ -1170,6 +1211,7 @@ hypernel::SystemConfig FuzzConfigSpec::system_config() const {
   if (cache_size_bytes != 0) cfg.machine.cache.size_bytes = cache_size_bytes;
   if (l1_miss_fill != 0) cfg.machine.timing.l1_miss_fill = l1_miss_fill;
   cfg.machine.host_fast_path = host_fast_path;
+  cfg.machine.decoupled_quantum = decoupled_quantum;
   cfg.kernel.use_sections = use_sections;
   // enable_mbm stays true in every mode: with the MBM attached, Native
   // derives linear_limit = secure_base exactly like Hypernel (KVM always

@@ -23,9 +23,15 @@
 #include "hypernel/fingerprint.h"
 #include "hypernel/system.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "secapps/object_monitor.h"
 
 namespace hn::fuzz {
+
+/// Default quantum for `--decoupled` without an explicit value: large
+/// enough to amortize the fold, small enough that the pending charge
+/// never grows past a few syscalls' worth of cycles.
+inline constexpr Cycles kDefaultDecoupledQuantum = 4096;
 
 /// One cell of the configuration matrix.  Spec -> SystemConfig is pure, so
 /// a spec names a reproducible system.
@@ -52,6 +58,12 @@ struct FuzzConfigSpec {
   /// charge-replay).  Results are bit-identical either way; the fast-path
   /// differential test runs the corpus with this forced off.
   bool host_fast_path = true;
+  /// Non-zero = temporally decoupled mode (sim::MachineConfig::
+  /// decoupled_quantum): cycle charges accumulate locally and fold at
+  /// every observation point, so all observable timing — bus timestamps,
+  /// detection latencies, fingerprint cycles — stays bit-identical to the
+  /// exact path.  Host wiring only; never part of simulated state.
+  Cycles decoupled_quantum = 0;
 
   [[nodiscard]] hypernel::SystemConfig system_config() const;
   [[nodiscard]] bool monitored() const {
@@ -113,6 +125,9 @@ struct RunResult {
   /// Serialized flight-recorder trace of the whole run
   /// (ExecutorOptions::capture_trace; format in sim/trace_io.h).
   std::vector<u8> trace_blob;
+  /// Host self-time attribution of the run (ExecutorOptions::profile).
+  /// Host wall clock — nondeterministic, never folded into digests.
+  obs::ProfileReport profile;
 };
 
 struct ExecutorOptions {
@@ -141,6 +156,9 @@ struct ExecutorOptions {
   /// runs that need per-run host-side instrumentation (trace_step,
   /// collect_metrics, capture_trace).
   bool snapshot_boot = false;
+  /// Enable the self-time profiler for the run and return its report in
+  /// RunResult::profile.  Host-only: results are unchanged.
+  bool profile = false;
 };
 
 /// Run `ops` under `spec`.  Deterministic: same (spec, ops, options) give

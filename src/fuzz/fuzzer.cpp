@@ -122,6 +122,8 @@ struct SequenceOutcome {
   /// Per-sequence metrics fold (matrix order), merged campaign-wide on
   /// the merging thread.
   obs::Snapshot metrics;
+  /// Per-sequence self-time fold (matrix order), host wall clock.
+  obs::ProfileReport profile;
 };
 
 SequenceOutcome evaluate_sequence(u64 index, const FuzzOptions& options,
@@ -138,6 +140,7 @@ SequenceOutcome evaluate_sequence(u64 index, const FuzzOptions& options,
     out.run_digests.emplace_back(run.fingerprint.functional_hash(),
                                  run.fingerprint.cycles);
     if (exec.collect_metrics) out.metrics.merge(run.metrics);
+    if (exec.profile) out.profile.merge(run.profile);
   }
   out.evaluated = true;
   return out;
@@ -149,6 +152,7 @@ CampaignResult run_campaign(const FuzzOptions& options, std::ostream* log) {
   std::vector<FuzzConfigSpec> specs = build_matrix(options.full_matrix);
   for (FuzzConfigSpec& spec : specs) {
     spec.host_fast_path = options.host_fast_path;
+    spec.decoupled_quantum = options.decoupled_quantum;
   }
   GeneratorOptions gen{.ops = options.ops,
                        .attacks = options.attacks,
@@ -158,7 +162,8 @@ CampaignResult run_campaign(const FuzzOptions& options, std::ostream* log) {
   ExecutorOptions exec{.inject_bypass = options.inject_bypass,
                        .audit_stride = options.audit_stride,
                        .collect_metrics = options.collect_metrics,
-                       .snapshot_boot = options.snapshot_boot};
+                       .snapshot_boot = options.snapshot_boot,
+                       .profile = options.profile};
 
   // Fan the sequences out: each index is an independent universe (its
   // seed comes from the index alone), so any worker count produces the
@@ -208,6 +213,7 @@ CampaignResult run_campaign(const FuzzOptions& options, std::ostream* log) {
     if (options.collect_metrics) {
       result.metrics.merge(outcomes[index].metrics);
     }
+    if (options.profile) result.profile.merge(outcomes[index].profile);
     if (report.ok()) {
       if (log != nullptr && (index + 1) % 10 == 0) {
         *log << "  " << (index + 1) << "/" << options.sequences

@@ -62,6 +62,14 @@ struct FuzzOptions {
   /// (sim::MachineConfig::host_fast_path).  Never changes results — the
   /// campaign digest must be identical either way.
   bool host_fast_path = true;
+  /// Non-zero = temporally decoupled execution for every configuration
+  /// (sim::MachineConfig::decoupled_quantum).  Host wiring only: the
+  /// campaign digest must be identical at any quantum.
+  Cycles decoupled_quantum = 0;
+  /// Enable the host self-time profiler on every run and merge the
+  /// reports (index order) into CampaignResult::profile.  Host wall
+  /// clock — never part of digests or verdicts.
+  bool profile = false;
   /// Collect per-run observability metrics and fold them (index order)
   /// into CampaignResult::metrics.  Purely additive: never changes
   /// digests, verdicts or simulated cycles.
@@ -126,6 +134,9 @@ struct CampaignResult {
   /// the first failure's reproducer trace, or a rerun of sequence 0 under
   /// the reference configuration when the campaign is clean.
   std::vector<u8> trace_blob;
+  /// Campaign-wide self-time fold (FuzzOptions::profile): every run's
+  /// profiler report merged.  Host wall clock, reporting only.
+  obs::ProfileReport profile;
 
   [[nodiscard]] bool ok() const { return failures == 0; }
 };

@@ -163,14 +163,28 @@ std::vector<AuditFinding> Hypersec::audit_report() const {
          "TTBR1_EL1 does not name the sealed kernel root");
   }
 
-  // Walk a stage-1 tree, applying the leaf checks.
-  auto walk_tree = [&](auto&& self, PhysAddr table, unsigned level,
-                       const char* which) -> void {
+  // Walk a stage-1 tree, applying the leaf checks.  Every table's scan is
+  // first flattened into an ordered item list (child descents and findings
+  // interleaved in entry order), then replayed — identical findings in
+  // identical order to a direct recursive walk.  On the host fast path the
+  // item lists of *watched* (inventory-registered) tables are memoized,
+  // keyed on the page's mutation epoch; see hypersec.h for the
+  // invalidation rules.  All table reads are uncharged phys() peeks, so
+  // memoization changes no simulated state whatsoever.
+  const bool memoize = machine_.host_fast_path();
+  if (memoize && audit_cache_gen_ != verifier_.generation()) {
+    audit_cache_.clear();
+    audit_cache_gen_ = verifier_.generation();
+  }
+
+  auto scan_table = [&](PhysAddr table, unsigned level,
+                        std::vector<AuditScanItem>& items) {
     for (u64 idx = 0; idx < kPtEntries; ++idx) {
       const u64 desc = machine_.phys().read64(table + idx * 8);
       if (!sim::desc_valid(desc)) continue;
       if (sim::desc_is_table(desc, level)) {
-        self(self, sim::desc_out_addr(desc), level + 1, which);
+        items.push_back(AuditScanItem{.is_child = true,
+                                      .child = sim::desc_out_addr(desc)});
         continue;
       }
       const bool leaf =
@@ -183,23 +197,57 @@ std::vector<AuditFinding> Hypersec::audit_report() const {
       // 2. nothing maps the secure space.
       if (ranges_overlap(out, span, machine_.secure_base(),
                          machine_.secure_size())) {
-        note(AuditCode::kSecureMapped,
-             std::string(which) + ": mapping reaches the secure space");
+        items.push_back(
+            AuditScanItem{.code = AuditCode::kSecureMapped,
+                          .detail = ": mapping reaches the secure space"});
       }
       // 3. W^X.
       if (attrs.write && attrs.exec) {
-        note(AuditCode::kWxViolation,
-             std::string(which) + ": writable+executable mapping");
+        items.push_back(
+            AuditScanItem{.code = AuditCode::kWxViolation,
+                          .detail = ": writable+executable mapping"});
       }
       // 1. PT pages are read-only through any alias.
       if (attrs.write) {
         for (PhysAddr p = out; p < out + span; p += kPageSize) {
           if (verifier_.is_pt_page(p)) {
-            note(AuditCode::kPtWritableAlias,
-                 std::string(which) + ": writable alias of a PT page");
+            items.push_back(
+                AuditScanItem{.code = AuditCode::kPtWritableAlias,
+                              .detail = ": writable alias of a PT page"});
             break;
           }
         }
+      }
+    }
+  };
+
+  auto walk_tree = [&](auto&& self, PhysAddr table, unsigned level,
+                       const char* which) -> void {
+    const std::vector<AuditScanItem>* items = nullptr;
+    std::vector<AuditScanItem> local;
+    const u64 pindex = table >> kPageShift;
+    if (memoize && pindex < machine_.phys().page_count() &&
+        machine_.phys().page_watched(pindex)) {
+      const u64 epoch = machine_.phys().page_epoch(pindex);
+      auto it = audit_cache_.find(table);
+      if (it == audit_cache_.end() || it->second.epoch != epoch ||
+          it->second.level != level) {
+        AuditTableEntry entry;
+        entry.epoch = epoch;
+        entry.level = level;
+        scan_table(table, level, entry.items);
+        it = audit_cache_.insert_or_assign(table, std::move(entry)).first;
+      }
+      items = &it->second.items;  // std::map: stable across child inserts
+    } else {
+      scan_table(table, level, local);
+      items = &local;
+    }
+    for (const AuditScanItem& item : *items) {
+      if (item.is_child) {
+        self(self, item.child, level + 1, which);
+      } else {
+        note(item.code, std::string(which) + item.detail);
       }
     }
   };

@@ -189,6 +189,31 @@ class Hypersec {
   /// by editing the kernel's leaf descriptor directly at EL2.
   bool set_linear_writable(PhysAddr pa, bool writable);
 
+  // --- Audit memoization (host fast path only; DESIGN.md §14) ---------------
+  //
+  // audit_report() walks every registered translation tree with uncharged
+  // host-side phys() peeks, so its cost is pure host overhead — the
+  // dominant bucket in fuzz replay at audit_stride=1.  The fast path
+  // caches each table page's scan as an ordered item list (child descents
+  // and findings interleaved in entry order, so the DFS finding order is
+  // reproduced bit-exactly).  Entries are keyed on the page's mutation
+  // epoch (PhysicalMemory page watches, maintained by the PtVerifier
+  // inventory) and the whole cache drops when the inventory generation
+  // moves.  Tables that are *not* watched — e.g. reached through a
+  // corrupted descriptor pointing at an unregistered page — are always
+  // rescanned, so attack-crafted trees can never be served stale.
+  struct AuditScanItem {
+    bool is_child = false;         // true: descend into `child`
+    AuditCode code{};              // finding code when !is_child
+    PhysAddr child = 0;
+    const char* detail = nullptr;  // finding suffix (without tree prefix)
+  };
+  struct AuditTableEntry {
+    u64 epoch = 0;
+    unsigned level = 0;
+    std::vector<AuditScanItem> items;
+  };
+
   u64 do_pt_write(std::span<const u64> args);
   u64 do_pt_alloc(std::span<const u64> args);
   u64 do_pt_free(std::span<const u64> args);
@@ -207,6 +232,9 @@ class Hypersec {
   PtObserver* pt_observer_ = nullptr;
   HypersecStats stats_;
   bool initialized_ = false;
+  // Audit memoization state; mutable because audit_report() is const.
+  mutable std::map<PhysAddr, AuditTableEntry> audit_cache_;
+  mutable u64 audit_cache_gen_ = 0;
   // Observability: counters plus interned span names for the two EL2
   // entry points (hvc dispatch and sysreg traps).
   obs::Counter obs_hvc_calls_;

@@ -47,10 +47,23 @@ class PtVerifier {
         rodata_base_(rodata_base), rodata_size_(rodata_size) {}
 
   // --- Inventory -------------------------------------------------------------
+  //
+  // Registered table pages are also watched in physical memory so the
+  // audit's per-table scan cache (hypersec.cpp) can key entries on the
+  // page's mutation epoch.  `generation_` covers the inventory itself:
+  // any add/remove invalidates cached scan structure.
   void add_pt_page(PhysAddr pa, unsigned level) {
-    pt_pages_[page_align_down(pa)] = level;
+    const PhysAddr page = page_align_down(pa);
+    pt_pages_[page] = level;
+    machine_.phys().watch_page(page >> kPageShift);
+    ++generation_;
   }
-  void remove_pt_page(PhysAddr pa) { pt_pages_.erase(page_align_down(pa)); }
+  void remove_pt_page(PhysAddr pa) {
+    const PhysAddr page = page_align_down(pa);
+    pt_pages_.erase(page);
+    machine_.phys().unwatch_page(page >> kPageShift);
+    ++generation_;
+  }
   [[nodiscard]] bool is_pt_page(PhysAddr pa) const {
     return pt_pages_.contains(page_align_down(pa));
   }
@@ -97,6 +110,9 @@ class PtVerifier {
   [[nodiscard]] const std::map<PhysAddr, unsigned>& pt_pages() const {
     return pt_pages_;
   }
+  /// Monotone inventory generation: bumped on every add/remove_pt_page and
+  /// on snapshot restore.  Cache key component for audit memoization.
+  [[nodiscard]] u64 generation() const { return generation_; }
 
   // --- Snapshot support (sim/snapshot.h) ------------------------------------
 
@@ -128,12 +144,19 @@ class PtVerifier {
     r.section("pt verifier");
     kernel_root_ = r.get_u64();
     const u64 npt = r.get_count("table page");
+    for (const auto& [pa, level] : pt_pages_) {
+      machine_.phys().unwatch_page(pa >> kPageShift);
+    }
     pt_pages_.clear();
     // All saved in ascending key order, so hinted inserts are O(1).
     for (u64 i = 0; r.ok() && i < npt; ++i) {
       const PhysAddr pa = r.get_u64();
       pt_pages_.emplace_hint(pt_pages_.end(), pa, r.get_u32());
+      // watch_page always assigns a fresh epoch, so audit-cache entries
+      // recorded before this restore can never match afterwards.
+      machine_.phys().watch_page(pa >> kPageShift);
     }
+    ++generation_;
     const u64 ntree = r.get_count("kernel-tree page");
     kernel_tree_.clear();
     for (u64 i = 0; r.ok() && i < ntree; ++i) {
@@ -172,6 +195,7 @@ class PtVerifier {
   std::set<PhysAddr> module_text_;         // sealed RX module pages
   std::set<PhysAddr> user_roots_;
   VerifierStats stats_;
+  u64 generation_ = 1;
 };
 
 }  // namespace hn::hypersec

@@ -13,16 +13,42 @@
 
 namespace hn::kernel {
 
+namespace {
+
+/// Host-side bounce buffer for the IPC copy syscalls.  Almost every fuzz
+/// transfer fits the stack block, so the hot path skips the heap
+/// allocation a plain std::vector<u8> would pay per call.
+class IpcBuf {
+ public:
+  [[nodiscard]] u8* get(u64 len) {
+    if (len <= sizeof(stack_)) return stack_;
+    heap_.resize(len);
+    return heap_.data();
+  }
+
+ private:
+  u8 stack_[512];
+  std::vector<u8> heap_;
+};
+
+}  // namespace
+
 /// Charges SVC entry on construction and SVC exit on destruction —
 /// the kernel boundary crossing every syscall pays.
 class Kernel::SvcScope {
  public:
-  explicit SvcScope(Kernel& kernel) : machine_(kernel.machine_) {
+  explicit SvcScope(Kernel& kernel)
+      : machine_(kernel.machine_),
+        prof_(machine_.profiler(), obs::ProfileBucket::kSyscall) {
     machine_.advance(machine_.timing().svc_entry);
     ++machine_.counters().svc_calls;
     kernel.obs_syscalls_.add();
-    machine_.trace().record(machine_.account().cycles(),
-                            sim::TraceKind::kSvc);
+    // cycles() folds any pending decoupled charge; only pay for it when
+    // the trace ring actually records.
+    if (machine_.trace().enabled()) {
+      machine_.trace().record(machine_.account().cycles(),
+                              sim::TraceKind::kSvc);
+    }
   }
   ~SvcScope() { machine_.advance(machine_.timing().svc_exit); }
   SvcScope(const SvcScope&) = delete;
@@ -30,6 +56,7 @@ class Kernel::SvcScope {
 
  private:
   sim::Machine& machine_;
+  obs::SelfProfiler::Scope prof_;
 };
 
 Kernel::Kernel(sim::Machine& machine, const KernelConfig& config)
@@ -229,20 +256,22 @@ Result<u32> Kernel::sys_pipe() {
 Status Kernel::sys_pipe_write(u32 id, VirtAddr user_buf, u64 len) {
   SvcScope svc(*this);
   touch_kernel_ws(config_.costs.ws_pipe);
-  std::vector<u8> buf(len);
+  IpcBuf buf;
+  u8* data = buf.get(len);
   if (Status s = procs_->touch_page(user_buf, false); !s.ok()) return s;
-  machine_.read_block_bulk(user_buf, buf.data(), len, /*user=*/true);
-  return ipc_->pipe_write(id, buf.data(), len);
+  machine_.read_block_bulk(user_buf, data, len, /*user=*/true);
+  return ipc_->pipe_write(id, data, len);
 }
 
 Result<u64> Kernel::sys_pipe_read(u32 id, VirtAddr user_buf, u64 len) {
   SvcScope svc(*this);
   touch_kernel_ws(config_.costs.ws_pipe);
-  std::vector<u8> buf(len);
-  Result<u64> got = ipc_->pipe_read(id, buf.data(), len);
+  IpcBuf buf;
+  u8* data = buf.get(len);
+  Result<u64> got = ipc_->pipe_read(id, data, len);
   if (!got.ok()) return got;
   if (Status s = procs_->touch_page(user_buf, true); !s.ok()) return s;
-  machine_.write_block_bulk(user_buf, buf.data(), got.value(), /*user=*/true);
+  machine_.write_block_bulk(user_buf, data, got.value(), /*user=*/true);
   return got;
 }
 
@@ -255,21 +284,23 @@ Status Kernel::sys_socket_send(u32 id, unsigned end, VirtAddr user_buf,
                                u64 len) {
   SvcScope svc(*this);
   touch_kernel_ws(config_.costs.ws_socket);
-  std::vector<u8> buf(len);
+  IpcBuf buf;
+  u8* data = buf.get(len);
   if (Status s = procs_->touch_page(user_buf, false); !s.ok()) return s;
-  machine_.read_block_bulk(user_buf, buf.data(), len, /*user=*/true);
-  return ipc_->socket_send(id, end, buf.data(), len);
+  machine_.read_block_bulk(user_buf, data, len, /*user=*/true);
+  return ipc_->socket_send(id, end, data, len);
 }
 
 Result<u64> Kernel::sys_socket_recv(u32 id, unsigned end, VirtAddr user_buf,
                                     u64 len) {
   SvcScope svc(*this);
   touch_kernel_ws(config_.costs.ws_socket);
-  std::vector<u8> buf(len);
-  Result<u64> got = ipc_->socket_recv(id, end, buf.data(), len);
+  IpcBuf buf;
+  u8* data = buf.get(len);
+  Result<u64> got = ipc_->socket_recv(id, end, data, len);
   if (!got.ok()) return got;
   if (Status s = procs_->touch_page(user_buf, true); !s.ok()) return s;
-  machine_.write_block_bulk(user_buf, buf.data(), got.value(), /*user=*/true);
+  machine_.write_block_bulk(user_buf, data, got.value(), /*user=*/true);
   return got;
 }
 

@@ -218,7 +218,7 @@ Status Vfs::unlink(std::string_view path) {
   drop_dentry(parent, name, /*zap_inode_word=*/true);
   if (--node.nlink == 0) {
     for (auto& [idx, frame] : node.pages) buddy_.free_page(frame);
-    machine_.advance(costs_.page_free * node.pages.size());
+    machine_.account().charge_batch(costs_.page_free, node.pages.size());
     inodes_.erase(node.ino);
   }
   children_.erase(child);
@@ -369,7 +369,7 @@ Status Vfs::append_pattern(u64 ino, u64 len, u64 seed) {
 void Vfs::evict_inode_pages(u64 ino) {
   auto it = inodes_.find(ino);
   if (it == inodes_.end()) return;
-  machine_.advance(costs_.page_free * it->second.pages.size());
+  machine_.account().charge_batch(costs_.page_free, it->second.pages.size());
   for (auto& [idx, frame] : it->second.pages) buddy_.free_page(frame);
   it->second.pages.clear();
 }

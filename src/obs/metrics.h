@@ -124,6 +124,15 @@ class Counter {
     (void)n;
 #endif
   }
+  /// True when an add() would actually record — lets hot paths skip
+  /// computing expensive arguments while observability is off.
+  [[nodiscard]] bool active() const {
+#if HN_OBS
+    return slot_ != nullptr && *on_;
+#else
+    return false;
+#endif
+  }
 
  private:
   friend class Registry;
@@ -168,6 +177,14 @@ class Histogram {
   }
   /// Cycle-weighted convenience: a sample whose weight is its own value.
   void record_cycles(Cycles c) { record(c, c); }
+  /// True when a record() would actually land (see Counter::active()).
+  [[nodiscard]] bool active() const {
+#if HN_OBS
+    return slot_ != nullptr && *on_;
+#else
+    return false;
+#endif
+  }
 
  private:
   friend class Registry;

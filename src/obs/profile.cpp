@@ -1,0 +1,103 @@
+#include "obs/profile.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace hn::obs {
+
+u64 profile_now_ns() {
+  return static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+u64 SelfProfiler::now_ns() { return profile_now_ns(); }
+
+void SelfProfiler::settle(u64 now) {
+  const ProfileBucket top =
+      depth_ == 0 ? ProfileBucket::kOther : stack_[depth_ - 1];
+  report_.self_ns[static_cast<unsigned>(top)] += now - mark_ns_;
+  mark_ns_ = now;
+}
+
+void SelfProfiler::set_enabled(bool on) {
+  if (on == enabled_) return;
+  if (!on) {
+    settle(now_ns());  // freeze: charge the open stretch before stopping
+  }
+  enabled_ = on;
+  if (on) {
+    depth_ = 0;
+    mark_ns_ = now_ns();
+  }
+}
+
+void SelfProfiler::reset() {
+  report_ = ProfileReport{};
+  depth_ = 0;
+  mark_ns_ = now_ns();
+}
+
+ProfileReport SelfProfiler::report() const {
+  ProfileReport out = report_;
+  if (enabled_) {
+    const ProfileBucket top =
+        depth_ == 0 ? ProfileBucket::kOther : stack_[depth_ - 1];
+    out.self_ns[static_cast<unsigned>(top)] += now_ns() - mark_ns_;
+  }
+  return out;
+}
+
+void SelfProfiler::begin(ProfileBucket bucket) {
+  if (!enabled_) return;
+  settle(now_ns());
+  if (depth_ < kMaxDepth) {
+    stack_[depth_] = bucket;
+  }
+  ++depth_;  // overflow depth still tracked so end() stays balanced
+  report_.scopes[static_cast<unsigned>(bucket)] += 1;
+}
+
+void SelfProfiler::end() {
+  if (!enabled_ || depth_ == 0) return;
+  settle(now_ns());
+  --depth_;
+}
+
+std::string render_profile(const ProfileReport& report) {
+  const u64 total = report.total_ns();
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-10s %12s %8s %12s\n", "bucket",
+                "self_ms", "share", "scopes");
+  out += line;
+  for (unsigned b = 0; b < ProfileReport::kBuckets; ++b) {
+    const u64 ns = report.self_ns[b];
+    if (ns == 0 && report.scopes[b] == 0) continue;
+    std::snprintf(line, sizeof(line), "%-10s %12.3f %7.1f%% %12llu\n",
+                  profile_bucket_name(static_cast<ProfileBucket>(b)),
+                  static_cast<double>(ns) / 1e6,
+                  total == 0 ? 0.0
+                             : 100.0 * static_cast<double>(ns) /
+                                   static_cast<double>(total),
+                  static_cast<unsigned long long>(report.scopes[b]));
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "%-10s %12.3f %7.1f%%\n", "total",
+                static_cast<double>(total) / 1e6, total == 0 ? 0.0 : 100.0);
+  out += line;
+  return out;
+}
+
+void publish_profile(const ProfileReport& report, Registry& registry) {
+  for (unsigned b = 0; b < ProfileReport::kBuckets; ++b) {
+    const char* name = profile_bucket_name(static_cast<ProfileBucket>(b));
+    registry.counter(std::string("profile.self_ns.") + name)
+        .add(report.self_ns[b]);
+    registry.counter(std::string("profile.scopes.") + name)
+        .add(report.scopes[b]);
+  }
+}
+
+}  // namespace hn::obs

@@ -1,0 +1,147 @@
+// Observability layer, part 4: the self-time profiler (DESIGN.md §14).
+//
+// A host-wall-clock attribution tool for the fast-path work: fixed
+// simulator-phase buckets (boot / step / dispatch / syscall / translate /
+// memory / audit / digest / snapshot / other), self-time semantics via an
+// explicit scope stack — time spent in a nested scope is charged to the
+// nested bucket, not its parent — and a single steady_clock read per
+// scope transition.
+//
+// The profiler measures HOST time, which is nondeterministic by nature,
+// so reports never enter functional digests or fingerprints.  They reach
+// the user two ways: a rendered table on stderr (`--profile` on
+// hypernel_fuzz / hypernel_score / the benches), and `profile.*` counters
+// folded into the hn_obs metrics registry on demand (publish()), where
+// the ordinary snapshot/merge/export machinery aggregates them across
+// campaign cells and `hypernel_trace profile` renders the exported JSON.
+//
+// Disabled cost: one relaxed bool load and branch per scope — safe to
+// leave in the hottest simulator paths.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "common/types.h"
+#include "obs/metrics.h"
+
+namespace hn::obs {
+
+enum class ProfileBucket : u8 {
+  kBoot,       // system construction + kernel boot / snapshot-boot restore
+  kStep,       // fuzz-op step bodies outside the finer buckets below
+  kDispatch,   // exception/trap/hypercall dispatch
+  kSyscall,    // kernel syscall bodies (SVC entry to exit)
+  kTranslate,  // MMU translates that miss the inline translation cache
+  kMemory,     // bulk data transfer loops
+  kAudit,      // EL2 page-table audits
+  kDigest,     // run fingerprinting / corpus digest folding
+  kSnapshot,   // machine snapshot capture / restore
+  kOther,      // anything not inside an explicit scope
+  kCount,
+};
+
+[[nodiscard]] constexpr const char* profile_bucket_name(ProfileBucket b) {
+  switch (b) {
+    case ProfileBucket::kBoot: return "boot";
+    case ProfileBucket::kStep: return "step";
+    case ProfileBucket::kDispatch: return "dispatch";
+    case ProfileBucket::kSyscall: return "syscall";
+    case ProfileBucket::kTranslate: return "translate";
+    case ProfileBucket::kMemory: return "memory";
+    case ProfileBucket::kAudit: return "audit";
+    case ProfileBucket::kDigest: return "digest";
+    case ProfileBucket::kSnapshot: return "snapshot";
+    case ProfileBucket::kOther: return "other";
+    case ProfileBucket::kCount: break;
+  }
+  return "?";
+}
+
+/// Value-type result: per-bucket self-time and scope entry counts.
+/// merge() is a plain sum, so campaign aggregation is associative.
+struct ProfileReport {
+  static constexpr unsigned kBuckets =
+      static_cast<unsigned>(ProfileBucket::kCount);
+
+  std::array<u64, kBuckets> self_ns{};
+  std::array<u64, kBuckets> scopes{};
+
+  [[nodiscard]] u64 total_ns() const {
+    u64 t = 0;
+    for (const u64 ns : self_ns) t += ns;
+    return t;
+  }
+  [[nodiscard]] bool empty() const { return total_ns() == 0; }
+  void merge(const ProfileReport& other) {
+    for (unsigned b = 0; b < kBuckets; ++b) {
+      self_ns[b] += other.self_ns[b];
+      scopes[b] += other.scopes[b];
+    }
+  }
+};
+
+/// Monotonic host clock the profiler runs on — exposed so callers can
+/// attribute stretches that predate a profiler instance (e.g. system
+/// construction, which builds the machine the profiler lives in).
+[[nodiscard]] u64 profile_now_ns();
+
+/// Render a report as the standard self-time table (stderr-friendly).
+[[nodiscard]] std::string render_profile(const ProfileReport& report);
+
+/// Fold a report into `registry` as `profile.self_ns.<bucket>` /
+/// `profile.scopes.<bucket>` counters.  The registry must be enabled for
+/// the values to land (the caller owning --profile flips it on).
+void publish_profile(const ProfileReport& report, Registry& registry);
+
+class SelfProfiler {
+ public:
+  /// Enabling (re)starts the clock with an empty stack; disabling freezes
+  /// the accumulated report.
+  void set_enabled(bool on);
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// The accumulated report; open scopes are charged up to "now".
+  [[nodiscard]] ProfileReport report() const;
+  void reset();
+
+  // Scope transitions (prefer the Scope RAII type).  Calling these while
+  // disabled is a no-op; depth overflow degrades to attributing nested
+  // time to the overflowing bucket (never UB).
+  void begin(ProfileBucket bucket);
+  void end();
+
+  class Scope {
+   public:
+    Scope(SelfProfiler& profiler, ProfileBucket bucket)
+        : profiler_(profiler), armed_(profiler.enabled_) {
+      if (armed_) profiler_.begin(bucket);
+    }
+    ~Scope() {
+      if (armed_) profiler_.end();
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    SelfProfiler& profiler_;
+    // Latched at construction so a mid-scope enable/disable cannot
+    // unbalance the stack.
+    bool armed_;
+  };
+
+ private:
+  static constexpr unsigned kMaxDepth = 64;
+
+  [[nodiscard]] static u64 now_ns();
+  /// Charge the time since mark_ns_ to the current top-of-stack bucket.
+  void settle(u64 now);
+
+  ProfileReport report_;
+  std::array<ProfileBucket, kMaxDepth> stack_{};
+  unsigned depth_ = 0;  // stack_[depth_-1] is the active bucket
+  u64 mark_ns_ = 0;
+  bool enabled_ = false;
+};
+
+}  // namespace hn::obs

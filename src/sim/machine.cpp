@@ -18,6 +18,7 @@ Machine::Machine(const MachineConfig& config)
       fast_path_(config.host_fast_path) {
   assert(config.secure_size < config.dram_size);
   mmu_.tlb().set_index_enabled(config.host_fast_path);
+  account_.set_decoupled_quantum(config.decoupled_quantum);
   spans_.bind_clock(account_.cycles_ref());
   obs_walk_ctx_rebuilds_ = obs_.counter("sim.machine.walk_ctx_rebuilds");
   obs_walk_ctx_cached_ = obs_.counter("sim.machine.walk_ctx_cached");
@@ -109,8 +110,51 @@ Access64 Machine::access64(VirtAddr va, bool is_write, u64 value, bool user) {
   // A stage-2 fault handler may fix the tables and ask for a retry; bound
   // the loop so a broken handler cannot livelock the simulation.
   for (int attempt = 0; attempt < 8; ++attempt) {
-    const WalkContext ctx = walk_context();
-    TranslateOutcome out = mmu_.translate(va, at, ctx);
+    // Inline translation cache: replay the exact TLB-hit path of
+    // Mmu::translate (which charges no cycles) without the walk-context
+    // rebuild check or the indexed TLB probe.  Valid only while the TLB
+    // and the translation regime are untouched — the generation guards
+    // guarantee the reference-mode lookup would hit the very same entry.
+    TranslateOutcome out;
+    bool translated = false;
+    const VirtAddr vpage = page_align_down(va);
+    ItcEntry& slot = itc_[(vpage >> kPageShift) & (kItcEntries - 1)];
+    if (fast_path_ && slot.vpage == vpage &&
+        slot.vm_gen == sysregs_.vm_generation() &&
+        slot.tlb_gen == mmu_.tlb().generation()) {
+      mmu_.note_itc_hit();
+      if (!Mmu::permission_ok(slot.attrs, at)) {
+        out = TranslateOutcome::fail(
+            Fault{FaultType::kPermission, 3, va, 0, is_write});
+      } else if (is_write && !slot.s2_write_ok) {
+        ++account_.counters().s2_permission_faults;
+        const IpaAddr ipa = slot.ppage + (va & kPageMask);
+        out = TranslateOutcome::fail(
+            Fault{FaultType::kS2Permission, 3, va, ipa, true});
+      } else {
+        Translation t;
+        t.pa = slot.ppage + (va & kPageMask);
+        t.attrs = slot.attrs;
+        t.s2_write_ok = slot.s2_write_ok;
+        out = TranslateOutcome::success(t);
+      }
+      translated = true;
+    }
+    if (!translated) {
+      obs::SelfProfiler::Scope prof(profiler_, obs::ProfileBucket::kTranslate);
+      const WalkContext ctx = walk_context();
+      out = mmu_.translate(va, at, ctx);
+      if (fast_path_ && out.ok) {
+        // Fill after the translate so the recorded generations cover any
+        // TLB insert the walk just performed.
+        slot.vpage = vpage;
+        slot.ppage = page_align_down(out.t.pa);
+        slot.attrs = out.t.attrs;
+        slot.s2_write_ok = out.t.s2_write_ok;
+        slot.tlb_gen = mmu_.tlb().generation();
+        slot.vm_gen = sysregs_.vm_generation();
+      }
+    }
     if (out.ok) {
       Access64 r;
       r.ok = true;
@@ -197,6 +241,7 @@ bool Machine::write_block_v(VirtAddr va, const void* data, u64 len, bool user) {
 
 bool Machine::write_block_bulk(VirtAddr va, const void* data, u64 len,
                                bool user) {
+  obs::SelfProfiler::Scope prof(profiler_, obs::ProfileBucket::kMemory);
   assert(is_word_aligned(va) && len % kWordSize == 0);
   const auto* p = static_cast<const u8*>(data);
   u64 off = 0;
@@ -296,6 +341,7 @@ bool Machine::write_block_bulk(VirtAddr va, const void* data, u64 len,
 }
 
 bool Machine::read_block_bulk(VirtAddr va, void* out_buf, u64 len, bool user) {
+  obs::SelfProfiler::Scope prof(profiler_, obs::ProfileBucket::kMemory);
   assert(is_word_aligned(va) && len % kWordSize == 0);
   auto* p = static_cast<u8*>(out_buf);
   u64 off = 0;
@@ -450,6 +496,7 @@ void Machine::dma_read_block(PhysAddr pa, void* out, u64 len) {
 }
 
 u64 Machine::hvc(u64 func, std::initializer_list<u64> args) {
+  obs::SelfProfiler::Scope prof(profiler_, obs::ProfileBucket::kDispatch);
   // The hypercall ABI passes at most a few words in registers
   // (hvc_abi.h); marshal them on the stack instead of allocating a
   // std::vector per call — hypercalls are a hot path under Hypernel.
@@ -587,6 +634,10 @@ void Machine::restore_state(SnapReader& r) {
   // next walk rebuilds from the restored registers.  Same-boot restores
   // would otherwise see a matching generation over stale cached state.
   walk_ctx_gen_ = 0;
+  // Same hazard for the inline translation cache: the restored TLB
+  // generation may numerically match a fill-time generation over entirely
+  // different TLB contents.
+  itc_drop();
   // Host-side observability is not part of the snapshot: restart it.
   obs_.reset_values();
   spans_.clear();

@@ -15,6 +15,7 @@
 #include "common/timing.h"
 #include "common/types.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/span.h"
 #include "sim/bus.h"
 #include "sim/cache.h"
@@ -44,6 +45,13 @@ struct MachineConfig {
   /// counters, bus traffic and fingerprints are bit-identical either way
   /// (the fast-path differential test pins this).  Off = reference mode.
   bool host_fast_path = true;
+  /// Temporal decoupling (DESIGN.md §14): with a non-zero quantum the
+  /// core's cycle charges accumulate on a local clock and commit when the
+  /// quantum overflows or the clock is observed (bus timestamps, trace
+  /// records, timer reads, snapshot saves all observe it).  Observable
+  /// values are bit-identical to quantum = 0; the campaign-digest and
+  /// differential tests pin this.  Opt-in; 0 = exact charging.
+  Cycles decoupled_quantum = 0;
 };
 
 /// What an EL2 stage-2 fault handler did with a fault (KVM module).
@@ -85,6 +93,9 @@ class Machine {
   obs::Registry& obs() { return obs_; }
   [[nodiscard]] const obs::Registry& obs() const { return obs_; }
   obs::SpanTracer& spans() { return spans_; }
+  /// Host self-time profiler (DESIGN.md §14): off by default (one branch
+  /// per scope); --profile runs enable it and read the report.
+  obs::SelfProfiler& profiler() { return profiler_; }
   [[nodiscard]] const TimingModel& timing() const { return config_.timing; }
   [[nodiscard]] const MachineConfig& config() const { return config_; }
 
@@ -104,14 +115,24 @@ class Machine {
 
   /// Runtime fast-path/reference-mode switch (benchmarks flip it to
   /// measure both sides on one machine; tests force reference mode).
-  /// Covers all three layers: cached walk context, TLB lookup index,
-  /// bulk charge-replay.
+  /// Covers all four layers: cached walk context, TLB lookup index,
+  /// inline translation cache, bulk charge-replay.
   void set_host_fast_path(bool on) {
     fast_path_ = on;
     walk_ctx_gen_ = 0;  // drop the cached snapshot
+    itc_drop();
     mmu_.tlb().set_index_enabled(on);
   }
   [[nodiscard]] bool host_fast_path() const { return fast_path_; }
+
+  /// Runtime temporal-decoupling switch (see MachineConfig).  Folds any
+  /// local run-ahead first, so flipping mid-run never loses cycles.
+  void set_decoupled_quantum(Cycles quantum) {
+    account_.set_decoupled_quantum(quantum);
+  }
+  [[nodiscard]] Cycles decoupled_quantum() const {
+    return account_.decoupled_quantum();
+  }
 
   // --- EL0/EL1 virtual-address accesses -------------------------------------
   Access64 read64(VirtAddr va, bool user = false);
@@ -221,6 +242,7 @@ class Machine {
   // constructors (Mmu); initialization order is declaration order.
   obs::Registry obs_;
   obs::SpanTracer spans_;
+  obs::SelfProfiler profiler_;
   Cache cache_;
   Mmu mmu_;
   SysRegs sysregs_;
@@ -243,6 +265,27 @@ class Machine {
   // sysregs_.vm_generation() (which starts at 1, so 0 means "unprimed").
   mutable WalkContext walk_ctx_;
   mutable u64 walk_ctx_gen_ = 0;
+
+  // Inline translation cache (DESIGN.md §14): a direct-mapped front cache
+  // over successful translations, valid only while both the TLB and the
+  // translation regime are untouched (generation guards).  A hit replays
+  // the exact effects of Mmu::translate's TLB-hit path — which charges no
+  // cycles — so results are bit-identical to reference mode; any TLB
+  // insert/flush or vm-register write invalidates every entry at once
+  // through the generation compare.  Host fast path only.
+  struct ItcEntry {
+    VirtAddr vpage = 0;
+    u64 tlb_gen = 0;
+    u64 vm_gen = 0;  // 0 never matches a live vm generation
+    PhysAddr ppage = 0;
+    PageAttrs attrs;
+    bool s2_write_ok = true;
+  };
+  static constexpr unsigned kItcEntries = 64;  // power of two (index mask)
+  void itc_drop() {
+    for (ItcEntry& e : itc_) e.vm_gen = 0;
+  }
+  ItcEntry itc_[kItcEntries];
 };
 
 }  // namespace hn::sim

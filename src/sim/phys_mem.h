@@ -107,7 +107,9 @@ class PhysicalMemory {
   };
 
   explicit PhysicalMemory(u64 size_bytes)
-      : size_(size_bytes), pages_(size_bytes >> kPageShift, nullptr) {
+      : size_(size_bytes), pages_(size_bytes >> kPageShift, nullptr),
+        watched_(size_bytes >> kPageShift, 0),
+        page_epoch_(size_bytes >> kPageShift, 0) {
     assert(is_page_aligned(size_bytes));
   }
   ~PhysicalMemory() {
@@ -217,6 +219,8 @@ class PhysicalMemory {
       const u64 index = pa >> kPageShift;
       if (off == 0 && n == kPageSize) {
         // Whole page: drop back to the zero sentinel, reclaiming sharing.
+        // This bypasses writable_page(), so touch the watch epoch here.
+        touch_watched(index);
         unref(pages_[index]);
         pages_[index] = nullptr;
       } else if (pages_[index] != nullptr) {
@@ -251,11 +255,42 @@ class PhysicalMemory {
       Page* next = set.pages_[i];
       Page* cur = pages_[i];
       if (next == cur) continue;
+      touch_watched(i);
       ref(next);
       unref(cur);
       pages_[i] = next;
     }
     return Status::Ok();
+  }
+
+  // --- Page-watch epochs ------------------------------------------------------
+  //
+  // A host-side change detector for consumers that cache derived views of
+  // specific pages (the EL2 page-table audit memoizes per-table scans).
+  // Watched pages get a fresh epoch from a global counter whenever their
+  // contents may have changed: any write-path materialisation, a whole-page
+  // zero, or a snapshot adopt() swapping the backing page.  Purely host
+  // bookkeeping — no simulated cost, no bus traffic, no counters.
+
+  /// Start watching page `index`.  Always assigns a fresh epoch, so a
+  /// cache entry recorded before the watch began can never appear valid.
+  void watch_page(u64 index) {
+    assert(index < pages_.size());
+    watched_[index] = 1;
+    page_epoch_[index] = ++watch_epoch_;
+  }
+  void unwatch_page(u64 index) {
+    assert(index < pages_.size());
+    watched_[index] = 0;
+  }
+  [[nodiscard]] bool page_watched(u64 index) const {
+    assert(index < pages_.size());
+    return watched_[index] != 0;
+  }
+  /// Epoch of the last potential mutation of watched page `index`.
+  [[nodiscard]] u64 page_epoch(u64 index) const {
+    assert(index < pages_.size());
+    return page_epoch_[index];
   }
 
   [[nodiscard]] u64 page_count() const { return pages_.size(); }
@@ -282,9 +317,17 @@ class PhysicalMemory {
     }
   }
 
+  /// Watched-page epoch bump; see the page-watch section above.
+  void touch_watched(u64 index) {
+    if (watched_[index] != 0) [[unlikely]] {
+      page_epoch_[index] = ++watch_epoch_;
+    }
+  }
+
   /// The write path: returns a page this memory owns exclusively,
   /// materialising the zero sentinel or copying a shared page first.
   Page* writable_page(u64 index) {
+    touch_watched(index);
     Page* p = pages_[index];
     if (p != nullptr && p->refs.load(std::memory_order_acquire) == 1) {
       return p;
@@ -302,6 +345,9 @@ class PhysicalMemory {
 
   u64 size_;
   std::vector<Page*> pages_;
+  std::vector<u8> watched_;     // 1 = page participates in epoch tracking
+  std::vector<u64> page_epoch_; // last-mutation epoch of watched pages
+  u64 watch_epoch_ = 0;         // global monotone epoch source
 };
 
 }  // namespace hn::sim

@@ -50,6 +50,52 @@ TEST(CampaignDigest, ReferenceModeIsBitIdentical) {
   EXPECT_EQ(r.corpus_digest, kGoldenDigest);
 }
 
+TEST(CampaignDigest, DecoupledModeIsBitIdentical) {
+  // Temporal decoupling (DESIGN.md §14) batches cycle charges on a local
+  // clock and folds on every observation, so every timestamp the digest
+  // folds — fingerprint cycles, alert instants, detection latencies —
+  // must be exact.  The golden digest is the whole-system witness.
+  FuzzOptions opt = canonical_options();
+  opt.decoupled_quantum = kDefaultDecoupledQuantum;
+  const CampaignResult r = run_campaign(opt);
+  EXPECT_EQ(r.failures, 0u);
+  EXPECT_EQ(r.corpus_digest, kGoldenDigest);
+}
+
+TEST(CampaignDigest, DecoupledSnapshotBootOddQuantumIsBitIdentical) {
+  // The stacked fast paths compose: COW boot snapshots + decoupled
+  // charging at an awkward quantum (prime, far from any charge size)
+  // still land on the golden digest.
+  FuzzOptions opt = canonical_options();
+  opt.snapshot_boot = true;
+  opt.decoupled_quantum = 61;
+  const CampaignResult r = run_campaign(opt);
+  EXPECT_EQ(r.failures, 0u);
+  EXPECT_EQ(r.corpus_digest, kGoldenDigest);
+}
+
+TEST(CampaignDigest, ProfileCaptureNeverPerturbsResults) {
+  // --profile reads host wall clock only; digests must not move, and the
+  // report must actually attribute time (step scopes fire every run).
+  FuzzOptions opt;
+  opt.seed = 7;
+  opt.sequences = 6;
+  opt.jobs = 1;
+  FuzzOptions plain = opt;
+  opt.profile = true;
+  const CampaignResult a = run_campaign(opt);
+  const CampaignResult b = run_campaign(plain);
+  EXPECT_EQ(a.corpus_digest, b.corpus_digest);
+  constexpr auto kStep = static_cast<unsigned>(obs::ProfileBucket::kStep);
+  EXPECT_GT(a.profile.scopes[kStep], 0u);
+  EXPECT_GT(a.profile.self_ns[kStep], 0u);
+  u64 total = 0;
+  for (unsigned i = 0; i < obs::ProfileReport::kBuckets; ++i) {
+    total += b.profile.self_ns[i];
+  }
+  EXPECT_EQ(total, 0u);  // off by default: no attribution recorded
+}
+
 TEST(CampaignDigest, CapturedTraceIsJobsIndependent) {
   // The flight recorder piggybacks on deterministic reruns, so the
   // campaign trace blob — and everything rendered from it — must be

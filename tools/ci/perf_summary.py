@@ -31,6 +31,12 @@ def fmt_rate(rate):
     return f"{rate:.0f}/s"
 
 
+def rate(loop, key):
+    """Per-second rate, accepting both the current schema (ref_per_s /
+    fast_per_s) and the pre-unit one (ref_accesses_per_s / ...)."""
+    return loop.get(f"{key}_per_s", loop.get(f"{key}_accesses_per_s", 0))
+
+
 def main(argv):
     if len(argv) < 2:
         print(__doc__.strip(), file=sys.stderr)
@@ -44,8 +50,8 @@ def main(argv):
     lines = [
         "## Sim throughput (quick)",
         "",
-        "| loop | ref | fast | speedup | baseline | delta |",
-        "|---|---|---|---|---|---|",
+        "| loop | unit | ref | fast | speedup | baseline | delta |",
+        "|---|---|---|---|---|---|---|",
     ]
     warnings = []
     for loop in results["loops"]:
@@ -62,15 +68,35 @@ def main(argv):
                     f"{base_speedup:.2f}x ({100 * rel:+.0f}%)"
                 )
         lines.append(
-            "| {} | {} | {} | {:.2f}x | {} | {} |".format(
+            "| {} | {} | {} | {} | {:.2f}x | {} | {} |".format(
                 name,
-                fmt_rate(loop["ref_accesses_per_s"]),
-                fmt_rate(loop["fast_accesses_per_s"]),
+                loop.get("unit", "accesses"),
+                fmt_rate(rate(loop, "ref")),
+                fmt_rate(rate(loop, "fast")),
                 loop["speedup"],
                 f"{base_speedup:.2f}x" if base_speedup else "—",
                 delta or "—",
             )
         )
+
+    # End-to-end replay speed: the loops the fast-path work optimises for.
+    # Reported explicitly (execs/sec + speedup) so the step summary answers
+    # "did replay get faster" without reading the whole table.
+    e2e = [l for l in results["loops"] if l["name"] in ("fuzz_replay", "campaign")]
+    if e2e:
+        lines += ["", "### End-to-end replay (fast+decoupled vs reference)", ""]
+        for loop in e2e:
+            base = base_loops.get(loop["name"])
+            lines.append(
+                "- **{}**: {} execs fast vs {} reference — "
+                "**{:.2f}x** (baseline {})".format(
+                    loop["name"],
+                    fmt_rate(rate(loop, "fast")),
+                    fmt_rate(rate(loop, "ref")),
+                    loop["speedup"],
+                    f"{base['speedup']:.2f}x" if base else "—",
+                )
+            )
     if warnings:
         lines += ["", "**Speedup regressions >25% vs committed baseline "
                       "(non-gating; runner noise is common):**"]

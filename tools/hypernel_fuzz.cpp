@@ -88,6 +88,14 @@ void usage() {
       "  --no-shrink       report original failing sequences unshrunk\n"
       "  --reference       force host-side reference mode (no sim fast\n"
       "                    path); output must stay byte-identical\n"
+      "  --decoupled[=N]   temporally decoupled execution: cycle charges\n"
+      "                    accumulate in a local quantum of N cycles\n"
+      "                    (default 4096) and fold at every observation\n"
+      "                    point; output must stay byte-identical\n"
+      "  --profile         host self-time profile (boot/step/dispatch/\n"
+      "                    syscall/translate/memory/audit/digest/snapshot)\n"
+      "                    rendered to stderr; folded into --metrics-out as\n"
+      "                    profile.* counters (see hypernel_trace profile)\n"
       "  --snapshot-boot   fork every case from a per-configuration boot\n"
       "                    snapshot (COW restore) instead of re-booting;\n"
       "                    output must stay byte-identical\n"
@@ -138,6 +146,12 @@ bool parse(int argc, char** argv, Options* opt) {
       opt->fuzz.capture_trace = true;  // reproducers ship with their trace
     } else if (std::strcmp(arg, "--reference") == 0) {
       opt->fuzz.host_fast_path = false;
+    } else if ((v = arg_value(arg, "--decoupled"))) {
+      opt->fuzz.decoupled_quantum = std::strtoull(v->c_str(), nullptr, 0);
+    } else if (std::strcmp(arg, "--decoupled") == 0) {
+      opt->fuzz.decoupled_quantum = hn::fuzz::kDefaultDecoupledQuantum;
+    } else if (std::strcmp(arg, "--profile") == 0) {
+      opt->fuzz.profile = true;
     } else if (std::strcmp(arg, "--snapshot-boot") == 0) {
       opt->fuzz.snapshot_boot = true;
     } else if (std::strcmp(arg, "--fail-fast") == 0) {
@@ -163,7 +177,10 @@ bool parse(int argc, char** argv, Options* opt) {
 
 int replay(const Options& opt) {
   auto specs = hn::fuzz::build_matrix(opt.fuzz.full_matrix);
-  for (auto& spec : specs) spec.host_fast_path = opt.fuzz.host_fast_path;
+  for (auto& spec : specs) {
+    spec.host_fast_path = opt.fuzz.host_fast_path;
+    spec.decoupled_quantum = opt.fuzz.decoupled_quantum;
+  }
   hn::fuzz::GeneratorOptions gen{.ops = opt.fuzz.ops,
                                  .attacks = opt.fuzz.attacks,
                                  .forged = opt.fuzz.forged};
@@ -171,6 +188,7 @@ int replay(const Options& opt) {
                                  .audit_stride = opt.fuzz.audit_stride};
   exec.capture_trace = !opt.trace_out.empty();
   exec.snapshot_boot = opt.fuzz.snapshot_boot;
+  exec.profile = opt.fuzz.profile;
   const auto ops = hn::fuzz::generate_sequence(*opt.replay_seed, gen);
   std::printf("replaying sequence seed %llu (%zu ops, %zu configurations)\n",
               static_cast<unsigned long long>(*opt.replay_seed), ops.size(),
@@ -181,6 +199,12 @@ int replay(const Options& opt) {
   std::vector<hn::fuzz::RunResult> runs;
   hn::fuzz::OracleReport report = hn::fuzz::run_sequence_seed(
       *opt.replay_seed, gen, specs, exec, &runs);
+  if (opt.fuzz.profile) {
+    hn::obs::ProfileReport merged;
+    for (const hn::fuzz::RunResult& run : runs) merged.merge(run.profile);
+    std::fprintf(stderr, "profile (replay self-time):\n%s",
+                 hn::obs::render_profile(merged).c_str());
+  }
   if (!opt.trace_out.empty() && !runs.empty()) {
     if (hn::sim::write_trace_file(runs[0].trace_blob, opt.trace_out)) {
       std::fprintf(stderr, "trace: %s trace written to %s\n",
@@ -218,11 +242,15 @@ int replay_file(const Options& opt) {
   for (hn::fuzz::FuzzConfigSpec& spec : hn::attacks::detector_configs()) {
     specs.push_back(spec);
   }
-  for (auto& spec : specs) spec.host_fast_path = opt.fuzz.host_fast_path;
+  for (auto& spec : specs) {
+    spec.host_fast_path = opt.fuzz.host_fast_path;
+    spec.decoupled_quantum = opt.fuzz.decoupled_quantum;
+  }
   hn::fuzz::ExecutorOptions exec{.inject_bypass = opt.fuzz.inject_bypass,
                                  .audit_stride = opt.fuzz.audit_stride};
   exec.capture_trace = !opt.trace_out.empty();
   exec.snapshot_boot = opt.fuzz.snapshot_boot;
+  exec.profile = opt.fuzz.profile;
 
   std::printf("replaying %s (%zu ops, %zu configurations)\n",
               opt.replay_file.c_str(), ops.size(), specs.size());
@@ -243,6 +271,12 @@ int replay_file(const Options& opt) {
                   hn::secapps::alert_kind_name(a.kind), a.detector.c_str(),
                   static_cast<unsigned long long>(a.at));
     }
+  }
+  if (opt.fuzz.profile) {
+    hn::obs::ProfileReport merged;
+    for (const hn::fuzz::RunResult& run : runs) merged.merge(run.profile);
+    std::fprintf(stderr, "profile (replay self-time):\n%s",
+                 hn::obs::render_profile(merged).c_str());
   }
   if (!opt.trace_out.empty() && !runs.empty()) {
     if (hn::sim::write_trace_file(runs[0].trace_blob, opt.trace_out)) {
@@ -359,6 +393,20 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "  worker %zu: %llu jobs, busy %.1fms\n", w,
                  static_cast<unsigned long long>(exec.workers[w].jobs),
                  static_cast<double>(exec.workers[w].busy_ns) / 1e6);
+  }
+  if (opt.fuzz.profile) {
+    // Host wall clock — stderr, like the exec stats, so stdout stays
+    // byte-identical across hosts and job counts.
+    std::fprintf(stderr, "profile (campaign self-time):\n%s",
+                 hn::obs::render_profile(result.profile).c_str());
+    if (!opt.metrics_out.empty()) {
+      // Fold the report into the exported snapshot as profile.* counters,
+      // so `hypernel_trace profile` can render it from the JSON.
+      hn::obs::Registry reg;
+      reg.set_enabled(true);
+      hn::obs::publish_profile(result.profile, reg);
+      result.metrics.merge(reg.snapshot());
+    }
   }
   std::printf("sequences: %llu  failures: %llu  corpus digest: %016llx\n",
               static_cast<unsigned long long>(result.sequences_run),

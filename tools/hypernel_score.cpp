@@ -35,7 +35,12 @@ void usage() {
       "                    attribution (faster; attribution not required\n"
       "                    for the exit code)\n"
       "  --snapshot-boot   fork cells from per-configuration boot\n"
-      "                    snapshots (COW restore) instead of re-booting");
+      "                    snapshots (COW restore) instead of re-booting\n"
+      "  --decoupled[=N]   temporally decoupled execution (local charge\n"
+      "                    quantum of N cycles, default 4096); the JSON\n"
+      "                    report must stay byte-identical\n"
+      "  --profile         host self-time profile across all cells,\n"
+      "                    rendered to stderr (stdout stays identical)");
 }
 
 }  // namespace
@@ -57,6 +62,12 @@ int main(int argc, char** argv) {
       opt.trace_attribution = false;
     } else if (std::strcmp(arg, "--snapshot-boot") == 0) {
       opt.snapshot_boot = true;
+    } else if (std::strncmp(arg, "--decoupled=", 12) == 0) {
+      opt.decoupled_quantum = std::strtoull(arg + 12, nullptr, 0);
+    } else if (std::strcmp(arg, "--decoupled") == 0) {
+      opt.decoupled_quantum = hn::fuzz::kDefaultDecoupledQuantum;
+    } else if (std::strcmp(arg, "--profile") == 0) {
+      opt.profile = true;
     } else if (std::strcmp(arg, "--help") == 0) {
       usage();
       return 0;
@@ -69,6 +80,12 @@ int main(int argc, char** argv) {
 
   const hn::attacks::Scorecard score = hn::attacks::run_scorecard(opt);
   std::fputs(hn::attacks::render_scorecard(score).c_str(), stdout);
+  if (opt.profile) {
+    // Host wall clock goes to stderr: stdout (table, digest) must stay
+    // byte-identical across hosts, jobs, and decoupled mode.
+    std::fprintf(stderr, "profile (scorecard self-time):\n%s",
+                 hn::obs::render_profile(score.profile).c_str());
+  }
 
   if (!out_path.empty()) {
     std::ofstream out(out_path);

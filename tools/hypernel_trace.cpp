@@ -6,11 +6,14 @@
 //                         [--out=F]         (loads in Perfetto)
 //   hypernel_trace dump FILE [--filter=K]   one line per event (K = kind name)
 //   hypernel_trace diff A B                 first divergence + per-kind counts
+//   hypernel_trace profile FILE             self-time table from a metrics
+//                                           JSON (--profile + --metrics-out)
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "obs/profile.h"
 #include "sim/trace_io.h"
 #include "sim/trace_report.h"
 
@@ -84,6 +87,55 @@ int cmd_diff(const std::string& a_path, const std::string& b_path) {
   return text.rfind("traces identical", 0) == 0 ? 0 : 1;
 }
 
+/// Pull one counter value out of an exported metrics JSON.  The format
+/// is the fixed one-entry-per-line layout obs::to_json emits, so a
+/// string scan is exact — no JSON parser needed (or available).
+bool json_counter(const std::string& text, const std::string& path,
+                  u64* value) {
+  const std::string needle = "\"path\": \"" + path + "\"";
+  const size_t at = text.find(needle);
+  if (at == std::string::npos) return false;
+  const size_t line_end = text.find('\n', at);
+  const size_t v = text.find("\"value\": ", at);
+  if (v == std::string::npos || v > line_end) return false;
+  *value = std::strtoull(text.c_str() + v + 9, nullptr, 10);
+  return true;
+}
+
+int cmd_profile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::string text;
+  char buf[4096];
+  for (size_t n; (n = std::fread(buf, 1, sizeof buf, f)) > 0;) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+
+  obs::ProfileReport report;
+  bool any = false;
+  for (unsigned b = 0; b < obs::ProfileReport::kBuckets; ++b) {
+    const char* name =
+        obs::profile_bucket_name(static_cast<obs::ProfileBucket>(b));
+    any |= json_counter(text, std::string("profile.self_ns.") + name,
+                        &report.self_ns[b]);
+    any |= json_counter(text, std::string("profile.scopes.") + name,
+                        &report.scopes[b]);
+  }
+  if (!any) {
+    std::fprintf(stderr,
+                 "%s has no profile.* counters (produce one with\n"
+                 "  hypernel_fuzz --profile --metrics-out=%s ...)\n",
+                 path.c_str(), path.c_str());
+    return 1;
+  }
+  std::fputs(obs::render_profile(report).c_str(), stdout);
+  return 0;
+}
+
 void usage() {
   std::fprintf(
       stderr,
@@ -92,7 +144,10 @@ void usage() {
       "  export --chrome FILE [--out=F]\n"
       "                           Chrome trace-event JSON (Perfetto)\n"
       "  dump FILE [--filter=K]   list events (K: kind name, e.g. buswrite)\n"
-      "  diff A B                 compare two traces (exit 1 on difference)\n");
+      "  diff A B                 compare two traces (exit 1 on difference)\n"
+      "  profile FILE             render the self-time table from a metrics\n"
+      "                           JSON (hypernel_fuzz --profile "
+      "--metrics-out=FILE)\n");
 }
 
 }  // namespace
@@ -134,6 +189,7 @@ int main(int argc, char** argv) {
   }
   if (cmd == "dump" && pos.size() == 1) return cmd_dump(pos[0], filter);
   if (cmd == "diff" && pos.size() == 2) return cmd_diff(pos[0], pos[1]);
+  if (cmd == "profile" && pos.size() == 1) return cmd_profile(pos[0]);
   usage();
   return 2;
 }
