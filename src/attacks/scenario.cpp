@@ -122,6 +122,42 @@ std::vector<AttackScenario> build_library() {
   return lib;
 }
 
+std::vector<AttackScenario> build_smp_library() {
+  std::vector<AttackScenario> lib;
+
+  // Each program forks a writer task (the load balancer places it on the
+  // least-loaded secondary core), migrates execution there via the
+  // scheduler, tampers from that core, then returns to core 0 where the
+  // benign victim workload keeps serving syscalls.  The tamper ops are
+  // the same bus writes as the single-core scenarios — the MBM sits on
+  // the shared bus, so provenance (TraceEvent::core) is the only
+  // difference the detectors see.
+  lib.push_back(AttackScenario{
+      "smp-cross-core-syscall-stub",
+      AttackFamily::kSyscallPatch,
+      "writer on core 1 patches syscall-table slot 0 while core 0 serves",
+      {op(OpKind::kFork), op(OpKind::kSwitchTask, 1),
+       op(OpKind::kAttackSyscallPatch, 0, 0, 0), op(OpKind::kSwitchTask, 0),
+       op(OpKind::kStat, 0)},
+      {2},
+      "kernel-cfi",
+      AlertKind::kSyscallPatched,
+  });
+  lib.push_back(AttackScenario{
+      "smp-cross-core-cred-theft",
+      AttackFamily::kCredTheft,
+      "forked writer on core 1 forges the shared cred back to root",
+      {op(OpKind::kSetuid, 1), op(OpKind::kFork), op(OpKind::kSwitchTask, 1),
+       op(OpKind::kAttackCredWrite, 0, 0, 0), op(OpKind::kSwitchTask, 0),
+       op(OpKind::kStat, 0)},
+      {3},
+      "object-integrity-monitor",
+      AlertKind::kCredIdLowered,
+  });
+
+  return lib;
+}
+
 }  // namespace
 
 const std::vector<AttackScenario>& scenario_library() {
@@ -129,8 +165,16 @@ const std::vector<AttackScenario>& scenario_library() {
   return lib;
 }
 
+const std::vector<AttackScenario>& smp_scenario_library() {
+  static const std::vector<AttackScenario> lib = build_smp_library();
+  return lib;
+}
+
 const AttackScenario* find_scenario(std::string_view name) {
   for (const AttackScenario& s : scenario_library()) {
+    if (s.name == name) return &s;
+  }
+  for (const AttackScenario& s : smp_scenario_library()) {
     if (s.name == name) return &s;
   }
   return nullptr;

@@ -69,6 +69,14 @@ struct AttackScenario {
 /// The scenario library, in its stable order.
 [[nodiscard]] const std::vector<AttackScenario>& scenario_library();
 
+/// Cross-core attack scenarios: a writer task migrated to a secondary
+/// core tampers while the victim workload keeps serving on core 0.  Kept
+/// out of scenario_library() (whose order and content feed the fuzzer's
+/// structured-seed pool and are digest-pinned); the scorecard appends
+/// these cells only on SMP machines (--cores > 1), where the fork/switch
+/// choreography actually lands the writer on another core.
+[[nodiscard]] const std::vector<AttackScenario>& smp_scenario_library();
+
 /// Library lookup by slug; nullptr when unknown.
 [[nodiscard]] const AttackScenario* find_scenario(std::string_view name);
 

@@ -120,10 +120,17 @@ std::vector<FuzzConfigSpec> detector_configs() {
 }
 
 Scorecard run_scorecard(const ScorecardOptions& options) {
-  const std::vector<AttackScenario>& lib = scenario_library();
+  std::vector<AttackScenario> lib = scenario_library();
+  if (options.cores > 1) {
+    // Cross-core cells join the matrix only when there is a second core
+    // for the writer to land on.
+    const std::vector<AttackScenario>& smp = smp_scenario_library();
+    lib.insert(lib.end(), smp.begin(), smp.end());
+  }
   std::vector<FuzzConfigSpec> specs = detector_configs();
   for (FuzzConfigSpec& spec : specs) {
     spec.decoupled_quantum = options.decoupled_quantum;
+    spec.cores = options.cores == 0 ? 1 : options.cores;
   }
   const std::vector<fuzz::Op> benign_ops = benign_workload();
 
@@ -156,13 +163,22 @@ Scorecard run_scorecard(const ScorecardOptions& options) {
   if (options.profile) {
     for (const RunResult& run : runs) score.profile.merge(run.profile);
   }
+  // Sample trace for --trace-out: the first intended hit — except on an
+  // SMP matrix, where a cross-core scenario's trace is the interesting
+  // one (it carries multi-core provenance, so the report renders the
+  // per-core attribution table).  The JSON digest never covers the
+  // sample, so this preference cannot move the pinned goldens.
+  bool sample_is_smp = false;
   for (u64 i = 0; i < attack_cells; ++i) {
-    score.cells.push_back(grade_cell(lib[i / specs.size()],
-                                     specs[i % specs.size()], runs[i],
-                                     options.trace_attribution));
+    const AttackScenario& scenario = lib[i / specs.size()];
+    score.cells.push_back(grade_cell(scenario, specs[i % specs.size()],
+                                     runs[i], options.trace_attribution));
     const ScorecardCell& cell = score.cells.back();
-    if (cell.intended && cell.expected_seen && score.sample_trace.empty()) {
+    const bool is_smp = scenario.name.rfind("smp-", 0) == 0;
+    if (cell.intended && cell.expected_seen && !runs[i].trace_blob.empty() &&
+        (score.sample_trace.empty() || (is_smp && !sample_is_smp))) {
       score.sample_trace = runs[i].trace_blob;
+      sample_is_smp = is_smp;
     }
   }
   for (size_t c = 0; c < specs.size(); ++c) {
@@ -211,6 +227,12 @@ Scorecard run_scorecard(const ScorecardOptions& options) {
   j += "{\n  \"scorecard_version\": 1,\n  \"options\": "
        "{\"trace_attribution\": ";
   append_bool(j, options.trace_attribution);
+  // The core count is echoed only when it actually shapes the matrix, so
+  // every single-core report stays byte-identical to the pre-SMP format.
+  if (options.cores > 1) {
+    j += ", \"cores\": ";
+    append_u64(j, options.cores);
+  }
   j += "},\n  \"cells\": [\n";
   for (size_t i = 0; i < score.cells.size(); ++i) {
     const ScorecardCell& cell = score.cells[i];

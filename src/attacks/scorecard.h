@@ -39,6 +39,10 @@ struct ScorecardOptions {
   /// Enable the host self-time profiler per cell and merge the reports
   /// into Scorecard::profile.  Reporting only, never part of the digest.
   bool profile = false;
+  /// Simulated core count for every cell.  At >1 the SMP cross-core
+  /// scenarios (smp_scenario_library) join the matrix and the JSON echoes
+  /// the count; at 1 the scorecard is byte-identical to the pre-SMP one.
+  unsigned cores = 1;
 };
 
 /// One (scenario x detector-config) cell, graded.

@@ -76,6 +76,25 @@ struct TimingModel {
   /// MBM bitmap fetch from main memory on a bitmap-cache miss.
   Cycles mbm_bitmap_fetch = 140;
 
+  // --- SMP (shared bus, N > 1 cores; DESIGN.md §15) ------------------------
+  /// Width of one bus-arbitration slot: after a core wins the shared bus
+  /// for a word transaction, the bus is busy for this many cycles.  Only
+  /// consulted when the machine has more than one core.
+  Cycles bus_slot = 4;
+  /// A core issuing a transaction while another core's slot is still
+  /// draining waits for the remainder — but only when the collision is
+  /// this close in time.  Beyond the window the interleaved streams are
+  /// considered temporally disjoint and no contention is charged, which
+  /// keeps single-threaded phases free of phantom waits.
+  Cycles bus_contention_window = 64;
+  /// Charged to a core that finds a spinlock in temporal contention
+  /// (another core held it within `spinlock_contention_window` cycles).
+  Cycles spinlock_contended = 80;
+  /// Proximity window for the deterministic spinlock contention model.
+  Cycles spinlock_contention_window = 2000;
+  /// Cost charged to the sender for posting one IPI (ICC_SGI1R analogue).
+  Cycles ipi_send = 90;
+
   // --- Conversions ---------------------------------------------------------
   [[nodiscard]] double cycles_to_us(Cycles c) const {
     return static_cast<double>(c) / (cpu_ghz * 1000.0);

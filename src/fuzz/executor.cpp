@@ -110,6 +110,7 @@ u64 session_digest(const FuzzConfigSpec& spec) {
   h = fold(h, spec.use_sections ? 1 : 0);
   h = fold(h, spec.host_fast_path ? 1 : 0);
   h = fold(h, spec.decoupled_quantum);
+  h = fold(h, spec.cores);
   return h;
 }
 
@@ -1212,6 +1213,7 @@ hypernel::SystemConfig FuzzConfigSpec::system_config() const {
   if (l1_miss_fill != 0) cfg.machine.timing.l1_miss_fill = l1_miss_fill;
   cfg.machine.host_fast_path = host_fast_path;
   cfg.machine.decoupled_quantum = decoupled_quantum;
+  cfg.machine.cores = cores == 0 ? 1 : cores;
   cfg.kernel.use_sections = use_sections;
   // enable_mbm stays true in every mode: with the MBM attached, Native
   // derives linear_limit = secure_base exactly like Hypernel (KVM always

@@ -64,6 +64,10 @@ struct FuzzConfigSpec {
   /// detection latencies, fingerprint cycles — stays bit-identical to the
   /// exact path.  Host wiring only; never part of simulated state.
   Cycles decoupled_quantum = 0;
+  /// Simulated core count (sim::MachineConfig::cores).  A differential
+  /// dimension like the mode matrix: 1 reproduces every pre-SMP digest
+  /// bit-for-bit; >1 adds the deterministic SMP machinery (DESIGN.md §15).
+  unsigned cores = 1;
 
   [[nodiscard]] hypernel::SystemConfig system_config() const;
   [[nodiscard]] bool monitored() const {

@@ -153,6 +153,7 @@ CampaignResult run_campaign(const FuzzOptions& options, std::ostream* log) {
   for (FuzzConfigSpec& spec : specs) {
     spec.host_fast_path = options.host_fast_path;
     spec.decoupled_quantum = options.decoupled_quantum;
+    spec.cores = options.cores;
   }
   GeneratorOptions gen{.ops = options.ops,
                        .attacks = options.attacks,
@@ -270,6 +271,9 @@ CampaignResult run_campaign(const FuzzOptions& options, std::ostream* log) {
     failure.replay = "hypernel_fuzz --replay=" + std::to_string(seq_seed) +
                      " --ops=" + std::to_string(options.ops) +
                      (options.full_matrix ? " --matrix=full" : "") +
+                     (options.cores != 1
+                          ? " --cores=" + std::to_string(options.cores)
+                          : "") +
                      (options.inject_bypass ? " --inject-bypass" : "");
     result.failure_details.push_back(std::move(failure));
 

@@ -62,6 +62,9 @@ struct FuzzOptions {
   /// (sim::MachineConfig::host_fast_path).  Never changes results — the
   /// campaign digest must be identical either way.
   bool host_fast_path = true;
+  /// Simulated core count for every configuration in the matrix (1 =
+  /// pre-SMP behaviour, bit-identical digests).
+  unsigned cores = 1;
   /// Non-zero = temporally decoupled execution for every configuration
   /// (sim::MachineConfig::decoupled_quantum).  Host wiring only: the
   /// campaign digest must be identical at any quantum.

@@ -117,6 +117,9 @@ u64 System::config_digest() const {
   h = fold(h, config_.machine.cache.ways);
   h = fold(h, config_.machine.cache.enabled);
   h = fold(h, config_.machine.tlb_entries);
+  // Folded only for SMP machines so every single-core digest (and with it
+  // every pre-SMP golden, including pinned snapshot files) is unchanged.
+  if (config_.machine.cores > 1) h = fold(h, config_.machine.cores);
   h = fold(h, config_.kernel.use_sections);
   h = fold(h, config_.kernel.linear_limit);
   h = fold(h, config_.kernel.timer_period);

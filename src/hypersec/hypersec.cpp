@@ -30,8 +30,8 @@ Hypersec::Hypersec(sim::Machine& machine, kernel::Kernel& kernel,
 }
 
 Hypersec::~Hypersec() {
-  machine_.exceptions().set_hypercall_handler(nullptr);
-  machine_.exceptions().set_sysreg_trap_handler(nullptr);
+  machine_.install_hypercall_handler(nullptr);
+  machine_.install_sysreg_trap_handler(nullptr);
 }
 
 bool Hypersec::set_linear_writable(PhysAddr pa, bool writable) {
@@ -51,7 +51,7 @@ bool Hypersec::set_linear_writable(PhysAddr pa, bool writable) {
     sim::PageAttrs attrs = sim::decode_attrs(desc);
     attrs.write = writable;
     machine_.el2_write64(desc_pa, sim::desc_with_attrs(desc, attrs));
-    machine_.tlb().flush_va(va);
+    machine_.tlb_shootdown_va(va);
     machine_.advance(machine_.timing().tlbi);
     return true;
   }
@@ -73,10 +73,10 @@ Status Hypersec::init() {
 
   // §6.1: EL2 control state.  The EL2 'page table' is a linear map
   // (VA == PA), represented by TTBR0_EL2 = 0.
-  machine_.set_sysreg_raw(SysReg::TTBR0_EL2, 0);
-  machine_.set_sysreg_raw(SysReg::SP_EL2,
-                          machine_.secure_base() + machine_.secure_size() - 64);
-  machine_.set_sysreg_raw(SysReg::VBAR_EL2, 0xE12E'C000);
+  machine_.set_sysreg_raw_all(SysReg::TTBR0_EL2, 0);
+  machine_.set_sysreg_raw_all(
+      SysReg::SP_EL2, machine_.secure_base() + machine_.secure_size() - 64);
+  machine_.set_sysreg_raw_all(SysReg::VBAR_EL2, 0xE12E'C000);
 
   // Inventory the kernel's translation tables and lock them read-only.
   verifier_.set_kernel_root(kernel_.kpt().kernel_root());
@@ -116,12 +116,12 @@ Status Hypersec::init() {
   }
 
   // §5.2.2 / §6.1: trap EL1 virtual-memory register writes.
-  machine_.set_sysreg_raw(
+  machine_.set_sysreg_raw_all(
       SysReg::HCR_EL2,
       with_bit(machine_.sysreg(SysReg::HCR_EL2), sim::kHcrTvm, true));
-  machine_.exceptions().set_sysreg_trap_handler(
+  machine_.install_sysreg_trap_handler(
       [this](SysReg reg, u64 value) { return handle_sysreg_trap(reg, value); });
-  machine_.exceptions().set_hypercall_handler(
+  machine_.install_hypercall_handler(
       [this](u64 func, std::span<const u64> args) {
         return handle_hvc(func, args);
       });
@@ -412,7 +412,7 @@ u64 Hypersec::do_module_seal(std::span<const u64> args, bool seal) {
       attrs.write = !seal;
       attrs.exec = seal;
       machine_.el2_write64(desc_pa, sim::desc_with_attrs(desc, attrs));
-      machine_.tlb().flush_va(va);
+      machine_.tlb_shootdown_va(va);
       machine_.advance(machine_.timing().tlbi);
       done = true;
     }

@@ -62,7 +62,7 @@ Status MbmDriver::set_page_cacheable(VirtAddr page_va, bool cacheable) {
   attrs.attr = cacheable ? sim::MemAttr::kNormalCacheable
                          : sim::MemAttr::kNonCacheable;
   machine_.el2_write64(w.desc_pa, sim::desc_with_attrs(w.desc, attrs));
-  machine_.tlb().flush_va(page_va);
+  machine_.tlb_shootdown_va(page_va);
   machine_.advance(machine_.timing().tlbi);
   if (!cacheable) {
     // Push any dirty lines out and drop the page from the cache, so no
@@ -70,7 +70,7 @@ Status MbmDriver::set_page_cacheable(VirtAddr page_va, bool cacheable) {
     // cache entry for the page including the monitored region is not
     // generated").
     const PhysAddr page_pa = page_align_down(w.pa);
-    machine_.cache().flush_range(page_pa, kPageSize);
+    machine_.cache_flush_range_all(page_pa, kPageSize);
     machine_.advance(256);  // DC CIVAC sweep over the page
   }
   return Status::Ok();
@@ -94,7 +94,7 @@ Status MbmDriver::register_region(u64 sid, VirtAddr va, u64 size) {
   regions_[pa] = region;
 
   set_bits(pa, size, true);
-  machine_.trace().record(machine_.account().cycles(),
+  machine_.trace().record(machine_.bus_order_now(),
                           sim::TraceKind::kMonRegister, pa, size);
 
   const PhysAddr page_pa = page_align_down(pa);
@@ -149,13 +149,13 @@ u64 MbmDriver::drain(const std::function<AppVerdict(const mbm::MonitorEvent&,
         // Chain terminator: links back to the kMbmDetect event that
         // produced this ring entry.  b: 0 = benign, 1 = alert.
         machine_.trace().record_caused(
-            machine_.account().cycles(), sim::TraceKind::kVerdict,
+            machine_.bus_order_now(), sim::TraceKind::kVerdict,
             ev.trace_seq, ev.paddr, static_cast<u64>(verdict));
         continue;
       }
     }
     ++unattributed_;  // stale bit or race with unregister: drop, but count
-    machine_.trace().record_caused(machine_.account().cycles(),
+    machine_.trace().record_caused(machine_.bus_order_now(),
                                    sim::TraceKind::kVerdict, ev.trace_seq,
                                    ev.paddr, 2 /* unattributed */);
   }

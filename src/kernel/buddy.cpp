@@ -38,6 +38,7 @@ Result<PhysAddr> BuddyAllocator::alloc_pages(unsigned order) {
   if (order > kMaxOrder) {
     return Status::Invalid("buddy: order exceeds kMaxOrder");
   }
+  SpinGuard zone(lock_);
   unsigned o = order;
   while (o <= kMaxOrder && free_lists_[o].empty()) ++o;
   if (o > kMaxOrder) {
@@ -59,6 +60,7 @@ Result<PhysAddr> BuddyAllocator::alloc_pages(unsigned order) {
 
 void BuddyAllocator::free_pages(PhysAddr pa, unsigned order) {
   assert(owns(pa) && is_page_aligned(pa));
+  SpinGuard zone(lock_);
   u64 index = frame_index(pa);
   assert(allocated_[index] && block_order_[index] == order &&
          "free_pages: not an allocated block head of this order");

@@ -13,6 +13,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "kernel/spinlock.h"
 #include "obs/metrics.h"
 #include "sim/snapshot.h"
 
@@ -46,6 +47,9 @@ class BuddyAllocator {
     obs_free_pages_ = obs.counter("kernel.alloc.freed_pages");
   }
 
+  /// Bind the zone lock's timing model (SMP kernels; see spinlock.h).
+  void attach_machine(sim::Machine& machine) { lock_.bind(machine); }
+
   [[nodiscard]] u64 free_pages_count() const { return free_pages_; }
   [[nodiscard]] u64 total_pages() const { return total_pages_; }
   [[nodiscard]] PhysAddr base() const { return base_; }
@@ -71,6 +75,7 @@ class BuddyAllocator {
       if (allocated_[i]) bits[i >> 3] |= static_cast<u8>(1u << (i & 7));
     }
     w.put_bytes(bits.data(), bits.size());
+    lock_.save_state(w);
   }
 
   void restore_state(sim::SnapReader& r) {
@@ -93,6 +98,7 @@ class BuddyAllocator {
     for (u64 i = 0; i < allocated_.size(); ++i) {
       allocated_[i] = ((bits[i >> 3] >> (i & 7)) & 1) != 0;
     }
+    lock_.restore_state(r);
   }
 
  private:
@@ -112,6 +118,7 @@ class BuddyAllocator {
   std::vector<u8> block_order_;  // allocation order per frame (head only)
   std::vector<bool> allocated_;  // per-frame allocated bit (heads)
   std::function<void(PhysAddr, unsigned)> free_hook_;
+  SpinLock lock_;  // the zone lock: one per pool, as in a real buddy zone
   obs::Counter obs_alloc_pages_;
   obs::Counter obs_free_pages_;
 };

@@ -68,6 +68,7 @@ Kernel::Kernel(sim::Machine& machine, const KernelConfig& config)
   buddy_ = std::make_unique<BuddyAllocator>(kBuddyPoolBase,
                                             linear_limit_ - kBuddyPoolBase);
   buddy_->attach_obs(machine_.obs());
+  buddy_->attach_machine(machine_);
   obs_syscalls_ = machine_.obs().counter("kernel.syscalls");
   kpt_ = std::make_unique<PageTableManager>(machine_, *buddy_);
   cred_slab_ = std::make_unique<SlabCache>(machine_, *buddy_, config_.costs,
@@ -122,8 +123,18 @@ Status Kernel::boot() {
   machine_.set_sysreg_raw(sim::SysReg::VBAR_EL1,
                           phys_to_virt(kVectorTableBase));
 
-  machine_.exceptions().set_el1_irq_handler(
-      [this](unsigned line) { on_irq(line); });
+  // Secondary-core bring-up (smp_init analogue): each secondary runs the
+  // same uncharged boot stub — kernel translation root, MMU on, shared
+  // vector table.  TTBR0 arrives with the first task scheduled there.
+  for (unsigned core = 1; core < machine_.cores(); ++core) {
+    machine_.set_sysreg_raw(core, sim::SysReg::TTBR1_EL1, root.value());
+    machine_.set_sysreg_raw(core, sim::SysReg::SCTLR_EL1, 1);
+    machine_.set_sysreg_raw(core, sim::SysReg::VBAR_EL1,
+                            phys_to_virt(kVectorTableBase));
+  }
+
+  // Every core's EL1 vector dispatches into the same kernel IRQ path.
+  machine_.install_el1_irq_handler([this](unsigned line) { on_irq(line); });
 
   // Kernel-structures arena: 160 pages of task structs, runqueues, inodes,
   // locks... touched in scattered fashion by every kernel path.
@@ -140,7 +151,10 @@ Status Kernel::boot() {
 
   Result<Task*> init = procs_->boot_init_process(config_.image);
   if (!init.ok()) return init.status();
-  next_tick_at_ = machine_.account().cycles() + config_.timer_period;
+  // Per-core timer lines, all armed from the boot clock (each core's
+  // next tick then free-runs on that core's own progress).
+  next_tick_at_.assign(machine_.cores(),
+                       machine_.account().cycles() + config_.timer_period);
   booted_ = true;
   return Status::Ok();
 }
@@ -186,6 +200,12 @@ void Kernel::touch_kernel_ws(u64 words) {
 void Kernel::on_irq(unsigned line) {
   machine_.advance(config_.costs.irq_handler_base);
   touch_kernel_ws(config_.costs.ws_irq);
+  if (line == sim::kIrqIpi) {
+    // Remote-function IPI: the useful work (TLB/cache maintenance) was
+    // already applied by the sender's shootdown; the receiver pays only
+    // the interrupt-path cost charged above.
+    return;
+  }
   if (line == sim::kIrqMbm && forward_mbm_irq_) {
     // §6.2: "we inserted a hypercall in the kernel interrupt handler to
     // allow Hypersec to handle this interrupt."
@@ -369,16 +389,20 @@ Status Kernel::sys_munmap(VirtAddr va, u64 len) {
 // --- EL0 execution ---------------------------------------------------------------
 
 void Kernel::run_user_compute(Cycles cycles) {
+  // Ticks fire against the *active* core's timer line; on SMP each core
+  // keeps its own next-tick deadline on the shared global clock.
+  if (next_tick_at_.empty()) next_tick_at_.assign(machine_.cores(), 0);
+  Cycles& next_tick = next_tick_at_[machine_.active_core()];
   Cycles remaining = cycles;
   while (remaining > 0) {
     const Cycles now = machine_.account().cycles();
-    if (now >= next_tick_at_) {
+    if (now >= next_tick) {
       ++timer_ticks_;
-      next_tick_at_ = now + config_.timer_period;
+      next_tick = now + config_.timer_period;
       machine_.raise_irq(sim::kIrqTimer);
       continue;
     }
-    const Cycles slice = std::min<Cycles>(remaining, next_tick_at_ - now);
+    const Cycles slice = std::min<Cycles>(remaining, next_tick - now);
     machine_.advance(slice);
     remaining -= slice;
   }

@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/status.h"
 #include "common/types.h"
@@ -124,7 +125,10 @@ class Kernel {
     w.put_bool(booted_);
     w.put_u64(linear_limit_);
     w.put_u64(timer_ticks_);
-    w.put_u64(next_tick_at_);
+    // One timer deadline per core (count pinned by the machine config,
+    // which the snapshot's config digest already covers).
+    w.put_u64(next_tick_at_.size());
+    for (const Cycles t : next_tick_at_) w.put_u64(t);
     w.put_u64(ws_arena_);
     w.put_u64(ws_arena_pages_);
     w.put_u64(ws_cursor_);
@@ -148,7 +152,9 @@ class Kernel {
       return;
     }
     timer_ticks_ = r.get_u64();
-    next_tick_at_ = r.get_u64();
+    const u64 ntimers = r.get_count("timer deadline");
+    next_tick_at_.assign(r.ok() ? ntimers : 0, 0);
+    for (Cycles& t : next_tick_at_) t = r.get_u64();
     ws_arena_ = r.get_u64();
     ws_arena_pages_ = r.get_u64();
     ws_cursor_ = r.get_u64();
@@ -181,7 +187,7 @@ class Kernel {
   bool forward_mbm_irq_ = false;
   bool booted_ = false;
   u64 timer_ticks_ = 0;
-  Cycles next_tick_at_ = 0;
+  std::vector<Cycles> next_tick_at_;  // per-core timer deadline
   PhysAddr ws_arena_ = 0;       // kernel-structures arena (working set)
   u64 ws_arena_pages_ = 0;
   u64 ws_cursor_ = 0;

@@ -158,7 +158,7 @@ Status PageTableManager::map_page(PhysAddr root, VirtAddr va, PhysAddr pa,
                            sim::make_page_desc(pa, attrs))) {
     return Status::Denied("pt: leaf descriptor write rejected");
   }
-  machine_.tlb().flush_va(va);
+  machine_.tlb_shootdown_va(va);
   machine_.charge_tlbi();
   return Status::Ok();
 }
@@ -193,7 +193,7 @@ Status PageTableManager::unmap_page(PhysAddr root, VirtAddr va,
   if (!writer_->write_desc(table, idx, 0)) {
     return Status::Denied("pt: unmap rejected");
   }
-  machine_.tlb().flush_va(va);
+  machine_.tlb_shootdown_va(va);
   machine_.charge_tlbi();
   return Status::Ok();
 }
@@ -215,7 +215,7 @@ Status PageTableManager::split_block(const SwWalk& w) {
     return Status::Denied("pt: block split publish rejected");
   }
   // Break-before-make for the whole section.
-  machine_.tlb().flush_all();
+  machine_.tlb_shootdown_all();
   machine_.charge_tlbi();
   return Status::Ok();
 }
@@ -238,7 +238,7 @@ Status PageTableManager::set_page_attrs(PhysAddr root, VirtAddr va,
   if (!writer_->write_desc(table, idx, desc)) {
     return Status::Denied("pt: attrs change rejected");
   }
-  machine_.tlb().flush_va(va);
+  machine_.tlb_shootdown_va(va);
   machine_.charge_tlbi();
   return Status::Ok();
 }
@@ -269,7 +269,7 @@ void PageTableManager::free_user_tree(PhysAddr root, bool free_leaf_frames) {
     }
   };
   recurse(recurse, root, 0);
-  machine_.tlb().flush_all();
+  machine_.tlb_shootdown_all();
   machine_.charge_tlbi();
   free_user_root(root);
 }

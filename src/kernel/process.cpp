@@ -25,7 +25,31 @@ ProcessManager::ProcessManager(sim::Machine& machine, BuddyAllocator& buddy,
                                PageTableManager& kpt, SlabCache& cred_slab,
                                const KernelCosts& costs)
     : machine_(machine), buddy_(buddy), kpt_(kpt), cred_slab_(cred_slab),
-      costs_(costs) {}
+      costs_(costs) {
+  current_.assign(machine_.cores(), nullptr);
+  rq_lock_.bind(machine_);
+}
+
+unsigned ProcessManager::pick_cpu() const {
+  if (current_.size() < 2) return 0;
+  std::vector<u64> load(current_.size(), 0);
+  for (const auto& [pid, task] : tasks_) {
+    if (task->alive) ++load[task->cpu];
+  }
+  unsigned best = 0;
+  for (unsigned c = 1; c < load.size(); ++c) {
+    if (load[c] < load[best]) best = c;
+  }
+  return best;
+}
+
+u64 ProcessManager::runqueue_len(unsigned core) const {
+  u64 n = 0;
+  for (const auto& [pid, task] : tasks_) {
+    if (task->alive && task->cpu == core) ++n;
+  }
+  return n;
+}
 
 void ProcessManager::write_cred_word(VirtAddr cred, u64 word, u64 value) {
   [[maybe_unused]] const sim::Access64 r =
@@ -199,16 +223,24 @@ Result<Task*> ProcessManager::boot_init_process(const ProcImage& image) {
   if (!cred.ok()) return cred.status();
   t->cred = cred.value();
   if (Status s = map_segments(*t, image, /*eager=*/true); !s.ok()) return s;
-  current_ = t;
+  current_[0] = t;  // PID 1 boots on the boot CPU
   machine_.set_sysreg_raw(sim::SysReg::TTBR0_EL1, ttbr0_value(*t));
   return t;
 }
 
 Result<Task*> ProcessManager::fork(Task& parent) {
   machine_.advance(costs_.fork_base);
+  // wake_up_new_task placement: the child lands on the least-loaded
+  // runqueue, decided before it enters the task table.
+  unsigned target_cpu;
+  {
+    SpinGuard rq(rq_lock_);
+    target_cpu = pick_cpu();
+  }
   Result<Task*> child_r = make_task();
   if (!child_r.ok()) return child_r;
   Task* child = child_r.value();
+  child->cpu = static_cast<u8>(target_cpu);
   child->vmas = parent.vmas;
   child->sighandlers = parent.sighandlers;
   child->signal_sp = parent.signal_sp;
@@ -291,7 +323,7 @@ Status ProcessManager::execve(Task& task, const ProcImage& image) {
   task.ttbr0 = root.value();
   task.sighandlers.fill(0);
   if (Status s = map_segments(task, image, /*eager=*/false); !s.ok()) return s;
-  if (current_ == &task) {
+  if (current_[machine_.active_core()] == &task) {
     machine_.write_sysreg_el1(sim::SysReg::TTBR0_EL1, ttbr0_value(task));
   }
   return Status::Ok();
@@ -308,14 +340,23 @@ Status ProcessManager::exit_task(Task& task) {
   task.cred = 0;
   task.alive = false;
   const u32 pid = task.pid;
-  if (current_ == &task) current_ = nullptr;
+  for (Task*& slot : current_) {
+    if (slot == &task) slot = nullptr;
+  }
   tasks_.erase(pid);
   return Status::Ok();
 }
 
 void ProcessManager::switch_to(Task& task) {
   assert(task.alive);
-  if (current_ == &task) return;
+  // SMP migration: execution follows the task to its scheduled CPU before
+  // this becomes that CPU's runqueue switch.
+  if (machine_.cores() > 1 && task.cpu != machine_.active_core()) {
+    machine_.set_active_core(task.cpu);
+  }
+  Task*& running = current_[machine_.active_core()];
+  if (running == &task) return;
+  SpinGuard rq(rq_lock_);
   machine_.charge_context_switch();
   machine_.trace().record(machine_.account().cycles(),
                           sim::TraceKind::kCtxSwitch, task.asid, 0);
@@ -326,7 +367,7 @@ void ProcessManager::switch_to(Task& task) {
   if (machine_.guest_mode() && (++switch_serial_ & 1) == 0) {
     machine_.charge_wfi_trap();
   }
-  current_ = &task;
+  running = &task;
   machine_.write_sysreg_el1(sim::SysReg::TTBR0_EL1, ttbr0_value(task));
 }
 
@@ -509,7 +550,8 @@ Status ProcessManager::deliver_signal(Task& task, unsigned sig) {
   if (sig >= task.sighandlers.size()) return Status::Invalid("bad signal");
   if (task.sighandlers[sig] == 0) return Status::Ok();  // default: ignore
   machine_.advance(costs_.signal_deliver_base);
-  assert(current_ == &task && "signal delivery modelled on-CPU only");
+  assert(current_[machine_.active_core()] == &task &&
+         "signal delivery modelled on-CPU only");
   // Push the signal frame (saved context) onto the user stack, run the
   // handler (empty body, LMbench-style), then restore from the frame.
   const VirtAddr frame = task.signal_sp - 16 * kWordSize;

@@ -12,6 +12,7 @@
 //    (non-sensitive) vs uid/cap updates on exec/setuid (sensitive).
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <map>
 #include <memory>
@@ -24,6 +25,7 @@
 #include "kernel/kpt.h"
 #include "kernel/layout.h"
 #include "kernel/slab.h"
+#include "kernel/spinlock.h"
 #include "sim/machine.h"
 
 namespace hn::kernel {
@@ -55,6 +57,7 @@ struct Task {
   std::array<u64, 32> sighandlers{};
   VirtAddr signal_sp = 0;  // user stack pointer for signal frames
   VirtAddr mmap_next = kUserMmapBase;
+  u8 cpu = 0;  // scheduled CPU (always 0 on single-core machines)
   bool alive = true;
 };
 
@@ -76,10 +79,23 @@ class ProcessManager {
   Status execve(Task& task, const ProcImage& image);
   /// Tear down the task's address space and drop its cred reference.
   Status exit_task(Task& task);
-  /// Address-space switch: runqueue cost + one TTBR0_EL1 write.
+  /// Address-space switch: runqueue cost + one TTBR0_EL1 write.  On an
+  /// SMP machine the caller-side migration happens first: if the task is
+  /// scheduled on another CPU, execution moves there (set_active_core)
+  /// before the switch proceeds on that CPU's runqueue.
   void switch_to(Task& task);
 
-  Task& current() { return *current_; }
+  /// The task running on the *active* core.
+  Task& current() { return *current_[machine_.active_core()]; }
+  /// The task running on `core` (nullptr when its runqueue idles).
+  [[nodiscard]] Task* current_on(unsigned core) const {
+    return current_[core];
+  }
+  /// Live tasks scheduled on `core` (its runqueue length).
+  [[nodiscard]] u64 runqueue_len(unsigned core) const;
+  /// Least-loaded CPU by runqueue length, lowest index breaking ties —
+  /// the wake_up placement policy.  Always 0 on single-core machines.
+  [[nodiscard]] unsigned pick_cpu() const;
   Task* find(u32 pid);
   [[nodiscard]] u64 live_tasks() const;
   /// All live tasks (Hypersec's boot inventory of user roots).
@@ -142,6 +158,7 @@ class ProcessManager {
       for (const u64 h : task->sighandlers) w.put_u64(h);
       w.put_u64(task->signal_sp);
       w.put_u64(task->mmap_next);
+      w.put_u8(task->cpu);
       w.put_bool(task->alive);
     }
     w.put_u64(frame_refs_.size());
@@ -149,16 +166,18 @@ class ProcessManager {
       w.put_u64(frame);
       w.put_u32(refs);
     }
-    w.put_u32(current_ ? current_->pid : 0);
+    // One current pid per CPU runqueue (0 = idle).
+    for (const Task* t : current_) w.put_u32(t ? t->pid : 0);
     w.put_u32(next_pid_);
     w.put_u64(switch_serial_);
+    rq_lock_.save_state(w);
   }
 
   void restore_state(sim::SnapReader& r) {
     r.section("process");
     const u64 ntasks = r.get_count("task");
     tasks_.clear();
-    current_ = nullptr;
+    std::fill(current_.begin(), current_.end(), nullptr);
     for (u64 i = 0; r.ok() && i < ntasks; ++i) {
       const u32 key = r.get_u32();
       auto task = std::make_unique<Task>();
@@ -182,6 +201,12 @@ class ProcessManager {
       for (u64& h : task->sighandlers) h = r.get_u64();
       task->signal_sp = r.get_u64();
       task->mmap_next = r.get_u64();
+      task->cpu = r.get_u8();
+      if (r.ok() && task->cpu >= current_.size()) {
+        r.fail("task pid " + std::to_string(task->pid) + " scheduled on cpu " +
+               std::to_string(task->cpu) + " beyond this machine");
+        return;
+      }
       task->alive = r.get_bool();
       tasks_.emplace_hint(tasks_.end(), key, std::move(task));
     }
@@ -194,18 +219,21 @@ class ProcessManager {
       const PhysAddr frame = r.get_u64();
       frame_refs_.emplace_hint(frame_refs_.end(), frame, r.get_u32());
     }
-    const u32 current_pid = r.get_u32();
-    next_pid_ = r.get_u32();
-    switch_serial_ = r.get_u64();
-    if (r.ok() && current_pid != 0) {
-      const auto it = tasks_.find(current_pid);
+    for (Task*& slot : current_) {
+      const u32 pid = r.get_u32();
+      slot = nullptr;
+      if (!r.ok() || pid == 0) continue;
+      const auto it = tasks_.find(pid);
       if (it == tasks_.end()) {
-        r.fail("current task pid " + std::to_string(current_pid) +
+        r.fail("current task pid " + std::to_string(pid) +
                " not present in the task table");
         return;
       }
-      current_ = it->second.get();
+      slot = it->second.get();
     }
+    next_pid_ = r.get_u32();
+    switch_serial_ = r.get_u64();
+    rq_lock_.restore_state(r);
   }
 
  private:
@@ -237,7 +265,8 @@ class ProcessManager {
   const KernelCosts& costs_;
   std::map<u32, std::unique_ptr<Task>> tasks_;
   std::map<PhysAddr, u32> frame_refs_;  // shared COW frame refcounts
-  Task* current_ = nullptr;
+  std::vector<Task*> current_;  // per-CPU running task (index = core)
+  SpinLock rq_lock_;            // global runqueue lock (pre-CFS idiom)
   u32 next_pid_ = 1;
   u64 switch_serial_ = 0;
   std::function<void(u64)> ws_touch_;

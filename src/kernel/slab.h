@@ -16,6 +16,7 @@
 #include "kernel/costs.h"
 #include "kernel/layout.h"
 #include "kernel/objects.h"
+#include "kernel/spinlock.h"
 #include "sim/machine.h"
 
 namespace hn::kernel {
@@ -27,7 +28,9 @@ class SlabCache {
   SlabCache(sim::Machine& machine, BuddyAllocator& buddy,
             const KernelCosts& costs, ObjectKind kind)
       : machine_(machine), buddy_(buddy), costs_(costs), kind_(kind),
-        obj_bytes_(object_words(kind) * kWordSize) {}
+        obj_bytes_(object_words(kind) * kWordSize) {
+    lock_.bind(machine);
+  }
 
   void set_hooks(ObjectHook on_alloc, ObjectHook on_free) {
     on_alloc_ = std::move(on_alloc);
@@ -38,6 +41,7 @@ class SlabCache {
   /// fires after zeroing, before the caller initialises fields — so field
   /// initialisation is already monitored, as in the paper's experiment.
   Result<VirtAddr> alloc() {
+    SpinGuard list(lock_);
     machine_.advance(costs_.slab_alloc);
     if (freelist_.empty()) {
       if (Status s = grow(); !s.ok()) return s;
@@ -53,6 +57,7 @@ class SlabCache {
   }
 
   void free(VirtAddr va) {
+    SpinGuard list(lock_);
     machine_.advance(costs_.slab_free);
     if (on_free_) on_free_(va);
     freelist_.push_back(va);
@@ -73,6 +78,7 @@ class SlabCache {
     w.put_u64(pages_.size());
     for (const PhysAddr pa : pages_) w.put_u64(pa);
     w.put_u64(live_);
+    lock_.save_state(w);
   }
 
   void restore_state(sim::SnapReader& r) {
@@ -86,6 +92,7 @@ class SlabCache {
     pages_.reserve(r.ok() ? npages : 0);
     for (u64 i = 0; r.ok() && i < npages; ++i) pages_.push_back(r.get_u64());
     live_ = r.get_u64();
+    lock_.restore_state(r);
   }
 
  private:
@@ -107,6 +114,7 @@ class SlabCache {
   u64 obj_bytes_;
   std::vector<VirtAddr> freelist_;
   std::vector<PhysAddr> pages_;
+  SpinLock lock_;  // per-cache list lock, as in a real slab
   u64 live_ = 0;
   ObjectHook on_alloc_;
   ObjectHook on_free_;

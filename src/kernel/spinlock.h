@@ -1,0 +1,81 @@
+// Deterministic spinlock timing model for the SMP simkernel.
+//
+// The simulation is sequentially time-multiplexed (one core runs at a
+// time), so a lock can never be *held* by another core at acquisition —
+// real waiting never happens.  What the model charges instead is the
+// cache-line ping-pong a contended lock costs on real hardware: if a
+// *different* core released the lock within the contention window, this
+// acquisition pays `spinlock_contended` cycles (the line migrates between
+// L1s) and counts as a contention.  The heuristic is temporal proximity,
+// the same trick the shared-bus arbiter uses (DESIGN.md §15).
+//
+// On a single-core machine lock()/unlock() are complete no-ops, so every
+// existing golden digest is untouched.  Lock state (last owner + release
+// time) is architectural: it is snapshotted so a restore mid-workload
+// reproduces the exact same contention charges as the uninterrupted run.
+#pragma once
+
+#include "sim/machine.h"
+#include "sim/snapshot.h"
+
+namespace hn::kernel {
+
+class SpinLock {
+ public:
+  SpinLock() = default;
+
+  /// Wire the lock to its machine.  Unbound locks no-op (the buddy
+  /// allocator constructs before the kernel can hand it a machine).
+  void bind(sim::Machine& machine) { machine_ = &machine; }
+
+  void lock() {
+    if (machine_ == nullptr || machine_->cores() < 2) return;
+    const unsigned me = machine_->active_core();
+    if (last_owner_ != kNoOwner && last_owner_ != me) {
+      const Cycles now = machine_->account().cycles();
+      if (now - last_release_ < machine_->timing().spinlock_contention_window) {
+        machine_->advance(machine_->timing().spinlock_contended);
+        ++machine_->counters().spin_contentions;
+      }
+    }
+  }
+
+  void unlock() {
+    if (machine_ == nullptr || machine_->cores() < 2) return;
+    last_owner_ = static_cast<u8>(machine_->active_core());
+    last_release_ = machine_->account().cycles();
+  }
+
+  // --- Snapshot support (sim/snapshot.h) ------------------------------------
+
+  void save_state(sim::SnapWriter& w) const {
+    w.put_u8(last_owner_);
+    w.put_u64(last_release_);
+  }
+
+  void restore_state(sim::SnapReader& r) {
+    last_owner_ = r.get_u8();
+    last_release_ = r.get_u64();
+  }
+
+ private:
+  static constexpr u8 kNoOwner = 0xFF;
+
+  sim::Machine* machine_ = nullptr;
+  u8 last_owner_ = kNoOwner;  // core that last released the lock
+  Cycles last_release_ = 0;
+};
+
+/// RAII acquisition, in the std::lock_guard idiom.
+class SpinGuard {
+ public:
+  explicit SpinGuard(SpinLock& lock) : lock_(lock) { lock_.lock(); }
+  ~SpinGuard() { lock_.unlock(); }
+  SpinGuard(const SpinGuard&) = delete;
+  SpinGuard& operator=(const SpinGuard&) = delete;
+
+ private:
+  SpinLock& lock_;
+};
+
+}  // namespace hn::kernel

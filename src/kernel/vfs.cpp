@@ -45,6 +45,7 @@ Vfs::Vfs(sim::Machine& machine, BuddyAllocator& buddy, SlabCache& dentry_slab,
          const KernelCosts& costs)
     : machine_(machine), buddy_(buddy), dentry_slab_(dentry_slab),
       costs_(costs) {
+  lock_.bind(machine);
   Inode root;
   root.ino = kRootIno;
   root.is_dir = true;
@@ -158,6 +159,7 @@ Result<u64> Vfs::alloc_ino(bool is_dir) {
 }
 
 Result<u64> Vfs::create_file(std::string_view path) {
+  SpinGuard ns(lock_);
   Result<std::pair<u64, std::string>> rp = resolve_parent(path);
   if (!rp.ok()) return rp.status();
   const auto& [parent, name] = rp.value();
@@ -173,6 +175,7 @@ Result<u64> Vfs::create_file(std::string_view path) {
 }
 
 Result<u64> Vfs::mkdir(std::string_view path) {
+  SpinGuard ns(lock_);
   Result<std::pair<u64, std::string>> rp = resolve_parent(path);
   if (!rp.ok()) return rp.status();
   const auto& [parent, name] = rp.value();
@@ -208,6 +211,7 @@ void Vfs::drop_dentry(u64 parent, const std::string& name,
 }
 
 Status Vfs::unlink(std::string_view path) {
+  SpinGuard ns(lock_);
   Result<std::pair<u64, std::string>> rp = resolve_parent(path);
   if (!rp.ok()) return rp.status();
   const auto& [parent, name] = rp.value();
@@ -226,6 +230,7 @@ Status Vfs::unlink(std::string_view path) {
 }
 
 Status Vfs::rename(std::string_view from, std::string_view to) {
+  SpinGuard ns(lock_);
   Result<std::pair<u64, std::string>> rf = resolve_parent(from);
   if (!rf.ok()) return rf.status();
   Result<std::pair<u64, std::string>> rt = resolve_parent(to);
@@ -260,6 +265,7 @@ Status Vfs::rename(std::string_view from, std::string_view to) {
 }
 
 Result<u64> Vfs::lookup(std::string_view path) {
+  SpinGuard ns(lock_);
   std::vector<std::string> parts = split_path(path);
   u64 cur = kRootIno;
   for (const std::string& part : parts) {
@@ -271,6 +277,7 @@ Result<u64> Vfs::lookup(std::string_view path) {
 }
 
 Result<StatInfo> Vfs::stat(std::string_view path) {
+  SpinGuard ns(lock_);
   machine_.advance(costs_.stat_base);
   Result<u64> ino = lookup(path);
   if (!ino.ok()) return ino.status();
@@ -285,6 +292,7 @@ Result<StatInfo> Vfs::stat(std::string_view path) {
 }
 
 Result<PhysAddr> Vfs::page_for(u64 ino, u64 pgoff) {
+  SpinGuard ns(lock_);
   auto it = inodes_.find(ino);
   if (it == inodes_.end()) return Status::NotFound("vfs: bad inode");
   return ensure_page(it->second, pgoff);
@@ -302,6 +310,7 @@ PhysAddr Vfs::ensure_page(Inode& node, u64 page_index) {
 }
 
 Status Vfs::write_file(u64 ino, u64 offset, const void* data, u64 len) {
+  SpinGuard ns(lock_);
   auto it = inodes_.find(ino);
   if (it == inodes_.end()) return Status::NotFound("vfs: bad inode");
   Inode& node = it->second;
@@ -323,6 +332,7 @@ Status Vfs::write_file(u64 ino, u64 offset, const void* data, u64 len) {
 }
 
 Status Vfs::read_file(u64 ino, u64 offset, void* out, u64 len) {
+  SpinGuard ns(lock_);
   auto it = inodes_.find(ino);
   if (it == inodes_.end()) return Status::NotFound("vfs: bad inode");
   Inode& node = it->second;
@@ -375,6 +385,7 @@ void Vfs::evict_inode_pages(u64 ino) {
 }
 
 void Vfs::prune_dcache(u64 n) {
+  SpinGuard ns(lock_);
   for (u64 i = 0; i < n && !dcache_lru_.empty(); ++i) {
     const DKey key = dcache_lru_.front();
     drop_dentry(key.parent, key.name, /*zap_inode_word=*/false);

@@ -19,6 +19,7 @@
 #include "kernel/buddy.h"
 #include "kernel/costs.h"
 #include "kernel/slab.h"
+#include "kernel/spinlock.h"
 #include "sim/machine.h"
 
 namespace hn::kernel {
@@ -142,6 +143,7 @@ class Vfs {
     }
     w.put_u64(next_ino_);
     w.put_u64(lookup_serial_);
+    lock_.save_state(w);
   }
 
   void restore_state(sim::SnapReader& r) {
@@ -187,6 +189,7 @@ class Vfs {
     }
     next_ino_ = r.get_u64();
     lookup_serial_ = r.get_u64();
+    lock_.restore_state(r);
   }
 
  private:
@@ -221,6 +224,7 @@ class Vfs {
   std::vector<DKey> dcache_lru_;       // creation-ordered for pruning
   u64 next_ino_ = 2;
   u64 lookup_serial_ = 0;  // drives periodic LRU-touch writes
+  SpinLock lock_;          // namespace + dcache lock (dcache_lock analogue)
   DentryHook dentry_alloc_hook_;
   DentryHook dentry_free_hook_;
 };

@@ -21,7 +21,7 @@ KvmHypervisor::~KvmHypervisor() {
   machine_.set_guest_mode(false);
   kernel_.buddy().set_free_hook(nullptr);
   machine_.set_s2_fault_handler(nullptr);
-  machine_.exceptions().set_el2_irq_handler(nullptr);
+  machine_.install_el2_irq_handler(nullptr);
 }
 
 PhysAddr KvmHypervisor::alloc_s2_table() {
@@ -41,11 +41,11 @@ Status KvmHypervisor::init() {
   s2_pool_next_ = machine_.secure_base();
   s2_root_ = alloc_s2_table();
 
-  machine_.set_sysreg_raw(SysReg::VTTBR_EL2, s2_root_);
+  machine_.set_sysreg_raw_all(SysReg::VTTBR_EL2, s2_root_);
   u64 hcr = machine_.sysreg(SysReg::HCR_EL2);
   hcr = with_bit(hcr, sim::kHcrVm, true);   // stage-2 translation on
   hcr = with_bit(hcr, sim::kHcrImo, true);  // physical IRQs exit to EL2
-  machine_.set_sysreg_raw(SysReg::HCR_EL2, hcr);
+  machine_.set_sysreg_raw_all(SysReg::HCR_EL2, hcr);
 
   machine_.set_s2_fault_handler(
       [this](const sim::Fault& fault, bool is_write, u64 value) {
@@ -55,7 +55,7 @@ Status KvmHypervisor::init() {
 
   // Physical interrupts take a full world switch before reinjection into
   // the guest (3.10-era KVM/ARM, no VHE).
-  machine_.exceptions().set_el2_irq_handler([this](unsigned line) {
+  machine_.install_el2_irq_handler([this](unsigned line) {
     ++stats_.irq_exits;
     machine_.advance(machine_.timing().vm_exit);
     ++machine_.counters().vm_exits;
@@ -129,7 +129,7 @@ Status KvmHypervisor::s2_unmap(IpaAddr ipa) {
   machine_.phys().write64(leaf, 0);
   // The combined TLB entry for the guest VA must go too; the host only
   // knows the IPA, and this model's guest linear map gives its kernel VA.
-  machine_.tlb().flush_va(kernel::phys_to_virt(page_align_down(ipa)));
+  machine_.tlb_shootdown_va(kernel::phys_to_virt(page_align_down(ipa)));
   return Status::Ok();
 }
 
@@ -171,9 +171,9 @@ sim::S2FaultAction KvmHypervisor::on_s2_fault(const sim::Fault& fault,
     machine_.advance(machine_.timing().stage2_wp_emulate);
     if (wp_handler_) wp_handler_(fault.ipa, value);
     // Emulate the store on the guest's behalf (single-step emulation).
-    // Any dirty cached copy must be written back *before* the store, or a
-    // later eviction would clobber the emulated value.
-    machine_.cache().flush_line(fault.ipa);
+    // Any dirty cached copy — on any core — must be written back *before*
+    // the store, or a later eviction would clobber the emulated value.
+    machine_.cache_flush_range_all(fault.ipa, 1);
     machine_.phys().write64(word_align_down(fault.ipa), value);
     return sim::S2FaultAction::kEmulated;
   }
@@ -185,7 +185,7 @@ sim::S2FaultAction KvmHypervisor::on_s2_fault(const sim::Fault& fault,
     if (!s2_map(page, /*write_ok=*/true).ok()) {
       return sim::S2FaultAction::kUnhandled;
     }
-    machine_.tlb().flush_va(fault.va);
+    machine_.tlb_shootdown_va(fault.va);
     return sim::S2FaultAction::kRetry;
   }
   return sim::S2FaultAction::kUnhandled;
@@ -200,7 +200,7 @@ Status KvmHypervisor::protect_page(PhysAddr pa) {
     Status s = s2_map(page, /*write_ok=*/false);
     if (!s.ok()) return s;
   }
-  machine_.tlb().flush_va(kernel::phys_to_virt(page));
+  machine_.tlb_shootdown_va(kernel::phys_to_virt(page));
   return Status::Ok();
 }
 
@@ -213,7 +213,7 @@ Status KvmHypervisor::unprotect_page(PhysAddr pa) {
     Status s = s2_map(page, /*write_ok=*/true);
     if (!s.ok()) return s;
   }
-  machine_.tlb().flush_va(kernel::phys_to_virt(page));
+  machine_.tlb_shootdown_va(kernel::phys_to_virt(page));
   return Status::Ok();
 }
 

@@ -36,6 +36,9 @@ struct BusTransaction {
   /// off or the op records no event).  Snoopers link their own events to
   /// it so offline tools can walk write → detection chains.
   u64 trace_seq = kNoCause;
+  /// Issuing core (SMP provenance).  Always 0 on a single-core machine,
+  /// so snoopers and digests built before SMP see unchanged values.
+  u8 core = 0;
 };
 
 /// Interface for passive bus observers (the MBM snooper).

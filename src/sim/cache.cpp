@@ -40,7 +40,12 @@ void Cache::writeback(const Line& line) {
   BusTransaction txn;
   txn.op = BusOp::kWriteLine;
   txn.paddr = line.base;
+  txn.core = core_id_;
   txn.timestamp = account_.cycles();
+  if (bus_clock_ != nullptr) {
+    if (txn.timestamp < *bus_clock_) txn.timestamp = *bus_clock_;
+    *bus_clock_ = txn.timestamp;
+  }
   mem_.read_block(line.base, txn.line.data(), kCacheLineSize);
   bus_.issue(txn);
   account_.charge(timing_.dirty_writeback);

@@ -31,6 +31,17 @@ class Cache {
   Cache(const CacheConfig& config, PhysicalMemory& mem, MemoryBus& bus,
         CycleAccount& account, const TimingModel& timing);
 
+  /// SMP bus provenance: the owning core's id and the machine's shared
+  /// monotonic bus clock.  Dirty write-backs are bus transactions the MBM
+  /// may snoop, so they must carry the issuing core and a bus-order
+  /// (non-decreasing) timestamp even though per-core clocks drift.
+  /// Identity on single-core machines, where the one clock is already
+  /// the bus clock.
+  void set_bus_provenance(u8 core, Cycles* shared_clock) {
+    core_id_ = core;
+    bus_clock_ = shared_clock;
+  }
+
   /// A cacheable access to the word/line containing `pa`.  Charges hit or
   /// miss cost, performs fills and dirty evictions via the bus, and marks
   /// the line dirty on writes.  The functional data update is the caller's
@@ -115,6 +126,8 @@ class Cache {
   MemoryBus& bus_;
   CycleAccount& account_;
   const TimingModel& timing_;
+  u8 core_id_ = 0;
+  Cycles* bus_clock_ = nullptr;  // Machine's shared bus clock (may be null)
   u64 num_sets_;
   std::vector<Line> lines_;       // num_sets_ * ways, set-major
   std::vector<unsigned> victim_;  // round-robin pointer per set

@@ -32,6 +32,12 @@ struct Counters {
   u64 s2_permission_faults = 0;
   u64 el1_permission_faults = 0;
   u64 context_switches = 0;
+  // SMP (all stay 0 on single-core machines).
+  u64 ipis_sent = 0;
+  u64 ipis_delivered = 0;
+  u64 bus_waits = 0;        // word txns that hit shared-bus contention
+  u64 bus_wait_cycles = 0;  // total cycles spent in those waits
+  u64 spin_contentions = 0; // spinlock acquisitions charged as contended
 
   /// Per-field difference `*this - earlier`.
   [[nodiscard]] Counters delta(const Counters& earlier) const {
@@ -55,6 +61,11 @@ struct Counters {
     d.s2_permission_faults = s2_permission_faults - earlier.s2_permission_faults;
     d.el1_permission_faults = el1_permission_faults - earlier.el1_permission_faults;
     d.context_switches = context_switches - earlier.context_switches;
+    d.ipis_sent = ipis_sent - earlier.ipis_sent;
+    d.ipis_delivered = ipis_delivered - earlier.ipis_delivered;
+    d.bus_waits = bus_waits - earlier.bus_waits;
+    d.bus_wait_cycles = bus_wait_cycles - earlier.bus_wait_cycles;
+    d.spin_contentions = spin_contentions - earlier.spin_contentions;
     return d;
   }
 };

@@ -41,7 +41,12 @@ class DmaDevice {
       txn.op = BusOp::kWriteWord;
       txn.paddr = pa + off;
       txn.value = v;
-      txn.timestamp = machine_.account().cycles();
+      // The transfer attributes to the core that programmed the device.
+      txn.core = static_cast<u8>(machine_.active_core());
+      // Arbitrated shared-bus arrival time, like CPU stores: a device is
+      // just another bus master, and the MBM's FIFO requires bus-order
+      // (monotonic) timestamps on SMP machines.
+      txn.timestamp = machine_.bus_timestamp();
       // Provenance-stamped like CPU stores, so a detection triggered by
       // device traffic attributes back to this transfer instead of
       // dangling as an unattributed verdict.

@@ -46,6 +46,15 @@ class ExceptionModel {
   void set_el2_irq_handler(IrqHandler h) { el2_irq_handler_ = std::move(h); }
   void set_el1_irq_handler(IrqHandler h) { el1_irq_handler_ = std::move(h); }
 
+  /// Clock source for flight-recorder timestamps.  On SMP machines the
+  /// Machine installs its bus-order clock here so this core's kHvc /
+  /// kSysregTrap / kIrq events land in the same time domain as the
+  /// bus-stamped events; unset (single core), the local cycle count is
+  /// that domain already.
+  void set_trace_clock(std::function<Cycles()> fn) {
+    trace_clock_ = std::move(fn);
+  }
+
   /// HVC from EL1: world-switch to EL2, run the handler, return to EL1.
   /// Returns the handler's result (0 if no handler is installed).
   u64 hvc(u64 func, std::span<const u64> args) {
@@ -56,7 +65,7 @@ class ExceptionModel {
     el_ = El::kEl2;
     const u64 r = hvc_handler_(func, args);
     el_ = saved;
-    trace_.record(account_.cycles(), TraceKind::kHvc, func, r);
+    trace_.record(trace_now(), TraceKind::kHvc, func, r);
     return r;
   }
 
@@ -72,7 +81,7 @@ class ExceptionModel {
       el_ = El::kEl2;
       const TrapVerdict v = trap_handler_(reg, value);
       el_ = saved;
-      trace_.record(account_.cycles(), TraceKind::kSysregTrap,
+      trace_.record(trace_now(), TraceKind::kSysregTrap,
                     static_cast<u64>(reg), v == TrapVerdict::kAllow ? 1 : 0);
       if (v == TrapVerdict::kDeny) return false;
     }
@@ -90,7 +99,7 @@ class ExceptionModel {
     // the IRQ itself as ambient cause, so everything the handler does is
     // causally downstream of the delivery.
     const u64 irq_seq =
-        trace_.record(account_.cycles(), TraceKind::kIrq, line, 0);
+        trace_.record(trace_now(), TraceKind::kIrq, line, 0);
     Trace::CauseScope cause(trace_, irq_seq);
     if (regs_.hcr_bit(kHcrImo) && el2_irq_handler_) {
       const El saved = el_;
@@ -132,6 +141,10 @@ class ExceptionModel {
   };
 
  private:
+  [[nodiscard]] Cycles trace_now() const {
+    return trace_clock_ ? trace_clock_() : account_.cycles();
+  }
+
   SysRegs& regs_;
   CycleAccount& account_;
   const TimingModel& timing_;
@@ -141,6 +154,7 @@ class ExceptionModel {
   SysregTrapHandler trap_handler_;
   IrqHandler el2_irq_handler_;
   IrqHandler el1_irq_handler_;
+  std::function<Cycles()> trace_clock_;
 };
 
 }  // namespace hn::sim

@@ -15,6 +15,11 @@ inline constexpr unsigned kIrqLines = 16;
 inline constexpr unsigned kIrqTimer = 1;
 inline constexpr unsigned kIrqMbm = 5;
 inline constexpr unsigned kIrqNet = 6;
+/// Inter-processor interrupt (SMP, DESIGN.md §15).  Posted by the Machine
+/// on cross-core TLB shootdowns and delivered on the *target* core's GIC
+/// when the scheduler next activates it, so charges and trace events
+/// attribute to the receiving core.
+inline constexpr unsigned kIrqIpi = 7;
 
 class InterruptController {
  public:

@@ -11,15 +11,29 @@ Machine::Machine(const MachineConfig& config)
     : config_(config),
       phys_(config.dram_size),
       spans_(obs_),
-      cache_(config.cache, phys_, bus_, account_, config_.timing),
-      mmu_(phys_, account_, config_.timing, obs_, config.tlb_entries),
-      exceptions_(sysregs_, account_, config_.timing, trace_),
-      gic_(exceptions_),
       fast_path_(config.host_fast_path) {
   assert(config.secure_size < config.dram_size);
-  mmu_.tlb().set_index_enabled(config.host_fast_path);
-  account_.set_decoupled_quantum(config.decoupled_quantum);
-  spans_.bind_clock(account_.cycles_ref());
+  const unsigned ncores = std::max(1u, config.cores);
+  cores_.reserve(ncores);
+  for (unsigned i = 0; i < ncores; ++i) {
+    cores_.push_back(
+        std::make_unique<CoreState>(config_, phys_, bus_, obs_, trace_));
+    cores_.back()->mmu.tlb().set_index_enabled(config.host_fast_path);
+    cores_.back()->account.set_decoupled_quantum(config.decoupled_quantum);
+    cores_.back()->cache.set_bus_provenance(static_cast<u8>(i),
+                                            &bus_last_timestamp_);
+  }
+  cur_ = cores_[0].get();
+  if (ncores > 1) {
+    // SMP flight-recorder clock: CPU-side events stamp bus-order time so
+    // cross-core detection chains subtract cleanly (single core keeps the
+    // hookless local-clock path — bit-identical traces).
+    for (auto& core : cores_) {
+      core->exceptions.set_trace_clock([this] { return bus_order_now(); });
+    }
+  }
+  ipi_pending_.assign(ncores, 0);
+  spans_.bind_clock(cur_->account.cycles_ref());
   obs_walk_ctx_rebuilds_ = obs_.counter("sim.machine.walk_ctx_rebuilds");
   obs_walk_ctx_cached_ = obs_.counter("sim.machine.walk_ctx_cached");
   obs_bulk_chunks_ = obs_.counter("sim.machine.bulk_chunks");
@@ -29,17 +43,86 @@ Machine::Machine(const MachineConfig& config)
   obs_s2_fault_exits_ = obs_.counter("sim.machine.s2_fault_exits");
 }
 
+void Machine::set_active_core(unsigned core) {
+  assert(core < cores_.size());
+  active_core_ = core;
+  cur_ = cores_[core].get();
+  // The span tracer reads simulated time through a bound clock pointer;
+  // repoint it at the newly active core's committed counter.
+  spans_.bind_clock(cur_->account.cycles_ref());
+  trace_.set_active_core(static_cast<u8>(core));
+  if (ipi_pending_[core] != 0) {
+    ipi_pending_[core] = 0;
+    ++cur_->account.counters().ipis_delivered;
+    cur_->gic.raise(kIrqIpi);
+  }
+}
+
+void Machine::post_ipi(unsigned target) {
+  assert(target < cores_.size());
+  cur_->account.charge(config_.timing.ipi_send);
+  ++cur_->account.counters().ipis_sent;
+  if (target == active_core_) {
+    ++cur_->account.counters().ipis_delivered;
+    cur_->gic.raise(kIrqIpi);
+    return;
+  }
+  ipi_pending_[target] = 1;
+}
+
+void Machine::tlb_shootdown_va(VirtAddr va) {
+  cur_->mmu.tlb().flush_va(va);
+  if (cores_.size() > 1) {
+    // Remote invalidation is immediate (the DVM message); the IPI models
+    // the shootdown-completion interrupt the remote core takes.  Bumping
+    // the remote TLB generation also kills its inline translation cache
+    // through the generation guard.
+    for (unsigned c = 0; c < cores_.size(); ++c) {
+      if (c == active_core_) continue;
+      cores_[c]->mmu.tlb().flush_va(va);
+      post_ipi(c);
+    }
+  }
+}
+
+void Machine::tlb_shootdown_all() {
+  cur_->mmu.tlb().flush_all();
+  if (cores_.size() > 1) {
+    for (unsigned c = 0; c < cores_.size(); ++c) {
+      if (c == active_core_) continue;
+      cores_[c]->mmu.tlb().flush_all();
+      post_ipi(c);
+    }
+  }
+}
+
+void Machine::install_el1_irq_handler(ExceptionModel::IrqHandler h) {
+  for (auto& c : cores_) c->exceptions.set_el1_irq_handler(h);
+}
+
+void Machine::install_el2_irq_handler(ExceptionModel::IrqHandler h) {
+  for (auto& c : cores_) c->exceptions.set_el2_irq_handler(h);
+}
+
+void Machine::install_hypercall_handler(ExceptionModel::HypercallHandler h) {
+  for (auto& c : cores_) c->exceptions.set_hypercall_handler(h);
+}
+
+void Machine::install_sysreg_trap_handler(ExceptionModel::SysregTrapHandler h) {
+  for (auto& c : cores_) c->exceptions.set_sysreg_trap_handler(h);
+}
+
 WalkContext Machine::build_walk_context() const {
   // TTBR0_EL1 carries the ASID in bits [63:48] (TCR.A1 == 0 convention),
   // so an address-space switch is a single system-register write — and
   // thus a single TVM trap under Hypernel (§5.2.2).
-  const u64 ttbr0 = sysregs_.get(SysReg::TTBR0_EL1);
+  const u64 ttbr0 = cur_->sysregs.get(SysReg::TTBR0_EL1);
   WalkContext ctx;
   ctx.ttbr0 = ttbr0 & 0x0000'FFFF'FFFF'FFFFull;
-  ctx.ttbr1 = sysregs_.get(SysReg::TTBR1_EL1) & 0x0000'FFFF'FFFF'FFFFull;
+  ctx.ttbr1 = cur_->sysregs.get(SysReg::TTBR1_EL1) & 0x0000'FFFF'FFFF'FFFFull;
   ctx.asid = static_cast<u16>(ttbr0 >> 48);
-  ctx.stage2_enabled = sysregs_.hcr_bit(kHcrVm);
-  ctx.vttbr = sysregs_.get(SysReg::VTTBR_EL2);
+  ctx.stage2_enabled = cur_->sysregs.hcr_bit(kHcrVm);
+  ctx.vttbr = cur_->sysregs.get(SysReg::VTTBR_EL2);
   return ctx;
 }
 
@@ -48,29 +131,67 @@ WalkContext Machine::walk_context() const {
     obs_walk_ctx_rebuilds_.add();
     return build_walk_context();
   }
-  const u64 gen = sysregs_.vm_generation();
-  if (walk_ctx_gen_ != gen) {
-    walk_ctx_ = build_walk_context();
-    walk_ctx_gen_ = gen;
+  const u64 gen = cur_->sysregs.vm_generation();
+  if (cur_->walk_ctx_gen != gen) {
+    cur_->walk_ctx = build_walk_context();
+    cur_->walk_ctx_gen = gen;
     obs_walk_ctx_rebuilds_.add();
   } else {
     obs_walk_ctx_cached_.add();
   }
-  return walk_ctx_;
+  return cur_->walk_ctx;
+}
+
+Cycles Machine::bus_timestamp() {
+  Cycles now = cur_->account.cycles();
+  if (cores_.size() > 1) {
+    // Deterministic round-robin slot model: a different core issuing into
+    // a still-draining slot waits for the remainder — but only when the
+    // collision is temporally close, so cores running disjoint phases of
+    // simulated time don't charge phantom waits against each other.
+    if (active_core_ != last_bus_core_ && now < bus_busy_until_) {
+      const Cycles wait = bus_busy_until_ - now;
+      if (wait <= config_.timing.bus_contention_window) {
+        cur_->account.charge(wait);
+        ++cur_->account.counters().bus_waits;
+        cur_->account.counters().bus_wait_cycles += wait;
+        now = cur_->account.cycles();
+      }
+    }
+    last_bus_core_ = static_cast<u8>(active_core_);
+    bus_busy_until_ = now + config_.timing.bus_slot;
+    // Bus-order time.  Per-core clocks drift apart, so the shared bus
+    // clock is kept monotonic — but a plain clamp would freeze it while a
+    // trailing core issues (every write stamped identically, so the MBM's
+    // FIFO never drains and spuriously overflows).  Instead the clock
+    // advances by the issuing core's local progress since its own last
+    // issue: bursts and gaps in the trailing core's write stream keep
+    // their local spacing in bus time, exactly as they would on a single
+    // core.
+    const Cycles delta =
+        cur_->last_bus_local != 0 && now > cur_->last_bus_local
+            ? now - cur_->last_bus_local
+            : 0;
+    cur_->last_bus_local = now;
+    if (now < bus_last_timestamp_) now = bus_last_timestamp_ + delta;
+  }
+  // Identity on a single core: the one clock is the bus clock.
+  bus_last_timestamp_ = now;
+  return now;
 }
 
 u64 Machine::perform(PhysAddr pa, const PageAttrs& attrs, bool is_write,
                      u64 value) {
   if (is_write) {
-    ++account_.counters().mem_writes;
+    ++cur_->account.counters().mem_writes;
   } else {
-    ++account_.counters().mem_reads;
+    ++cur_->account.counters().mem_reads;
   }
 
   const bool cacheable =
-      attrs.attr == MemAttr::kNormalCacheable && cache_.config().enabled;
+      attrs.attr == MemAttr::kNormalCacheable && cur_->cache.config().enabled;
   if (cacheable) {
-    cache_.access(pa, is_write);
+    cur_->cache.access(pa, is_write);
     if (is_write) {
       phys_.write64(pa, value);
       return value;
@@ -80,11 +201,12 @@ u64 Machine::perform(PhysAddr pa, const PageAttrs& attrs, bool is_write,
 
   // Non-cacheable / device: the word access reaches the bus and is
   // therefore visible to the MBM snooper.
-  account_.charge(config_.timing.noncacheable_access);
-  ++account_.counters().noncacheable_accesses;
+  cur_->account.charge(config_.timing.noncacheable_access);
+  ++cur_->account.counters().noncacheable_accesses;
   BusTransaction txn;
   txn.paddr = word_align_down(pa);
-  txn.timestamp = account_.cycles();
+  txn.core = static_cast<u8>(active_core_);
+  txn.timestamp = bus_timestamp();
   if (is_write) {
     phys_.write64(pa, value);
     txn.op = BusOp::kWriteWord;
@@ -118,16 +240,16 @@ Access64 Machine::access64(VirtAddr va, bool is_write, u64 value, bool user) {
     TranslateOutcome out;
     bool translated = false;
     const VirtAddr vpage = page_align_down(va);
-    ItcEntry& slot = itc_[(vpage >> kPageShift) & (kItcEntries - 1)];
+    ItcEntry& slot = cur_->itc[(vpage >> kPageShift) & (kItcEntries - 1)];
     if (fast_path_ && slot.vpage == vpage &&
-        slot.vm_gen == sysregs_.vm_generation() &&
-        slot.tlb_gen == mmu_.tlb().generation()) {
-      mmu_.note_itc_hit();
+        slot.vm_gen == cur_->sysregs.vm_generation() &&
+        slot.tlb_gen == cur_->mmu.tlb().generation()) {
+      cur_->mmu.note_itc_hit();
       if (!Mmu::permission_ok(slot.attrs, at)) {
         out = TranslateOutcome::fail(
             Fault{FaultType::kPermission, 3, va, 0, is_write});
       } else if (is_write && !slot.s2_write_ok) {
-        ++account_.counters().s2_permission_faults;
+        ++cur_->account.counters().s2_permission_faults;
         const IpaAddr ipa = slot.ppage + (va & kPageMask);
         out = TranslateOutcome::fail(
             Fault{FaultType::kS2Permission, 3, va, ipa, true});
@@ -143,7 +265,7 @@ Access64 Machine::access64(VirtAddr va, bool is_write, u64 value, bool user) {
     if (!translated) {
       obs::SelfProfiler::Scope prof(profiler_, obs::ProfileBucket::kTranslate);
       const WalkContext ctx = walk_context();
-      out = mmu_.translate(va, at, ctx);
+      out = cur_->mmu.translate(va, at, ctx);
       if (fast_path_ && out.ok) {
         // Fill after the translate so the recorded generations cover any
         // TLB insert the walk just performed.
@@ -151,8 +273,8 @@ Access64 Machine::access64(VirtAddr va, bool is_write, u64 value, bool user) {
         slot.ppage = page_align_down(out.t.pa);
         slot.attrs = out.t.attrs;
         slot.s2_write_ok = out.t.s2_write_ok;
-        slot.tlb_gen = mmu_.tlb().generation();
-        slot.vm_gen = sysregs_.vm_generation();
+        slot.tlb_gen = cur_->mmu.tlb().generation();
+        slot.vm_gen = cur_->sysregs.vm_generation();
       }
     }
     if (out.ok) {
@@ -170,13 +292,13 @@ Access64 Machine::access64(VirtAddr va, bool is_write, u64 value, bool user) {
           r.fault = out.fault;
           return r;
         }
-        trace_.record(account_.cycles(), TraceKind::kS2Fault, out.fault.ipa,
-                      is_write ? 1 : 0);
+        trace_.record(bus_order_now(), TraceKind::kS2Fault,
+                      out.fault.ipa, is_write ? 1 : 0);
         obs_s2_fault_exits_.add();
-        account_.charge(config_.timing.vm_exit);
-        ++account_.counters().vm_exits;
+        cur_->account.charge(config_.timing.vm_exit);
+        ++cur_->account.counters().vm_exits;
         const S2FaultAction action = s2_handler_(out.fault, is_write, value);
-        account_.charge(config_.timing.vm_entry);
+        cur_->account.charge(config_.timing.vm_entry);
         if (action == S2FaultAction::kRetry) continue;
         Access64 r;
         if (action == S2FaultAction::kEmulated) {
@@ -188,8 +310,8 @@ Access64 Machine::access64(VirtAddr va, bool is_write, u64 value, bool user) {
         return r;
       }
       case FaultType::kPermission: {
-        trace_.record(account_.cycles(), TraceKind::kEl1Fault, va, 0);
-        ++account_.counters().el1_permission_faults;
+        trace_.record(bus_order_now(), TraceKind::kEl1Fault, va, 0);
+        ++cur_->account.counters().el1_permission_faults;
         if (el1_handler_) el1_handler_(out.fault);
         Access64 r;
         r.fault = out.fault;
@@ -252,7 +374,7 @@ bool Machine::write_block_bulk(VirtAddr va, const void* data, u64 len,
     at.is_write = true;
     at.is_user = user;
     const WalkContext ctx = walk_context();
-    const TranslateOutcome out = mmu_.translate(va + off, at, ctx);
+    const TranslateOutcome out = cur_->mmu.translate(va + off, at, ctx);
     if (!out.ok) {
       // Fall back to the exact path so fault handling (stage-2 fills, COW)
       // behaves identically to single-word accesses.
@@ -266,7 +388,7 @@ bool Machine::write_block_bulk(VirtAddr va, const void* data, u64 len,
     obs_bulk_chunks_.add();
     const PhysAddr pa = out.t.pa;
     if (out.t.attrs.attr == MemAttr::kNormalCacheable &&
-        cache_.config().enabled) {
+        cur_->cache.config().enabled) {
       // Walk whole cache lines by absolute address: lines fully covered by
       // the span use streaming allocation (no fetch-on-write); ragged
       // edges behave as ordinary write-allocate accesses.
@@ -276,15 +398,15 @@ bool Machine::write_block_bulk(VirtAddr va, const void* data, u64 len,
         const bool full_line =
             line >= pa && line + kCacheLineSize <= pa + chunk;
         if (full_line) {
-          cache_.write_alloc_line(line);
+          cur_->cache.write_alloc_line(line);
         } else {
-          cache_.access(line, /*is_write=*/true);
+          cur_->cache.access(line, /*is_write=*/true);
         }
       }
       const u64 words = chunk / kWordSize;
-      account_.charge_batch(config_.timing.l1_hit,
-                            words - chunk / kCacheLineSize);
-      account_.counters().mem_writes += words;
+      cur_->account.charge_batch(config_.timing.l1_hit,
+                                 words - chunk / kCacheLineSize);
+      cur_->account.counters().mem_writes += words;
       phys_.write_block(pa, p + off, chunk);
     } else {
       // Non-cacheable / device page.  The reference path issues write64
@@ -299,18 +421,19 @@ bool Machine::write_block_bulk(VirtAddr va, const void* data, u64 len,
       // exact path.
       u64 w = 0;
       if (fast_path_) {
-        const u64 tlb_gen = mmu_.tlb().generation();
-        const u64 vm_gen = sysregs_.vm_generation();
+        const u64 tlb_gen = cur_->mmu.tlb().generation();
+        const u64 vm_gen = cur_->sysregs.vm_generation();
         for (; w < chunk; w += kWordSize) {
-          ++account_.counters().tlb_hits;
+          ++cur_->account.counters().tlb_hits;
           u64 v;
           std::memcpy(&v, p + off + w, kWordSize);
-          ++account_.counters().mem_writes;
-          account_.charge(config_.timing.noncacheable_access);
-          ++account_.counters().noncacheable_accesses;
+          ++cur_->account.counters().mem_writes;
+          cur_->account.charge(config_.timing.noncacheable_access);
+          ++cur_->account.counters().noncacheable_accesses;
           BusTransaction txn;
           txn.paddr = word_align_down(pa + w);
-          txn.timestamp = account_.cycles();
+          txn.core = static_cast<u8>(active_core_);
+          txn.timestamp = bus_timestamp();
           phys_.write64(pa + w, v);
           txn.op = BusOp::kWriteWord;
           txn.value = v;
@@ -319,8 +442,8 @@ bool Machine::write_block_bulk(VirtAddr va, const void* data, u64 len,
           txn.trace_seq =
               trace_.record(txn.timestamp, TraceKind::kBusWrite, txn.paddr, v);
           bus_.issue(txn);
-          if (mmu_.tlb().generation() != tlb_gen ||
-              sysregs_.vm_generation() != vm_gen) {
+          if (cur_->mmu.tlb().generation() != tlb_gen ||
+              cur_->sysregs.vm_generation() != vm_gen) {
             w += kWordSize;
             break;
           }
@@ -351,7 +474,7 @@ bool Machine::read_block_bulk(VirtAddr va, void* out_buf, u64 len, bool user) {
     AccessType at;
     at.is_user = user;
     const WalkContext ctx = walk_context();
-    const TranslateOutcome out = mmu_.translate(va + off, at, ctx);
+    const TranslateOutcome out = cur_->mmu.translate(va + off, at, ctx);
     if (!out.ok) {
       const Access64 r = read64(va + off, user);
       if (!r.ok) return false;
@@ -363,14 +486,14 @@ bool Machine::read_block_bulk(VirtAddr va, void* out_buf, u64 len, bool user) {
     obs_bulk_chunks_.add();
     const PhysAddr pa = out.t.pa;
     if (out.t.attrs.attr == MemAttr::kNormalCacheable &&
-        cache_.config().enabled) {
+        cur_->cache.config().enabled) {
       for (u64 line = 0; line < chunk; line += kCacheLineSize) {
-        cache_.access(pa + line, /*is_write=*/false);
+        cur_->cache.access(pa + line, /*is_write=*/false);
       }
       const u64 words = chunk / kWordSize;
-      account_.charge_batch(config_.timing.l1_hit,
-                            words - chunk / kCacheLineSize);
-      account_.counters().mem_reads += words;
+      cur_->account.charge_batch(config_.timing.l1_hit,
+                                 words - chunk / kCacheLineSize);
+      cur_->account.counters().mem_reads += words;
       phys_.read_block(pa, p + off, chunk);
     } else {
       // Charge-replay of the per-word read64 path (see write_block_bulk).
@@ -379,23 +502,24 @@ bool Machine::read_block_bulk(VirtAddr va, void* out_buf, u64 len, bool user) {
       // replay's correctness independent of what snoopers do.
       u64 w = 0;
       if (fast_path_) {
-        const u64 tlb_gen = mmu_.tlb().generation();
-        const u64 vm_gen = sysregs_.vm_generation();
+        const u64 tlb_gen = cur_->mmu.tlb().generation();
+        const u64 vm_gen = cur_->sysregs.vm_generation();
         for (; w < chunk; w += kWordSize) {
-          ++account_.counters().tlb_hits;
-          ++account_.counters().mem_reads;
-          account_.charge(config_.timing.noncacheable_access);
-          ++account_.counters().noncacheable_accesses;
+          ++cur_->account.counters().tlb_hits;
+          ++cur_->account.counters().mem_reads;
+          cur_->account.charge(config_.timing.noncacheable_access);
+          ++cur_->account.counters().noncacheable_accesses;
           BusTransaction txn;
           txn.paddr = word_align_down(pa + w);
-          txn.timestamp = account_.cycles();
+          txn.core = static_cast<u8>(active_core_);
+          txn.timestamp = bus_timestamp();
           const u64 r = phys_.read64(pa + w);
           txn.op = BusOp::kReadWord;
           txn.value = r;
           bus_.issue(txn);
           std::memcpy(p + off + w, &r, kWordSize);
-          if (mmu_.tlb().generation() != tlb_gen ||
-              sysregs_.vm_generation() != vm_gen) {
+          if (cur_->mmu.tlb().generation() != tlb_gen ||
+              cur_->sysregs.vm_generation() != vm_gen) {
             w += kWordSize;
             break;
           }
@@ -416,44 +540,50 @@ bool Machine::read_block_bulk(VirtAddr va, void* out_buf, u64 len, bool user) {
 }
 
 TranslateOutcome Machine::probe(VirtAddr va, const AccessType& access) {
-  return mmu_.translate(va, access, walk_context());
+  return cur_->mmu.translate(va, access, walk_context());
 }
 
 u64 Machine::el2_read64(PhysAddr pa) {
-  ++account_.counters().mem_reads;
-  if (cache_.config().enabled) {
-    cache_.access(pa, /*is_write=*/false);
+  ++cur_->account.counters().mem_reads;
+  if (cur_->cache.config().enabled) {
+    cur_->cache.access(pa, /*is_write=*/false);
   } else {
-    account_.charge(config_.timing.noncacheable_access);
-    ++account_.counters().noncacheable_accesses;
+    cur_->account.charge(config_.timing.noncacheable_access);
+    ++cur_->account.counters().noncacheable_accesses;
   }
   return phys_.read64(pa);
 }
 
 void Machine::el2_write64(PhysAddr pa, u64 value) {
-  ++account_.counters().mem_writes;
-  if (cache_.config().enabled) {
-    cache_.access(pa, /*is_write=*/true);
+  ++cur_->account.counters().mem_writes;
+  if (cur_->cache.config().enabled) {
+    cur_->cache.access(pa, /*is_write=*/true);
   } else {
-    account_.charge(config_.timing.noncacheable_access);
-    ++account_.counters().noncacheable_accesses;
+    cur_->account.charge(config_.timing.noncacheable_access);
+    ++cur_->account.counters().noncacheable_accesses;
   }
   phys_.write64(pa, value);
 }
 
 void Machine::el2_write64_nc(PhysAddr pa, u64 value) {
-  ++account_.counters().mem_writes;
-  account_.charge(config_.timing.noncacheable_access);
-  ++account_.counters().noncacheable_accesses;
-  // The line must not linger dirty in the cache, or the bus write below
-  // could later be shadowed by a stale write-back.
-  cache_.flush_line(pa);
+  ++cur_->account.counters().mem_writes;
+  cur_->account.charge(config_.timing.noncacheable_access);
+  ++cur_->account.counters().noncacheable_accesses;
+  // The line must not linger dirty in any core's cache, or the bus write
+  // below could later be shadowed by a stale write-back.
+  cur_->cache.flush_line(pa);
+  if (cores_.size() > 1) {
+    for (unsigned c = 0; c < cores_.size(); ++c) {
+      if (c != active_core_) cores_[c]->cache.flush_line(pa);
+    }
+  }
   phys_.write64(pa, value);
   BusTransaction txn;
   txn.op = BusOp::kWriteWord;
   txn.paddr = word_align_down(pa);
   txn.value = value;
-  txn.timestamp = account_.cycles();
+  txn.core = static_cast<u8>(active_core_);
+  txn.timestamp = bus_timestamp();
   txn.trace_seq =
       trace_.record(txn.timestamp, TraceKind::kBusWrite, txn.paddr, value);
   bus_.issue(txn);
@@ -461,37 +591,37 @@ void Machine::el2_write64_nc(PhysAddr pa, u64 value) {
 
 void Machine::el2_read_block(PhysAddr pa, void* out, u64 len) {
   for (u64 off = 0; off < len; off += kCacheLineSize) {
-    if (cache_.config().enabled) {
-      cache_.access(pa + off, /*is_write=*/false);
+    if (cur_->cache.config().enabled) {
+      cur_->cache.access(pa + off, /*is_write=*/false);
     } else {
-      account_.charge(config_.timing.noncacheable_access);
-      ++account_.counters().noncacheable_accesses;
+      cur_->account.charge(config_.timing.noncacheable_access);
+      ++cur_->account.counters().noncacheable_accesses;
     }
   }
-  account_.counters().mem_reads += (len + kWordSize - 1) / kWordSize;
+  cur_->account.counters().mem_reads += (len + kWordSize - 1) / kWordSize;
   phys_.read_block(pa, out, len);
 }
 
 void Machine::el2_write_block(PhysAddr pa, const void* data, u64 len) {
   for (u64 off = 0; off < len; off += kCacheLineSize) {
-    if (cache_.config().enabled) {
-      cache_.access(pa + off, /*is_write=*/true);
+    if (cur_->cache.config().enabled) {
+      cur_->cache.access(pa + off, /*is_write=*/true);
     } else {
-      account_.charge(config_.timing.noncacheable_access);
-      ++account_.counters().noncacheable_accesses;
+      cur_->account.charge(config_.timing.noncacheable_access);
+      ++cur_->account.counters().noncacheable_accesses;
     }
   }
-  account_.counters().mem_writes += (len + kWordSize - 1) / kWordSize;
+  cur_->account.counters().mem_writes += (len + kWordSize - 1) / kWordSize;
   phys_.write_block(pa, data, len);
 }
 
 void Machine::dma_write_block(PhysAddr pa, const void* data, u64 len) {
-  cache_.flush_range(pa, len);
+  for (auto& c : cores_) c->cache.flush_range(pa, len);
   phys_.write_block(pa, data, len);
 }
 
 void Machine::dma_read_block(PhysAddr pa, void* out, u64 len) {
-  cache_.flush_range(pa, len);
+  for (auto& c : cores_) c->cache.flush_range(pa, len);
   phys_.read_block(pa, out, len);
 }
 
@@ -503,7 +633,8 @@ u64 Machine::hvc(u64 func, std::initializer_list<u64> args) {
   std::array<u64, 8> regs;
   assert(args.size() <= regs.size());
   std::copy(args.begin(), args.end(), regs.begin());
-  return exceptions_.hvc(func, std::span<const u64>(regs.data(), args.size()));
+  return cur_->exceptions.hvc(func,
+                              std::span<const u64>(regs.data(), args.size()));
 }
 
 // --- Snapshot support --------------------------------------------------------
@@ -531,6 +662,11 @@ void save_counters(SnapWriter& w, const Counters& c) {
   w.put_u64(c.s2_permission_faults);
   w.put_u64(c.el1_permission_faults);
   w.put_u64(c.context_switches);
+  w.put_u64(c.ipis_sent);
+  w.put_u64(c.ipis_delivered);
+  w.put_u64(c.bus_waits);
+  w.put_u64(c.bus_wait_cycles);
+  w.put_u64(c.spin_contentions);
 }
 
 void restore_counters(SnapReader& r, Counters& c) {
@@ -554,24 +690,43 @@ void restore_counters(SnapReader& r, Counters& c) {
   c.s2_permission_faults = r.get_u64();
   c.el1_permission_faults = r.get_u64();
   c.context_switches = r.get_u64();
+  c.ipis_sent = r.get_u64();
+  c.ipis_delivered = r.get_u64();
+  c.bus_waits = r.get_u64();
+  c.bus_wait_cycles = r.get_u64();
+  c.spin_contentions = r.get_u64();
 }
 
 }  // namespace
 
 void Machine::save_state(SnapWriter& w) const {
-  // System registers, raw, plus the vm generation so the restored machine
-  // reproduces subsequent generation values bit-exactly.
-  w.put_u32(SysRegs::kRegCount);
-  for (unsigned i = 0; i < SysRegs::kRegCount; ++i) w.put_u64(sysregs_.raw(i));
-  w.put_u64(sysregs_.vm_generation());
-  mmu_.tlb().save_state(w);
-  cache_.save_state(w);
-  w.put_u64(account_.cycles());
-  save_counters(w, account_.counters());
+  // Per-core architectural state first (count-prefixed so a restore into
+  // a machine of a different shape fails loudly), then the shared
+  // bus/arbiter/IPI state and the flight-recorder ring.
+  w.put_u32(static_cast<u32>(cores_.size()));
+  for (const auto& core : cores_) {
+    // System registers, raw, plus the vm generation so the restored
+    // machine reproduces subsequent generation values bit-exactly.
+    w.put_u32(SysRegs::kRegCount);
+    for (unsigned i = 0; i < SysRegs::kRegCount; ++i) {
+      w.put_u64(core->sysregs.raw(i));
+    }
+    w.put_u64(core->sysregs.vm_generation());
+    core->mmu.tlb().save_state(w);
+    core->cache.save_state(w);
+    w.put_u64(core->account.cycles());
+    save_counters(w, core->account.counters());
+    core->gic.save_state(w);
+    w.put_u8(static_cast<u8>(core->exceptions.current_el()));
+    w.put_u64(core->last_bus_local);
+  }
   w.put_u64(bus_.transaction_count());
-  gic_.save_state(w);
-  w.put_u8(static_cast<u8>(exceptions_.current_el()));
   w.put_bool(guest_mode_);
+  w.put_u8(last_bus_core_);
+  w.put_u64(bus_busy_until_);
+  w.put_u64(bus_last_timestamp_);
+  for (const u8 pending : ipi_pending_) w.put_u8(pending);
+  w.put_u8(static_cast<u8>(active_core_));
   // Flight-recorder ring: the events it holds, plus drop/sequence
   // accounting.  The enabled flag is host-side policy and not saved.
   const std::vector<TraceEvent> events = trace_.chronological();
@@ -583,6 +738,7 @@ void Machine::save_state(SnapWriter& w) const {
     w.put_u8(static_cast<u8>(e.kind));
     w.put_u64(e.a);
     w.put_u64(e.b);
+    w.put_u8(e.core);
   }
   w.put_u64(trace_.dropped());
   w.put_u64(trace_.sequence());
@@ -590,28 +746,47 @@ void Machine::save_state(SnapWriter& w) const {
 
 void Machine::restore_state(SnapReader& r) {
   r.section("machine");
-  const u32 nregs = r.get_u32();
-  if (r.ok() && nregs != SysRegs::kRegCount) {
-    r.fail("system register count " + std::to_string(nregs) +
-           " does not match this build");
+  const u32 ncores = r.get_u32();
+  if (r.ok() && ncores != cores_.size()) {
+    r.fail("core count " + std::to_string(ncores) +
+           " does not match this machine");
     return;
   }
-  for (unsigned i = 0; i < SysRegs::kRegCount; ++i) {
-    sysregs_.restore_raw(i, r.get_u64());
+  for (auto& core : cores_) {
+    r.section("machine");
+    const u32 nregs = r.get_u32();
+    if (r.ok() && nregs != SysRegs::kRegCount) {
+      r.fail("system register count " + std::to_string(nregs) +
+             " does not match this build");
+      return;
+    }
+    for (unsigned i = 0; i < SysRegs::kRegCount; ++i) {
+      core->sysregs.restore_raw(i, r.get_u64());
+    }
+    core->sysregs.restore_vm_generation(r.get_u64());
+    core->mmu.tlb().restore_state(r);
+    core->cache.restore_state(r);
+    r.section("machine");
+    const Cycles cycles = r.get_u64();
+    core->account.reset();
+    core->account.charge(cycles);
+    restore_counters(r, core->account.counters());
+    core->gic.restore_state(r);
+    r.section("machine");
+    core->exceptions.restore_el(static_cast<El>(r.get_u8()));
+    core->last_bus_local = r.get_u64();
   }
-  sysregs_.restore_vm_generation(r.get_u64());
-  mmu_.tlb().restore_state(r);
-  cache_.restore_state(r);
-  r.section("machine");
-  const Cycles cycles = r.get_u64();
-  account_.reset();
-  account_.charge(cycles);
-  restore_counters(r, account_.counters());
   bus_.restore_transaction_count(r.get_u64());
-  gic_.restore_state(r);
-  r.section("machine");
-  exceptions_.restore_el(static_cast<El>(r.get_u8()));
   guest_mode_ = r.get_bool();
+  last_bus_core_ = r.get_u8();
+  bus_busy_until_ = r.get_u64();
+  bus_last_timestamp_ = r.get_u64();
+  for (u8& pending : ipi_pending_) pending = r.get_u8();
+  const unsigned active = r.get_u8();
+  if (r.ok() && active >= cores_.size()) {
+    r.fail("active core " + std::to_string(active) + " out of range");
+    return;
+  }
   const u64 nevents = r.get_count("trace event");
   std::vector<TraceEvent> events;
   events.reserve(r.ok() ? nevents : 0);
@@ -623,21 +798,32 @@ void Machine::restore_state(SnapReader& r) {
     e.kind = static_cast<TraceKind>(r.get_u8());
     e.a = r.get_u64();
     e.b = r.get_u64();
+    e.core = r.get_u8();
     events.push_back(e);
   }
   const u64 dropped = r.get_u64();
   const u64 seq = r.get_u64();
   if (!r.ok()) return;
   trace_.restore_ring(std::move(events), dropped, seq);
-  // Drop the cached walk context through the existing invalidation
-  // mechanism (DESIGN.md §9): 0 never matches a live vm generation, so the
-  // next walk rebuilds from the restored registers.  Same-boot restores
-  // would otherwise see a matching generation over stale cached state.
-  walk_ctx_gen_ = 0;
-  // Same hazard for the inline translation cache: the restored TLB
-  // generation may numerically match a fill-time generation over entirely
-  // different TLB contents.
-  itc_drop();
+  // Re-activate the saved core *without* IPI delivery: latched IPIs must
+  // stay latched across a snapshot so a restored run delivers them at the
+  // same future core switch the original run would have.
+  active_core_ = active;
+  cur_ = cores_[active].get();
+  spans_.bind_clock(cur_->account.cycles_ref());
+  trace_.set_active_core(static_cast<u8>(active));
+  for (auto& core : cores_) {
+    // Drop the cached walk context through the existing invalidation
+    // mechanism (DESIGN.md §9): 0 never matches a live vm generation, so
+    // the next walk rebuilds from the restored registers.  Same-boot
+    // restores would otherwise see a matching generation over stale
+    // cached state.
+    core->walk_ctx_gen = 0;
+    // Same hazard for the inline translation cache: the restored TLB
+    // generation may numerically match a fill-time generation over
+    // entirely different TLB contents.
+    core->itc_drop();
+  }
   // Host-side observability is not part of the snapshot: restart it.
   obs_.reset_values();
   spans_.clear();

@@ -6,11 +6,23 @@
 // their accesses to simulated memory translate through real page tables,
 // hit the TLB/cache models, charge cycles, and emit bus transactions that
 // the MBM can snoop (DESIGN.md §3.1).
+//
+// SMP (DESIGN.md §15): the machine carries N cores, each a full private
+// bundle (TLB + inline translation cache, L1 cache timing model, system
+// registers, cycle ledger, exception model, GIC) sharing one DRAM, one
+// memory bus and one flight recorder.  Execution is sequential and
+// time-multiplexed — exactly one core is *active* at a time, switched by
+// the scheduler via set_active_core() — so every run is deterministic by
+// construction.  Cross-core timing couples only through the shared-bus
+// round-robin arbiter and the monotonic bus clock; with cores == 1 every
+// SMP mechanism is bypassed and behaviour is bit-identical to the
+// single-core machine.
 #pragma once
 
 #include <functional>
 #include <initializer_list>
 #include <memory>
+#include <vector>
 
 #include "common/timing.h"
 #include "common/types.h"
@@ -40,6 +52,10 @@ struct MachineConfig {
   TimingModel timing;
   CacheConfig cache;
   unsigned tlb_entries = 256;  // A57 L2-TLB reach stand-in
+  /// Number of simulated cores (DESIGN.md §15).  1 (the default) is the
+  /// exact pre-SMP machine; N > 1 adds per-core state, the shared-bus
+  /// arbiter and IPIs.  Deterministic at any value.
+  unsigned cores = 1;
   /// Host-side fast path (DESIGN.md §9): cached WalkContext and bulk
   /// charge-replay.  Changes host wall-clock only — simulated cycles,
   /// counters, bus traffic and fingerprints are bit-identical either way
@@ -76,17 +92,19 @@ class Machine {
   explicit Machine(const MachineConfig& config);
 
   // --- Component access ----------------------------------------------------
+  // Per-core components resolve through the *active* core; shared
+  // components (DRAM, bus, trace, observability) are machine-global.
   PhysicalMemory& phys() { return phys_; }
   MemoryBus& bus() { return bus_; }
-  Cache& cache() { return cache_; }
-  Mmu& mmu() { return mmu_; }
-  Tlb& tlb() { return mmu_.tlb(); }
-  CycleAccount& account() { return account_; }
-  Counters& counters() { return account_.counters(); }
-  SysRegs& sysregs() { return sysregs_; }
-  ExceptionModel& exceptions() { return exceptions_; }
+  Cache& cache() { return cur_->cache; }
+  Mmu& mmu() { return cur_->mmu; }
+  Tlb& tlb() { return cur_->mmu.tlb(); }
+  CycleAccount& account() { return cur_->account; }
+  Counters& counters() { return cur_->account.counters(); }
+  SysRegs& sysregs() { return cur_->sysregs; }
+  ExceptionModel& exceptions() { return cur_->exceptions; }
   Trace& trace() { return trace_; }
-  InterruptController& gic() { return gic_; }
+  InterruptController& gic() { return cur_->gic; }
   /// Observability (DESIGN.md §10): per-machine metrics registry and span
   /// tracer.  Runtime-disabled by default; tools flip it on for
   /// --metrics-out.  Registration is valid even when disabled.
@@ -99,6 +117,48 @@ class Machine {
   [[nodiscard]] const TimingModel& timing() const { return config_.timing; }
   [[nodiscard]] const MachineConfig& config() const { return config_; }
 
+  // --- SMP core control (DESIGN.md §15) -------------------------------------
+  [[nodiscard]] unsigned cores() const {
+    return static_cast<unsigned>(cores_.size());
+  }
+  [[nodiscard]] unsigned active_core() const { return active_core_; }
+  /// Per-core cycle ledger / counters (reporting; `core` must be valid).
+  [[nodiscard]] const CycleAccount& core_account(unsigned core) const {
+    return cores_[core]->account;
+  }
+  /// Switch the executing core: rebinds the span clock and the trace's
+  /// ambient provenance stamp, and delivers any IPI latched for the
+  /// target on *its* GIC, so delivery charges and trace events attribute
+  /// to the receiving core.  Never called on single-core machines.
+  void set_active_core(unsigned core);
+  /// Latch an IPI for `target`, charging the send cost to the active
+  /// core.  A self-IPI delivers synchronously; a cross-core IPI delivers
+  /// when the scheduler next activates the target.
+  void post_ipi(unsigned target);
+  [[nodiscard]] bool ipi_pending(unsigned core) const {
+    return ipi_pending_[core] != 0;
+  }
+  /// TLBI ...IS analogue: invalidate `va` on the active core and — on
+  /// multi-core machines — on every remote core, posting each remote an
+  /// IPI (shootdown completion).  Call sites keep charging charge_tlbi()
+  /// exactly as before, so single-core charge streams are unchanged.
+  void tlb_shootdown_va(VirtAddr va);
+  /// Full-TLB variant (break-before-make over a section).
+  void tlb_shootdown_all();
+  /// Flush [pa, pa+len) from every core's cache: EL2 coherence
+  /// maintenance before/after non-cacheable remaps and DMA.
+  void cache_flush_range_all(PhysAddr pa, u64 len) {
+    for (auto& c : cores_) c->cache.flush_range(pa, len);
+  }
+
+  /// Install an exception handler on *every* core (the vector-base
+  /// registers are per-core, but all cores run the same kernel/hypervisor
+  /// image).  Pass nullptr/empty to clear.
+  void install_el1_irq_handler(ExceptionModel::IrqHandler h);
+  void install_el2_irq_handler(ExceptionModel::IrqHandler h);
+  void install_hypercall_handler(ExceptionModel::HypercallHandler h);
+  void install_sysreg_trap_handler(ExceptionModel::SysregTrapHandler h);
+
   /// Secure-space physical extent (top of DRAM).
   [[nodiscard]] PhysAddr secure_base() const {
     return config_.dram_size - config_.secure_size;
@@ -109,8 +169,8 @@ class Machine {
   }
 
   /// Translation-regime snapshot from the live system registers.  With
-  /// the fast path on, the snapshot is cached and invalidated by the
-  /// SysRegs vm-generation write hook instead of being rebuilt per access.
+  /// the fast path on, the snapshot is cached per core and invalidated by
+  /// the SysRegs vm-generation write hook instead of rebuilt per access.
   [[nodiscard]] WalkContext walk_context() const;
 
   /// Runtime fast-path/reference-mode switch (benchmarks flip it to
@@ -119,19 +179,21 @@ class Machine {
   /// inline translation cache, bulk charge-replay.
   void set_host_fast_path(bool on) {
     fast_path_ = on;
-    walk_ctx_gen_ = 0;  // drop the cached snapshot
-    itc_drop();
-    mmu_.tlb().set_index_enabled(on);
+    for (auto& c : cores_) {
+      c->walk_ctx_gen = 0;  // drop the cached snapshot
+      c->itc_drop();
+      c->mmu.tlb().set_index_enabled(on);
+    }
   }
   [[nodiscard]] bool host_fast_path() const { return fast_path_; }
 
   /// Runtime temporal-decoupling switch (see MachineConfig).  Folds any
   /// local run-ahead first, so flipping mid-run never loses cycles.
   void set_decoupled_quantum(Cycles quantum) {
-    account_.set_decoupled_quantum(quantum);
+    for (auto& c : cores_) c->account.set_decoupled_quantum(quantum);
   }
   [[nodiscard]] Cycles decoupled_quantum() const {
-    return account_.decoupled_quantum();
+    return cur_->account.decoupled_quantum();
   }
 
   // --- EL0/EL1 virtual-address accesses -------------------------------------
@@ -175,25 +237,36 @@ class Machine {
 
   // --- Compute / control -----------------------------------------------------
   /// Pure CPU work (no memory traffic): charge `c` cycles.
-  void advance(Cycles c) { account_.charge(c); }
+  void advance(Cycles c) { cur_->account.charge(c); }
   /// One TLB invalidate, with the guest-mode DVM broadcast surcharge.
   void charge_tlbi() {
-    account_.charge(config_.timing.tlbi +
-                    (guest_mode_ ? config_.timing.tlbi_guest_extra : 0));
+    cur_->account.charge(config_.timing.tlbi +
+                         (guest_mode_ ? config_.timing.tlbi_guest_extra : 0));
   }
   /// Kernel task switch bookkeeping cost (the TTBR0 write is separate).
   void charge_context_switch() {
-    account_.charge(config_.timing.context_switch);
-    ++account_.counters().context_switches;
+    cur_->account.charge(config_.timing.context_switch);
+    ++cur_->account.counters().context_switches;
   }
 
   u64 hvc(u64 func, std::initializer_list<u64> args);
   bool write_sysreg_el1(SysReg reg, u64 value) {
-    return exceptions_.write_sysreg_el1(reg, value);
+    return cur_->exceptions.write_sysreg_el1(reg, value);
   }
-  [[nodiscard]] u64 sysreg(SysReg reg) const { return sysregs_.get(reg); }
+  [[nodiscard]] u64 sysreg(SysReg reg) const { return cur_->sysregs.get(reg); }
   /// Direct register set, bypassing traps: boot firmware / EL2 use only.
-  void set_sysreg_raw(SysReg reg, u64 value) { sysregs_.set(reg, value); }
+  /// Operates on the active core.
+  void set_sysreg_raw(SysReg reg, u64 value) { cur_->sysregs.set(reg, value); }
+  /// Direct register set on one specific core (secondary-core bring-up).
+  void set_sysreg_raw(unsigned core, SysReg reg, u64 value) {
+    cores_[core]->sysregs.set(reg, value);
+  }
+  /// Direct register set replicated to every core: EL2 software programs
+  /// identical translation/trap controls cluster-wide (VTTBR, HCR, EL2
+  /// vectors).  Single-core machines see exactly one set().
+  void set_sysreg_raw_all(SysReg reg, u64 value) {
+    for (auto& c : cores_) c->sysregs.set(reg, value);
+  }
 
   void set_s2_fault_handler(S2FaultHandler h) { s2_handler_ = std::move(h); }
   void set_el1_fault_handler(El1FaultHandler h) { el1_handler_ = std::move(h); }
@@ -204,68 +277,61 @@ class Machine {
   [[nodiscard]] bool guest_mode() const { return guest_mode_; }
   /// One trapped WFI: world switch out and back.
   void charge_wfi_trap() {
-    account_.charge(config_.timing.vm_exit + config_.timing.vm_entry);
-    ++account_.counters().vm_exits;
+    cur_->account.charge(config_.timing.vm_exit + config_.timing.vm_entry);
+    ++cur_->account.counters().vm_exits;
   }
 
-  void raise_irq(unsigned line) { gic_.raise(line); }
+  void raise_irq(unsigned line) { cur_->gic.raise(line); }
 
-  /// Elapsed simulated time in microseconds.
+  /// Timestamp for a word bus transaction about to be issued on behalf of
+  /// the active core — by the core itself or by a bus-master device (DMA)
+  /// it programs.  On multi-core machines this runs the round-robin
+  /// arbiter (charging contention waits into the issuing core's ledger)
+  /// and claims a bus slot; on every machine it clamps the shared bus
+  /// clock monotonic so the MBM's FIFO sees non-decreasing arrival times
+  /// even though per-core clocks drift apart.  Identity at cores == 1.
+  Cycles bus_timestamp();
+
+  /// Read-only bus-order instant for the active core: its local clock
+  /// mapped through the same local-delta rule bus_timestamp() applies,
+  /// without claiming a bus slot or advancing the arbiter.  CPU-side
+  /// flight-recorder events (IRQ delivery, verifier verdicts, faults)
+  /// stamp with this so every v2 trace timestamp shares one clock
+  /// domain with the bus-stamped kBusWrite/kMbmFifo/kMbmDetect events —
+  /// cross-core detection chains stay subtractable.  Identity at
+  /// cores == 1 (the one local clock is the bus clock).
+  [[nodiscard]] Cycles bus_order_now() const {
+    Cycles now = cur_->account.cycles();
+    if (cores_.size() > 1 && now < bus_last_timestamp_) {
+      const Cycles delta =
+          cur_->last_bus_local != 0 && now > cur_->last_bus_local
+              ? now - cur_->last_bus_local
+              : 0;
+      now = bus_last_timestamp_ + delta;
+    }
+    return now;
+  }
+
+  /// Elapsed simulated time in microseconds (active core's clock).
   [[nodiscard]] double elapsed_us() const {
-    return config_.timing.cycles_to_us(account_.cycles());
+    return config_.timing.cycles_to_us(cur_->account.cycles());
   }
 
   // --- Snapshot support (sim/snapshot.h) ------------------------------------
-  /// Append the machine's architectural state (system registers, TLB,
-  /// cache tags, cycle ledger, bus count, GIC, EL, trace ring) to `w`.
-  /// DRAM contents travel separately as COW-shared pages (phys().capture()).
+  /// Append the machine's architectural state (per-core system registers,
+  /// TLBs, cache tags, cycle ledgers, ELs, GICs; shared bus count, bus
+  /// arbiter, pending IPIs, active core, trace ring) to `w`.  DRAM
+  /// contents travel separately as COW-shared pages (phys().capture()).
   void save_state(SnapWriter& w) const;
   /// Restore architectural state from `r` into this live machine.  Wiring
   /// (handlers, snoopers) and the host fast-path setting persist; the
   /// cached walk context is dropped through the vm-generation mechanism
-  /// and host-side observability (metrics, spans) resets.
+  /// and host-side observability (metrics, spans) resets.  Pending IPIs
+  /// restore latched (not delivered): they fire when the scheduler next
+  /// activates their target, exactly as they would have pre-snapshot.
   void restore_state(SnapReader& r);
 
  private:
-  Access64 access64(VirtAddr va, bool is_write, u64 value, bool user);
-  /// Perform the physical access after a successful translation.
-  u64 perform(PhysAddr pa, const PageAttrs& attrs, bool is_write, u64 value);
-  /// Rebuild a WalkContext from the live system registers (four reads).
-  [[nodiscard]] WalkContext build_walk_context() const;
-
-  MachineConfig config_;
-  Trace trace_;
-  PhysicalMemory phys_;
-  MemoryBus bus_;
-  CycleAccount account_;
-  // Declared before the components that register metrics in their
-  // constructors (Mmu); initialization order is declaration order.
-  obs::Registry obs_;
-  obs::SpanTracer spans_;
-  obs::SelfProfiler profiler_;
-  Cache cache_;
-  Mmu mmu_;
-  SysRegs sysregs_;
-  ExceptionModel exceptions_;
-  InterruptController gic_;
-  S2FaultHandler s2_handler_;
-  El1FaultHandler el1_handler_;
-  bool guest_mode_ = false;
-  bool fast_path_ = true;
-  // Observability handles (inert unless obs_ is enabled).  The walk-ctx
-  // pair is mutable because walk_context() is logically const.
-  mutable obs::Counter obs_walk_ctx_rebuilds_;
-  mutable obs::Counter obs_walk_ctx_cached_;
-  obs::Counter obs_bulk_chunks_;
-  obs::Counter obs_bulk_replay_words_;
-  obs::Counter obs_bulk_exact_words_;
-  obs::Counter obs_bulk_guard_trips_;
-  obs::Counter obs_s2_fault_exits_;
-  // Cached translation-regime snapshot; valid while walk_ctx_gen_ matches
-  // sysregs_.vm_generation() (which starts at 1, so 0 means "unprimed").
-  mutable WalkContext walk_ctx_;
-  mutable u64 walk_ctx_gen_ = 0;
-
   // Inline translation cache (DESIGN.md §14): a direct-mapped front cache
   // over successful translations, valid only while both the TLB and the
   // translation regime are untouched (generation guards).  A hit replays
@@ -282,10 +348,75 @@ class Machine {
     bool s2_write_ok = true;
   };
   static constexpr unsigned kItcEntries = 64;  // power of two (index mask)
-  void itc_drop() {
-    for (ItcEntry& e : itc_) e.vm_gen = 0;
-  }
-  ItcEntry itc_[kItcEntries];
+
+  /// One core's private state bundle.  Construction order matters:
+  /// account and sysregs before the components that hold references to
+  /// them (declaration order is initialization order).
+  struct CoreState {
+    CoreState(const MachineConfig& config, PhysicalMemory& phys,
+              MemoryBus& bus, obs::Registry& obs, Trace& trace)
+        : cache(config.cache, phys, bus, account, config.timing),
+          mmu(phys, account, config.timing, obs, config.tlb_entries),
+          exceptions(sysregs, account, config.timing, trace),
+          gic(exceptions) {}
+
+    CycleAccount account;
+    /// Local clock at this core's previous bus issue — the shared bus
+    /// clock advances by the delta when this core's clock trails it
+    /// (see bus_timestamp()).  0 = no issue yet.
+    Cycles last_bus_local = 0;
+    SysRegs sysregs;
+    Cache cache;
+    Mmu mmu;
+    ExceptionModel exceptions;
+    InterruptController gic;
+    // Cached translation-regime snapshot; valid while walk_ctx_gen matches
+    // sysregs.vm_generation() (which starts at 1, so 0 means "unprimed").
+    mutable WalkContext walk_ctx;
+    mutable u64 walk_ctx_gen = 0;
+    ItcEntry itc[kItcEntries];
+    void itc_drop() {
+      for (ItcEntry& e : itc) e.vm_gen = 0;
+    }
+  };
+
+  Access64 access64(VirtAddr va, bool is_write, u64 value, bool user);
+  /// Perform the physical access after a successful translation.
+  u64 perform(PhysAddr pa, const PageAttrs& attrs, bool is_write, u64 value);
+  /// Rebuild a WalkContext from the live system registers (four reads).
+  [[nodiscard]] WalkContext build_walk_context() const;
+  MachineConfig config_;
+  Trace trace_;
+  PhysicalMemory phys_;
+  MemoryBus bus_;
+  // Declared before the components that register metrics in their
+  // constructors (Mmu); initialization order is declaration order.
+  obs::Registry obs_;
+  obs::SpanTracer spans_;
+  obs::SelfProfiler profiler_;
+  // unique_ptr: CoreState holds internal references (cache/mmu/exceptions
+  // bind the core's own account/sysregs), so elements must never move.
+  std::vector<std::unique_ptr<CoreState>> cores_;
+  CoreState* cur_ = nullptr;  // == cores_[active_core_]
+  unsigned active_core_ = 0;
+  // Shared-bus round-robin arbiter + monotonic bus clock (DESIGN.md §15).
+  u8 last_bus_core_ = 0;
+  Cycles bus_busy_until_ = 0;
+  Cycles bus_last_timestamp_ = 0;
+  std::vector<u8> ipi_pending_;  // one latch per core
+  S2FaultHandler s2_handler_;
+  El1FaultHandler el1_handler_;
+  bool guest_mode_ = false;
+  bool fast_path_ = true;
+  // Observability handles (inert unless obs_ is enabled).  The walk-ctx
+  // pair is mutable because walk_context() is logically const.
+  mutable obs::Counter obs_walk_ctx_rebuilds_;
+  mutable obs::Counter obs_walk_ctx_cached_;
+  obs::Counter obs_bulk_chunks_;
+  obs::Counter obs_bulk_replay_words_;
+  obs::Counter obs_bulk_exact_words_;
+  obs::Counter obs_bulk_guard_trips_;
+  obs::Counter obs_s2_fault_exits_;
 };
 
 }  // namespace hn::sim

@@ -32,8 +32,10 @@
 namespace hn::sim {
 
 /// Binary snapshot format version.  Bump on any layout change; the parser
-/// rejects versions it does not understand.
-inline constexpr u32 kSnapshotFormatVersion = 1;
+/// rejects versions it does not understand.  v2: SMP (per-core machine
+/// sections, bus arbiter + pending-IPI state, per-event core provenance,
+/// per-core kernel scheduler state).
+inline constexpr u32 kSnapshotFormatVersion = 2;
 
 /// 8-byte file magic: "HNSNAP\0\0".
 inline constexpr char kSnapshotMagic[8] = {'H', 'N', 'S', 'N', 'A', 'P', 0, 0};

@@ -57,6 +57,10 @@ struct TraceEvent {
   TraceKind kind = TraceKind::kCustom;
   u64 a = 0;
   u64 b = 0;
+  /// Originating core (SMP provenance, DESIGN.md §15).  Stamped from the
+  /// ambient active core at record time; always 0 on single-core machines
+  /// so pre-SMP traces, diffs and golden renders are unchanged.
+  u8 core = 0;
 };
 
 class Trace {
@@ -80,7 +84,7 @@ class Trace {
                     u64 b = 0) {
     if (!enabled_) return kNoCause;
     const u64 seq = seq_++;
-    const TraceEvent e{at, seq, cause, kind, a, b};
+    const TraceEvent e{at, seq, cause, kind, a, b, active_core_};
     if (capacity_ == 0) {
       ++dropped_;
       return seq;
@@ -97,6 +101,14 @@ class Trace {
 
   /// Ambient cause for events recorded without an explicit link.
   [[nodiscard]] u64 current_cause() const { return current_cause_; }
+
+  /// Ambient core stamped into every recorded event.  The Machine sets
+  /// this on core switches; everything recorded through the machine's
+  /// trace — including MBM/Hypersec events fired synchronously from a
+  /// core's bus write — inherits the issuing core without any call-site
+  /// changes.  Stays 0 forever on single-core machines.
+  void set_active_core(u8 core) { active_core_ = core; }
+  [[nodiscard]] u8 active_core() const { return active_core_; }
 
   /// RAII: makes `cause` the default cause of every event recorded in its
   /// dynamic extent (nests; restores the previous ambient cause on exit).
@@ -210,6 +222,9 @@ class Trace {
                    static_cast<unsigned long long>(e.seq), kind_name(e.kind),
                    static_cast<unsigned long long>(e.a),
                    static_cast<unsigned long long>(e.b));
+      if (e.core != 0) {
+        std::fprintf(out, " cpu%u", static_cast<unsigned>(e.core));
+      }
       if (e.cause != kNoCause) {
         std::fprintf(out, "  <-#%llu",
                      static_cast<unsigned long long>(e.cause));
@@ -231,6 +246,7 @@ class Trace {
   u64 dropped_ = 0;
   u64 seq_ = 0;
   u64 current_cause_ = kNoCause;
+  u8 active_core_ = 0;
 };
 
 }  // namespace hn::sim

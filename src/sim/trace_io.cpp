@@ -81,7 +81,7 @@ std::vector<u8> serialize_trace(const Trace& trace,
   const u32 name_count = spans != nullptr ? spans->name_count() : 0;
 
   std::vector<u8> out;
-  out.reserve(64 + events.size() * 41 + span_events.size() * 32);
+  out.reserve(64 + events.size() * 42 + span_events.size() * 32);
   for (const char c : kTraceMagic) out.push_back(static_cast<u8>(c));
   put_u32(out, kTraceFormatVersion);
   put_u32(out, 0);  // reserved
@@ -101,6 +101,7 @@ std::vector<u8> serialize_trace(const Trace& trace,
     put_u64(out, e.a);
     put_u64(out, e.b);
     put_u8(out, static_cast<u8>(e.kind));
+    put_u8(out, e.core);
   }
   for (u32 id = 0; id < name_count; ++id) {
     const std::string& name = spans->name(id);
@@ -132,7 +133,7 @@ Status parse_trace(const std::vector<u8>& blob, TraceData& out) {
   if (!r.u32_(out.version) || !r.u32_(reserved)) {
     return Status::Invalid("trace: truncated header");
   }
-  if (out.version != kTraceFormatVersion) {
+  if (out.version != 1 && out.version != kTraceFormatVersion) {
     return Status::Invalid("trace: unsupported format version " +
                            std::to_string(out.version));
   }
@@ -142,8 +143,10 @@ Status parse_trace(const std::vector<u8>& blob, TraceData& out) {
       !r.u64_(event_count) || !r.u64_(name_count) || !r.u64_(span_count)) {
     return Status::Invalid("trace: truncated header");
   }
-  // Each event is 41 bytes; cheap sanity bound before reserving.
-  if (event_count * 41 > r.remaining()) {
+  // Each event is 41 bytes (v1) or 42 (v2, trailing core byte); cheap
+  // sanity bound before reserving.
+  const u64 event_bytes = out.version == 1 ? 41 : 42;
+  if (event_count * event_bytes > r.remaining()) {
     return Status::Invalid("trace: truncated event table");
   }
   out.events.clear();
@@ -153,6 +156,9 @@ Status parse_trace(const std::vector<u8>& blob, TraceData& out) {
     u8 kind = 0;
     if (!r.u64_(e.seq) || !r.u64_(e.cause) || !r.u64_(e.at) || !r.u64_(e.a) ||
         !r.u64_(e.b) || !r.u8_(kind)) {
+      return Status::Invalid("trace: truncated event table");
+    }
+    if (out.version >= 2 && !r.u8_(e.core)) {
       return Status::Invalid("trace: truncated event table");
     }
     if (kind > static_cast<u8>(TraceKind::kSnapshot)) {

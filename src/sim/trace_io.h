@@ -23,9 +23,10 @@ namespace hn::sim {
 
 class Machine;
 
-/// Binary trace format version.  Bump on any layout change; the parser
-/// rejects versions it does not understand.
-inline constexpr u32 kTraceFormatVersion = 1;
+/// Binary trace format version.  Bump on any layout change.  v2 appends
+/// the originating core to every event (SMP provenance); the parser still
+/// accepts v1 blobs, reading their events as core 0.
+inline constexpr u32 kTraceFormatVersion = 2;
 
 /// 8-byte file magic: "HNTRACE\0".
 inline constexpr char kTraceMagic[8] = {'H', 'N', 'T', 'R', 'A', 'C', 'E', 0};

@@ -92,6 +92,7 @@ AttributionReport build_attribution(const TraceData& data) {
   };
 
   for (const TraceEvent& e : data.events) {
+    if (e.core != 0) report.smp_trace = true;
     if (e.kind != TraceKind::kVerdict) continue;
     ++report.verdicts_total;
     if (e.b == 0) ++report.verdicts_benign;
@@ -142,13 +143,25 @@ std::string render_attribution(const AttributionReport& report,
                                           report.broken_chains),
           static_cast<unsigned long long>(report.broken_chains));
 
+  // Originating core of a chain is the core that issued the monitored bus
+  // store.  Reports over single-core traces (and v1 traces, parsed as
+  // core 0) render exactly as before; the core= tags and the per-core
+  // grouping below appear for any genuinely SMP trace — even one whose
+  // detections all trace back to a single core, since "every alert came
+  // from core 1 while core 0 ran clean" is itself the finding.
+  const bool multi_core = report.smp_trace;
+
   u64 n = 0;
   for (const DetectionChain& c : report.chains) {
     ++n;
-    appendf(out, "\nchain #%llu: %s pa=%#llx value=%#llx\n",
+    appendf(out, "\nchain #%llu: %s pa=%#llx value=%#llx",
             static_cast<unsigned long long>(n), verdict_name(c.verdict.b),
             static_cast<unsigned long long>(c.verdict.a),
             static_cast<unsigned long long>(c.detect.b));
+    if (multi_core && c.complete) {
+      appendf(out, " core=%u", static_cast<unsigned>(c.bus_write.core));
+    }
+    out += '\n';
     if (!c.complete) {
       appendf(out,
               "  (incomplete: upstream events evicted from the trace ring)\n");
@@ -220,6 +233,34 @@ std::string render_attribution(const AttributionReport& report,
               static_cast<unsigned long long>(mx));
     }
   }
+  // Per-core grouping: which core's stores the detections trace back to.
+  // Cross-core attacks show up here as alerts attributed to a core other
+  // than the one serving the victim workload.
+  if (multi_core && complete > 0) {
+    appendf(out, "\nper-core attribution (originating core of the monitored "
+                 "store), cycles:\n");
+    appendf(out, "  %-6s %7s %7s %10s %10s %10s\n", "core", "chains", "alerts",
+            "e2e-min", "e2e-avg", "e2e-max");
+    for (unsigned core = 0; core < 64; ++core) {
+      u64 count = 0, alerts = 0, mn = ~0ull, mx = 0, sum = 0;
+      for (const DetectionChain& c : report.chains) {
+        if (!c.complete || (c.bus_write.core & 63) != core) continue;
+        ++count;
+        alerts += c.verdict.b == 1;
+        mn = std::min(mn, c.end_to_end);
+        mx = std::max(mx, c.end_to_end);
+        sum += c.end_to_end;
+      }
+      if (count == 0) continue;
+      appendf(out, "  %-6u %7llu %7llu %10llu %10llu %10llu\n", core,
+              static_cast<unsigned long long>(count),
+              static_cast<unsigned long long>(alerts),
+              static_cast<unsigned long long>(mn),
+              static_cast<unsigned long long>(sum / count),
+              static_cast<unsigned long long>(mx));
+    }
+  }
+
   appendf(out,
           "\ntotals: verdicts=%llu alerts=%llu benign=%llu unattributed=%llu\n",
           static_cast<unsigned long long>(report.verdicts_total),
@@ -373,7 +414,7 @@ std::string render_diff(const TraceData& a, const TraceData& b) {
   for (size_t i = 0; i < n; ++i) {
     const TraceEvent &x = a.events[i], &y = b.events[i];
     if (x.seq != y.seq || x.cause != y.cause || x.at != y.at ||
-        x.kind != y.kind || x.a != y.a || x.b != y.b) {
+        x.kind != y.kind || x.a != y.a || x.b != y.b || x.core != y.core) {
       first_diff = i;
       break;
     }

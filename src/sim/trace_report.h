@@ -55,6 +55,10 @@ struct AttributionReport {
   u64 verdicts_alert = 0;         // kVerdict b == 1
   u64 verdicts_unattributed = 0;  // kVerdict b == 2
   u64 broken_chains = 0;          // upstream link evicted from the ring
+  /// Any event in the trace carries a nonzero core id — i.e. this is a
+  /// genuinely SMP trace.  Gates the core= chain tags and the per-core
+  /// attribution table (single-core and v1 traces render as before).
+  bool smp_trace = false;
 };
 
 /// Walk every kVerdict event's cause links back to its bus write (and

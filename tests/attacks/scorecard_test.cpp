@@ -6,7 +6,10 @@
 
 #include <string>
 
+#include "attacks/scenario.h"
 #include "attacks/scorecard.h"
+#include "fuzz/executor.h"
+#include "sim/trace_io.h"
 
 namespace hn::attacks {
 namespace {
@@ -107,6 +110,127 @@ TEST(Scorecard, DecoupledModeKeepsJsonByteIdentical) {
   const Scorecard t = run_scorecard(traced);
   EXPECT_EQ(t.json, traced_serial_scorecard().json);
   EXPECT_EQ(t.digest, kGoldenTracedDigest);
+}
+
+// --- SMP scorecards (--cores > 1) ------------------------------------------
+//
+// On a multi-core machine the cross-core scenarios join the matrix: a
+// forked writer migrates to core 1, tampers from there, and the shared-bus
+// MBM must still attribute the detection.  Golden digests pinned like the
+// single-core ones; the single-core goldens above prove --cores=1 output
+// is byte-identical to the pre-SMP format.
+
+constexpr u64 kGoldenSmpTracedDigest = 0x89d0bf7d40dbd696ull;
+constexpr u64 kGoldenSmpUntracedDigest = 0x16bf5bca23c95473ull;
+constexpr u64 kGoldenSmpQuadUntracedDigest = 0x04462349363284e5ull;
+
+const Scorecard& smp_serial_scorecard() {
+  static const Scorecard score = [] {
+    ScorecardOptions opt;
+    opt.jobs = 1;
+    opt.cores = 2;
+    return run_scorecard(opt);
+  }();
+  return score;
+}
+
+TEST(SmpScorecard, CrossCoreScenariosHitWithAttribution) {
+  const Scorecard& score = smp_serial_scorecard();
+  EXPECT_TRUE(score.all_intended_hit);
+  EXPECT_TRUE(score.zero_false_positives);
+  EXPECT_TRUE(score.all_hits_attributed);
+  ASSERT_EQ(score.cells.size(),
+            (scenario_library().size() + smp_scenario_library().size()) *
+                detector_configs().size());
+  for (const BenignCell& b : score.benign) {
+    EXPECT_EQ(b.alerts, 0u) << b.config;
+  }
+  // Every cross-core cell intended to hit did, causally attributed.
+  unsigned smp_intended = 0;
+  for (const ScorecardCell& cell : score.cells) {
+    if (cell.scenario.rfind("smp-", 0) != 0) continue;
+    if (!cell.intended) continue;
+    ++smp_intended;
+    SCOPED_TRACE(cell.scenario + " x " + cell.config);
+    EXPECT_TRUE(cell.detected);
+    EXPECT_TRUE(cell.attributed);
+    EXPECT_GT(cell.latency, 0u);
+  }
+  EXPECT_EQ(smp_intended, smp_scenario_library().size());
+  EXPECT_NE(score.json.find("\"cores\": 2"), std::string::npos);
+  EXPECT_EQ(score.digest, kGoldenSmpTracedDigest) << score.json;
+
+  const std::string table = render_scorecard(score);
+  EXPECT_NE(table.find("smp-cross-core-syscall-stub"), std::string::npos);
+  EXPECT_EQ(table.find("MISS"), std::string::npos) << table;
+}
+
+TEST(SmpScorecard, JobCountNeverChangesTheReport) {
+  ScorecardOptions parallel;
+  parallel.jobs = 4;
+  parallel.cores = 2;
+  const Scorecard b = run_scorecard(parallel);
+  EXPECT_EQ(smp_serial_scorecard().json, b.json);
+  EXPECT_EQ(b.digest, kGoldenSmpTracedDigest);
+}
+
+TEST(SmpScorecard, SnapshotBootMatchesFreshBootAtTwoCores) {
+  ScorecardOptions fresh;
+  fresh.jobs = 4;
+  fresh.cores = 2;
+  fresh.trace_attribution = false;
+  ScorecardOptions snapshot = fresh;
+  snapshot.snapshot_boot = true;
+  const Scorecard a = run_scorecard(fresh);
+  const Scorecard b = run_scorecard(snapshot);
+  EXPECT_EQ(a.json, b.json);
+  EXPECT_EQ(a.digest, kGoldenSmpUntracedDigest);
+  EXPECT_EQ(b.digest, kGoldenSmpUntracedDigest);
+  EXPECT_TRUE(a.all_intended_hit);
+  EXPECT_TRUE(a.zero_false_positives);
+}
+
+TEST(SmpScorecard, CrossCoreDetectionCarriesCoreProvenance) {
+  // End-to-end provenance: replay the cross-core syscall-stub scenario
+  // against its intended detector with the flight recorder on.  The
+  // captured trace must be v2, the tampering store must be recorded as
+  // originating on core 1 (where the forked writer ran), and the run
+  // must raise the intended alert.
+  const AttackScenario* scenario = find_scenario("smp-cross-core-syscall-stub");
+  ASSERT_NE(scenario, nullptr);
+  fuzz::FuzzConfigSpec spec;
+  for (const fuzz::FuzzConfigSpec& s : detector_configs()) {
+    if (s.name == scenario->intended_detector) spec = s;
+  }
+  ASSERT_EQ(spec.name, scenario->intended_detector);
+  spec.cores = 2;
+  fuzz::ExecutorOptions exec_opt;
+  exec_opt.capture_trace = true;
+  const fuzz::RunResult run = fuzz::run_sequence(spec, scenario->ops, exec_opt);
+  EXPECT_FALSE(run.alert_log.empty());
+
+  sim::TraceData data;
+  ASSERT_FALSE(run.trace_blob.empty());
+  ASSERT_TRUE(sim::parse_trace(run.trace_blob, data).ok());
+  EXPECT_EQ(data.version, 2u);
+  bool core1_store = false;
+  for (const sim::TraceEvent& e : data.events) {
+    if (e.kind == sim::TraceKind::kBusWrite && e.core == 1) {
+      core1_store = true;
+    }
+  }
+  EXPECT_TRUE(core1_store);
+}
+
+TEST(SmpScorecard, FourCoreMatrixStaysPinned) {
+  ScorecardOptions opt;
+  opt.jobs = 4;
+  opt.cores = 4;
+  opt.trace_attribution = false;
+  const Scorecard score = run_scorecard(opt);
+  EXPECT_TRUE(score.all_intended_hit);
+  EXPECT_TRUE(score.zero_false_positives);
+  EXPECT_EQ(score.digest, kGoldenSmpQuadUntracedDigest) << score.json;
 }
 
 }  // namespace

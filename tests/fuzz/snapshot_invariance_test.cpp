@@ -161,6 +161,31 @@ TEST(SnapshotInvariance, DetectorConfigsForkIdentically) {
   }
 }
 
+TEST(SnapshotInvariance, SmpRunsForkIdentically) {
+  // Two-core machines snapshot more state per core — register files,
+  // TLBs, cycle accounts, the bus-arbiter clock, spinlock owners, pending
+  // IPIs — and the cross-core scenarios exercise all of it: the fork op
+  // lands the writer on core 1, the tamper happens mid-migration, and
+  // the benign workload's switch-task ops bounce between runqueues.
+  // Boot-forked runs must stay bit-identical through every step digest.
+  ExecutorOptions fresh_boot;
+  ExecutorOptions snapshot_boot;
+  snapshot_boot.snapshot_boot = true;
+  std::vector<std::vector<Op>> programs;
+  for (const attacks::AttackScenario& s : attacks::smp_scenario_library()) {
+    programs.push_back(s.ops);
+  }
+  programs.push_back(attacks::benign_workload());
+  for (FuzzConfigSpec spec : attacks::detector_configs()) {
+    spec.cores = 2;
+    for (size_t p = 0; p < programs.size(); ++p) {
+      SCOPED_TRACE("config " + spec.name + " program " + std::to_string(p));
+      expect_identical_runs(run_sequence(spec, programs[p], fresh_boot),
+                            run_sequence(spec, programs[p], snapshot_boot));
+    }
+  }
+}
+
 TEST(SnapshotInvariance, InstrumentedRunsFallBackToFreshBoot) {
   // Runs that need per-run host instrumentation ignore snapshot_boot (a
   // session machine's registry/recorder belongs to every case, not one).

@@ -228,7 +228,7 @@ TEST(SnapshotFormat, GoldenHeaderBytes) {
   ASSERT_GE(s.blob.size(), 16u);
   const u8 kGolden[16] = {
       'H', 'N', 'S', 'N', 'A', 'P', 0, 0,  // magic
-      1,   0,   0,   0,                    // version 1, little-endian
+      2,   0,   0,   0,                    // version 2, little-endian
       0,   0,   0,   0,                    // reserved
   };
   EXPECT_EQ(std::memcmp(s.blob.data(), kGolden, sizeof kGolden), 0);

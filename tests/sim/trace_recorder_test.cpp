@@ -118,6 +118,60 @@ TEST(TraceIo, ParseRejectsCorruptBlobs) {
   EXPECT_FALSE(parse_trace(trailing, data).ok());
 }
 
+TEST(TraceIo, RoundTripPreservesCoreProvenance) {
+  // v2 of the format appends the originating core to every event; the
+  // ambient stamp is set by the machine on every core switch.
+  Trace trace(8);
+  trace.set_enabled(true);
+  trace.record(10, TraceKind::kSvc, 1);
+  trace.set_active_core(1);
+  trace.record(20, TraceKind::kBusWrite, 0x2000, 7);
+  trace.set_active_core(0);
+  trace.record(30, TraceKind::kIrq, 5);
+  const std::vector<u8> blob = serialize_trace(trace, nullptr, 1.0);
+  TraceData data;
+  ASSERT_TRUE(parse_trace(blob, data).ok());
+  EXPECT_EQ(data.version, 2u);
+  ASSERT_EQ(data.events.size(), 3u);
+  EXPECT_EQ(data.events[0].core, 0u);
+  EXPECT_EQ(data.events[1].core, 1u);
+  EXPECT_EQ(data.events[2].core, 0u);
+}
+
+TEST(TraceIo, ParsesVersion1BlobsAsCoreZero) {
+  // Pre-SMP blobs (41-byte events, no core byte) must keep loading:
+  // rewrite a v2 blob into its exact v1 form and parse it.
+  Fixture f;
+  const std::vector<u8> v2 = serialize_trace(f.trace, &f.tracer, 2.0);
+  TraceData expected;
+  ASSERT_TRUE(parse_trace(v2, expected).ok());
+
+  std::vector<u8> v1 = v2;
+  v1[8] = 1;  // version field follows the 8-byte magic
+  // Events start right after the 80-byte header; strip each trailing
+  // core byte (last of 42), back to front so offsets stay valid.
+  constexpr u64 kHeader = 80;
+  for (size_t i = expected.events.size(); i-- > 0;) {
+    v1.erase(v1.begin() + static_cast<long>(kHeader + i * 42 + 41));
+  }
+  TraceData data;
+  ASSERT_TRUE(parse_trace(v1, data).ok());
+  EXPECT_EQ(data.version, 1u);
+  ASSERT_EQ(data.events.size(), expected.events.size());
+  for (size_t i = 0; i < data.events.size(); ++i) {
+    EXPECT_EQ(data.events[i].core, 0u) << "event " << i;
+    EXPECT_EQ(data.events[i].seq, expected.events[i].seq) << "event " << i;
+    EXPECT_EQ(data.events[i].at, expected.events[i].at) << "event " << i;
+    EXPECT_EQ(data.events[i].kind, expected.events[i].kind) << "event " << i;
+  }
+  EXPECT_EQ(data.span_names, expected.span_names);
+
+  // A truncated v1 event table is still rejected precisely.
+  std::vector<u8> truncated = v1;
+  truncated.resize(truncated.size() - 1);
+  EXPECT_FALSE(parse_trace(truncated, data).ok());
+}
+
 /// A synthetic but faithfully-shaped detection chain: PT-write root, bus
 /// write, FIFO accept, bitmap match, IRQ, verdict — plus one verdict whose
 /// upstream links were evicted.
@@ -217,6 +271,60 @@ TEST(TraceReport, DumpAndDiff) {
   other.events[3].b = 0x704;
   const std::string diff = render_diff(data, other);
   EXPECT_NE(diff.find("first divergence at event index 3"), std::string::npos);
+}
+
+TEST(TraceReport, DiffFlagsCoreProvenanceDivergence) {
+  // Two traces identical except for the core an event originated on are
+  // different traces: --cores determinism checks rely on this.
+  const TraceData data = synthetic_chain();
+  TraceData other = synthetic_chain();
+  other.events[1].core = 1;
+  const std::string diff = render_diff(data, other);
+  EXPECT_NE(diff.find("first divergence at event index 1"), std::string::npos);
+}
+
+/// Two complete chains with distinct originating cores: the single-core
+/// chain events of synthetic_chain() plus a second detection whose
+/// monitored store came from core 1.
+TraceData smp_synthetic_chains() {
+  TraceData data;
+  data.cpu_ghz = 1.0;
+  data.seq_end = 10;
+  data.events = {
+      {20, 0, kNoCause, TraceKind::kBusWrite, 0x2000, 0x703, 0},
+      {20, 1, 0, TraceKind::kMbmFifo, 0, 100, 0},
+      {20, 2, 1, TraceKind::kMbmDetect, 0x2000, 0x703, 0},
+      {340, 3, 2, TraceKind::kIrq, 5, 0, 0},
+      {2300, 4, 2, TraceKind::kVerdict, 0x2000, 1, 0},
+      {3000, 5, kNoCause, TraceKind::kBusWrite, 0x5000, 0xBAD, 1},
+      {3000, 6, 5, TraceKind::kMbmFifo, 0, 90, 1},
+      {3000, 7, 6, TraceKind::kMbmDetect, 0x5000, 0xBAD, 1},
+      {3250, 8, 7, TraceKind::kIrq, 5, 0, 0},
+      {4900, 9, 7, TraceKind::kVerdict, 0x5000, 1, 0},
+  };
+  return data;
+}
+
+TEST(TraceReport, PerCoreAttributionAppearsOnlyForSmpTraces) {
+  // Single-core traces render exactly as they did before SMP.
+  const std::string single =
+      render_attribution(build_attribution(synthetic_chain()), 1.0);
+  EXPECT_EQ(single.find("per-core attribution"), std::string::npos);
+  EXPECT_EQ(single.find("core="), std::string::npos);
+
+  // A trace whose complete chains span two cores groups them.
+  const TraceData data = smp_synthetic_chains();
+  const AttributionReport report = build_attribution(data);
+  ASSERT_EQ(report.chains.size(), 2u);
+  ASSERT_TRUE(report.chains[0].complete);
+  ASSERT_TRUE(report.chains[1].complete);
+  EXPECT_EQ(report.chains[0].bus_write.core, 0u);
+  EXPECT_EQ(report.chains[1].bus_write.core, 1u);
+
+  const std::string text = render_attribution(report, 1.0);
+  EXPECT_NE(text.find("core=0"), std::string::npos);
+  EXPECT_NE(text.find("core=1"), std::string::npos);
+  EXPECT_NE(text.find("per-core attribution"), std::string::npos);
 }
 
 }  // namespace

@@ -5,10 +5,15 @@ Usage: perf_summary.py RESULTS.json [BASELINE.json]
 
 Writes a markdown table of per-loop rates and speedups to
 $GITHUB_STEP_SUMMARY (stdout when unset).  When a baseline (the committed
-BENCH_sim_throughput.json) is given, compares speedups and emits a
+BENCH_sim_throughput.json) is given, compares against it and emits a
 non-gating `::warning::` for any loop whose fast-path speedup regressed
-more than 25% relative to the baseline.  Always exits 0: CI-runner noise
-must never gate a merge; the warning is the signal to look.
+more than 25%, or whose absolute fast-path rate dropped more than 15%,
+relative to the baseline.  The rate check is the sharper signal: a
+simulator change that slows the fast path *and* the reference path alike
+(the SMP failure mode — extra per-access work on the shared bus) leaves
+the speedup ratio flat while replay throughput quietly sinks.  Always
+exits 0: CI-runner noise must never gate a merge; the warning is the
+signal to look.
 """
 
 import json
@@ -16,6 +21,7 @@ import os
 import sys
 
 REGRESSION_THRESHOLD = 0.25
+FAST_RATE_THRESHOLD = 0.15
 
 
 def load(path):
@@ -50,8 +56,8 @@ def main(argv):
     lines = [
         "## Sim throughput (quick)",
         "",
-        "| loop | unit | ref | fast | speedup | baseline | delta |",
-        "|---|---|---|---|---|---|---|",
+        "| loop | unit | ref | fast | speedup | baseline | delta | fast delta |",
+        "|---|---|---|---|---|---|---|---|",
     ]
     warnings = []
     for loop in results["loops"]:
@@ -67,8 +73,18 @@ def main(argv):
                     f"{name}: speedup {loop['speedup']:.2f}x vs baseline "
                     f"{base_speedup:.2f}x ({100 * rel:+.0f}%)"
                 )
+        base_fast = rate(base, "fast") if base else 0
+        fast_delta = ""
+        if base_fast:
+            rel_fast = rate(loop, "fast") / base_fast - 1.0
+            fast_delta = f"{100 * rel_fast:+.0f}%"
+            if rel_fast < -FAST_RATE_THRESHOLD:
+                warnings.append(
+                    f"{name}: fast rate {fmt_rate(rate(loop, 'fast'))} vs "
+                    f"baseline {fmt_rate(base_fast)} ({100 * rel_fast:+.0f}%)"
+                )
         lines.append(
-            "| {} | {} | {} | {} | {:.2f}x | {} | {} |".format(
+            "| {} | {} | {} | {} | {:.2f}x | {} | {} | {} |".format(
                 name,
                 loop.get("unit", "accesses"),
                 fmt_rate(rate(loop, "ref")),
@@ -76,6 +92,7 @@ def main(argv):
                 loop["speedup"],
                 f"{base_speedup:.2f}x" if base_speedup else "—",
                 delta or "—",
+                fast_delta or "—",
             )
         )
 
@@ -98,14 +115,15 @@ def main(argv):
                 )
             )
     if warnings:
-        lines += ["", "**Speedup regressions >25% vs committed baseline "
-                      "(non-gating; runner noise is common):**"]
+        lines += ["", "**Perf regressions vs committed baseline — speedup "
+                      ">25% or fast rate >15% (non-gating; runner noise is "
+                      "common):**"]
         lines += [f"- {w}" for w in warnings]
         for w in warnings:
             print(f"::warning title=sim-throughput regression::{w}")
     else:
-        lines += ["", "No speedup regression beyond 25% of the committed "
-                      "baseline."]
+        lines += ["", "No speedup regression beyond 25% and no fast-rate "
+                      "drop beyond 15% of the committed baseline."]
 
     out = "\n".join(lines) + "\n"
     summary_path = os.environ.get("GITHUB_STEP_SUMMARY")

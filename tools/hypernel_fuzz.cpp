@@ -72,9 +72,13 @@ void usage() {
       "                    sequences as structured seeds and mix in the\n"
       "                    control-flow / page-table attack kinds\n"
       "  --audit-stride=N  run Hypersec::audit() every N steps (default 1)\n"
-      "  --jobs=N          worker threads for sequence evaluation (default:\n"
+            "  --jobs=N          worker threads for sequence evaluation (default:\n"
       "                    hardware concurrency; 1 = fully sequential).\n"
       "                    Never changes output, only wall-clock\n"
+      "  --cores=N         simulated cores per machine (default 1).  A\n"
+      "                    differential dimension: cross-core interleaving\n"
+      "                    with deterministic bus arbitration; output is\n"
+      "                    reproducible at any --jobs for a fixed N\n"
       "  --metrics-out=F   collect observability metrics across the campaign\n"
       "                    and write the folded snapshot to F (.csv = CSV,\n"
       "                    anything else = JSON)\n"
@@ -135,6 +139,13 @@ bool parse(int argc, char** argv, Options* opt) {
     } else if ((v = arg_value(arg, "--jobs"))) {
       opt->fuzz.jobs =
           static_cast<unsigned>(std::strtoul(v->c_str(), nullptr, 0));
+    } else if ((v = arg_value(arg, "--cores"))) {
+      opt->fuzz.cores =
+          static_cast<unsigned>(std::strtoul(v->c_str(), nullptr, 0));
+      if (opt->fuzz.cores == 0 || opt->fuzz.cores > 8) {
+        std::fprintf(stderr, "--cores must be in [1, 8]\n");
+        return false;
+      }
     } else if ((v = arg_value(arg, "--metrics-out"))) {
       opt->metrics_out = *v;
       opt->fuzz.collect_metrics = true;
@@ -180,6 +191,7 @@ int replay(const Options& opt) {
   for (auto& spec : specs) {
     spec.host_fast_path = opt.fuzz.host_fast_path;
     spec.decoupled_quantum = opt.fuzz.decoupled_quantum;
+    spec.cores = opt.fuzz.cores;
   }
   hn::fuzz::GeneratorOptions gen{.ops = opt.fuzz.ops,
                                  .attacks = opt.fuzz.attacks,
@@ -245,6 +257,7 @@ int replay_file(const Options& opt) {
   for (auto& spec : specs) {
     spec.host_fast_path = opt.fuzz.host_fast_path;
     spec.decoupled_quantum = opt.fuzz.decoupled_quantum;
+    spec.cores = opt.fuzz.cores;
   }
   hn::fuzz::ExecutorOptions exec{.inject_bypass = opt.fuzz.inject_bypass,
                                  .audit_stride = opt.fuzz.audit_stride};

@@ -34,8 +34,10 @@ void usage() {
       "  --no-trace        skip flight-recorder capture and causal\n"
       "                    attribution (faster; attribution not required\n"
       "                    for the exit code)\n"
-      "  --snapshot-boot   fork cells from per-configuration boot\n"
+            "  --snapshot-boot   fork cells from per-configuration boot\n"
       "                    snapshots (COW restore) instead of re-booting\n"
+      "  --cores=N         simulated cores per machine (default 1); N > 1\n"
+      "                    adds the cross-core scenario rows\n"
       "  --decoupled[=N]   temporally decoupled execution (local charge\n"
       "                    quantum of N cycles, default 4096); the JSON\n"
       "                    report must stay byte-identical\n"
@@ -62,6 +64,12 @@ int main(int argc, char** argv) {
       opt.trace_attribution = false;
     } else if (std::strcmp(arg, "--snapshot-boot") == 0) {
       opt.snapshot_boot = true;
+    } else if (std::strncmp(arg, "--cores=", 8) == 0) {
+      opt.cores = static_cast<unsigned>(std::strtoul(arg + 8, nullptr, 0));
+      if (opt.cores == 0 || opt.cores > 8) {
+        std::fprintf(stderr, "--cores must be in [1, 8]\n");
+        return 2;
+      }
     } else if (std::strncmp(arg, "--decoupled=", 12) == 0) {
       opt.decoupled_quantum = std::strtoull(arg + 12, nullptr, 0);
     } else if (std::strcmp(arg, "--decoupled") == 0) {
