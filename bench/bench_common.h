@@ -21,6 +21,7 @@
 #include "exec/sharded_runner.h"
 #include "hypernel/system.h"
 #include "obs/export.h"
+#include "obs/timeseries.h"
 #include "sim/trace_io.h"
 
 namespace hn::bench {
@@ -30,6 +31,8 @@ struct BenchArgs {
   unsigned jobs = 0;           // 0 = hardware concurrency
   std::string metrics_out;     // empty = observability off
   std::string trace_out;       // empty = flight recorder off
+  std::string timeseries_out;  // empty = time-series sampling off
+  Cycles sample_cycles = 0;    // 0 = default when timeseries_out set
 };
 
 namespace detail {
@@ -63,6 +66,18 @@ inline TraceSink& trace_sink() {
   return s;
 }
 
+/// Per-cell HNTSERIE streams, same lowest-index-wins contract as the
+/// trace sink, so --timeseries-out is jobs-independent too.
+struct TimeSeriesSink {
+  std::mutex mu;
+  std::map<u64, std::vector<u8>> cells;
+};
+
+inline TimeSeriesSink& timeseries_sink() {
+  static TimeSeriesSink s;
+  return s;
+}
+
 }  // namespace detail
 
 [[nodiscard]] inline bool metrics_enabled() {
@@ -73,6 +88,18 @@ inline TraceSink& trace_sink() {
   return !detail::args().trace_out.empty();
 }
 
+[[nodiscard]] inline bool timeseries_enabled() {
+  return !detail::args().timeseries_out.empty();
+}
+
+/// Effective sampling interval: --sample-cycles if given, else the
+/// library default when --timeseries-out asked for a stream, else 0.
+[[nodiscard]] inline Cycles sample_interval() {
+  const BenchArgs& a = detail::args();
+  if (a.sample_cycles != 0) return a.sample_cycles;
+  return a.timeseries_out.empty() ? 0 : obs::kDefaultSampleCycles;
+}
+
 /// Build a system in the §7.1 performance setup: Hypersec without the MBM
 /// ("only Hypersec is working in the case of Hypernel").
 inline std::unique_ptr<hypernel::System> make_perf_system(hypernel::Mode mode) {
@@ -80,6 +107,7 @@ inline std::unique_ptr<hypernel::System> make_perf_system(hypernel::Mode mode) {
   cfg.mode = mode;
   cfg.enable_mbm = false;
   cfg.metrics = metrics_enabled() || trace_enabled();
+  cfg.machine.sample_cycles = sample_interval();
   auto sys = hypernel::System::create(cfg);
   if (!sys.ok()) {
     std::fprintf(stderr, "system creation failed: %s\n",
@@ -96,6 +124,7 @@ inline std::unique_ptr<hypernel::System> make_monitor_system() {
   cfg.mode = hypernel::Mode::kHypernel;
   cfg.enable_mbm = true;
   cfg.metrics = metrics_enabled() || trace_enabled();
+  cfg.machine.sample_cycles = sample_interval();
   auto sys = hypernel::System::create(cfg);
   if (!sys.ok()) {
     std::fprintf(stderr, "system creation failed: %s\n",
@@ -133,6 +162,11 @@ inline void record_cell_metrics(u64 index, hypernel::System& sys) {
     std::lock_guard<std::mutex> lock(sink.mu);
     sink.cells.emplace(index, sim::capture_trace(sys.machine()));
   }
+  if (timeseries_enabled()) {
+    detail::TimeSeriesSink& sink = detail::timeseries_sink();
+    std::lock_guard<std::mutex> lock(sink.mu);
+    sink.cells.emplace(index, sim::capture_timeseries(sys.machine()));
+  }
   if (!metrics_enabled()) return;
   record_cell_metrics(index, sys.metrics_snapshot());
 }
@@ -155,6 +189,25 @@ inline int write_bench_metrics() {
       std::fprintf(stderr, "trace: cell %llu trace written to %s\n",
                    static_cast<unsigned long long>(traces.cells.begin()->first),
                    path.c_str());
+    }
+  }
+  if (timeseries_enabled()) {
+    detail::TimeSeriesSink& streams = detail::timeseries_sink();
+    std::lock_guard<std::mutex> lock(streams.mu);
+    const std::string& path = detail::args().timeseries_out;
+    if (streams.cells.empty()) {
+      std::fprintf(stderr,
+                   "timeseries: no cell recorded a stream; %s not written\n",
+                   path.c_str());
+    } else if (!obs::write_timeseries_file(streams.cells.begin()->second,
+                                           path)) {
+      std::fprintf(stderr, "timeseries: failed to write %s\n", path.c_str());
+      return 1;
+    } else {
+      std::fprintf(
+          stderr, "timeseries: cell %llu stream written to %s\n",
+          static_cast<unsigned long long>(streams.cells.begin()->first),
+          path.c_str());
     }
   }
   if (!metrics_enabled()) return 0;
@@ -191,9 +244,16 @@ inline BenchArgs parse_args(int argc, char** argv) {
       parsed.metrics_out = argv[i] + 14;
     } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
       parsed.trace_out = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--timeseries-out=", 17) == 0) {
+      parsed.timeseries_out = argv[i] + 17;
+    } else if (std::strncmp(argv[i], "--sample-cycles=", 16) == 0) {
+      parsed.sample_cycles = std::strtoull(argv[i] + 16, nullptr, 0);
+    } else if (std::strcmp(argv[i], "--sample-cycles") == 0) {
+      parsed.sample_cycles = obs::kDefaultSampleCycles;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--jobs=N] [--metrics-out=F] [--trace-out=F]\n",
+                   "usage: %s [--jobs=N] [--metrics-out=F] [--trace-out=F]\n"
+                   "          [--timeseries-out=F] [--sample-cycles[=N]]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -221,6 +281,12 @@ inline BenchArgs parse_and_strip_args(int* argc, char** argv) {
       parsed.metrics_out = argv[i] + 14;
     } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
       parsed.trace_out = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--timeseries-out=", 17) == 0) {
+      parsed.timeseries_out = argv[i] + 17;
+    } else if (std::strncmp(argv[i], "--sample-cycles=", 16) == 0) {
+      parsed.sample_cycles = std::strtoull(argv[i] + 16, nullptr, 0);
+    } else if (std::strcmp(argv[i], "--sample-cycles") == 0) {
+      parsed.sample_cycles = obs::kDefaultSampleCycles;
     } else {
       argv[out++] = argv[i];
     }

@@ -138,6 +138,7 @@ Scorecard run_scorecard(const ScorecardOptions& options) {
   exec_opt.capture_trace = options.trace_attribution;
   exec_opt.snapshot_boot = options.snapshot_boot;
   exec_opt.profile = options.profile;
+  exec_opt.sample_cycles = options.sample_cycles;
 
   // One flat index space: scenario-major attack cells, then the benign
   // probes.  run_sharded merges in index order, so everything downstream
@@ -169,6 +170,7 @@ Scorecard run_scorecard(const ScorecardOptions& options) {
   // per-core attribution table).  The JSON digest never covers the
   // sample, so this preference cannot move the pinned goldens.
   bool sample_is_smp = false;
+  bool sample_ts_is_smp = false;
   for (u64 i = 0; i < attack_cells; ++i) {
     const AttackScenario& scenario = lib[i / specs.size()];
     score.cells.push_back(grade_cell(scenario, specs[i % specs.size()],
@@ -179,6 +181,14 @@ Scorecard run_scorecard(const ScorecardOptions& options) {
         (score.sample_trace.empty() || (is_smp && !sample_is_smp))) {
       score.sample_trace = runs[i].trace_blob;
       sample_is_smp = is_smp;
+    }
+    // Sampled stream of the same preferred cell (independent of the trace
+    // so --no-trace runs still produce a --timeseries-out artifact).
+    if (cell.intended && cell.expected_seen &&
+        !runs[i].timeseries_blob.empty() &&
+        (score.sample_timeseries.empty() || (is_smp && !sample_ts_is_smp))) {
+      score.sample_timeseries = runs[i].timeseries_blob;
+      sample_ts_is_smp = is_smp;
     }
   }
   for (size_t c = 0; c < specs.size(); ++c) {

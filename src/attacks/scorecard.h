@@ -43,6 +43,11 @@ struct ScorecardOptions {
   /// scenarios (smp_scenario_library) join the matrix and the JSON echoes
   /// the count; at 1 the scorecard is byte-identical to the pre-SMP one.
   unsigned cores = 1;
+  /// Non-zero = sample time-series tracks every N simulated cycles on the
+  /// cell that produces Scorecard::sample_trace, returning the stream in
+  /// Scorecard::sample_timeseries.  Host-side only: the JSON and digest
+  /// are unchanged at any value — the scorecard tests pin this.
+  Cycles sample_cycles = 0;
 };
 
 /// One (scenario x detector-config) cell, graded.
@@ -96,6 +101,10 @@ struct Scorecard {
   /// artifact upload / offline rendering.  Empty with trace_attribution
   /// off.  Not part of the digest contract.
   std::vector<u8> sample_trace;
+  /// Sampled HNTSERIE stream of the same first-intended-hit cell
+  /// (ScorecardOptions::sample_cycles).  Like sample_trace, an artifact —
+  /// not part of the digest contract.
+  std::vector<u8> sample_timeseries;
   /// Merged per-cell self-time reports (ScorecardOptions::profile).
   /// Host wall clock — never part of the digest contract.
   obs::ProfileReport profile;

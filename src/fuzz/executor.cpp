@@ -279,6 +279,9 @@ class Exec {
     if (cfi_) flatten(cfi_->name(), cfi_->alerts());
     if (opt_.collect_metrics) out.metrics = sys_->metrics_snapshot();
     if (opt_.capture_trace) out.trace_blob = sim::capture_trace(m());
+    if (opt_.sample_cycles != 0) {
+      out.timeseries_blob = sim::capture_timeseries(m());
+    }
     if (opt_.profile) {
       out.profile = m().profiler().report();
       constexpr auto kBoot = static_cast<unsigned>(obs::ProfileBucket::kBoot);
@@ -341,6 +344,11 @@ class Exec {
       invariant_ = session.invariant.get();
       cfi_ = session.cfi.get();
       scratch_va_ = session.scratch_va;
+      // Arm the sampler at the op-phase fork point.  restore_state just
+      // cleared samples and disarmed, the restored cycle counts equal the
+      // fresh-boot path's, and boundaries are absolute — so the sampled
+      // stream comes out byte-identical to a fresh boot's.
+      if (opt_.sample_cycles != 0) m().arm_timeseries(opt_.sample_cycles);
       return true;
     }
 
@@ -411,6 +419,10 @@ class Exec {
       return false;
     }
     scratch_va_ = scratch.value();
+    // Arm the sampler at the same point the snapshot path does (right
+    // after boot + installs + scratch mmap) so both paths stamp the same
+    // absolute boundaries from the same baseline.
+    if (opt_.sample_cycles != 0) m().arm_timeseries(opt_.sample_cycles);
     return true;
   }
 

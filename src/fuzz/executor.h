@@ -129,6 +129,11 @@ struct RunResult {
   /// Serialized flight-recorder trace of the whole run
   /// (ExecutorOptions::capture_trace; format in sim/trace_io.h).
   std::vector<u8> trace_blob;
+  /// Serialized HNTSERIE time-series stream of the whole run
+  /// (ExecutorOptions::sample_cycles; format in obs/timeseries.h).
+  /// Bit-identical across --jobs, fast-path/reference, decoupled, and
+  /// snapshot-boot — the matrix determinism test pins all four axes.
+  std::vector<u8> timeseries_blob;
   /// Host self-time attribution of the run (ExecutorOptions::profile).
   /// Host wall clock — nondeterministic, never folded into digests.
   obs::ProfileReport profile;
@@ -163,6 +168,17 @@ struct ExecutorOptions {
   /// Enable the self-time profiler for the run and return its report in
   /// RunResult::profile.  Host-only: results are unchanged.
   bool profile = false;
+  /// Non-zero = sample every enrolled time-series track every N simulated
+  /// cycles and return the serialized stream in
+  /// RunResult::timeseries_blob.  Tracks probe always-live accumulators
+  /// (not registry handles), so sampling needs no registry and, unlike
+  /// metrics/trace capture, composes with snapshot_boot: the sampler
+  /// arms at the op phase in both paths, and delta-encoded counter
+  /// tracks make the streams byte-identical.  Host-side only — never
+  /// part of simulated state or any digest: restoring a boot snapshot
+  /// clears and disarms the sampler, so boot sessions stay
+  /// sampling-agnostic and each sampled run re-arms explicitly.
+  Cycles sample_cycles = 0;
 };
 
 /// Run `ops` under `spec`.  Deterministic: same (spec, ops, options) give

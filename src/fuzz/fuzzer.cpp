@@ -303,20 +303,30 @@ CampaignResult run_campaign(const FuzzOptions& options, std::ostream* log) {
     }
     if (options.fail_fast) break;
   }
-  if (options.capture_trace) {
-    if (!result.failure_details.empty() &&
-        !result.failure_details[0].trace_blob.empty()) {
-      result.trace_blob = result.failure_details[0].trace_blob;
-    } else if (result.sequences_run > 0) {
-      // Clean campaign: deterministic rerun of sequence 0 under the
-      // reference configuration on this thread, so the blob is identical
-      // at any `jobs` value.
-      ExecutorOptions traced = exec;
-      traced.capture_trace = true;
-      const std::vector<Op> ops0 =
-          generate_sequence(sequence_seed(options.seed, 0), gen);
-      result.trace_blob = run_sequence(specs[0], ops0, traced).trace_blob;
-    }
+  // Campaign-representative artifacts.  A failing campaign's trace is
+  // the first failure's reproducer; everything else comes from one
+  // deterministic rerun of sequence 0 under the reference configuration
+  // on this (merging) thread — byte-identical at any `jobs` value and
+  // invisible to digests.  Tracing and sampling share the rerun, so
+  // --trace-out + --sample-cycles yields a v3 trace with the HNTSERIE
+  // section embedded alongside the standalone stream.
+  const bool failure_trace = options.capture_trace &&
+                             !result.failure_details.empty() &&
+                             !result.failure_details[0].trace_blob.empty();
+  if (failure_trace) {
+    result.trace_blob = result.failure_details[0].trace_blob;
+  }
+  const bool want_clean_trace = options.capture_trace && !failure_trace;
+  if ((want_clean_trace || options.sample_cycles != 0) &&
+      result.sequences_run > 0) {
+    ExecutorOptions rerun = exec;
+    rerun.capture_trace = want_clean_trace;
+    rerun.sample_cycles = options.sample_cycles;
+    const std::vector<Op> ops0 =
+        generate_sequence(sequence_seed(options.seed, 0), gen);
+    RunResult r0 = run_sequence(specs[0], ops0, rerun);
+    if (want_clean_trace) result.trace_blob = std::move(r0.trace_blob);
+    result.timeseries_blob = std::move(r0.timeseries_blob);
   }
   return result;
 }

@@ -87,6 +87,12 @@ struct FuzzOptions {
   /// instead of re-booting (ExecutorOptions::snapshot_boot).  Results are
   /// bit-identical either way; only host wall-clock changes.
   bool snapshot_boot = false;
+  /// Non-zero = sample time-series tracks every N simulated cycles
+  /// (ExecutorOptions::sample_cycles) and produce one campaign-
+  /// representative stream in CampaignResult::timeseries_blob via a
+  /// deterministic rerun on the merging thread (like capture_trace).
+  /// Never perturbs digests or verdicts.
+  Cycles sample_cycles = 0;
 };
 
 struct SequenceFailure {
@@ -137,6 +143,10 @@ struct CampaignResult {
   /// the first failure's reproducer trace, or a rerun of sequence 0 under
   /// the reference configuration when the campaign is clean.
   std::vector<u8> trace_blob;
+  /// Campaign-representative sampled time series (FuzzOptions::
+  /// sample_cycles): sequence 0 under the reference configuration, rerun
+  /// on the merging thread so the blob is byte-identical at any `jobs`.
+  std::vector<u8> timeseries_blob;
   /// Campaign-wide self-time fold (FuzzOptions::profile): every run's
   /// profiler report merged.  Host wall clock, reporting only.
   obs::ProfileReport profile;

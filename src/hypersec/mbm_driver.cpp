@@ -146,16 +146,25 @@ u64 MbmDriver::drain(const std::function<AppVerdict(const mbm::MonitorEvent&,
         const AppVerdict verdict = dispatch(ev, region);
         ++delivered;
         ++events_delivered_;
+        // One bus-order read per verdict, shared between the trace
+        // record and the live latency counter so the attribution report
+        // and the timeline track agree exactly.
+        const Cycles verdict_at = machine_.bus_order_now();
+        detect_e2e_cycles_ += verdict_at > ev.at ? verdict_at - ev.at : 0;
+        ++verdicts_;
         // Chain terminator: links back to the kMbmDetect event that
         // produced this ring entry.  b: 0 = benign, 1 = alert.
         machine_.trace().record_caused(
-            machine_.bus_order_now(), sim::TraceKind::kVerdict,
+            verdict_at, sim::TraceKind::kVerdict,
             ev.trace_seq, ev.paddr, static_cast<u64>(verdict));
         continue;
       }
     }
     ++unattributed_;  // stale bit or race with unregister: drop, but count
-    machine_.trace().record_caused(machine_.bus_order_now(),
+    const Cycles verdict_at = machine_.bus_order_now();
+    detect_e2e_cycles_ += verdict_at > ev.at ? verdict_at - ev.at : 0;
+    ++verdicts_;
+    machine_.trace().record_caused(verdict_at,
                                    sim::TraceKind::kVerdict, ev.trace_seq,
                                    ev.paddr, 2 /* unattributed */);
   }

@@ -28,7 +28,24 @@ class MbmDriver {
   MbmDriver(sim::Machine& machine, kernel::Kernel& kernel,
             mbm::MemoryBusMonitor& mbm, bool noncacheable_remap = true)
       : machine_(machine), kernel_(kernel), mbm_(mbm),
-        noncacheable_remap_(noncacheable_remap) {}
+        noncacheable_remap_(noncacheable_remap) {
+    // Live detection-latency attribution: each verdict adds its
+    // end-to-end cycles (verdict instant minus the monitored store's bus
+    // instant, carried in MonitorEvent::at).  The timeline report's
+    // totals line and the trace attribution report sum the exact same
+    // per-verdict values, so the two must agree — the cross-check test
+    // pins it.
+    obs::TimeSeries& ts = machine_.timeseries();
+    ts.enroll("hypersec.detect.e2e_cycles", obs::TrackKind::kCounter,
+              [this] { return detect_e2e_cycles_; });
+    ts.enroll("hypersec.verdicts", obs::TrackKind::kCounter,
+              [this] { return verdicts_; });
+  }
+
+  ~MbmDriver() { machine_.timeseries().unenroll_prefix("hypersec."); }
+
+  MbmDriver(const MbmDriver&) = delete;
+  MbmDriver& operator=(const MbmDriver&) = delete;
 
   /// §5.3 steps 1-2.  `va`/`size` must be word aligned; the region must be
   /// in the kernel linear map.
@@ -76,6 +93,8 @@ class MbmDriver {
     }
     w.put_u64(events_delivered_);
     w.put_u64(unattributed_);
+    w.put_u64(detect_e2e_cycles_);
+    w.put_u64(verdicts_);
   }
 
   void restore_state(sim::SnapReader& r) {
@@ -99,6 +118,8 @@ class MbmDriver {
     }
     events_delivered_ = r.get_u64();
     unattributed_ = r.get_u64();
+    detect_e2e_cycles_ = r.get_u64();
+    verdicts_ = r.get_u64();
   }
 
  private:
@@ -113,6 +134,8 @@ class MbmDriver {
   std::map<PhysAddr, u32> nc_refs_;         // page PA -> monitoring regions on it
   u64 events_delivered_ = 0;
   u64 unattributed_ = 0;
+  u64 detect_e2e_cycles_ = 0;  // summed verdict_at - store_at, all verdicts
+  u64 verdicts_ = 0;           // verdict count (incl. unattributed)
 };
 
 }  // namespace hn::hypersec

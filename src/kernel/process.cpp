@@ -28,6 +28,20 @@ ProcessManager::ProcessManager(sim::Machine& machine, BuddyAllocator& buddy,
       costs_(costs) {
   current_.assign(machine_.cores(), nullptr);
   rq_lock_.bind(machine_);
+  // Per-CPU runqueue depth as level tracks: architectural state that
+  // snapshots restore, so levels (unlike counters) need no delta trick.
+  for (unsigned core = 0; core < machine_.cores(); ++core) {
+    machine_.timeseries().enroll(
+        "sim.core" + std::to_string(core) + ".runqueue",
+        obs::TrackKind::kLevel, [this, core] { return runqueue_len(core); });
+  }
+}
+
+ProcessManager::~ProcessManager() {
+  for (unsigned core = 0; core < current_.size(); ++core) {
+    machine_.timeseries().unenroll_prefix("sim.core" + std::to_string(core) +
+                                          ".runqueue");
+  }
 }
 
 unsigned ProcessManager::pick_cpu() const {

@@ -66,6 +66,10 @@ class ProcessManager {
   ProcessManager(sim::Machine& machine, BuddyAllocator& buddy,
                  PageTableManager& kpt, SlabCache& cred_slab,
                  const KernelCosts& costs);
+  ~ProcessManager();
+
+  ProcessManager(const ProcessManager&) = delete;
+  ProcessManager& operator=(const ProcessManager&) = delete;
 
   /// Kernel working-set toucher (installed by Kernel::boot).
   void set_ws_toucher(std::function<void(u64)> fn) {

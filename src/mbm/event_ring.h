@@ -20,6 +20,10 @@ struct MonitorEvent {
   /// this record.  Host-side sideband only — the simulated 16-byte ring
   /// entry stays {paddr, value}; the real MBM carries no such field.
   u64 trace_seq = sim::kNoCause;
+  /// Bus instant of the monitored store (host-side sideband, like
+  /// trace_seq): lets the Hypersec driver attribute end-to-end detection
+  /// latency live (hypersec.detect.e2e_cycles) without a trace ring.
+  Cycles at = 0;
 };
 
 inline constexpr u64 kRingEntryBytes = 16;  // {u64 paddr, u64 value}
@@ -30,7 +34,8 @@ class EventRing {
       : machine_(machine),
         base_(base),
         entries_(entries),
-        shadow_seq_(entries, sim::kNoCause) {}
+        shadow_seq_(entries, sim::kNoCause),
+        shadow_at_(entries, 0) {}
 
   [[nodiscard]] PhysAddr base() const { return base_; }
   [[nodiscard]] u64 capacity() const { return entries_; }
@@ -50,6 +55,7 @@ class EventRing {
     machine_.dma_write_block(base_ + slot * kRingEntryBytes, record,
                              kRingEntryBytes);
     shadow_seq_[slot] = ev.trace_seq;
+    shadow_at_[slot] = ev.at;
     ++head_;
     ++pushed_;
     return true;
@@ -63,6 +69,7 @@ class EventRing {
     out.paddr = machine_.el2_read64(base_ + slot * kRingEntryBytes);
     out.value = machine_.el2_read64(base_ + slot * kRingEntryBytes + 8);
     out.trace_seq = shadow_seq_[slot];
+    out.at = shadow_at_[slot];
     ++tail_;
     return true;
   }
@@ -71,6 +78,7 @@ class EventRing {
     head_ = tail_ = 0;
     drops_ = pushed_ = 0;
     std::fill(shadow_seq_.begin(), shadow_seq_.end(), sim::kNoCause);
+    std::fill(shadow_at_.begin(), shadow_at_.end(), Cycles{0});
   }
 
   // --- Snapshot support (sim/snapshot.h) ------------------------------------
@@ -84,6 +92,7 @@ class EventRing {
     w.put_u64(pushed_);
     w.put_u64(shadow_seq_.size());
     w.put_bytes(shadow_seq_.data(), shadow_seq_.size() * sizeof(u64));
+    w.put_bytes(shadow_at_.data(), shadow_at_.size() * sizeof(Cycles));
   }
 
   void restore_state(sim::SnapReader& r) {
@@ -99,6 +108,7 @@ class EventRing {
       return;
     }
     r.get_bytes(shadow_seq_.data(), shadow_seq_.size() * sizeof(u64));
+    r.get_bytes(shadow_at_.data(), shadow_at_.size() * sizeof(Cycles));
   }
 
  private:
@@ -110,6 +120,7 @@ class EventRing {
   u64 drops_ = 0;
   u64 pushed_ = 0;
   std::vector<u64> shadow_seq_;  // per-slot provenance, parallel to the ring
+  std::vector<Cycles> shadow_at_;  // per-slot store bus instant (sideband)
 };
 
 }  // namespace hn::mbm

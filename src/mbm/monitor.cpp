@@ -27,10 +27,32 @@ MemoryBusMonitor::MemoryBusMonitor(sim::Machine& machine,
   obs_detections_ = obs.counter("mbm.detections");
   obs_irqs_ = obs.counter("mbm.irqs");
   obs_service_cycles_ = obs.histogram("mbm.fifo.service_cycles");
+  // Time-series tracks probe the raw accumulators (not the registry
+  // handles), so sampled streams exist even with metrics disabled.
+  // Enrollment order here is part of the deterministic serialization
+  // order: machine per-core tracks, then these, then kernel/hypersec.
+  obs::TimeSeries& ts = machine_.timeseries();
+  ts.enroll("mbm.fifo.occupancy", obs::TrackKind::kLevel,
+            [this] { return static_cast<u64>(fifo_.occupancy()); });
+  ts.enroll("mbm.fifo.drops", obs::TrackKind::kCounter,
+            [this] { return fifo_.drops(); });
+  ts.enroll("mbm.fifo.wait_cycles", obs::TrackKind::kCounter,
+            [this] { return fifo_wait_cycles_; });
+  ts.enroll("mbm.fifo.service_cycles", obs::TrackKind::kCounter,
+            [this] { return fifo_service_cycles_; });
+  ts.enroll("mbm.fifo.service_count", obs::TrackKind::kCounter,
+            [this] { return fifo_service_count_; });
+  ts.enroll("mbm.snoop.word_writes", obs::TrackKind::kCounter,
+            [this] { return snooped_word_writes_; });
+  ts.enroll("mbm.detections", obs::TrackKind::kCounter,
+            [this] { return detections_; });
   machine_.bus().attach_snooper(this);
 }
 
-MemoryBusMonitor::~MemoryBusMonitor() { machine_.bus().detach_snooper(this); }
+MemoryBusMonitor::~MemoryBusMonitor() {
+  machine_.timeseries().unenroll_prefix("mbm.");
+  machine_.bus().detach_snooper(this);
+}
 
 void MemoryBusMonitor::on_transaction(const sim::BusTransaction& txn) {
   if (!enabled_) return;
@@ -84,12 +106,19 @@ void MemoryBusMonitor::handle_word_write(PhysAddr pa, u64 value, Cycles t,
   const Cycles service = machine_.timing().mbm_event_process +
                          (lr.hit ? 0 : machine_.timing().mbm_bitmap_fetch);
   obs_service_cycles_.record_cycles(service);
+  fifo_service_cycles_ += service;
+  ++fifo_service_count_;
   const WriteFifo::Offer offer = fifo_.offer(CapturedWrite{pa, value, t}, t, service);
+  // High-water marks *offered* occupancy, before the drop check: a
+  // rejected offer means the FIFO sat at full depth, which is exactly
+  // the peak the gauge exists to record (the burst-overflow regression
+  // test pins this — the gauge must reach fifo_depth under overflow).
+  obs_fifo_high_water_.set_max(fifo_.occupancy());
   if (!offer.accepted) {
     obs_fifo_drops_.add();
     return;  // capture lost: the FIFO overflowed under burst
   }
-  obs_fifo_high_water_.set_max(fifo_.occupancy());
+  fifo_wait_cycles_ += offer.wait;
   // Flight recorder: the FIFO enqueue links back to the bus write that the
   // snooper captured.  a/b carry the modeled (hardware-concurrent) queue
   // wait and translator service cycles — they do not advance the CPU clock,
@@ -115,6 +144,7 @@ void MemoryBusMonitor::handle_word_write(PhysAddr pa, u64 value, Cycles t,
         t, sim::TraceKind::kMbmDetect, fifo_seq, pa, value);
     MonitorEvent mev{pa, value};
     mev.trace_seq = detect_seq;
+    mev.at = t;
     if (ring_.push(mev)) {
       ++irqs_raised_;
       obs_irqs_.add();
@@ -131,6 +161,8 @@ MbmStats MemoryBusMonitor::stats() const {
   s.snooped_word_writes = snooped_word_writes_;
   s.snooped_line_writes = snooped_line_writes_;
   s.fifo_drops = fifo_.drops();
+  s.fifo_wait_cycles = fifo_wait_cycles_;
+  s.fifo_service_cycles = fifo_service_cycles_;
   s.bitmap_cache_hits = bitmap_cache_.hits();
   s.bitmap_cache_misses = bitmap_cache_.misses();
   s.bitmap_fetches = bitmap_fetches_;
@@ -146,6 +178,9 @@ void MemoryBusMonitor::reset_stats() {
   bitmap_fetches_ = 0;
   detections_ = 0;
   irqs_raised_ = 0;
+  fifo_wait_cycles_ = 0;
+  fifo_service_cycles_ = 0;
+  fifo_service_count_ = 0;
   fifo_.reset();
 }
 

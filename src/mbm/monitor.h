@@ -49,6 +49,8 @@ struct MbmStats {
   u64 snooped_word_writes = 0;   // word writes inside the watch window
   u64 snooped_line_writes = 0;   // line write-backs scanned (if enabled)
   u64 fifo_drops = 0;
+  u64 fifo_wait_cycles = 0;      // modeled queue wait of accepted captures
+  u64 fifo_service_cycles = 0;   // modeled translator service, all captures
   u64 bitmap_cache_hits = 0;
   u64 bitmap_cache_misses = 0;
   u64 bitmap_fetches = 0;        // main-memory bitmap reads
@@ -90,6 +92,9 @@ class MemoryBusMonitor final : public sim::BusSnooper {
     w.put_u64(bitmap_fetches_);
     w.put_u64(detections_);
     w.put_u64(irqs_raised_);
+    w.put_u64(fifo_wait_cycles_);
+    w.put_u64(fifo_service_cycles_);
+    w.put_u64(fifo_service_count_);
     fifo_.save_state(w);
     bitmap_cache_.save_state(w);
     ring_.save_state(w);
@@ -103,6 +108,9 @@ class MemoryBusMonitor final : public sim::BusSnooper {
     bitmap_fetches_ = r.get_u64();
     detections_ = r.get_u64();
     irqs_raised_ = r.get_u64();
+    fifo_wait_cycles_ = r.get_u64();
+    fifo_service_cycles_ = r.get_u64();
+    fifo_service_count_ = r.get_u64();
     fifo_.restore_state(r);
     bitmap_cache_.restore_state(r);
     ring_.restore_state(r);
@@ -123,6 +131,11 @@ class MemoryBusMonitor final : public sim::BusSnooper {
   u64 bitmap_fetches_ = 0;
   u64 detections_ = 0;
   u64 irqs_raised_ = 0;
+  // Raw accumulators backing the time-series tracks (always live, unlike
+  // the registry handles below, so sampling works with metrics off too).
+  u64 fifo_wait_cycles_ = 0;
+  u64 fifo_service_cycles_ = 0;
+  u64 fifo_service_count_ = 0;
   // Observability handles (inert unless the machine's registry is enabled).
   obs::Counter obs_word_writes_;
   obs::Counter obs_fifo_drops_;

@@ -86,6 +86,27 @@ struct HistogramData {
     if (value > max) max = value;
   }
 
+  /// Percentile estimate from the power-of-two buckets, upper-bound
+  /// semantics: the smallest bucket whose cumulative count reaches
+  /// ceil(p/100 * total_count), reported as that bucket's inclusive
+  /// upper bound (bucket_le).  The true p-th sample lies at or below the
+  /// returned value; resolution is one power of two.  p is clamped to
+  /// [0, 100]; an empty histogram reports 0.
+  [[nodiscard]] constexpr u64 percentile(unsigned p) const {
+    if (total_count == 0) return 0;
+    if (p > 100) p = 100;
+    // ceil(p/100 * total_count) without overflow for any u64 count.
+    const u64 rank =
+        total_count / 100 * p + (total_count % 100 * p + 99) / 100;
+    const u64 need = rank == 0 ? 1 : rank;  // p == 0 -> first sample
+    u64 cum = 0;
+    for (unsigned b = 0; b < kBuckets; ++b) {
+      cum += count[b];
+      if (cum >= need) return bucket_le(b);
+    }
+    return bucket_le(kBuckets - 1);
+  }
+
   /// Commutative fold: bucket-wise sums, range union.
   void merge(const HistogramData& other) {
     for (unsigned b = 0; b < kBuckets; ++b) {
@@ -133,6 +154,14 @@ class Counter {
     return false;
 #endif
   }
+  /// Current count (0 for inert handles) — the time-series probe read.
+  [[nodiscard]] u64 value() const {
+#if HN_OBS
+    return slot_ != nullptr ? slot_->value : 0;
+#else
+    return 0;
+#endif
+  }
 
  private:
   friend class Registry;
@@ -156,6 +185,14 @@ class Gauge {
     if (slot_ != nullptr && *on_ && v > slot_->value) slot_->value = v;
 #else
     (void)v;
+#endif
+  }
+  /// Current level (0 for inert handles) — the time-series probe read.
+  [[nodiscard]] u64 value() const {
+#if HN_OBS
+    return slot_ != nullptr ? slot_->value : 0;
+#else
+    return 0;
 #endif
   }
 
@@ -183,6 +220,15 @@ class Histogram {
     return slot_ != nullptr && *on_;
 #else
     return false;
+#endif
+  }
+  /// The live bucket data (nullptr for inert handles) — lets the
+  /// time-series layer probe total_weight/total_count without a snapshot.
+  [[nodiscard]] const HistogramData* data() const {
+#if HN_OBS
+    return slot_ != nullptr ? slot_->hist.get() : nullptr;
+#else
+    return nullptr;
 #endif
   }
 

@@ -38,6 +38,7 @@ struct Counters {
   u64 bus_waits = 0;        // word txns that hit shared-bus contention
   u64 bus_wait_cycles = 0;  // total cycles spent in those waits
   u64 spin_contentions = 0; // spinlock acquisitions charged as contended
+  u64 ipi_latency_cycles = 0;  // bus-order cycles from post to delivery
 
   /// Per-field difference `*this - earlier`.
   [[nodiscard]] Counters delta(const Counters& earlier) const {
@@ -66,6 +67,7 @@ struct Counters {
     d.bus_waits = bus_waits - earlier.bus_waits;
     d.bus_wait_cycles = bus_wait_cycles - earlier.bus_wait_cycles;
     d.spin_contentions = spin_contentions - earlier.spin_contentions;
+    d.ipi_latency_cycles = ipi_latency_cycles - earlier.ipi_latency_cycles;
     return d;
   }
 };

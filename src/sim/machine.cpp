@@ -33,6 +33,7 @@ Machine::Machine(const MachineConfig& config)
     }
   }
   ipi_pending_.assign(ncores, 0);
+  ipi_post_time_.assign(ncores, 0);
   spans_.bind_clock(cur_->account.cycles_ref());
   obs_walk_ctx_rebuilds_ = obs_.counter("sim.machine.walk_ctx_rebuilds");
   obs_walk_ctx_cached_ = obs_.counter("sim.machine.walk_ctx_cached");
@@ -41,6 +42,40 @@ Machine::Machine(const MachineConfig& config)
   obs_bulk_exact_words_ = obs_.counter("sim.machine.bulk_exact_words");
   obs_bulk_guard_trips_ = obs_.counter("sim.machine.bulk_guard_trips");
   obs_s2_fault_exits_ = obs_.counter("sim.machine.s2_fault_exits");
+  enroll_builtin_tracks();
+  if (config.sample_cycles != 0) arm_timeseries(config.sample_cycles);
+}
+
+void Machine::enroll_builtin_tracks() {
+  // Per-core tracks first (core-major, field-minor): the MBM, kernel and
+  // Hypersec layers enroll theirs later in construction order, so the
+  // serialized track table is deterministic for a given system shape.
+  // The probes read the per-core ledgers directly (always live, not
+  // registry-gated) through the decoupled-fold rule: Counters fields
+  // only mutate on committed charges, and cycles() folds on observe.
+  for (unsigned i = 0; i < cores_.size(); ++i) {
+    const CoreState* core = cores_[i].get();
+    const std::string prefix = "sim.core" + std::to_string(i) + ".";
+    timeseries_.enroll(prefix + "cycles", obs::TrackKind::kCounter,
+                       [core] { return core->account.cycles(); });
+    timeseries_.enroll(prefix + "bus_waits", obs::TrackKind::kCounter,
+                       [core] { return core->account.counters().bus_waits; });
+    timeseries_.enroll(
+        prefix + "bus_wait_cycles", obs::TrackKind::kCounter,
+        [core] { return core->account.counters().bus_wait_cycles; });
+    timeseries_.enroll(
+        prefix + "spin_contentions", obs::TrackKind::kCounter,
+        [core] { return core->account.counters().spin_contentions; });
+    timeseries_.enroll(
+        prefix + "ipis_delivered", obs::TrackKind::kCounter,
+        [core] { return core->account.counters().ipis_delivered; });
+    timeseries_.enroll(
+        prefix + "ipi_latency_cycles", obs::TrackKind::kCounter,
+        [core] { return core->account.counters().ipi_latency_cycles; });
+    timeseries_.enroll(
+        prefix + "context_switches", obs::TrackKind::kCounter,
+        [core] { return core->account.counters().context_switches; });
+  }
 }
 
 void Machine::set_active_core(unsigned core) {
@@ -54,6 +89,14 @@ void Machine::set_active_core(unsigned core) {
   if (ipi_pending_[core] != 0) {
     ipi_pending_[core] = 0;
     ++cur_->account.counters().ipis_delivered;
+    // Delivery latency in bus-order time (read-only observation, so the
+    // charge stream is untouched).  Saturates at 0: the receiving core's
+    // mapped clock can trail the sender's post instant.
+    const Cycles now = bus_order_now();
+    const Cycles posted = ipi_post_time_[core];
+    cur_->account.counters().ipi_latency_cycles +=
+        now > posted ? now - posted : 0;
+    ipi_post_time_[core] = 0;
     cur_->gic.raise(kIrqIpi);
   }
 }
@@ -67,6 +110,10 @@ void Machine::post_ipi(unsigned target) {
     cur_->gic.raise(kIrqIpi);
     return;
   }
+  // Latch the post instant once per pending latch: coalesced re-posts
+  // keep the first (the interrupt the target eventually takes is the
+  // first one's).
+  if (ipi_pending_[target] == 0) ipi_post_time_[target] = bus_order_now();
   ipi_pending_[target] = 1;
 }
 
@@ -177,6 +224,11 @@ Cycles Machine::bus_timestamp() {
   }
   // Identity on a single core: the one clock is the bus clock.
   bus_last_timestamp_ = now;
+  // Time-series poll site: every bus transaction observes the clock
+  // already, so sampling here is free of extra folds.  Never poll inside
+  // perform() — the exact and fast-path modes batch physical accesses
+  // differently, while every mode funnels word bus traffic through here.
+  if (timeseries_.armed()) [[unlikely]] timeseries_.poll(now);
   return now;
 }
 
@@ -667,6 +719,7 @@ void save_counters(SnapWriter& w, const Counters& c) {
   w.put_u64(c.bus_waits);
   w.put_u64(c.bus_wait_cycles);
   w.put_u64(c.spin_contentions);
+  w.put_u64(c.ipi_latency_cycles);
 }
 
 void restore_counters(SnapReader& r, Counters& c) {
@@ -695,6 +748,7 @@ void restore_counters(SnapReader& r, Counters& c) {
   c.bus_waits = r.get_u64();
   c.bus_wait_cycles = r.get_u64();
   c.spin_contentions = r.get_u64();
+  c.ipi_latency_cycles = r.get_u64();
 }
 
 }  // namespace
@@ -726,6 +780,7 @@ void Machine::save_state(SnapWriter& w) const {
   w.put_u64(bus_busy_until_);
   w.put_u64(bus_last_timestamp_);
   for (const u8 pending : ipi_pending_) w.put_u8(pending);
+  for (const Cycles posted : ipi_post_time_) w.put_u64(posted);
   w.put_u8(static_cast<u8>(active_core_));
   // Flight-recorder ring: the events it holds, plus drop/sequence
   // accounting.  The enabled flag is host-side policy and not saved.
@@ -782,6 +837,7 @@ void Machine::restore_state(SnapReader& r) {
   bus_busy_until_ = r.get_u64();
   bus_last_timestamp_ = r.get_u64();
   for (u8& pending : ipi_pending_) pending = r.get_u8();
+  for (Cycles& posted : ipi_post_time_) posted = r.get_u64();
   const unsigned active = r.get_u8();
   if (r.ok() && active >= cores_.size()) {
     r.fail("active core " + std::to_string(active) + " out of range");
@@ -825,8 +881,12 @@ void Machine::restore_state(SnapReader& r) {
     core->itc_drop();
   }
   // Host-side observability is not part of the snapshot: restart it.
+  // Time-series samples drop too (enrollment survives, sampling disarms);
+  // sampling runs re-arm after the restore, and delta-encoded counter
+  // tracks make the re-primed stream identical to a fresh-boot one.
   obs_.reset_values();
   spans_.clear();
+  timeseries_.clear_samples();
 }
 
 }  // namespace hn::sim

@@ -29,6 +29,7 @@
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/span.h"
+#include "obs/timeseries.h"
 #include "sim/bus.h"
 #include "sim/cache.h"
 #include "sim/cycle_account.h"
@@ -68,6 +69,12 @@ struct MachineConfig {
   /// values are bit-identical to quantum = 0; the campaign-digest and
   /// differential tests pin this.  Opt-in; 0 = exact charging.
   Cycles decoupled_quantum = 0;
+  /// Time-series sampling interval in simulated cycles (DESIGN.md §16):
+  /// non-zero enrolls the built-in per-core and machine tracks and arms
+  /// obs::TimeSeries from boot.  0 (the default) disables sampling — the
+  /// hot-path cost is a single load + branch.  Host-side observability:
+  /// never part of the config digest, never changes simulated state.
+  Cycles sample_cycles = 0;
 };
 
 /// What an EL2 stage-2 fault handler did with a fault (KVM module).
@@ -114,6 +121,20 @@ class Machine {
   /// Host self-time profiler (DESIGN.md §14): off by default (one branch
   /// per scope); --profile runs enable it and read the report.
   obs::SelfProfiler& profiler() { return profiler_; }
+  /// Deterministic time-series sampler (DESIGN.md §16).  Built-in tracks
+  /// enroll at construction; arm_timeseries() starts sampling.
+  obs::TimeSeries& timeseries() { return timeseries_; }
+  [[nodiscard]] const obs::TimeSeries& timeseries() const {
+    return timeseries_;
+  }
+  /// (Re-)arm sampling every `interval` cycles from the current
+  /// bus-order instant.  Drops accumulated samples and re-primes counter
+  /// baselines, so arming at the same simulated cycle always reproduces
+  /// the same stream — the executor re-arms at op-phase start on both
+  /// the fresh-boot and snapshot-boot paths for exactly this reason.
+  void arm_timeseries(Cycles interval) {
+    timeseries_.arm(interval, bus_order_now());
+  }
   [[nodiscard]] const TimingModel& timing() const { return config_.timing; }
   [[nodiscard]] const MachineConfig& config() const { return config_; }
 
@@ -237,16 +258,27 @@ class Machine {
 
   // --- Compute / control -----------------------------------------------------
   /// Pure CPU work (no memory traffic): charge `c` cycles.
-  void advance(Cycles c) { cur_->account.charge(c); }
+  /// A time-series poll site: compute charges dominate long quiet
+  /// stretches, so sampling here bounds the stamp skew past an interval
+  /// boundary.  Identical in fast-path and reference mode (both charge
+  /// through advance), and poll() observes the folded clock, so the
+  /// sample stream is bit-identical under temporal decoupling too.
+  void advance(Cycles c) {
+    cur_->account.charge(c);
+    if (timeseries_.armed()) [[unlikely]] timeseries_.poll(bus_order_now());
+  }
   /// One TLB invalidate, with the guest-mode DVM broadcast surcharge.
   void charge_tlbi() {
     cur_->account.charge(config_.timing.tlbi +
                          (guest_mode_ ? config_.timing.tlbi_guest_extra : 0));
   }
   /// Kernel task switch bookkeeping cost (the TTBR0 write is separate).
+  /// Also a time-series poll site: scheduler ticks are the steady
+  /// heartbeat of otherwise-idle simulated time.
   void charge_context_switch() {
     cur_->account.charge(config_.timing.context_switch);
     ++cur_->account.counters().context_switches;
+    if (timeseries_.armed()) [[unlikely]] timeseries_.poll(bus_order_now());
   }
 
   u64 hvc(u64 func, std::initializer_list<u64> args);
@@ -381,6 +413,9 @@ class Machine {
   };
 
   Access64 access64(VirtAddr va, bool is_write, u64 value, bool user);
+  /// Enroll the built-in per-core tracks (sim.core{K}.*) — always done,
+  /// so arming later samples a fixed, deterministic track order.
+  void enroll_builtin_tracks();
   /// Perform the physical access after a successful translation.
   u64 perform(PhysAddr pa, const PageAttrs& attrs, bool is_write, u64 value);
   /// Rebuild a WalkContext from the live system registers (four reads).
@@ -394,6 +429,9 @@ class Machine {
   obs::Registry obs_;
   obs::SpanTracer spans_;
   obs::SelfProfiler profiler_;
+  // Declared before cores_: the per-core built-in tracks enroll probes
+  // into it during core construction.
+  obs::TimeSeries timeseries_;
   // unique_ptr: CoreState holds internal references (cache/mmu/exceptions
   // bind the core's own account/sysregs), so elements must never move.
   std::vector<std::unique_ptr<CoreState>> cores_;
@@ -404,6 +442,10 @@ class Machine {
   Cycles bus_busy_until_ = 0;
   Cycles bus_last_timestamp_ = 0;
   std::vector<u8> ipi_pending_;  // one latch per core
+  /// Bus-order instant each pending IPI was posted at (parallel to
+  /// ipi_pending_): delivery latency = delivery instant - post instant.
+  /// Snapshot state, like the latch itself.
+  std::vector<Cycles> ipi_post_time_;
   S2FaultHandler s2_handler_;
   El1FaultHandler el1_handler_;
   bool guest_mode_ = false;

@@ -72,8 +72,8 @@ class Reader {
 }  // namespace
 
 std::vector<u8> serialize_trace(const Trace& trace,
-                                const obs::SpanTracer* spans,
-                                double cpu_ghz) {
+                                const obs::SpanTracer* spans, double cpu_ghz,
+                                const obs::TimeSeriesData* timeseries) {
   const std::vector<TraceEvent> events = trace.chronological();
   const std::vector<obs::SpanEvent> span_events =
       spans != nullptr ? spans->chronological()
@@ -115,12 +115,34 @@ std::vector<u8> serialize_trace(const Trace& trace,
     put_u64(out, s.end);
     put_u64(out, s.self);
   }
+  // v3 time-series section: a length-prefixed embedded HNTSERIE blob
+  // (zero length when the run sampled nothing).
+  if (timeseries != nullptr && !timeseries->tracks.empty()) {
+    const std::vector<u8> ts = obs::serialize_timeseries(*timeseries);
+    put_u64(out, ts.size());
+    out.insert(out.end(), ts.begin(), ts.end());
+  } else {
+    put_u64(out, 0);
+  }
   return out;
 }
 
 std::vector<u8> capture_trace(Machine& machine) {
+  if (machine.timeseries().armed()) {
+    obs::TimeSeriesData ts = machine.timeseries().data(machine.bus_order_now());
+    ts.cpu_ghz = machine.timing().cpu_ghz;
+    return serialize_trace(machine.trace(), &machine.spans(),
+                           machine.timing().cpu_ghz, &ts);
+  }
   return serialize_trace(machine.trace(), &machine.spans(),
                          machine.timing().cpu_ghz);
+}
+
+std::vector<u8> capture_timeseries(Machine& machine) {
+  if (!machine.timeseries().armed()) return {};
+  obs::TimeSeriesData ts = machine.timeseries().data(machine.bus_order_now());
+  ts.cpu_ghz = machine.timing().cpu_ghz;
+  return obs::serialize_timeseries(ts);
 }
 
 Status parse_trace(const std::vector<u8>& blob, TraceData& out) {
@@ -133,7 +155,7 @@ Status parse_trace(const std::vector<u8>& blob, TraceData& out) {
   if (!r.u32_(out.version) || !r.u32_(reserved)) {
     return Status::Invalid("trace: truncated header");
   }
-  if (out.version != 1 && out.version != kTraceFormatVersion) {
+  if (out.version < 1 || out.version > kTraceFormatVersion) {
     return Status::Invalid("trace: unsupported format version " +
                            std::to_string(out.version));
   }
@@ -197,6 +219,22 @@ Status parse_trace(const std::vector<u8>& blob, TraceData& out) {
                              std::to_string(s.name_id));
     }
     out.spans.push_back(s);
+  }
+  out.timeseries = obs::TimeSeriesData{};
+  if (out.version >= 3) {
+    u64 ts_len = 0;
+    if (!r.u64_(ts_len) || ts_len > r.remaining()) {
+      return Status::Invalid("trace: truncated time-series section");
+    }
+    if (ts_len > 0) {
+      std::vector<u8> ts_blob(ts_len);
+      if (!r.bytes(ts_blob.data(), ts_len)) {
+        return Status::Invalid("trace: truncated time-series section");
+      }
+      if (Status s = obs::parse_timeseries(ts_blob, out.timeseries); !s.ok()) {
+        return s;
+      }
+    }
   }
   if (r.remaining() != 0) {
     return Status::Invalid("trace: trailing bytes after span table");

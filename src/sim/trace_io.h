@@ -17,6 +17,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "obs/span.h"
+#include "obs/timeseries.h"
 #include "sim/trace.h"
 
 namespace hn::sim {
@@ -24,9 +25,11 @@ namespace hn::sim {
 class Machine;
 
 /// Binary trace format version.  Bump on any layout change.  v2 appends
-/// the originating core to every event (SMP provenance); the parser still
-/// accepts v1 blobs, reading their events as core 0.
-inline constexpr u32 kTraceFormatVersion = 2;
+/// the originating core to every event (SMP provenance); v3 appends a
+/// length-prefixed time-series section (an embedded HNTSERIE blob,
+/// obs/timeseries.h; length 0 when the run sampled nothing) after the
+/// span table.  The parser still accepts v1 and v2 blobs.
+inline constexpr u32 kTraceFormatVersion = 3;
 
 /// 8-byte file magic: "HNTRACE\0".
 inline constexpr char kTraceMagic[8] = {'H', 'N', 'T', 'R', 'A', 'C', 'E', 0};
@@ -42,16 +45,28 @@ struct TraceData {
   std::vector<TraceEvent> events;        // chronological
   std::vector<std::string> span_names;   // indexed by SpanEvent::name_id
   std::vector<obs::SpanEvent> spans;     // completion order
+  /// v3 time-series section; empty tracks = the run sampled nothing.
+  obs::TimeSeriesData timeseries;
 };
 
 /// Serialize the trace ring plus (optionally) the span ring into the
-/// binary format.  `spans` may be null when the caller has no tracer.
-[[nodiscard]] std::vector<u8> serialize_trace(const Trace& trace,
-                                              const obs::SpanTracer* spans,
-                                              double cpu_ghz);
+/// binary format.  `spans` may be null when the caller has no tracer;
+/// `timeseries` may be null (or empty) for a zero-length v3 section.
+[[nodiscard]] std::vector<u8> serialize_trace(
+    const Trace& trace, const obs::SpanTracer* spans, double cpu_ghz,
+    const obs::TimeSeriesData* timeseries = nullptr);
 
 /// Convenience: snapshot `machine`'s trace + spans with its clock rate.
+/// When the machine's time-series sampler is armed, the sampled stream
+/// embeds as the v3 section (flushed to the machine's current bus-order
+/// instant), so Perfetto counter tracks ride along with the span export.
 [[nodiscard]] std::vector<u8> capture_trace(Machine& machine);
+
+/// Snapshot `machine`'s sampled time series as a standalone HNTSERIE
+/// blob (the --timeseries-out artifact): stream flushed to the current
+/// bus-order instant, cpu_ghz stamped from the timing model.  Empty
+/// vector when the sampler was never armed.
+[[nodiscard]] std::vector<u8> capture_timeseries(Machine& machine);
 
 /// Parse a binary trace blob.  Returns Invalid with a diagnostic on bad
 /// magic, unknown version, or truncation.

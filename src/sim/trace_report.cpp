@@ -342,6 +342,22 @@ std::string export_chrome_json(const TraceData& data) {
     records.push_back({s.begin, buf});
   }
 
+  // Time-series counter tracks (ph "C", one named track per enrolled
+  // metric), interleaved on the same simulated-µs timeline.  Counter
+  // tracks carry the stored sample values: per-window deltas for
+  // kCounter tracks, levels for kLevel tracks.
+  for (const obs::TimeSeriesSample& row : data.timeseries.samples) {
+    for (size_t t = 0; t < data.timeseries.tracks.size(); ++t) {
+      std::snprintf(buf, sizeof buf,
+                    "{\"ph\":\"C\",\"pid\":1,\"ts\":%.3f,\"name\":\"%s\","
+                    "\"args\":{\"value\":%llu}}",
+                    ts(row.at),
+                    json_escape(data.timeseries.tracks[t].name).c_str(),
+                    static_cast<unsigned long long>(row.values[t]));
+      records.push_back({row.at, buf});
+    }
+  }
+
   std::stable_sort(
       records.begin(), records.end(),
       [](const Record& x, const Record& y) { return x.at < y.at; });
@@ -353,6 +369,127 @@ std::string export_chrome_json(const TraceData& data) {
     out += '\n';
   }
   out += "]}\n";
+  return out;
+}
+
+std::string render_timeline(const TraceData& data) {
+  std::string out;
+  const obs::TimeSeriesData& ts = data.timeseries;
+  if (ts.tracks.empty()) {
+    return "timeline: no time-series section in this trace "
+           "(run with --sample-cycles=N)\n";
+  }
+
+  // Per-core cycle tracks define the core dimension of the report.
+  std::vector<int> core_cycles;
+  for (unsigned k = 0;; ++k) {
+    const int idx = ts.track_index("sim.core" + std::to_string(k) + ".cycles");
+    if (idx < 0) break;
+    core_cycles.push_back(idx);
+  }
+  const int fifo_occ = ts.track_index("mbm.fifo.occupancy");
+  const int word_writes = ts.track_index("mbm.snoop.word_writes");
+  const int fifo_drops = ts.track_index("mbm.fifo.drops");
+
+  appendf(out,
+          "Load timeline: %llu window(s) of %llu cycle(s), %llu track(s), "
+          "%llu core(s)\n",
+          static_cast<unsigned long long>(ts.samples.size()),
+          static_cast<unsigned long long>(ts.interval),
+          static_cast<unsigned long long>(ts.tracks.size()),
+          static_cast<unsigned long long>(core_cycles.size()));
+
+  // Detection chains bucket into windows by the monitored store's bus
+  // instant; their end-to-end latencies feed the per-window percentiles.
+  const AttributionReport report = build_attribution(data);
+
+  out += "  window-end(cy)";
+  for (size_t k = 0; k < core_cycles.size(); ++k) {
+    appendf(out, "  util%zu%%", k);
+  }
+  if (fifo_occ >= 0) out += "  fifo-occ";
+  if (word_writes >= 0) out += "  snooped";
+  if (fifo_drops >= 0) out += "  drops";
+  out += "  det    p50    p95    p99\n";
+
+  Cycles prev = 0;
+  for (size_t i = 0; i < ts.samples.size(); ++i) {
+    const obs::TimeSeriesSample& row = ts.samples[i];
+    if (i == 0) {
+      // The first window opens at the arm instant, which lies inside the
+      // interval before the first boundary; approximate its span by one
+      // interval (clamped to the stamp itself).
+      prev = ts.interval != 0 && row.at > ts.interval ? row.at - ts.interval
+                                                      : 0;
+    }
+    const Cycles span = row.at > prev ? row.at - prev : 1;
+    appendf(out, "  %14llu", static_cast<unsigned long long>(row.at));
+    for (const int idx : core_cycles) {
+      const double util = 100.0 *
+                          static_cast<double>(row.values[idx]) /
+                          static_cast<double>(span);
+      appendf(out, "  %5.1f", util);
+    }
+    if (fifo_occ >= 0) {
+      appendf(out, "  %8llu",
+              static_cast<unsigned long long>(row.values[fifo_occ]));
+    }
+    if (word_writes >= 0) {
+      appendf(out, "  %7llu",
+              static_cast<unsigned long long>(row.values[word_writes]));
+    }
+    if (fifo_drops >= 0) {
+      appendf(out, "  %5llu",
+              static_cast<unsigned long long>(row.values[fifo_drops]));
+    }
+    obs::HistogramData lat;
+    for (const DetectionChain& c : report.chains) {
+      if (!c.complete) continue;
+      const bool in_window =
+          (i == 0 ? c.bus_write.at <= row.at
+                  : c.bus_write.at > prev && c.bus_write.at <= row.at);
+      if (in_window) lat.record(c.end_to_end, 1);
+    }
+    if (lat.total_count > 0) {
+      appendf(out, "  %3llu  %5llu  %5llu  %5llu\n",
+              static_cast<unsigned long long>(lat.total_count),
+              static_cast<unsigned long long>(lat.percentile(50)),
+              static_cast<unsigned long long>(lat.percentile(95)),
+              static_cast<unsigned long long>(lat.percentile(99)));
+    } else {
+      out += "    0      -      -      -\n";
+    }
+    prev = row.at;
+  }
+
+  // Closing totals: the telescoping cross-check against the attribution
+  // report and the live-enrolled detection-latency track.  Both sides sum
+  // the same per-chain end-to-end latencies, so they must agree exactly
+  // on any complete trace (the cross-check test pins this).
+  u64 complete = 0;
+  u64 e2e_sum = 0;
+  for (const DetectionChain& c : report.chains) {
+    if (!c.complete) continue;
+    ++complete;
+    e2e_sum += c.end_to_end;
+  }
+  appendf(out,
+          "\ntotals: chains=%llu complete=%llu end-to-end-sum=%llu cy\n",
+          static_cast<unsigned long long>(report.chains.size()),
+          static_cast<unsigned long long>(complete),
+          static_cast<unsigned long long>(e2e_sum));
+  if (ts.track_index("hypersec.detect.e2e_cycles") >= 0) {
+    appendf(out, "track hypersec.detect.e2e_cycles sum=%llu cy\n",
+            static_cast<unsigned long long>(
+                ts.track_total("hypersec.detect.e2e_cycles")));
+  }
+  for (const char* name : {"mbm.fifo.service_cycles", "mbm.fifo.wait_cycles",
+                           "mbm.snoop.word_writes", "mbm.detections"}) {
+    if (ts.track_index(name) >= 0) {
+      appendf(out, "track %s sum=%llu\n", name,
+              static_cast<unsigned long long>(ts.track_total(name)));
+    }
+  }
   return out;
 }
 

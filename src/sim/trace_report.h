@@ -77,6 +77,17 @@ struct AttributionReport {
 /// arrows — all on one simulated-µs timeline, records sorted by ts.
 [[nodiscard]] std::string export_chrome_json(const TraceData& data);
 
+/// Render the sampled time series (the `hypernel_trace timeline`
+/// output): one row per sampling window with per-core utilization, MBM
+/// FIFO occupancy vs. snooped-write traffic, and p50/p95/p99
+/// detection-latency percentiles over the chains whose monitored store
+/// falls in that window (attribution comes from build_attribution on the
+/// same trace, so the per-window percentiles and the closing totals line
+/// telescope to the attribution report's end-to-end sums — the
+/// timeline/attribution cross-check test pins this).  Works on a full v3
+/// trace or a TraceData holding only a parsed HNTSERIE section.
+[[nodiscard]] std::string render_timeline(const TraceData& data);
+
 /// Render events as text, one line per event (the `hypernel_trace dump`
 /// output).  Empty `kind_filter` keeps everything; otherwise only events
 /// whose kind_name matches.

@@ -212,7 +212,7 @@ TEST(SmpScorecard, CrossCoreDetectionCarriesCoreProvenance) {
   sim::TraceData data;
   ASSERT_FALSE(run.trace_blob.empty());
   ASSERT_TRUE(sim::parse_trace(run.trace_blob, data).ok());
-  EXPECT_EQ(data.version, 2u);
+  EXPECT_EQ(data.version, 3u);
   bool core1_store = false;
   for (const sim::TraceEvent& e : data.events) {
     if (e.kind == sim::TraceKind::kBusWrite && e.core == 1) {

@@ -359,6 +359,27 @@ TEST_F(MonitorTest, FifoOverflowLosesDetections) {
   EXPECT_EQ(mbm_->stats().detections + mbm_->stats().fifo_drops, 16u);
 }
 
+TEST_F(MonitorTest, FifoHighWaterReachesDepthUnderBurstOverflow) {
+  // Regression: high_water used to be marked only after an *accepted*
+  // offer, so a burst that overflowed the FIFO reported a high-water
+  // mark below the configured depth — exactly the saturated case the
+  // gauge exists to expose.  It now marks the offered occupancy before
+  // the drop check.
+  machine_.obs().set_enabled(true);
+  MbmConfig small = cfg_;
+  small.fifo_depth = 2;
+  mbm_.reset();
+  mbm_ = std::make_unique<MemoryBusMonitor>(machine_, small);
+  machine_.gic().set_enabled(sim::kIrqMbm, false);
+  for (int i = 0; i < 16; ++i) watch_word(0xA000 + i * 8);
+  for (int i = 0; i < 16; ++i) bus_write(0xA000 + i * 8, i);
+  ASSERT_GT(mbm_->stats().fifo_drops, 0u);
+#if HN_OBS
+  EXPECT_EQ(machine_.obs().gauge("mbm.fifo.high_water").value(),
+            small.fifo_depth);
+#endif
+}
+
 TEST_F(MonitorTest, LineWritebackInvisibleByDefault) {
   // The crux of §5.3: a dirty-line write-back does NOT trigger detection
   // in the default configuration — monitored data must be non-cacheable.

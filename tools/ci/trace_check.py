@@ -1,22 +1,26 @@
 #!/usr/bin/env python3
 """Validate Chrome trace-event JSON exported by `hypernel_trace export`.
 
-Usage: trace_check.py TRACE.json [TRACE.json ...]
+Usage: trace_check.py [--expect-counters] TRACE.json [TRACE.json ...]
 
 Checks that each file parses as JSON, wraps a traceEvents array, that
-every record carries a phase plus pid/tid, and that timestamps are
-monotonically non-decreasing across the exported stream (metadata
-records, ph == "M", carry no timeline position and are skipped).  These
-are the invariants Perfetto / chrome://tracing relies on to load the
-file, so CI runs this over every exported trace.  Exits non-zero on the
-first violated file.
+every record carries a phase plus pid/tid (counter records, ph == "C",
+are process-scoped: pid only, no tid, and must carry a numeric
+args.value), and that timestamps are monotonically non-decreasing across
+the exported stream (metadata records, ph == "M", carry no timeline
+position and are skipped).  These are the invariants Perfetto /
+chrome://tracing relies on to load the file, so CI runs this over every
+exported trace.  With --expect-counters, a file with no counter records
+is an error (the CI timeline job exports from a sampled run, so the
+counter tracks must be there).  Exits non-zero on the first violated
+file.
 """
 
 import json
 import sys
 
 
-def check(path):
+def check(path, expect_counters=False):
     with open(path) as f:
         doc = json.load(f)
     events = doc.get("traceEvents")
@@ -30,7 +34,17 @@ def check(path):
         if ph is None:
             return f"{path}: record {i} has no ph"
         counts[ph] = counts.get(ph, 0) + 1
-        if ev.get("pid") != 1 or ev.get("tid") not in (1, 2):
+        if ph == "C":
+            # Counter-track samples: process-scoped (no tid) with a
+            # numeric value payload.
+            if ev.get("pid") != 1 or "tid" in ev:
+                return f"{path}: counter record {i} has bad pid/tid: {ev}"
+            if not ev.get("name"):
+                return f"{path}: counter record {i} has no name: {ev}"
+            value = ev.get("args", {}).get("value")
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                return f"{path}: counter record {i} has bad args.value: {ev}"
+        elif ev.get("pid") != 1 or ev.get("tid") not in (1, 2):
             return f"{path}: record {i} has bad pid/tid: {ev}"
         if ph == "M":
             continue
@@ -43,17 +57,22 @@ def check(path):
 
     if counts.get("i", 0) == 0:
         return f"{path}: no instant events (empty trace?)"
+    if expect_counters and counts.get("C", 0) == 0:
+        return f"{path}: no counter records (sampled run expected ph=C tracks)"
     phases = ", ".join(f"{ph}={n}" for ph, n in sorted(counts.items()))
     print(f"{path}: OK — {len(events)} records ({phases})")
     return None
 
 
 def main(argv):
-    if len(argv) < 2:
+    args = argv[1:]
+    expect_counters = "--expect-counters" in args
+    paths = [a for a in args if a != "--expect-counters"]
+    if not paths:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    for path in argv[1:]:
-        error = check(path)
+    for path in paths:
+        error = check(path, expect_counters)
         if error:
             print(f"::error::{error}", file=sys.stderr)
             return 1

@@ -32,6 +32,7 @@
 #include "fuzz/fuzzer.h"
 #include "fuzz/seed_io.h"
 #include "obs/export.h"
+#include "obs/timeseries.h"
 #include "sim/trace_io.h"
 
 namespace {
@@ -45,6 +46,7 @@ struct Options {
   std::string replay_file;
   std::string metrics_out;
   std::string trace_out;
+  std::string timeseries_out;
   std::string failure_dir;
 };
 
@@ -86,6 +88,14 @@ void usage() {
       "                    first failure's reproducer, or sequence 0 under\n"
       "                    the reference config when the campaign is clean\n"
       "                    (render with hypernel_trace)\n"
+      "  --sample-cycles[=N]\n"
+      "                    sample time-series tracks every N simulated\n"
+      "                    cycles (default 65536); pairs with\n"
+      "                    --timeseries-out\n"
+      "  --timeseries-out=F\n"
+      "                    write the sampled HNTSERIE stream (sequence 0,\n"
+      "                    reference config) to F (render with\n"
+      "                    hypernel_trace timeline)\n"
       "  --failure-dir=D   write one reproducer file per failing sequence\n"
       "                    (shrunk ops, replay command, machine trace) to D\n"
       "  --fail-fast       cancel the campaign at the first failing sequence\n"
@@ -152,6 +162,15 @@ bool parse(int argc, char** argv, Options* opt) {
     } else if ((v = arg_value(arg, "--trace-out"))) {
       opt->trace_out = *v;
       opt->fuzz.capture_trace = true;
+    } else if ((v = arg_value(arg, "--sample-cycles"))) {
+      opt->fuzz.sample_cycles = std::strtoull(v->c_str(), nullptr, 0);
+    } else if (std::strcmp(arg, "--sample-cycles") == 0) {
+      opt->fuzz.sample_cycles = hn::obs::kDefaultSampleCycles;
+    } else if ((v = arg_value(arg, "--timeseries-out"))) {
+      opt->timeseries_out = *v;
+      if (opt->fuzz.sample_cycles == 0) {
+        opt->fuzz.sample_cycles = hn::obs::kDefaultSampleCycles;
+      }
     } else if ((v = arg_value(arg, "--failure-dir"))) {
       opt->failure_dir = *v;
       opt->fuzz.capture_trace = true;  // reproducers ship with their trace
@@ -201,6 +220,7 @@ int replay(const Options& opt) {
   exec.capture_trace = !opt.trace_out.empty();
   exec.snapshot_boot = opt.fuzz.snapshot_boot;
   exec.profile = opt.fuzz.profile;
+  exec.sample_cycles = opt.fuzz.sample_cycles;
   const auto ops = hn::fuzz::generate_sequence(*opt.replay_seed, gen);
   std::printf("replaying sequence seed %llu (%zu ops, %zu configurations)\n",
               static_cast<unsigned long long>(*opt.replay_seed), ops.size(),
@@ -224,6 +244,16 @@ int replay(const Options& opt) {
     } else {
       std::fprintf(stderr, "trace: failed to write %s\n",
                    opt.trace_out.c_str());
+    }
+  }
+  if (!opt.timeseries_out.empty() && !runs.empty()) {
+    if (hn::obs::write_timeseries_file(runs[0].timeseries_blob,
+                                       opt.timeseries_out)) {
+      std::fprintf(stderr, "timeseries: %s stream written to %s\n",
+                   specs[0].name.c_str(), opt.timeseries_out.c_str());
+    } else {
+      std::fprintf(stderr, "timeseries: failed to write %s\n",
+                   opt.timeseries_out.c_str());
     }
   }
   if (report.ok()) {
@@ -264,6 +294,7 @@ int replay_file(const Options& opt) {
   exec.capture_trace = !opt.trace_out.empty();
   exec.snapshot_boot = opt.fuzz.snapshot_boot;
   exec.profile = opt.fuzz.profile;
+  exec.sample_cycles = opt.fuzz.sample_cycles;
 
   std::printf("replaying %s (%zu ops, %zu configurations)\n",
               opt.replay_file.c_str(), ops.size(), specs.size());
@@ -298,6 +329,16 @@ int replay_file(const Options& opt) {
     } else {
       std::fprintf(stderr, "trace: failed to write %s\n",
                    opt.trace_out.c_str());
+    }
+  }
+  if (!opt.timeseries_out.empty() && !runs.empty()) {
+    if (hn::obs::write_timeseries_file(runs[0].timeseries_blob,
+                                       opt.timeseries_out)) {
+      std::fprintf(stderr, "timeseries: %s stream written to %s\n",
+                   specs[0].name.c_str(), opt.timeseries_out.c_str());
+    } else {
+      std::fprintf(stderr, "timeseries: failed to write %s\n",
+                   opt.timeseries_out.c_str());
     }
   }
   hn::fuzz::OracleReport report = hn::fuzz::check_sequence(ops, specs, runs);
@@ -445,6 +486,17 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "trace: failed to write %s\n",
                    opt.trace_out.c_str());
+      return 2;
+    }
+  }
+  if (!opt.timeseries_out.empty()) {
+    if (hn::obs::write_timeseries_file(result.timeseries_blob,
+                                       opt.timeseries_out)) {
+      std::fprintf(stderr, "timeseries: campaign stream written to %s\n",
+                   opt.timeseries_out.c_str());
+    } else {
+      std::fprintf(stderr, "timeseries: failed to write %s\n",
+                   opt.timeseries_out.c_str());
       return 2;
     }
   }

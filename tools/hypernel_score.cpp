@@ -18,6 +18,7 @@
 #include <fstream>
 
 #include "attacks/scorecard.h"
+#include "obs/timeseries.h"
 #include "sim/trace_io.h"
 
 namespace {
@@ -41,6 +42,14 @@ void usage() {
       "  --decoupled[=N]   temporally decoupled execution (local charge\n"
       "                    quantum of N cycles, default 4096); the JSON\n"
       "                    report must stay byte-identical\n"
+      "  --sample-cycles[=N]\n"
+      "                    sample time-series tracks every N simulated\n"
+      "                    cycles (default 65536); pairs with\n"
+      "                    --timeseries-out\n"
+      "  --timeseries-out=F\n"
+      "                    write the sampled HNTSERIE stream of the first\n"
+      "                    intended-hit cell to F (render:\n"
+      "                    hypernel_trace timeline)\n"
       "  --profile         host self-time profile across all cells,\n"
       "                    rendered to stderr (stdout stays identical)");
 }
@@ -52,6 +61,7 @@ int main(int argc, char** argv) {
   opt.jobs = 0;  // CLI default: hardware concurrency (library: 1)
   std::string out_path;
   std::string trace_out;
+  std::string timeseries_out;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--jobs=", 7) == 0) {
@@ -74,6 +84,15 @@ int main(int argc, char** argv) {
       opt.decoupled_quantum = std::strtoull(arg + 12, nullptr, 0);
     } else if (std::strcmp(arg, "--decoupled") == 0) {
       opt.decoupled_quantum = hn::fuzz::kDefaultDecoupledQuantum;
+    } else if (std::strncmp(arg, "--sample-cycles=", 16) == 0) {
+      opt.sample_cycles = std::strtoull(arg + 16, nullptr, 0);
+    } else if (std::strcmp(arg, "--sample-cycles") == 0) {
+      opt.sample_cycles = hn::obs::kDefaultSampleCycles;
+    } else if (std::strncmp(arg, "--timeseries-out=", 17) == 0) {
+      timeseries_out = arg + 17;
+      if (opt.sample_cycles == 0) {
+        opt.sample_cycles = hn::obs::kDefaultSampleCycles;
+      }
     } else if (std::strcmp(arg, "--profile") == 0) {
       opt.profile = true;
     } else if (std::strcmp(arg, "--help") == 0) {
@@ -113,6 +132,19 @@ int main(int argc, char** argv) {
                    trace_out.c_str());
     } else {
       std::fprintf(stderr, "trace: failed to write %s\n", trace_out.c_str());
+      return 2;
+    }
+  }
+  if (!timeseries_out.empty()) {
+    if (score.sample_timeseries.empty()) {
+      std::fprintf(stderr, "timeseries: no intended hit to sample\n");
+    } else if (hn::obs::write_timeseries_file(score.sample_timeseries,
+                                              timeseries_out)) {
+      std::fprintf(stderr, "timeseries: first-hit stream written to %s\n",
+                   timeseries_out.c_str());
+    } else {
+      std::fprintf(stderr, "timeseries: failed to write %s\n",
+                   timeseries_out.c_str());
       return 2;
     }
   }

@@ -44,6 +44,8 @@ struct Options {
   bool trace = false;
   std::string metrics_out;
   std::string trace_out;
+  Cycles sample_cycles = 0;    // 0 = sampling off (unless --timeseries-out)
+  std::string timeseries_out;
   std::string save_state;  // write a machine snapshot at command exit
   std::string load_state;  // restore a machine snapshot right after boot
 };
@@ -84,6 +86,12 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.metrics_out = v8;
     } else if (const char* v9 = arg_value(argv[i], "--trace-out")) {
       opt.trace_out = v9;
+    } else if (const char* vs = arg_value(argv[i], "--sample-cycles")) {
+      opt.sample_cycles = std::strtoull(vs, nullptr, 0);
+    } else if (const char* vt = arg_value(argv[i], "--timeseries-out")) {
+      opt.timeseries_out = vt;
+    } else if (std::strcmp(argv[i], "--sample-cycles") == 0) {
+      opt.sample_cycles = obs::kDefaultSampleCycles;
     } else if (const char* v10 = arg_value(argv[i], "--save-state")) {
       opt.save_state = v10;
     } else if (const char* v11 = arg_value(argv[i], "--load-state")) {
@@ -105,6 +113,11 @@ std::unique_ptr<hypernel::System> build(const Options& opt, bool want_mbm) {
   // The flight recorder interleaves obs spans on the exported timeline,
   // and spans only record when the registry is enabled.
   cfg.metrics = !opt.metrics_out.empty() || !opt.trace_out.empty();
+  // --timeseries-out without an explicit interval samples at the default.
+  cfg.machine.sample_cycles =
+      opt.sample_cycles != 0
+          ? opt.sample_cycles
+          : (opt.timeseries_out.empty() ? 0 : obs::kDefaultSampleCycles);
   auto r = hypernel::System::create(cfg);
   if (!r.ok()) {
     std::fprintf(stderr, "system creation failed: %s\n",
@@ -182,13 +195,30 @@ bool dump_trace(const Options& opt, hypernel::System& sys) {
   return true;
 }
 
-/// All exit artifacts (--metrics-out / --trace-out / --save-state), in one
-/// place.
+/// Write the sampled time-series stream when --timeseries-out was given.
+bool dump_timeseries(const Options& opt, hypernel::System& sys) {
+  if (opt.timeseries_out.empty()) return true;
+  const std::vector<u8> blob = sim::capture_timeseries(sys.machine());
+  if (!obs::write_timeseries_file(blob, opt.timeseries_out)) {
+    std::fprintf(stderr, "timeseries: failed to write %s\n",
+                 opt.timeseries_out.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "timeseries: %zu sample(s) x %zu track(s) written to %s\n",
+               sys.machine().timeseries().sample_count(),
+               sys.machine().timeseries().track_count(),
+               opt.timeseries_out.c_str());
+  return true;
+}
+
+/// All exit artifacts (--metrics-out / --trace-out / --timeseries-out /
+/// --save-state), in one place.
 bool dump_outputs(const Options& opt, hypernel::System& sys) {
   const bool metrics_ok = dump_metrics(opt, sys);
   const bool trace_ok = dump_trace(opt, sys);
+  const bool timeseries_ok = dump_timeseries(opt, sys);
   const bool state_ok = dump_state(opt, sys);
-  return metrics_ok && trace_ok && state_ok;
+  return metrics_ok && trace_ok && timeseries_ok && state_ok;
 }
 
 int cmd_lmbench(const Options& opt) {
@@ -358,7 +388,11 @@ void usage() {
       "  audit   [--seed=N]\n"
       "  info    [--mode=...]\n"
       "  any command also accepts --metrics-out=F (JSON, or CSV when F\n"
-      "  ends in .csv): observability metrics of the run, and\n"
+      "  ends in .csv): observability metrics of the run,\n"
+      "  --sample-cycles[=N] / --timeseries-out=F: sample every enrolled\n"
+      "  time-series track every N simulated cycles (default 65536) and\n"
+      "  write the HNTSERIE stream to F (render with hypernel_trace\n"
+      "  timeline; also embedded in --trace-out traces), and\n"
       "  --save-state=F / --load-state=F: write the machine snapshot at\n"
       "  exit / restore one right after boot (the configuration must match\n"
       "  the one the snapshot was taken from)\n");

@@ -2,6 +2,8 @@
 // (the binary files --trace-out produces; format in sim/trace_io.h).
 //
 //   hypernel_trace report FILE              detection-latency attribution
+//   hypernel_trace timeline FILE            sampled load timeline (v3 trace
+//                                           or bare --timeseries-out stream)
 //   hypernel_trace export --chrome FILE     Chrome trace-event JSON
 //                         [--out=F]         (loads in Perfetto)
 //   hypernel_trace dump FILE [--filter=K]   one line per event (K = kind name)
@@ -66,6 +68,31 @@ int cmd_export(const std::string& path, const std::string& out_path) {
   }
   std::fclose(f);
   std::fprintf(stderr, "chrome trace written to %s\n", out_path.c_str());
+  return 0;
+}
+
+int cmd_timeline(const std::string& path) {
+  // Accepts either a full HNTRACE v3 trace (time-series section embedded)
+  // or a bare HNTSERIE stream (--timeseries-out artifact).
+  std::vector<u8> blob;
+  if (!sim::read_trace_file(path, blob)) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  sim::TraceData data;
+  const Status trace_status = sim::parse_trace(blob, data);
+  if (!trace_status.ok()) {
+    data = sim::TraceData{};
+    if (const Status s = obs::parse_timeseries(blob, data.timeseries);
+        !s.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   trace_status.message().c_str());
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), s.message().c_str());
+      return 1;
+    }
+    data.cpu_ghz = data.timeseries.cpu_ghz;
+  }
+  std::fputs(sim::render_timeline(data).c_str(), stdout);
   return 0;
 }
 
@@ -141,6 +168,8 @@ void usage() {
       stderr,
       "usage: hypernel_trace <command> [options]\n"
       "  report FILE              detection-latency attribution report\n"
+      "  timeline FILE            per-window load timeline (FILE: a v3\n"
+      "                           trace or a --timeseries-out stream)\n"
       "  export --chrome FILE [--out=F]\n"
       "                           Chrome trace-event JSON (Perfetto)\n"
       "  dump FILE [--filter=K]   list events (K: kind name, e.g. buswrite)\n"
@@ -180,6 +209,7 @@ int main(int argc, char** argv) {
   }
 
   if (cmd == "report" && pos.size() == 1) return cmd_report(pos[0]);
+  if (cmd == "timeline" && pos.size() == 1) return cmd_timeline(pos[0]);
   if (cmd == "export" && pos.size() == 1) {
     if (!chrome) {
       std::fprintf(stderr, "export: only --chrome is supported\n");
